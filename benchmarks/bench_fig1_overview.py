@@ -1,0 +1,42 @@
+"""Figure 1 — proving a rewrite rule end to end.
+
+Regenerates the paper's opening example: the selection/UNION ALL
+distribution rule, its HoTTSQL denotation, and the one-step proof by
+distributivity of × over +.
+"""
+
+from repro.core.denote import denote_closed
+from repro.core.equivalence import check_query_equivalence
+from repro.rules import get_rule
+from repro.sql.pretty import denotation_to_str, query_to_str
+
+
+def test_figure1_report(report, benchmark):
+    rule = get_rule("sel_union_distr")
+    result = benchmark(lambda: check_query_equivalence(rule.lhs, rule.rhs))
+    assert result.equal
+
+    report.add("Figure 1 — Proving a rewrite rule using HoTTSQL")
+    report.add("=" * 60)
+    report.add("Rewrite rule:")
+    report.add(f"  {query_to_str(rule.lhs)}")
+    report.add("    ≡")
+    report.add(f"  {query_to_str(rule.rhs)}")
+    report.add("")
+    report.add("HoTTSQL denotation:")
+    report.add(f"  LHS: {denotation_to_str(denote_closed(rule.lhs))}")
+    report.add(f"  RHS: {denotation_to_str(denote_closed(rule.rhs))}")
+    report.add("")
+    report.add("Proof: distributivity of × over + "
+               f"(engine: {result.stats.total_steps} steps, VERIFIED)")
+    report.emit("fig1_overview")
+
+
+def test_figure1_distributivity_is_the_whole_proof(benchmark):
+    # The normalized sides are literally identical clause multisets —
+    # after distribution nothing is left to prove.
+    rule = get_rule("sel_union_distr")
+    result = benchmark(lambda: check_query_equivalence(rule.lhs, rule.rhs))
+    assert result.equal
+    assert len(result.lhs_normal.products) == 2
+    assert len(result.rhs_normal.products) == 2

@@ -1,0 +1,48 @@
+"""Figure 2 — the Q2 ≡ Q3 redundant self-join proof.
+
+Regenerates both of the paper's proofs of the same equivalence: the
+*equational* route (normalization with the semiring identities) and the
+*deductive* route (squash bi-implication discharged by witness search),
+plus the fully automatic conjunctive-query decision.
+"""
+
+from repro.core.conjunctive import decide_cq
+from repro.core.denote import denote_closed
+from repro.core.equivalence import check_query_equivalence
+from repro.rules.conjunctive import self_join_queries
+from repro.sql.pretty import denotation_to_str
+
+
+def test_figure2_report(report, benchmark):
+    q3, q2 = self_join_queries()
+    decision = benchmark(lambda: decide_cq(q3, q2))
+    assert decision.equivalent
+
+    generic = check_query_equivalence(q3, q2)
+    assert generic.equal
+
+    report.add("Figure 2 — The proof of equivalence Q2 ≡ Q3")
+    report.add("=" * 60)
+    report.add("Q3: SELECT DISTINCT x.p FROM R x, R y WHERE x.p = y.p")
+    report.add("Q2: SELECT DISTINCT p FROM R")
+    report.add("")
+    report.add("Denotations:")
+    report.add(f"  Q3: {denotation_to_str(denote_closed(q3))}")
+    report.add(f"  Q2: {denotation_to_str(denote_closed(q2))}")
+    report.add("")
+    report.add("Equational proof (semiring identities + squash laws): "
+               f"VERIFIED in {generic.stats.total_steps} engine steps")
+    report.add("Deductive proof (bi-implication, witness instantiation):")
+    report.add(f"  → direction: witness {decision.forward.render()}")
+    report.add(f"  ← direction: witness {decision.backward.render()}")
+    report.add("Automatic CQ decision procedure: 1 step (the paper's "
+               "one-line proof)")
+    report.emit("fig2_selfjoin")
+
+
+def test_figure2_bag_version_rejected(benchmark):
+    # Dropping DISTINCT breaks the rule: multiplicities square.
+    from repro.rules import get_rule
+    rule = get_rule("bad_self_join_dedup_bag")
+    proof = benchmark(rule.prove)
+    assert not proof.verified

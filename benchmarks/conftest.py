@@ -1,0 +1,36 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one of the paper's figures/tables: it prints
+the rows the paper reports (visible with ``pytest -s``) and writes them to
+``benchmarks/output/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts.
+"""
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def report():
+    """A collector that prints and persists a figure's rows."""
+
+    class Report:
+        def __init__(self) -> None:
+            self.lines = []
+            self.name = None
+
+        def add(self, line: str = "") -> None:
+            self.lines.append(line)
+
+        def emit(self, name: str) -> None:
+            self.name = name
+            text = "\n".join(self.lines)
+            print("\n" + text)
+            OUTPUT_DIR.mkdir(exist_ok=True)
+            (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n",
+                                                    encoding="utf-8")
+
+    return Report()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build.  This
+shim lets ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+on machines that do have wheel) install the package; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

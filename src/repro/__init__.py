@@ -1,0 +1,87 @@
+"""HoTTSQL reproduction: proving SQL query rewrites with semiring semantics.
+
+A from-scratch Python reproduction of *HoTTSQL: Proving Query Rewrites with
+Univalent SQL Semantics* (Chu, Weitz, Cheung, Suciu — PLDI 2017) and its
+system DOPCERT:
+
+* :mod:`repro.core` — the HoTTSQL data model, syntax, denotational
+  semantics into the UniNomial algebra, and the equivalence prover
+  (normalization, congruence closure, Lemma 5.1–5.3 tactics, the automated
+  conjunctive-query decision procedure).
+* :mod:`repro.semiring` — K-relations over commutative semirings, with the
+  paper's generalization to infinite cardinal multiplicities.
+* :mod:`repro.engine` — the executable semantics (Figure 7 over any
+  semiring) and the random-instance falsifier.
+* :mod:`repro.rules` — the 23 rewrite rules of the paper's Figure 8, plus
+  deliberately unsound optimizer rewrites the system must reject.
+* :mod:`repro.sql` — a named SQL frontend compiling to the unnamed model.
+* :mod:`repro.optimizer` — a certified cost-based plan rewriter.
+* :mod:`repro.theory` — the decidability landscape of Figure 9.
+
+Quickstart::
+
+    from repro import Catalog, INT, compile_sql, queries_equivalent
+
+    catalog = Catalog()
+    catalog.add_table("R", [("a", INT), ("b", INT)])
+    q2 = compile_sql("SELECT DISTINCT a FROM R", catalog)
+    q3 = compile_sql(
+        "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a", catalog)
+    assert queries_equivalent(q2.query, q3.query)
+"""
+
+from .core import (
+    BOOL,
+    EMPTY,
+    INT,
+    STRING,
+    Hypotheses,
+    KeyConstraint,
+    FDConstraint,
+    SVar,
+    Schema,
+    ast,
+    check_query_equivalence,
+    cq_equivalent,
+    decide_cq,
+    denote_closed,
+    queries_equivalent,
+)
+from .engine import Database, Interpretation, run_query
+from .rules import all_rules, get_rule, rules_by_category
+from .semiring import NAT, NAT_INF, PROVENANCE, KRelation
+from .sql import Catalog, compile_sql, query_to_str
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOOL",
+    "Catalog",
+    "Database",
+    "EMPTY",
+    "FDConstraint",
+    "Hypotheses",
+    "INT",
+    "Interpretation",
+    "KRelation",
+    "KeyConstraint",
+    "NAT",
+    "NAT_INF",
+    "PROVENANCE",
+    "STRING",
+    "SVar",
+    "Schema",
+    "__version__",
+    "all_rules",
+    "ast",
+    "check_query_equivalence",
+    "compile_sql",
+    "cq_equivalent",
+    "decide_cq",
+    "denote_closed",
+    "get_rule",
+    "queries_equivalent",
+    "query_to_str",
+    "rules_by_category",
+    "run_query",
+]

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command>``):
+
+* ``check --table 'R(a:int,b:int)' SQL1 SQL2`` — decide equivalence of two
+  SQL queries against the declared schema,
+* ``prove RULE`` — run one library rule's proof (by name),
+* ``prove-all`` — prove the whole Figure 8 corpus and print the table,
+* ``rules`` — list every rule with category and status metadata.
+
+The CLI is a thin veneer over the library; each command returns a process
+exit code (0 = equivalent/verified) so it can script into CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Optional, Sequence
+
+from .core.equivalence import check_query_equivalence
+from .core.schema import BOOL, INT, STRING, SQLType
+from .rules import (
+    CATEGORY_ORDER,
+    all_buggy_rules,
+    all_extended_rules,
+    all_rules,
+    get_rule,
+    rules_by_category,
+)
+from .sql import Catalog, compile_sql
+
+_TYPES = {"int": INT, "bool": BOOL, "string": STRING}
+
+_TABLE_RE = re.compile(r"^(\w+)\((.*)\)$")
+
+
+class CLIError(Exception):
+    """Raised for malformed CLI input; rendered as an error message."""
+
+
+def parse_table_spec(spec: str) -> tuple:
+    """Parse ``R(a:int,b:int)`` into a (name, columns) pair."""
+    match = _TABLE_RE.match(spec.strip())
+    if not match:
+        raise CLIError(f"malformed table spec {spec!r} "
+                       f"(expected NAME(col:type,...))")
+    name, cols_text = match.groups()
+    columns = []
+    for part in cols_text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise CLIError(f"malformed column {part!r} in {spec!r}")
+        col, ty = (x.strip() for x in part.split(":", 1))
+        if ty not in _TYPES:
+            raise CLIError(f"unknown type {ty!r} (use int/bool/string)")
+        columns.append((col, _TYPES[ty]))
+    if not columns:
+        raise CLIError(f"table {name!r} needs at least one column")
+    return name, columns
+
+
+def _build_catalog(table_specs: Sequence[str]) -> Catalog:
+    catalog = Catalog()
+    for spec in table_specs:
+        name, columns = parse_table_spec(spec)
+        catalog.add_table(name, columns)
+    return catalog
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    catalog = _build_catalog(args.table or [])
+    lhs = compile_sql(args.sql1, catalog)
+    rhs = compile_sql(args.sql2, catalog)
+    result = check_query_equivalence(lhs.query, rhs.query)
+    verdict = "EQUIVALENT" if result.equal else "NOT PROVED"
+    print(f"{verdict}  ({result.stats.total_steps} engine steps)")
+    if not result.equal:
+        print("note: the prover is sound but incomplete; "
+              "'NOT PROVED' is not a disproof")
+    return 0 if result.equal else 1
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    try:
+        rule = get_rule(args.rule)
+    except KeyError as exc:
+        raise CLIError(str(exc)) from exc
+    proof = rule.prove()
+    status = "VERIFIED" if proof.verified else "REJECTED"
+    print(f"{rule.name} [{rule.category}]: {status} "
+          f"({proof.engine_steps} steps, "
+          f"{proof.elapsed_seconds * 1e3:.1f} ms)")
+    print(f"  {rule.description}")
+    expected = rule.sound
+    return 0 if proof.verified == expected else 1
+
+
+def cmd_prove_all(args: argparse.Namespace) -> int:
+    failures = 0
+    for category in CATEGORY_ORDER:
+        for rule in rules_by_category()[category]:
+            proof = rule.prove()
+            status = "VERIFIED" if proof.verified else "FAILED"
+            print(f"{status:9s} {category:12s} {rule.name:30s} "
+                  f"{proof.engine_steps:5d} steps")
+            failures += not proof.verified
+    for rule in all_buggy_rules():
+        proof = rule.prove()
+        status = "REJECTED" if not proof.verified else "ACCEPTED?!"
+        print(f"{status:9s} {'buggy':12s} {rule.name:30s}")
+        failures += proof.verified
+    print(f"\n{23 - failures if failures <= 23 else 0}/23 core rules "
+          f"verified; unsound rules "
+          f"{'all rejected' if failures == 0 else 'NOT all rejected'}")
+    return 0 if failures == 0 else 1
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    print(f"{'name':<32}{'category':<14}{'paper ref':<24}")
+    print("-" * 70)
+    for rule in all_rules() + all_extended_rules() + all_buggy_rules():
+        marker = "" if rule.sound else "  [UNSOUND CONTROL]"
+        print(f"{rule.name:<32}{rule.category:<14}"
+              f"{rule.paper_ref:<24}{marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HoTTSQL reproduction — prove SQL query rewrites.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="decide equivalence of two "
+                                         "SQL queries")
+    check.add_argument("--table", action="append", metavar="SPEC",
+                       help="table declaration, e.g. 'R(a:int,b:int)' "
+                            "(repeatable)")
+    check.add_argument("sql1")
+    check.add_argument("sql2")
+    check.set_defaults(fn=cmd_check)
+
+    prove = sub.add_parser("prove", help="prove one library rule by name")
+    prove.add_argument("rule")
+    prove.set_defaults(fn=cmd_prove)
+
+    prove_all = sub.add_parser("prove-all",
+                               help="prove the Figure 8 corpus")
+    prove_all.set_defaults(fn=cmd_prove_all)
+
+    rules = sub.add_parser("rules", help="list the rule library")
+    rules.set_defaults(fn=cmd_rules)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

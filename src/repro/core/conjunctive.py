@@ -1,0 +1,208 @@
+"""The automated decision procedure for conjunctive queries (paper Sec. 5.2).
+
+A conjunctive query (CQ) has the shape::
+
+    DISTINCT SELECT p FROM q₁, ..., qₙ WHERE b
+
+where every ``qᵢ`` is a base table and ``b`` is a conjunction of equalities
+between attribute projections.  Set-semantics equivalence of CQs is
+decidable (NP-complete; Chandra & Merlin 1977 — paper Figure 9), and the
+paper implements the classical procedure in Ltac: turn both sides into
+truncated existentials, then search for containment mappings in both
+directions.
+
+This module packages that procedure: it recognizes the CQ fragment,
+decides equivalence *completely* on it, and exposes the discovered
+homomorphisms (the arrows of the paper's Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from . import ast
+from .denote import denote_closed
+from .equivalence import (
+    Hypotheses,
+    NO_HYPOTHESES,
+    align_denotations,
+    implication_witness,
+)
+from .normalize import ASquash, NProduct, NSum, normalize
+from .schema import EMPTY, Schema
+from .uninomial import Term, TVar
+
+
+# ---------------------------------------------------------------------------
+# Fragment recognition
+# ---------------------------------------------------------------------------
+
+def is_conjunctive_query(query: ast.Query) -> bool:
+    """Syntactic membership test for the decidable CQ fragment."""
+    if not isinstance(query, ast.Distinct):
+        return False
+    return _is_cq_body(query.query)
+
+
+def _is_cq_body(query: ast.Query) -> bool:
+    if isinstance(query, ast.Select):
+        return _is_projection_simple(query.projection) \
+            and _is_cq_from(query.query)
+    return False
+
+
+def _is_cq_from(query: ast.Query) -> bool:
+    if isinstance(query, ast.Where):
+        return _is_cq_from(query.query) \
+            and _is_conjunction_of_equalities(query.predicate)
+    return _is_table_product(query)
+
+
+def _is_table_product(query: ast.Query) -> bool:
+    if isinstance(query, ast.Table):
+        return True
+    if isinstance(query, ast.Product):
+        return _is_table_product(query.left) and _is_table_product(query.right)
+    return False
+
+
+def _is_conjunction_of_equalities(pred: ast.Predicate) -> bool:
+    if isinstance(pred, ast.PredAnd):
+        return _is_conjunction_of_equalities(pred.left) \
+            and _is_conjunction_of_equalities(pred.right)
+    if isinstance(pred, ast.PredEq):
+        return _is_simple_expression(pred.left) \
+            and _is_simple_expression(pred.right)
+    return isinstance(pred, ast.PredTrue)
+
+
+def _is_simple_expression(expr: ast.Expression) -> bool:
+    if isinstance(expr, ast.P2E):
+        return _is_projection_simple(expr.projection)
+    return isinstance(expr, ast.Const)
+
+
+def _is_projection_simple(proj: ast.Projection) -> bool:
+    if isinstance(proj, (ast.Star, ast.LeftP, ast.RightP, ast.EmptyP,
+                         ast.PVar)):
+        return True
+    if isinstance(proj, ast.Compose):
+        return _is_projection_simple(proj.first) \
+            and _is_projection_simple(proj.second)
+    if isinstance(proj, ast.Duplicate):
+        return _is_projection_simple(proj.left) \
+            and _is_projection_simple(proj.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The decision procedure
+# ---------------------------------------------------------------------------
+
+class NotConjunctive(Exception):
+    """Raised when :func:`decide_cq` is applied outside the CQ fragment."""
+
+
+@dataclass
+class Homomorphism:
+    """A containment mapping: instantiation of one side's bound variables."""
+
+    direction: str
+    assignment: Dict[TVar, Term]
+
+    def render(self) -> List[str]:
+        """Human-readable mapping lines (the arrows of Figure 10)."""
+        return [f"{var} ↦ {term}"
+                for var, term in sorted(self.assignment.items(),
+                                        key=lambda kv: kv[0].name)]
+
+
+@dataclass
+class CQDecision:
+    """Result of the CQ decision procedure."""
+
+    equivalent: bool
+    forward: Optional[Homomorphism]
+    backward: Optional[Homomorphism]
+    lhs_normal: NSum
+    rhs_normal: NSum
+
+
+def decide_cq(q1: ast.Query, q2: ast.Query,
+              ctx_schema: Schema = EMPTY,
+              hyps: Hypotheses = NO_HYPOTHESES,
+              require_fragment: bool = True) -> CQDecision:
+    """Decide set-semantics equivalence of two conjunctive queries.
+
+    The procedure is *complete* on the CQ fragment: it answers
+    ``equivalent=True`` iff the queries are equivalent on all instances.
+    With ``require_fragment=False`` the same search runs on arbitrary
+    queries, where a positive answer is still sound.
+
+    Raises:
+        NotConjunctive: if ``require_fragment`` and either query is not a CQ.
+    """
+    if require_fragment:
+        for q in (q1, q2):
+            if not is_conjunctive_query(q):
+                raise NotConjunctive(f"not a conjunctive query: {q!r}")
+    d1 = denote_closed(q1, ctx_schema)
+    d2 = denote_closed(q2, ctx_schema)
+    lhs, rhs = align_denotations(d1, d2)
+    n1 = normalize(lhs)
+    n2 = normalize(rhs)
+    e1 = _squash_content(n1)
+    e2 = _squash_content(n2)
+    if e1 is None or e2 is None:
+        raise NotConjunctive(
+            "denotation did not normalize to a truncated existential")
+    forward = _directional_witness(e1, e2, "lhs → rhs", hyps)
+    backward = _directional_witness(e2, e1, "rhs → lhs", hyps)
+    return CQDecision(
+        equivalent=forward is not None and backward is not None,
+        forward=forward,
+        backward=backward,
+        lhs_normal=n1,
+        rhs_normal=n2,
+    )
+
+
+def cq_equivalent(q1: ast.Query, q2: ast.Query,
+                  ctx_schema: Schema = EMPTY) -> bool:
+    """Boolean shorthand for :func:`decide_cq`."""
+    return decide_cq(q1, q2, ctx_schema).equivalent
+
+
+def _squash_content(n: NSum) -> Optional[NSum]:
+    """Extract E from a normal form of shape ``‖E‖`` (one squash clause)."""
+    if len(n.products) != 1:
+        return None
+    product = n.products[0]
+    if product.vars:
+        return None
+    squashes = [f for f in product.factors if isinstance(f, ASquash)]
+    others = [f for f in product.factors if not isinstance(f, ASquash)]
+    if len(squashes) == 1 and not others:
+        return squashes[0].inner
+    # Fully propositional clause (e.g. after total point elimination):
+    # treat the clause itself as the existential content.
+    return NSum((product,))
+
+
+def _directional_witness(source: NSum, target: NSum, direction: str,
+                         hyps: Hypotheses) -> Optional[Homomorphism]:
+    """All disjuncts of ``source`` must map into ``target``."""
+    combined: Dict[TVar, Term] = {}
+    for p in source.products:
+        found = implication_witness(_open_product(p), target, hyps)
+        if found is None:
+            return None
+        _, assignment = found
+        combined.update(assignment)
+    return Homomorphism(direction=direction, assignment=combined)
+
+
+def _open_product(p: NProduct) -> NProduct:
+    """View a clause's binders as free (skolemized) hypothesis variables."""
+    return NProduct((), p.factors)

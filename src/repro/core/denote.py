@@ -1,0 +1,211 @@
+"""Denotational semantics of HoTTSQL into UniNomial (paper Figure 7).
+
+A query in context Γ denotes a function ``Tuple Γ → Tuple σ → U``; here we
+build the *body* of that function symbolically: given tuple terms ``g``
+(the context tuple) and ``t`` (the output tuple), :func:`denote_query`
+returns the UniNomial term for ``⟦Γ ⊢ q : σ⟧ g t``.
+
+The context-threading discipline of Figure 6/7 is implemented literally:
+``WHERE`` and ``SELECT`` extend the context by pairing ``(g, t)``, and
+``CASTPRED`` / ``CASTEXPR`` re-scope by applying the denoted projection to
+the context tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import ast
+from .schema import EMPTY, Leaf, Node, Schema
+from .typecheck import TypecheckError, check_predicate, infer_projection, \
+    infer_query
+from .uninomial import (
+    ONE,
+    TAgg,
+    TApp,
+    TConst,
+    Term,
+    TVar,
+    UNIT,
+    UPred,
+    URel,
+    UTerm,
+    ZERO,
+    fresh_var,
+    tfst,
+    tpair,
+    tsnd,
+    uadd,
+    ueq,
+    umul,
+    uneg,
+    usquash,
+    usum,
+)
+
+
+def denote_query(query: ast.Query, ctx: Schema, g: Term, t: Term) -> UTerm:
+    """``⟦Γ ⊢ q : σ⟧ g t`` — the multiplicity of tuple ``t`` in ``q``."""
+    if isinstance(query, ast.Table):
+        return URel(query.name, t)
+
+    if isinstance(query, ast.Select):
+        inner_schema = infer_query(query.query, ctx)
+        t_prime = fresh_var(inner_schema, "t")
+        ext_ctx = Node(ctx, inner_schema)
+        projected = denote_projection(query.projection, ext_ctx, tpair(g, t_prime))
+        body = umul(ueq(projected, t),
+                    denote_query(query.query, ctx, g, t_prime))
+        return usum(t_prime, body)
+
+    if isinstance(query, ast.Product):
+        return umul(denote_query(query.left, ctx, g, tfst(t)),
+                    denote_query(query.right, ctx, g, tsnd(t)))
+
+    if isinstance(query, ast.Where):
+        inner_schema = infer_query(query.query, ctx)
+        ext_ctx = Node(ctx, inner_schema)
+        return umul(denote_query(query.query, ctx, g, t),
+                    denote_predicate(query.predicate, ext_ctx, tpair(g, t)))
+
+    if isinstance(query, ast.UnionAll):
+        return uadd(denote_query(query.left, ctx, g, t),
+                    denote_query(query.right, ctx, g, t))
+
+    if isinstance(query, ast.Except):
+        return umul(denote_query(query.left, ctx, g, t),
+                    uneg(denote_query(query.right, ctx, g, t)))
+
+    if isinstance(query, ast.Distinct):
+        return usquash(denote_query(query.query, ctx, g, t))
+
+    raise TypecheckError(f"cannot denote query node: {query!r}")
+
+
+def denote_predicate(pred: ast.Predicate, ctx: Schema, g: Term) -> UTerm:
+    """``⟦Γ ⊢ b⟧ g`` — a proposition (squash type)."""
+    if isinstance(pred, ast.PredEq):
+        return ueq(denote_expression(pred.left, ctx, g),
+                   denote_expression(pred.right, ctx, g))
+    if isinstance(pred, ast.PredAnd):
+        return umul(denote_predicate(pred.left, ctx, g),
+                    denote_predicate(pred.right, ctx, g))
+    if isinstance(pred, ast.PredOr):
+        return usquash(uadd(denote_predicate(pred.left, ctx, g),
+                            denote_predicate(pred.right, ctx, g)))
+    if isinstance(pred, ast.PredNot):
+        return uneg(denote_predicate(pred.operand, ctx, g))
+    if isinstance(pred, ast.PredTrue):
+        return ONE
+    if isinstance(pred, ast.PredFalse):
+        return ZERO
+    if isinstance(pred, ast.Exists):
+        inner_schema = infer_query(pred.query, ctx)
+        t = fresh_var(inner_schema, "t")
+        return usquash(usum(t, denote_query(pred.query, ctx, g, t)))
+    if isinstance(pred, ast.CastPred):
+        inner_ctx = infer_projection(pred.projection, ctx)
+        recast = denote_projection(pred.projection, ctx, g)
+        return denote_predicate(pred.predicate, inner_ctx, recast)
+    if isinstance(pred, ast.PredVar):
+        return UPred(pred.name, (g,))
+    if isinstance(pred, ast.PredFunc):
+        args = tuple(denote_expression(a, ctx, g) for a in pred.args)
+        return UPred(pred.name, args)
+    raise TypecheckError(f"cannot denote predicate node: {pred!r}")
+
+
+def denote_expression(expr: ast.Expression, ctx: Schema, g: Term) -> Term:
+    """``⟦Γ ⊢ e : τ⟧ g`` — a scalar (leaf-schema) term."""
+    if isinstance(expr, ast.P2E):
+        return denote_projection(expr.projection, ctx, g)
+    if isinstance(expr, ast.Const):
+        return TConst(expr.value, expr.ty)
+    if isinstance(expr, ast.Func):
+        args = tuple(denote_expression(a, ctx, g) for a in expr.args)
+        return TApp(expr.name, args, Leaf(expr.ty))
+    if isinstance(expr, ast.Agg):
+        inner_schema = infer_query(expr.query, ctx)
+        if not isinstance(inner_schema, Leaf):
+            raise TypecheckError(
+                f"aggregate over non-single-column schema {inner_schema}")
+        v = fresh_var(inner_schema, "a")
+        body = denote_query(expr.query, ctx, g, v)
+        return TAgg(expr.name, v, body, expr.ty)
+    if isinstance(expr, ast.CastExpr):
+        inner_ctx = infer_projection(expr.projection, ctx)
+        recast = denote_projection(expr.projection, ctx, g)
+        return denote_expression(expr.expression, inner_ctx, recast)
+    if isinstance(expr, ast.ExprVar):
+        return TApp(expr.name, (g,), Leaf(expr.ty))
+    raise TypecheckError(f"cannot denote expression node: {expr!r}")
+
+
+def denote_projection(proj: ast.Projection, source: Schema, g: Term) -> Term:
+    """``⟦p : Γ ⇒ Γ'⟧ g`` — a tuple term of the target schema."""
+    if isinstance(proj, ast.Star):
+        return g
+    if isinstance(proj, ast.LeftP):
+        return tfst(g)
+    if isinstance(proj, ast.RightP):
+        return tsnd(g)
+    if isinstance(proj, ast.EmptyP):
+        return UNIT
+    if isinstance(proj, ast.Compose):
+        middle_schema = infer_projection(proj.first, source)
+        middle = denote_projection(proj.first, source, g)
+        return denote_projection(proj.second, middle_schema, middle)
+    if isinstance(proj, ast.Duplicate):
+        return tpair(denote_projection(proj.left, source, g),
+                     denote_projection(proj.right, source, g))
+    if isinstance(proj, ast.E2P):
+        return denote_expression(proj.expression, source, g)
+    if isinstance(proj, ast.PVar):
+        return TApp(proj.name, (g,), proj.target)
+    raise TypecheckError(f"cannot denote projection node: {proj!r}")
+
+
+@dataclass(frozen=True)
+class Denotation:
+    """A closed query denotation: ``λ g t. body`` with its schemas."""
+
+    ctx: Schema
+    schema: Schema
+    g: TVar
+    t: TVar
+    body: UTerm
+
+    def __str__(self) -> str:
+        return f"λ {self.g} {self.t}. {self.body}"
+
+
+def denote_closed(query: ast.Query, ctx: Schema = EMPTY) -> Denotation:
+    """Typecheck and denote a top-level query with fresh ``g`` and ``t``.
+
+    This is the entry point the prover and the pretty-printing examples use:
+    it reproduces the ``⟦Γ ⊢ q : σ⟧`` judgements of the paper's worked
+    examples (Figures 1 and 2).
+    """
+    schema = infer_query(query, ctx)
+    g = fresh_var(ctx, "g")
+    t = fresh_var(schema, "t")
+    body = denote_query(query, ctx, g, t)
+    return Denotation(ctx=ctx, schema=schema, g=g, t=t, body=body)
+
+
+def denote_closed_predicate(pred: ast.Predicate, ctx: Schema) -> UTerm:
+    """Typecheck and denote a predicate with a fresh context variable."""
+    check_predicate(pred, ctx)
+    g = fresh_var(ctx, "g")
+    return denote_predicate(pred, ctx, g)
+
+
+__all__ = [
+    "Denotation",
+    "denote_closed",
+    "denote_closed_predicate",
+    "denote_expression",
+    "denote_predicate",
+    "denote_projection",
+    "denote_query",
+]

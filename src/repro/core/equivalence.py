@@ -1,0 +1,811 @@
+"""The equivalence engine: deciding equality of UniNomial normal forms.
+
+This is the reproduction of DOPCERT's lemma/tactic library (paper Sec. 5).
+Given two normal forms (:class:`~repro.core.normalize.NSum`), the engine
+decides equality using exactly the ingredients of the paper's proofs:
+
+* **semiring matching** — clauses are compared modulo associativity and
+  commutativity of ``+``/``×`` with a bound-variable bijection search,
+* **congruence closure** — equalities inside a clause are saturated
+  (Nelson–Oppen), including the Horn axioms induced by key and functional-
+  dependency hypotheses (paper Sec. 4.2, used by the index rules of
+  Sec. 5.1.4),
+* **Lemma 5.3 absorption** — ``(T → P) ⟹ (T × P = T)``: any propositional
+  factor entailed by the rest of its clause is dropped,
+* **squash bi-implication** — equality of truncated types is proved by
+  mutual implication, with existentials discharged by a backtracking
+  instantiation search (the paper's Ltac backtracking, Sec. 5.2),
+* **aggregate congruence** — ``agg`` terms are compared by recursively
+  deciding bag-equivalence of their (context-rewritten) bodies, which is
+  how the GROUP BY rule of Sec. 5.1.2 goes through.
+
+The engine is *sound but incomplete* (query equivalence is undecidable —
+paper Figure 9); for the conjunctive-query fragment the search is complete,
+which is what :mod:`repro.core.conjunctive` exposes as the automated
+decision procedure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .congruence import CongruenceClosure
+from .normalize import (
+    AEq,
+    ANeg,
+    APred,
+    ARel,
+    ASquash,
+    Atom,
+    NProduct,
+    NSum,
+    atom_alpha_key,
+    atom_subst,
+    normalize,
+    nsums_alpha_equal,
+    product_subst,
+)
+from .schema import Empty, Node, Schema
+from .uninomial import (
+    Substitution,
+    TAgg,
+    TApp,
+    TPair,
+    TUnit,
+    TVar,
+    Term,
+    UTerm,
+    fresh_var,
+    iter_subterms,
+    subst_term,
+    subst_uterm,
+    term_free_vars,
+)
+
+#: Maximum nesting depth for the entailment search.  Each level of squash
+#: opening, aggregate congruence, or witness instantiation consumes one
+#: unit; the deepest paper rule (semijoin through aggregation — a squash
+#: inside an aggregate body inside a squash) needs eight.
+MAX_DEPTH = 9
+
+
+# ---------------------------------------------------------------------------
+# Hypotheses: integrity constraints as Horn axioms (paper Sec. 4.2)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KeyConstraint:
+    """``key k R``: the projection ``proj`` is a key of relation ``rel``.
+
+    Semantically (paper Sec. 4.2) this makes R set-valued and makes any two
+    R-tuples with equal keys *equal*.  Both consequences are used: the
+    closure merges R-tuples with congruent keys, and duplicate R-atoms in a
+    clause collapse.
+    """
+
+    rel: str
+    proj: str
+    proj_schema: Schema
+
+
+@dataclass(frozen=True)
+class FDConstraint:
+    """``fd a b R``: attribute ``source`` determines ``target`` in ``rel``."""
+
+    rel: str
+    source: str
+    source_schema: Schema
+    target: str
+    target_schema: Schema
+
+
+@dataclass(frozen=True)
+class Hypotheses:
+    """The integrity-constraint context a rewrite rule assumes."""
+
+    keys: Tuple[KeyConstraint, ...] = ()
+    fds: Tuple[FDConstraint, ...] = ()
+
+    def keyed_relations(self) -> frozenset:
+        return frozenset(k.rel for k in self.keys)
+
+
+NO_HYPOTHESES = Hypotheses()
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation — the proof-effort metric behind Figure 8
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProofStats:
+    """Counters for the engine's reasoning steps.
+
+    ``total_steps`` is the effort metric reported by the Figure 8
+    benchmark; it plays the role of the paper's "lines of Coq proof".
+    """
+
+    cc_builds: int = 0
+    hom_searches: int = 0
+    absorptions: int = 0
+    product_matches: int = 0
+    agg_comparisons: int = 0
+    trace: List[str] = field(default_factory=list)
+
+    @property
+    def total_steps(self) -> int:
+        return (self.cc_builds + self.hom_searches + self.absorptions
+                + self.product_matches + self.agg_comparisons)
+
+    def log(self, message: str) -> None:
+        self.trace.append(message)
+
+
+class _Ctx:
+    """Internal search context: hypotheses + stats + recursion budget."""
+
+    __slots__ = ("hyps", "stats")
+
+    def __init__(self, hyps: Hypotheses, stats: ProofStats) -> None:
+        self.hyps = hyps
+        self.stats = stats
+
+
+# ---------------------------------------------------------------------------
+# Congruence-closure construction with Horn saturation
+# ---------------------------------------------------------------------------
+
+def _build_cc(factors: Sequence[Atom], ambient: Sequence[Atom],
+              ctx: _Ctx) -> CongruenceClosure:
+    """Closure of all equalities in ``factors``/``ambient`` + Horn axioms."""
+    ctx.stats.cc_builds += 1
+    cc = CongruenceClosure()
+    for f in itertools.chain(factors, ambient):
+        if isinstance(f, AEq):
+            cc.merge(f.left, f.right)
+    rel_atoms = [f for f in itertools.chain(factors, ambient)
+                 if isinstance(f, ARel)]
+    _saturate_horn(cc, rel_atoms, ctx.hyps)
+    return cc
+
+
+def _saturate_horn(cc: CongruenceClosure, rel_atoms: Sequence[ARel],
+                   hyps: Hypotheses) -> None:
+    """Apply key/FD axioms to a fixpoint."""
+    changed = True
+    while changed:
+        changed = False
+        for key in hyps.keys:
+            atoms = [a for a in rel_atoms if a.name == key.rel]
+            for a1, a2 in itertools.combinations(atoms, 2):
+                if cc.equal(a1.arg, a2.arg):
+                    continue
+                k1 = TApp(key.proj, (a1.arg,), key.proj_schema)
+                k2 = TApp(key.proj, (a2.arg,), key.proj_schema)
+                if cc.equal(k1, k2):
+                    cc.merge(a1.arg, a2.arg)
+                    changed = True
+        for fd in hyps.fds:
+            atoms = [a for a in rel_atoms if a.name == fd.rel]
+            for a1, a2 in itertools.combinations(atoms, 2):
+                s1 = TApp(fd.source, (a1.arg,), fd.source_schema)
+                s2 = TApp(fd.source, (a2.arg,), fd.source_schema)
+                if not cc.equal(s1, s2):
+                    continue
+                t1 = TApp(fd.target, (a1.arg,), fd.target_schema)
+                t2 = TApp(fd.target, (a2.arg,), fd.target_schema)
+                if not cc.equal(t1, t2):
+                    cc.merge(t1, t2)
+                    changed = True
+
+
+# ---------------------------------------------------------------------------
+# Entailment of a single atom from a set of hypothesis factors
+# ---------------------------------------------------------------------------
+
+def _entails(factors: Sequence[Atom], cc: CongruenceClosure, atom: Atom,
+             ambient: Sequence[Atom], ctx: _Ctx, depth: int) -> bool:
+    """Do the hypothesis ``factors`` (with closure ``cc``) entail ``atom``?"""
+    if cc.contradictory:
+        return True  # the hypothesis denotes the empty type
+    if depth <= 0:
+        return False
+    if isinstance(atom, AEq):
+        if cc.equal(atom.left, atom.right):
+            return True
+        if _entails_eq_with_aggs(factors, cc, atom, ambient, ctx, depth):
+            return True
+        return _extract_from_squashes(factors, atom, ambient, ctx, depth)
+    if isinstance(atom, APred):
+        for f in factors:
+            if isinstance(f, APred) and f.name == atom.name \
+                    and len(f.args) == len(atom.args) \
+                    and all(cc.equal(a, b) for a, b in zip(f.args, atom.args)):
+                return True
+        return _extract_from_squashes(factors, atom, ambient, ctx, depth)
+    if isinstance(atom, ARel):
+        for f in factors:
+            if isinstance(f, ARel) and f.name == atom.name \
+                    and cc.equal(f.arg, atom.arg):
+                return True
+        return False
+    if isinstance(atom, ASquash):
+        if _sum_entailed(factors, cc, atom.inner, ambient, ctx, depth):
+            return True
+        # ‖A‖ entails ‖B‖ whenever A entails B: open hypothesis squashes.
+        # The opened factor is removed from the hypothesis list (its
+        # content replaces it), so each truncation is opened at most once
+        # along any search path.
+        for f in factors:
+            if not isinstance(f, ASquash):
+                continue
+            rest = [x for x in factors if x is not f]
+            if _sum_implies_under(rest, f.inner, atom.inner, ambient, ctx,
+                                  depth - 1):
+                return True
+        return False
+    if isinstance(atom, ANeg):
+        return _entails_neg(factors, cc, atom, ambient, ctx, depth)
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def _extract_from_squashes(factors: Sequence[Atom], atom: Atom,
+                           ambient: Sequence[Atom], ctx: _Ctx,
+                           depth: int) -> bool:
+    """``F, ‖A‖ ⊢ P`` when every disjunct of A (with F) forces P.
+
+    A truncated hypothesis is inhabited in every world where the clause is
+    non-zero, so any proposition holding under *all* of its witnesses may
+    be extracted — e.g. ``‖... × (k t = ℓ) × (k t = t.1)‖`` yields
+    ``ℓ = t.1``.
+    """
+    if depth <= 1:
+        return False
+    target = NSum((NProduct((), (atom,)),))
+    for f in factors:
+        if not isinstance(f, ASquash):
+            continue
+        rest = [x for x in factors if x is not f]
+        if _sum_implies_under(rest, f.inner, target, ambient, ctx, depth - 1):
+            return True
+    return False
+
+
+def _entails_neg(factors: Sequence[Atom], cc: CongruenceClosure, atom: ANeg,
+                 ambient: Sequence[Atom], ctx: _Ctx, depth: int) -> bool:
+    """``F ⊢ (A → 0)`` — via some ``(B → 0)`` in F with ``F, A ⊢ B``."""
+    for f in factors:
+        if not isinstance(f, ANeg):
+            continue
+        if nsums_alpha_equal(f.inner, atom.inner):
+            return True
+        # It suffices that A implies B under F: then ¬B gives ¬A.
+        if _sum_implies_under(factors, atom.inner, f.inner, ambient, ctx,
+                              depth - 1):
+            return True
+    return False
+
+
+def _sum_implies_under(hyp_factors: Sequence[Atom], antecedent: NSum,
+                       consequent: NSum, ambient: Sequence[Atom], ctx: _Ctx,
+                       depth: int) -> bool:
+    """``F, A ⊢ B`` for truncated sums A, B — every disjunct of A yields B."""
+    for p in antecedent.products:
+        combined = list(hyp_factors) + list(p.factors)
+        cc = _build_cc(combined, ambient, ctx)
+        # Route through _entails so nested truncations in the opened
+        # disjunct can themselves be opened (depth-bounded).
+        if not _entails(combined, cc, ASquash(consequent), ambient, ctx,
+                        depth):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Existential instantiation (the paper's Ltac backtracking search)
+# ---------------------------------------------------------------------------
+
+def _sum_entailed(factors: Sequence[Atom], cc: CongruenceClosure,
+                  target: NSum, ambient: Sequence[Atom], ctx: _Ctx,
+                  depth: int) -> bool:
+    """``F ⊢ ‖target‖`` — find a disjunct and a witness instantiation."""
+    ctx.stats.hom_searches += 1
+    pool = _candidate_pool(factors, ambient)
+    for q in target.products:
+        if _instantiate_product(factors, cc, q, pool, ambient, ctx, depth):
+            return True
+    return False
+
+
+def _instantiate_product(factors: Sequence[Atom], cc: CongruenceClosure,
+                         q: NProduct, pool: Dict[Schema, List[Term]],
+                         ambient: Sequence[Atom], ctx: _Ctx,
+                         depth: int) -> bool:
+    """Backtracking search for witnesses of ``Σ q.vars. q.factors``."""
+    variables = list(q.vars)
+
+    def assign(index: int, sub: Substitution) -> bool:
+        if index == len(variables):
+            return all(
+                _entails(factors, cc, atom_subst(f, sub), ambient, ctx,
+                         depth - 1)
+                for f in q.factors)
+        var = variables[index]
+        for candidate in _candidates_for(var.var_schema, pool):
+            sub[var] = candidate
+            if assign(index + 1, sub):
+                return True
+            del sub[var]
+        return False
+
+    return assign(0, {})
+
+
+def implication_witness(source: NProduct, target: NSum,
+                        hyps: Hypotheses = NO_HYPOTHESES
+                        ) -> Optional[Tuple[NProduct, Substitution]]:
+    """Find a witness for ``source ⊢ ‖target‖`` and return it.
+
+    Returns the chosen disjunct of ``target`` and the instantiation of its
+    bound variables by terms over ``source``'s variables — the containment
+    mapping the paper visualizes in Figure 10.  ``None`` when the search
+    fails.
+    """
+    ctx = _Ctx(hyps, ProofStats())
+    factors = list(source.factors)
+    cc = _build_cc(factors, (), ctx)
+    pool = _candidate_pool(factors, ())
+    for q in target.products:
+        witness = _instantiation_witness(factors, cc, q, pool, (), ctx,
+                                         MAX_DEPTH)
+        if witness is not None:
+            return q, witness
+    return None
+
+
+def _instantiation_witness(factors: Sequence[Atom], cc: CongruenceClosure,
+                           q: NProduct, pool: Dict[Schema, List[Term]],
+                           ambient: Sequence[Atom], ctx: _Ctx,
+                           depth: int) -> Optional[Substitution]:
+    variables = list(q.vars)
+
+    def assign(index: int, sub: Substitution) -> Optional[Substitution]:
+        if index == len(variables):
+            ok = all(
+                _entails(factors, cc, atom_subst(f, sub), ambient, ctx,
+                         depth - 1)
+                for f in q.factors)
+            return dict(sub) if ok else None
+        var = variables[index]
+        for candidate in _candidates_for(var.var_schema, pool):
+            sub[var] = candidate
+            found = assign(index + 1, sub)
+            if found is not None:
+                return found
+            del sub[var]
+        return None
+
+    return assign(0, {})
+
+
+def _candidate_pool(factors: Sequence[Atom],
+                    ambient: Sequence[Atom]) -> Dict[Schema, List[Term]]:
+    """Ground terms available as witnesses, grouped by schema."""
+    pool: Dict[Schema, List[Term]] = {}
+
+    def add(term: Term) -> None:
+        for sub in iter_subterms(term):
+            try:
+                schema = sub.schema
+            except TypeError:
+                continue
+            bucket = pool.setdefault(schema, [])
+            if sub not in bucket:
+                bucket.append(sub)
+
+    for f in itertools.chain(factors, ambient):
+        if isinstance(f, ARel):
+            add(f.arg)
+        elif isinstance(f, AEq):
+            add(f.left)
+            add(f.right)
+        elif isinstance(f, APred):
+            for a in f.args:
+                add(a)
+        # Squash/neg contents are not valid witness sources: their variables
+        # are bound strictly inside the truncation.
+    return pool
+
+
+def _candidates_for(schema: Schema, pool: Dict[Schema, List[Term]],
+                    fuel: int = 2) -> Iterator[Term]:
+    """Witness candidates of a given schema, including built pairs."""
+    yielded: set = set()
+    for term in pool.get(schema, ()):
+        if term not in yielded:
+            yielded.add(term)
+            yield term
+    if isinstance(schema, Empty):
+        unit = TUnit()
+        if unit not in yielded:
+            yield unit
+    elif isinstance(schema, Node) and fuel > 0:
+        for left in _candidates_for(schema.left, pool, fuel - 1):
+            for right in _candidates_for(schema.right, pool, fuel - 1):
+                built = TPair(left, right)
+                if built not in yielded:
+                    yielded.add(built)
+                    yield built
+
+
+# ---------------------------------------------------------------------------
+# Equalities that require aggregate congruence (paper Sec. 5.1.2)
+# ---------------------------------------------------------------------------
+
+def _entails_eq_with_aggs(factors: Sequence[Atom], cc: CongruenceClosure,
+                          atom: AEq, ambient: Sequence[Atom], ctx: _Ctx,
+                          depth: int) -> bool:
+    """Try proving ``l = r`` where one side involves an aggregate.
+
+    Looks for aggregate terms in the congruence classes of both sides and
+    compares their bodies as bags, after exporting the clause's equalities
+    into the bodies' ambient context — this is the step "it follows that
+    ``⟦k⟧ t2 = ⟦l⟧`` inside SUM" in the paper's aggregation proof.
+    """
+    left_aggs = _agg_members(cc, atom.left)
+    right_aggs = _agg_members(cc, atom.right)
+    if not left_aggs or not right_aggs:
+        return False
+    inner_ambient = list(ambient) + list(factors)
+    for a1 in left_aggs:
+        for a2 in right_aggs:
+            if _aggs_equal(a1, a2, inner_ambient, ctx, depth - 1):
+                return True
+    return False
+
+
+def _agg_members(cc: CongruenceClosure, term: Term) -> List[TAgg]:
+    members = [m for m in cc.members(term) if isinstance(m, TAgg)]
+    if isinstance(term, TAgg) and term not in members:
+        members.append(term)
+    return members
+
+
+def _aggs_equal(a1: TAgg, a2: TAgg, ambient: Sequence[Atom], ctx: _Ctx,
+                depth: int) -> bool:
+    """Aggregates are equal when their denoted bags are equivalent."""
+    if a1.name != a2.name or a1.ty != a2.ty:
+        return False
+    if depth <= 0:
+        return False
+    ctx.stats.agg_comparisons += 1
+    common = fresh_var(a1.var.var_schema, "a")
+    body1 = subst_uterm(a1.body, {a1.var: common})
+    body2 = subst_uterm(a2.body, {a2.var: common})
+    return _nsum_equiv(normalize(body1), normalize(body2), ambient, ctx,
+                       depth)
+
+
+# ---------------------------------------------------------------------------
+# Absorption (Lemma 5.3) and clause reduction
+# ---------------------------------------------------------------------------
+
+def _absorb(product: NProduct, ambient: Sequence[Atom], ctx: _Ctx,
+            depth: int) -> Optional[NProduct]:
+    """Reduce a clause to a fixpoint; ``None`` marks the empty type.
+
+    Steps, each justified in the module docstring: congruence-derived point
+    elimination, duplicate-prop collapse, Lemma 5.3 drops, keyed-relation
+    deduplication.
+    """
+    vars_list = list(product.vars)
+    factors = list(product.factors)
+    changed = True
+    while changed:
+        changed = False
+        ctx.stats.absorptions += 1
+        cc = _build_cc(factors, ambient, ctx)
+        if cc.contradictory:
+            return None
+
+        # A clause containing both A and (B → 0) with A ⊢ B is empty.
+        for f in factors:
+            if not isinstance(f, ANeg):
+                continue
+            others = [x for x in factors if x is not f] + list(ambient)
+            if _entails(others, cc, ASquash(f.inner), ambient, ctx, depth):
+                return None
+
+        # Reflexive equalities vanish.
+        cleaned = [f for f in factors
+                   if not (isinstance(f, AEq) and f.left == f.right)]
+        if len(cleaned) != len(factors):
+            factors = cleaned
+            changed = True
+            continue
+
+        # Duplicate propositional factors collapse (P × P = P).
+        seen_keys = set()
+        dedup: List[Atom] = []
+        for f in factors:
+            if isinstance(f, (AEq, APred, ASquash, ANeg)):
+                key = atom_alpha_key(f)
+                if key in seen_keys:
+                    changed = True
+                    continue
+                seen_keys.add(key)
+            dedup.append(f)
+        if changed:
+            factors = dedup
+            continue
+
+        # Congruence-derived point elimination (Lemma 5.2 modulo cc): a
+        # bound variable equal to a term not mentioning it gets substituted.
+        for var in vars_list:
+            replacement = _class_replacement(cc, var)
+            if replacement is None:
+                continue
+            vars_list.remove(var)
+            sub = {var: replacement}
+            factors = [atom_subst(f, sub) for f in factors]
+            changed = True
+            break
+        if changed:
+            continue
+
+        # Keyed relations are set-valued: duplicate R-atoms collapse.  The
+        # tuple equality that justified the collapse is recorded as an
+        # explicit factor (it is a prop, so this preserves the value) —
+        # otherwise the derived equality would be lost to later
+        # congruence closures built from the reduced factor set.
+        keyed = ctx.hyps.keyed_relations()
+        for i, f in enumerate(factors):
+            if not isinstance(f, ARel) or f.name not in keyed:
+                continue
+            for j in range(i + 1, len(factors)):
+                g = factors[j]
+                if isinstance(g, ARel) and g.name == f.name \
+                        and cc.equal(f.arg, g.arg):
+                    del factors[j]
+                    if f.arg != g.arg:
+                        factors.append(AEq(f.arg, g.arg))
+                    changed = True
+                    break
+            if changed:
+                break
+        if changed:
+            continue
+
+        # Lemma 5.3: drop propositional factors entailed by the rest.
+        for i, f in enumerate(factors):
+            if not isinstance(f, (AEq, APred, ASquash, ANeg)):
+                continue
+            rest = factors[:i] + factors[i + 1:]
+            rest_cc = _build_cc(rest, ambient, ctx)
+            hyp = list(rest) + list(ambient)
+            if _entails(hyp, rest_cc, f, ambient, ctx, depth):
+                del factors[i]
+                changed = True
+                break
+
+    factors.sort(key=lambda a: (type(a).__name__, str(a)))
+    return NProduct(tuple(vars_list), tuple(factors))
+
+
+def _class_replacement(cc: CongruenceClosure, var: TVar) -> Optional[Term]:
+    """A term provably equal to ``var`` that does not mention it."""
+    try:
+        members = cc.members(var)
+    except KeyError:
+        return None
+    best: Optional[Term] = None
+    for m in members:
+        if m == var or var in term_free_vars(m):
+            continue
+        if best is None or len(str(m)) < len(str(best)):
+            best = m
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Clause and sum equivalence
+# ---------------------------------------------------------------------------
+
+def _products_equal(p1: NProduct, p2: NProduct, ambient: Sequence[Atom],
+                    ctx: _Ctx, depth: int) -> bool:
+    """Bag-level equality of two clauses."""
+    ctx.stats.product_matches += 1
+    a1 = _absorb(p1, ambient, ctx, depth)
+    a2 = _absorb(p2, ambient, ctx, depth)
+    if a1 is None or a2 is None:
+        return a1 is None and a2 is None
+    if sorted(str(v.var_schema) for v in a1.vars) != \
+            sorted(str(v.var_schema) for v in a2.vars):
+        return False
+    for bijection in _var_bijections(a1.vars, a2.vars):
+        renamed = NProduct(
+            tuple(bijection[v] for v in a2.vars),
+            tuple(atom_subst(f, dict(bijection)) for f in a2.factors))
+        if _matched_clause_bodies(a1, renamed, ambient, ctx, depth):
+            return True
+    return False
+
+
+def _var_bijections(vars1: Tuple[TVar, ...], vars2: Tuple[TVar, ...]
+                    ) -> Iterator[Dict[TVar, TVar]]:
+    """All schema-respecting bijections from ``vars2`` onto ``vars1``."""
+    if len(vars1) != len(vars2):
+        return
+    for perm in itertools.permutations(vars1):
+        if all(v2.var_schema == v1.var_schema
+               for v2, v1 in zip(vars2, perm)):
+            yield dict(zip(vars2, perm))
+
+
+def _matched_clause_bodies(a1: NProduct, a2: NProduct,
+                           ambient: Sequence[Atom], ctx: _Ctx,
+                           depth: int) -> bool:
+    """Factor comparison once the variable spaces are identified.
+
+    Relation atoms must match bijectively (they carry multiplicity);
+    propositional factors are compared as blocks by mutual entailment in
+    the presence of the other side's full factor set.
+    """
+    rels1 = [f for f in a1.factors if isinstance(f, ARel)]
+    rels2 = [f for f in a2.factors if isinstance(f, ARel)]
+    if sorted(r.name for r in rels1) != sorted(r.name for r in rels2):
+        return False
+    cc1 = _build_cc(a1.factors, ambient, ctx)
+    cc2 = _build_cc(a2.factors, ambient, ctx)
+    if not _match_rel_multisets(rels1, rels2, cc1, cc2):
+        return False
+    props1 = [f for f in a1.factors if not isinstance(f, ARel)]
+    props2 = [f for f in a2.factors if not isinstance(f, ARel)]
+    hyp1 = list(a1.factors) + list(ambient)
+    hyp2 = list(a2.factors) + list(ambient)
+    return (
+        all(_entails(hyp1, cc1, f, ambient, ctx, depth) for f in props2)
+        and all(_entails(hyp2, cc2, f, ambient, ctx, depth) for f in props1))
+
+
+def _match_rel_multisets(rels1: List[ARel], rels2: List[ARel],
+                         cc1: CongruenceClosure,
+                         cc2: CongruenceClosure) -> bool:
+    """Perfect matching between relation atoms (names + congruent args)."""
+    if len(rels1) != len(rels2):
+        return False
+    remaining = list(rels2)
+
+    def compatible(x: ARel, y: ARel) -> bool:
+        if x.name != y.name:
+            return False
+        if x.arg == y.arg:
+            return True
+        return cc1.equal(x.arg, y.arg) and cc2.equal(x.arg, y.arg)
+
+    def match(index: int) -> bool:
+        if index == len(rels1):
+            return True
+        for j, y in enumerate(remaining):
+            if y is not None and compatible(rels1[index], y):
+                remaining[j] = None
+                if match(index + 1):
+                    return True
+                remaining[j] = y
+        return False
+
+    return match(0)
+
+
+def _nsum_equiv(n1: NSum, n2: NSum, ambient: Sequence[Atom], ctx: _Ctx,
+                depth: int) -> bool:
+    """Bag-level equality of two normal forms: clause bijection."""
+    if depth <= 0:
+        return False
+    # Reduce clauses first so that semantically empty ones (contradictory
+    # equalities, X × ¬X patterns) do not break the bijection count.
+    products1 = [p for p in (_absorb(q, ambient, ctx, depth)
+                             for q in n1.products) if p is not None]
+    products2 = [p for p in (_absorb(q, ambient, ctx, depth)
+                             for q in n2.products) if p is not None]
+    if len(products1) != len(products2):
+        return False
+    remaining: List[Optional[NProduct]] = list(products2)
+
+    def match(index: int) -> bool:
+        if index == len(products1):
+            return True
+        for j, q in enumerate(remaining):
+            if q is not None and _products_equal(products1[index], q,
+                                                 ambient, ctx, depth):
+                remaining[j] = None
+                if match(index + 1):
+                    return True
+                remaining[j] = q
+        return False
+
+    return match(0)
+
+
+def _nsum_iff(n1: NSum, n2: NSum, ambient: Sequence[Atom], ctx: _Ctx,
+              depth: int) -> bool:
+    """Prop-level equivalence ``‖n1‖ = ‖n2‖`` by mutual implication."""
+    return (_sum_implies_under((), n1, n2, ambient, ctx, depth)
+            and _sum_implies_under((), n2, n1, ambient, ctx, depth))
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of an equivalence check, with the effort trace."""
+
+    equal: bool
+    stats: ProofStats
+    lhs_normal: NSum
+    rhs_normal: NSum
+
+
+def check_uterm_equivalence(lhs: UTerm, rhs: UTerm,
+                            hyps: Hypotheses = NO_HYPOTHESES
+                            ) -> EquivalenceResult:
+    """Decide equality of two UniNomial terms (sound, incomplete)."""
+    stats = ProofStats()
+    ctx = _Ctx(hyps, stats)
+    n1 = normalize(lhs)
+    n2 = normalize(rhs)
+    stats.log(f"normalized LHS to {len(n1.products)} clause(s)")
+    stats.log(f"normalized RHS to {len(n2.products)} clause(s)")
+    equal = _nsum_equiv(n1, n2, (), ctx, MAX_DEPTH)
+    stats.log("clause matching " + ("succeeded" if equal else "failed"))
+    return EquivalenceResult(equal=equal, stats=stats, lhs_normal=n1,
+                             rhs_normal=n2)
+
+
+def uterms_equivalent(lhs: UTerm, rhs: UTerm,
+                      hyps: Hypotheses = NO_HYPOTHESES) -> bool:
+    """Boolean shorthand for :func:`check_uterm_equivalence`."""
+    return check_uterm_equivalence(lhs, rhs, hyps).equal
+
+
+def align_denotations(d1, d2):
+    """Rename the second denotation's ``g``/``t`` onto the first's.
+
+    Both denotations must have the same context and output schemas (this is
+    checked); returns the pair of bodies over a shared variable space.
+    """
+    if d1.ctx != d2.ctx:
+        raise ValueError(f"context schemas differ: {d1.ctx} vs {d2.ctx}")
+    if d1.schema != d2.schema:
+        raise ValueError(f"output schemas differ: {d1.schema} vs {d2.schema}")
+    sub = {d2.g: d1.g, d2.t: d1.t}
+    return d1.body, subst_uterm(d2.body, sub)
+
+
+def check_query_equivalence(q1, q2, ctx_schema=None,
+                            hyps: Hypotheses = NO_HYPOTHESES
+                            ) -> EquivalenceResult:
+    """Denote two HoTTSQL queries and decide their equivalence.
+
+    This is the end-to-end entry point reproducing the paper's workflow:
+    denote (Figure 7), normalize (Sec. 3.4 identities + Lemmas 5.1/5.2),
+    then decide (tactics + Ltac-style search).
+    """
+    from .denote import denote_closed
+    from .schema import EMPTY
+
+    ctx_schema = EMPTY if ctx_schema is None else ctx_schema
+    d1 = denote_closed(q1, ctx_schema)
+    d2 = denote_closed(q2, ctx_schema)
+    lhs, rhs = align_denotations(d1, d2)
+    return check_uterm_equivalence(lhs, rhs, hyps)
+
+
+def queries_equivalent(q1, q2, ctx_schema=None,
+                       hyps: Hypotheses = NO_HYPOTHESES) -> bool:
+    """Boolean shorthand for :func:`check_query_equivalence`."""
+    return check_query_equivalence(q1, q2, ctx_schema, hyps).equal

@@ -1,0 +1,208 @@
+"""Concrete interpretation of UniNomial terms.
+
+The library has *two* executable readings of a query:
+
+1. :mod:`repro.engine.eval` evaluates the HoTTSQL syntax tree directly
+   (support-driven, efficient), and
+2. this module evaluates the query's *denotation* — the UniNomial term
+   produced by Figure 7 — literally: ``Σ`` enumerates the tuple space of
+   the bound variable's schema over finite domains, ``×``/``+`` are the
+   semiring operations, ``‖·‖``/``→0`` are truncation and negation.
+
+Agreement between the two on random instances is the strongest executable
+validation of the denotational semantics, and interpreting a term before
+and after :func:`repro.core.normalize.normalize` validates every rewrite
+the normalizer performs.  Both properties are exercised by the test suite
+with hypothesis.
+
+Only concrete schemas can be interpreted (a schema variable has no tuple
+space); generic rule proofs stay on the symbolic side.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ..engine.database import Interpretation
+from ..semiring.semirings import NAT, Semiring
+from .schema import DEFAULT_DOMAINS, enumerate_tuples
+from .uninomial import (
+    TAgg,
+    TApp,
+    TConst,
+    TFst,
+    TPair,
+    TSnd,
+    TUnit,
+    TVar,
+    Term,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    UTerm,
+    UZero,
+    UOne,
+)
+
+#: A variable environment: tuple variables to concrete nested tuples.
+Env = Dict[TVar, Any]
+
+
+class InterpretationError(Exception):
+    """Raised when a term cannot be interpreted concretely."""
+
+
+def _as_count(annot: Any) -> int:
+    """Convert a semiring annotation to an aggregate count (as in the
+    engine's evaluator)."""
+    if isinstance(annot, bool):
+        return 1 if annot else 0
+    if isinstance(annot, int):
+        return annot
+    from ..semiring.cardinal import Cardinal
+    if isinstance(annot, Cardinal):
+        return annot.finite_value()
+    raise InterpretationError(
+        f"cannot aggregate over annotation {annot!r}")
+
+
+def eval_term(term: Term, env: Env, interp: Interpretation,
+              semiring: Semiring = NAT, domains=DEFAULT_DOMAINS) -> Any:
+    """Evaluate a tuple/value term to a concrete nested tuple."""
+    if isinstance(term, TVar):
+        if term not in env:
+            raise InterpretationError(f"unbound variable {term}")
+        return env[term]
+    if isinstance(term, TUnit):
+        return ()
+    if isinstance(term, TPair):
+        return (eval_term(term.left, env, interp, semiring, domains),
+                eval_term(term.right, env, interp, semiring, domains))
+    if isinstance(term, TFst):
+        return eval_term(term.arg, env, interp, semiring, domains)[0]
+    if isinstance(term, TSnd):
+        return eval_term(term.arg, env, interp, semiring, domains)[1]
+    if isinstance(term, TConst):
+        return term.value
+    if isinstance(term, TApp):
+        args = [eval_term(a, env, interp, semiring, domains)
+                for a in term.args]
+        # Denotation produces TApp for projection metavariables (PVar),
+        # expression metavariables (ExprVar), and scalar functions (Func);
+        # resolve in that order against the interpretation.
+        if term.fn in interp.projections and len(args) == 1:
+            return interp.projection(term.fn)(args[0])
+        if term.fn in interp.expressions and len(args) == 1:
+            return interp.expression(term.fn)(args[0])
+        return interp.function(term.fn)(*args)
+    if isinstance(term, TAgg):
+        bag = []
+        for value in enumerate_tuples(term.var.var_schema, domains):
+            inner_env = dict(env)
+            inner_env[term.var] = value
+            annot = eval_uterm(term.body, inner_env, interp, semiring,
+                               domains)
+            count = _as_count(annot)
+            if count:
+                bag.append((value, count))
+        return interp.aggregate(term.name)(bag)
+    raise InterpretationError(f"cannot interpret term {term!r}")
+
+
+def eval_uterm(u: UTerm, env: Env, interp: Interpretation,
+               semiring: Semiring = NAT, domains=DEFAULT_DOMAINS) -> Any:
+    """Evaluate a UniNomial term to a semiring element.
+
+    ``Σ`` is interpreted by enumerating the finite tuple space of the
+    bound variable's (concrete) schema — the literal reading of the
+    paper's infinitary sum on finite domains.
+    """
+    if isinstance(u, UZero):
+        return semiring.zero
+    if isinstance(u, UOne):
+        return semiring.one
+    if isinstance(u, UAdd):
+        return semiring.add(
+            eval_uterm(u.left, env, interp, semiring, domains),
+            eval_uterm(u.right, env, interp, semiring, domains))
+    if isinstance(u, UMul):
+        left = eval_uterm(u.left, env, interp, semiring, domains)
+        if semiring.is_zero(left):
+            return semiring.zero
+        return semiring.mul(
+            left, eval_uterm(u.right, env, interp, semiring, domains))
+    if isinstance(u, USquash):
+        return semiring.squash(
+            eval_uterm(u.arg, env, interp, semiring, domains))
+    if isinstance(u, UNeg):
+        return semiring.negate(
+            eval_uterm(u.arg, env, interp, semiring, domains))
+    if isinstance(u, USum):
+        total = semiring.zero
+        for value in enumerate_tuples(u.var.var_schema, domains):
+            inner_env = dict(env)
+            inner_env[u.var] = value
+            total = semiring.add(
+                total, eval_uterm(u.body, inner_env, interp, semiring,
+                                  domains))
+        return total
+    if isinstance(u, UEq):
+        left = eval_term(u.left, env, interp, semiring, domains)
+        right = eval_term(u.right, env, interp, semiring, domains)
+        return semiring.from_bool(left == right)
+    if isinstance(u, URel):
+        row = eval_term(u.arg, env, interp, semiring, domains)
+        return interp.relation(u.name).annotation(row)
+    if isinstance(u, UPred):
+        args = [eval_term(a, env, interp, semiring, domains)
+                for a in u.args]
+        if len(args) == 1:
+            return semiring.from_bool(bool(interp.predicate(u.name)(args[0])))
+        return semiring.from_bool(bool(interp.predicate(u.name)(*args)))
+    raise InterpretationError(f"cannot interpret UTerm {u!r}")
+
+
+def eval_denotation(denotation, interp: Interpretation,
+                    semiring: Semiring = NAT, domains=DEFAULT_DOMAINS,
+                    extra_tuples=()):
+    """Evaluate a closed denotation to a K-relation over the tuple space.
+
+    The context is empty, so ``g = ()``; the result maps every tuple of
+    the output schema's (finite) space to its interpreted multiplicity.
+
+    ``extra_tuples`` extends the probed output space: computed values
+    (aggregates, arithmetic) can fall outside the base enumeration
+    domain, and callers comparing against the support-driven evaluator
+    should pass its support here.
+    """
+    from ..semiring.krelation import KRelation
+
+    out = KRelation(semiring)
+    probed = set()
+    for value in enumerate_tuples(denotation.schema, domains):
+        probed.add(value)
+        env = {denotation.g: (), denotation.t: value}
+        out.add(value, eval_uterm(denotation.body, env, interp, semiring,
+                                  domains))
+    for value in extra_tuples:
+        if value in probed:
+            continue
+        probed.add(value)
+        env = {denotation.g: (), denotation.t: value}
+        out.add(value, eval_uterm(denotation.body, env, interp, semiring,
+                                  domains))
+    return out
+
+
+__all__ = [
+    "Env",
+    "InterpretationError",
+    "eval_denotation",
+    "eval_term",
+    "eval_uterm",
+]

@@ -1,0 +1,744 @@
+"""Normalization of UniNomial terms into sum-of-products normal form.
+
+The paper's equational proofs (Figures 1 and 2, Sec. 5.1) all follow the
+same plan: denote both sides, then rewrite with the semiring identities of
+Sec. 3.4 plus three lemmas:
+
+* **Lemma 5.1** — Σ over a product type splits into nested Σs
+  (bound *pair variables* split into components),
+* **Lemma 5.2** — ``Σ x. P(x) × (x = s)  =  P(s)``
+  (*point elimination* of a bound variable pinned by an equality),
+* squash laws — ``‖A×B‖ = ‖A‖×‖B‖``, ``‖A×P‖ = ‖A‖×P`` for props P,
+  ``‖n×n‖ = ‖n‖``, ``‖‖A‖‖ = ‖A‖``.
+
+This module performs those rewrites to a fixpoint, producing a structured
+normal form:
+
+    NSum  =  Π₁ + Π₂ + ...                 (a bag union of clauses)
+    NProduct  =  Σ x̄. a₁ × a₂ × ...        (bound vars and atomic factors)
+
+Atoms are relation applications, equalities, uninterpreted predicates, and
+squashed/negated normal forms (for DISTINCT/EXISTS/OR and NOT/EXCEPT).
+The equivalence checker (:mod:`repro.core.equivalence`) then decides
+equality of normal forms by AC matching, congruence closure, and
+homomorphism search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from .schema import Empty, Node
+from .uninomial import (
+    Substitution,
+    TAgg,
+    TConst,
+    TPair,
+    TVar,
+    Term,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UOne,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    UTerm,
+    UZero,
+    fresh_var,
+    subst_term,
+    term_free_vars,
+    tfst,
+    tpair,
+    tsnd,
+    ueq,
+    umul_all,
+    uneg,
+    usquash,
+    usum,
+    uterm_free_vars,
+)
+
+
+# ---------------------------------------------------------------------------
+# Normal-form data structures
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ARel:
+    """Atom ``⟦R⟧ t``."""
+
+    name: str
+    arg: Term
+
+    def __str__(self) -> str:
+        return f"⟦{self.name}⟧ {self.arg}"
+
+
+@dataclass(frozen=True)
+class AEq:
+    """Atom ``(left = right)`` — oriented deterministically."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class APred:
+    """Atom ``⟦b⟧ (args)`` — an uninterpreted proposition."""
+
+    name: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"⟦{self.name}⟧ ({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class ASquash:
+    """Atom ``‖ inner ‖`` — a squashed existential (EXISTS/DISTINCT/OR)."""
+
+    inner: "NSum"
+
+    def __str__(self) -> str:
+        return f"‖{self.inner}‖"
+
+
+@dataclass(frozen=True)
+class ANeg:
+    """Atom ``inner → 0`` (NOT / EXCEPT)."""
+
+    inner: "NSum"
+
+    def __str__(self) -> str:
+        return f"({self.inner} → 0)"
+
+
+Atom = Union[ARel, AEq, APred, ASquash, ANeg]
+
+
+@dataclass(frozen=True)
+class NProduct:
+    """A clause ``Σ vars. factor₁ × factor₂ × ...``."""
+
+    vars: Tuple[TVar, ...]
+    factors: Tuple[Atom, ...]
+
+    @property
+    def is_proposition(self) -> bool:
+        """True iff the clause is certainly 0/1-valued: no Σ, only prop atoms."""
+        return not self.vars and all(_atom_is_prop(a) for a in self.factors)
+
+    @property
+    def is_trivially_one(self) -> bool:
+        """True iff the clause is literally the unit type."""
+        return not self.vars and not self.factors
+
+    def __str__(self) -> str:
+        binder = "".join(f"Σ{v}:{v.var_schema}. " for v in self.vars)
+        if not self.factors:
+            return binder + "1"
+        return binder + " × ".join(str(f) for f in self.factors)
+
+
+@dataclass(frozen=True)
+class NSum:
+    """A bag union of clauses (the empty union is the type 0)."""
+
+    products: Tuple[NProduct, ...]
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.products
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        return " + ".join(f"({p})" for p in self.products)
+
+
+#: The normal form of 0 and of 1.
+NSUM_ZERO = NSum(())
+NPRODUCT_ONE = NProduct((), ())
+NSUM_ONE = NSum((NPRODUCT_ONE,))
+
+
+def _atom_is_prop(atom: Atom) -> bool:
+    return isinstance(atom, (AEq, APred, ASquash, ANeg))
+
+
+# ---------------------------------------------------------------------------
+# Free variables and substitution on normal forms
+# ---------------------------------------------------------------------------
+
+def atom_free_vars(atom: Atom) -> FrozenSet[TVar]:
+    """Free tuple variables of an atom."""
+    if isinstance(atom, ARel):
+        return term_free_vars(atom.arg)
+    if isinstance(atom, AEq):
+        return term_free_vars(atom.left) | term_free_vars(atom.right)
+    if isinstance(atom, APred):
+        out: FrozenSet[TVar] = frozenset()
+        for a in atom.args:
+            out |= term_free_vars(a)
+        return out
+    if isinstance(atom, (ASquash, ANeg)):
+        return nsum_free_vars(atom.inner)
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def product_free_vars(product: NProduct) -> FrozenSet[TVar]:
+    """Free variables of a clause (its own binders removed)."""
+    out: FrozenSet[TVar] = frozenset()
+    for f in product.factors:
+        out |= atom_free_vars(f)
+    return out - frozenset(product.vars)
+
+
+def nsum_free_vars(nsum: NSum) -> FrozenSet[TVar]:
+    """Free variables of a normal form."""
+    out: FrozenSet[TVar] = frozenset()
+    for p in nsum.products:
+        out |= product_free_vars(p)
+    return out
+
+
+def atom_subst(atom: Atom, sub: Substitution) -> Atom:
+    """Capture-avoiding substitution on an atom."""
+    if isinstance(atom, ARel):
+        return ARel(atom.name, subst_term(atom.arg, sub))
+    if isinstance(atom, AEq):
+        return _orient_eq(subst_term(atom.left, sub), subst_term(atom.right, sub))
+    if isinstance(atom, APred):
+        return APred(atom.name, tuple(subst_term(a, sub) for a in atom.args))
+    if isinstance(atom, ASquash):
+        return ASquash(nsum_subst(atom.inner, sub))
+    if isinstance(atom, ANeg):
+        return ANeg(nsum_subst(atom.inner, sub))
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def product_subst(product: NProduct, sub: Substitution) -> NProduct:
+    """Substitute into a clause (binders are globally fresh, so no capture)."""
+    inner = {v: t for v, t in sub.items() if v not in product.vars}
+    if not inner:
+        return product
+    return NProduct(product.vars,
+                    tuple(atom_subst(f, inner) for f in product.factors))
+
+
+def nsum_subst(nsum: NSum, sub: Substitution) -> NSum:
+    """Substitute into a normal form."""
+    if not sub:
+        return nsum
+    return NSum(tuple(product_subst(p, sub) for p in nsum.products))
+
+
+def _orient_eq(left: Term, right: Term) -> AEq:
+    """Store equalities in a deterministic orientation."""
+    if _term_order_key(right) < _term_order_key(left):
+        left, right = right, left
+    return AEq(left, right)
+
+
+def _term_order_key(term: Term) -> Tuple[int, str]:
+    return (0 if isinstance(term, TVar) else 1, str(term))
+
+
+# ---------------------------------------------------------------------------
+# Alpha-equivalence keys
+#
+# Binders are globally fresh, so two alpha-equivalent squash contents are
+# never syntactically equal.  These functions compute canonical keys with
+# positional (de Bruijn-style) labels for bound variables; comparing keys
+# decides alpha-equivalence, which the engine uses for deduplication under
+# truncations (``‖n × n‖ = ‖n‖``) and for matching negation atoms.
+# ---------------------------------------------------------------------------
+
+def term_alpha_key(term: Term, env: Dict[TVar, str] | None = None) -> Tuple:
+    """Canonical structural key of a term under a bound-variable labelling."""
+    env = env or {}
+    if isinstance(term, TVar):
+        return ("var", env.get(term, term.name), str(term.var_schema))
+    from .uninomial import TApp, TFst, TSnd, TUnit
+    if isinstance(term, TUnit):
+        return ("unit",)
+    if isinstance(term, TPair):
+        return ("pair", term_alpha_key(term.left, env),
+                term_alpha_key(term.right, env))
+    if isinstance(term, TFst):
+        return ("fst", term_alpha_key(term.arg, env))
+    if isinstance(term, TSnd):
+        return ("snd", term_alpha_key(term.arg, env))
+    if isinstance(term, TConst):
+        return ("const", term.ty.name, repr(term.value))
+    if isinstance(term, TApp):
+        return ("app", term.fn, str(term.result_schema),
+                tuple(term_alpha_key(a, env) for a in term.args))
+    if isinstance(term, TAgg):
+        inner = dict(env)
+        inner[term.var] = "@agg"
+        return ("agg", term.name, term.ty.name,
+                uterm_alpha_key(term.body, inner))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def uterm_alpha_key(u: UTerm, env: Dict[TVar, str] | None = None) -> Tuple:
+    """Canonical key of a raw UniNomial term (used inside aggregates)."""
+    env = env or {}
+    if isinstance(u, UZero):
+        return ("zero",)
+    if isinstance(u, UOne):
+        return ("one",)
+    if isinstance(u, UAdd):
+        return ("add", uterm_alpha_key(u.left, env), uterm_alpha_key(u.right, env))
+    if isinstance(u, UMul):
+        return ("mul", uterm_alpha_key(u.left, env), uterm_alpha_key(u.right, env))
+    if isinstance(u, USquash):
+        return ("squash", uterm_alpha_key(u.arg, env))
+    if isinstance(u, UNeg):
+        return ("neg", uterm_alpha_key(u.arg, env))
+    if isinstance(u, USum):
+        inner = dict(env)
+        inner[u.var] = f"@{len(env)}"
+        return ("sum", str(u.var.var_schema), uterm_alpha_key(u.body, inner))
+    if isinstance(u, UEq):
+        return ("eq", term_alpha_key(u.left, env), term_alpha_key(u.right, env))
+    if isinstance(u, URel):
+        return ("rel", u.name, term_alpha_key(u.arg, env))
+    if isinstance(u, UPred):
+        return ("pred", u.name, tuple(term_alpha_key(a, env) for a in u.args))
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+def atom_alpha_key(atom: Atom, env: Dict[TVar, str] | None = None) -> Tuple:
+    """Canonical key of a normal-form atom."""
+    env = env or {}
+    if isinstance(atom, ARel):
+        return ("rel", atom.name, term_alpha_key(atom.arg, env))
+    if isinstance(atom, AEq):
+        keys = sorted((term_alpha_key(atom.left, env),
+                       term_alpha_key(atom.right, env)))
+        return ("eq", keys[0], keys[1])
+    if isinstance(atom, APred):
+        return ("pred", atom.name,
+                tuple(term_alpha_key(a, env) for a in atom.args))
+    if isinstance(atom, ASquash):
+        return ("squash", nsum_alpha_key(atom.inner, env))
+    if isinstance(atom, ANeg):
+        return ("negsum", nsum_alpha_key(atom.inner, env))
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def product_alpha_key(product: NProduct,
+                      env: Dict[TVar, str] | None = None) -> Tuple:
+    """Canonical key of a clause: binders become positional labels."""
+    env = dict(env) if env else {}
+    for i, v in enumerate(product.vars):
+        env[v] = f"@{len(env)}.{i}"
+    schemas = tuple(sorted(str(v.var_schema) for v in product.vars))
+    factor_keys = tuple(sorted(atom_alpha_key(f, env) for f in product.factors))
+    return ("product", schemas, factor_keys)
+
+
+def nsum_alpha_key(nsum: NSum, env: Dict[TVar, str] | None = None) -> Tuple:
+    """Canonical key of a normal form (clause order irrelevant)."""
+    return ("nsum", tuple(sorted(product_alpha_key(p, env)
+                                 for p in nsum.products)))
+
+
+def atoms_alpha_equal(a: Atom, b: Atom) -> bool:
+    """Alpha-equivalence of two atoms."""
+    return a is b or atom_alpha_key(a) == atom_alpha_key(b)
+
+
+def nsums_alpha_equal(a: NSum, b: NSum) -> bool:
+    """Alpha-equivalence of two normal forms."""
+    return a is b or nsum_alpha_key(a) == nsum_alpha_key(b)
+
+
+# ---------------------------------------------------------------------------
+# Rebuilding UTerms (for display and for the proof-size metric)
+# ---------------------------------------------------------------------------
+
+def atom_to_uterm(atom: Atom) -> UTerm:
+    """Render an atom back into the UniNomial language."""
+    if isinstance(atom, ARel):
+        return URel(atom.name, atom.arg)
+    if isinstance(atom, AEq):
+        return UEq(atom.left, atom.right)
+    if isinstance(atom, APred):
+        return UPred(atom.name, atom.args)
+    if isinstance(atom, ASquash):
+        return usquash(nsum_to_uterm(atom.inner))
+    if isinstance(atom, ANeg):
+        return uneg(nsum_to_uterm(atom.inner))
+    raise TypeError(f"not an atom: {atom!r}")
+
+
+def product_to_uterm(product: NProduct) -> UTerm:
+    """Render a clause back into the UniNomial language."""
+    body = umul_all([atom_to_uterm(f) for f in product.factors])
+    for var in reversed(product.vars):
+        body = usum(var, body)
+    return body
+
+
+def nsum_to_uterm(nsum: NSum) -> UTerm:
+    """Render a normal form back into the UniNomial language."""
+    if nsum.is_zero:
+        return UZero()
+    result: Optional[UTerm] = None
+    for p in reversed(nsum.products):
+        u = product_to_uterm(p)
+        result = u if result is None else UAdd(u, result)
+    assert result is not None
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The normalizer
+# ---------------------------------------------------------------------------
+
+def normalize(u: UTerm) -> NSum:
+    """Normalize a UniNomial term to sum-of-products normal form."""
+    return _refine_nsum(_translate(u))
+
+
+def _translate(u: UTerm) -> NSum:
+    """Structural translation; distributes × over + and hoists Σ."""
+    if isinstance(u, UZero):
+        return NSUM_ZERO
+    if isinstance(u, UOne):
+        return NSUM_ONE
+    if isinstance(u, UAdd):
+        left = _translate(u.left)
+        right = _translate(u.right)
+        return NSum(left.products + right.products)
+    if isinstance(u, UMul):
+        left = _translate(u.left)
+        right = _translate(u.right)
+        out: List[NProduct] = []
+        for p in left.products:
+            for q in right.products:
+                q2 = _freshen(q)
+                out.append(NProduct(p.vars + q2.vars, p.factors + q2.factors))
+        return NSum(tuple(out))
+    if isinstance(u, USum):
+        inner = _translate(u.body)
+        out = []
+        for p in inner.products:
+            renamed = fresh_var(u.var.var_schema, _hint(u.var))
+            p2 = product_subst(p, {u.var: renamed})
+            out.append(NProduct((renamed,) + p2.vars, p2.factors))
+        return NSum(tuple(out))
+    if isinstance(u, USquash):
+        return _squash_nsum(_translate(u.arg))
+    if isinstance(u, UNeg):
+        return _neg_nsum(_translate(u.arg))
+    if isinstance(u, UEq):
+        factors = _eq_factors(u.left, u.right)
+        if factors is None:
+            return NSUM_ZERO
+        return NSum((NProduct((), tuple(factors)),))
+    if isinstance(u, URel):
+        return NSum((NProduct((), (ARel(u.name, u.arg),)),))
+    if isinstance(u, UPred):
+        return NSum((NProduct((), (APred(u.name, u.args),)),))
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+def _squash_nsum(inner: NSum) -> NSum:
+    """Wrap a normal form in a truncation atom (simplified during refinement)."""
+    return NSum((NProduct((), (ASquash(inner),)),))
+
+
+def _neg_nsum(inner: NSum) -> NSum:
+    """Wrap a normal form in a negation atom (simplified during refinement)."""
+    return NSum((NProduct((), (ANeg(inner),)),))
+
+
+def _hint(var: TVar) -> str:
+    return var.name.split("$")[0]
+
+
+def _freshen(product: NProduct) -> NProduct:
+    """Rename all binders of a clause to globally fresh variables."""
+    if not product.vars:
+        return product
+    sub: Substitution = {}
+    new_vars = []
+    for v in product.vars:
+        nv = fresh_var(v.var_schema, _hint(v))
+        sub[v] = nv
+        new_vars.append(nv)
+    return NProduct(tuple(new_vars),
+                    tuple(atom_subst(f, sub) for f in product.factors))
+
+
+def _eq_factors(left: Term, right: Term) -> Optional[List[Atom]]:
+    """Decompose an equality along the (concrete part of the) schema.
+
+    Returns ``None`` when the equality is refutable (distinct constants),
+    the empty list when it is trivially true, and a list of ``AEq`` atoms
+    otherwise.  Pair-shaped equalities split component-wise:
+    ``((a, b) = t)  =  (a = t.1) × (b = t.2)``.
+    """
+    if left == right:
+        return []
+    schema = left.schema
+    if isinstance(schema, Empty):
+        return []
+    if isinstance(schema, Node) or isinstance(left, TPair) or isinstance(right, TPair):
+        first = _eq_factors(tfst(left), tfst(right))
+        if first is None:
+            return None
+        second = _eq_factors(tsnd(left), tsnd(right))
+        if second is None:
+            return None
+        return first + second
+    if isinstance(left, TConst) and isinstance(right, TConst):
+        return [] if left.value == right.value else None
+    return [_orient_eq(left, right)]
+
+
+# ---------------------------------------------------------------------------
+# Clause refinement: variable splitting, point elimination, squash laws
+# ---------------------------------------------------------------------------
+
+def _refine_nsum(nsum: NSum) -> NSum:
+    out: List[NProduct] = []
+    for p in nsum.products:
+        refined = _refine_product(p)
+        if refined is not None:
+            out.append(refined)
+    return NSum(tuple(out))
+
+
+def _refine_product(product: NProduct) -> Optional[NProduct]:
+    """Apply Lemmas 5.1/5.2 and squash simplification to a fixpoint.
+
+    Returns ``None`` when the clause denotes the empty type.
+    """
+    vars_list = list(product.vars)
+    factors = list(product.factors)
+
+    changed = True
+    while changed:
+        changed = False
+
+        # Lemma 5.1 — split bound pair variables; drop unit variables.
+        for i, var in enumerate(vars_list):
+            schema = var.var_schema
+            if isinstance(schema, Empty):
+                sub = {var: _unit_term()}
+                del vars_list[i]
+                factors = [atom_subst(f, sub) for f in factors]
+                changed = True
+                break
+            if isinstance(schema, Node):
+                v1 = fresh_var(schema.left, _hint(var))
+                v2 = fresh_var(schema.right, _hint(var))
+                sub = {var: tpair(v1, v2)}
+                vars_list[i:i + 1] = [v1, v2]
+                factors = [atom_subst(f, sub) for f in factors]
+                changed = True
+                break
+        if changed:
+            continue
+
+        # Re-decompose equalities whose sides became pairs, detect refutation.
+        new_factors: List[Atom] = []
+        decomposed = False
+        refuted = False
+        for f in factors:
+            if isinstance(f, AEq):
+                pieces = _eq_factors(f.left, f.right)
+                if pieces is None:
+                    refuted = True
+                    break
+                if len(pieces) != 1 or pieces[0] != f:
+                    decomposed = True
+                new_factors.extend(pieces)
+            else:
+                new_factors.append(f)
+        if refuted:
+            return None
+        if decomposed:
+            factors = new_factors
+            changed = True
+            continue
+        factors = new_factors
+
+        # Lemma 5.2 — point elimination of pinned bound variables.
+        eliminated = False
+        for i, f in enumerate(factors):
+            if not isinstance(f, AEq):
+                continue
+            pin = _pinned_var(f, vars_list)
+            if pin is None:
+                continue
+            var, replacement = pin
+            vars_list.remove(var)
+            del factors[i]
+            sub = {var: replacement}
+            factors = [atom_subst(g, sub) for g in factors]
+            eliminated = True
+            break
+        if eliminated:
+            changed = True
+            continue
+
+        # Squash / negation simplification of nested normal forms.
+        simplified, factors_or_none = _simplify_nested(factors)
+        if factors_or_none is None:
+            return None
+        if simplified:
+            factors = factors_or_none
+            changed = True
+            continue
+        factors = factors_or_none
+
+    factors.sort(key=_atom_sort_key)
+    return NProduct(tuple(vars_list), tuple(factors))
+
+
+def _unit_term() -> Term:
+    from .uninomial import TUnit
+    return TUnit()
+
+
+def _pinned_var(atom: AEq, bound: Sequence[TVar]) -> Optional[Tuple[TVar, Term]]:
+    """Find ``x = s`` with x bound and x not free in s (either orientation)."""
+    for var_side, other in ((atom.left, atom.right), (atom.right, atom.left)):
+        if isinstance(var_side, TVar) and var_side in bound \
+                and var_side not in term_free_vars(other):
+            return var_side, other
+    return None
+
+
+def _simplify_nested(factors: List[Atom]) -> Tuple[bool, Optional[List[Atom]]]:
+    """Normalize squashed/negated sub-sums and apply the squash laws.
+
+    Returns ``(changed, new_factors)``; ``new_factors is None`` marks the
+    whole clause as the empty type.
+    """
+    changed = False
+    out: List[Atom] = []
+    for f in factors:
+        if isinstance(f, ASquash):
+            inner = _refine_nsum(_dedup_under_squash(f.inner))
+            if inner.is_zero:
+                return True, None
+            if any(p.is_trivially_one for p in inner.products):
+                changed = True  # ‖1 + ...‖ = 1: the factor vanishes
+                continue
+            pulled, remainder = _pull_props(inner)
+            if pulled:
+                changed = True
+                out.extend(pulled)
+                if remainder is not None:
+                    out.append(ASquash(remainder))
+                continue
+            if inner != f.inner:
+                changed = True
+            out.append(ASquash(inner))
+        elif isinstance(f, ANeg):
+            inner = _refine_nsum(_dedup_under_squash(f.inner))
+            if inner.is_zero:
+                changed = True  # (0 → 0) = 1: the factor vanishes
+                continue
+            if any(p.is_trivially_one for p in inner.products):
+                return True, None  # (1 → 0) = 0
+            if inner != f.inner:
+                changed = True
+            out.append(ANeg(inner))
+        else:
+            out.append(f)
+    return changed, out
+
+
+def _dedup_under_squash(nsum: NSum) -> NSum:
+    """Under ‖·‖ (or → 0), duplicates do not matter: ``‖n × n‖ = ‖n‖``.
+
+    Deduplicates identical factors within each clause and identical clauses
+    within the sum.  Only sound under a truncation, which is the only place
+    this is called.
+    """
+    out_products = []
+    seen_product_keys = set()
+    for p in nsum.products:
+        factor_keys = set()
+        env: Dict[TVar, str] = {}
+        for i, v in enumerate(p.vars):
+            env[v] = f"@{i}"
+        dedup_factors = []
+        for f in p.factors:
+            key = atom_alpha_key(f, env)
+            if key in factor_keys:
+                continue
+            factor_keys.add(key)
+            dedup_factors.append(f)
+        q = NProduct(p.vars, tuple(dedup_factors))
+        q_key = product_alpha_key(q)
+        if q_key not in seen_product_keys:
+            seen_product_keys.add(q_key)
+            out_products.append(q)
+    return NSum(tuple(out_products))
+
+
+def _pull_props(inner: NSum) -> Tuple[List[Atom], Optional[NSum]]:
+    """``‖A × P‖ = ‖A‖ × P`` — hoist prop factors out of a squash.
+
+    Only applies when the squash wraps a single clause with no binders
+    (otherwise the props may mention bound variables).  Returns the hoisted
+    prop atoms and the residual squash content (``None`` when everything was
+    hoisted or the remainder is a lone prop).
+    """
+    if len(inner.products) != 1:
+        return [], inner
+    product = inner.products[0]
+    if product.vars:
+        return [], inner
+    props = [f for f in product.factors if _atom_is_prop(f)]
+    rest = [f for f in product.factors if not _atom_is_prop(f)]
+    if not props:
+        return [], inner
+    if not rest:
+        return props, None
+    return props, NSum((NProduct((), tuple(rest)),))
+
+
+def _atom_sort_key(atom: Atom) -> Tuple[int, str]:
+    order = {ARel: 0, APred: 1, AEq: 2, ASquash: 3, ANeg: 4}
+    return (order[type(atom)], str(atom))
+
+
+__all__ = [
+    "AEq",
+    "ANeg",
+    "APred",
+    "ARel",
+    "ASquash",
+    "Atom",
+    "NProduct",
+    "NSum",
+    "NSUM_ONE",
+    "NSUM_ZERO",
+    "atom_free_vars",
+    "atom_subst",
+    "atom_to_uterm",
+    "normalize",
+    "nsum_free_vars",
+    "nsum_subst",
+    "nsum_to_uterm",
+    "product_free_vars",
+    "product_subst",
+    "product_to_uterm",
+]

@@ -1,0 +1,350 @@
+"""HoTTSQL data model: types, binary-tree schemas, and dependent tuples.
+
+Paper Sec. 3.1 (Figures 3 and 4).  A schema is a binary tree whose leaves
+carry base types; a tuple is a nested pair with exactly the shape of its
+schema.  Attributes are *paths* into the tree (``Left`` / ``Right``
+selectors), which is what lets generic rewrite rules quantify over schemas:
+a rule can mention "some attribute ``p`` of R" without fixing R's shape.
+
+Concretely a tuple of schema
+
+* ``Empty``        is the Python value ``()``
+* ``Leaf τ``       is a Python value of type ``τ``
+* ``Node σ1 σ2``   is a pair ``(t1, t2)`` of tuples of ``σ1`` and ``σ2``
+
+The module also provides :class:`SVar`, a *schema variable*, used by generic
+rewrite rules that must hold for every schema (paper Sec. 3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Base types
+# ---------------------------------------------------------------------------
+
+class _Null:
+    """The SQL NULL marker (paper Sec. 7's three-valued-logic extension).
+
+    A singleton sentinel inhabiting *every* base type; comparable and
+    hashable so it can live inside tuples, but equal only to itself — the
+    3-valued comparison semantics lives in :mod:`repro.sql.three_valued`,
+    not here.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __lt__(self, other) -> bool:
+        return False  # NULLs sort nowhere; engine code never orders them
+
+
+#: The NULL value (Sec. 7).
+NULL = _Null()
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A base SQL type (paper Figure 3: int, bool, string, ...)."""
+
+    name: str
+
+    #: Python types acceptable as constants of this SQL type, keyed by name.
+    _PYTHON_CARRIERS = {
+        "int": (int,),
+        "bool": (bool,),
+        "string": (str,),
+    }
+
+    def validate(self, value: Any) -> bool:
+        """True iff ``value`` is a legal constant of this type.
+
+        NULL inhabits every type (paper Sec. 7).
+        """
+        if value is NULL:
+            return True
+        carriers = self._PYTHON_CARRIERS.get(self.name)
+        if carriers is None:
+            return True  # user-defined base types are unconstrained
+        if self.name == "int" and isinstance(value, bool):
+            return False
+        return isinstance(value, carriers)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The stock base types from Figure 3.
+INT = SQLType("int")
+BOOL = SQLType("bool")
+STRING = SQLType("string")
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+class Schema:
+    """Abstract schema tree node.  Immutable; concrete subclasses below."""
+
+    __slots__ = ()
+
+    @property
+    def is_concrete(self) -> bool:
+        """True iff the schema contains no schema variables."""
+        raise NotImplementedError
+
+    def leaves(self) -> List[Tuple["Path", SQLType]]:
+        """All (path, type) pairs for the leaf attributes, left to right."""
+        out: List[Tuple[Path, SQLType]] = []
+        _collect_leaves(self, (), out)
+        return out
+
+    @property
+    def width(self) -> int:
+        """Number of leaf attributes (concrete schemas only)."""
+        return len(self.leaves())
+
+    def __str__(self) -> str:
+        return schema_to_str(self)
+
+
+@dataclass(frozen=True)
+class Empty(Schema):
+    """The empty schema; its only tuple is the unit tuple ``()``."""
+
+    __slots__ = ()
+
+    @property
+    def is_concrete(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Leaf(Schema):
+    """A single attribute of base type ``ty``."""
+
+    ty: SQLType
+
+    @property
+    def is_concrete(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Node(Schema):
+    """An internal node: the concatenation of two sub-schemas."""
+
+    left: Schema
+    right: Schema
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.left.is_concrete and self.right.is_concrete
+
+
+@dataclass(frozen=True)
+class SVar(Schema):
+    """A schema variable, standing for an arbitrary unknown schema.
+
+    Generic rewrite rules (paper Sec. 3.3) quantify over all schemas; a rule
+    mentioning relation R of schema ``SVar("R")`` holds for every
+    instantiation of that variable.
+    """
+
+    name: str
+
+    @property
+    def is_concrete(self) -> bool:
+        return False
+
+
+#: The empty schema singleton (convenience).
+EMPTY = Empty()
+
+
+def node(*schemas: Schema) -> Schema:
+    """Right-nested concatenation of one or more schemas."""
+    if not schemas:
+        return EMPTY
+    result = schemas[-1]
+    for s in reversed(schemas[:-1]):
+        result = Node(s, result)
+    return result
+
+
+def leaf(ty: SQLType) -> Leaf:
+    """A one-attribute schema of the given base type."""
+    return Leaf(ty)
+
+
+def _collect_leaves(schema: Schema, prefix: Tuple[str, ...],
+                    out: List[Tuple["Path", SQLType]]) -> None:
+    if isinstance(schema, Leaf):
+        out.append((prefix, schema.ty))
+    elif isinstance(schema, Node):
+        _collect_leaves(schema.left, prefix + ("L",), out)
+        _collect_leaves(schema.right, prefix + ("R",), out)
+    elif isinstance(schema, SVar):
+        raise ValueError(f"cannot enumerate leaves of schema variable {schema.name!r}")
+    # Empty contributes nothing.
+
+
+def schema_to_str(schema: Schema) -> str:
+    """Render a schema in the paper's notation."""
+    if isinstance(schema, Empty):
+        return "empty"
+    if isinstance(schema, Leaf):
+        return f"leaf {schema.ty}"
+    if isinstance(schema, Node):
+        return f"(node {schema_to_str(schema.left)} {schema_to_str(schema.right)})"
+    if isinstance(schema, SVar):
+        return f"?{schema.name}"
+    raise TypeError(f"not a schema: {schema!r}")
+
+
+def schemas_equal(a: Schema, b: Schema) -> bool:
+    """Structural schema equality (schema variables match by name only)."""
+    return a == b
+
+
+# ---------------------------------------------------------------------------
+# Paths
+# ---------------------------------------------------------------------------
+
+#: A path into a schema tree: a tuple of "L"/"R" selectors.
+Path = Tuple[str, ...]
+
+
+def subschema(schema: Schema, path: Path) -> Schema:
+    """The sub-schema reached by following ``path``.
+
+    Raises:
+        ValueError: if the path leaves the tree.
+    """
+    current = schema
+    for step in path:
+        if not isinstance(current, Node):
+            raise ValueError(f"path {path} does not fit schema {schema}")
+        current = current.left if step == "L" else current.right
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Tuples (concrete values)
+# ---------------------------------------------------------------------------
+
+def validate_tuple(schema: Schema, value: Any) -> bool:
+    """True iff ``value`` is a well-formed tuple of ``schema``."""
+    if isinstance(schema, Empty):
+        return value == ()
+    if isinstance(schema, Leaf):
+        return schema.ty.validate(value)
+    if isinstance(schema, Node):
+        return (isinstance(value, tuple) and len(value) == 2
+                and validate_tuple(schema.left, value[0])
+                and validate_tuple(schema.right, value[1]))
+    raise ValueError(f"cannot validate tuples of non-concrete schema {schema}")
+
+
+def tuple_get(value: Any, path: Path) -> Any:
+    """Follow a path inside a concrete nested-pair tuple."""
+    current = value
+    for step in path:
+        current = current[0] if step == "L" else current[1]
+    return current
+
+
+def tuple_of(schema: Schema, flat: Sequence[Any]) -> Any:
+    """Build a nested tuple of ``schema`` from a flat attribute list.
+
+    The inverse of :func:`tuple_flatten`; handy for loading test data.
+    """
+    values = list(flat)
+    result, rest = _build_tuple(schema, values)
+    if rest:
+        raise ValueError(f"too many values for schema {schema}: {flat!r}")
+    return result
+
+
+def _build_tuple(schema: Schema, values: List[Any]) -> Tuple[Any, List[Any]]:
+    if isinstance(schema, Empty):
+        return (), values
+    if isinstance(schema, Leaf):
+        if not values:
+            raise ValueError(f"not enough values for schema {schema}")
+        head, rest = values[0], values[1:]
+        if not schema.ty.validate(head):
+            raise ValueError(f"value {head!r} is not of type {schema.ty}")
+        return head, rest
+    if isinstance(schema, Node):
+        left_val, rest = _build_tuple(schema.left, values)
+        right_val, rest = _build_tuple(schema.right, rest)
+        return (left_val, right_val), rest
+    raise ValueError(f"cannot build tuples of non-concrete schema {schema}")
+
+
+def tuple_flatten(schema: Schema, value: Any) -> List[Any]:
+    """Flatten a nested tuple into its left-to-right leaf values."""
+    out: List[Any] = []
+    _flatten_tuple(schema, value, out)
+    return out
+
+
+def _flatten_tuple(schema: Schema, value: Any, out: List[Any]) -> None:
+    if isinstance(schema, Empty):
+        return
+    if isinstance(schema, Leaf):
+        out.append(value)
+        return
+    if isinstance(schema, Node):
+        _flatten_tuple(schema.left, value[0], out)
+        _flatten_tuple(schema.right, value[1], out)
+        return
+    raise ValueError(f"cannot flatten tuples of non-concrete schema {schema}")
+
+
+#: Default finite domains used when enumerating all tuples of a schema
+#: (oracle evaluation on small instances).
+DEFAULT_DOMAINS: Dict[str, Tuple[Any, ...]] = {
+    "int": (0, 1, 2),
+    "bool": (False, True),
+    "string": ("a", "b"),
+}
+
+
+def enumerate_tuples(schema: Schema,
+                     domains: Dict[str, Tuple[Any, ...]] | None = None
+                     ) -> Iterator[Any]:
+    """Yield every tuple of ``schema`` over finite per-type domains.
+
+    Used by the concrete evaluator to interpret the paper's Σ over
+    ``Tuple σ`` when projecting, and by the random-testing falsifier.
+    """
+    domains = domains or DEFAULT_DOMAINS
+    if isinstance(schema, Empty):
+        yield ()
+        return
+    if isinstance(schema, Leaf):
+        if schema.ty.name not in domains:
+            raise ValueError(f"no enumeration domain for type {schema.ty}")
+        yield from domains[schema.ty.name]
+        return
+    if isinstance(schema, Node):
+        left_vals = list(enumerate_tuples(schema.left, domains))
+        right_vals = list(enumerate_tuples(schema.right, domains))
+        for lv, rv in itertools.product(left_vals, right_vals):
+            yield (lv, rv)
+        return
+    raise ValueError(f"cannot enumerate tuples of non-concrete schema {schema}")

@@ -1,0 +1,166 @@
+"""Schema inference and checking for HoTTSQL syntax trees.
+
+Every denotation in paper Figure 7 is indexed by a context schema Γ and an
+output schema σ; this module computes those indices and rejects ill-formed
+trees before denotation.  Schema *variables* participate structurally: they
+are equal only to themselves, which is exactly the "generic rule" discipline
+of paper Sec. 3.3 — a projection metavariable declared on ``SVar("R")`` can
+only be applied to that same schema variable, and explicit casts are required
+to move predicates between contexts.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .schema import EMPTY, Leaf, Node, Schema, SQLType, schemas_equal
+
+
+class TypecheckError(Exception):
+    """Raised when a HoTTSQL tree is not well-formed."""
+
+
+def infer_query(query: ast.Query, ctx: Schema) -> Schema:
+    """Return the output schema of ``query`` in context ``ctx``.
+
+    Implements the schema side of the judgement ``Γ ⊢ q : σ``.
+    """
+    if isinstance(query, ast.Table):
+        return query.schema
+    if isinstance(query, ast.Select):
+        inner = infer_query(query.query, ctx)
+        return infer_projection(query.projection, Node(ctx, inner))
+    if isinstance(query, ast.Product):
+        return Node(infer_query(query.left, ctx), infer_query(query.right, ctx))
+    if isinstance(query, ast.Where):
+        inner = infer_query(query.query, ctx)
+        check_predicate(query.predicate, Node(ctx, inner))
+        return inner
+    if isinstance(query, (ast.UnionAll, ast.Except)):
+        left = infer_query(query.left, ctx)
+        right = infer_query(query.right, ctx)
+        if not schemas_equal(left, right):
+            op = "UNION ALL" if isinstance(query, ast.UnionAll) else "EXCEPT"
+            raise TypecheckError(
+                f"{op} branches have different schemas: {left} vs {right}")
+        return left
+    if isinstance(query, ast.Distinct):
+        return infer_query(query.query, ctx)
+    raise TypecheckError(f"unknown query node: {query!r}")
+
+
+def check_predicate(pred: ast.Predicate, ctx: Schema) -> None:
+    """Check the judgement ``Γ ⊢ b`` for predicates."""
+    if isinstance(pred, ast.PredEq):
+        lt = infer_expression(pred.left, ctx)
+        rt = infer_expression(pred.right, ctx)
+        if lt != rt:
+            raise TypecheckError(f"equality between different types: {lt} = {rt}")
+        return
+    if isinstance(pred, (ast.PredAnd, ast.PredOr)):
+        check_predicate(pred.left, ctx)
+        check_predicate(pred.right, ctx)
+        return
+    if isinstance(pred, ast.PredNot):
+        check_predicate(pred.operand, ctx)
+        return
+    if isinstance(pred, (ast.PredTrue, ast.PredFalse)):
+        return
+    if isinstance(pred, ast.Exists):
+        infer_query(pred.query, ctx)
+        return
+    if isinstance(pred, ast.CastPred):
+        inner_ctx = infer_projection(pred.projection, ctx)
+        check_predicate(pred.predicate, inner_ctx)
+        return
+    if isinstance(pred, ast.PredVar):
+        if not schemas_equal(pred.schema, ctx):
+            raise TypecheckError(
+                f"predicate metavariable {pred.name!r} expects context "
+                f"{pred.schema} but was used in {ctx} "
+                f"(wrap it in CASTPRED to re-scope)")
+        return
+    if isinstance(pred, ast.PredFunc):
+        for arg in pred.args:
+            infer_expression(arg, ctx)
+        return
+    raise TypecheckError(f"unknown predicate node: {pred!r}")
+
+
+def infer_expression(expr: ast.Expression, ctx: Schema) -> SQLType:
+    """Return the base type of ``expr`` in context ``ctx`` (``Γ ⊢ e : τ``)."""
+    if isinstance(expr, ast.P2E):
+        target = infer_projection(expr.projection, ctx)
+        if not isinstance(target, Leaf):
+            raise TypecheckError(
+                f"P2E requires a projection onto a single attribute, "
+                f"got {target}")
+        if target.ty != expr.ty:
+            raise TypecheckError(
+                f"P2E declared type {expr.ty} but projection yields {target.ty}")
+        return expr.ty
+    if isinstance(expr, ast.Const):
+        if not expr.ty.validate(expr.value):
+            raise TypecheckError(f"constant {expr.value!r} is not a {expr.ty}")
+        return expr.ty
+    if isinstance(expr, ast.Func):
+        for arg in expr.args:
+            infer_expression(arg, ctx)
+        return expr.ty
+    if isinstance(expr, ast.Agg):
+        inner = infer_query(expr.query, ctx)
+        if not isinstance(inner, Leaf):
+            raise TypecheckError(
+                f"aggregate {expr.name!r} requires a single-column query, "
+                f"got schema {inner}")
+        return expr.ty
+    if isinstance(expr, ast.CastExpr):
+        inner_ctx = infer_projection(expr.projection, ctx)
+        return infer_expression(expr.expression, inner_ctx)
+    if isinstance(expr, ast.ExprVar):
+        if not schemas_equal(expr.schema, ctx):
+            raise TypecheckError(
+                f"expression metavariable {expr.name!r} expects context "
+                f"{expr.schema} but was used in {ctx} "
+                f"(wrap it in CASTEXPR to re-scope)")
+        return expr.ty
+    raise TypecheckError(f"unknown expression node: {expr!r}")
+
+
+def infer_projection(proj: ast.Projection, source: Schema) -> Schema:
+    """Return the target schema of ``proj`` (``p : Γ ⇒ Γ'``)."""
+    if isinstance(proj, ast.Star):
+        return source
+    if isinstance(proj, ast.LeftP):
+        if not isinstance(source, Node):
+            raise TypecheckError(f"Left applied to non-node schema {source}")
+        return source.left
+    if isinstance(proj, ast.RightP):
+        if not isinstance(source, Node):
+            raise TypecheckError(f"Right applied to non-node schema {source}")
+        return source.right
+    if isinstance(proj, ast.EmptyP):
+        return EMPTY
+    if isinstance(proj, ast.Compose):
+        middle = infer_projection(proj.first, source)
+        return infer_projection(proj.second, middle)
+    if isinstance(proj, ast.Duplicate):
+        return Node(infer_projection(proj.left, source),
+                    infer_projection(proj.right, source))
+    if isinstance(proj, ast.E2P):
+        ty = infer_expression(proj.expression, source)
+        if ty != proj.ty:
+            raise TypecheckError(
+                f"E2P declared type {proj.ty} but expression has type {ty}")
+        return Leaf(proj.ty)
+    if isinstance(proj, ast.PVar):
+        if not schemas_equal(proj.source, source):
+            raise TypecheckError(
+                f"projection metavariable {proj.name!r} expects source "
+                f"{proj.source} but was applied to {source}")
+        return proj.target
+    raise TypecheckError(f"unknown projection node: {proj!r}")
+
+
+def well_formed_query(query: ast.Query, ctx: Schema = EMPTY) -> Schema:
+    """Typecheck a top-level query; returns its schema or raises."""
+    return infer_query(query, ctx)

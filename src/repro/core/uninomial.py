@@ -1,0 +1,636 @@
+"""UniNomial — the symbolic algebra of univalent types (paper Definition 3.1).
+
+HoTTSQL queries denote expressions over
+``(U, 0, 1, +, ×, ·→0, ‖·‖, Σ)``.  In the Coq artifact these are honest
+homotopy types; here they are *symbolic terms* manipulated by the proof
+engine, which implements exactly the equational theory the paper's proofs
+use (semiring laws, squash laws, Lemmas 5.1–5.3, congruence, homomorphism
+instantiation).
+
+Two term sorts:
+
+* :class:`Term` — **tuple/value terms**: variables, pairing and projections
+  (the nested-pair tuples of Sec. 3.1), constants, uninterpreted function
+  applications (scalar functions, projection/expression metavariables), and
+  aggregates (whose argument is a U-valued function, Sec. 4.2).
+* :class:`UTerm` — **univalent-type terms**: the UniNomial operations plus
+  the atoms produced by denotation — relation applications ``⟦R⟧ t``,
+  equalities ``(t1 = t2)``, and uninterpreted predicates ``⟦b⟧ g``.
+
+Smart constructors (:func:`umul`, :func:`usquash`, ...) apply the always-safe
+local laws eagerly; the heavy rewriting lives in
+:mod:`repro.core.normalize`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as PyTuple
+
+from .schema import EMPTY, Leaf, Node, Schema, SQLType
+
+
+# ---------------------------------------------------------------------------
+# Tuple / value terms
+# ---------------------------------------------------------------------------
+
+class Term:
+    """Base class of tuple-and-scalar terms."""
+
+    __slots__ = ()
+
+    @property
+    def schema(self) -> Schema:
+        """The schema of the tuple this term denotes."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TVar(Term):
+    """A tuple variable of a known schema."""
+
+    name: str
+    var_schema: Schema
+
+    @property
+    def schema(self) -> Schema:
+        return self.var_schema
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TUnit(Term):
+    """The unit tuple (the only inhabitant of the empty schema)."""
+
+    @property
+    def schema(self) -> Schema:
+        return EMPTY
+
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True)
+class TPair(Term):
+    """Tuple pairing: ``(left, right)`` of schema ``node σl σr``."""
+
+    left: Term
+    right: Term
+
+    @property
+    def schema(self) -> Schema:
+        return Node(self.left.schema, self.right.schema)
+
+    def __str__(self) -> str:
+        return f"({self.left}, {self.right})"
+
+
+@dataclass(frozen=True)
+class TFst(Term):
+    """First projection ``t.1``."""
+
+    arg: Term
+
+    @property
+    def schema(self) -> Schema:
+        s = self.arg.schema
+        if isinstance(s, Node):
+            return s.left
+        raise TypeError(f"TFst of non-node schema {s}")
+
+    def __str__(self) -> str:
+        return f"{self.arg}.1"
+
+
+@dataclass(frozen=True)
+class TSnd(Term):
+    """Second projection ``t.2``."""
+
+    arg: Term
+
+    @property
+    def schema(self) -> Schema:
+        s = self.arg.schema
+        if isinstance(s, Node):
+            return s.right
+        raise TypeError(f"TSnd of non-node schema {s}")
+
+    def __str__(self) -> str:
+        return f"{self.arg}.2"
+
+
+@dataclass(frozen=True)
+class TConst(Term):
+    """A scalar literal, viewed as a tuple of a ``Leaf`` schema."""
+
+    value: object
+    ty: SQLType
+
+    @property
+    def schema(self) -> Schema:
+        return Leaf(self.ty)
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class TApp(Term):
+    """An uninterpreted function symbol applied to terms.
+
+    Covers three syntactic citizens after denotation: scalar function
+    symbols ``f(e...)``, projection metavariables ``⟦p⟧ g``, and expression
+    metavariables ``⟦e⟧ g``.  The prover reasons about them purely by
+    congruence, which is exactly their "uninterpreted" semantics in the
+    paper.
+    """
+
+    fn: str
+    args: PyTuple[Term, ...]
+    result_schema: Schema
+
+    @property
+    def schema(self) -> Schema:
+        return self.result_schema
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"{self.fn}({rendered})"
+
+
+@dataclass(frozen=True)
+class TAgg(Term):
+    """An aggregate ``agg(λ x. body)`` over a denoted single-column query.
+
+    ``body`` is a :class:`UTerm` with ``var`` bound — the K-relation the
+    aggregated subquery denotes (paper Sec. 4.2).  Aggregates are congruent:
+    equal relation arguments give equal aggregate values.
+    """
+
+    name: str
+    var: TVar
+    body: "UTerm"
+    ty: SQLType
+
+    @property
+    def schema(self) -> Schema:
+        return Leaf(self.ty)
+
+    def __str__(self) -> str:
+        return f"{self.name}(λ{self.var}. {self.body})"
+
+
+# ---------------------------------------------------------------------------
+# UniNomial terms
+# ---------------------------------------------------------------------------
+
+class UTerm:
+    """Base class of univalent-type (UniNomial) terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class UZero(UTerm):
+    """The empty type ``0``."""
+
+    def __str__(self) -> str:
+        return "0"
+
+
+@dataclass(frozen=True)
+class UOne(UTerm):
+    """The unit type ``1``."""
+
+    def __str__(self) -> str:
+        return "1"
+
+
+@dataclass(frozen=True)
+class UAdd(UTerm):
+    """Direct sum ``a + b``."""
+
+    left: UTerm
+    right: UTerm
+
+    def __str__(self) -> str:
+        return f"({self.left} + {self.right})"
+
+
+@dataclass(frozen=True)
+class UMul(UTerm):
+    """Cartesian product ``a × b``."""
+
+    left: UTerm
+    right: UTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} × {self.right}"
+
+
+@dataclass(frozen=True)
+class USquash(UTerm):
+    """Propositional truncation ``‖a‖``."""
+
+    arg: UTerm
+
+    def __str__(self) -> str:
+        return f"‖{self.arg}‖"
+
+
+@dataclass(frozen=True)
+class UNeg(UTerm):
+    """The function type ``a → 0`` (negation of the truncation)."""
+
+    arg: UTerm
+
+    def __str__(self) -> str:
+        return f"({self.arg} → 0)"
+
+
+@dataclass(frozen=True)
+class USum(UTerm):
+    """The infinitary sum ``Σ_{var : Tuple σ} body``."""
+
+    var: TVar
+    body: UTerm
+
+    def __str__(self) -> str:
+        return f"Σ {self.var}:{self.var.var_schema}. ({self.body})"
+
+
+@dataclass(frozen=True)
+class UEq(UTerm):
+    """The equality type ``(left = right)`` of two tuple terms — a prop."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class URel(UTerm):
+    """Application of a relation (metavariable or table) to a tuple: ``⟦R⟧ t``."""
+
+    name: str
+    arg: Term
+
+    def __str__(self) -> str:
+        return f"⟦{self.name}⟧ {self.arg}"
+
+
+@dataclass(frozen=True)
+class UPred(UTerm):
+    """Application of an uninterpreted predicate to terms: ``⟦b⟧ (t...)``."""
+
+    name: str
+    args: PyTuple[Term, ...]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(a) for a in self.args)
+        return f"⟦{self.name}⟧ ({rendered})"
+
+
+#: Shared atoms.
+ZERO = UZero()
+ONE = UOne()
+UNIT = TUnit()
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors — the always-safe local laws
+# ---------------------------------------------------------------------------
+
+def tfst(t: Term) -> Term:
+    """``t.1`` with beta reduction on explicit pairs."""
+    if isinstance(t, TPair):
+        return t.left
+    return TFst(t)
+
+
+def tsnd(t: Term) -> Term:
+    """``t.2`` with beta reduction on explicit pairs."""
+    if isinstance(t, TPair):
+        return t.right
+    return TSnd(t)
+
+
+def tpair(left: Term, right: Term) -> Term:
+    """Pairing with surjective-pairing (eta) contraction."""
+    if isinstance(left, TFst) and isinstance(right, TSnd) and left.arg == right.arg:
+        return left.arg
+    return TPair(left, right)
+
+
+def uadd(left: UTerm, right: UTerm) -> UTerm:
+    """Sum with unit laws."""
+    if isinstance(left, UZero):
+        return right
+    if isinstance(right, UZero):
+        return left
+    return UAdd(left, right)
+
+
+def umul(left: UTerm, right: UTerm) -> UTerm:
+    """Product with unit and annihilation laws."""
+    if isinstance(left, UZero) or isinstance(right, UZero):
+        return ZERO
+    if isinstance(left, UOne):
+        return right
+    if isinstance(right, UOne):
+        return left
+    return UMul(left, right)
+
+
+def is_prop(u: UTerm) -> bool:
+    """Syntactic check: is ``u`` certainly a proposition (0-or-1 valued)?
+
+    Propositions are closed under products; sums and relation applications
+    are generally not propositions.
+    """
+    if isinstance(u, (UZero, UOne, UEq, UPred, USquash, UNeg)):
+        return True
+    if isinstance(u, UMul):
+        return is_prop(u.left) and is_prop(u.right)
+    return False
+
+
+def usquash(u: UTerm) -> UTerm:
+    """Truncation with the idempotence/prop laws of Sec. 3.4."""
+    if is_prop(u):
+        return u
+    if isinstance(u, USquash):
+        return u
+    return USquash(u)
+
+
+def uneg(u: UTerm) -> UTerm:
+    """Negation ``u → 0``, with double-negation = truncation for props."""
+    if isinstance(u, UZero):
+        return ONE
+    if isinstance(u, UOne):
+        return ZERO
+    if isinstance(u, UNeg):
+        # (u → 0) → 0 is by definition the truncation ‖u‖.
+        return usquash(u.arg)
+    if isinstance(u, USquash):
+        # ‖u‖ → 0 and u → 0 are equivalent props.
+        return UNeg(u.arg)
+    return UNeg(u)
+
+
+def usum(var: TVar, body: UTerm) -> UTerm:
+    """Σ with the empty-body law."""
+    if isinstance(body, UZero):
+        return ZERO
+    return USum(var, body)
+
+
+def ueq(left: Term, right: Term) -> UTerm:
+    """Equality type with reflexivity and constant-disagreement laws."""
+    if left == right:
+        return ONE
+    if isinstance(left, TConst) and isinstance(right, TConst):
+        return ONE if left.value == right.value else ZERO
+    return UEq(left, right)
+
+
+def umul_all(factors: List[UTerm]) -> UTerm:
+    """Right-nested product of a factor list."""
+    result: UTerm = ONE
+    for f in reversed(factors):
+        result = umul(f, result)
+    return result
+
+
+def uadd_all(terms: List[UTerm]) -> UTerm:
+    """Right-nested sum of a summand list."""
+    result: UTerm = ZERO
+    for t in reversed(terms):
+        result = uadd(t, result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fresh variables, free variables, substitution
+# ---------------------------------------------------------------------------
+
+class _FreshCounter:
+    """Process-wide counter for fresh variable names (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._count = itertools.count()
+        self._lock = threading.Lock()
+
+    def next_name(self, hint: str) -> str:
+        with self._lock:
+            return f"{hint}${next(self._count)}"
+
+
+_FRESH = _FreshCounter()
+
+
+def fresh_var(schema: Schema, hint: str = "t") -> TVar:
+    """A tuple variable with a globally fresh name."""
+    return TVar(_FRESH.next_name(hint), schema)
+
+
+def term_free_vars(t: Term) -> FrozenSet[TVar]:
+    """Free tuple variables of a tuple term."""
+    if isinstance(t, TVar):
+        return frozenset({t})
+    if isinstance(t, (TUnit, TConst)):
+        return frozenset()
+    if isinstance(t, TPair):
+        return term_free_vars(t.left) | term_free_vars(t.right)
+    if isinstance(t, (TFst, TSnd)):
+        return term_free_vars(t.arg)
+    if isinstance(t, TApp):
+        out: FrozenSet[TVar] = frozenset()
+        for a in t.args:
+            out |= term_free_vars(a)
+        return out
+    if isinstance(t, TAgg):
+        return uterm_free_vars(t.body) - {t.var}
+    raise TypeError(f"not a term: {t!r}")
+
+
+def uterm_free_vars(u: UTerm) -> FrozenSet[TVar]:
+    """Free tuple variables of a UniNomial term."""
+    if isinstance(u, (UZero, UOne)):
+        return frozenset()
+    if isinstance(u, (UAdd, UMul)):
+        return uterm_free_vars(u.left) | uterm_free_vars(u.right)
+    if isinstance(u, (USquash, UNeg)):
+        return uterm_free_vars(u.arg)
+    if isinstance(u, USum):
+        return uterm_free_vars(u.body) - {u.var}
+    if isinstance(u, UEq):
+        return term_free_vars(u.left) | term_free_vars(u.right)
+    if isinstance(u, URel):
+        return term_free_vars(u.arg)
+    if isinstance(u, UPred):
+        out: FrozenSet[TVar] = frozenset()
+        for a in u.args:
+            out |= term_free_vars(a)
+        return out
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+Substitution = Dict[TVar, Term]
+
+
+def subst_term(t: Term, sub: Substitution) -> Term:
+    """Capture-avoiding substitution on tuple terms."""
+    if not sub:
+        return t
+    if isinstance(t, TVar):
+        return sub.get(t, t)
+    if isinstance(t, (TUnit, TConst)):
+        return t
+    if isinstance(t, TPair):
+        return tpair(subst_term(t.left, sub), subst_term(t.right, sub))
+    if isinstance(t, TFst):
+        return tfst(subst_term(t.arg, sub))
+    if isinstance(t, TSnd):
+        return tsnd(subst_term(t.arg, sub))
+    if isinstance(t, TApp):
+        return TApp(t.fn, tuple(subst_term(a, sub) for a in t.args),
+                    t.result_schema)
+    if isinstance(t, TAgg):
+        inner_sub, var = _avoid_capture(t.var, sub)
+        return TAgg(t.name, var, subst_uterm(t.body, inner_sub), t.ty)
+    raise TypeError(f"not a term: {t!r}")
+
+
+def subst_uterm(u: UTerm, sub: Substitution) -> UTerm:
+    """Capture-avoiding substitution on UniNomial terms."""
+    if not sub:
+        return u
+    if isinstance(u, (UZero, UOne)):
+        return u
+    if isinstance(u, UAdd):
+        return uadd(subst_uterm(u.left, sub), subst_uterm(u.right, sub))
+    if isinstance(u, UMul):
+        return umul(subst_uterm(u.left, sub), subst_uterm(u.right, sub))
+    if isinstance(u, USquash):
+        return usquash(subst_uterm(u.arg, sub))
+    if isinstance(u, UNeg):
+        return uneg(subst_uterm(u.arg, sub))
+    if isinstance(u, USum):
+        inner_sub, var = _avoid_capture(u.var, sub)
+        return usum(var, subst_uterm(u.body, inner_sub))
+    if isinstance(u, UEq):
+        return ueq(subst_term(u.left, sub), subst_term(u.right, sub))
+    if isinstance(u, URel):
+        return URel(u.name, subst_term(u.arg, sub))
+    if isinstance(u, UPred):
+        return UPred(u.name, tuple(subst_term(a, sub) for a in u.args))
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+def _avoid_capture(bound: TVar, sub: Substitution) -> PyTuple[Substitution, TVar]:
+    """Drop shadowed bindings and rename the binder when capture threatens."""
+    inner = {v: t for v, t in sub.items() if v != bound}
+    if not inner:
+        return inner, bound
+    clash = any(bound in term_free_vars(t) for t in inner.values())
+    if clash:
+        renamed = fresh_var(bound.var_schema, bound.name.split("$")[0])
+        inner[bound] = renamed
+        return inner, renamed
+    return inner, bound
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+def iter_subterms(t: Term) -> Iterator[Term]:
+    """Yield ``t`` and all its sub-terms (not descending into TAgg bodies)."""
+    yield t
+    if isinstance(t, TPair):
+        yield from iter_subterms(t.left)
+        yield from iter_subterms(t.right)
+    elif isinstance(t, (TFst, TSnd)):
+        yield from iter_subterms(t.arg)
+    elif isinstance(t, TApp):
+        for a in t.args:
+            yield from iter_subterms(a)
+
+
+def rel_names(u: UTerm) -> FrozenSet[str]:
+    """Names of all relations applied anywhere in ``u``."""
+    if isinstance(u, URel):
+        names = frozenset({u.name}) | _rel_names_term(u.arg)
+        return names
+    if isinstance(u, (UZero, UOne)):
+        return frozenset()
+    if isinstance(u, (UAdd, UMul)):
+        return rel_names(u.left) | rel_names(u.right)
+    if isinstance(u, (USquash, UNeg)):
+        return rel_names(u.arg)
+    if isinstance(u, USum):
+        return rel_names(u.body)
+    if isinstance(u, UEq):
+        return _rel_names_term(u.left) | _rel_names_term(u.right)
+    if isinstance(u, UPred):
+        out: FrozenSet[str] = frozenset()
+        for a in u.args:
+            out |= _rel_names_term(a)
+        return out
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+def _rel_names_term(t: Term) -> FrozenSet[str]:
+    if isinstance(t, TAgg):
+        return rel_names(t.body)
+    if isinstance(t, TPair):
+        return _rel_names_term(t.left) | _rel_names_term(t.right)
+    if isinstance(t, (TFst, TSnd)):
+        return _rel_names_term(t.arg)
+    if isinstance(t, TApp):
+        out: FrozenSet[str] = frozenset()
+        for a in t.args:
+            out |= _rel_names_term(a)
+        return out
+    return frozenset()
+
+
+def uterm_size(u: UTerm) -> int:
+    """Node count of a UniNomial term — the proof-effort metric for Fig. 8."""
+    if isinstance(u, (UZero, UOne)):
+        return 1
+    if isinstance(u, (UAdd, UMul)):
+        return 1 + uterm_size(u.left) + uterm_size(u.right)
+    if isinstance(u, (USquash, UNeg)):
+        return 1 + uterm_size(u.arg)
+    if isinstance(u, USum):
+        return 1 + uterm_size(u.body)
+    if isinstance(u, UEq):
+        return 1 + _term_size(u.left) + _term_size(u.right)
+    if isinstance(u, URel):
+        return 1 + _term_size(u.arg)
+    if isinstance(u, UPred):
+        return 1 + sum(_term_size(a) for a in u.args)
+    raise TypeError(f"not a UTerm: {u!r}")
+
+
+def _term_size(t: Term) -> int:
+    if isinstance(t, (TVar, TUnit, TConst)):
+        return 1
+    if isinstance(t, TPair):
+        return 1 + _term_size(t.left) + _term_size(t.right)
+    if isinstance(t, (TFst, TSnd)):
+        return 1 + _term_size(t.arg)
+    if isinstance(t, TApp):
+        return 1 + sum(_term_size(a) for a in t.args)
+    if isinstance(t, TAgg):
+        return 1 + uterm_size(t.body)
+    raise TypeError(f"not a term: {t!r}")

@@ -1,0 +1,73 @@
+"""Concrete evaluation engine: databases, Figure-7 evaluator, oracles."""
+
+from .constraints import (
+    build_index,
+    index_query,
+    key_characterization_queries,
+    satisfies_fd,
+    satisfies_key,
+)
+from .database import (
+    DEFAULT_AGGREGATES,
+    DEFAULT_FUNCTIONS,
+    DEFAULT_PREDICATES,
+    Database,
+    Interpretation,
+)
+from .eval import (
+    EvaluationError,
+    eval_expression,
+    eval_predicate,
+    eval_projection,
+    eval_query,
+    relations_equal,
+    run_query,
+)
+from .listsem import bags_equal, eval_query_list, sets_equal
+from .random_instances import (
+    Counterexample,
+    agreement_rate,
+    deterministic_expression,
+    deterministic_predicate,
+    find_counterexample,
+    path_projection,
+    random_keyed_relation,
+    random_leaf_path,
+    random_relation,
+    random_tuple,
+    random_value,
+)
+
+__all__ = [
+    "Counterexample",
+    "Database",
+    "DEFAULT_AGGREGATES",
+    "DEFAULT_FUNCTIONS",
+    "DEFAULT_PREDICATES",
+    "EvaluationError",
+    "Interpretation",
+    "agreement_rate",
+    "bags_equal",
+    "build_index",
+    "deterministic_expression",
+    "deterministic_predicate",
+    "eval_expression",
+    "eval_predicate",
+    "eval_projection",
+    "eval_query",
+    "eval_query_list",
+    "find_counterexample",
+    "index_query",
+    "key_characterization_queries",
+    "path_projection",
+    "random_keyed_relation",
+    "random_leaf_path",
+    "random_relation",
+    "random_tuple",
+    "random_value",
+    "relations_equal",
+    "run_query",
+    "satisfies_fd",
+    "satisfies_key",
+    "sets_equal",
+]

@@ -1,0 +1,92 @@
+"""Integrity constraints on concrete instances (paper Sec. 4.2).
+
+The paper encodes keys, functional dependencies, and indexes *inside*
+HoTTSQL: a key is a self-join equation, an FD reduces to a key of a
+projection, and an index is a query (``SELECT k, a FROM R``).  This module
+provides the concrete counterparts used by the oracle and the examples:
+
+* checking whether an instance satisfies a key / FD,
+* building the index relation for an instance,
+* the HoTTSQL *queries* expressing the paper's definitions, so tests can
+  confirm the semantic characterizations (e.g. ``key k R`` holds iff R
+  equals its de-duplicated self-join on k).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..core import ast
+from ..core.schema import Schema
+from ..semiring.krelation import KRelation
+
+
+def satisfies_key(rel: KRelation, key_fn: Callable[[Any], Any]) -> bool:
+    """Does ``key_fn`` assign distinct values to distinct rows, each once?
+
+    Per the paper's semantic definition, a key forces the relation to be
+    set-valued (every multiplicity ≤ 1) *and* key values to be unique.
+    """
+    seen: Dict[Any, Any] = {}
+    for row, annot in rel.items():
+        count = annot if isinstance(annot, int) else (1 if annot else 0)
+        if count > 1:
+            return False
+        value = key_fn(row)
+        if value in seen and seen[value] != row:
+            return False
+        seen[value] = row
+    return True
+
+
+def satisfies_fd(rel: KRelation, source_fn: Callable[[Any], Any],
+                 target_fn: Callable[[Any], Any]) -> bool:
+    """Does ``source → target`` hold on the instance?"""
+    mapping: Dict[Any, Any] = {}
+    for row, _ in rel.items():
+        src = source_fn(row)
+        tgt = target_fn(row)
+        if src in mapping and mapping[src] != tgt:
+            return False
+        mapping[src] = tgt
+    return True
+
+
+def build_index(rel: KRelation, key_fn: Callable[[Any], Any],
+                attr_fn: Callable[[Any], Any]) -> KRelation:
+    """The index relation ``SELECT k, a FROM R`` (paper Sec. 4.2).
+
+    An index is a *logical relation* pairing each row's key with its
+    indexed attribute (Tsatalos et al., VLDB 1994).
+    """
+    out = KRelation(rel.semiring)
+    for row, annot in rel.items():
+        out.add((key_fn(row), attr_fn(row)), annot)
+    return out
+
+
+def key_characterization_queries(table: ast.Table, key: ast.Projection,
+                                 key_ty) -> tuple:
+    """The two sides of the paper's semantic key definition.
+
+    ``key k R`` holds iff ``SELECT * FROM R`` equals
+    ``SELECT Left.* FROM R, R WHERE k(Right.Left) = k(Right.Right)``.
+    Returns the two queries; tests evaluate both on instances.
+    """
+    self_join = ast.Select(
+        ast.Compose(ast.RIGHT, ast.LEFT),
+        ast.Where(
+            ast.Product(table, table),
+            ast.PredEq(
+                ast.P2E(ast.path(ast.RIGHT, ast.LEFT, key), key_ty),
+                ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, key), key_ty))))
+    plain = ast.Select(ast.RIGHT, table)
+    return plain, self_join
+
+
+def index_query(table: ast.Table, key: ast.Projection, key_ty,
+                attr: ast.Projection, attr_ty) -> ast.Query:
+    """The HoTTSQL definition of an index: ``SELECT k, a FROM R``."""
+    return ast.Select(
+        ast.Duplicate(ast.Compose(ast.RIGHT, key), ast.Compose(ast.RIGHT, attr)),
+        table)

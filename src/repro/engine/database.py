@@ -1,0 +1,240 @@
+"""Database instances and interpretations for concrete evaluation.
+
+The symbolic side of the library proves rewrite rules for *all* relations,
+predicates, and attributes.  The concrete side — this package — evaluates
+HoTTSQL queries on actual instances, which serves two purposes:
+
+1. it is the **executable semantics** of the paper's Figure 7 (evaluation
+   over an arbitrary commutative semiring), and
+2. it is the **testing oracle**: every rule the prover accepts is
+   re-checked on randomized instances, and every known-unsound optimizer
+   rewrite is refuted by a concrete counterexample.
+
+An :class:`Interpretation` closes a query over its metavariables: it maps
+table names to K-relations, predicate/projection/expression metavariables
+to Python callables, and function/aggregate symbols to implementations.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.schema import Schema, tuple_of
+from ..semiring.krelation import KRelation
+from ..semiring.semirings import NAT, Semiring
+
+#: A bag presented to an aggregate: (value, multiplicity) pairs.
+Bag = List[Tuple[Any, int]]
+
+
+def _agg_sum(bag: Bag) -> Any:
+    return sum(value * count for value, count in bag)
+
+
+def _agg_count(bag: Bag) -> int:
+    return sum(count for _, count in bag)
+
+
+def _agg_avg(bag: Bag) -> Any:
+    total = sum(count for _, count in bag)
+    if total == 0:
+        return 0
+    return Fraction(_agg_sum(bag), total)
+
+
+def _agg_max(bag: Bag) -> Any:
+    values = [value for value, count in bag if count > 0]
+    return max(values) if values else 0
+
+
+def _agg_min(bag: Bag) -> Any:
+    values = [value for value, count in bag if count > 0]
+    return min(values) if values else 0
+
+
+#: Aggregate implementations (paper Sec. 4.2 treats ``agg`` as a function
+#: from a single-column relation to a value).
+DEFAULT_AGGREGATES: Dict[str, Callable[[Bag], Any]] = {
+    "SUM": _agg_sum,
+    "COUNT": _agg_count,
+    "AVG": _agg_avg,
+    "MAX": _agg_max,
+    "MIN": _agg_min,
+}
+
+#: Scalar function symbols usable in :class:`~repro.core.ast.Func`.
+DEFAULT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "add": operator.add,
+    "sub": operator.sub,
+    "mul": operator.mul,
+    "neg": operator.neg,
+    "mod": operator.mod,
+    "abs": abs,
+}
+
+#: Comparison symbols usable in :class:`~repro.core.ast.PredFunc`.
+DEFAULT_PREDICATES: Dict[str, Callable[..., bool]] = {
+    "lt": operator.lt,
+    "le": operator.le,
+    "gt": operator.gt,
+    "ge": operator.ge,
+    "neq": operator.ne,
+}
+
+
+@dataclass
+class Interpretation:
+    """Everything needed to evaluate a (possibly generic) query.
+
+    Attributes:
+        relations: table name → K-relation instance.
+        schemas: table name → concrete schema (used by loaders/validators).
+        predicates: metavariable/symbol name → callable returning bool.
+            Used for both ``PredVar`` (applied to the context tuple) and
+            ``PredFunc`` (applied to evaluated argument values).
+        projections: ``PVar`` name → callable from tuple value to tuple value.
+        expressions: ``ExprVar`` name → callable from context tuple to value.
+        functions: scalar function symbol → callable.
+        aggregates: aggregate symbol → callable on a bag.
+    """
+
+    relations: Dict[str, KRelation] = field(default_factory=dict)
+    schemas: Dict[str, Schema] = field(default_factory=dict)
+    predicates: Dict[str, Callable[..., bool]] = field(default_factory=dict)
+    projections: Dict[str, Callable[[Any], Any]] = field(default_factory=dict)
+    expressions: Dict[str, Callable[[Any], Any]] = field(default_factory=dict)
+    functions: Dict[str, Callable[..., Any]] = field(default_factory=dict)
+    aggregates: Dict[str, Callable[[Bag], Any]] = field(default_factory=dict)
+
+    def relation(self, name: str) -> KRelation:
+        if name not in self.relations:
+            raise KeyError(f"no relation named {name!r} in this interpretation")
+        return self.relations[name]
+
+    def function(self, name: str) -> Callable[..., Any]:
+        if name in self.functions:
+            return self.functions[name]
+        if name in DEFAULT_FUNCTIONS:
+            return DEFAULT_FUNCTIONS[name]
+        raise KeyError(f"no function named {name!r}")
+
+    def predicate(self, name: str) -> Callable[..., bool]:
+        if name in self.predicates:
+            return self.predicates[name]
+        if name in DEFAULT_PREDICATES:
+            return DEFAULT_PREDICATES[name]
+        raise KeyError(f"no predicate named {name!r}")
+
+    def projection(self, name: str) -> Callable[[Any], Any]:
+        if name not in self.projections:
+            raise KeyError(f"no projection metavariable named {name!r}")
+        return self.projections[name]
+
+    def expression(self, name: str) -> Callable[[Any], Any]:
+        if name not in self.expressions:
+            raise KeyError(f"no expression metavariable named {name!r}")
+        return self.expressions[name]
+
+    def aggregate(self, name: str) -> Callable[[Bag], Any]:
+        if name in self.aggregates:
+            return self.aggregates[name]
+        if name in DEFAULT_AGGREGATES:
+            return DEFAULT_AGGREGATES[name]
+        raise KeyError(f"no aggregate named {name!r}")
+
+    def with_relation(self, name: str, rel: KRelation,
+                      schema: Optional[Schema] = None) -> "Interpretation":
+        """Functional update: a copy with one relation replaced."""
+        out = Interpretation(
+            relations=dict(self.relations), schemas=dict(self.schemas),
+            predicates=dict(self.predicates),
+            projections=dict(self.projections),
+            expressions=dict(self.expressions),
+            functions=dict(self.functions), aggregates=dict(self.aggregates))
+        out.relations[name] = rel
+        if schema is not None:
+            out.schemas[name] = schema
+        return out
+
+
+class Database:
+    """A named collection of relations over one semiring.
+
+    A light convenience wrapper used by examples and the optimizer: it
+    loads flat rows against declared schemas, hands out
+    :class:`Interpretation` objects, and re-annotates instances into other
+    semirings (set semantics, provenance, ...).
+    """
+
+    def __init__(self, semiring: Semiring = NAT) -> None:
+        self.semiring = semiring
+        self._schemas: Dict[str, Schema] = {}
+        self._relations: Dict[str, KRelation] = {}
+
+    def create_table(self, name: str, schema: Schema,
+                     rows: Iterable[Any] = ()) -> None:
+        """Declare a table and load flat rows (lists of leaf values)."""
+        if name in self._schemas:
+            raise ValueError(f"table {name!r} already exists")
+        self._schemas[name] = schema
+        nested = [tuple_of(schema, row) for row in rows]
+        self._relations[name] = KRelation.from_bag(self.semiring, nested)
+
+    def insert(self, name: str, row: Any) -> None:
+        """Insert one flat row into an existing table."""
+        schema = self.schema(name)
+        nested = tuple_of(schema, row)
+        rel = self._relations[name]
+        self._relations[name] = rel.union_all(
+            KRelation.from_bag(self.semiring, [nested]))
+
+    def schema(self, name: str) -> Schema:
+        if name not in self._schemas:
+            raise KeyError(f"no table named {name!r}")
+        return self._schemas[name]
+
+    def relation(self, name: str) -> KRelation:
+        return self._relations[name]
+
+    def table_names(self) -> List[str]:
+        return sorted(self._schemas)
+
+    def interpretation(self, **metavars: Any) -> Interpretation:
+        """An interpretation over this database's relations.
+
+        Keyword arguments extend the interpretation's metavariable maps:
+        pass ``predicates=...``, ``projections=...``, etc.
+        """
+        interp = Interpretation(relations=dict(self._relations),
+                                schemas=dict(self._schemas))
+        for key, value in metavars.items():
+            if not hasattr(interp, key):
+                raise TypeError(f"unknown interpretation field {key!r}")
+            getattr(interp, key).update(value)
+        return interp
+
+    def reannotate(self, semiring: Semiring,
+                   annotator: Optional[Callable[[str, Any], Any]] = None
+                   ) -> "Database":
+        """Copy this database into another semiring.
+
+        ``annotator(table, row)`` supplies the new annotation for each row
+        (defaults to the target semiring's ``one`` per copy, i.e. converting
+        multiplicities through :meth:`Semiring.from_int`).
+        """
+        out = Database(semiring)
+        for name, schema in self._schemas.items():
+            out._schemas[name] = schema
+            rel = self._relations[name]
+            data = {}
+            for row, annot in rel.items():
+                if annotator is not None:
+                    data[row] = annotator(name, row)
+                else:
+                    data[row] = semiring.from_int(
+                        annot if isinstance(annot, int) else 1)
+            out._relations[name] = KRelation(semiring, data)
+        return out

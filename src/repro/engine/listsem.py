@@ -1,0 +1,109 @@
+"""List-semantics evaluation — the prior-work baseline.
+
+The paper argues (Sec. 2) against mechanizing SQL over *lists* of tuples,
+the route taken by earlier verified-database work [Malecha et al. POPL'10;
+Veanes et al.]: proofs about lists need induction, permutation reasoning,
+and duplicate-elimination bookkeeping.  We implement that semantics anyway,
+for two reasons:
+
+1. it is an independent implementation cross-validating the K-relation
+   evaluator (two queries agree as bags iff the list evaluator's output is
+   a permutation of .. exactly the multiset the K-evaluator computes), and
+2. the Figure 8 benchmark contrasts the *proof effort* of the two
+   semantics; having both executables makes the comparison concrete.
+
+Relations are Python lists; bag equality is "equal as multisets"; set
+equality adds duplicate elimination — precisely the equivalence notions the
+paper attributes to the list-based approach.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, List
+
+from ..core import ast
+from .database import Interpretation
+from .eval import EvaluationError
+
+
+def eval_query_list(query: ast.Query, interp: Interpretation,
+                    g: Any = ()) -> List[Any]:
+    """Evaluate a query to a list of rows (bag as list, order incidental)."""
+    if isinstance(query, ast.Table):
+        rel = interp.relation(query.name)
+        rows: List[Any] = []
+        for row, annot in rel.items():
+            count = annot if isinstance(annot, int) else (1 if annot else 0)
+            rows.extend([row] * count)
+        return rows
+
+    if isinstance(query, ast.Select):
+        inner = eval_query_list(query.query, interp, g)
+        return [_project(query.projection, interp, (g, row)) for row in inner]
+
+    if isinstance(query, ast.Product):
+        left = eval_query_list(query.left, interp, g)
+        right = eval_query_list(query.right, interp, g)
+        return [(l, r) for l in left for r in right]
+
+    if isinstance(query, ast.Where):
+        inner = eval_query_list(query.query, interp, g)
+        return [row for row in inner
+                if _predicate(query.predicate, interp, (g, row))]
+
+    if isinstance(query, ast.UnionAll):
+        return eval_query_list(query.left, interp, g) + \
+            eval_query_list(query.right, interp, g)
+
+    if isinstance(query, ast.Except):
+        left = eval_query_list(query.left, interp, g)
+        right = set(eval_query_list(query.right, interp, g))
+        return [row for row in left if row not in right]
+
+    if isinstance(query, ast.Distinct):
+        inner = eval_query_list(query.query, interp, g)
+        seen = set()
+        out = []
+        for row in inner:
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+    raise EvaluationError(f"cannot evaluate query node: {query!r}")
+
+
+def _project(proj: ast.Projection, interp: Interpretation, value: Any) -> Any:
+    from .eval import eval_projection
+    return eval_projection(proj, interp, value)
+
+
+def _predicate(pred: ast.Predicate, interp: Interpretation, g: Any) -> bool:
+    # Predicates over list semantics delegate to the standard evaluator,
+    # except EXISTS, which must recurse through the list evaluator.
+    if isinstance(pred, ast.Exists):
+        return bool(eval_query_list(pred.query, interp, g))
+    if isinstance(pred, ast.PredAnd):
+        return _predicate(pred.left, interp, g) and \
+            _predicate(pred.right, interp, g)
+    if isinstance(pred, ast.PredOr):
+        return _predicate(pred.left, interp, g) or \
+            _predicate(pred.right, interp, g)
+    if isinstance(pred, ast.PredNot):
+        return not _predicate(pred.operand, interp, g)
+    if isinstance(pred, ast.CastPred):
+        recast = _project(pred.projection, interp, g)
+        return _predicate(pred.predicate, interp, recast)
+    from .eval import eval_predicate
+    return eval_predicate(pred, interp, g)
+
+
+def bags_equal(rows1: List[Any], rows2: List[Any]) -> bool:
+    """Equality up to permutation — the list-semantics bag equivalence."""
+    return Counter(rows1) == Counter(rows2)
+
+
+def sets_equal(rows1: List[Any], rows2: List[Any]) -> bool:
+    """Equality up to permutation and duplicates — set equivalence."""
+    return set(rows1) == set(rows2)

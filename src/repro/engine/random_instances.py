@@ -1,0 +1,197 @@
+"""Randomized instance generation and the counterexample falsifier.
+
+The paper motivates DOPCERT with real optimizer bugs that "can go
+undetected for extended periods of time" (Sec. 1).  The complementary tool
+to a prover is a *falsifier*: generate random instances, evaluate both
+sides of a candidate rewrite, and report any disagreement.  (The successor
+system, Cosette, ships exactly this combination.)  Here the falsifier
+doubles as the oracle that re-validates every rule the symbolic prover
+accepts, over several semirings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..core import ast
+from ..core.schema import (
+    DEFAULT_DOMAINS,
+    Empty,
+    Leaf,
+    Node,
+    Path,
+    Schema,
+    SQLType,
+    tuple_get,
+)
+from ..semiring.krelation import KRelation
+from ..semiring.semirings import NAT, Semiring
+from .database import Interpretation
+from .eval import run_query
+
+
+def random_value(rng: random.Random, ty: SQLType,
+                 domains=DEFAULT_DOMAINS) -> Any:
+    """A random leaf value of the given base type."""
+    if ty.name not in domains:
+        raise ValueError(f"no domain for type {ty}")
+    return rng.choice(domains[ty.name])
+
+
+def random_tuple(rng: random.Random, schema: Schema,
+                 domains=DEFAULT_DOMAINS) -> Any:
+    """A random nested tuple of a concrete schema."""
+    if isinstance(schema, Empty):
+        return ()
+    if isinstance(schema, Leaf):
+        return random_value(rng, schema.ty, domains)
+    if isinstance(schema, Node):
+        return (random_tuple(rng, schema.left, domains),
+                random_tuple(rng, schema.right, domains))
+    raise ValueError(f"cannot sample tuples of non-concrete schema {schema}")
+
+
+def random_relation(rng: random.Random, schema: Schema,
+                    semiring: Semiring = NAT, max_rows: int = 5,
+                    max_multiplicity: int = 3,
+                    domains=DEFAULT_DOMAINS) -> KRelation:
+    """A random K-relation with small support and small multiplicities."""
+    rel = KRelation(semiring)
+    for _ in range(rng.randint(0, max_rows)):
+        row = random_tuple(rng, schema, domains)
+        mult = rng.randint(1, max_multiplicity)
+        rel.add(row, semiring.from_int(mult))
+    return rel
+
+
+def random_keyed_relation(rng: random.Random, schema: Schema,
+                          key_path: Path, semiring: Semiring = NAT,
+                          max_rows: int = 5,
+                          domains=DEFAULT_DOMAINS) -> KRelation:
+    """A random relation satisfying a key on ``key_path``.
+
+    Key semantics (paper Sec. 4.2) force set-valued relations with unique
+    key values, so each generated row has multiplicity one and a fresh key.
+    """
+    rel = KRelation(semiring)
+    used_keys = set()
+    for _ in range(rng.randint(0, max_rows)):
+        row = random_tuple(rng, schema, domains)
+        key = tuple_get(row, key_path)
+        if key in used_keys:
+            continue
+        used_keys.add(key)
+        rel.add(row, semiring.one)
+    return rel
+
+
+def random_leaf_path(rng: random.Random, schema: Schema
+                     ) -> Tuple[Path, SQLType]:
+    """A uniformly random attribute (path to a leaf) of a concrete schema."""
+    leaves = schema.leaves()
+    if not leaves:
+        raise ValueError(f"schema {schema} has no attributes")
+    return rng.choice(leaves)
+
+
+def deterministic_predicate(seed: int) -> Callable[[Any], bool]:
+    """A pseudo-random but deterministic boolean function on tuples.
+
+    Deterministic in the tuple value, so the same predicate metavariable
+    instantiation evaluates identically across both sides of a rewrite.
+    """
+
+    def predicate(value: Any) -> bool:
+        return (hash((seed, value)) & 0xFFFF) % 2 == 0
+
+    return predicate
+
+
+def deterministic_expression(seed: int, values: Sequence[Any]
+                             ) -> Callable[[Any], Any]:
+    """A deterministic function from tuples into a fixed value list."""
+
+    def expression(value: Any) -> Any:
+        return values[(hash((seed, value)) & 0xFFFF) % len(values)]
+
+    return expression
+
+
+def path_projection(path: Path) -> Callable[[Any], Any]:
+    """The concrete function for a projection metavariable set to ``path``."""
+
+    def project(value: Any) -> Any:
+        return tuple_get(value, path)
+
+    return project
+
+
+# ---------------------------------------------------------------------------
+# The falsifier
+# ---------------------------------------------------------------------------
+
+#: A rule instantiation: two closed queries plus their interpretation.
+Instance = Tuple[ast.Query, ast.Query, Interpretation]
+
+#: A function producing a fresh random instantiation of a rewrite rule.
+InstanceFactory = Callable[[random.Random], Instance]
+
+
+@dataclass
+class Counterexample:
+    """A concrete refutation of a candidate rewrite."""
+
+    trial: int
+    lhs_query: ast.Query
+    rhs_query: ast.Query
+    interpretation: Interpretation
+    lhs_result: KRelation
+    rhs_result: KRelation
+
+    def describe(self) -> str:
+        """Human-readable summary: the disagreeing tuples."""
+        lines = ["counterexample found:"]
+        rows = set(self.lhs_result.support()) | set(self.rhs_result.support())
+        for row in sorted(rows, key=repr):
+            left = self.lhs_result.annotation(row)
+            right = self.rhs_result.annotation(row)
+            if left != right:
+                lines.append(f"  tuple {row!r}: lhs multiplicity {left!r}, "
+                             f"rhs multiplicity {right!r}")
+        return "\n".join(lines)
+
+
+def find_counterexample(factory: InstanceFactory, trials: int = 40,
+                        seed: int = 0,
+                        semiring: Semiring = NAT) -> Optional[Counterexample]:
+    """Search for an instance on which the two sides disagree.
+
+    Returns the first counterexample found, or ``None`` after ``trials``
+    agreeing instances (which is *evidence*, not proof — that is the
+    prover's job).
+    """
+    rng = random.Random(seed)
+    for trial in range(trials):
+        lhs_query, rhs_query, interp = factory(rng)
+        lhs = run_query(lhs_query, interp, semiring)
+        rhs = run_query(rhs_query, interp, semiring)
+        if lhs != rhs:
+            return Counterexample(
+                trial=trial, lhs_query=lhs_query, rhs_query=rhs_query,
+                interpretation=interp, lhs_result=lhs, rhs_result=rhs)
+    return None
+
+
+def agreement_rate(factory: InstanceFactory, trials: int = 40,
+                   seed: int = 0, semiring: Semiring = NAT) -> float:
+    """Fraction of random instances on which the two sides agree."""
+    rng = random.Random(seed)
+    agreed = 0
+    for _ in range(trials):
+        lhs_query, rhs_query, interp = factory(rng)
+        if run_query(lhs_query, interp, semiring) == \
+                run_query(rhs_query, interp, semiring):
+            agreed += 1
+    return agreed / trials if trials else 1.0

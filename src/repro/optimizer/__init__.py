@@ -1,0 +1,20 @@
+"""Certified query optimizer: rewriter, cost model, planner."""
+
+from .cost import Estimate, TableStats, estimate, plan_cost
+from .explain import explain
+from .planner import PlanningResult, optimize
+from .rewriter import TRANSFORMATIONS, proj_steps, rewrites, steps_to_proj
+
+__all__ = [
+    "Estimate",
+    "PlanningResult",
+    "TRANSFORMATIONS",
+    "TableStats",
+    "estimate",
+    "explain",
+    "optimize",
+    "plan_cost",
+    "proj_steps",
+    "rewrites",
+    "steps_to_proj",
+]

@@ -1,0 +1,106 @@
+"""A textbook cost model for plan selection.
+
+The paper's optimizers pick among semantically equivalent plans by cost
+(Sec. 1: "a plan selector that chooses the optimal plan ... based on a cost
+model").  This is the standard cardinality-based model: every operator's
+cost is the work to produce its output, estimated from base-table
+cardinalities and fixed selectivities (Selinger-style).  It exists to give
+the planner a preference order — its absolute numbers are not calibrated,
+and do not need to be for the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core import ast
+
+#: Estimated fraction of rows surviving a selection.
+SELECTIVITY_EQ = 0.25
+SELECTIVITY_OTHER = 0.5
+#: Estimated fraction of distinct rows in a bag.
+DISTINCT_RATIO = 0.7
+
+
+@dataclass
+class TableStats:
+    """Base-table cardinalities feeding the estimator."""
+
+    cardinalities: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_database(cls, db) -> "TableStats":
+        """Collect support sizes from a concrete database."""
+        return cls({name: float(len(db.relation(name)))
+                    for name in db.table_names()})
+
+    def cardinality(self, table: str) -> float:
+        return self.cardinalities.get(table, 100.0)
+
+
+@dataclass
+class Estimate:
+    """Estimated output cardinality and cumulative cost of a plan."""
+
+    cardinality: float
+    cost: float
+
+
+def estimate(query: ast.Query, stats: TableStats) -> Estimate:
+    """Bottom-up cardinality/cost estimation."""
+    if isinstance(query, ast.Table):
+        card = stats.cardinality(query.name)
+        return Estimate(card, card)
+    if isinstance(query, ast.Select):
+        inner = estimate(query.query, stats)
+        return Estimate(inner.cardinality, inner.cost + inner.cardinality)
+    if isinstance(query, ast.Product):
+        left = estimate(query.left, stats)
+        right = estimate(query.right, stats)
+        out = left.cardinality * right.cardinality
+        return Estimate(out, left.cost + right.cost + out)
+    if isinstance(query, ast.Where):
+        inner = estimate(query.query, stats)
+        sel = _selectivity(query.predicate)
+        return Estimate(inner.cardinality * sel,
+                        inner.cost + inner.cardinality)
+    if isinstance(query, ast.UnionAll):
+        left = estimate(query.left, stats)
+        right = estimate(query.right, stats)
+        out = left.cardinality + right.cardinality
+        return Estimate(out, left.cost + right.cost + out)
+    if isinstance(query, ast.Except):
+        left = estimate(query.left, stats)
+        right = estimate(query.right, stats)
+        return Estimate(left.cardinality,
+                        left.cost + right.cost
+                        + left.cardinality + right.cardinality)
+    if isinstance(query, ast.Distinct):
+        inner = estimate(query.query, stats)
+        return Estimate(inner.cardinality * DISTINCT_RATIO,
+                        inner.cost + inner.cardinality)
+    raise TypeError(f"cannot estimate query node {query!r}")
+
+
+def _selectivity(pred: ast.Predicate) -> float:
+    if isinstance(pred, ast.PredEq):
+        return SELECTIVITY_EQ
+    if isinstance(pred, ast.PredAnd):
+        return _selectivity(pred.left) * _selectivity(pred.right)
+    if isinstance(pred, ast.PredOr):
+        left = _selectivity(pred.left)
+        right = _selectivity(pred.right)
+        return min(1.0, left + right - left * right)
+    if isinstance(pred, ast.PredNot):
+        return 1.0 - _selectivity(pred.operand)
+    if isinstance(pred, ast.PredTrue):
+        return 1.0
+    if isinstance(pred, ast.PredFalse):
+        return 0.0
+    return SELECTIVITY_OTHER
+
+
+def plan_cost(query: ast.Query, stats: TableStats) -> float:
+    """Cumulative cost of a plan (the planner's objective)."""
+    return estimate(query, stats).cost

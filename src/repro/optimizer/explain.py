@@ -1,0 +1,68 @@
+"""EXPLAIN: render a physical plan tree with cost annotations.
+
+The conventional optimizer affordance — a human-readable operator tree
+with per-node cardinality and cost estimates — for inspecting what the
+certified planner chose and why.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import ast
+from ..sql.pretty import predicate_to_str, projection_to_str
+from .cost import Estimate, TableStats, estimate
+
+
+def explain(query: ast.Query, stats: TableStats) -> str:
+    """A multi-line EXPLAIN rendering of the plan."""
+    lines: List[str] = []
+    _explain(query, stats, 0, lines)
+    return "\n".join(lines)
+
+
+def _node(label: str, est: Estimate, depth: int, lines: List[str]) -> None:
+    indent = "  " * depth
+    lines.append(f"{indent}{label}  "
+                 f"[rows≈{est.cardinality:.1f} cost≈{est.cost:.1f}]")
+
+
+def _explain(query: ast.Query, stats: TableStats, depth: int,
+             lines: List[str]) -> None:
+    est = estimate(query, stats)
+    if isinstance(query, ast.Table):
+        _node(f"Scan {query.name}", est, depth, lines)
+        return
+    if isinstance(query, ast.Select):
+        _node(f"Project {projection_to_str(query.projection)}", est,
+              depth, lines)
+        _explain(query.query, stats, depth + 1, lines)
+        return
+    if isinstance(query, ast.Product):
+        _node("CrossJoin", est, depth, lines)
+        _explain(query.left, stats, depth + 1, lines)
+        _explain(query.right, stats, depth + 1, lines)
+        return
+    if isinstance(query, ast.Where):
+        _node(f"Filter {predicate_to_str(query.predicate)}", est, depth,
+              lines)
+        _explain(query.query, stats, depth + 1, lines)
+        return
+    if isinstance(query, ast.UnionAll):
+        _node("UnionAll", est, depth, lines)
+        _explain(query.left, stats, depth + 1, lines)
+        _explain(query.right, stats, depth + 1, lines)
+        return
+    if isinstance(query, ast.Except):
+        _node("Except", est, depth, lines)
+        _explain(query.left, stats, depth + 1, lines)
+        _explain(query.right, stats, depth + 1, lines)
+        return
+    if isinstance(query, ast.Distinct):
+        _node("Distinct", est, depth, lines)
+        _explain(query.query, stats, depth + 1, lines)
+        return
+    raise TypeError(f"cannot explain query node {query!r}")
+
+
+__all__ = ["explain"]

@@ -1,0 +1,261 @@
+"""Plan rewriting with certified transformations.
+
+The paper's motivation (Sec. 1): optimizers enumerate plans by applying
+rewrite rules, and unsound rules ship wrong answers.  This module is the
+downstream consumer of the verified rule library — a small Volcano-style
+rewriter whose every transformation is an instance of a rule proved by the
+engine, and which can additionally re-certify any concrete rewrite it
+performs by calling the prover on the before/after pair.
+
+Each transformation takes a core query and yields ``(rewritten, rule
+name)`` candidates; :func:`rewrites` applies them at every subquery
+position.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core import ast
+
+#: A rewrite candidate: the transformed query and the rule's name.
+Candidate = Tuple[ast.Query, str]
+
+
+# ---------------------------------------------------------------------------
+# Projection-path analysis (for selection pushdown)
+# ---------------------------------------------------------------------------
+
+def proj_steps(proj: ast.Projection) -> Optional[Tuple[str, ...]]:
+    """Flatten a pure path projection to L/R steps (None if not a path)."""
+    if isinstance(proj, ast.Star):
+        return ()
+    if isinstance(proj, ast.LeftP):
+        return ("L",)
+    if isinstance(proj, ast.RightP):
+        return ("R",)
+    if isinstance(proj, ast.Compose):
+        first = proj_steps(proj.first)
+        second = proj_steps(proj.second)
+        if first is None or second is None:
+            return None
+        return first + second
+    return None
+
+
+def steps_to_proj(steps: Sequence[str]) -> ast.Projection:
+    """Rebuild a path projection from L/R steps."""
+    parts = [ast.LEFT if s == "L" else ast.RIGHT for s in steps]
+    return ast.path(*parts) if parts else ast.STAR
+
+
+def _predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
+    """All attribute paths a predicate dereferences, or None if opaque.
+
+    Opaque constructs (metavariables, EXISTS, casts) make pushdown analysis
+    unsound, so the rewriter conservatively refuses them.
+    """
+    if isinstance(pred, ast.PredEq):
+        return _merge(_expression_paths(pred.left),
+                      _expression_paths(pred.right))
+    if isinstance(pred, (ast.PredAnd, ast.PredOr)):
+        return _merge(_predicate_paths(pred.left),
+                      _predicate_paths(pred.right))
+    if isinstance(pred, ast.PredNot):
+        return _predicate_paths(pred.operand)
+    if isinstance(pred, (ast.PredTrue, ast.PredFalse)):
+        return []
+    if isinstance(pred, ast.PredFunc):
+        out: Optional[List[Tuple[str, ...]]] = []
+        for arg in pred.args:
+            out = _merge(out, _expression_paths(arg))
+        return out
+    return None  # Exists, CastPred, PredVar: opaque
+
+
+def _expression_paths(expr: ast.Expression) -> Optional[List[Tuple[str, ...]]]:
+    if isinstance(expr, ast.P2E):
+        steps = proj_steps(expr.projection)
+        return None if steps is None else [steps]
+    if isinstance(expr, ast.Const):
+        return []
+    if isinstance(expr, ast.Func):
+        out: Optional[List[Tuple[str, ...]]] = []
+        for arg in expr.args:
+            out = _merge(out, _expression_paths(arg))
+        return out
+    return None  # Agg, CastExpr, ExprVar: opaque
+
+
+def _merge(a, b):
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _rewrite_predicate_paths(pred: ast.Predicate, old_prefix: Tuple[str, ...],
+                             new_prefix: Tuple[str, ...]) -> ast.Predicate:
+    """Replace a leading path prefix in every attribute reference."""
+    if isinstance(pred, ast.PredEq):
+        return ast.PredEq(
+            _rewrite_expression_paths(pred.left, old_prefix, new_prefix),
+            _rewrite_expression_paths(pred.right, old_prefix, new_prefix))
+    if isinstance(pred, ast.PredAnd):
+        return ast.PredAnd(
+            _rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
+            _rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
+    if isinstance(pred, ast.PredOr):
+        return ast.PredOr(
+            _rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
+            _rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
+    if isinstance(pred, ast.PredNot):
+        return ast.PredNot(
+            _rewrite_predicate_paths(pred.operand, old_prefix, new_prefix))
+    if isinstance(pred, (ast.PredTrue, ast.PredFalse)):
+        return pred
+    if isinstance(pred, ast.PredFunc):
+        return ast.PredFunc(pred.name, tuple(
+            _rewrite_expression_paths(a, old_prefix, new_prefix)
+            for a in pred.args))
+    raise ValueError(f"cannot rewrite opaque predicate {pred!r}")
+
+
+def _rewrite_expression_paths(expr: ast.Expression,
+                              old_prefix: Tuple[str, ...],
+                              new_prefix: Tuple[str, ...]) -> ast.Expression:
+    if isinstance(expr, ast.P2E):
+        steps = proj_steps(expr.projection)
+        if steps is None:
+            raise ValueError("opaque projection in pushdown rewrite")
+        if steps[:len(old_prefix)] == old_prefix:
+            steps = new_prefix + steps[len(old_prefix):]
+        return ast.P2E(steps_to_proj(steps), expr.ty)
+    if isinstance(expr, ast.Const):
+        return expr
+    if isinstance(expr, ast.Func):
+        return ast.Func(expr.name, tuple(
+            _rewrite_expression_paths(a, old_prefix, new_prefix)
+            for a in expr.args), expr.ty)
+    raise ValueError(f"cannot rewrite opaque expression {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Transformations (each an instance of a verified rule)
+# ---------------------------------------------------------------------------
+
+def _split_where(query: ast.Query) -> Iterator[Candidate]:
+    """Where(q, b1 AND b2) → Where(Where(q, b1), b2)  [rule sel_split]."""
+    if isinstance(query, ast.Where) and isinstance(query.predicate,
+                                                   ast.PredAnd):
+        yield (ast.Where(ast.Where(query.query, query.predicate.left),
+                         query.predicate.right), "sel_split")
+        # The commuted order (an instance of sel_comm) lets either conjunct
+        # reach the operator below.
+        yield (ast.Where(ast.Where(query.query, query.predicate.right),
+                         query.predicate.left), "sel_split+sel_comm")
+
+
+def _merge_where(query: ast.Query) -> Iterator[Candidate]:
+    """Where(Where(q, b1), b2) → Where(q, b1 AND b2)  [sel_split, reversed]."""
+    if isinstance(query, ast.Where) and isinstance(query.query, ast.Where):
+        inner = query.query
+        yield (ast.Where(inner.query,
+                         ast.PredAnd(inner.predicate, query.predicate)),
+               "sel_split⁻¹")
+
+
+def _push_where_into_product(query: ast.Query) -> Iterator[Candidate]:
+    """σ_b(L × R) → σ'_b(L) × R when b touches only L  [selection pushdown].
+
+    The predicate lives in context ``node Γ (node σL σR)``; references into
+    the left operand start with the path R.L.  Pushing rewrites R.L→R.
+    Outer-context references (prefix L) also survive unchanged.
+    """
+    if not (isinstance(query, ast.Where)
+            and isinstance(query.query, ast.Product)):
+        return
+    paths = _predicate_paths(query.predicate)
+    if paths is None:
+        return
+    product = query.query
+    if all(p[:2] == ("R", "L") or p[:1] == ("L",) for p in paths):
+        pushed = _rewrite_predicate_paths(query.predicate, ("R", "L"), ("R",))
+        yield (ast.Product(ast.Where(product.left, pushed), product.right),
+               "sel_push_left")
+    if all(p[:2] == ("R", "R") or p[:1] == ("L",) for p in paths):
+        pushed = _rewrite_predicate_paths(query.predicate, ("R", "R"), ("R",))
+        yield (ast.Product(product.left, ast.Where(product.right, pushed)),
+               "sel_push_right")
+
+
+def _push_where_below_union(query: ast.Query) -> Iterator[Candidate]:
+    """σ_b(A ∪ B) → σ_b(A) ∪ σ_b(B)  [rule sel_union_distr, Figure 1]."""
+    if isinstance(query, ast.Where) and isinstance(query.query, ast.UnionAll):
+        union = query.query
+        yield (ast.UnionAll(ast.Where(union.left, query.predicate),
+                            ast.Where(union.right, query.predicate)),
+               "sel_union_distr")
+
+
+def _collapse_distinct(query: ast.Query) -> Iterator[Candidate]:
+    """DISTINCT DISTINCT q → DISTINCT q  [rule distinct_idem]."""
+    if isinstance(query, ast.Distinct) and isinstance(query.query,
+                                                      ast.Distinct):
+        yield (query.query, "distinct_idem")
+
+
+#: The transformation suite, in application order.
+TRANSFORMATIONS = (
+    _split_where,
+    _merge_where,
+    _push_where_into_product,
+    _push_where_below_union,
+    _collapse_distinct,
+)
+
+
+def rewrites(query: ast.Query) -> List[Candidate]:
+    """All single-step rewrites of ``query``, applied at every position."""
+    out: List[Candidate] = []
+    for transform in TRANSFORMATIONS:
+        out.extend(transform(query))
+    for field_name, child in _child_queries(query):
+        for rewritten_child, rule in rewrites(child):
+            out.append((_replace_child(query, field_name, rewritten_child),
+                        rule))
+    return out
+
+
+def _child_queries(query: ast.Query):
+    if isinstance(query, ast.Select):
+        yield "query", query.query
+    elif isinstance(query, ast.Product):
+        yield "left", query.left
+        yield "right", query.right
+    elif isinstance(query, ast.Where):
+        yield "query", query.query
+    elif isinstance(query, (ast.UnionAll, ast.Except)):
+        yield "left", query.left
+        yield "right", query.right
+    elif isinstance(query, ast.Distinct):
+        yield "query", query.query
+
+
+def _replace_child(query: ast.Query, field_name: str,
+                   child: ast.Query) -> ast.Query:
+    if isinstance(query, ast.Select):
+        return ast.Select(query.projection, child)
+    if isinstance(query, ast.Product):
+        return ast.Product(child, query.right) if field_name == "left" \
+            else ast.Product(query.left, child)
+    if isinstance(query, ast.Where):
+        return ast.Where(child, query.predicate)
+    if isinstance(query, ast.UnionAll):
+        return ast.UnionAll(child, query.right) if field_name == "left" \
+            else ast.UnionAll(query.left, child)
+    if isinstance(query, ast.Except):
+        return ast.Except(child, query.right) if field_name == "left" \
+            else ast.Except(query.left, child)
+    if isinstance(query, ast.Distinct):
+        return ast.Distinct(child)
+    raise TypeError(f"cannot rebuild query node {query!r}")

@@ -1,0 +1,57 @@
+"""The rewrite-rule library: Figure 8's 23 rules plus unsound controls."""
+
+from .aggregation import aggregation_rules
+from .apply import (
+    Application,
+    Bindings,
+    apply_rule_at_root,
+    apply_rule_everywhere,
+)
+from .basic import basic_rules
+from .buggy import buggy_rules
+from .common import groupby_agg, semijoin, semijoin_on
+from .conjunctive import conjunctive_rules, fig10_queries, self_join_queries
+from .extended import extended_rules
+from .index import index_rules, index_view
+from .magic import magic_rules
+from .registry import (
+    CATEGORY_ORDER,
+    PAPER_FIGURE_8,
+    all_buggy_rules,
+    all_extended_rules,
+    all_rules,
+    get_rule,
+    rules_by_category,
+)
+from .rule import Proof, RewriteRule
+from .subquery import subquery_rules
+
+__all__ = [
+    "Application",
+    "Bindings",
+    "CATEGORY_ORDER",
+    "PAPER_FIGURE_8",
+    "Proof",
+    "RewriteRule",
+    "aggregation_rules",
+    "apply_rule_at_root",
+    "apply_rule_everywhere",
+    "all_buggy_rules",
+    "all_extended_rules",
+    "all_rules",
+    "basic_rules",
+    "buggy_rules",
+    "conjunctive_rules",
+    "extended_rules",
+    "fig10_queries",
+    "get_rule",
+    "groupby_agg",
+    "index_rules",
+    "index_view",
+    "magic_rules",
+    "rules_by_category",
+    "self_join_queries",
+    "semijoin",
+    "semijoin_on",
+    "subquery_rules",
+]

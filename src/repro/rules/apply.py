@@ -1,0 +1,291 @@
+"""Applying generic rewrite rules to concrete queries.
+
+A verified rule is a *schema*: ``σ_b(R ∪ S) ≡ σ_b(R) ∪ σ_b(S)`` holds for
+every relation R, S and predicate b.  Using it in an optimizer means
+**matching** its left-hand side against a concrete plan — binding the
+metavariables — and **substituting** the bindings into the right-hand
+side.
+
+Matching is structural:
+
+* a ``Table`` metavariable binds any concrete subquery (the same name
+  must bind the same subquery everywhere),
+* a ``PredVar`` binds any concrete predicate, a ``PVar`` any projection,
+* all other nodes must match constructor-by-constructor.
+
+Binding a *correlated* subquery to a Table metavariable would be unsound
+(tables denote context-independent relations), and CASTPRED patterns are
+not invertible structurally; rather than reason about those cases
+syntactically, every application is **certified**: the rewritten query is
+proved equivalent to the original by the engine before it is returned.
+An application that cannot be certified is discarded — the optimizer
+never acts on an unproven rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ast
+from ..core.equivalence import queries_equivalent
+from .rule import RewriteRule
+
+
+@dataclass
+class Bindings:
+    """Metavariable assignments accumulated during matching."""
+
+    tables: Dict[str, ast.Query]
+    predicates: Dict[str, ast.Predicate]
+    projections: Dict[str, ast.Projection]
+
+    @staticmethod
+    def empty() -> "Bindings":
+        return Bindings({}, {}, {})
+
+    def copy(self) -> "Bindings":
+        return Bindings(dict(self.tables), dict(self.predicates),
+                        dict(self.projections))
+
+
+class MatchFailure(Exception):
+    """Internal: the pattern does not match here."""
+
+
+def match_query(pattern: ast.Query, concrete: ast.Query,
+                bindings: Bindings) -> None:
+    """Match a query pattern, extending ``bindings`` (raises on failure)."""
+    if isinstance(pattern, ast.Table):
+        bound = bindings.tables.get(pattern.name)
+        if bound is None:
+            bindings.tables[pattern.name] = concrete
+        elif bound != concrete:
+            raise MatchFailure(pattern.name)
+        return
+    if type(pattern) is not type(concrete):
+        raise MatchFailure(type(pattern).__name__)
+    if isinstance(pattern, ast.Select):
+        match_projection(pattern.projection, concrete.projection, bindings)
+        match_query(pattern.query, concrete.query, bindings)
+        return
+    if isinstance(pattern, (ast.Product, ast.UnionAll, ast.Except)):
+        match_query(pattern.left, concrete.left, bindings)
+        match_query(pattern.right, concrete.right, bindings)
+        return
+    if isinstance(pattern, ast.Where):
+        match_query(pattern.query, concrete.query, bindings)
+        match_predicate(pattern.predicate, concrete.predicate, bindings)
+        return
+    if isinstance(pattern, ast.Distinct):
+        match_query(pattern.query, concrete.query, bindings)
+        return
+    raise MatchFailure(type(pattern).__name__)
+
+
+def match_predicate(pattern: ast.Predicate, concrete: ast.Predicate,
+                    bindings: Bindings) -> None:
+    if isinstance(pattern, ast.PredVar):
+        bound = bindings.predicates.get(pattern.name)
+        if bound is None:
+            bindings.predicates[pattern.name] = concrete
+        elif bound != concrete:
+            raise MatchFailure(pattern.name)
+        return
+    if type(pattern) is not type(concrete):
+        raise MatchFailure(type(pattern).__name__)
+    if isinstance(pattern, (ast.PredAnd, ast.PredOr)):
+        match_predicate(pattern.left, concrete.left, bindings)
+        match_predicate(pattern.right, concrete.right, bindings)
+        return
+    if isinstance(pattern, ast.PredNot):
+        match_predicate(pattern.operand, concrete.operand, bindings)
+        return
+    if isinstance(pattern, (ast.PredTrue, ast.PredFalse)):
+        return
+    if isinstance(pattern, ast.Exists):
+        match_query(pattern.query, concrete.query, bindings)
+        return
+    if pattern == concrete:
+        return
+    raise MatchFailure(type(pattern).__name__)
+
+
+def match_projection(pattern: ast.Projection, concrete: ast.Projection,
+                     bindings: Bindings) -> None:
+    if isinstance(pattern, ast.PVar):
+        bound = bindings.projections.get(pattern.name)
+        if bound is None:
+            bindings.projections[pattern.name] = concrete
+        elif bound != concrete:
+            raise MatchFailure(pattern.name)
+        return
+    if type(pattern) is not type(concrete):
+        raise MatchFailure(type(pattern).__name__)
+    if isinstance(pattern, ast.Compose):
+        match_projection(pattern.first, concrete.first, bindings)
+        match_projection(pattern.second, concrete.second, bindings)
+        return
+    if isinstance(pattern, ast.Duplicate):
+        match_projection(pattern.left, concrete.left, bindings)
+        match_projection(pattern.right, concrete.right, bindings)
+        return
+    if pattern == concrete:
+        return
+    raise MatchFailure(type(pattern).__name__)
+
+
+# ---------------------------------------------------------------------------
+# Substitution into the right-hand side
+# ---------------------------------------------------------------------------
+
+def substitute_query(template: ast.Query, bindings: Bindings) -> ast.Query:
+    """Instantiate a rule side with matched bindings."""
+    if isinstance(template, ast.Table):
+        return bindings.tables.get(template.name, template)
+    if isinstance(template, ast.Select):
+        return ast.Select(
+            substitute_projection(template.projection, bindings),
+            substitute_query(template.query, bindings))
+    if isinstance(template, ast.Product):
+        return ast.Product(substitute_query(template.left, bindings),
+                           substitute_query(template.right, bindings))
+    if isinstance(template, ast.Where):
+        return ast.Where(substitute_query(template.query, bindings),
+                         substitute_predicate(template.predicate, bindings))
+    if isinstance(template, ast.UnionAll):
+        return ast.UnionAll(substitute_query(template.left, bindings),
+                            substitute_query(template.right, bindings))
+    if isinstance(template, ast.Except):
+        return ast.Except(substitute_query(template.left, bindings),
+                          substitute_query(template.right, bindings))
+    if isinstance(template, ast.Distinct):
+        return ast.Distinct(substitute_query(template.query, bindings))
+    raise TypeError(f"cannot substitute into {template!r}")
+
+
+def substitute_predicate(template: ast.Predicate,
+                         bindings: Bindings) -> ast.Predicate:
+    if isinstance(template, ast.PredVar):
+        return bindings.predicates.get(template.name, template)
+    if isinstance(template, ast.PredAnd):
+        return ast.PredAnd(substitute_predicate(template.left, bindings),
+                           substitute_predicate(template.right, bindings))
+    if isinstance(template, ast.PredOr):
+        return ast.PredOr(substitute_predicate(template.left, bindings),
+                          substitute_predicate(template.right, bindings))
+    if isinstance(template, ast.PredNot):
+        return ast.PredNot(substitute_predicate(template.operand, bindings))
+    if isinstance(template, ast.Exists):
+        return ast.Exists(substitute_query(template.query, bindings))
+    if isinstance(template, ast.CastPred):
+        return ast.CastPred(
+            substitute_projection(template.projection, bindings),
+            substitute_predicate(template.predicate, bindings))
+    return template
+
+
+def substitute_projection(template: ast.Projection,
+                          bindings: Bindings) -> ast.Projection:
+    if isinstance(template, ast.PVar):
+        return bindings.projections.get(template.name, template)
+    if isinstance(template, ast.Compose):
+        return ast.Compose(substitute_projection(template.first, bindings),
+                           substitute_projection(template.second, bindings))
+    if isinstance(template, ast.Duplicate):
+        return ast.Duplicate(substitute_projection(template.left, bindings),
+                             substitute_projection(template.right, bindings))
+    return template
+
+
+# ---------------------------------------------------------------------------
+# Certified application
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Application:
+    """One certified rule application."""
+
+    rule_name: str
+    rewritten: ast.Query
+    bindings: Bindings
+
+
+def apply_rule_at_root(rule: RewriteRule, query: ast.Query,
+                       certify: bool = True) -> Optional[Application]:
+    """Apply ``rule`` at the root of ``query`` (None if no match).
+
+    When ``certify`` is set (the default), the rewritten query is proved
+    equivalent to the original before being returned; an uncertifiable
+    match — e.g. a correlated subquery bound to a relation metavariable —
+    is rejected.
+    """
+    bindings = Bindings.empty()
+    try:
+        match_query(rule.lhs, query, bindings)
+    except MatchFailure:
+        return None
+    rewritten = substitute_query(rule.rhs, bindings)
+    if certify and not queries_equivalent(query, rewritten,
+                                          hyps=rule.hypotheses):
+        return None
+    return Application(rule_name=rule.name, rewritten=rewritten,
+                       bindings=bindings)
+
+
+def apply_rule_everywhere(rule: RewriteRule, query: ast.Query,
+                          certify: bool = True) -> List[Application]:
+    """All certified applications of ``rule`` at any subquery position."""
+    out: List[Application] = []
+    root = apply_rule_at_root(rule, query, certify)
+    if root is not None:
+        out.append(root)
+    for field_name, child in _children(query):
+        for app in apply_rule_everywhere(rule, child, certify):
+            out.append(Application(
+                rule_name=app.rule_name,
+                rewritten=_rebuild(query, field_name, app.rewritten),
+                bindings=app.bindings))
+    return out
+
+
+def _children(query: ast.Query):
+    if isinstance(query, (ast.Select, ast.Where, ast.Distinct)):
+        yield "query", query.query
+    elif isinstance(query, (ast.Product, ast.UnionAll, ast.Except)):
+        yield "left", query.left
+        yield "right", query.right
+
+
+def _rebuild(query: ast.Query, field_name: str,
+             child: ast.Query) -> ast.Query:
+    if isinstance(query, ast.Select):
+        return ast.Select(query.projection, child)
+    if isinstance(query, ast.Where):
+        return ast.Where(child, query.predicate)
+    if isinstance(query, ast.Distinct):
+        return ast.Distinct(child)
+    if isinstance(query, ast.Product):
+        return ast.Product(child, query.right) if field_name == "left" \
+            else ast.Product(query.left, child)
+    if isinstance(query, ast.UnionAll):
+        return ast.UnionAll(child, query.right) if field_name == "left" \
+            else ast.UnionAll(query.left, child)
+    if isinstance(query, ast.Except):
+        return ast.Except(child, query.right) if field_name == "left" \
+            else ast.Except(query.left, child)
+    raise TypeError(f"cannot rebuild {query!r}")
+
+
+__all__ = [
+    "Application",
+    "Bindings",
+    "apply_rule_at_root",
+    "apply_rule_everywhere",
+    "match_predicate",
+    "match_projection",
+    "match_query",
+    "substitute_predicate",
+    "substitute_projection",
+    "substitute_query",
+]

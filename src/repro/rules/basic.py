@@ -1,0 +1,155 @@
+"""Basic rewrite rules (paper Sec. 5.1.1, Figure 8 row "Basic": 8 rules).
+
+The "fundamental building blocks of the rewriting system": selection
+splitting/commuting, the Figure 1 selection/union distribution, join
+commutativity and associativity, union laws, and DISTINCT idempotence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from .common import SR, SS, ST, standard_interpretation, table, where_pred
+from .rule import RewriteRule
+
+_R = table("R", SR)
+_S = table("S", SR)          # same schema as R for union rules
+_S2 = table("S", SS)         # independent schema for join rules
+_T = table("T", ST)
+
+
+def _two_table_factory(lhs: ast.Query, rhs: ast.Query,
+                       tables: Tuple[str, ...], preds: Tuple[str, ...] = ()):
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, tables, preds=preds)
+        return lhs, rhs, interp
+    return factory
+
+
+def _sel_union_distr() -> RewriteRule:
+    b = where_pred("b", SR)
+    lhs = ast.Where(ast.UnionAll(_R, _S), b)
+    rhs = ast.UnionAll(ast.Where(_R, b), ast.Where(_S, b))
+    return RewriteRule(
+        name="sel_union_distr", category="basic",
+        description="Selection distributes over UNION ALL (paper Figure 1): "
+                    "(⟦R⟧t + ⟦S⟧t) × ⟦b⟧t = ⟦R⟧t×⟦b⟧t + ⟦S⟧t×⟦b⟧t.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "distribute_mul_over_add"),
+        paper_ref="Figure 1",
+        instantiate=_two_table_factory(lhs, rhs, ("R", "S"), ("b",)))
+
+
+def _sel_split() -> RewriteRule:
+    b1 = where_pred("b1", SR)
+    b2 = where_pred("b2", SR)
+    lhs = ast.Where(_R, ast.PredAnd(b1, b2))
+    rhs = ast.Where(ast.Where(_R, b1), b2)
+    return RewriteRule(
+        name="sel_split", category="basic",
+        description="Conjunctive selection splits into nested selections "
+                    "(selection push down, paper Sec. 5.1.1).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_assoc"),
+        paper_ref="Sec. 5.1.1",
+        instantiate=_two_table_factory(lhs, rhs, ("R",), ("b1", "b2")))
+
+
+def _sel_comm() -> RewriteRule:
+    b1 = where_pred("b1", SR)
+    b2 = where_pred("b2", SR)
+    lhs = ast.Where(ast.Where(_R, b1), b2)
+    rhs = ast.Where(ast.Where(_R, b2), b1)
+    return RewriteRule(
+        name="sel_comm", category="basic",
+        description="Commutativity of selection — 65 lines of Coq under "
+                    "list semantics, a product commutation here (Sec. 2).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_comm"),
+        paper_ref="Sec. 2",
+        instantiate=_two_table_factory(lhs, rhs, ("R",), ("b1", "b2")))
+
+
+def _join_comm() -> RewriteRule:
+    lhs = ast.Product(_R, _S2)
+    rhs = ast.Select(
+        ast.Duplicate(ast.path(ast.RIGHT, ast.RIGHT),
+                      ast.path(ast.RIGHT, ast.LEFT)),
+        ast.Product(_S2, _R))
+    return RewriteRule(
+        name="join_comm", category="basic",
+        description="Commutativity of joins (paper Sec. 5.1.1): the SELECT "
+                    "re-flips the tuple to match the original schema.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "sum_pair_split", "point_eliminate",
+                       "mul_comm"),
+        paper_ref="Sec. 5.1.1 (Lemmas 5.1, 5.2)",
+        instantiate=_two_table_factory(lhs, rhs, ("R", "S")))
+
+
+def _join_assoc() -> RewriteRule:
+    lhs = ast.Product(ast.Product(_R, _S2), _T)
+    reshape = ast.Duplicate(
+        ast.Duplicate(ast.path(ast.RIGHT, ast.LEFT),
+                      ast.path(ast.RIGHT, ast.RIGHT, ast.LEFT)),
+        ast.path(ast.RIGHT, ast.RIGHT, ast.RIGHT))
+    rhs = ast.Select(reshape, ast.Product(_R, ast.Product(_S2, _T)))
+    return RewriteRule(
+        name="join_assoc", category="basic",
+        description="Associativity of joins, with the reshaping projection "
+                    "aligning the nested-pair schemas.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "sum_pair_split", "point_eliminate",
+                       "mul_assoc"),
+        paper_ref="Sec. 5.1.1",
+        instantiate=_two_table_factory(lhs, rhs, ("R", "S", "T")))
+
+
+def _union_comm() -> RewriteRule:
+    lhs = ast.UnionAll(_R, _S)
+    rhs = ast.UnionAll(_S, _R)
+    return RewriteRule(
+        name="union_comm", category="basic",
+        description="Commutativity of UNION ALL (addition commutes).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "add_comm"),
+        instantiate=_two_table_factory(lhs, rhs, ("R", "S")))
+
+
+def _union_assoc() -> RewriteRule:
+    t2 = table("T", SR)
+    lhs = ast.UnionAll(ast.UnionAll(_R, _S), t2)
+    rhs = ast.UnionAll(_R, ast.UnionAll(_S, t2))
+    return RewriteRule(
+        name="union_assoc", category="basic",
+        description="Associativity of UNION ALL (addition associates).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "add_assoc"),
+        instantiate=_two_table_factory(lhs, rhs, ("R", "S", "T")))
+
+
+def _distinct_idem() -> RewriteRule:
+    lhs = ast.Distinct(ast.Distinct(_R))
+    rhs = ast.Distinct(_R)
+    return RewriteRule(
+        name="distinct_idem", category="basic",
+        description="DISTINCT is idempotent: ‖‖n‖‖ = ‖n‖.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_idem"),
+        instantiate=_two_table_factory(lhs, rhs, ("R",)))
+
+
+def basic_rules() -> Tuple[RewriteRule, ...]:
+    """The eight basic rules of Figure 8."""
+    return (
+        _sel_union_distr(),
+        _sel_split(),
+        _sel_comm(),
+        _join_comm(),
+        _join_assoc(),
+        _union_comm(),
+        _union_assoc(),
+        _distinct_idem(),
+    )

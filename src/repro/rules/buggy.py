@@ -1,0 +1,130 @@
+"""Deliberately unsound rewrites — real optimizer mistakes.
+
+The paper's opening motivation (Sec. 1) is that production databases have
+shipped unsound rewrites: PostgreSQL bug #5673 (a plan transformation
+returning wrong results) and MySQL bug #70038 (wrong COUNT(DISTINCT) in the
+presence of a unique key).  These rules encode classic set/bag confusions
+of that family.  Each must (a) be *rejected* by the prover and (b) be
+*refuted* by the random-instance falsifier with a concrete counterexample —
+reproducing the paper's claim that "common mistakes made in query
+optimization fail to pass our formal verification".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import INT, Leaf
+from .common import SR, SS, standard_interpretation, table
+from .rule import RewriteRule
+
+_R = table("R", SR)
+_S_SAME = table("S", SR)
+_S = table("S", SS)
+
+
+def _bad_distinct_push_join() -> RewriteRule:
+    # DISTINCT (R × S)  ≢  (DISTINCT R) × S: the right side keeps S's
+    # duplicate multiplicities.
+    lhs = ast.Distinct(ast.Product(_R, _S))
+    rhs = ast.Product(ast.Distinct(_R), _S)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="bad_distinct_push_join", category="buggy",
+        description="UNSOUND: pushing DISTINCT to one side of a join "
+                    "(set/bag confusion).",
+        lhs=lhs, rhs=rhs, sound=False,
+        tactic_script=("rejected",),
+        instantiate=factory)
+
+
+def _bad_union_distinct() -> RewriteRule:
+    # DISTINCT (R UNION ALL S)  ≢  (DISTINCT R) UNION ALL (DISTINCT S):
+    # a tuple present in both sides is double-counted on the right.
+    lhs = ast.Distinct(ast.UnionAll(_R, _S_SAME))
+    rhs = ast.UnionAll(ast.Distinct(_R), ast.Distinct(_S_SAME))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="bad_union_distinct", category="buggy",
+        description="UNSOUND: DISTINCT does not distribute over UNION ALL.",
+        lhs=lhs, rhs=rhs, sound=False,
+        tactic_script=("rejected",),
+        instantiate=factory)
+
+
+def _bad_self_join_dedup_bag() -> RewriteRule:
+    # The paper's Q3 ≡ Q2 (Figure 2) REQUIRES the DISTINCT: at bag
+    # semantics the self-join squares multiplicities.
+    p = ast.PVar("p", SR, Leaf(INT))
+    lhs = ast.Select(
+        ast.path(ast.RIGHT, ast.LEFT, p),
+        ast.Where(
+            ast.Product(_R, _R),
+            ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT, p), INT),
+                       ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, p), INT))))
+    rhs = ast.Select(ast.path(ast.RIGHT, p), _R)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",), attrs=("p",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="bad_self_join_dedup_bag", category="buggy",
+        description="UNSOUND: the Figure 2 self-join elimination *without* "
+                    "DISTINCT — multiplicities square under bag semantics.",
+        lhs=lhs, rhs=rhs, sound=False,
+        tactic_script=("rejected",),
+        paper_ref="Figure 2 (DISTINCT omitted)",
+        instantiate=factory)
+
+
+def _bad_except_assoc() -> RewriteRule:
+    # (R EXCEPT S) EXCEPT T  ≢  R EXCEPT (S EXCEPT T).
+    t = table("T", SR)
+    lhs = ast.Except(ast.Except(_R, _S_SAME), t)
+    rhs = ast.Except(_R, ast.Except(_S_SAME, t))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S", "T"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="bad_except_assoc", category="buggy",
+        description="UNSOUND: EXCEPT is not associative (a tuple in S∩T "
+                    "survives the right-hand side).",
+        lhs=lhs, rhs=rhs, sound=False,
+        tactic_script=("rejected",),
+        instantiate=factory)
+
+
+def _bad_count_distinct_key() -> RewriteRule:
+    # MySQL bug #70038's shape: treating COUNT over a projection as if the
+    # projection were duplicate-free because SOME key exists — here the
+    # projected attribute is NOT the key, so dropping DISTINCT is wrong.
+    p = ast.PVar("p", SR, Leaf(INT))
+    lhs = ast.Distinct(ast.Select(ast.path(ast.RIGHT, p), _R))
+    rhs = ast.Select(ast.path(ast.RIGHT, p), _R)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",), attrs=("p",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="bad_count_distinct_key", category="buggy",
+        description="UNSOUND: dropping DISTINCT from a non-key projection "
+                    "(the MySQL #70038 family).",
+        lhs=lhs, rhs=rhs, sound=False,
+        tactic_script=("rejected",),
+        paper_ref="Sec. 1 [45]",
+        instantiate=factory)
+
+
+def buggy_rules() -> Tuple[RewriteRule, ...]:
+    """Unsound rewrites the system must reject and refute."""
+    return (
+        _bad_distinct_push_join(),
+        _bad_union_distinct(),
+        _bad_self_join_dedup_bag(),
+        _bad_except_assoc(),
+        _bad_count_distinct_key(),
+    )

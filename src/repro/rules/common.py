@@ -1,0 +1,174 @@
+"""Shared building blocks for the rewrite-rule library.
+
+Generic rules quantify over schemas (``SVar``), relations (:class:`Table`
+with a variable schema), predicates (``PredVar``), and attributes
+(``PVar``).  This module provides:
+
+* the standard schema variables the rule modules share,
+* the **θ-semijoin macro** of paper Sec. 5.1.3
+  (``A SEMIJOIN B ON θ  :=  A WHERE EXISTS (SELECT * FROM B WHERE θ)``),
+* the **GROUP BY desugaring** of paper Sec. 4.2 (grouping as a correlated
+  subquery feeding an aggregate),
+* concretization helpers used by every rule's random-instance oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core import ast
+from ..core.schema import EMPTY, INT, Leaf, Node, Schema, SVar
+from ..engine.database import Interpretation
+from ..engine.random_instances import (
+    deterministic_predicate,
+    path_projection,
+    random_keyed_relation,
+    random_relation,
+)
+from ..semiring.semirings import NAT
+
+# Schema variables shared by rule statements.  Distinct rules may reuse the
+# same variable; each rule quantifies over it independently.
+SR = SVar("sR")
+SS = SVar("sS")
+ST = SVar("sT")
+
+#: The concrete schema instantiators use for every schema variable:
+#: a two-attribute relation (attributes reachable at paths L and R).
+CONCRETE = Node(Leaf(INT), Leaf(INT))
+
+#: The concrete paths attribute metavariables can be instantiated with.
+LEAF_PATHS = (("L",), ("R",))
+
+
+def table(name: str, schema: Schema = SR) -> ast.Table:
+    """A relation metavariable."""
+    return ast.Table(name, schema)
+
+
+def where_pred(name: str, schema: Schema) -> ast.PredVar:
+    """A predicate metavariable for a top-level ``WHERE`` over ``schema``.
+
+    Its context is ``node empty σ`` — the shape Figure 7 gives to a
+    predicate in ``q WHERE b`` when the outer context is empty.
+    """
+    return ast.PredVar(name, Node(EMPTY, schema))
+
+
+def const_expr(name: str) -> ast.Expression:
+    """A generic constant: an expression metavariable over the empty context.
+
+    Usable in any context by casting down to ``empty`` first — the paper's
+    nullary uninterpreted function.
+    """
+    return ast.CastExpr(ast.EMPTYP, ast.ExprVar(name, EMPTY, INT))
+
+
+def attr_expr(*steps: ast.Projection) -> ast.Expression:
+    """Read an int attribute through a projection path."""
+    return ast.P2E(ast.path(*steps), INT)
+
+
+def semijoin(left: ast.Query, right: ast.Query, theta: ast.PredVar
+             ) -> ast.Query:
+    """``left SEMIJOIN right ON theta`` (paper Sec. 5.1.3).
+
+    ``theta`` must be a predicate metavariable over ``node σ_left σ_right``;
+    the macro inserts the CASTPRED re-scoping the paper requires.
+    """
+    cast = ast.Duplicate(ast.path(ast.LEFT, ast.RIGHT), ast.RIGHT)
+    return ast.Where(
+        left,
+        ast.Exists(ast.Where(right, ast.CastPred(cast, theta))))
+
+
+def semijoin_on(left: ast.Query, right: ast.Query,
+                pair_predicate: ast.Predicate) -> ast.Query:
+    """θ-semijoin with an explicit predicate over ``node σ_left σ_right``."""
+    cast = ast.Duplicate(ast.path(ast.LEFT, ast.RIGHT), ast.RIGHT)
+    return ast.Where(
+        left,
+        ast.Exists(ast.Where(right, ast.CastPred(cast, pair_predicate))))
+
+
+def groupby_agg(source: ast.Query, key: ast.PVar, value: ast.PVar,
+                agg_name: str) -> ast.Query:
+    """GROUP BY desugared per paper Sec. 4.2.
+
+    ``SELECT k, agg(v) FROM source GROUP BY k`` becomes::
+
+        DISTINCT SELECT (k(t), agg(SELECT v FROM source WHERE k(s) = k(t)))
+        FROM source
+
+    ``key`` and ``value`` are attribute metavariables on ``source``'s
+    schema.  The output schema is ``node (leaf int) (leaf int)``.
+    """
+    # Context inside the SELECT projection: node Γ σ; the current source
+    # tuple sits at Right.
+    key_of_current = ast.path(ast.RIGHT, key)
+    # Context inside the correlated subquery's WHERE: node (node Γ σ) σ —
+    # the inner tuple at Right, the grouping tuple at Left.Right.
+    correlated = ast.Where(
+        source,
+        ast.PredEq(attr_expr(ast.RIGHT, key),
+                   attr_expr(ast.LEFT, ast.RIGHT, key)))
+    per_group = ast.Select(ast.path(ast.RIGHT, value), correlated)
+    agg = ast.Agg(agg_name, per_group, INT)
+    projection = ast.Duplicate(key_of_current, ast.E2P(agg, INT))
+    return ast.Distinct(ast.Select(projection, source))
+
+
+# ---------------------------------------------------------------------------
+# Concretization helpers for the oracle
+# ---------------------------------------------------------------------------
+
+def standard_interpretation(
+        rng: random.Random,
+        tables: Tuple[str, ...],
+        attrs: Tuple[str, ...] = (),
+        preds: Tuple[str, ...] = (),
+        consts: Tuple[str, ...] = (),
+        keyed: Dict[str, str] | None = None,
+        max_rows: int = 5) -> Interpretation:
+    """A random interpretation over the standard concrete schema.
+
+    Args:
+        rng: the PRNG driving all choices.
+        tables: relation metavariables to instantiate.
+        attrs: attribute (``PVar``) metavariables → random leaf paths.
+        preds: predicate (``PredVar``) metavariables → deterministic
+            pseudo-random boolean functions.
+        consts: expression metavariables → random constants.
+        keyed: table name → attribute name that must be a key of it; the
+            attribute is forced to a definite path and the relation is
+            generated key-consistent.
+        max_rows: support-size bound for generated relations.
+    """
+    keyed = keyed or {}
+    interp = Interpretation()
+    projections: Dict[str, Callable[[Any], Any]] = {}
+    attr_paths: Dict[str, Tuple[str, ...]] = {}
+    for attr in attrs:
+        path = rng.choice(LEAF_PATHS)
+        attr_paths[attr] = path
+        projections[attr] = path_projection(path)
+    for name in tables:
+        key_attr = keyed.get(name)
+        if key_attr is not None:
+            key_path = attr_paths[key_attr]
+            interp.relations[name] = random_keyed_relation(
+                rng, CONCRETE, key_path, NAT, max_rows=max_rows)
+        else:
+            interp.relations[name] = random_relation(
+                rng, CONCRETE, NAT, max_rows=max_rows)
+        interp.schemas[name] = CONCRETE
+    interp.projections.update(projections)
+    for pred in preds:
+        interp.predicates[pred] = deterministic_predicate(
+            rng.randrange(1 << 30))
+    for const in consts:
+        value = rng.choice((0, 1, 2))
+        interp.expressions[const] = (
+            lambda _unit, _value=value: _value)
+    return interp

@@ -1,0 +1,105 @@
+"""Conjunctive-query rules (Figure 8 row "Conjunctive Query": 2 rules).
+
+Both rules are proved *fully automatically* by the decision procedure of
+paper Sec. 5.2 — the one-line proofs of Figure 8.  The first is the
+redundant-self-join example the paper develops across Figure 2; the second
+is the Sec. 5.2 example whose containment mappings Figure 10 visualizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import INT, Leaf, SVar
+from .common import SR, standard_interpretation, table
+from .rule import RewriteRule
+
+_R = table("R", SR)
+
+
+def self_join_queries() -> Tuple[ast.Query, ast.Query]:
+    """The Figure 2 pair: Q3 (redundant self-join) and Q2."""
+    p = ast.PVar("p", SR, Leaf(INT))
+    q3 = ast.Distinct(ast.Select(
+        ast.path(ast.RIGHT, ast.LEFT, p),
+        ast.Where(
+            ast.Product(_R, _R),
+            ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT, p), INT),
+                       ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, p), INT)))))
+    q2 = ast.Distinct(ast.Select(ast.path(ast.RIGHT, p), _R))
+    return q3, q2
+
+
+def _self_join_dedup() -> RewriteRule:
+    lhs, rhs = self_join_queries()
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",), attrs=("p",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="cq_self_join_dedup", category="conjunctive",
+        description="Redundant self-join under DISTINCT (paper Q2 ≡ Q3, "
+                    "Figure 2) — decided automatically.",
+        lhs=lhs, rhs=rhs, automatic=True,
+        tactic_script=("cq_decide",),
+        paper_ref="Figure 2 / Sec. 5.2",
+        instantiate=factory)
+
+
+def fig10_queries() -> Tuple[ast.Query, ast.Query]:
+    """The Sec. 5.2 example whose mappings Figure 10 draws.
+
+    ``SELECT DISTINCT x.c1 FROM R1 x, R2 y WHERE x.c2 = y.c3``  vs
+    ``SELECT DISTINCT x.c1 FROM R1 x, R1 y, R2 z
+      WHERE x.c1 = y.c1 AND x.c2 = z.c3``.
+    """
+    s1 = SVar("s1")
+    s2 = SVar("s2")
+    r1 = table("R1", s1)
+    r2 = table("R2", s2)
+    c1 = ast.PVar("c1", s1, Leaf(INT))
+    c2 = ast.PVar("c2", s1, Leaf(INT))
+    c3 = ast.PVar("c3", s2, Leaf(INT))
+
+    lhs = ast.Distinct(ast.Select(
+        ast.path(ast.RIGHT, ast.LEFT, c1),
+        ast.Where(
+            ast.Product(r1, r2),
+            ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT, c2), INT),
+                       ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, c3), INT)))))
+
+    x = ast.path(ast.RIGHT, ast.LEFT, ast.LEFT)
+    y = ast.path(ast.RIGHT, ast.LEFT, ast.RIGHT)
+    z = ast.path(ast.RIGHT, ast.RIGHT)
+    rhs = ast.Distinct(ast.Select(
+        ast.Compose(x, c1),
+        ast.Where(
+            ast.Product(ast.Product(r1, r1), r2),
+            ast.PredAnd(
+                ast.PredEq(ast.P2E(ast.Compose(x, c1), INT),
+                           ast.P2E(ast.Compose(y, c1), INT)),
+                ast.PredEq(ast.P2E(ast.Compose(x, c2), INT),
+                           ast.P2E(ast.Compose(z, c3), INT))))))
+    return lhs, rhs
+
+
+def _fig10_example() -> RewriteRule:
+    lhs, rhs = fig10_queries()
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R1", "R2"),
+                                         attrs=("c1", "c2", "c3"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="cq_fig10_example", category="conjunctive",
+        description="The Sec. 5.2 equivalence decided by the procedure; its "
+                    "two containment mappings are the paper's Figure 10.",
+        lhs=lhs, rhs=rhs, automatic=True,
+        tactic_script=("cq_decide",),
+        paper_ref="Sec. 5.2 / Figure 10",
+        instantiate=factory)
+
+
+def conjunctive_rules() -> Tuple[RewriteRule, ...]:
+    """The two automatically decided CQ rules of Figure 8."""
+    return (_self_join_dedup(), _fig10_example())

@@ -1,0 +1,190 @@
+"""Extended verified rules — beyond the paper's 23.
+
+The paper's Figure 8 evaluates a fixed corpus; a production rewriting
+system carries many more laws of the same flavors.  This module adds a
+further set of rules provable by the same engine (they do *not* count
+toward the Figure 8 reproduction — the registry keeps them in their own
+``extended`` category):
+
+* projection/union interaction,
+* annihilation and identity laws for the empty relation,
+* truncation laws (OR as union under DISTINCT, double negation,
+  DISTINCT through product),
+* EXISTS distribution over UNION ALL,
+* EXCEPT laws.
+
+Each rule carries an instantiator, so the oracle validates all of them on
+random instances like the core 23.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import EMPTY, Node, SVar
+from .common import SR, SS, standard_interpretation, table, where_pred
+from .rule import RewriteRule
+
+_R = table("R", SR)
+_S_SAME = table("S", SR)
+_S = table("S", SS)
+
+
+def _factory(lhs, rhs, tables, preds=()):
+    def factory(rng: random.Random):
+        return lhs, rhs, standard_interpretation(rng, tables, preds=preds)
+    return factory
+
+
+def _proj_union_distr() -> RewriteRule:
+    p = ast.PVar("p", Node(EMPTY, SR), SVar("sOut"))
+    lhs = ast.Select(p, ast.UnionAll(_R, _S_SAME))
+    rhs = ast.UnionAll(ast.Select(p, _R), ast.Select(p, _S_SAME))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S"))
+        interp.projections["p"] = lambda v: v[1][0]
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="proj_union_distr", category="extended",
+        description="Projection distributes over UNION ALL "
+                    "(Σ distributes over +).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "distribute_sum_over_add"),
+        instantiate=factory)
+
+
+def _except_self_is_empty() -> RewriteRule:
+    lhs = ast.Except(_R, _R)
+    rhs = ast.Where(_R, ast.PredFalse())
+    return RewriteRule(
+        name="except_self_is_empty", category="extended",
+        description="R EXCEPT R is the empty relation: R t × (R t → 0) = 0.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "neg_annihilates"),
+        instantiate=_factory(lhs, rhs, ("R",)))
+
+
+def _union_empty_identity() -> RewriteRule:
+    lhs = ast.UnionAll(_R, ast.Where(_R, ast.PredFalse()))
+    rhs = _R
+    return RewriteRule(
+        name="union_empty_identity", category="extended",
+        description="Adding the empty relation is the identity: n + 0 = n.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "add_unit"),
+        instantiate=_factory(lhs, rhs, ("R",)))
+
+
+def _empty_annihilates_product() -> RewriteRule:
+    lhs = ast.Product(ast.Where(_R, ast.PredFalse()), _S)
+    rhs = ast.Where(ast.Product(_R, _S), ast.PredFalse())
+    return RewriteRule(
+        name="empty_annihilates_product", category="extended",
+        description="An empty operand annihilates a product: 0 × n = 0.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_zero"),
+        instantiate=_factory(lhs, rhs, ("R", "S")))
+
+
+def _distinct_union_absorbs() -> RewriteRule:
+    lhs = ast.Distinct(ast.UnionAll(_R, _R))
+    rhs = ast.Distinct(_R)
+    return RewriteRule(
+        name="distinct_union_absorbs", category="extended",
+        description="Under DISTINCT a self-union collapses: ‖n + n‖ = ‖n‖.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_dedup"),
+        instantiate=_factory(lhs, rhs, ("R",)))
+
+
+def _distinct_or_as_union() -> RewriteRule:
+    b1 = where_pred("b1", SR)
+    b2 = where_pred("b2", SR)
+    lhs = ast.Distinct(ast.Where(_R, ast.PredOr(b1, b2)))
+    rhs = ast.Distinct(ast.UnionAll(ast.Where(_R, b1), ast.Where(_R, b2)))
+    return RewriteRule(
+        name="distinct_or_as_union", category="extended",
+        description="Under DISTINCT, a disjunctive selection is a union of "
+                    "selections — false at bag level (double counting), "
+                    "true under ‖·‖.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_biimpl"),
+        instantiate=_factory(lhs, rhs, ("R",), ("b1", "b2")))
+
+
+def _distinct_product_distributes() -> RewriteRule:
+    lhs = ast.Distinct(ast.Product(_R, _S))
+    rhs = ast.Product(ast.Distinct(_R), ast.Distinct(_S))
+    return RewriteRule(
+        name="distinct_product_distributes", category="extended",
+        description="DISTINCT distributes over cross product: "
+                    "‖m × n‖ = ‖m‖ × ‖n‖.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_mul"),
+        instantiate=_factory(lhs, rhs, ("R", "S")))
+
+
+def _exists_union_or() -> RewriteRule:
+    b_inner = ast.PredVar("theta", Node(SR, SS))
+    cast = ast.Duplicate(ast.path(ast.LEFT, ast.RIGHT), ast.RIGHT)
+    guarded = ast.Where(_S, ast.CastPred(cast, b_inner))
+    s2 = table("S2", SS)
+    guarded2 = ast.Where(s2, ast.CastPred(cast, b_inner))
+    lhs = ast.Where(_R, ast.Exists(ast.UnionAll(guarded, guarded2)))
+    rhs = ast.Where(_R, ast.PredOr(ast.Exists(guarded),
+                                   ast.Exists(guarded2)))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S", "S2"),
+                                         preds=("theta",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="exists_union_or", category="extended",
+        description="EXISTS over a union is a disjunction of EXISTS: "
+                    "‖Σ(m + n)‖ = ‖‖Σm‖ + ‖Σn‖‖.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_add"),
+        instantiate=factory)
+
+
+def _double_negation() -> RewriteRule:
+    b = where_pred("b", SR)
+    lhs = ast.Where(_R, ast.PredNot(ast.PredNot(b)))
+    rhs = ast.Where(_R, b)
+    return RewriteRule(
+        name="double_negation", category="extended",
+        description="Double negation on a decidable predicate: "
+                    "(b → 0) → 0 = ‖b‖ = b for props.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "neg_neg"),
+        instantiate=_factory(lhs, rhs, ("R",), ("b",)))
+
+
+def _except_then_union_superset() -> RewriteRule:
+    # (R EXCEPT S) WHERE b ≡ (R WHERE b) EXCEPT S
+    b = where_pred("b", SR)
+    lhs = ast.Where(ast.Except(_R, _S_SAME), b)
+    rhs = ast.Except(ast.Where(_R, b), _S_SAME)
+    return RewriteRule(
+        name="sel_except_comm", category="extended",
+        description="Selection commutes with EXCEPT on the kept side.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_comm"),
+        instantiate=_factory(lhs, rhs, ("R", "S"), ("b",)))
+
+
+def extended_rules() -> Tuple[RewriteRule, ...]:
+    """Verified rules beyond the paper's Figure 8 corpus."""
+    return (
+        _proj_union_distr(),
+        _except_self_is_empty(),
+        _union_empty_identity(),
+        _empty_annihilates_product(),
+        _distinct_union_absorbs(),
+        _distinct_or_as_union(),
+        _distinct_product_distributes(),
+        _exists_union_or(),
+        _double_negation(),
+        _except_then_union_superset(),
+    )

@@ -1,0 +1,167 @@
+"""Index rewrite rules (paper Sec. 5.1.4, Figure 8 row "Index": 3 rules).
+
+Following Tsatalos et al. (VLDB 1994), an index is a *logical relation*:
+if ``k`` is a key of R and ``a`` an attribute, the index on ``a`` is the
+query ``I := SELECT k, a FROM R``.  Index rules therefore relate a plain
+scan with a join against the expanded view, and are valid only under the
+key hypothesis — which enters the prover as a Horn axiom
+(:class:`~repro.core.equivalence.KeyConstraint`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import INT, Leaf, SVar
+from ..engine.random_instances import path_projection
+from .common import attr_expr, const_expr, standard_interpretation, table
+from .rule import RewriteRule
+from ..core.equivalence import Hypotheses, KeyConstraint
+
+_S1 = SVar("s1")
+_R = table("R", _S1)
+_K = ast.PVar("k", _S1, Leaf(INT))
+_A = ast.PVar("a", _S1, Leaf(INT))
+
+_KEY_HYPS = Hypotheses(keys=(KeyConstraint("R", "k", Leaf(INT)),))
+
+
+def index_view() -> ast.Query:
+    """The index as a query: ``SELECT k, a FROM R`` (paper Sec. 4.2)."""
+    return ast.Select(
+        ast.Duplicate(ast.path(ast.RIGHT, _K), ast.path(ast.RIGHT, _A)), _R)
+
+
+def _keyed_factory(lhs: ast.Query, rhs: ast.Query, consts=("l",)):
+    def factory(rng: random.Random):
+        interp = standard_interpretation(
+            rng, ("R",), attrs=("a",), consts=consts, keyed={"R": "k"})
+        # "k" must be the key attribute: pick the leaf the keyed generator
+        # used.  standard_interpretation keys on an attrs entry, so wire "k"
+        # explicitly: the key path is the one registered for "k".
+        return lhs, rhs, interp
+    return factory
+
+
+def _index_scan() -> RewriteRule:
+    # SELECT * FROM R WHERE a = ℓ
+    #   ≡ SELECT (R part) FROM I, R WHERE I.a = ℓ AND I.k = R.k
+    ell = const_expr("l")
+    lhs = ast.Where(_R, ast.PredEq(ast.P2E(ast.Compose(ast.RIGHT, _A), INT),
+                                   ell))
+    eye = index_view()
+    pred = ast.PredAnd(
+        ast.PredEq(attr_expr(ast.RIGHT, ast.LEFT, ast.RIGHT), ell),
+        ast.PredEq(attr_expr(ast.RIGHT, ast.LEFT, ast.LEFT),
+                   ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, _K), INT)))
+    rhs = ast.Select(ast.path(ast.RIGHT, ast.RIGHT),
+                     ast.Where(ast.Product(eye, _R), pred))
+
+    def factory(rng: random.Random):
+        interp = standard_interpretation(
+            rng, (), attrs=())
+        # Key attribute at path L, indexed attribute at path R; relation
+        # generated key-consistent on L.
+        from ..engine.random_instances import random_keyed_relation
+        from .common import CONCRETE
+        from ..semiring.semirings import NAT
+        interp.relations["R"] = random_keyed_relation(rng, CONCRETE, ("L",),
+                                                      NAT)
+        interp.schemas["R"] = CONCRETE
+        interp.projections["k"] = path_projection(("L",))
+        interp.projections["a"] = path_projection(("R",))
+        value = rng.choice((0, 1, 2))
+        interp.expressions["l"] = lambda _unit, _v=value: _v
+        return lhs, rhs, interp
+
+    return RewriteRule(
+        name="index_scan", category="index",
+        description="Full scan with an attribute filter becomes an index "
+                    "lookup joined back on the key (paper Sec. 5.1.4); "
+                    "requires the key Horn axiom to collapse the join.",
+        lhs=lhs, rhs=rhs, hypotheses=_KEY_HYPS,
+        tactic_script=("extensionality", "sum_hoist", "point_eliminate",
+                       "key_axiom", "keyed_dedup", "absorb_lemma_5_3"),
+        paper_ref="Sec. 5.1.4",
+        instantiate=factory)
+
+
+def _index_key_lookup() -> RewriteRule:
+    # SELECT * FROM R WHERE k = ℓ
+    #   ≡ SELECT (R part) FROM I, R WHERE I.k = ℓ AND I.k = R.k
+    ell = const_expr("l")
+    lhs = ast.Where(_R, ast.PredEq(ast.P2E(ast.Compose(ast.RIGHT, _K), INT),
+                                   ell))
+    eye = index_view()
+    pred = ast.PredAnd(
+        ast.PredEq(attr_expr(ast.RIGHT, ast.LEFT, ast.LEFT), ell),
+        ast.PredEq(attr_expr(ast.RIGHT, ast.LEFT, ast.LEFT),
+                   ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, _K), INT)))
+    rhs = ast.Select(ast.path(ast.RIGHT, ast.RIGHT),
+                     ast.Where(ast.Product(eye, _R), pred))
+
+    def factory(rng: random.Random):
+        from ..engine.random_instances import random_keyed_relation
+        from .common import CONCRETE
+        from ..semiring.semirings import NAT
+        interp = standard_interpretation(rng, ())
+        interp.relations["R"] = random_keyed_relation(rng, CONCRETE, ("L",),
+                                                      NAT)
+        interp.schemas["R"] = CONCRETE
+        interp.projections["k"] = path_projection(("L",))
+        interp.projections["a"] = path_projection(("R",))
+        value = rng.choice((0, 1, 2))
+        interp.expressions["l"] = lambda _unit, _v=value: _v
+        return lhs, rhs, interp
+
+    return RewriteRule(
+        name="index_key_lookup", category="index",
+        description="Point lookup on the key routed through the index view.",
+        lhs=lhs, rhs=rhs, hypotheses=_KEY_HYPS,
+        tactic_script=("extensionality", "sum_hoist", "point_eliminate",
+                       "key_axiom", "keyed_dedup"),
+        paper_ref="Sec. 5.1.4",
+        instantiate=factory)
+
+
+def _index_semijoin_elim() -> RewriteRule:
+    # R ⋉_{k = k} I ≡ R: probing your own index is a no-op.
+    eye = index_view()
+    pred = ast.PredEq(
+        ast.P2E(ast.path(ast.LEFT, _K), INT),
+        attr_expr(ast.RIGHT, ast.LEFT))
+    lhs = ast.Where(_R, ast.Exists(ast.Where(
+        eye,
+        ast.CastPred(ast.Duplicate(ast.path(ast.LEFT, ast.RIGHT), ast.RIGHT),
+                     pred))))
+    rhs = _R
+
+    def factory(rng: random.Random):
+        from ..engine.random_instances import random_keyed_relation
+        from .common import CONCRETE
+        from ..semiring.semirings import NAT
+        interp = standard_interpretation(rng, ())
+        interp.relations["R"] = random_keyed_relation(rng, CONCRETE, ("L",),
+                                                      NAT)
+        interp.schemas["R"] = CONCRETE
+        interp.projections["k"] = path_projection(("L",))
+        interp.projections["a"] = path_projection(("R",))
+        return lhs, rhs, interp
+
+    return RewriteRule(
+        name="index_semijoin_elim", category="index",
+        description="Semijoining a relation against its own index on the "
+                    "key eliminates the probe: the witness is the row's own "
+                    "index entry (k(t), a(t)).",
+        lhs=lhs, rhs=rhs, hypotheses=_KEY_HYPS,
+        tactic_script=("extensionality", "absorb_lemma_5_3",
+                       "instantiate_witness_pair"),
+        paper_ref="Sec. 5.1.4",
+        instantiate=factory)
+
+
+def index_rules() -> Tuple[RewriteRule, ...]:
+    """The three index rules of Figure 8."""
+    return (_index_scan(), _index_key_lookup(), _index_semijoin_elim())

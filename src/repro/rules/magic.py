@@ -1,0 +1,223 @@
+"""Magic-set rewrite rules (paper Sec. 5.1.3, Figure 8 row "Magic Set": 7).
+
+Magic set rewrites push "filters" derived from one part of a query into
+another via θ-semijoins.  As described in Seshadri et al. (SIGMOD 1996),
+every magic set rewrite is composed from three primitive rules:
+introduction of a θ-semijoin, pushing a θ-semijoin through a join, and
+pushing a θ-semijoin through aggregation.  We prove those three plus four
+supporting semijoin laws optimizers use alongside them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import EMPTY, INT, Leaf, Node, SVar
+from .common import (
+    attr_expr,
+    groupby_agg,
+    semijoin,
+    semijoin_on,
+    standard_interpretation,
+    table,
+)
+from .rule import RewriteRule
+
+_S1 = SVar("s1")
+_S2 = SVar("s2")
+_S3 = SVar("s3")
+
+
+def _theta(name: str, left: SVar, right: SVar) -> ast.PredVar:
+    """A join predicate metavariable over a pair of tuple schemas."""
+    return ast.PredVar(name, Node(left, right))
+
+
+def _semijoin_intro() -> RewriteRule:
+    # R2 ⋈θ R1  ≡  (R2 ⋉θ R1) ⋈θ R1      (paper Sec. 5.1.3, rule 1)
+    r1 = table("R1", _S1)
+    r2 = table("R2", _S2)
+    theta = _theta("theta", _S2, _S1)
+    join = ast.Where(ast.Product(r2, r1), ast.CastPred(ast.RIGHT, theta))
+    semi = semijoin(r2, r1, theta)
+    rhs = ast.Where(ast.Product(semi, r1), ast.CastPred(ast.RIGHT, theta))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R1", "R2"), preds=("theta",))
+        return join, rhs, interp
+    return RewriteRule(
+        name="semijoin_intro", category="magic",
+        description="Introduction of θ-semijoin: R2 ⋈θ R1 ≡ (R2 ⋉θ R1) ⋈θ "
+                    "R1; the semijoin's EXISTS is witnessed by the joined "
+                    "R1 row (Lemma 5.3).",
+        lhs=join, rhs=rhs,
+        tactic_script=("extensionality", "absorb_lemma_5_3",
+                       "instantiate_witness"),
+        paper_ref="Sec. 5.1.3",
+        instantiate=factory)
+
+
+def _semijoin_push_join() -> RewriteRule:
+    # (R1 ⋈θ1 R2) ⋉θ2 R3  ≡  (R1 ⋈θ1 R2') ⋉θ2 R3
+    # where R2' = R2 ⋉_{θ1∧θ2} (R1 × R3)     (paper Sec. 5.1.3, rule 2)
+    r1 = table("R1", _S1)
+    r2 = table("R2", _S2)
+    r3 = table("R3", _S3)
+    theta1 = _theta("theta1", _S1, _S2)
+    theta2 = _theta("theta2", Node(_S1, _S2), _S3)
+
+    join12 = ast.Where(ast.Product(r1, r2), ast.CastPred(ast.RIGHT, theta1))
+    lhs = semijoin(join12, r3, theta2)
+
+    # R2' — semijoin of R2 against R1 × R3 on θ1 ∧ θ2, with the casts
+    # selecting (r1, r2) for θ1 and ((r1, r2), r3) for θ2.
+    tup_r2 = ast.path(ast.LEFT, ast.RIGHT)
+    tup_r1 = ast.path(ast.RIGHT, ast.LEFT)
+    tup_r3 = ast.path(ast.RIGHT, ast.RIGHT)
+    pred = ast.PredAnd(
+        ast.CastPred(ast.Duplicate(tup_r1, tup_r2), theta1),
+        ast.CastPred(ast.Duplicate(ast.Duplicate(tup_r1, tup_r2), tup_r3),
+                     theta2))
+    r2_reduced = ast.Where(
+        r2, ast.Exists(ast.Where(ast.Product(r1, r3), pred)))
+    join12_reduced = ast.Where(ast.Product(r1, r2_reduced),
+                               ast.CastPred(ast.RIGHT, theta1))
+    rhs = semijoin(join12_reduced, r3, theta2)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R1", "R2", "R3"),
+                                         preds=("theta1", "theta2"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="semijoin_push_join", category="magic",
+        description="Pushing θ-semijoin through join; the inner EXISTS is "
+                    "witnessed by the pair (t.1, t1) built from available "
+                    "tuples (paper Sec. 5.1.3, rule 2).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "absorb_lemma_5_3",
+                       "instantiate_witness_pair"),
+        paper_ref="Sec. 5.1.3",
+        instantiate=factory)
+
+
+def _semijoin_push_agg() -> RewriteRule:
+    # F_{c1,count a}(R1) ⋉_{c1=c2} R2  ≡  F_{c1,count a}(R1 ⋉_{c1=c2} R2)
+    # (paper Sec. 5.1.3, rule 3 — proof omitted in the paper)
+    r1 = table("R1", _S1)
+    r2 = table("R2", _S2)
+    c1 = ast.PVar("c1", _S1, Leaf(INT))
+    a = ast.PVar("a", _S1, Leaf(INT))
+    c2 = ast.PVar("c2", _S2, Leaf(INT))
+
+    grouped = groupby_agg(r1, c1, a, "COUNT")
+    # Semijoin condition on the *group* tuple: its key column equals c2.
+    group_pred = ast.PredEq(attr_expr(ast.LEFT, ast.LEFT),
+                            attr_expr(ast.RIGHT, c2))
+    lhs = semijoin_on(grouped, r2, group_pred)
+
+    row_pred = ast.PredEq(ast.P2E(ast.Compose(ast.LEFT, c1), INT),
+                          attr_expr(ast.RIGHT, c2))
+    reduced = semijoin_on(r1, r2, row_pred)
+    rhs = groupby_agg(reduced, c1, a, "COUNT")
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R1", "R2"),
+                                         attrs=("c1", "a", "c2"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="semijoin_push_agg", category="magic",
+        description="Pushing θ-semijoin through grouping/aggregation "
+                    "(paper Sec. 5.1.3, rule 3; proof omitted there).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_biimpl", "agg_congruence",
+                       "absorb_lemma_5_3", "instantiate_witness"),
+        paper_ref="Sec. 5.1.3",
+        instantiate=factory)
+
+
+def _semijoin_idem() -> RewriteRule:
+    r = table("R", _S1)
+    s = table("S", _S2)
+    theta = _theta("theta", _S1, _S2)
+    once = semijoin(r, s, theta)
+    twice = semijoin(once, s, theta)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S"), preds=("theta",))
+        return twice, once, interp
+    return RewriteRule(
+        name="semijoin_idem", category="magic",
+        description="θ-semijoin is idempotent: duplicate EXISTS guards "
+                    "collapse (‖P‖ × ‖P‖ = ‖P‖).",
+        lhs=twice, rhs=once,
+        tactic_script=("extensionality", "squash_dedup"),
+        instantiate=factory)
+
+
+def _semijoin_sel_comm() -> RewriteRule:
+    r = table("R", _S1)
+    s = table("S", _S2)
+    theta = _theta("theta", _S1, _S2)
+    b = ast.PredVar("b", Node(EMPTY, _S1))
+    lhs = ast.Where(semijoin(r, s, theta), b)
+    rhs = semijoin(ast.Where(r, b), s, theta)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S"),
+                                         preds=("theta", "b"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="semijoin_sel_comm", category="magic",
+        description="θ-semijoin commutes with selection on the probe side.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_comm"),
+        instantiate=factory)
+
+
+def _semijoin_union_distr() -> RewriteRule:
+    r = table("R", _S1)
+    r_prime = table("Rp", _S1)
+    s = table("S", _S2)
+    theta = _theta("theta", _S1, _S2)
+    lhs = semijoin(ast.UnionAll(r, r_prime), s, theta)
+    rhs = ast.UnionAll(semijoin(r, s, theta), semijoin(r_prime, s, theta))
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "Rp", "S"),
+                                         preds=("theta",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="semijoin_union_distr", category="magic",
+        description="θ-semijoin distributes over UNION ALL.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "distribute_mul_over_add"),
+        instantiate=factory)
+
+
+def _semijoin_comm() -> RewriteRule:
+    r = table("R", _S1)
+    s = table("S", _S2)
+    t = table("T", _S3)
+    theta1 = _theta("theta1", _S1, _S2)
+    theta2 = _theta("theta2", _S1, _S3)
+    lhs = semijoin(semijoin(r, s, theta1), t, theta2)
+    rhs = semijoin(semijoin(r, t, theta2), s, theta1)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R", "S", "T"),
+                                         preds=("theta1", "theta2"))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="semijoin_comm", category="magic",
+        description="Independent θ-semijoins commute.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "mul_comm"),
+        instantiate=factory)
+
+
+def magic_rules() -> Tuple[RewriteRule, ...]:
+    """The seven magic-set rules of Figure 8."""
+    return (
+        _semijoin_intro(),
+        _semijoin_push_join(),
+        _semijoin_push_agg(),
+        _semijoin_idem(),
+        _semijoin_sel_comm(),
+        _semijoin_union_distr(),
+        _semijoin_comm(),
+    )

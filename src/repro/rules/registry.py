@@ -1,0 +1,67 @@
+"""The rule registry: all 23 rules of Figure 8 (plus the buggy controls).
+
+``PAPER_FIGURE_8`` records the counts and average proof LOC the paper
+reports; the Figure 8 benchmark regenerates the table from this library and
+compares shapes (rule counts per category must match; proof effort must
+preserve the paper's ordering, with conjunctive queries fully automatic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .aggregation import aggregation_rules
+from .basic import basic_rules
+from .buggy import buggy_rules
+from .conjunctive import conjunctive_rules
+from .extended import extended_rules
+from .index import index_rules
+from .magic import magic_rules
+from .rule import RewriteRule
+from .subquery import subquery_rules
+
+#: Paper Figure 8: category → (number of rules, average lines of Coq proof).
+PAPER_FIGURE_8: Dict[str, Tuple[int, float]] = {
+    "basic": (8, 11.1),
+    "aggregation": (1, 50.0),
+    "subquery": (2, 17.0),
+    "magic": (7, 30.3),
+    "index": (3, 64.0),
+    "conjunctive": (2, 1.0),
+}
+
+#: Display order of the categories, matching the paper's table.
+CATEGORY_ORDER = ("basic", "aggregation", "subquery", "magic", "index",
+                  "conjunctive")
+
+
+def all_rules() -> Tuple[RewriteRule, ...]:
+    """All sound rules — the 23 of Figure 8."""
+    return (basic_rules() + aggregation_rules() + subquery_rules()
+            + magic_rules() + index_rules() + conjunctive_rules())
+
+
+def all_extended_rules() -> Tuple[RewriteRule, ...]:
+    """Verified rules beyond the Figure 8 corpus (category ``extended``)."""
+    return extended_rules()
+
+
+def all_buggy_rules() -> Tuple[RewriteRule, ...]:
+    """The unsound control rules."""
+    return buggy_rules()
+
+
+def rules_by_category() -> Dict[str, List[RewriteRule]]:
+    """Sound rules grouped by Figure 8 category."""
+    grouped: Dict[str, List[RewriteRule]] = {c: [] for c in CATEGORY_ORDER}
+    for rule in all_rules():
+        grouped[rule.category].append(rule)
+    return grouped
+
+
+def get_rule(name: str) -> RewriteRule:
+    """Look up a rule (core, extended, or buggy) by name."""
+    for rule in all_rules() + all_extended_rules() + all_buggy_rules():
+        if rule.name == name:
+            return rule
+    raise KeyError(f"no rule named {name!r}")

@@ -1,0 +1,79 @@
+"""Subquery rewrite rules (Figure 8 row "Subquery": 2 rules).
+
+Subquery elimination is a staple of production optimizers (the paper cites
+optimizer bugs in exactly this machinery [17, 43]).  The two rules here are
+the generic forms: flattening a nested SELECT, and eliminating a correlated
+EXISTS that is implied by the outer row.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..core import ast
+from ..core.schema import EMPTY, INT, Leaf, Node, SVar
+from ..engine.random_instances import deterministic_expression
+from .common import SR, standard_interpretation, table
+from .rule import RewriteRule
+
+_SA = SVar("sA")
+_R = table("R", SR)
+
+
+def _select_compose() -> RewriteRule:
+    # p1 projects a tuple of R (with its context) to schema sA; p2 continues
+    # from sA (with context) to sB.  Flattening composes them.
+    sb = SVar("sB")
+    p1 = ast.PVar("p1", Node(EMPTY, SR), _SA)
+    p2 = ast.PVar("p2", Node(EMPTY, _SA), sb)
+    lhs = ast.Select(p2, ast.Select(p1, _R))
+    rhs = ast.Select(ast.Compose(ast.Duplicate(ast.LEFT, p1), p2), _R)
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",))
+        # p1: a function of the current R-tuple; p2: a function of p1's
+        # output.  Both deterministic so each side computes the same bag.
+        inner = deterministic_expression(rng.randrange(1 << 30), (0, 1, 2))
+        outer = deterministic_expression(rng.randrange(1 << 30), (0, 1, 2, 3))
+        interp.projections["p1"] = lambda v: inner(v[1])
+        interp.projections["p2"] = lambda v: outer(v[1])
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="subquery_flatten", category="subquery",
+        description="Nested SELECTs compose: SELECT p2 (SELECT p1 R) is one "
+                    "SELECT of the composed projection (point elimination of "
+                    "the intermediate tuple).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "sum_hoist", "point_eliminate"),
+        paper_ref="Sec. 3.2",
+        instantiate=factory)
+
+
+def _exists_self_elim() -> RewriteRule:
+    # R WHERE EXISTS (SELECT * FROM R WHERE p(inner) = p(outer))  ≡  R.
+    # The witness is the outer row itself (Lemma 5.3).
+    p = ast.PVar("p", SR, Leaf(INT))
+    inner = ast.Where(
+        _R,
+        ast.PredEq(ast.P2E(ast.path(ast.RIGHT, p), INT),
+                   ast.P2E(ast.path(ast.LEFT, ast.RIGHT, p), INT)))
+    lhs = ast.Where(_R, ast.Exists(inner))
+    rhs = _R
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",), attrs=("p",))
+        return lhs, rhs, interp
+    return RewriteRule(
+        name="exists_self_elim", category="subquery",
+        description="A correlated EXISTS implied by the outer row is "
+                    "eliminated (subquery elimination): R WHERE EXISTS "
+                    "(σ_{p=p(t)} R) ≡ R, witnessed by t itself.",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "absorb_lemma_5_3",
+                       "instantiate_witness"),
+        paper_ref="Sec. 5.1.3 (Lemma 5.3)",
+        instantiate=factory)
+
+
+def subquery_rules() -> Tuple[RewriteRule, ...]:
+    """The two subquery rules of Figure 8."""
+    return (_select_compose(), _exists_self_elim())

@@ -1,0 +1,48 @@
+"""Semiring substrate: cardinals, semirings, K-relations, provenance.
+
+This package implements the mathematical substrate the paper builds on:
+K-relations over commutative semirings (Green et al., PODS 2007) and the
+paper's generalization to infinite cardinal multiplicities.
+"""
+
+from .cardinal import OMEGA, ONE, ZERO, Cardinal, cardinal_product, cardinal_sum
+from .krelation import KRelation
+from .provenance import PROVENANCE, Polynomial, ProvenanceSemiring, annotate_distinctly
+from .semirings import (
+    BOOL,
+    NAT,
+    NAT_INF,
+    STANDARD_SEMIRINGS,
+    TROPICAL,
+    BoolSemiring,
+    NatInfSemiring,
+    NatSemiring,
+    Semiring,
+    TropicalSemiring,
+    check_semiring_laws,
+)
+
+__all__ = [
+    "BOOL",
+    "BoolSemiring",
+    "Cardinal",
+    "KRelation",
+    "NAT",
+    "NAT_INF",
+    "NatInfSemiring",
+    "NatSemiring",
+    "OMEGA",
+    "ONE",
+    "PROVENANCE",
+    "Polynomial",
+    "ProvenanceSemiring",
+    "STANDARD_SEMIRINGS",
+    "Semiring",
+    "TROPICAL",
+    "TropicalSemiring",
+    "ZERO",
+    "annotate_distinctly",
+    "cardinal_product",
+    "cardinal_sum",
+    "check_semiring_laws",
+]

@@ -1,0 +1,171 @@
+"""Cardinal numbers with a distinguished infinite element ``omega``.
+
+HoTTSQL's first generalization of K-relations (paper Sec. 2) drops the
+finite-support requirement and lets a tuple's multiplicity be *any* cardinal,
+finite or infinite.  In the Coq artifact multiplicities are univalent types;
+their decategorified image — what equational reasoning actually observes —
+is cardinal arithmetic.  This module provides that arithmetic.
+
+We model the cardinals relevant to countable databases: the naturals together
+with a single countably-infinite cardinal ``omega`` (aleph-0).  All semiring
+laws used by the paper's proofs hold:
+
+* ``(Cardinal, +, ×, 0, 1)`` is a commutative semiring,
+* ``omega`` is absorbing for ``+`` and for ``×`` against non-zero values,
+* ``0 × omega = 0`` (the empty type times anything is empty),
+* squash/truncation ``‖n‖`` collapses to ``0`` or ``1``,
+* negation ``n → 0`` is ``1`` iff ``n = 0``.
+
+Cardinals are immutable and hashable, so they can be used as K-relation
+multiplicities and dictionary values.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Union
+
+_OMEGA_SENTINEL = object()
+
+
+@functools.total_ordering
+class Cardinal:
+    """A cardinal number: a natural number or the infinite cardinal omega.
+
+    Construct with ``Cardinal(n)`` for finite values or use the module-level
+    constant :data:`OMEGA`.  Arithmetic follows cardinal arithmetic for
+    countable cardinals: addition and multiplication of finite values are the
+    usual ones; any sum involving omega is omega; any product involving omega
+    is omega unless the other factor is zero.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, object]) -> None:
+        if value is _OMEGA_SENTINEL:
+            self._value = _OMEGA_SENTINEL
+        else:
+            if not isinstance(value, int):
+                raise TypeError(f"Cardinal requires an int or omega, got {value!r}")
+            if value < 0:
+                raise ValueError(f"Cardinal cannot be negative: {value}")
+            self._value = value
+
+    # -- basic predicates -------------------------------------------------
+
+    @property
+    def is_infinite(self) -> bool:
+        """True iff this cardinal is omega."""
+        return self._value is _OMEGA_SENTINEL
+
+    @property
+    def is_finite(self) -> bool:
+        """True iff this cardinal is a natural number."""
+        return not self.is_infinite
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff this cardinal is 0."""
+        return self._value == 0
+
+    def finite_value(self) -> int:
+        """Return the underlying natural number.
+
+        Raises:
+            ValueError: if the cardinal is omega.
+        """
+        if self.is_infinite:
+            raise ValueError("omega has no finite value")
+        return self._value  # type: ignore[return-value]
+
+    # -- semiring operations ----------------------------------------------
+
+    def __add__(self, other: "Cardinal") -> "Cardinal":
+        other = _coerce(other)
+        if self.is_infinite or other.is_infinite:
+            return OMEGA
+        return Cardinal(self._value + other._value)  # type: ignore[operator]
+
+    __radd__ = __add__
+
+    def __mul__(self, other: "Cardinal") -> "Cardinal":
+        other = _coerce(other)
+        if self.is_zero or other.is_zero:
+            return ZERO
+        if self.is_infinite or other.is_infinite:
+            return OMEGA
+        return Cardinal(self._value * other._value)  # type: ignore[operator]
+
+    __rmul__ = __mul__
+
+    def squash(self) -> "Cardinal":
+        """Propositional truncation ``‖n‖``: 0 stays 0, everything else is 1."""
+        return ZERO if self.is_zero else ONE
+
+    def negate(self) -> "Cardinal":
+        """The type ``n → 0``: 1 when n is 0, otherwise 0."""
+        return ONE if self.is_zero else ZERO
+
+    # -- comparison / hashing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, int):
+            other = Cardinal(other)
+        if not isinstance(other, Cardinal):
+            return NotImplemented
+        return self._value is other._value if self.is_infinite or other.is_infinite \
+            else self._value == other._value
+
+    def __lt__(self, other: "Cardinal") -> bool:
+        other = _coerce(other)
+        if self.is_infinite:
+            return False
+        if other.is_infinite:
+            return True
+        return self._value < other._value  # type: ignore[operator]
+
+    def __hash__(self) -> int:
+        return hash(("Cardinal", "omega" if self.is_infinite else self._value))
+
+    def __repr__(self) -> str:
+        return "omega" if self.is_infinite else f"Cardinal({self._value})"
+
+    def __str__(self) -> str:
+        return "ω" if self.is_infinite else str(self._value)
+
+    def __bool__(self) -> bool:
+        return not self.is_zero
+
+
+def _coerce(value: Union[int, Cardinal]) -> Cardinal:
+    if isinstance(value, Cardinal):
+        return value
+    if isinstance(value, int):
+        return Cardinal(value)
+    raise TypeError(f"cannot interpret {value!r} as a Cardinal")
+
+
+#: The zero cardinal (the empty type).
+ZERO = Cardinal(0)
+
+#: The unit cardinal (the singleton type).
+ONE = Cardinal(1)
+
+#: The countably infinite cardinal (aleph-0).
+OMEGA = Cardinal(_OMEGA_SENTINEL)
+
+
+def cardinal_sum(values) -> Cardinal:
+    """Sum an iterable of cardinals (the finitary fragment of the paper's Σ)."""
+    total = ZERO
+    for v in values:
+        total = total + _coerce(v)
+    return total
+
+
+def cardinal_product(values) -> Cardinal:
+    """Multiply an iterable of cardinals."""
+    total = ONE
+    for v in values:
+        total = total * _coerce(v)
+    return total

@@ -1,0 +1,206 @@
+"""K-relations: relations annotated with semiring multiplicities.
+
+A K-relation (paper Sec. 2) is a function from tuples to a commutative
+semiring K.  This module gives a concrete, finitely-supported implementation
+used by the evaluation engine: a mapping from (hashable) tuple values to
+non-zero annotations.  All relational operators of the paper's semantics are
+provided directly on K-relations:
+
+====================  =========================================
+SQL                    K-relation operation
+====================  =========================================
+``UNION ALL``          :meth:`KRelation.union_all`  (pointwise +)
+``FROM R, S``          :meth:`KRelation.cross`       (pointwise ×)
+``WHERE b``            :meth:`KRelation.select`      (× with indicator)
+``SELECT p``           :meth:`KRelation.project`     (Σ over preimages)
+``DISTINCT``           :meth:`KRelation.distinct`    (‖·‖)
+``EXCEPT``             :meth:`KRelation.except_`     (× with negated ‖·‖)
+====================  =========================================
+
+Note that although the *support* is finite, the multiplicities themselves may
+be infinite when K is :class:`~repro.semiring.semirings.NatInfSemiring` —
+this is precisely the regime the paper's semantics adds over plain
+K-relations, and the test suite uses it to reproduce the paper's Sec. 7
+finite-vs-infinite discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generic, Iterable, Iterator, Mapping, Tuple, TypeVar
+
+from .semirings import NAT, Semiring
+
+K = TypeVar("K")
+Row = Any
+
+
+class KRelation(Generic[K]):
+    """A finitely-supported K-relation over an arbitrary semiring.
+
+    Rows may be any hashable value; the evaluation engine uses nested pairs
+    mirroring HoTTSQL's binary-tree tuples.  Annotations equal to the
+    semiring zero are never stored, so ``supp(R) = set(R)``.
+    """
+
+    __slots__ = ("semiring", "_data")
+
+    def __init__(self, semiring: Semiring[K],
+                 data: Mapping[Row, K] | Iterable[Tuple[Row, K]] = ()) -> None:
+        self.semiring = semiring
+        self._data: Dict[Row, K] = {}
+        items = data.items() if isinstance(data, Mapping) else data
+        for row, annot in items:
+            self._add_in_place(row, annot)
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_bag(cls, semiring: Semiring[K], rows: Iterable[Row]) -> "KRelation[K]":
+        """Build from a bag of rows: each occurrence contributes ``one``."""
+        rel = cls(semiring)
+        for row in rows:
+            rel._add_in_place(row, semiring.one)
+        return rel
+
+    @classmethod
+    def empty(cls, semiring: Semiring[K]) -> "KRelation[K]":
+        """The empty relation."""
+        return cls(semiring)
+
+    def add(self, row: Row, annot: K) -> None:
+        """Accumulate ``annot`` onto ``row`` (semiring addition)."""
+        self._add_in_place(row, annot)
+
+    def _add_in_place(self, row: Row, annot: K) -> None:
+        sr = self.semiring
+        if sr.is_zero(annot):
+            return
+        if row in self._data:
+            combined = sr.add(self._data[row], annot)
+            if sr.is_zero(combined):
+                del self._data[row]
+            else:
+                self._data[row] = combined
+        else:
+            self._data[row] = annot
+
+    # -- observation ---------------------------------------------------------
+
+    def annotation(self, row: Row) -> K:
+        """The multiplicity of ``row`` (semiring zero when absent)."""
+        return self._data.get(row, self.semiring.zero)
+
+    def support(self) -> frozenset:
+        """The set of rows with non-zero multiplicity."""
+        return frozenset(self._data)
+
+    def items(self) -> Iterator[Tuple[Row, K]]:
+        """Iterate over (row, annotation) pairs in deterministic order."""
+        return iter(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, row: Row) -> bool:
+        return row in self._data
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KRelation):
+            return NotImplemented
+        return self.semiring is other.semiring and self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash((id(self.semiring), frozenset(self._data.items())))
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{row!r}:{annot!r}" for row, annot in self.items())
+        return f"KRelation<{self.semiring.name}>{{{entries}}}"
+
+    def total_multiplicity(self) -> K:
+        """Σ over all rows of the annotation — the K-cardinality of the bag."""
+        return self.semiring.sum(self._data.values())
+
+    # -- relational algebra ---------------------------------------------------
+
+    def union_all(self, other: "KRelation[K]") -> "KRelation[K]":
+        """Bag union: pointwise semiring addition (paper: ``+``)."""
+        self._check_compatible(other)
+        out = KRelation(self.semiring, self._data)
+        for row, annot in other._data.items():
+            out._add_in_place(row, annot)
+        return out
+
+    def cross(self, other: "KRelation[K]") -> "KRelation[K]":
+        """Cross product: pairs of rows with multiplied annotations (``×``)."""
+        self._check_compatible(other)
+        sr = self.semiring
+        out = KRelation(sr)
+        for r1, a1 in self._data.items():
+            for r2, a2 in other._data.items():
+                out._add_in_place((r1, r2), sr.mul(a1, a2))
+        return out
+
+    def select(self, predicate: Callable[[Row], bool]) -> "KRelation[K]":
+        """Selection: multiply by the predicate's 0/1 indicator."""
+        return KRelation(self.semiring,
+                         {row: annot for row, annot in self._data.items()
+                          if predicate(row)})
+
+    def project(self, fn: Callable[[Row], Row]) -> "KRelation[K]":
+        """Projection: Σ of annotations over each output row's preimage."""
+        out = KRelation(self.semiring)
+        for row, annot in self._data.items():
+            out._add_in_place(fn(row), annot)
+        return out
+
+    def distinct(self) -> "KRelation[K]":
+        """Duplicate elimination: squash every annotation (``‖·‖``)."""
+        sr = self.semiring
+        return KRelation(sr, {row: sr.squash(annot)
+                              for row, annot in self._data.items()})
+
+    def except_(self, other: "KRelation[K]") -> "KRelation[K]":
+        """SQL ``EXCEPT`` per the paper: keep multiplicity iff absent in other.
+
+        ``R EXCEPT S`` denotes ``λt. R(t) × (‖S(t)‖ → 0)`` — a tuple keeps its
+        *full* multiplicity from R when it does not occur in S at all.
+        """
+        self._check_compatible(other)
+        sr = self.semiring
+        out = KRelation(sr)
+        for row, annot in self._data.items():
+            out._add_in_place(row, sr.mul(annot, sr.negate(other.annotation(row))))
+        return out
+
+    def scale(self, factor: K) -> "KRelation[K]":
+        """Multiply every annotation by a constant (used in tests)."""
+        sr = self.semiring
+        return KRelation(sr, {row: sr.mul(annot, factor)
+                              for row, annot in self._data.items()})
+
+    def map_annotations(self, fn: Callable[[K], Any],
+                        semiring: Semiring) -> "KRelation":
+        """Apply a semiring homomorphism to every annotation.
+
+        The fundamental property of K-relations: homomorphisms commute with
+        the positive relational algebra.  The test suite checks this.
+        """
+        out = KRelation(semiring)
+        for row, annot in self._data.items():
+            out._add_in_place(row, fn(annot))
+        return out
+
+    def to_counter(self) -> Dict[Row, int]:
+        """For Nat-relations: plain multiplicity dictionary (used by oracles)."""
+        if self.semiring is not NAT:
+            raise TypeError("to_counter is only meaningful for NAT relations")
+        return dict(self._data)
+
+    def _check_compatible(self, other: "KRelation[K]") -> None:
+        if self.semiring is not other.semiring:
+            raise TypeError(
+                f"cannot combine relations over {self.semiring.name} "
+                f"and {other.semiring.name}")

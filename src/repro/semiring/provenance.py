@@ -1,0 +1,171 @@
+"""Provenance polynomials — the free commutative semiring ℕ[X].
+
+Green et al. (PODS 2007) show that annotating base tuples with distinct
+indeterminates and evaluating a positive relational query yields a
+*provenance polynomial* describing exactly how each output tuple was derived.
+Because ℕ[X] is the free commutative semiring, an identity of query
+annotations that holds in ℕ[X] holds in **every** commutative semiring.
+
+The test suite exploits this: a rewrite rule validated on provenance-annotated
+instances is validated for set semantics, bag semantics, and the paper's
+infinite-cardinal semantics simultaneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .semirings import Semiring
+
+#: A monomial is a sorted tuple of (variable name, exponent) pairs with
+#: positive exponents.  The empty tuple is the monomial 1.
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A multivariate polynomial with natural-number coefficients.
+
+    Immutable and hashable; represented as a mapping from monomials to
+    positive integer coefficients (zero coefficients are never stored).
+    """
+
+    terms: Tuple[Tuple[Monomial, int], ...]
+
+    @staticmethod
+    def _normalize(raw: Mapping[Monomial, int]) -> "Polynomial":
+        cleaned = {m: c for m, c in raw.items() if c != 0}
+        return Polynomial(tuple(sorted(cleaned.items())))
+
+    @staticmethod
+    def zero() -> "Polynomial":
+        """The zero polynomial."""
+        return Polynomial(())
+
+    @staticmethod
+    def one() -> "Polynomial":
+        """The constant polynomial 1."""
+        return Polynomial((((), 1),))
+
+    @staticmethod
+    def constant(n: int) -> "Polynomial":
+        """The constant polynomial ``n`` (n ≥ 0)."""
+        if n < 0:
+            raise ValueError("provenance coefficients are natural numbers")
+        return Polynomial.zero() if n == 0 else Polynomial((((), n),))
+
+    @staticmethod
+    def variable(name: str) -> "Polynomial":
+        """The polynomial consisting of the single indeterminate ``name``."""
+        return Polynomial(((((name, 1),), 1),))
+
+    # -- semiring operations ----------------------------------------------
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        acc: Dict[Monomial, int] = dict(self.terms)
+        for mono, coeff in other.terms:
+            acc[mono] = acc.get(mono, 0) + coeff
+        return Polynomial._normalize(acc)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        acc: Dict[Monomial, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                mono = _merge_monomials(m1, m2)
+                acc[mono] = acc.get(mono, 0) + c1 * c2
+        return Polynomial._normalize(acc)
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self.terms
+
+    def variables(self) -> Tuple[str, ...]:
+        """All indeterminates occurring in the polynomial, sorted."""
+        names = {var for mono, _ in self.terms for var, _ in mono}
+        return tuple(sorted(names))
+
+    def evaluate(self, sr: Semiring, assignment: Mapping[str, object]) -> object:
+        """Evaluate under the unique semiring homomorphism ℕ[X] → K.
+
+        Args:
+            sr: target semiring.
+            assignment: value in K for every indeterminate of the polynomial.
+
+        Returns:
+            The image of this polynomial in ``sr``.
+        """
+        total = sr.zero
+        for mono, coeff in self.terms:
+            term = sr.from_int(coeff)
+            for var, exp in mono:
+                if var not in assignment:
+                    raise KeyError(f"no assignment for provenance variable {var!r}")
+                for _ in range(exp):
+                    term = sr.mul(term, assignment[var])
+            total = sr.add(total, term)
+        return total
+
+    def degree(self) -> int:
+        """Total degree (0 for constants; -1 conventionally for zero)."""
+        if self.is_zero:
+            return -1
+        return max(sum(exp for _, exp in mono) for mono, _ in self.terms)
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        rendered = []
+        for mono, coeff in self.terms:
+            factors = [f"{var}^{exp}" if exp > 1 else var for var, exp in mono]
+            if coeff != 1 or not factors:
+                factors.insert(0, str(coeff))
+            rendered.append("·".join(factors))
+        return " + ".join(rendered)
+
+
+def _merge_monomials(m1: Monomial, m2: Monomial) -> Monomial:
+    acc: Dict[str, int] = dict(m1)
+    for var, exp in m2:
+        acc[var] = acc.get(var, 0) + exp
+    return tuple(sorted(acc.items()))
+
+
+class ProvenanceSemiring(Semiring[Polynomial]):
+    """ℕ[X], the free commutative semiring on countably many indeterminates."""
+
+    name = "provenance"
+
+    @property
+    def zero(self) -> Polynomial:
+        return Polynomial.zero()
+
+    @property
+    def one(self) -> Polynomial:
+        return Polynomial.one()
+
+    def add(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a + b
+
+    def mul(self, a: Polynomial, b: Polynomial) -> Polynomial:
+        return a * b
+
+    def is_zero(self, a: Polynomial) -> bool:
+        return a.is_zero
+
+    def from_int(self, n: int) -> Polynomial:
+        return Polynomial.constant(n)
+
+    def fresh_variables(self, prefix: str, count: int) -> Tuple[Polynomial, ...]:
+        """Convenience: ``count`` distinct indeterminates named ``prefix_i``."""
+        return tuple(Polynomial.variable(f"{prefix}_{i}") for i in range(count))
+
+
+#: Shared instance.
+PROVENANCE = ProvenanceSemiring()
+
+
+def annotate_distinctly(tuples: Iterable[object], prefix: str) -> Dict[object, Polynomial]:
+    """Annotate each tuple with a fresh indeterminate, Green-et-al. style."""
+    return {t: Polynomial.variable(f"{prefix}_{i}") for i, t in enumerate(tuples)}

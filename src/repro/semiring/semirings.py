@@ -1,0 +1,261 @@
+"""Commutative semirings used to interpret HoTTSQL queries.
+
+A K-relation (Green, Karvounarakis, Tannen, PODS 2007) annotates each tuple
+with an element of a commutative semiring ``K = (K, +, ×, 0, 1)``.  The paper
+observes (Sec. 2):
+
+* ``Bool`` (the 2-element semiring) gives **set semantics**,
+* ``Nat`` gives **bag semantics**,
+* HoTTSQL's univalent types generalize these to possibly-infinite
+  cardinalities — here the :class:`NatInfSemiring` over
+  :class:`~repro.semiring.cardinal.Cardinal`.
+
+Beyond the plain semiring operations, interpreting full HoTTSQL needs two
+derived unary operations (paper Definition 3.1):
+
+* ``squash(x) = ‖x‖`` — propositional truncation, used for ``DISTINCT``,
+  ``OR``, and ``EXISTS``;
+* ``negate(x) = (x → 0)`` — used for ``NOT`` and ``EXCEPT``.
+
+Semirings where these operations exist and satisfy
+``squash(0) = 0, squash(x) = 1 (x ≠ 0), negate(x) = squash(x) → 0``
+are called *positive* semirings (no zero divisors and zero-sum-free); every
+semiring in this module is positive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Any, Generic, Iterable, TypeVar
+
+from .cardinal import OMEGA, ONE, ZERO, Cardinal
+
+K = TypeVar("K")
+
+
+class Semiring(ABC, Generic[K]):
+    """Abstract commutative, positive semiring.
+
+    Concrete subclasses supply the carrier's constants and operations.
+    Elements must be immutable and hashable.
+    """
+
+    #: Human-readable name used in reports and benchmark output.
+    name: str = "semiring"
+
+    @property
+    @abstractmethod
+    def zero(self) -> K:
+        """The additive identity."""
+
+    @property
+    @abstractmethod
+    def one(self) -> K:
+        """The multiplicative identity."""
+
+    @abstractmethod
+    def add(self, a: K, b: K) -> K:
+        """Semiring addition (bag union of multiplicities)."""
+
+    @abstractmethod
+    def mul(self, a: K, b: K) -> K:
+        """Semiring multiplication (join of multiplicities)."""
+
+    def is_zero(self, a: K) -> bool:
+        """True iff ``a`` is the additive identity."""
+        return a == self.zero
+
+    def squash(self, a: K) -> K:
+        """Propositional truncation ``‖a‖``; 0 ↦ 0 and everything else ↦ 1."""
+        return self.zero if self.is_zero(a) else self.one
+
+    def negate(self, a: K) -> K:
+        """The operation ``a → 0``; 0 ↦ 1 and everything else ↦ 0."""
+        return self.one if self.is_zero(a) else self.zero
+
+    def sum(self, values: Iterable[K]) -> K:
+        """Finite summation; the concrete image of the paper's Σ."""
+        total = self.zero
+        for v in values:
+            total = self.add(total, v)
+        return total
+
+    def product(self, values: Iterable[K]) -> K:
+        """Finite product."""
+        total = self.one
+        for v in values:
+            total = self.mul(total, v)
+        return total
+
+    def from_bool(self, b: bool) -> K:
+        """Indicator: the paper's denotation of a predicate's truth value."""
+        return self.one if b else self.zero
+
+    def from_int(self, n: int) -> K:
+        """Embed a natural number by iterated addition (n ≥ 0)."""
+        if n < 0:
+            raise ValueError("semiring elements come from non-negative counts")
+        total = self.zero
+        for _ in range(n):
+            total = self.add(total, self.one)
+        return total
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class BoolSemiring(Semiring[bool]):
+    """The Boolean semiring ``({0,1}, ∨, ∧)`` — set semantics."""
+
+    name = "bool"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def from_int(self, n: int) -> bool:
+        if n < 0:
+            raise ValueError("semiring elements come from non-negative counts")
+        return n > 0
+
+
+class NatSemiring(Semiring[int]):
+    """The naturals ``(ℕ, +, ×)`` — classical bag semantics (finite K-relations)."""
+
+    name = "nat"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+    def from_int(self, n: int) -> int:
+        if n < 0:
+            raise ValueError("semiring elements come from non-negative counts")
+        return n
+
+
+class NatInfSemiring(Semiring[Cardinal]):
+    """Cardinals with omega — the paper's generalized multiplicities.
+
+    This is the decategorified model of UniNomial: tuple multiplicities may
+    be infinite, so projections of infinite relations are still defined
+    (paper Sec. 2, "HoTTSQL Semantics").
+    """
+
+    name = "nat_inf"
+
+    @property
+    def zero(self) -> Cardinal:
+        return ZERO
+
+    @property
+    def one(self) -> Cardinal:
+        return ONE
+
+    @property
+    def omega(self) -> Cardinal:
+        """The infinite multiplicity."""
+        return OMEGA
+
+    def add(self, a: Cardinal, b: Cardinal) -> Cardinal:
+        return a + b
+
+    def mul(self, a: Cardinal, b: Cardinal) -> Cardinal:
+        return a * b
+
+    def is_zero(self, a: Cardinal) -> bool:
+        return a.is_zero
+
+    def from_int(self, n: int) -> Cardinal:
+        return Cardinal(n)
+
+
+class TropicalSemiring(Semiring[Fraction]):
+    """The tropical semiring ``(ℚ≥0 ∪ {∞}, min, +)``.
+
+    Used in the provenance literature for *cost* interpretation of queries;
+    included here to property-test that the evaluator is generic in K.  The
+    additive identity is ∞ (represented by ``None`` would complicate hashing,
+    so we use ``Fraction(-1)`` sentinel-free via a large bound — instead we
+    represent ∞ as the distinguished value ``TropicalSemiring.INF``).
+    """
+
+    name = "tropical"
+
+    #: Representation of tropical infinity (the additive identity).
+    INF = Fraction(10**12)
+
+    @property
+    def zero(self) -> Fraction:
+        return self.INF
+
+    @property
+    def one(self) -> Fraction:
+        return Fraction(0)
+
+    def add(self, a: Fraction, b: Fraction) -> Fraction:
+        return min(a, b)
+
+    def mul(self, a: Fraction, b: Fraction) -> Fraction:
+        return min(a + b, self.INF)
+
+    def from_int(self, n: int) -> Fraction:
+        if n < 0:
+            raise ValueError("semiring elements come from non-negative counts")
+        return self.INF if n == 0 else Fraction(0)
+
+
+#: Shared instances — the semirings are stateless, so these singletons are
+#: what the rest of the library imports.
+BOOL = BoolSemiring()
+NAT = NatSemiring()
+NAT_INF = NatInfSemiring()
+TROPICAL = TropicalSemiring()
+
+#: Semirings on which every rewrite rule is oracle-tested.
+STANDARD_SEMIRINGS = (BOOL, NAT, NAT_INF)
+
+
+def check_semiring_laws(sr: Semiring[Any], samples: Iterable[Any]) -> None:
+    """Assert the commutative-semiring axioms on a finite sample set.
+
+    Used by the test suite (including hypothesis-driven tests) to validate
+    each semiring implementation.  Raises ``AssertionError`` on violation.
+    """
+    elems = list(samples)
+    z, o = sr.zero, sr.one
+    for a in elems:
+        assert sr.add(a, z) == a, f"additive identity fails for {a!r}"
+        assert sr.mul(a, o) == a, f"multiplicative identity fails for {a!r}"
+        assert sr.mul(a, z) == z, f"annihilation fails for {a!r}"
+        for b in elems:
+            assert sr.add(a, b) == sr.add(b, a), "addition not commutative"
+            assert sr.mul(a, b) == sr.mul(b, a), "multiplication not commutative"
+            for c in elems:
+                assert sr.add(sr.add(a, b), c) == sr.add(a, sr.add(b, c)), \
+                    "addition not associative"
+                assert sr.mul(sr.mul(a, b), c) == sr.mul(a, sr.mul(b, c)), \
+                    "multiplication not associative"
+                assert sr.mul(a, sr.add(b, c)) == sr.add(sr.mul(a, b), sr.mul(a, c)), \
+                    "multiplication does not distribute over addition"

@@ -1,0 +1,75 @@
+"""SQL frontend: lexer, parser, named→unnamed resolution, pretty-printing."""
+
+from .lexer import LexError, Token, tokenize
+from .nast import (
+    NAggCall,
+    NAggQuery,
+    NAnd,
+    NBoolLit,
+    NColumn,
+    NComparison,
+    NExcept,
+    NExists,
+    NFromItem,
+    NFuncCall,
+    NLiteral,
+    NNot,
+    NOr,
+    NQuery,
+    NSelect,
+    NSelectItem,
+    NUnionAll,
+)
+from .parser import ParseError, parse
+from .pretty import (
+    denotation_to_str,
+    expression_to_str,
+    predicate_to_str,
+    projection_to_str,
+    query_to_str,
+)
+from .desugar import (
+    const_tuple_projection,
+    inner_join,
+    left_outer_join,
+    right_outer_join,
+)
+from .resolve import (
+    Catalog,
+    Resolved,
+    ResolutionError,
+    Resolver,
+    columns_to_schema,
+    column_steps,
+    compile_sql,
+    desugar_group_by,
+)
+from .unparse import expr_to_sql, pred_to_sql, unparse
+
+__all__ = [
+    "Catalog",
+    "LexError",
+    "ParseError",
+    "Resolved",
+    "ResolutionError",
+    "Resolver",
+    "Token",
+    "column_steps",
+    "columns_to_schema",
+    "compile_sql",
+    "const_tuple_projection",
+    "denotation_to_str",
+    "desugar_group_by",
+    "expr_to_sql",
+    "expression_to_str",
+    "inner_join",
+    "left_outer_join",
+    "parse",
+    "pred_to_sql",
+    "predicate_to_str",
+    "projection_to_str",
+    "query_to_str",
+    "right_outer_join",
+    "tokenize",
+    "unparse",
+]

@@ -1,0 +1,111 @@
+"""Derived SQL constructs encoded in core HoTTSQL (paper Secs. 4.2, 7).
+
+The paper keeps the core language small and *encodes* richer SQL:
+
+* GROUP BY — as DISTINCT + correlated aggregate subqueries (Sec. 4.2;
+  implemented in :func:`repro.rules.common.groupby_agg` for generic rules
+  and in :func:`repro.sql.resolve.desugar_group_by` for the frontend);
+* θ-semijoin — as WHERE EXISTS (Sec. 5.1.3;
+  :func:`repro.rules.common.semijoin`);
+* **outer joins** — Sec. 7: a left outer join is the inner join unioned
+  with the unmatched left rows padded by a constant row (the paper pads
+  with NULL; lacking NULLs, the pad row is caller-chosen — any value
+  outside the right table's active domain plays NULL's role).
+
+This module provides the outer-join encodings, which are "directly
+expressible in HoTTSQL" per Sec. 7 — here, executably so.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core import ast
+from ..core.schema import Empty, Leaf, Node, Schema
+
+
+def const_tuple_projection(schema: Schema, values: Sequence[Any]
+                           ) -> ast.Projection:
+    """A projection producing a fixed tuple of ``schema`` (the pad row).
+
+    ``values`` supplies one constant per leaf, left to right.
+    """
+    projection, rest = _build_const(schema, list(values))
+    if rest:
+        raise ValueError(f"too many pad values for schema {schema}")
+    return projection
+
+
+def _build_const(schema: Schema, values: list):
+    if isinstance(schema, Empty):
+        return ast.EMPTYP, values
+    if isinstance(schema, Leaf):
+        if not values:
+            raise ValueError(f"not enough pad values for schema {schema}")
+        head, rest = values[0], values[1:]
+        return ast.E2P(ast.Const(head, schema.ty), schema.ty), rest
+    if isinstance(schema, Node):
+        left, rest = _build_const(schema.left, values)
+        right, rest = _build_const(schema.right, rest)
+        return ast.Duplicate(left, right), rest
+    raise ValueError(f"cannot build a constant tuple of schema {schema}")
+
+
+def inner_join(left: ast.Query, right: ast.Query,
+               on: ast.Predicate) -> ast.Query:
+    """``left ⋈_on right`` — the core product + selection.
+
+    ``on`` must be a predicate over ``node σ_left σ_right``; the standard
+    CASTPRED re-scoping is inserted.
+    """
+    cast = ast.RIGHT
+    return ast.Where(ast.Product(left, right), ast.CastPred(cast, on))
+
+
+def matched_left_rows(left: ast.Query, right: ast.Query,
+                      on: ast.Predicate) -> ast.Query:
+    """Left rows that join with at least one right row (with their
+    original multiplicities collapsed by the EXCEPT that consumes this)."""
+    return ast.Select(ast.path(ast.RIGHT, ast.LEFT),
+                      inner_join(left, right, on))
+
+
+def left_outer_join(left: ast.Query, right: ast.Query, on: ast.Predicate,
+                    right_schema: Schema,
+                    pad_values: Sequence[Any]) -> ast.Query:
+    """Sec. 7's left-outer-join encoding.
+
+    ``LOJ = (left ⋈ right)  ∪  (left EXCEPT matched) × {pad}``
+
+    Unmatched left rows keep their full multiplicity (the paper's EXCEPT
+    semantics) and are padded with the constant right-tuple built from
+    ``pad_values`` — the NULL row stand-in.
+    """
+    join = inner_join(left, right, on)
+    unmatched = ast.Except(left, matched_left_rows(left, right, on))
+    pad = const_tuple_projection(right_schema, pad_values)
+    # Constant projections consume nothing, so `pad` is well-typed from
+    # the SELECT context directly.
+    padded = ast.Select(ast.Duplicate(ast.RIGHT, pad), unmatched)
+    return ast.UnionAll(join, padded)
+
+
+def right_outer_join(left: ast.Query, right: ast.Query, on: ast.Predicate,
+                     left_schema: Schema,
+                     pad_values: Sequence[Any]) -> ast.Query:
+    """Mirror encoding: unmatched *right* rows padded on the left."""
+    join = inner_join(left, right, on)
+    matched_right = ast.Select(ast.path(ast.RIGHT, ast.RIGHT), join)
+    unmatched = ast.Except(right, matched_right)
+    pad = const_tuple_projection(left_schema, pad_values)
+    padded = ast.Select(ast.Duplicate(pad, ast.RIGHT), unmatched)
+    return ast.UnionAll(join, padded)
+
+
+__all__ = [
+    "const_tuple_projection",
+    "inner_join",
+    "left_outer_join",
+    "matched_left_rows",
+    "right_outer_join",
+]

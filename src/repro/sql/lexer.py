@@ -1,0 +1,100 @@
+"""Tokenizer for the SQL surface syntax.
+
+The frontend accepts a conventional named SQL dialect (the paper's examples
+are written in it) and compiles it to the unnamed HoTTSQL data model.  The
+lexer is a straightforward longest-match scanner producing a token stream
+with positions for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+#: Keywords of the supported dialect (case-insensitive).
+KEYWORDS = frozenset({
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "AS",
+    "UNION", "ALL", "EXCEPT", "AND", "OR", "NOT", "EXISTS",
+    "TRUE", "FALSE",
+})
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*",
+              "+", "-", "/", "%")
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character sequence."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: kind, text, and source offset."""
+
+    kind: str      # "keyword" | "ident" | "number" | "string" | "op" | "eof"
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.text == word
+
+    def __str__(self) -> str:
+        return self.text if self.kind != "eof" else "<end of input>"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into tokens (always ends with an ``eof`` token)."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and source.startswith("--", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("keyword", upper, start)
+            else:
+                yield Token("ident", word, start)
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            yield Token("number", source[start:i], start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            while i < n and source[i] != "'":
+                i += 1
+            if i >= n:
+                raise LexError("unterminated string literal", start)
+            i += 1
+            yield Token("string", source[start + 1:i - 1], start)
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                yield Token("op", op, i)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", i)
+    yield Token("eof", "", n)

@@ -1,0 +1,155 @@
+"""Named surface AST — what the parser produces.
+
+This is conventional SQL structure with *names*: column references are
+``alias.column`` or bare ``column``, FROM items carry aliases, SELECT items
+may be starred or aliased expressions.  The resolver
+(:mod:`repro.sql.resolve`) compiles this into the unnamed HoTTSQL core AST,
+performing the name-to-path translation that users of the Coq artifact do
+by hand (paper Sec. 3.1, "Discussion").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class NQuery:
+    """Base class of named queries."""
+
+    __slots__ = ()
+
+
+class NExpr:
+    """Base class of named scalar expressions."""
+
+    __slots__ = ()
+
+
+class NPred:
+    """Base class of named predicates."""
+
+    __slots__ = ()
+
+
+# -- expressions --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NColumn(NExpr):
+    """A column reference ``alias.column`` (or bare ``column``)."""
+
+    table: Optional[str]
+    column: str
+
+
+@dataclass(frozen=True)
+class NLiteral(NExpr):
+    """An integer, string, or boolean literal."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class NFuncCall(NExpr):
+    """A scalar function application ``f(e1, ..., en)``."""
+
+    name: str
+    args: Tuple[NExpr, ...]
+
+
+@dataclass(frozen=True)
+class NAggCall(NExpr):
+    """An aggregate call ``SUM(e)`` etc. — only legal under GROUP BY."""
+
+    name: str
+    arg: NExpr
+
+
+@dataclass(frozen=True)
+class NAggQuery(NExpr):
+    """An aggregate over a correlated subquery — produced by the GROUP BY
+    desugaring (paper Sec. 4.2), never by the parser directly."""
+
+    name: str
+    query: "NQuery"
+
+
+# -- predicates ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NComparison(NPred):
+    """``e1 op e2`` with op ∈ {=, <>, <, <=, >, >=}."""
+
+    op: str
+    left: NExpr
+    right: NExpr
+
+
+@dataclass(frozen=True)
+class NAnd(NPred):
+    left: NPred
+    right: NPred
+
+
+@dataclass(frozen=True)
+class NOr(NPred):
+    left: NPred
+    right: NPred
+
+
+@dataclass(frozen=True)
+class NNot(NPred):
+    operand: NPred
+
+
+@dataclass(frozen=True)
+class NBoolLit(NPred):
+    value: bool
+
+
+@dataclass(frozen=True)
+class NExists(NPred):
+    """``EXISTS (subquery)`` — the subquery may be correlated."""
+
+    query: "NQuery"
+
+
+# -- queries --------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NSelectItem:
+    """One SELECT-list entry: an expression with an optional output name."""
+
+    expr: NExpr
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class NFromItem:
+    """One FROM entry: a base table or a parenthesized subquery, aliased."""
+
+    source: object            # str (table name) or NQuery
+    alias: str
+
+
+@dataclass(frozen=True)
+class NSelect(NQuery):
+    """A SELECT block, possibly with DISTINCT and GROUP BY."""
+
+    distinct: bool
+    items: Tuple[NSelectItem, ...]    # empty tuple means SELECT *
+    from_items: Tuple[NFromItem, ...]
+    where: Optional[NPred]
+    group_by: Optional[NColumn]
+
+
+@dataclass(frozen=True)
+class NUnionAll(NQuery):
+    left: NQuery
+    right: NQuery
+
+
+@dataclass(frozen=True)
+class NExcept(NQuery):
+    left: NQuery
+    right: NQuery

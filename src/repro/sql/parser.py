@@ -1,0 +1,270 @@
+"""Recursive-descent parser for the SQL surface syntax.
+
+Grammar (conventional precedence; ``UNION ALL``/``EXCEPT`` associate left)::
+
+    query      := select (("UNION" "ALL" | "EXCEPT") select)*
+    select     := "SELECT" ["DISTINCT"] items "FROM" from_items
+                  ["WHERE" pred] ["GROUP" "BY" column]
+                | "(" query ")"
+    items      := "*" | item ("," item)*
+    item       := expr ["AS" ident]
+    from_items := from_item ("," from_item)*
+    from_item  := ident ["AS" ident] | "(" query ")" "AS" ident
+    pred       := or_pred
+    or_pred    := and_pred ("OR" and_pred)*
+    and_pred   := not_pred ("AND" not_pred)*
+    not_pred   := "NOT" not_pred | atom_pred
+    atom_pred  := "TRUE" | "FALSE" | "EXISTS" "(" query ")"
+                | "(" pred ")" | expr cmp expr
+    expr       := primary
+    primary    := number | string | ident "(" args ")" | column | "(" expr ")"
+    column     := ident ["." ident]
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import nast
+from .lexer import Token, tokenize
+
+_AGGREGATES = frozenset({"SUM", "COUNT", "AVG", "MAX", "MIN"})
+_COMPARISONS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+
+
+class ParseError(Exception):
+    """Raised on a syntax error, with the offending token position."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        super().__init__(f"{message}, got {token} (at offset {token.position})")
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise ParseError(f"expected {word}", self._peek())
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._peek()
+        if token.kind == "op" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise ParseError(f"expected {op!r}", self._peek())
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise ParseError("expected an identifier", token)
+        self._advance()
+        return token.text
+
+    # -- queries -----------------------------------------------------------
+
+    def parse_query(self) -> nast.NQuery:
+        query = self._parse_select_or_paren()
+        while True:
+            if self._peek().is_keyword("UNION"):
+                self._advance()
+                self._expect_keyword("ALL")
+                right = self._parse_select_or_paren()
+                query = nast.NUnionAll(query, right)
+            elif self._peek().is_keyword("EXCEPT"):
+                self._advance()
+                right = self._parse_select_or_paren()
+                query = nast.NExcept(query, right)
+            else:
+                return query
+
+    def _parse_select_or_paren(self) -> nast.NQuery:
+        if self._accept_op("("):
+            query = self.parse_query()
+            self._expect_op(")")
+            return query
+        return self._parse_select()
+
+    def _parse_select(self) -> nast.NSelect:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        items = self._parse_select_items()
+        self._expect_keyword("FROM")
+        from_items = self._parse_from_items()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_pred()
+        group_by = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._parse_column()
+        return nast.NSelect(distinct=distinct, items=tuple(items),
+                            from_items=tuple(from_items), where=where,
+                            group_by=group_by)
+
+    def _parse_column(self) -> nast.NColumn:
+        name = self._expect_ident()
+        if self._accept_op("."):
+            column = self._expect_ident()
+            return nast.NColumn(table=name, column=column)
+        return nast.NColumn(table=None, column=name)
+
+    def _parse_select_items(self) -> List[nast.NSelectItem]:
+        if self._accept_op("*"):
+            return []
+        items = [self._parse_select_item()]
+        while self._accept_op(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> nast.NSelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        return nast.NSelectItem(expr=expr, alias=alias)
+
+    def _parse_from_items(self) -> List[nast.NFromItem]:
+        items = [self._parse_from_item()]
+        while self._accept_op(","):
+            items.append(self._parse_from_item())
+        return items
+
+    def _parse_from_item(self) -> nast.NFromItem:
+        if self._accept_op("("):
+            query = self.parse_query()
+            self._expect_op(")")
+            self._expect_keyword("AS")
+            alias = self._expect_ident()
+            return nast.NFromItem(source=query, alias=alias)
+        name = self._expect_ident()
+        alias = name
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "ident":
+            alias = self._expect_ident()
+        return nast.NFromItem(source=name, alias=alias)
+
+    # -- predicates ---------------------------------------------------------
+
+    def _parse_pred(self) -> nast.NPred:
+        pred = self._parse_and_pred()
+        while self._accept_keyword("OR"):
+            pred = nast.NOr(pred, self._parse_and_pred())
+        return pred
+
+    def _parse_and_pred(self) -> nast.NPred:
+        pred = self._parse_not_pred()
+        while self._accept_keyword("AND"):
+            pred = nast.NAnd(pred, self._parse_not_pred())
+        return pred
+
+    def _parse_not_pred(self) -> nast.NPred:
+        if self._accept_keyword("NOT"):
+            return nast.NNot(self._parse_not_pred())
+        return self._parse_atom_pred()
+
+    def _parse_atom_pred(self) -> nast.NPred:
+        token = self._peek()
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return nast.NBoolLit(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return nast.NBoolLit(False)
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect_op("(")
+            query = self.parse_query()
+            self._expect_op(")")
+            return nast.NExists(query)
+        if token.kind == "op" and token.text == "(":
+            # Could be a parenthesized predicate or a parenthesized
+            # expression starting a comparison; try the predicate first.
+            saved = self._index
+            self._advance()
+            try:
+                pred = self._parse_pred()
+                self._expect_op(")")
+                return pred
+            except ParseError:
+                self._index = saved
+        left = self._parse_expr()
+        op_token = self._peek()
+        if op_token.kind != "op" or op_token.text not in _COMPARISONS:
+            raise ParseError("expected a comparison operator", op_token)
+        self._advance()
+        right = self._parse_expr()
+        return nast.NComparison(op=op_token.text, left=left, right=right)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> nast.NExpr:
+        return self._parse_primary()
+
+    def _parse_primary(self) -> nast.NExpr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return nast.NLiteral(int(token.text))
+        if token.kind == "string":
+            self._advance()
+            return nast.NLiteral(token.text)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._parse_expr()
+            self._expect_op(")")
+            return expr
+        if token.kind == "ident":
+            name = self._expect_ident()
+            if self._accept_op("("):
+                args = []
+                if not self._accept_op(")"):
+                    args.append(self._parse_expr())
+                    while self._accept_op(","):
+                        args.append(self._parse_expr())
+                    self._expect_op(")")
+                if name.upper() in _AGGREGATES:
+                    if len(args) != 1:
+                        raise ParseError(
+                            f"aggregate {name} takes one argument", token)
+                    return nast.NAggCall(name.upper(), args[0])
+                return nast.NFuncCall(name, tuple(args))
+            if self._accept_op("."):
+                column = self._expect_ident()
+                return nast.NColumn(table=name, column=column)
+            return nast.NColumn(table=None, column=name)
+        raise ParseError("expected an expression", token)
+
+
+def parse(source: str) -> nast.NQuery:
+    """Parse a SQL string into the named AST."""
+    parser = _Parser(tokenize(source))
+    query = parser.parse_query()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise ParseError("unexpected trailing input", trailing)
+    return query

@@ -1,0 +1,113 @@
+"""Pretty-printers for HoTTSQL syntax and UniNomial denotations.
+
+Renders core ASTs in the paper's notation (Figure 5 keywords, path
+selectors, CASTPRED/CASTEXPR) and denotations in the λ-and-Σ style of the
+paper's worked examples (Figures 1 and 2), which is what the overview
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+from ..core import ast
+from ..core.denote import Denotation
+
+
+def query_to_str(query: ast.Query) -> str:
+    """Render a core query in HoTTSQL concrete syntax."""
+    if isinstance(query, ast.Table):
+        return query.name
+    if isinstance(query, ast.Select):
+        return (f"SELECT {projection_to_str(query.projection)} "
+                f"{query_to_str(query.query)}")
+    if isinstance(query, ast.Product):
+        return f"FROM {query_to_str(query.left)}, {query_to_str(query.right)}"
+    if isinstance(query, ast.Where):
+        return (f"({query_to_str(query.query)} "
+                f"WHERE {predicate_to_str(query.predicate)})")
+    if isinstance(query, ast.UnionAll):
+        return (f"({query_to_str(query.left)} UNION ALL "
+                f"{query_to_str(query.right)})")
+    if isinstance(query, ast.Except):
+        return (f"({query_to_str(query.left)} EXCEPT "
+                f"{query_to_str(query.right)})")
+    if isinstance(query, ast.Distinct):
+        return f"DISTINCT {query_to_str(query.query)}"
+    raise TypeError(f"not a query: {query!r}")
+
+
+def predicate_to_str(pred: ast.Predicate) -> str:
+    """Render a core predicate."""
+    if isinstance(pred, ast.PredEq):
+        return (f"{expression_to_str(pred.left)} = "
+                f"{expression_to_str(pred.right)}")
+    if isinstance(pred, ast.PredAnd):
+        return (f"({predicate_to_str(pred.left)} AND "
+                f"{predicate_to_str(pred.right)})")
+    if isinstance(pred, ast.PredOr):
+        return (f"({predicate_to_str(pred.left)} OR "
+                f"{predicate_to_str(pred.right)})")
+    if isinstance(pred, ast.PredNot):
+        return f"NOT {predicate_to_str(pred.operand)}"
+    if isinstance(pred, ast.PredTrue):
+        return "TRUE"
+    if isinstance(pred, ast.PredFalse):
+        return "FALSE"
+    if isinstance(pred, ast.Exists):
+        return f"EXISTS ({query_to_str(pred.query)})"
+    if isinstance(pred, ast.CastPred):
+        return (f"CASTPRED {projection_to_str(pred.projection)} "
+                f"{predicate_to_str(pred.predicate)}")
+    if isinstance(pred, ast.PredVar):
+        return pred.name
+    if isinstance(pred, ast.PredFunc):
+        args = ", ".join(expression_to_str(a) for a in pred.args)
+        return f"{pred.name}({args})"
+    raise TypeError(f"not a predicate: {pred!r}")
+
+
+def expression_to_str(expr: ast.Expression) -> str:
+    """Render a core expression."""
+    if isinstance(expr, ast.P2E):
+        return f"P2E {projection_to_str(expr.projection)}"
+    if isinstance(expr, ast.Const):
+        return repr(expr.value)
+    if isinstance(expr, ast.Func):
+        args = ", ".join(expression_to_str(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Agg):
+        return f"{expr.name}({query_to_str(expr.query)})"
+    if isinstance(expr, ast.CastExpr):
+        return (f"CASTEXPR {projection_to_str(expr.projection)} "
+                f"{expression_to_str(expr.expression)}")
+    if isinstance(expr, ast.ExprVar):
+        return expr.name
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def projection_to_str(proj: ast.Projection) -> str:
+    """Render a core projection in path notation."""
+    if isinstance(proj, ast.Star):
+        return "*"
+    if isinstance(proj, ast.LeftP):
+        return "Left"
+    if isinstance(proj, ast.RightP):
+        return "Right"
+    if isinstance(proj, ast.EmptyP):
+        return "Empty"
+    if isinstance(proj, ast.Compose):
+        return (f"{projection_to_str(proj.first)}."
+                f"{projection_to_str(proj.second)}")
+    if isinstance(proj, ast.Duplicate):
+        return (f"({projection_to_str(proj.left)}, "
+                f"{projection_to_str(proj.right)})")
+    if isinstance(proj, ast.E2P):
+        return f"E2P {expression_to_str(proj.expression)}"
+    if isinstance(proj, ast.PVar):
+        return proj.name
+    raise TypeError(f"not a projection: {proj!r}")
+
+
+def denotation_to_str(denotation: Denotation) -> str:
+    """Render a closed denotation like the paper's Figure 1/2 displays."""
+    return (f"λ {denotation.g.name} {denotation.t.name}. "
+            f"{denotation.body}")

@@ -1,0 +1,447 @@
+"""Name resolution: compiling named SQL to the unnamed HoTTSQL core.
+
+The paper's data model is *unnamed* — attributes are paths in a binary
+schema tree (Sec. 3.1) — and its artifact expects users to write path
+expressions by hand.  This module automates that translation: given a
+catalog of named table schemas, it compiles the parser's named AST into
+core HoTTSQL, turning ``alias.column`` references into ``Left``/``Right``
+paths through the context tuple, threading correlated-subquery scopes
+exactly as Figure 6 describes, and desugaring GROUP BY per Sec. 4.2.
+
+Schema layout conventions:
+
+* a table with columns ``c₀ ... c_{m-1}`` has the right-nested schema
+  ``node (leaf τ₀) (node (leaf τ₁) ( ... (leaf τ_{m-1})))``,
+* a FROM clause with items ``f₀ ... f_{k-1}`` is the right-nested product
+  ``node σ₀ (node σ₁ ( ... σ_{k-1}))``,
+* the context at depth *d* of nesting is ``node (node (... ) f_{d-1}) ...``
+  — each enclosing scope is one ``Left`` step away (Figure 6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import ast
+from ..core.schema import BOOL, EMPTY, INT, Leaf, Node, STRING, Schema, SQLType
+from . import nast
+
+
+class ResolutionError(Exception):
+    """Raised when names cannot be resolved against the catalog/scopes."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Catalog:
+    """Named table schemas: table → ordered (column, type) list."""
+
+    tables: Dict[str, Tuple[Tuple[str, SQLType], ...]] = field(
+        default_factory=dict)
+
+    def add_table(self, name: str, columns: Sequence[Tuple[str, SQLType]]
+                  ) -> None:
+        """Declare a table."""
+        if name in self.tables:
+            raise ResolutionError(f"table {name!r} already declared")
+        names = [c for c, _ in columns]
+        if len(set(names)) != len(names):
+            raise ResolutionError(f"duplicate column names in {name!r}")
+        self.tables[name] = tuple(columns)
+
+    def columns(self, name: str) -> Tuple[Tuple[str, SQLType], ...]:
+        if name not in self.tables:
+            raise ResolutionError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def schema_of(self, name: str) -> Schema:
+        """The right-nested unnamed schema of a table."""
+        return columns_to_schema(self.columns(name))
+
+
+def columns_to_schema(columns: Sequence[Tuple[str, SQLType]]) -> Schema:
+    """Right-nested schema tree for an ordered column list."""
+    if not columns:
+        return EMPTY
+    leaves: List[Schema] = [Leaf(ty) for _, ty in columns]
+    schema = leaves[-1]
+    for leaf_schema in reversed(leaves[:-1]):
+        schema = Node(leaf_schema, schema)
+    return schema
+
+
+def column_steps(count: int, index: int) -> Tuple[str, ...]:
+    """Path to column ``index`` in a right-nested ``count``-column schema."""
+    if not 0 <= index < count:
+        raise ResolutionError(f"column index {index} out of range")
+    if count == 1:
+        return ()
+    if index == count - 1:
+        return ("R",) * (count - 1)
+    return ("R",) * index + ("L",)
+
+
+def _steps_to_projection(steps: Sequence[str]) -> ast.Projection:
+    parts: List[ast.Projection] = [
+        ast.LEFT if s == "L" else ast.RIGHT for s in steps]
+    return ast.path(*parts) if parts else ast.STAR
+
+
+# ---------------------------------------------------------------------------
+# Scopes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Binding:
+    """One FROM item visible in a scope."""
+
+    alias: str
+    columns: Tuple[Tuple[str, SQLType], ...]
+    steps: Tuple[str, ...]   # path from the frame tuple to this item's tuple
+
+
+@dataclass
+class Frame:
+    """One query scope: its FROM tuple's schema and bindings."""
+
+    bindings: List[Binding]
+    schema: Schema
+
+
+@dataclass
+class Resolved:
+    """A compiled query with its output description."""
+
+    query: ast.Query
+    schema: Schema
+    columns: Tuple[Tuple[str, SQLType], ...]
+
+
+def _frame_steps(count: int, index: int) -> Tuple[str, ...]:
+    """Path to FROM item ``index`` in the right-nested product of ``count``."""
+    if count == 1:
+        return ()
+    if index == count - 1:
+        return ("R",) * (count - 1)
+    return ("R",) * index + ("L",)
+
+
+class Resolver:
+    """Compiles named queries against a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._fresh = itertools.count()
+
+    # -- queries -----------------------------------------------------------
+
+    def resolve_query(self, query: nast.NQuery,
+                      env: Tuple[Frame, ...] = ()) -> Resolved:
+        """Compile a named query in an environment of enclosing scopes."""
+        if isinstance(query, nast.NSelect):
+            return self._resolve_select(query, env)
+        if isinstance(query, nast.NUnionAll):
+            left = self.resolve_query(query.left, env)
+            right = self.resolve_query(query.right, env)
+            self._check_compatible(left, right, "UNION ALL")
+            return Resolved(ast.UnionAll(left.query, right.query),
+                            left.schema, left.columns)
+        if isinstance(query, nast.NExcept):
+            left = self.resolve_query(query.left, env)
+            right = self.resolve_query(query.right, env)
+            self._check_compatible(left, right, "EXCEPT")
+            return Resolved(ast.Except(left.query, right.query),
+                            left.schema, left.columns)
+        raise ResolutionError(f"unknown query node: {query!r}")
+
+    def _check_compatible(self, left: Resolved, right: Resolved,
+                          op: str) -> None:
+        if left.schema != right.schema:
+            raise ResolutionError(
+                f"{op} branches have incompatible schemas: "
+                f"{left.schema} vs {right.schema}")
+
+    def _resolve_select(self, select: nast.NSelect,
+                        env: Tuple[Frame, ...]) -> Resolved:
+        if select.group_by is not None:
+            select = desugar_group_by(select, self._fresh)
+        # FROM clause: compile the items and build the frame.
+        compiled_items: List[Resolved] = []
+        bindings: List[Binding] = []
+        aliases = [item.alias for item in select.from_items]
+        if len(set(aliases)) != len(aliases):
+            raise ResolutionError(f"duplicate FROM aliases: {aliases}")
+        count = len(select.from_items)
+        for index, item in enumerate(select.from_items):
+            if isinstance(item.source, str):
+                columns = self.catalog.columns(item.source)
+                schema = self.catalog.schema_of(item.source)
+                compiled = Resolved(ast.Table(item.source, schema), schema,
+                                    columns)
+            else:
+                compiled = self.resolve_query(item.source, env)
+            compiled_items.append(compiled)
+            bindings.append(Binding(alias=item.alias,
+                                    columns=compiled.columns,
+                                    steps=_frame_steps(count, index)))
+        from_query = ast.from_clauses(*[c.query for c in compiled_items])
+        frame_schema = compiled_items[-1].schema
+        for compiled in reversed(compiled_items[:-1]):
+            frame_schema = Node(compiled.schema, frame_schema)
+        frame = Frame(bindings=bindings, schema=frame_schema)
+        inner_env = env + (frame,)
+
+        body = from_query
+        if select.where is not None:
+            predicate = self._resolve_pred(select.where, inner_env)
+            body = ast.Where(body, predicate)
+
+        if select.items:
+            projections: List[ast.Projection] = []
+            out_columns: List[Tuple[str, SQLType]] = []
+            for i, item in enumerate(select.items):
+                proj, name, ty = self._resolve_select_item(item, i, inner_env)
+                projections.append(proj)
+                out_columns.append((name, ty))
+            projection = ast.proj_tuple(*projections)
+            body = ast.Select(projection, body)
+            schema = columns_to_schema(out_columns)
+            columns = tuple(out_columns)
+        else:
+            # SELECT *: keep the whole frame tuple; columns are the
+            # concatenation of the bindings' columns.
+            schema = frame_schema
+            columns = tuple((f"{b.alias}.{c}", ty)
+                            for b in bindings for c, ty in b.columns)
+
+        if select.distinct:
+            body = ast.Distinct(body)
+        return Resolved(body, schema, columns)
+
+    def _resolve_select_item(self, item: nast.NSelectItem, index: int,
+                             env: Tuple[Frame, ...]
+                             ) -> Tuple[ast.Projection, str, SQLType]:
+        expr = item.expr
+        if isinstance(expr, nast.NColumn):
+            steps, ty = self._column_steps(expr, env)
+            name = item.alias or expr.column
+            return _steps_to_projection(steps), name, ty
+        compiled, ty = self._resolve_expr(expr, env)
+        name = item.alias or f"col{index}"
+        return ast.E2P(compiled, ty), name, ty
+
+    # -- predicates -----------------------------------------------------------
+
+    def _resolve_pred(self, pred: nast.NPred,
+                      env: Tuple[Frame, ...]) -> ast.Predicate:
+        if isinstance(pred, nast.NComparison):
+            left, lty = self._resolve_expr(pred.left, env)
+            right, rty = self._resolve_expr(pred.right, env)
+            if lty != rty:
+                raise ResolutionError(
+                    f"comparison between different types {lty} and {rty}")
+            if pred.op == "=":
+                return ast.PredEq(left, right)
+            if pred.op in ("<>", "!="):
+                return ast.PredNot(ast.PredEq(left, right))
+            op_name = {"<": "lt", "<=": "le", ">": "gt", ">=": "ge"}[pred.op]
+            return ast.PredFunc(op_name, (left, right))
+        if isinstance(pred, nast.NAnd):
+            return ast.PredAnd(self._resolve_pred(pred.left, env),
+                               self._resolve_pred(pred.right, env))
+        if isinstance(pred, nast.NOr):
+            return ast.PredOr(self._resolve_pred(pred.left, env),
+                              self._resolve_pred(pred.right, env))
+        if isinstance(pred, nast.NNot):
+            return ast.PredNot(self._resolve_pred(pred.operand, env))
+        if isinstance(pred, nast.NBoolLit):
+            return ast.PredTrue() if pred.value else ast.PredFalse()
+        if isinstance(pred, nast.NExists):
+            resolved = self.resolve_query(pred.query, env)
+            return ast.Exists(resolved.query)
+        raise ResolutionError(f"unknown predicate node: {pred!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def _resolve_expr(self, expr: nast.NExpr, env: Tuple[Frame, ...]
+                      ) -> Tuple[ast.Expression, SQLType]:
+        if isinstance(expr, nast.NColumn):
+            steps, ty = self._column_steps(expr, env)
+            return ast.P2E(_steps_to_projection(steps), ty), ty
+        if isinstance(expr, nast.NLiteral):
+            value = expr.value
+            if isinstance(value, bool):
+                return ast.Const(value, BOOL), BOOL
+            if isinstance(value, int):
+                return ast.Const(value, INT), INT
+            if isinstance(value, str):
+                return ast.Const(value, STRING), STRING
+            raise ResolutionError(f"unsupported literal {value!r}")
+        if isinstance(expr, nast.NFuncCall):
+            args = []
+            for arg in expr.args:
+                compiled, _ = self._resolve_expr(arg, env)
+                args.append(compiled)
+            # Scalar functions are uninterpreted ints by convention.
+            return ast.Func(expr.name, tuple(args), INT), INT
+        if isinstance(expr, nast.NAggQuery):
+            resolved = self.resolve_query(expr.query, env)
+            if not isinstance(resolved.schema, Leaf):
+                raise ResolutionError(
+                    f"aggregate {expr.name} needs a single-column subquery")
+            return ast.Agg(expr.name, resolved.query, INT), INT
+        if isinstance(expr, nast.NAggCall):
+            raise ResolutionError(
+                f"aggregate {expr.name} outside GROUP BY "
+                f"(only grouped aggregation is supported)")
+        raise ResolutionError(f"unknown expression node: {expr!r}")
+
+    # -- column lookup -------------------------------------------------------------
+
+    def _column_steps(self, column: nast.NColumn, env: Tuple[Frame, ...]
+                      ) -> Tuple[Tuple[str, ...], SQLType]:
+        """Full path from the current context tuple to the column."""
+        depth = len(env)
+        if depth == 0:
+            raise ResolutionError(
+                f"column {column.column!r} referenced outside any FROM scope")
+        for frame_index in range(depth - 1, -1, -1):
+            frame = env[frame_index]
+            hit = self._lookup_in_frame(column, frame)
+            if hit is None:
+                continue
+            binding, col_index, ty = hit
+            # The context tuple is node (node (... outer ...) f_{d-1}); the
+            # innermost frame is one Right step, each level outwards adds
+            # a Left step (paper Figure 6).
+            prefix = ("L",) * (depth - 1 - frame_index) + ("R",)
+            col_path = column_steps(len(binding.columns), col_index)
+            return prefix + binding.steps + col_path, ty
+        where = f"{column.table}.{column.column}" if column.table \
+            else column.column
+        raise ResolutionError(f"cannot resolve column reference {where!r}")
+
+    def _lookup_in_frame(self, column: nast.NColumn, frame: Frame):
+        candidates = []
+        for binding in frame.bindings:
+            if column.table is not None and binding.alias != column.table:
+                continue
+            for index, (name, ty) in enumerate(binding.columns):
+                if name == column.column or name.endswith("." + column.column):
+                    candidates.append((binding, index, ty))
+        if not candidates:
+            return None
+        if len(candidates) > 1:
+            raise ResolutionError(
+                f"ambiguous column reference {column.column!r}")
+        return candidates[0]
+
+
+# ---------------------------------------------------------------------------
+# GROUP BY desugaring (paper Sec. 4.2) — at the named level
+# ---------------------------------------------------------------------------
+
+def desugar_group_by(select: nast.NSelect, fresh=itertools.count()
+                     ) -> nast.NSelect:
+    """Rewrite GROUP BY into DISTINCT + correlated aggregate subqueries.
+
+    ``SELECT k, SUM(g) FROM R GROUP BY k`` becomes::
+
+        SELECT DISTINCT k, SUM((SELECT g FROM R AS R$i WHERE R$i.k = R.k))
+        FROM R
+
+    following the paper's Sec. 4.2 construction.  Non-aggregate select
+    items must be the grouping column.
+    """
+    group = select.group_by
+    assert group is not None
+    if not select.items:
+        raise ResolutionError("GROUP BY requires an explicit select list")
+
+    # Fresh aliases for the inner (per-group) copy of the FROM clause.
+    rename: Dict[str, str] = {}
+    inner_from = []
+    for item in select.from_items:
+        new_alias = f"{item.alias}${next(fresh)}"
+        rename[item.alias] = new_alias
+        inner_from.append(nast.NFromItem(source=item.source, alias=new_alias))
+
+    def rn_expr(expr: nast.NExpr) -> nast.NExpr:
+        if isinstance(expr, nast.NColumn):
+            if expr.table is None:
+                # Bare columns inside the subquery bind to the inner copy.
+                return expr
+            return nast.NColumn(rename.get(expr.table, expr.table),
+                                expr.column)
+        if isinstance(expr, nast.NFuncCall):
+            return nast.NFuncCall(expr.name,
+                                  tuple(rn_expr(a) for a in expr.args))
+        return expr
+
+    def rn_pred(pred: nast.NPred) -> nast.NPred:
+        if isinstance(pred, nast.NComparison):
+            return nast.NComparison(pred.op, rn_expr(pred.left),
+                                    rn_expr(pred.right))
+        if isinstance(pred, nast.NAnd):
+            return nast.NAnd(rn_pred(pred.left), rn_pred(pred.right))
+        if isinstance(pred, nast.NOr):
+            return nast.NOr(rn_pred(pred.left), rn_pred(pred.right))
+        if isinstance(pred, nast.NNot):
+            return nast.NNot(rn_pred(pred.operand))
+        return pred
+
+    # Qualify both sides of the correlation explicitly: a bare grouping
+    # column would otherwise resolve to the inner scope on both sides.
+    if group.table is None:
+        if len(select.from_items) != 1:
+            raise ResolutionError(
+                "GROUP BY over multiple FROM items requires a qualified "
+                "grouping column")
+        outer_alias = select.from_items[0].alias
+    else:
+        outer_alias = group.table
+    outer_group = nast.NColumn(outer_alias, group.column)
+    inner_group = nast.NColumn(rename[outer_alias], group.column)
+    correlation = nast.NComparison("=", inner_group, outer_group)
+    inner_where: nast.NPred = correlation
+    if select.where is not None:
+        inner_where = nast.NAnd(rn_pred(select.where), correlation)
+
+    items: List[nast.NSelectItem] = []
+    for item in select.items:
+        expr = item.expr
+        if isinstance(expr, nast.NAggCall):
+            subquery = nast.NSelect(
+                distinct=False,
+                items=(nast.NSelectItem(rn_expr(expr.arg), None),),
+                from_items=tuple(inner_from),
+                where=inner_where,
+                group_by=None)
+            items.append(nast.NSelectItem(
+                nast.NAggQuery(expr.name, subquery), item.alias))
+        elif isinstance(expr, nast.NColumn) and expr.column == group.column:
+            items.append(item)
+        else:
+            raise ResolutionError(
+                "non-aggregate select item under GROUP BY must be the "
+                "grouping column")
+
+    return nast.NSelect(distinct=True, items=tuple(items),
+                        from_items=select.from_items, where=select.where,
+                        group_by=None)
+
+
+# ---------------------------------------------------------------------------
+# Top-level convenience
+# ---------------------------------------------------------------------------
+
+def compile_sql(source: str, catalog: Catalog) -> Resolved:
+    """Parse and resolve a SQL string against a catalog."""
+    from .parser import parse
+    resolver = Resolver(catalog)
+    return resolver.resolve_query(parse(source))

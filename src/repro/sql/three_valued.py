@@ -1,0 +1,124 @@
+"""NULLs and three-valued logic (paper Sec. 7), as external operators.
+
+The paper's discussion: NULL comparisons yield *unknown*, logic is
+Kleene's (``0 = false, ½ = unknown, 1 = true`` with ``AND = min``,
+``OR = max``, ``NOT x = 1 − x``), and a WHERE keeps a row only when the
+predicate is *true*.  HoTTSQL can encode all of this "as external
+functions that implement the 3-valued logic" — which is precisely what
+this module provides:
+
+* the truth values and Kleene connectives,
+* NULL-aware comparison functions usable as ``PredFunc`` symbols
+  (registered by :func:`register_three_valued`),
+* the famous consequence, demonstrated executably in the test suite: the
+  law of the excluded middle fails —
+  ``SELECT * FROM R WHERE a = 5 OR a <> 5`` is **not** ``SELECT * FROM R``
+  once ``a`` can be NULL.
+
+A caveat the paper also makes: encoding comparisons as opaque external
+functions hides the equality structure from the rewrite engine, so
+equality-driven proofs do not see through 3VL predicates.  Native NULL
+support is listed as the paper's future work, and is out of scope here
+too; this module makes the *semantics* executable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Callable, Dict
+
+from ..core.schema import NULL
+
+#: Kleene truth values.
+FALSE = Fraction(0)
+UNKNOWN = Fraction(1, 2)
+TRUE = Fraction(1)
+
+
+def kleene_and(a: Fraction, b: Fraction) -> Fraction:
+    """``x AND y = min(x, y)``."""
+    return min(a, b)
+
+
+def kleene_or(a: Fraction, b: Fraction) -> Fraction:
+    """``x OR y = max(x, y)``."""
+    return max(a, b)
+
+
+def kleene_not(a: Fraction) -> Fraction:
+    """``NOT x = 1 − x``."""
+    return TRUE - a
+
+
+def _lift(op: Callable[[Any, Any], bool]) -> Callable[[Any, Any], Fraction]:
+    """Lift a strict comparison to 3VL: any NULL argument → unknown."""
+
+    def compare(a: Any, b: Any) -> Fraction:
+        if a is NULL or b is NULL:
+            return UNKNOWN
+        return TRUE if op(a, b) else FALSE
+
+    return compare
+
+
+#: 3VL comparisons on values (returning Kleene truth values).
+eq3 = _lift(lambda a, b: a == b)
+neq3 = _lift(lambda a, b: a != b)
+lt3 = _lift(lambda a, b: a < b)
+le3 = _lift(lambda a, b: a <= b)
+gt3 = _lift(lambda a, b: a > b)
+ge3 = _lift(lambda a, b: a >= b)
+
+
+def is_true(value: Fraction) -> bool:
+    """The WHERE boundary: keep the row iff the predicate is *true*
+    (not false **or unknown**)."""
+    return value == TRUE
+
+
+def _as_where_predicate(three_valued: Callable[..., Fraction]
+                        ) -> Callable[..., bool]:
+    """Adapt a 3VL comparison to the engine's boolean PredFunc interface,
+    applying the WHERE truth boundary."""
+
+    def predicate(*args: Any) -> bool:
+        return is_true(three_valued(*args))
+
+    return predicate
+
+
+#: PredFunc-ready NULL-aware comparisons.
+THREE_VALUED_PREDICATES: Dict[str, Callable[..., bool]] = {
+    "eq3": _as_where_predicate(eq3),
+    "neq3": _as_where_predicate(neq3),
+    "lt3": _as_where_predicate(lt3),
+    "le3": _as_where_predicate(le3),
+    "gt3": _as_where_predicate(gt3),
+    "ge3": _as_where_predicate(ge3),
+    "is_null": lambda a: a is NULL,
+    "is_not_null": lambda a: a is not NULL,
+}
+
+
+def register_three_valued(interp) -> None:
+    """Install the NULL-aware comparison symbols into an interpretation."""
+    interp.predicates.update(THREE_VALUED_PREDICATES)
+
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "UNKNOWN",
+    "THREE_VALUED_PREDICATES",
+    "eq3",
+    "ge3",
+    "gt3",
+    "is_true",
+    "kleene_and",
+    "kleene_not",
+    "kleene_or",
+    "le3",
+    "lt3",
+    "neq3",
+    "register_three_valued",
+]

@@ -1,0 +1,112 @@
+"""Unparsing: named AST back to SQL text.
+
+The inverse of :mod:`repro.sql.parser` — used to display resolved queries
+to users, to serialize rewritten workloads, and (in the test suite) to
+property-check the parser: ``parse(unparse(q)) == q`` for every named
+query the generator produces.
+"""
+
+from __future__ import annotations
+
+from . import nast
+
+
+def unparse(query: nast.NQuery) -> str:
+    """Render a named query as parseable SQL text."""
+    if isinstance(query, nast.NSelect):
+        return _select_to_sql(query)
+    if isinstance(query, nast.NUnionAll):
+        return (f"{unparse(query.left)} UNION ALL "
+                f"{_operand(query.right)}")
+    if isinstance(query, nast.NExcept):
+        return f"{unparse(query.left)} EXCEPT {_operand(query.right)}"
+    raise TypeError(f"not a named query: {query!r}")
+
+
+def _operand(query: nast.NQuery) -> str:
+    """Right operands of compound queries get parentheses, preserving the
+    parser's left associativity on round-trip."""
+    text = unparse(query)
+    if isinstance(query, (nast.NUnionAll, nast.NExcept)):
+        return f"({text})"
+    return text
+
+
+def _select_to_sql(select: nast.NSelect) -> str:
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    if select.items:
+        rendered = []
+        for item in select.items:
+            text = expr_to_sql(item.expr)
+            if item.alias is not None:
+                text += f" AS {item.alias}"
+            rendered.append(text)
+        parts.append(", ".join(rendered))
+    else:
+        parts.append("*")
+    parts.append("FROM")
+    from_parts = []
+    for item in select.from_items:
+        if isinstance(item.source, str):
+            if item.alias == item.source:
+                from_parts.append(item.source)
+            else:
+                from_parts.append(f"{item.source} AS {item.alias}")
+        else:
+            from_parts.append(f"({unparse(item.source)}) AS {item.alias}")
+    parts.append(", ".join(from_parts))
+    if select.where is not None:
+        parts.append("WHERE")
+        parts.append(pred_to_sql(select.where))
+    if select.group_by is not None:
+        parts.append("GROUP BY")
+        parts.append(expr_to_sql(select.group_by))
+    return " ".join(parts)
+
+
+def pred_to_sql(pred: nast.NPred) -> str:
+    """Render a named predicate (fully parenthesized connectives)."""
+    if isinstance(pred, nast.NComparison):
+        return (f"{expr_to_sql(pred.left)} {pred.op} "
+                f"{expr_to_sql(pred.right)}")
+    if isinstance(pred, nast.NAnd):
+        return f"({pred_to_sql(pred.left)} AND {pred_to_sql(pred.right)})"
+    if isinstance(pred, nast.NOr):
+        return f"({pred_to_sql(pred.left)} OR {pred_to_sql(pred.right)})"
+    if isinstance(pred, nast.NNot):
+        return f"NOT {pred_to_sql(pred.operand)}"
+    if isinstance(pred, nast.NBoolLit):
+        return "TRUE" if pred.value else "FALSE"
+    if isinstance(pred, nast.NExists):
+        return f"EXISTS ({unparse(pred.query)})"
+    raise TypeError(f"not a named predicate: {pred!r}")
+
+
+def expr_to_sql(expr: nast.NExpr) -> str:
+    """Render a named expression."""
+    if isinstance(expr, nast.NColumn):
+        if expr.table is None:
+            return expr.column
+        return f"{expr.table}.{expr.column}"
+    if isinstance(expr, nast.NLiteral):
+        value = expr.value
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            return f"'{value}'"
+        raise TypeError(f"unrenderable literal {value!r}")
+    if isinstance(expr, nast.NFuncCall):
+        args = ", ".join(expr_to_sql(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, nast.NAggCall):
+        return f"{expr.name}({expr_to_sql(expr.arg)})"
+    if isinstance(expr, nast.NAggQuery):
+        return f"{expr.name}(({unparse(expr.query)}))"
+    raise TypeError(f"not a named expression: {expr!r}")
+
+
+__all__ = ["expr_to_sql", "pred_to_sql", "unparse"]

@@ -1,0 +1,470 @@
+"""Query containment and equivalence for the fragments of paper Figure 9.
+
+Figure 9 tabulates the complexity of containment/equivalence per SQL
+fragment and semantics:
+
+====================================  ==============  ===========  ==============  ===========
+Fragment                              Cont. (set)     Cont. (bag)  Equiv. (set)    Equiv. (bag)
+====================================  ==============  ===========  ==============  ===========
+Conjunctive queries                   NP-complete     open         NP-complete     graph iso
+Unions of conjunctive queries         NP-complete     undecidable  NP-complete     open
+CQs with ``≠``/``≤``/``<``            Πᵖ₂-complete    undecidable  Πᵖ₂-complete    undecidable
+First-order (full SQL)                undecidable     undecidable  undecidable     undecidable
+====================================  ==============  ===========  ==============  ===========
+
+This module implements every *decidable* cell:
+
+* **set containment of CQs** — the Chandra–Merlin homomorphism criterion,
+* **set equivalence of CQs** — mutual containment,
+* **bag equivalence of CQs** — isomorphism (Chaudhuri & Vardi),
+* **set containment/equivalence of UCQs** — Sagiv–Yannakakis disjunct
+  mapping,
+* **set containment of CQs with order comparisons** — the canonical-
+  database-per-linearization construction (exponential, matching Πᵖ₂).
+
+The open/undecidable cells raise :class:`Undecidable` with the citation,
+and the Figure 9 benchmark demonstrates the falsification fallback the
+library offers for them (random-instance refutation via the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple, Union
+
+
+class Undecidable(Exception):
+    """Raised for problems with no decision procedure (paper Figure 9)."""
+
+
+# ---------------------------------------------------------------------------
+# Conjunctive queries (standalone lightweight formalism)
+# ---------------------------------------------------------------------------
+
+#: A term is a variable name or an integer constant.
+Term = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``rel(t1, ..., tn)``."""
+
+    rel: str
+    args: Tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.rel}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class CQ:
+    """A conjunctive query ``head(x̄) :- body``.
+
+    Head terms must be variables occurring in the body (safety).
+    """
+
+    head: Tuple[Term, ...]
+    body: Tuple[Atom, ...]
+
+    def variables(self) -> FrozenSet[str]:
+        out = {a for atom in self.body for a in atom.args
+               if isinstance(a, str)}
+        return frozenset(out)
+
+    def validate(self) -> None:
+        body_vars = self.variables()
+        for term in self.head:
+            if isinstance(term, str) and term not in body_vars:
+                raise ValueError(f"unsafe head variable {term!r}")
+
+    def __str__(self) -> str:
+        head = ", ".join(map(str, self.head))
+        body = " ∧ ".join(map(str, self.body))
+        return f"q({head}) :- {body}"
+
+
+@dataclass(frozen=True)
+class UCQ:
+    """A union of conjunctive queries (all with the same head arity)."""
+
+    disjuncts: Tuple[CQ, ...]
+
+    def __str__(self) -> str:
+        return " ∪ ".join(f"[{d}]" for d in self.disjuncts)
+
+
+# ---------------------------------------------------------------------------
+# Homomorphisms — Chandra & Merlin (STOC 1977)
+# ---------------------------------------------------------------------------
+
+def find_homomorphism(source: CQ, target: CQ
+                      ) -> Optional[Dict[str, Term]]:
+    """A homomorphism h : source → target with h(head_s) = head_t.
+
+    ``Q_target ⊆ Q_source`` (set semantics) iff such an h exists —
+    ``target`` plays the role of the canonical database.
+    """
+    if len(source.head) != len(target.head):
+        return None
+    mapping: Dict[str, Term] = {}
+    # Head constraint pins head variables immediately.
+    for s_term, t_term in zip(source.head, target.head):
+        if isinstance(s_term, str):
+            if s_term in mapping and mapping[s_term] != t_term:
+                return None
+            mapping[s_term] = t_term
+        elif s_term != t_term:
+            return None
+
+    # Index target atoms by relation for candidate enumeration.
+    by_rel: Dict[str, List[Atom]] = {}
+    for atom in target.body:
+        by_rel.setdefault(atom.rel, []).append(atom)
+
+    atoms = sorted(source.body, key=lambda a: len(by_rel.get(a.rel, ())))
+
+    def extend(index: int, current: Dict[str, Term]
+               ) -> Optional[Dict[str, Term]]:
+        if index == len(atoms):
+            return dict(current)
+        atom = atoms[index]
+        for candidate in by_rel.get(atom.rel, ()):
+            if len(candidate.args) != len(atom.args):
+                continue
+            added: List[str] = []
+            ok = True
+            for s_arg, t_arg in zip(atom.args, candidate.args):
+                if isinstance(s_arg, str):
+                    bound = current.get(s_arg)
+                    if bound is None:
+                        current[s_arg] = t_arg
+                        added.append(s_arg)
+                    elif bound != t_arg:
+                        ok = False
+                        break
+                elif s_arg != t_arg:
+                    ok = False
+                    break
+            if ok:
+                result = extend(index + 1, current)
+                if result is not None:
+                    return result
+            for var in added:
+                del current[var]
+        return None
+
+    return extend(0, mapping)
+
+
+def cq_set_contained(q1: CQ, q2: CQ) -> bool:
+    """``Q1 ⊆ Q2`` under set semantics (NP-complete)."""
+    return find_homomorphism(q2, q1) is not None
+
+
+def cq_set_equivalent(q1: CQ, q2: CQ) -> bool:
+    """Set equivalence: mutual containment."""
+    return cq_set_contained(q1, q2) and cq_set_contained(q2, q1)
+
+
+def cq_bag_contained(q1: CQ, q2: CQ) -> bool:
+    """Bag containment of CQs — a long-standing **open problem**."""
+    raise Undecidable(
+        "bag containment of conjunctive queries is open "
+        "(paper Figure 9, citing Chaudhuri & Vardi)")
+
+
+def cq_bag_equivalent(q1: CQ, q2: CQ) -> bool:
+    """Bag equivalence: isomorphism (graph-isomorphism-complete).
+
+    Chaudhuri & Vardi (PODS 1993): two CQs are bag-equivalent iff they are
+    isomorphic.  Implemented as a backtracking bijection search between
+    body atoms inducing a variable bijection consistent with the heads.
+    """
+    if len(q1.head) != len(q2.head) or len(q1.body) != len(q2.body):
+        return False
+    atoms2: List[Optional[Atom]] = list(q2.body)
+
+    def match(index: int, var_map: Dict[str, str]) -> bool:
+        if index == len(q1.body):
+            mapped_head = tuple(
+                var_map.get(t, t) if isinstance(t, str) else t
+                for t in q1.head)
+            return mapped_head == q2.head and \
+                len(set(var_map.values())) == len(var_map)
+        atom = q1.body[index]
+        for j, candidate in enumerate(atoms2):
+            if candidate is None or candidate.rel != atom.rel \
+                    or len(candidate.args) != len(atom.args):
+                continue
+            added: List[str] = []
+            ok = True
+            for a1, a2 in zip(atom.args, candidate.args):
+                if isinstance(a1, str) and isinstance(a2, str):
+                    bound = var_map.get(a1)
+                    if bound is None:
+                        var_map[a1] = a2
+                        added.append(a1)
+                    elif bound != a2:
+                        ok = False
+                        break
+                elif a1 != a2:
+                    ok = False
+                    break
+            if ok:
+                atoms2[j] = None
+                if match(index + 1, var_map):
+                    return True
+                atoms2[j] = candidate
+            for var in added:
+                del var_map[var]
+        return False
+
+    return match(0, {})
+
+
+# ---------------------------------------------------------------------------
+# Unions of conjunctive queries — Sagiv & Yannakakis (JACM 1980)
+# ---------------------------------------------------------------------------
+
+def ucq_set_contained(q1: UCQ, q2: UCQ) -> bool:
+    """``Q1 ⊆ Q2`` for UCQs: every disjunct maps into some disjunct."""
+    return all(any(cq_set_contained(d1, d2) for d2 in q2.disjuncts)
+               for d1 in q1.disjuncts)
+
+
+def ucq_set_equivalent(q1: UCQ, q2: UCQ) -> bool:
+    """Set equivalence of UCQs (NP-complete)."""
+    return ucq_set_contained(q1, q2) and ucq_set_contained(q2, q1)
+
+
+def ucq_bag_contained(q1: UCQ, q2: UCQ) -> bool:
+    """Bag containment of UCQs is **undecidable** (Ioannidis & Ramakrishnan)."""
+    raise Undecidable(
+        "bag containment of unions of conjunctive queries is undecidable "
+        "(paper Figure 9, citing Ioannidis & Ramakrishnan 1995)")
+
+
+# ---------------------------------------------------------------------------
+# CQs with order comparisons — van der Meyden (PODS 1992)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CQI:
+    """A CQ with strict order comparisons ``x < y`` between variables."""
+
+    cq: CQ
+    comparisons: Tuple[Tuple[str, str], ...]   # (x, y) meaning x < y
+
+    def __str__(self) -> str:
+        comps = " ∧ ".join(f"{x} < {y}" for x, y in self.comparisons)
+        return f"{self.cq}{' ∧ ' + comps if comps else ''}"
+
+
+def _weak_orders(variables: Sequence[str]) -> Iterator[List[List[str]]]:
+    """All ordered set partitions (weak orders) of the variables."""
+    variables = list(variables)
+    if not variables:
+        yield []
+        return
+    first, rest = variables[0], variables[1:]
+    for sub in _weak_orders(rest):
+        # Insert `first` into an existing block or as a new block.
+        for i in range(len(sub)):
+            yield sub[:i] + [sub[i] + [first]] + sub[i + 1:]
+        for i in range(len(sub) + 1):
+            yield sub[:i] + [[first]] + sub[i:]
+
+
+def _order_satisfies(rank: Dict[str, int],
+                     comparisons: Sequence[Tuple[str, str]]) -> bool:
+    return all(rank[x] < rank[y] for x, y in comparisons)
+
+
+def cqi_set_contained(q1: CQI, q2: CQI) -> bool:
+    """``Q1 ⊆ Q2`` for CQs with ``<`` — the Πᵖ₂ canonical-order procedure.
+
+    For every weak order of Q1's variables consistent with Q1's
+    comparisons, the canonical database it induces (collapsing tied
+    variables) must admit a homomorphism from Q2 whose comparisons hold
+    under the order.  Exponential in the variable count, matching the
+    Πᵖ₂-completeness of paper Figure 9 (van der Meyden 1992).
+    """
+    variables = sorted(q1.cq.variables())
+    for blocks in _weak_orders(variables):
+        rank = {v: i for i, block in enumerate(blocks) for v in block}
+        if not _order_satisfies(rank, q1.comparisons):
+            continue
+        # Canonical database: variables collapse to their block index.
+        canonical_body = tuple(
+            Atom(a.rel, tuple(
+                f"b{rank[t]}" if isinstance(t, str) else t
+                for t in a.args))
+            for a in q1.cq.body)
+        canonical_head = tuple(
+            f"b{rank[t]}" if isinstance(t, str) else t for t in q1.cq.head)
+        canonical = CQ(canonical_head, canonical_body)
+        hom = find_homomorphism(q2.cq, canonical)
+        if hom is None:
+            return False
+        block_rank = {f"b{i}": i for i in range(len(blocks))}
+        ok = True
+        for x, y in q2.comparisons:
+            hx, hy = hom.get(x), hom.get(y)
+            if not (isinstance(hx, str) and isinstance(hy, str)
+                    and block_rank[hx] < block_rank[hy]):
+                ok = False
+                break
+        if not ok:
+            return False
+    return True
+
+
+def cqi_set_equivalent(q1: CQI, q2: CQI) -> bool:
+    """Set equivalence of CQs with comparisons (Πᵖ₂-complete)."""
+    return cqi_set_contained(q1, q2) and cqi_set_contained(q2, q1)
+
+
+def cqi_bag_contained(q1: CQI, q2: CQI) -> bool:
+    """Undecidable (Jayram, Kolaitis & Vee, PODS 2006)."""
+    raise Undecidable(
+        "bag containment of CQs with inequalities is undecidable "
+        "(paper Figure 9, citing Jayram, Kolaitis & Vee 2006)")
+
+
+def fo_contained(q1, q2) -> bool:
+    """Containment of first-order queries is **undecidable** (Trakhtenbrot)."""
+    raise Undecidable(
+        "containment of first-order queries is undecidable "
+        "(Trakhtenbrot 1950; paper Figure 9 and Sec. 7)")
+
+
+# ---------------------------------------------------------------------------
+# Query generators for the Figure 9 scaling study
+# ---------------------------------------------------------------------------
+
+def chain_query(length: int, head_first: bool = True) -> CQ:
+    """A path query ``q(x0[,xn]) :- E(x0,x1) ∧ ... ∧ E(x_{n-1},x_n)``."""
+    atoms = tuple(Atom("E", (f"x{i}", f"x{i+1}")) for i in range(length))
+    head = ("x0",) if head_first else ("x0", f"x{length}")
+    return CQ(head, atoms)
+
+
+def cycle_query(length: int) -> CQ:
+    """A cycle query: chain of length n closed back to x0 (boolean head)."""
+    atoms = [Atom("E", (f"x{i}", f"x{(i+1) % length}"))
+             for i in range(length)]
+    return CQ((), tuple(atoms))
+
+
+def star_query(points: int) -> CQ:
+    """A star: center joined to ``points`` leaves."""
+    atoms = tuple(Atom("E", ("c", f"x{i}")) for i in range(points))
+    return CQ(("c",), atoms)
+
+
+def clique_query(size: int) -> CQ:
+    """A clique query on ``size`` variables (hard hom instances)."""
+    atoms = tuple(Atom("E", (f"x{i}", f"x{j}"))
+                  for i in range(size) for j in range(size) if i != j)
+    return CQ((), atoms)
+
+
+def rename_apart(q: CQ, suffix: str) -> CQ:
+    """A fresh-variable copy of a CQ (alpha-variant)."""
+    def rn(term: Term) -> Term:
+        return f"{term}{suffix}" if isinstance(term, str) else term
+    return CQ(tuple(rn(t) for t in q.head),
+              tuple(Atom(a.rel, tuple(rn(t) for t in a.args))
+                    for a in q.body))
+
+
+# ---------------------------------------------------------------------------
+# Bridge to HoTTSQL — cross-validation of the Sec. 5.2 procedure
+# ---------------------------------------------------------------------------
+
+def cq_to_hottsql(q: CQ, arities: Dict[str, int]):
+    """Compile a CQ into a core HoTTSQL ``DISTINCT SELECT`` query.
+
+    Used by the test suite to cross-check the paper's decision procedure
+    (:func:`repro.core.conjunctive.decide_cq`) against the classical
+    Chandra–Merlin criterion on the same query pairs.
+    """
+    from ..core import ast
+    from ..core.schema import INT, Leaf, Node
+
+    def table_schema(arity: int):
+        schema = Leaf(INT)
+        for _ in range(arity - 1):
+            schema = Node(Leaf(INT), schema)
+        return schema
+
+    def column_proj(arity: int, index: int) -> "ast.Projection":
+        steps: List[ast.Projection] = [ast.RIGHT] * index
+        if index < arity - 1:
+            steps.append(ast.LEFT)
+        return ast.path(*steps) if steps else ast.STAR
+
+    if not q.body:
+        raise ValueError("cannot compile a body-less CQ to SQL")
+
+    # FROM clause: right-nested product; atom i's tuple path within it.
+    count = len(q.body)
+    tables = [ast.Table(atom.rel, table_schema(arities[atom.rel]))
+              for atom in q.body]
+    from_query = ast.from_clauses(*tables)
+
+    def atom_tuple_path(index: int) -> Tuple[ast.Projection, ...]:
+        if count == 1:
+            return ()
+        steps = [ast.RIGHT] * index
+        if index < count - 1:
+            steps.append(ast.LEFT)
+        return tuple(steps)
+
+    # First occurrence of each variable; equalities for later occurrences.
+    first_occurrence: Dict[str, Tuple[int, int]] = {}
+    equalities: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    constants: List[Tuple[Tuple[int, int], int]] = []
+    for ai, atom in enumerate(q.body):
+        for pi, term in enumerate(atom.args):
+            if isinstance(term, str):
+                if term in first_occurrence:
+                    equalities.append((first_occurrence[term], (ai, pi)))
+                else:
+                    first_occurrence[term] = (ai, pi)
+            else:
+                constants.append(((ai, pi), term))
+
+    def position_expr(position: Tuple[int, int]) -> "ast.Expression":
+        ai, pi = position
+        arity = arities[q.body[ai].rel]
+        proj = ast.path(ast.RIGHT, *atom_tuple_path(ai),
+                        column_proj(arity, pi))
+        return ast.P2E(proj, INT)
+
+    predicates: List[ast.Predicate] = []
+    for pos1, pos2 in equalities:
+        predicates.append(ast.PredEq(position_expr(pos1),
+                                     position_expr(pos2)))
+    for pos, value in constants:
+        predicates.append(ast.PredEq(position_expr(pos),
+                                     ast.Const(value, INT)))
+
+    body = from_query
+    if predicates:
+        body = ast.Where(body, ast.and_(*predicates))
+
+    if q.head:
+        head_projs = []
+        for term in q.head:
+            if isinstance(term, str):
+                ai, pi = first_occurrence[term]
+                arity = arities[q.body[ai].rel]
+                head_projs.append(ast.path(
+                    ast.RIGHT, *atom_tuple_path(ai), column_proj(arity, pi)))
+            else:
+                head_projs.append(ast.E2P(ast.Const(term, INT), INT))
+        projection = ast.proj_tuple(*head_projs)
+    else:
+        projection = ast.EMPTYP
+    return ast.Distinct(ast.Select(projection, body))

@@ -1,0 +1,143 @@
+"""Conjunctive-query minimization and concrete CQ evaluation.
+
+Two classical companions to the Chandra–Merlin theorem:
+
+* **Minimization** — every CQ has a unique *core*: a minimal equivalent
+  subquery, computed by repeatedly deleting atoms whose removal preserves
+  equivalence.  Optimizers use this to eliminate redundant joins — the
+  semantic engine behind the paper's Q2 ≡ Q3 example.
+* **Evaluation** — executing a CQ over a concrete instance by
+  homomorphism enumeration, which lets the test suite validate the
+  containment deciders *empirically*: if ``Q1 ⊆ Q2`` is claimed, then
+  ``Q1(D) ⊆ Q2(D)`` must hold on every randomly generated database D.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from .containment import CQ, Atom, Term, cq_set_equivalent, find_homomorphism
+
+#: A concrete instance: relation name → set of constant tuples.
+Instance = Dict[str, Set[Tuple[int, ...]]]
+
+
+def minimize(query: CQ) -> CQ:
+    """The core of a CQ: a minimal equivalent sub-query.
+
+    Greedy atom deletion; by the Chandra–Merlin theory the result is
+    unique up to isomorphism regardless of deletion order.
+    """
+    query.validate()
+    body = list(query.body)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(body)):
+            if len(body) == 1:
+                break
+            candidate_body = tuple(body[:i] + body[i + 1:])
+            head_vars = {t for t in query.head if isinstance(t, str)}
+            remaining_vars = {a for atom in candidate_body
+                              for a in atom.args if isinstance(a, str)}
+            if not head_vars <= remaining_vars:
+                continue     # deletion would make the head unsafe
+            candidate = CQ(query.head, candidate_body)
+            if cq_set_equivalent(query, candidate):
+                body = list(candidate_body)
+                changed = True
+                break
+    return CQ(query.head, tuple(body))
+
+
+def is_minimal(query: CQ) -> bool:
+    """True iff no single atom can be removed."""
+    return len(minimize(query).body) == len(query.body)
+
+
+def evaluate_cq(query: CQ, instance: Instance) -> Set[Tuple[int, ...]]:
+    """All answers of a CQ on a concrete instance (set semantics).
+
+    Implemented as the textbook join: enumerate assignments of the
+    query's variables to constants, atom by atom.
+    """
+    answers: Set[Tuple[int, ...]] = set()
+    atoms = sorted(query.body,
+                   key=lambda a: len(instance.get(a.rel, ())))
+
+    def extend(index: int, binding: Dict[str, int]) -> None:
+        if index == len(atoms):
+            try:
+                answer = tuple(
+                    binding[t] if isinstance(t, str) else t
+                    for t in query.head)
+            except KeyError:
+                return
+            answers.add(answer)
+            return
+        atom = atoms[index]
+        for fact in instance.get(atom.rel, ()):
+            if len(fact) != len(atom.args):
+                continue
+            added: List[str] = []
+            ok = True
+            for arg, value in zip(atom.args, fact):
+                if isinstance(arg, str):
+                    bound = binding.get(arg)
+                    if bound is None:
+                        binding[arg] = value
+                        added.append(arg)
+                    elif bound != value:
+                        ok = False
+                        break
+                elif arg != value:
+                    ok = False
+                    break
+            if ok:
+                extend(index + 1, binding)
+            for var in added:
+                del binding[var]
+
+    extend(0, {})
+    return answers
+
+
+def canonical_instance(query: CQ) -> Tuple[Instance, Tuple[int, ...]]:
+    """The canonical (frozen) database of a CQ and its frozen head.
+
+    Variables become fresh constants; by Chandra–Merlin, ``Q1 ⊆ Q2`` iff
+    the frozen head of Q1 is an answer of Q2 on Q1's canonical instance.
+    """
+    variables = sorted(query.variables())
+    encoding: Dict[str, int] = {v: 1000 + i for i, v in enumerate(variables)}
+
+    def enc(term: Term) -> int:
+        return encoding[term] if isinstance(term, str) else int(term)
+
+    instance: Instance = {}
+    for atom in query.body:
+        instance.setdefault(atom.rel, set()).add(
+            tuple(enc(a) for a in atom.args))
+    frozen_head = tuple(enc(t) for t in query.head)
+    return instance, frozen_head
+
+
+def contained_via_canonical(q1: CQ, q2: CQ) -> bool:
+    """``Q1 ⊆ Q2`` decided by the canonical-database criterion.
+
+    An independent implementation of containment (evaluation on the
+    frozen instance instead of explicit homomorphism search); the test
+    suite checks it agrees with :func:`find_homomorphism`.
+    """
+    instance, frozen_head = canonical_instance(q1)
+    return frozen_head in evaluate_cq(q2, instance)
+
+
+__all__ = [
+    "Instance",
+    "canonical_instance",
+    "contained_via_canonical",
+    "evaluate_cq",
+    "is_minimal",
+    "minimize",
+]

@@ -1,0 +1,112 @@
+"""Congruence closure: union-find, congruence, pair axioms."""
+
+from repro.core.congruence import CongruenceClosure
+from repro.core.schema import INT, Leaf, Node
+from repro.core.uninomial import TApp, TConst, TFst, TPair, TSnd, TVar
+
+S2 = Node(Leaf(INT), Leaf(INT))
+A = TVar("a", Leaf(INT))
+B = TVar("b", Leaf(INT))
+C = TVar("c", Leaf(INT))
+X = TVar("x", S2)
+Y = TVar("y", S2)
+
+
+def f(t):
+    return TApp("f", (t,), Leaf(INT))
+
+
+class TestBasics:
+    def test_reflexivity(self):
+        cc = CongruenceClosure()
+        assert cc.equal(A, A)
+
+    def test_merge_and_transitivity(self):
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        cc.merge(B, C)
+        assert cc.equal(A, C)
+        assert not cc.equal(A, TVar("d", Leaf(INT)))
+
+    def test_congruence_propagation(self):
+        cc = CongruenceClosure()
+        cc.ensure(f(A))
+        cc.ensure(f(B))
+        cc.merge(A, B)
+        assert cc.equal(f(A), f(B))
+
+    def test_congruence_on_new_terms(self):
+        # Terms registered after the merge still see the closure.
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        assert cc.equal(f(A), f(B))
+
+    def test_nested_congruence(self):
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        assert cc.equal(f(f(A)), f(f(B)))
+
+    def test_contradiction_flag(self):
+        cc = CongruenceClosure()
+        cc.merge(TConst(1, INT), TConst(2, INT))
+        assert cc.contradictory
+
+    def test_constants_equal_when_same(self):
+        cc = CongruenceClosure()
+        cc.merge(A, TConst(1, INT))
+        cc.merge(B, TConst(1, INT))
+        assert cc.equal(A, B)
+        assert not cc.contradictory
+
+
+class TestPairTheory:
+    def test_projections_of_pair(self):
+        cc = CongruenceClosure()
+        cc.merge(X, TPair(A, B))
+        assert cc.equal(TFst(X), A)
+        assert cc.equal(TSnd(X), B)
+
+    def test_surjective_pairing_in_equal(self):
+        cc = CongruenceClosure()
+        cc.merge(TFst(X), TFst(Y))
+        cc.merge(TSnd(X), TSnd(Y))
+        # Component-wise equality implies tuple equality for Node schemas.
+        assert cc.equal(X, Y)
+
+    def test_pair_congruence(self):
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        assert cc.equal(TPair(A, C), TPair(B, C))
+
+
+class TestCanonical:
+    def test_canonical_deterministic(self):
+        cc = CongruenceClosure()
+        cc.merge(f(A), B)
+        # B is smaller than f(a): both f(a) and b canonicalize to b.
+        assert cc.canonical(f(A)) == cc.canonical(B) == B
+
+    def test_canonical_rebuilds_children(self):
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        cc.ensure(f(A))
+        canon_fa = cc.canonical(f(A))
+        canon_fb = cc.canonical(f(B))
+        assert canon_fa == canon_fb
+
+    def test_members(self):
+        cc = CongruenceClosure()
+        cc.merge(A, B)
+        assert cc.members(A) == {A, B}
+
+    def test_assume_all(self):
+        cc = CongruenceClosure()
+        cc.assume_all([(A, B), (B, C)])
+        assert cc.equal(A, C)
+
+    def test_cycle_in_class_terminates(self):
+        # x = (x.1, x.2) creates a cyclic class graph; canonical must not
+        # recurse forever.
+        cc = CongruenceClosure()
+        cc.merge(X, TPair(TFst(X), TSnd(X)))
+        assert cc.canonical(X) is not None

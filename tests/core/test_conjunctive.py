@@ -1,0 +1,119 @@
+"""The automated CQ decision procedure (paper Sec. 5.2)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.conjunctive import (
+    NotConjunctive,
+    cq_equivalent,
+    decide_cq,
+    is_conjunctive_query,
+)
+from repro.core.schema import INT, Leaf, SVar
+from repro.rules.conjunctive import fig10_queries, self_join_queries
+
+SR = SVar("sR")
+R = ast.Table("R", SR)
+P = ast.PVar("p", SR, Leaf(INT))
+
+
+def simple_cq():
+    return ast.Distinct(ast.Select(ast.path(ast.RIGHT, P), R))
+
+
+class TestFragmentRecognition:
+    def test_accepts_canonical_cq(self):
+        q3, q2 = self_join_queries()
+        assert is_conjunctive_query(q3)
+        assert is_conjunctive_query(q2)
+
+    def test_rejects_missing_distinct(self):
+        q = ast.Select(ast.path(ast.RIGHT, P), R)
+        assert not is_conjunctive_query(q)
+
+    def test_rejects_union(self):
+        q = ast.Distinct(ast.UnionAll(R, R))
+        assert not is_conjunctive_query(q)
+
+    def test_rejects_disjunctive_predicate(self):
+        pred = ast.PredOr(ast.PredTrue(), ast.PredTrue())
+        q = ast.Distinct(ast.Select(ast.path(ast.RIGHT, P),
+                                    ast.Where(R, pred)))
+        assert not is_conjunctive_query(q)
+
+    def test_rejects_negation(self):
+        pred = ast.PredNot(ast.PredTrue())
+        q = ast.Distinct(ast.Select(ast.path(ast.RIGHT, P),
+                                    ast.Where(R, pred)))
+        assert not is_conjunctive_query(q)
+
+    def test_accepts_conjunction_of_equalities(self):
+        e = ast.P2E(ast.path(ast.RIGHT, P), INT)
+        pred = ast.PredAnd(ast.PredEq(e, e), ast.PredTrue())
+        q = ast.Distinct(ast.Select(ast.path(ast.RIGHT, P),
+                                    ast.Where(R, pred)))
+        assert is_conjunctive_query(q)
+
+
+class TestDecision:
+    def test_figure_2_pair(self):
+        q3, q2 = self_join_queries()
+        decision = decide_cq(q3, q2)
+        assert decision.equivalent
+        assert decision.forward is not None
+        assert decision.backward is not None
+
+    def test_figure_10_pair_and_witnesses(self):
+        lhs, rhs = fig10_queries()
+        decision = decide_cq(lhs, rhs)
+        assert decision.equivalent
+        # Both homomorphisms must actually assign every bound variable.
+        assert decision.forward.assignment
+        assert decision.backward.assignment
+        assert decision.forward.render()
+
+    def test_reflexivity(self):
+        q = simple_cq()
+        assert cq_equivalent(q, q)
+
+    def test_inequivalent_pair(self):
+        # Projecting p from R vs from the self-join with a *different*
+        # attribute equated: not equivalent.
+        p2 = ast.PVar("p2", SR, Leaf(INT))
+        q_other = ast.Distinct(ast.Select(
+            ast.path(ast.RIGHT, ast.LEFT, P),
+            ast.Where(
+                ast.Product(R, R),
+                ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT, p2), INT),
+                           ast.P2E(ast.path(ast.RIGHT, ast.RIGHT, P), INT)))))
+        q_plain = simple_cq()
+        decision = decide_cq(q_other, q_plain)
+        assert not decision.equivalent
+        # Containment still holds one way: every self-join answer is a
+        # plain answer.
+        assert decision.forward is not None
+
+    def test_containment_only_one_direction(self):
+        # σ_{p=p2}(R) ⊊ R as a CQ pair: DISTINCT p (R WHERE p=p2) vs
+        # DISTINCT p R.
+        p2 = ast.PVar("p2", SR, Leaf(INT))
+        filtered = ast.Distinct(ast.Select(
+            ast.path(ast.RIGHT, P),
+            ast.Where(R, ast.PredEq(
+                ast.P2E(ast.path(ast.RIGHT, P), INT),
+                ast.P2E(ast.path(ast.RIGHT, p2), INT)))))
+        plain = simple_cq()
+        decision = decide_cq(filtered, plain)
+        assert not decision.equivalent
+        assert decision.forward is not None     # filtered ⊆ plain
+        assert decision.backward is None        # plain ⊄ filtered
+
+    def test_fragment_enforcement(self):
+        not_cq = ast.Select(ast.path(ast.RIGHT, P), R)
+        with pytest.raises(NotConjunctive):
+            decide_cq(not_cq, simple_cq())
+
+    def test_fragment_bypass_still_sound(self):
+        q3, q2 = self_join_queries()
+        decision = decide_cq(q3, q2, require_fragment=False)
+        assert decision.equivalent

@@ -1,0 +1,202 @@
+"""Denotational semantics: Figure 7, context threading (Figure 6)."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.denote import (
+    denote_closed,
+    denote_closed_predicate,
+    denote_predicate,
+    denote_projection,
+    denote_query,
+)
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.uninomial import (
+    TApp,
+    TPair,
+    TVar,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    fresh_var,
+)
+
+SR = SVar("sR")
+SS = SVar("sS")
+R = ast.Table("R", SR)
+S = ast.Table("S", SS)
+S_SAME = ast.Table("S", SR)
+
+
+def _gt(ctx=EMPTY, schema=SR):
+    return fresh_var(ctx, "g"), fresh_var(schema, "t")
+
+
+class TestQueryDenotation:
+    def test_table_ignores_context(self):
+        g, t = _gt()
+        assert denote_query(R, EMPTY, g, t) == URel("R", t)
+
+    def test_product_is_multiplication(self):
+        g, t = _gt(schema=Node(SR, SS))
+        out = denote_query(ast.Product(R, S), EMPTY, g, t)
+        assert isinstance(out, UMul)
+        assert isinstance(out.left, URel) and out.left.name == "R"
+        assert isinstance(out.right, URel) and out.right.name == "S"
+        # The operands consume the two halves of the output tuple.
+        from repro.core.uninomial import TFst, TSnd
+        assert out.left.arg == TFst(t)
+        assert out.right.arg == TSnd(t)
+
+    def test_union_all_is_addition(self):
+        g, t = _gt()
+        out = denote_query(ast.UnionAll(R, S_SAME), EMPTY, g, t)
+        assert out == UAdd(URel("R", t), URel("S", t))
+
+    def test_except_is_negation(self):
+        g, t = _gt()
+        out = denote_query(ast.Except(R, S_SAME), EMPTY, g, t)
+        assert isinstance(out, UMul)
+        assert isinstance(out.right, UNeg)
+        assert out.right.arg == URel("S", t)
+
+    def test_distinct_is_squash(self):
+        g, t = _gt()
+        out = denote_query(ast.Distinct(R), EMPTY, g, t)
+        assert out == USquash(URel("R", t))
+
+    def test_where_extends_context_with_pair(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        g, t = _gt()
+        out = denote_query(ast.Where(R, b), EMPTY, g, t)
+        assert isinstance(out, UMul)
+        assert out.right == UPred("b", (TPair(g, t),))
+
+    def test_select_introduces_sum(self):
+        p = ast.PVar("p", Node(EMPTY, SR), Leaf(INT))
+        g, t = _gt(schema=Leaf(INT))
+        out = denote_query(ast.Select(p, R), EMPTY, g, t)
+        assert isinstance(out, USum)
+        body = out.body
+        assert isinstance(body, UMul)
+        assert isinstance(body.left, UEq)
+
+    def test_figure_1_denotation_shape(self):
+        # (⟦R⟧ t + ⟦S⟧ t) × ⟦b⟧ (g, t)
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        g, t = _gt()
+        out = denote_query(ast.Where(ast.UnionAll(R, S_SAME), b), EMPTY, g, t)
+        assert out == UMul(UAdd(URel("R", t), URel("S", t)),
+                           UPred("b", (TPair(g, t),)))
+
+
+class TestPredicateDenotation:
+    def test_connectives(self):
+        g = fresh_var(EMPTY, "g")
+        t = ast.PredTrue()
+        f = ast.PredFalse()
+        from repro.core.uninomial import ONE, ZERO
+        assert denote_predicate(t, EMPTY, g) == ONE
+        assert denote_predicate(f, EMPTY, g) == ZERO
+        assert denote_predicate(ast.PredNot(f), EMPTY, g) == ONE
+        assert denote_predicate(ast.PredAnd(t, f), EMPTY, g) == ZERO
+        assert denote_predicate(ast.PredOr(f, f), EMPTY, g) == ZERO
+
+    def test_or_squashes(self):
+        g = fresh_var(Node(EMPTY, SR), "g")
+        b1 = ast.PredVar("b1", Node(EMPTY, SR))
+        b2 = ast.PredVar("b2", Node(EMPTY, SR))
+        out = denote_predicate(ast.PredOr(b1, b2), Node(EMPTY, SR), g)
+        assert isinstance(out, USquash)
+        assert isinstance(out.arg, UAdd)
+
+    def test_exists_is_squashed_sum(self):
+        g = fresh_var(EMPTY, "g")
+        out = denote_predicate(ast.Exists(R), EMPTY, g)
+        assert isinstance(out, USquash)
+        assert isinstance(out.arg, USum)
+
+    def test_castpred_applies_projection(self):
+        b = ast.PredVar("b", SR)
+        ctx = Node(EMPTY, SR)
+        g = fresh_var(ctx, "g")
+        out = denote_predicate(ast.CastPred(ast.RIGHT, b), ctx, g)
+        from repro.core.uninomial import tsnd
+        assert out == UPred("b", (tsnd(g),))
+
+    def test_predfunc_uninterpreted(self):
+        ctx = Node(EMPTY, SR)
+        g = fresh_var(ctx, "g")
+        pred = ast.PredFunc("lt", (ast.Const(1, INT), ast.Const(2, INT)))
+        out = denote_predicate(pred, ctx, g)
+        assert isinstance(out, UPred)
+        assert out.name == "lt"
+
+
+class TestContextThreading:
+    """The Figure 6 discipline: each nesting level adds one Left step."""
+
+    def test_correlated_exists_sees_outer_tuple(self):
+        # R WHERE EXISTS (S WHERE p(S-tuple) = p(R-tuple))
+        p = ast.PVar("p", SR, Leaf(INT))
+        ps = ast.PVar("ps", SS, Leaf(INT))
+        inner_pred = ast.PredEq(
+            ast.P2E(ast.path(ast.RIGHT, ps), INT),           # inner S tuple
+            ast.P2E(ast.path(ast.LEFT, ast.RIGHT, p), INT))  # outer R tuple
+        q = ast.Where(R, ast.Exists(ast.Where(S, inner_pred)))
+        d = denote_closed(q)
+        rendered = str(d.body)
+        # The outer R tuple is reached via the context; the inner S tuple
+        # via the innermost Σ binder:  ⟦R⟧ t × ‖Σ s. ⟦S⟧ s × (ps(s) = p(t))‖
+        assert "ps(" in rendered and "= p(" in rendered
+        assert "⟦R⟧" in rendered and "⟦S⟧" in rendered
+
+    def test_three_level_nesting_typechecks_and_denotes(self):
+        # Figure 6's three-level correlated query skeleton.
+        st_ = SVar("sT")
+        T = ast.Table("T", st_)
+        p1 = ast.PVar("p1", SR, Leaf(INT))
+        p2 = ast.PVar("p2", SS, Leaf(INT))
+        p3 = ast.PVar("p3", st_, Leaf(INT))
+        level3 = ast.Where(T, ast.PredEq(
+            ast.P2E(ast.path(ast.RIGHT, p3), INT),
+            ast.P2E(ast.path(ast.LEFT, ast.RIGHT, p2), INT)))
+        level2 = ast.Where(S, ast.PredAnd(
+            ast.PredEq(ast.P2E(ast.path(ast.RIGHT, p2), INT),
+                       ast.P2E(ast.path(ast.LEFT, ast.RIGHT, p1), INT)),
+            ast.Exists(level3)))
+        level1 = ast.Where(R, ast.Exists(level2))
+        d = denote_closed(level1)
+        assert "⟦T⟧" in str(d.body)
+
+    def test_denote_closed_predicate(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        out = denote_closed_predicate(b, Node(EMPTY, SR))
+        assert isinstance(out, UPred)
+
+
+class TestProjectionDenotation:
+    def test_pvar_is_uninterpreted_application(self):
+        p = ast.PVar("p", SR, Leaf(INT))
+        g = fresh_var(SR, "g")
+        out = denote_projection(p, SR, g)
+        assert out == TApp("p", (g,), Leaf(INT))
+
+    def test_duplicate_pairs(self):
+        ctx = Node(SR, SS)
+        g = fresh_var(ctx, "g")
+        out = denote_projection(ast.Duplicate(ast.RIGHT, ast.LEFT), ctx, g)
+        from repro.core.uninomial import tfst, tsnd
+        assert out == TPair(tsnd(g), tfst(g))
+
+    def test_compose_chains(self):
+        ctx = Node(Node(SR, SS), SR)
+        g = fresh_var(ctx, "g")
+        out = denote_projection(ast.path(ast.LEFT, ast.RIGHT), ctx, g)
+        from repro.core.uninomial import TFst, TSnd
+        assert out == TSnd(TFst(g))

@@ -1,0 +1,142 @@
+"""Equivalence-engine edge cases complementing the main suites."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.equivalence import (
+    FDConstraint,
+    Hypotheses,
+    KeyConstraint,
+    check_uterm_equivalence,
+    queries_equivalent,
+    uterms_equivalent,
+)
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.uninomial import (
+    TApp,
+    TConst,
+    TVar,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    fresh_var,
+)
+
+SR = SVar("sR")
+T = TVar("t", SR)
+R = URel("R", T)
+S = URel("S", T)
+
+
+class TestNegationReasoning:
+    def test_neg_alpha_invariance(self):
+        x = fresh_var(SR, "x")
+        y = fresh_var(SR, "y")
+        lhs = UMul(R, UNeg(USum(x, URel("S", x))))
+        rhs = UMul(R, UNeg(USum(y, URel("S", y))))
+        assert uterms_equivalent(lhs, rhs)
+
+    def test_neg_strengthening(self):
+        # R × ¬S × b  =  R × b × ¬(S × b): the guarded negation is
+        # equivalent under the ambient predicate.
+        b = UPred("b", (T,))
+        lhs = UMul(UMul(R, UNeg(S)), b)
+        rhs = UMul(UMul(R, b), UNeg(UMul(S, b)))
+        assert uterms_equivalent(lhs, rhs)
+
+    def test_x_and_not_x_is_empty(self):
+        lhs = UMul(R, UNeg(R))
+        from repro.core.uninomial import ZERO
+        assert uterms_equivalent(lhs, ZERO)
+
+    def test_neg_of_different_relations_not_confused(self):
+        lhs = UMul(R, UNeg(S))
+        rhs = UMul(R, UNeg(URel("T", T)))
+        assert not uterms_equivalent(lhs, rhs)
+
+
+class TestFDAndKeysTogether:
+    HYPS = Hypotheses(
+        keys=(KeyConstraint("R", "k", Leaf(INT)),),
+        fds=(FDConstraint("R", "a", Leaf(INT), "b", Leaf(INT)),))
+
+    def test_fd_via_key_composition(self):
+        # With key k and two R-atoms whose k agree, ALL their attributes
+        # agree (the tuples merge).
+        x = TVar("x", SR)
+        y = TVar("y", SR)
+        k = lambda t: TApp("k", (t,), Leaf(INT))     # noqa: E731
+        a = lambda t: TApp("a", (t,), Leaf(INT))     # noqa: E731
+        base = UMul(URel("R", x), UMul(URel("R", y), UEq(k(x), k(y))))
+        conclusion = UMul(base, UEq(a(x), a(y)))
+        assert uterms_equivalent(base, conclusion, self.HYPS)
+
+    def test_hypotheses_scoped_to_named_relation(self):
+        # The key axiom must not fire on relation S.
+        x = TVar("x", SR)
+        y = TVar("y", SR)
+        k = lambda t: TApp("k", (t,), Leaf(INT))     # noqa: E731
+        base = UMul(URel("S", x), UMul(URel("S", y), UEq(k(x), k(y))))
+        conclusion = UMul(base, UEq(x, y))
+        assert not uterms_equivalent(base, conclusion, self.HYPS)
+
+
+class TestMultiplicityCounting:
+    def test_sum_multiplicity_is_respected(self):
+        # Σx. R x  ≠  Σx. Σy. R x (the extra binder scales by |Tuple σ|).
+        x = fresh_var(SR, "x")
+        y = fresh_var(SR, "y")
+        x2 = fresh_var(SR, "x")
+        lhs = USum(x, URel("R", x))
+        rhs = USum(x2, USum(y, URel("R", x2)))
+        assert not uterms_equivalent(lhs, rhs)
+
+    def test_add_of_three_matches_any_grouping(self):
+        a, b, c = R, S, URel("T", T)
+        lhs = UAdd(UAdd(a, b), c)
+        rhs = UAdd(b, UAdd(c, a))
+        assert uterms_equivalent(lhs, rhs)
+
+    def test_squashed_vs_unsquashed_distinct(self):
+        assert not uterms_equivalent(R, USquash(R))
+
+
+class TestContextSchemas:
+    def test_nonempty_outer_context(self):
+        # Equivalence checking in a non-empty context: predicates see the
+        # outer tuple, and the proofs still go through.
+        outer = SVar("outer")
+        R_t = ast.Table("R", SR)
+        S_t = ast.Table("S", SR)
+        b = ast.PredVar("b", Node(outer, SR))
+        lhs = ast.Where(ast.UnionAll(R_t, S_t), b)
+        rhs = ast.UnionAll(ast.Where(R_t, b), ast.Where(S_t, b))
+        assert queries_equivalent(lhs, rhs, ctx_schema=outer)
+
+    def test_constants_block_false_equivalences(self):
+        R_t = ast.Table("R", SR)
+        one = ast.Where(R_t, ast.PredEq(ast.Const(1, INT),
+                                        ast.Const(1, INT)))
+        two = ast.Where(R_t, ast.PredEq(ast.Const(1, INT),
+                                        ast.Const(2, INT)))
+        assert queries_equivalent(one, R_t)
+        assert not queries_equivalent(two, R_t)
+        assert queries_equivalent(two, ast.Where(R_t, ast.PredFalse()))
+
+
+class TestStatsAndResults:
+    def test_normal_forms_exposed(self):
+        result = check_uterm_equivalence(UAdd(R, S), UAdd(S, R))
+        assert result.equal
+        assert len(result.lhs_normal.products) == 2
+        assert len(result.rhs_normal.products) == 2
+
+    def test_trace_has_narrative(self):
+        result = check_uterm_equivalence(R, R)
+        assert any("normalized" in line for line in result.stats.trace)
+        assert any("matching" in line for line in result.stats.trace)

@@ -1,0 +1,124 @@
+"""Cross-validation of the two executable semantics.
+
+Figure 7 is implemented twice: the engine evaluates the syntax tree, and
+:mod:`repro.core.interp` evaluates its *denotation* literally (Σ as
+enumeration).  These tests assert they agree on a corpus of query shapes
+and on hypothesis-generated random instances — and that normalization
+preserves the interpreted value of the denotation, validating every
+rewrite the normalizer performs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ast
+from repro.core.denote import denote_closed
+from repro.core.interp import eval_denotation, eval_uterm
+from repro.core.normalize import normalize, nsum_to_uterm
+from repro.core.schema import INT, Leaf, Node
+from repro.engine.database import Interpretation
+from repro.engine.eval import run_query
+from repro.engine.random_instances import random_relation
+from repro.semiring import BOOL, KRelation, NAT
+
+#: Small domains keep the Σ enumerations fast.
+DOMAINS = {"int": (0, 1), "bool": (False, True), "string": ("a",)}
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+
+R = ast.Table("R", SCHEMA)
+S = ast.Table("S", SCHEMA)
+
+#: Query corpus covering every construct with concrete schemas.
+QUERIES = [
+    R,
+    ast.Select(ast.path(ast.RIGHT, ast.LEFT), R),
+    ast.Select(ast.Duplicate(ast.path(ast.RIGHT, ast.RIGHT),
+                             ast.path(ast.RIGHT, ast.LEFT)), R),
+    ast.Product(R, S),
+    ast.Where(R, ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+                            ast.Const(1, INT))),
+    ast.Where(R, ast.PredNot(ast.PredEq(
+        ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+        ast.P2E(ast.path(ast.RIGHT, ast.RIGHT), INT)))),
+    ast.UnionAll(R, S),
+    ast.Except(R, S),
+    ast.Distinct(ast.Select(ast.path(ast.RIGHT, ast.LEFT), R)),
+    ast.Where(R, ast.Exists(ast.Where(S, ast.PredEq(
+        ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+        ast.P2E(ast.path(ast.LEFT, ast.RIGHT, ast.LEFT), INT))))),
+    ast.Where(R, ast.PredOr(
+        ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+                   ast.Const(0, INT)),
+        ast.PredEq(ast.P2E(ast.path(ast.RIGHT, ast.RIGHT), INT),
+                   ast.Const(1, INT)))),
+    ast.Select(ast.E2P(ast.Agg(
+        "SUM", ast.Select(ast.path(ast.RIGHT, ast.LEFT), R), INT), INT), S),
+]
+
+
+def _random_interp(seed: int, semiring=NAT) -> Interpretation:
+    rng = random.Random(seed)
+    interp = Interpretation()
+    for name in ("R", "S"):
+        interp.relations[name] = random_relation(
+            rng, SCHEMA, semiring, max_rows=3, max_multiplicity=2,
+            domains=DOMAINS)
+    return interp
+
+
+def _restricted(rel: KRelation) -> KRelation:
+    # enumerate_tuples only sees the domain; relations are generated over
+    # it already, so no restriction is needed — kept as identity guard.
+    return rel
+
+
+@pytest.mark.parametrize("qi", range(len(QUERIES)))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_engine_agrees_with_denotation_interpreter(qi, seed):
+    query = QUERIES[qi]
+    interp = _random_interp(seed)
+    by_engine = run_query(query, interp, NAT)
+    denotation = denote_closed(query)
+    # Aggregate outputs can escape the enumeration domain; probe the
+    # engine's support as well so both sides cover the same tuples.
+    by_interp = eval_denotation(denotation, interp, NAT, DOMAINS,
+                                extra_tuples=sorted(by_engine.support(),
+                                                    key=repr))
+    assert by_engine == by_interp
+
+
+@pytest.mark.parametrize("qi", range(len(QUERIES)))
+def test_normalization_preserves_interpretation(qi):
+    query = QUERIES[qi]
+    interp = _random_interp(17 + qi)
+    denotation = denote_closed(query)
+    normalized = nsum_to_uterm(normalize(denotation.body))
+    from repro.core.schema import enumerate_tuples
+    for value in enumerate_tuples(denotation.schema, DOMAINS):
+        env = {denotation.g: (), denotation.t: value}
+        before = eval_uterm(denotation.body, env, interp, NAT, DOMAINS)
+        after = eval_uterm(normalized, env, interp, NAT, DOMAINS)
+        assert before == after, f"query {qi}, tuple {value}"
+
+
+@pytest.mark.parametrize("qi", range(len(QUERIES)))
+def test_set_semantics_agreement(qi):
+    query = QUERIES[qi]
+    if qi == len(QUERIES) - 1:
+        pytest.skip("aggregates fold counts; BOOL collapses them")
+    interp = _random_interp(23, BOOL)
+    by_engine = run_query(query, interp, BOOL)
+    by_interp = eval_denotation(denote_closed(query), interp, BOOL, DOMAINS)
+    assert by_engine == by_interp
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**6), st.integers(0, len(QUERIES) - 2))
+def test_agreement_property(seed, qi):
+    """Hypothesis-driven: engine ≡ denotation interpreter on random data."""
+    interp = _random_interp(seed)
+    query = QUERIES[qi]
+    assert run_query(query, interp, NAT) == \
+        eval_denotation(denote_closed(query), interp, NAT, DOMAINS)

@@ -1,0 +1,224 @@
+"""Normalization: Lemmas 5.1/5.2, squash laws, sum-of-products form."""
+
+from repro.core.normalize import (
+    AEq,
+    ANeg,
+    APred,
+    ARel,
+    ASquash,
+    NSUM_ONE,
+    NSUM_ZERO,
+    NSum,
+    atom_alpha_key,
+    normalize,
+    nsum_alpha_key,
+    nsum_to_uterm,
+    nsums_alpha_equal,
+    product_free_vars,
+)
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.uninomial import (
+    ONE,
+    TConst,
+    TPair,
+    TVar,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    ZERO,
+    fresh_var,
+    ueq,
+)
+
+SR = SVar("sR")
+S2 = Node(Leaf(INT), Leaf(INT))
+T = TVar("t", SR)
+P = TVar("p", S2)
+
+
+def single_product(nsum: NSum):
+    assert len(nsum.products) == 1
+    return nsum.products[0]
+
+
+class TestBasicForms:
+    def test_zero_and_one(self):
+        assert normalize(ZERO) == NSUM_ZERO
+        assert normalize(ONE) == NSUM_ONE
+
+    def test_rel_atom(self):
+        p = single_product(normalize(URel("R", T)))
+        assert p.factors == (ARel("R", T),)
+        assert p.vars == ()
+
+    def test_add_concatenates(self):
+        n = normalize(UAdd(URel("R", T), URel("S", T)))
+        assert len(n.products) == 2
+
+    def test_mul_distributes_over_add(self):
+        # (R + S) × P -> R×P + S×P  — the Figure 1 proof step.
+        u = UMul(UAdd(URel("R", T), URel("S", T)), UPred("b", (T,)))
+        n = normalize(u)
+        assert len(n.products) == 2
+        for p in n.products:
+            kinds = {type(f) for f in p.factors}
+            assert kinds == {ARel, APred}
+
+    def test_mul_zero_annihilates(self):
+        assert normalize(UMul(URel("R", T), ZERO)) == NSUM_ZERO
+
+
+class TestLemma51PairSplitting:
+    def test_bound_pair_variable_splits(self):
+        x = fresh_var(S2, "x")
+        u = USum(x, URel("R", x))
+        p = single_product(normalize(u))
+        assert len(p.vars) == 2
+        assert all(v.var_schema == Leaf(INT) for v in p.vars)
+
+    def test_unit_variable_dropped(self):
+        x = fresh_var(EMPTY, "x")
+        u = USum(x, URel("R", x))
+        p = single_product(normalize(u))
+        assert p.vars == ()
+
+    def test_svar_variable_kept_opaque(self):
+        x = fresh_var(SR, "x")
+        u = USum(x, URel("R", x))
+        p = single_product(normalize(u))
+        assert len(p.vars) == 1
+        assert p.vars[0].var_schema == SR
+
+
+class TestLemma52PointElimination:
+    def test_pinned_variable_eliminated(self):
+        x = fresh_var(SR, "x")
+        u = USum(x, UMul(UEq(x, T), URel("R", x)))
+        p = single_product(normalize(u))
+        assert p.vars == ()
+        assert p.factors == (ARel("R", T),)
+
+    def test_elimination_respects_occurs_check(self):
+        # Σ x. (x.1 = f(x)) × ... cannot eliminate x; here simulate with
+        # an equality whose other side mentions x.
+        x = fresh_var(SR, "x")
+        from repro.core.uninomial import TApp
+        u = USum(x, UMul(UEq(x, TApp("f", (x,), SR)), URel("R", x)))
+        p = single_product(normalize(u))
+        assert len(p.vars) == 1
+
+    def test_chain_elimination(self):
+        x = fresh_var(SR, "x")
+        y = fresh_var(SR, "y")
+        u = USum(x, USum(y, UMul(UEq(x, y),
+                                 UMul(UEq(y, T), URel("R", x)))))
+        p = single_product(normalize(u))
+        assert p.vars == ()
+        assert p.factors == (ARel("R", T),)
+
+
+class TestEqualityDecomposition:
+    def test_pair_equality_splits(self):
+        a = TVar("a", Leaf(INT))
+        b = TVar("b", Leaf(INT))
+        u = UEq(TPair(a, b), P)
+        p = single_product(normalize(u))
+        assert len(p.factors) == 2
+        assert all(isinstance(f, AEq) for f in p.factors)
+
+    def test_constant_conflict_is_zero(self):
+        u = UEq(TConst(1, INT), TConst(2, INT))
+        assert normalize(u) == NSUM_ZERO
+
+    def test_reflexivity_is_one(self):
+        assert normalize(UEq(T, T)) == NSUM_ONE
+
+
+class TestSquashLaws:
+    def test_squash_of_props_inlines(self):
+        u = USquash(UMul(UPred("b", (T,)), UPred("c", (T,))))
+        p = single_product(normalize(u))
+        assert {type(f) for f in p.factors} == {APred}
+
+    def test_props_pull_out_of_squash(self):
+        # ‖R t × b t‖ = ‖R t‖ × b t
+        u = USquash(UMul(URel("R", T), UPred("b", (T,))))
+        p = single_product(normalize(u))
+        kinds = sorted(type(f).__name__ for f in p.factors)
+        assert kinds == ["APred", "ASquash"]
+
+    def test_duplicates_collapse_under_squash(self):
+        # ‖R t × R t‖ = ‖R t‖
+        u = USquash(UMul(URel("R", T), URel("R", T)))
+        p = single_product(normalize(u))
+        squash = p.factors[0]
+        assert isinstance(squash, ASquash)
+        inner = single_product(squash.inner)
+        assert inner.factors == (ARel("R", T),)
+
+    def test_squash_of_zero_is_zero(self):
+        assert normalize(USquash(ZERO)) == NSUM_ZERO
+
+    def test_squash_containing_one_vanishes(self):
+        u = UMul(URel("R", T), USquash(UAdd(ONE, URel("S", T))))
+        p = single_product(normalize(u))
+        assert p.factors == (ARel("R", T),)
+
+
+class TestNegation:
+    def test_neg_of_zero_vanishes(self):
+        u = UMul(URel("R", T), UNeg(ZERO))
+        p = single_product(normalize(u))
+        assert p.factors == (ARel("R", T),)
+
+    def test_neg_of_one_kills_product(self):
+        u = UMul(URel("R", T), UNeg(ONE))
+        assert normalize(u) == NSUM_ZERO
+
+    def test_except_shape(self):
+        u = UMul(URel("R", T), UNeg(URel("S", T)))
+        p = single_product(normalize(u))
+        kinds = sorted(type(f).__name__ for f in p.factors)
+        assert kinds == ["ANeg", "ARel"]
+
+
+class TestAlphaKeys:
+    def test_alpha_equivalent_sums_share_keys(self):
+        x = fresh_var(SR, "x")
+        y = fresh_var(SR, "y")
+        n1 = normalize(USum(x, UMul(URel("R", x), UPred("b", (x,)))))
+        n2 = normalize(USum(y, UMul(URel("R", y), UPred("b", (y,)))))
+        assert nsums_alpha_equal(n1, n2)
+        assert nsum_alpha_key(n1) == nsum_alpha_key(n2)
+
+    def test_different_relations_differ(self):
+        x = fresh_var(SR, "x")
+        y = fresh_var(SR, "y")
+        n1 = normalize(USum(x, URel("R", x)))
+        n2 = normalize(USum(y, URel("S", y)))
+        assert not nsums_alpha_equal(n1, n2)
+
+    def test_eq_atom_key_symmetric(self):
+        a = TVar("a", Leaf(INT))
+        b = TVar("b", Leaf(INT))
+        assert atom_alpha_key(AEq(a, b)) == atom_alpha_key(AEq(b, a))
+
+
+class TestRoundTrip:
+    def test_nsum_to_uterm_renders(self):
+        u = UMul(UAdd(URel("R", T), URel("S", T)), UPred("b", (T,)))
+        n = normalize(u)
+        back = nsum_to_uterm(n)
+        # Round-tripped term normalizes to an alpha-equal normal form.
+        assert nsums_alpha_equal(normalize(back), n)
+
+    def test_free_vars(self):
+        x = fresh_var(SR, "x")
+        n = normalize(USum(x, UMul(URel("R", x), UEq(x, T))))
+        p = single_product(n)
+        assert product_free_vars(p) == {T}

@@ -1,0 +1,146 @@
+"""Data model: schema trees and dependent tuples (paper Sec. 3.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.schema import (
+    BOOL,
+    DEFAULT_DOMAINS,
+    EMPTY,
+    Empty,
+    INT,
+    Leaf,
+    Node,
+    STRING,
+    SVar,
+    enumerate_tuples,
+    leaf,
+    node,
+    schema_to_str,
+    subschema,
+    tuple_flatten,
+    tuple_get,
+    tuple_of,
+    validate_tuple,
+)
+
+PERSON = Node(Leaf(STRING), Node(Leaf(INT), Leaf(BOOL)))
+
+
+class TestTypes:
+    def test_validate_int(self):
+        assert INT.validate(5)
+        assert not INT.validate(True)      # bools are not ints here
+        assert not INT.validate("5")
+
+    def test_validate_bool_and_string(self):
+        assert BOOL.validate(True)
+        assert not BOOL.validate(1)
+        assert STRING.validate("x")
+
+    def test_unknown_type_unconstrained(self):
+        from repro.core.schema import SQLType
+        assert SQLType("uuid").validate(object())
+
+
+class TestSchemas:
+    def test_figure_4_example(self):
+        # node (leaf string) (node (leaf int) (leaf bool))
+        assert PERSON.is_concrete
+        assert PERSON.width == 3
+        assert [ty for _, ty in PERSON.leaves()] == [STRING, INT, BOOL]
+        assert [path for path, _ in PERSON.leaves()] == \
+            [("L",), ("R", "L"), ("R", "R")]
+
+    def test_node_builder_right_nests(self):
+        assert node(Leaf(INT), Leaf(INT), Leaf(BOOL)) == \
+            Node(Leaf(INT), Node(Leaf(INT), Leaf(BOOL)))
+        assert node() == EMPTY
+        assert leaf(INT) == Leaf(INT)
+
+    def test_svar_not_concrete(self):
+        assert not SVar("s").is_concrete
+        assert not Node(SVar("s"), Leaf(INT)).is_concrete
+        with pytest.raises(ValueError):
+            SVar("s").leaves()
+
+    def test_subschema(self):
+        assert subschema(PERSON, ()) == PERSON
+        assert subschema(PERSON, ("R", "L")) == Leaf(INT)
+        with pytest.raises(ValueError):
+            subschema(Leaf(INT), ("L",))
+
+    def test_rendering(self):
+        assert schema_to_str(EMPTY) == "empty"
+        assert "leaf int" in schema_to_str(PERSON)
+        assert schema_to_str(SVar("sR")) == "?sR"
+
+
+class TestTuples:
+    BOB = ("Bob", (52, True))
+
+    def test_validate(self):
+        assert validate_tuple(PERSON, self.BOB)
+        assert not validate_tuple(PERSON, ("Bob", (52, 1)))
+        assert validate_tuple(EMPTY, ())
+        assert not validate_tuple(EMPTY, (1,))
+
+    def test_tuple_get_figure_4(self):
+        # The paper's Left.Right path retrieves 52 from Bob's tuple.
+        assert tuple_get(self.BOB, ("R", "L")) == 52
+        assert tuple_get(self.BOB, ()) == self.BOB
+
+    def test_tuple_of_and_flatten_roundtrip(self):
+        built = tuple_of(PERSON, ["Bob", 52, True])
+        assert built == self.BOB
+        assert tuple_flatten(PERSON, built) == ["Bob", 52, True]
+
+    def test_tuple_of_errors(self):
+        with pytest.raises(ValueError):
+            tuple_of(PERSON, ["Bob", 52])
+        with pytest.raises(ValueError):
+            tuple_of(PERSON, ["Bob", 52, True, 9])
+        with pytest.raises(ValueError):
+            tuple_of(PERSON, ["Bob", "not int", True])
+
+
+class TestEnumeration:
+    def test_enumerate_empty(self):
+        assert list(enumerate_tuples(EMPTY)) == [()]
+
+    def test_enumerate_leaf(self):
+        assert list(enumerate_tuples(Leaf(BOOL))) == [False, True]
+
+    def test_enumerate_node_counts(self):
+        schema = Node(Leaf(BOOL), Leaf(BOOL))
+        assert len(list(enumerate_tuples(schema))) == 4
+
+    def test_enumerate_respects_domains(self):
+        out = list(enumerate_tuples(Leaf(INT), {"int": (7, 8)}))
+        assert out == [7, 8]
+
+    def test_enumerate_svar_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_tuples(SVar("s")))
+
+
+@st.composite
+def schemas(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(st.sampled_from([EMPTY, Leaf(INT), Leaf(BOOL)]))
+    return Node(draw(schemas(depth=depth - 1)),
+                draw(schemas(depth=depth - 1)))
+
+
+class TestProperties:
+    @given(schemas())
+    def test_enumerated_tuples_validate(self, schema):
+        for value in enumerate_tuples(schema):
+            assert validate_tuple(schema, value)
+
+    @given(schemas())
+    def test_flatten_inverts_build(self, schema):
+        for value in list(enumerate_tuples(schema))[:8]:
+            flat = tuple_flatten(schema, value)
+            assert tuple_of(schema, flat) == value
+            assert len(flat) == schema.width

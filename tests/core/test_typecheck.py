@@ -1,0 +1,174 @@
+"""Schema inference and rejection of ill-formed HoTTSQL trees."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import EMPTY, INT, Leaf, Node, STRING, SVar
+from repro.core.typecheck import (
+    TypecheckError,
+    check_predicate,
+    infer_expression,
+    infer_projection,
+    infer_query,
+    well_formed_query,
+)
+
+SR = SVar("sR")
+SS = SVar("sS")
+R = ast.Table("R", SR)
+S = ast.Table("S", SS)
+R2 = ast.Table("R2", SR)
+CONCRETE = Node(Leaf(INT), Leaf(INT))
+
+
+class TestQueries:
+    def test_table(self):
+        assert infer_query(R, EMPTY) == SR
+
+    def test_product(self):
+        assert infer_query(ast.Product(R, S), EMPTY) == Node(SR, SS)
+
+    def test_from_clauses_nests_right(self):
+        q = ast.from_clauses(R, S, R2)
+        assert infer_query(q, EMPTY) == Node(SR, Node(SS, SR))
+
+    def test_from_requires_argument(self):
+        with pytest.raises(ValueError):
+            ast.from_clauses()
+
+    def test_union_all_same_schema(self):
+        assert infer_query(ast.UnionAll(R, R2), EMPTY) == SR
+
+    def test_union_all_mismatch(self):
+        with pytest.raises(TypecheckError):
+            infer_query(ast.UnionAll(R, S), EMPTY)
+
+    def test_except_mismatch(self):
+        with pytest.raises(TypecheckError):
+            infer_query(ast.Except(R, S), EMPTY)
+
+    def test_where_extends_context(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        assert infer_query(ast.Where(R, b), EMPTY) == SR
+
+    def test_select_projection_context(self):
+        p = ast.PVar("p", Node(EMPTY, SR), Leaf(INT))
+        assert infer_query(ast.Select(p, R), EMPTY) == Leaf(INT)
+
+    def test_distinct(self):
+        assert infer_query(ast.Distinct(R), EMPTY) == SR
+
+    def test_well_formed_entrypoint(self):
+        assert well_formed_query(ast.Distinct(R)) == SR
+
+
+class TestPredicates:
+    def test_predvar_context_mismatch_needs_cast(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        # Used under a product, the context is node empty (node sR sS):
+        # direct use must be rejected, CASTPRED must fix it.
+        with pytest.raises(TypecheckError):
+            infer_query(ast.Where(ast.Product(R, S), b), EMPTY)
+        b_on_pair = ast.PredVar("b", Node(SR, SS))
+        q = ast.Where(ast.Product(R, S), ast.CastPred(ast.RIGHT, b_on_pair))
+        assert infer_query(q, EMPTY) == Node(SR, SS)
+
+    def test_equality_requires_same_type(self):
+        c_int = ast.Const(1, INT)
+        c_str = ast.Const("x", STRING)
+        with pytest.raises(TypecheckError):
+            check_predicate(ast.PredEq(c_int, c_str), EMPTY)
+        check_predicate(ast.PredEq(c_int, c_int), EMPTY)
+
+    def test_exists_checks_inner_query(self):
+        check_predicate(ast.Exists(R), EMPTY)
+
+    def test_connectives(self):
+        t = ast.PredTrue()
+        check_predicate(ast.and_(t, ast.PredFalse(), ast.PredNot(t)), EMPTY)
+        check_predicate(ast.or_(t, t), EMPTY)
+        assert ast.and_() == ast.PredTrue()
+        assert ast.or_() == ast.PredFalse()
+
+    def test_predfunc_args_checked(self):
+        bad = ast.PredFunc("lt", (ast.Const("x", INT),))
+        with pytest.raises(TypecheckError):
+            check_predicate(bad, EMPTY)
+
+
+class TestExpressions:
+    def test_const_type_checked(self):
+        with pytest.raises(TypecheckError):
+            infer_expression(ast.Const("x", INT), EMPTY)
+        assert infer_expression(ast.Const(4, INT), EMPTY) == INT
+
+    def test_p2e_requires_leaf(self):
+        with pytest.raises(TypecheckError):
+            infer_expression(ast.P2E(ast.STAR, INT), CONCRETE)
+        expr = ast.P2E(ast.LEFT, INT)
+        assert infer_expression(expr, CONCRETE) == INT
+
+    def test_p2e_type_mismatch(self):
+        with pytest.raises(TypecheckError):
+            infer_expression(ast.P2E(ast.LEFT, STRING), CONCRETE)
+
+    def test_agg_requires_single_column(self):
+        with pytest.raises(TypecheckError):
+            infer_expression(ast.Agg("SUM", R, INT), EMPTY)
+        single = ast.Table("V", Leaf(INT))
+        assert infer_expression(ast.Agg("SUM", single, INT), EMPTY) == INT
+
+    def test_exprvar_scoping(self):
+        v = ast.ExprVar("l", EMPTY, INT)
+        assert infer_expression(v, EMPTY) == INT
+        with pytest.raises(TypecheckError):
+            infer_expression(v, CONCRETE)
+        cast = ast.CastExpr(ast.EMPTYP, v)
+        assert infer_expression(cast, CONCRETE) == INT
+
+    def test_func(self):
+        f = ast.Func("add", (ast.Const(1, INT), ast.Const(2, INT)), INT)
+        assert infer_expression(f, EMPTY) == INT
+
+
+class TestProjections:
+    def test_star_left_right(self):
+        assert infer_projection(ast.STAR, CONCRETE) == CONCRETE
+        assert infer_projection(ast.LEFT, CONCRETE) == Leaf(INT)
+        assert infer_projection(ast.RIGHT, CONCRETE) == Leaf(INT)
+
+    def test_left_on_leaf_rejected(self):
+        with pytest.raises(TypecheckError):
+            infer_projection(ast.LEFT, Leaf(INT))
+
+    def test_empty(self):
+        assert infer_projection(ast.EMPTYP, CONCRETE) == EMPTY
+
+    def test_compose_and_duplicate(self):
+        two_deep = Node(CONCRETE, Leaf(INT))
+        p = ast.Compose(ast.LEFT, ast.RIGHT)
+        assert infer_projection(p, two_deep) == Leaf(INT)
+        dup = ast.Duplicate(ast.RIGHT, ast.LEFT)
+        assert infer_projection(dup, CONCRETE) == CONCRETE
+
+    def test_path_builder(self):
+        assert ast.path() == ast.STAR
+        p = ast.path(ast.LEFT, ast.RIGHT)
+        assert infer_projection(p, Node(CONCRETE, Leaf(INT))) == Leaf(INT)
+
+    def test_pvar_source_checked(self):
+        p = ast.PVar("p", SR, Leaf(INT))
+        assert infer_projection(p, SR) == Leaf(INT)
+        with pytest.raises(TypecheckError):
+            infer_projection(p, SS)
+
+    def test_e2p(self):
+        proj = ast.E2P(ast.Const(1, INT), INT)
+        assert infer_projection(proj, CONCRETE) == Leaf(INT)
+
+    def test_proj_tuple_builder(self):
+        p = ast.proj_tuple(ast.LEFT, ast.RIGHT, ast.LEFT)
+        assert infer_projection(p, CONCRETE) == \
+            Node(Leaf(INT), Node(Leaf(INT), Leaf(INT)))
+        with pytest.raises(ValueError):
+            ast.proj_tuple()

@@ -1,0 +1,170 @@
+"""UniNomial term algebra: smart constructors, substitution, alpha keys."""
+
+import pytest
+
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.uninomial import (
+    ONE,
+    TAgg,
+    TApp,
+    TConst,
+    TFst,
+    TPair,
+    TSnd,
+    TUnit,
+    TVar,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    UZero,
+    ZERO,
+    fresh_var,
+    is_prop,
+    subst_term,
+    subst_uterm,
+    term_free_vars,
+    tfst,
+    tpair,
+    tsnd,
+    uadd,
+    ueq,
+    umul,
+    umul_all,
+    uneg,
+    usquash,
+    usum,
+    uterm_free_vars,
+    uterm_size,
+)
+
+S2 = Node(Leaf(INT), Leaf(INT))
+X = TVar("x", S2)
+Y = TVar("y", Leaf(INT))
+
+
+class TestTermConstructors:
+    def test_schema_computation(self):
+        assert X.schema == S2
+        assert TPair(Y, Y).schema == Node(Leaf(INT), Leaf(INT))
+        assert TUnit().schema == EMPTY
+        assert TConst(3, INT).schema == Leaf(INT)
+        assert TFst(X).schema == Leaf(INT)
+        assert TSnd(X).schema == Leaf(INT)
+
+    def test_fst_of_non_node_rejected(self):
+        with pytest.raises(TypeError):
+            TFst(Y).schema
+
+    def test_beta_reduction(self):
+        assert tfst(TPair(Y, X)) == Y
+        assert tsnd(TPair(Y, X)) == X
+        assert tfst(X) == TFst(X)
+
+    def test_surjective_pairing(self):
+        assert tpair(TFst(X), TSnd(X)) == X
+        assert tpair(Y, TSnd(X)) == TPair(Y, TSnd(X))
+
+    def test_fresh_vars_distinct(self):
+        a = fresh_var(S2)
+        b = fresh_var(S2)
+        assert a != b
+
+
+class TestUTermConstructors:
+    R = URel("R", X)
+
+    def test_add_units(self):
+        assert uadd(ZERO, self.R) == self.R
+        assert uadd(self.R, ZERO) == self.R
+
+    def test_mul_units_and_annihilation(self):
+        assert umul(ONE, self.R) == self.R
+        assert umul(self.R, ONE) == self.R
+        assert umul(ZERO, self.R) == ZERO
+        assert umul(self.R, ZERO) == ZERO
+
+    def test_squash_laws(self):
+        assert usquash(ZERO) == ZERO
+        assert usquash(ONE) == ONE
+        assert usquash(usquash(self.R)) == usquash(self.R)
+        eq = ueq(Y, TConst(1, INT))
+        assert usquash(eq) == eq          # props are squash-fixed
+
+    def test_neg_laws(self):
+        assert uneg(ZERO) == ONE
+        assert uneg(ONE) == ZERO
+        # double negation is truncation
+        assert uneg(uneg(self.R)) == usquash(self.R)
+        # negation sees through truncation
+        assert uneg(usquash(self.R)) == UNeg(self.R)
+
+    def test_eq_reflexivity_and_constants(self):
+        assert ueq(Y, Y) == ONE
+        assert ueq(TConst(1, INT), TConst(1, INT)) == ONE
+        assert ueq(TConst(1, INT), TConst(2, INT)) == ZERO
+        assert isinstance(ueq(Y, TConst(1, INT)), UEq)
+
+    def test_sum_of_zero(self):
+        assert usum(X, ZERO) == ZERO
+
+    def test_umul_all(self):
+        assert umul_all([]) == ONE
+        assert umul_all([self.R, ONE]) == self.R
+
+    def test_is_prop(self):
+        assert is_prop(ueq(Y, TConst(1, INT)))
+        assert is_prop(UPred("b", (X,)))
+        assert is_prop(umul(UPred("b", (X,)), UPred("c", (X,))))
+        assert not is_prop(self.R)
+        assert not is_prop(USum(X, self.R))
+
+
+class TestFreeVarsAndSubstitution:
+    def test_term_free_vars(self):
+        assert term_free_vars(TPair(X, Y)) == {X, Y}
+        assert term_free_vars(TConst(1, INT)) == frozenset()
+        assert term_free_vars(TApp("f", (X,), Leaf(INT))) == {X}
+
+    def test_uterm_free_vars_respects_binders(self):
+        body = umul(URel("R", X), ueq(Y, TConst(1, INT)))
+        assert uterm_free_vars(USum(X, body)) == {Y}
+
+    def test_agg_binds_its_var(self):
+        agg = TAgg("SUM", Y, URel("R", TPair(Y, Y)), INT)
+        assert term_free_vars(agg) == frozenset()
+
+    def test_subst_term(self):
+        t = TPair(TFst(X), Y)
+        out = subst_term(t, {Y: TConst(5, INT)})
+        assert out == TPair(TFst(X), TConst(5, INT))
+
+    def test_subst_beta_reduces(self):
+        t = TFst(X)
+        out = subst_term(t, {X: TPair(Y, Y)})
+        assert out == Y
+
+    def test_subst_uterm_capture_avoidance(self):
+        # Σ x. (x = y) with y := x must not capture.
+        body = ueq(TFst(X), Y)
+        summed = USum(X, body)
+        out = subst_uterm(summed, {Y: TFst(X)})
+        assert isinstance(out, USum)
+        assert out.var != X                   # binder was renamed
+        assert X in uterm_free_vars(out)      # the free x survives
+
+    def test_subst_shadowed_binding_dropped(self):
+        summed = USum(X, URel("R", X))
+        assert subst_uterm(summed, {X: TPair(Y, Y)}) == summed
+
+
+class TestSize:
+    def test_uterm_size_monotone(self):
+        small = URel("R", X)
+        big = UMul(small, UAdd(small, small))
+        assert uterm_size(big) > uterm_size(small)
+        assert uterm_size(ZERO) == 1

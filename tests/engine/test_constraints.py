@@ -1,0 +1,124 @@
+"""Integrity constraints: keys, FDs, indexes (paper Sec. 4.2)."""
+
+import random
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT, Leaf, Node
+from repro.engine import (
+    Database,
+    build_index,
+    key_characterization_queries,
+    run_query,
+    satisfies_fd,
+    satisfies_key,
+)
+from repro.engine.random_instances import (
+    path_projection,
+    random_keyed_relation,
+    random_relation,
+)
+from repro.semiring import KRelation, NAT
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+KEY = path_projection(("L",))
+ATTR = path_projection(("R",))
+
+
+class TestKeyChecking:
+    def test_unique_key_accepted(self):
+        rel = KRelation(NAT, {(1, 10): 1, (2, 10): 1})
+        assert satisfies_key(rel, KEY)
+
+    def test_duplicate_key_rejected(self):
+        rel = KRelation(NAT, {(1, 10): 1, (1, 20): 1})
+        assert not satisfies_key(rel, KEY)
+
+    def test_multiplicity_above_one_rejected(self):
+        # Keys force set-valued relations (paper's self-join equation).
+        rel = KRelation(NAT, {(1, 10): 2})
+        assert not satisfies_key(rel, KEY)
+
+    def test_generator_respects_keys(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            rel = random_keyed_relation(rng, SCHEMA, ("L",), NAT)
+            assert satisfies_key(rel, KEY)
+
+
+class TestFDChecking:
+    def test_fd_holds(self):
+        rel = KRelation(NAT, {(1, 10): 1, (2, 10): 1, (1, 10): 1})
+        assert satisfies_fd(rel, KEY, ATTR)
+
+    def test_fd_violated(self):
+        rel = KRelation(NAT, {(1, 10): 1, (1, 20): 1})
+        assert not satisfies_fd(rel, KEY, ATTR)
+
+    def test_key_implies_all_fds(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            rel = random_keyed_relation(rng, SCHEMA, ("L",), NAT)
+            assert satisfies_fd(rel, KEY, ATTR)
+
+
+class TestSemanticKeyCharacterization:
+    """``key k R`` iff R equals its self-join on k (paper Sec. 4.2)."""
+
+    def _both_sides(self, rel):
+        db = Database(NAT)
+        db._schemas["R"] = SCHEMA          # direct injection for the test
+        db._relations["R"] = rel
+        table = ast.Table("R", SCHEMA)
+        plain, self_join = key_characterization_queries(table, ast.LEFT, INT)
+        interp = db.interpretation()
+        return run_query(plain, interp), run_query(self_join, interp)
+
+    def test_characterization_positive(self):
+        rel = KRelation(NAT, {(1, 10): 1, (2, 30): 1})
+        plain, join = self._both_sides(rel)
+        assert plain == join
+
+    def test_characterization_negative_duplicates(self):
+        rel = KRelation(NAT, {(1, 10): 2})
+        plain, join = self._both_sides(rel)
+        assert plain != join
+
+    def test_characterization_negative_key_clash(self):
+        rel = KRelation(NAT, {(1, 10): 1, (1, 20): 1})
+        plain, join = self._both_sides(rel)
+        assert plain != join
+
+    def test_characterization_random(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            rel = random_keyed_relation(rng, SCHEMA, ("L",), NAT)
+            plain, join = self._both_sides(rel)
+            assert plain == join
+        for _ in range(15):
+            rel = random_relation(rng, SCHEMA, NAT)
+            plain, join = self._both_sides(rel)
+            assert (plain == join) == satisfies_key(rel, KEY)
+
+
+class TestIndexes:
+    def test_build_index(self):
+        rel = KRelation(NAT, {(1, 10): 1, (2, 20): 1})
+        index = build_index(rel, KEY, ATTR)
+        assert index.support() == frozenset({(1, 10), (2, 20)})
+
+    def test_index_matches_index_query(self):
+        # The concrete index equals the paper's SELECT k, a FROM R view.
+        from repro.rules.index import index_view
+        from repro.engine.database import Interpretation
+        rng = random.Random(5)
+        for _ in range(10):
+            rel = random_keyed_relation(rng, SCHEMA, ("L",), NAT)
+            interp = Interpretation()
+            interp.relations["R"] = rel
+            interp.projections["k"] = KEY
+            interp.projections["a"] = ATTR
+            via_query = run_query(index_view(), interp)
+            direct = build_index(rel, KEY, ATTR)
+            assert via_query == direct

@@ -1,0 +1,189 @@
+"""The executable Figure 7 semantics, across semirings."""
+
+import pytest
+from fractions import Fraction
+
+from repro.core import ast
+from repro.core.schema import EMPTY, INT, Leaf, Node
+from repro.engine import (
+    Database,
+    EvaluationError,
+    Interpretation,
+    run_query,
+)
+from repro.semiring import BOOL, KRelation, NAT, NAT_INF, PROVENANCE
+from repro.semiring.provenance import Polynomial
+
+R_SCHEMA = Node(Leaf(INT), Leaf(INT))
+R_ROWS = [[1, 40], [2, 40], [2, 50]]
+
+
+@pytest.fixture
+def db():
+    database = Database(NAT)
+    database.create_table("R", R_SCHEMA, R_ROWS)
+    database.create_table("S", R_SCHEMA, [[2, 40], [3, 10]])
+    return database
+
+
+@pytest.fixture
+def interp(db):
+    return db.interpretation()
+
+
+def table(name="R"):
+    return ast.Table(name, R_SCHEMA)
+
+
+class TestPaperRunningExample:
+    """Sec. 2's Q1/Q2 over R(a, b) = {(1,40), (2,40), (2,50)}."""
+
+    def test_q1_bag(self, interp):
+        q1 = ast.Select(ast.path(ast.RIGHT, ast.LEFT), table())
+        out = run_query(q1, interp)
+        assert dict(out.items()) == {1: 1, 2: 2}
+
+    def test_q2_set(self, interp):
+        q2 = ast.Distinct(ast.Select(ast.path(ast.RIGHT, ast.LEFT), table()))
+        out = run_query(q2, interp)
+        assert dict(out.items()) == {1: 1, 2: 1}
+
+
+class TestOperators:
+    def test_product(self, interp):
+        out = run_query(ast.Product(table(), table("S")), interp)
+        assert out.annotation(((2, 40), (2, 40))) == 1
+        assert len(out) == 6
+
+    def test_where_with_comparison(self, interp):
+        pred = ast.PredFunc("lt", (
+            ast.P2E(ast.path(ast.RIGHT, ast.RIGHT), INT),
+            ast.Const(45, INT)))
+        out = run_query(ast.Where(table(), pred), interp)
+        assert out.support() == frozenset({(1, 40), (2, 40)})
+
+    def test_union_all(self, interp):
+        out = run_query(ast.UnionAll(table(), table("S")), interp)
+        assert out.annotation((2, 40)) == 2
+
+    def test_except(self, interp):
+        out = run_query(ast.Except(table(), table("S")), interp)
+        assert out.support() == frozenset({(1, 40), (2, 50)})
+
+    def test_exists_correlated(self, interp):
+        # rows of R whose `a` appears in S
+        pred = ast.Exists(ast.Where(table("S"), ast.PredEq(
+            ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+            ast.P2E(ast.path(ast.LEFT, ast.RIGHT, ast.LEFT), INT))))
+        out = run_query(ast.Where(table(), pred), interp)
+        assert out.support() == frozenset({(2, 40), (2, 50)})
+
+    def test_predicate_connectives(self, interp):
+        t = ast.PredTrue()
+        f = ast.PredFalse()
+        assert len(run_query(ast.Where(table(), f), interp)) == 0
+        assert run_query(ast.Where(table(), t), interp) == \
+            interp.relation("R")
+        both = ast.PredAnd(t, ast.PredNot(f))
+        assert run_query(ast.Where(table(), both), interp) == \
+            interp.relation("R")
+        either = ast.PredOr(f, t)
+        assert run_query(ast.Where(table(), either), interp) == \
+            interp.relation("R")
+
+
+class TestExpressions:
+    def test_scalar_functions(self, interp):
+        # SELECT add(a, b) FROM R
+        expr = ast.Func("add", (
+            ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT),
+            ast.P2E(ast.path(ast.RIGHT, ast.RIGHT), INT)), INT)
+        q = ast.Select(ast.E2P(expr, INT), table())
+        out = run_query(q, interp)
+        assert dict(out.items()) == {41: 1, 42: 1, 52: 1}
+
+    def test_aggregate_sum(self, interp):
+        inner = ast.Select(ast.path(ast.RIGHT, ast.RIGHT), table())
+        agg = ast.Agg("SUM", inner, INT)
+        q = ast.Select(ast.E2P(agg, INT), ast.Table("S", R_SCHEMA))
+        out = run_query(q, interp)
+        assert dict(out.items()) == {130: 2}
+
+    def test_aggregate_catalog(self, interp):
+        inner = ast.Select(ast.path(ast.RIGHT, ast.RIGHT), table())
+        values = {
+            "SUM": 130, "COUNT": 3, "MAX": 50, "MIN": 40,
+            "AVG": Fraction(130, 3),
+        }
+        for name, expected in values.items():
+            agg = ast.Agg(name, inner, INT)
+            q = ast.Select(ast.E2P(agg, INT), ast.Table("S", R_SCHEMA))
+            out = run_query(q, interp)
+            assert out.annotation(expected) == 2, name
+
+    def test_const_and_exprvar(self, interp):
+        interp.expressions["l"] = lambda g: 7
+        q = ast.Select(
+            ast.E2P(ast.CastExpr(ast.EMPTYP, ast.ExprVar("l", EMPTY, INT)),
+                    INT),
+            table())
+        out = run_query(q, interp)
+        assert dict(out.items()) == {7: 3}
+
+
+class TestSemiringGenericity:
+    def test_bool_semantics_is_squash_of_nat(self, db, interp):
+        bool_db = db.reannotate(BOOL)
+        q = ast.Select(ast.path(ast.RIGHT, ast.LEFT), table())
+        nat_out = run_query(q, interp, NAT)
+        bool_out = run_query(q, bool_db.interpretation(), BOOL)
+        assert bool_out == nat_out.map_annotations(lambda n: n > 0, BOOL)
+
+    def test_provenance_tracks_derivations(self, db):
+        prov_db = db.reannotate(
+            PROVENANCE,
+            lambda table_name, row: Polynomial.variable(
+                f"{table_name}:{row}"))
+        q = ast.Select(ast.path(ast.RIGHT, ast.LEFT), table())
+        out = run_query(q, prov_db.interpretation(), PROVENANCE)
+        # The tuple 2 has two derivations: R:(2,40) + R:(2,50).
+        poly = out.annotation(2)
+        assert len(poly.terms) == 2
+
+    def test_semiring_mismatch_detected(self, interp):
+        with pytest.raises(EvaluationError):
+            run_query(table(), interp, BOOL)
+
+    def test_aggregate_over_omega_rejected(self):
+        interp = Interpretation()
+        from repro.semiring import OMEGA
+        interp.relations["V"] = KRelation(NAT_INF, {5: OMEGA})
+        agg = ast.Agg("SUM", ast.Table("V", Leaf(INT)), INT)
+        q = ast.Select(ast.E2P(agg, INT), ast.Table("V", Leaf(INT)))
+        with pytest.raises(EvaluationError):
+            run_query(q, interp, NAT_INF)
+
+
+class TestDatabaseHelpers:
+    def test_insert(self, db):
+        db.insert("R", [9, 9])
+        assert db.relation("R").annotation((9, (9))) in (0, 1)
+        assert db.relation("R").annotation((9, 9)) == 1
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("R", R_SCHEMA)
+
+    def test_unknown_lookups(self, db, interp):
+        with pytest.raises(KeyError):
+            db.schema("missing")
+        with pytest.raises(KeyError):
+            interp.relation("missing")
+        with pytest.raises(KeyError):
+            interp.projection("missing")
+
+    def test_with_relation_functional_update(self, interp):
+        new_rel = KRelation(NAT, {(7, 7): 1})
+        updated = interp.with_relation("R", new_rel)
+        assert updated.relation("R") == new_rel
+        assert interp.relation("R") != new_rel

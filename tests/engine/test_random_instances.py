@@ -1,0 +1,97 @@
+"""The falsifier: random generation and counterexample search."""
+
+import random
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import EMPTY, INT, Leaf, Node, validate_tuple
+from repro.engine.database import Interpretation
+from repro.engine.random_instances import (
+    agreement_rate,
+    deterministic_expression,
+    deterministic_predicate,
+    find_counterexample,
+    path_projection,
+    random_relation,
+    random_tuple,
+    random_value,
+)
+from repro.semiring import NAT
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+
+
+class TestGenerators:
+    def test_random_tuples_validate(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            value = random_tuple(rng, SCHEMA)
+            assert validate_tuple(SCHEMA, value)
+
+    def test_random_value_respects_domain(self):
+        rng = random.Random(0)
+        assert random_value(rng, INT, {"int": (9,)}) == 9
+
+    def test_random_relation_bounds(self):
+        rng = random.Random(1)
+        rel = random_relation(rng, SCHEMA, NAT, max_rows=3,
+                              max_multiplicity=2)
+        assert len(rel) <= 3
+        assert all(m <= 2 * 3 for _, m in rel.items())
+
+    def test_unit_schema(self):
+        rng = random.Random(0)
+        assert random_tuple(rng, EMPTY) == ()
+
+    def test_deterministic_predicate_is_deterministic(self):
+        p1 = deterministic_predicate(42)
+        p2 = deterministic_predicate(42)
+        for value in range(20):
+            assert p1(value) == p2(value)
+
+    def test_different_seeds_differ_somewhere(self):
+        p1 = deterministic_predicate(1)
+        p2 = deterministic_predicate(2)
+        assert any(p1(v) != p2(v) for v in range(100))
+
+    def test_deterministic_expression(self):
+        e = deterministic_expression(7, (10, 20, 30))
+        assert e("x") in (10, 20, 30)
+        assert e("x") == e("x")
+
+    def test_path_projection(self):
+        assert path_projection(("L",))((1, 2)) == 1
+        assert path_projection(("R",))((1, 2)) == 2
+        assert path_projection(())((1, 2)) == (1, 2)
+
+
+class TestFalsifier:
+    R = ast.Table("R", SCHEMA)
+
+    def _factory_sound(self, rng):
+        interp = Interpretation()
+        interp.relations["R"] = random_relation(rng, SCHEMA, NAT)
+        lhs = ast.UnionAll(self.R, self.R)
+        rhs = ast.UnionAll(self.R, self.R)
+        return lhs, rhs, interp
+
+    def _factory_unsound(self, rng):
+        interp = Interpretation()
+        interp.relations["R"] = random_relation(rng, SCHEMA, NAT)
+        lhs = self.R
+        rhs = ast.Distinct(self.R)
+        return lhs, rhs, interp
+
+    def test_sound_rule_survives(self):
+        assert find_counterexample(self._factory_sound, trials=20) is None
+
+    def test_unsound_rule_refuted(self):
+        cex = find_counterexample(self._factory_unsound, trials=60)
+        assert cex is not None
+        assert cex.lhs_result != cex.rhs_result
+        assert "multiplicity" in cex.describe()
+
+    def test_agreement_rate_bounds(self):
+        assert agreement_rate(self._factory_sound, trials=10) == 1.0
+        assert agreement_rate(self._factory_unsound, trials=60) < 1.0

@@ -1,0 +1,58 @@
+"""EXPLAIN rendering of plans."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT
+from repro.optimizer import TableStats, explain, optimize
+from repro.sql import Catalog, compile_sql
+
+
+@pytest.fixture
+def setup():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    cat.add_table("S", [("a", INT), ("c", INT)])
+    return cat, TableStats({"R": 100.0, "S": 10.0})
+
+
+class TestExplain:
+    def test_scan(self, setup):
+        cat, stats = setup
+        text = explain(compile_sql("SELECT * FROM R", cat).query, stats)
+        assert "Scan R" in text
+        assert "rows≈100.0" in text
+
+    def test_join_tree_structure(self, setup):
+        cat, stats = setup
+        q = compile_sql(
+            "SELECT x.a FROM R x, S y WHERE x.a = y.a", cat).query
+        text = explain(q, stats)
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert any("Filter" in line for line in lines)
+        assert any("CrossJoin" in line for line in lines)
+        assert sum("Scan" in line for line in lines) == 2
+        # Indentation grows with depth.
+        assert lines[1].startswith("  ")
+
+    def test_all_operators_render(self, setup):
+        cat, stats = setup
+        q = compile_sql(
+            "SELECT DISTINCT a FROM R EXCEPT "
+            "(SELECT a FROM R UNION ALL SELECT a FROM S)", cat).query
+        text = explain(q, stats)
+        for op in ("Except", "Distinct", "UnionAll", "Scan"):
+            assert op in text, op
+
+    def test_optimized_plan_cheaper_in_explain(self, setup):
+        cat, stats = setup
+        q = compile_sql(
+            "SELECT x.a FROM R x, S y WHERE x.a = y.a AND y.c = 1",
+            cat).query
+        result = optimize(q, stats, max_plans=200, certify=False)
+        before = explain(q, stats)
+        after = explain(result.best_plan, stats)
+        # The pushed filter sits below the join in the optimized plan.
+        assert result.best_cost < result.original_cost
+        assert before != after

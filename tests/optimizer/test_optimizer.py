@@ -1,0 +1,162 @@
+"""Certified optimizer: rewrites, cost model, planner."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.equivalence import queries_equivalent
+from repro.core.schema import INT
+from repro.engine import Database, run_query
+from repro.optimizer import (
+    TableStats,
+    estimate,
+    optimize,
+    plan_cost,
+    proj_steps,
+    rewrites,
+    steps_to_proj,
+)
+from repro.sql import Catalog, compile_sql
+from repro.semiring import NAT
+
+
+@pytest.fixture
+def setup():
+    cat = Catalog()
+    cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+    cat.add_table("Dept", [("did", INT), ("budget", INT)])
+    db = Database(NAT)
+    db.create_table("Emp", cat.schema_of("Emp"),
+                    [[i, i % 4, 20 + i] for i in range(16)])
+    db.create_table("Dept", cat.schema_of("Dept"),
+                    [[0, 10], [1, 200], [2, 150], [3, 30]])
+    return cat, db
+
+
+class TestPathHelpers:
+    def test_proj_steps_roundtrip(self):
+        p = ast.path(ast.RIGHT, ast.LEFT, ast.RIGHT)
+        steps = proj_steps(p)
+        assert steps == ("R", "L", "R")
+        assert proj_steps(steps_to_proj(steps)) == steps
+
+    def test_opaque_projection(self):
+        from repro.core.schema import Leaf, SVar
+        assert proj_steps(ast.PVar("p", SVar("s"), Leaf(INT))) is None
+
+
+class TestRewrites:
+    def test_every_rewrite_is_sound(self, setup):
+        cat, db = setup
+        resolved = compile_sql(
+            "SELECT e.eid FROM Emp e, Dept d "
+            "WHERE e.did = d.did AND d.budget > 100 AND e.age < 30", cat)
+        interp = db.interpretation()
+        baseline = run_query(resolved.query, interp)
+        for candidate, rule in rewrites(resolved.query):
+            assert run_query(candidate, interp) == baseline, rule
+
+    def test_rewrites_certified_by_prover(self, setup):
+        cat, _ = setup
+        resolved = compile_sql(
+            "SELECT e.eid FROM Emp e, Dept d "
+            "WHERE e.did = d.did AND d.budget > 100", cat)
+        for candidate, rule in rewrites(resolved.query)[:10]:
+            assert queries_equivalent(resolved.query, candidate), rule
+
+    def test_pushdown_produced(self, setup):
+        cat, _ = setup
+        resolved = compile_sql(
+            "SELECT e.eid FROM Emp e, Dept d "
+            "WHERE e.did = d.did AND d.budget > 100", cat)
+        rules_seen = set()
+        frontier = [resolved.query]
+        for _ in range(3):
+            new = []
+            for q in frontier:
+                for cand, rule in rewrites(q):
+                    rules_seen.add(rule)
+                    new.append(cand)
+            frontier = new[:50]
+        assert "sel_push_right" in rules_seen
+
+    def test_distinct_collapse(self):
+        from repro.core.schema import SVar
+        R = ast.Table("R", SVar("s"))
+        q = ast.Distinct(ast.Distinct(R))
+        assert any(rule == "distinct_idem" for _, rule in rewrites(q))
+
+
+class TestCostModel:
+    def test_table_cost_is_cardinality(self):
+        stats = TableStats({"R": 100.0})
+        from repro.core.schema import SVar
+        est = estimate(ast.Table("R", SVar("s")), stats)
+        assert est.cardinality == 100.0
+
+    def test_product_cost_multiplies(self):
+        from repro.core.schema import SVar
+        stats = TableStats({"R": 10.0, "S": 20.0})
+        q = ast.Product(ast.Table("R", SVar("a")), ast.Table("S", SVar("b")))
+        est = estimate(q, stats)
+        assert est.cardinality == 200.0
+
+    def test_selection_reduces_cardinality(self):
+        from repro.core.schema import SVar
+        stats = TableStats({"R": 100.0})
+        R = ast.Table("R", SVar("s"))
+        filtered = ast.Where(R, ast.PredEq(ast.Const(1, INT),
+                                           ast.Const(1, INT)))
+        assert estimate(filtered, stats).cardinality < 100.0
+
+    def test_stats_from_database(self, setup):
+        _, db = setup
+        stats = TableStats.from_database(db)
+        assert stats.cardinality("Emp") == 16.0
+        assert stats.cardinality("unknown") == 100.0
+
+
+class TestPlanner:
+    def test_optimizer_improves_and_certifies(self, setup):
+        cat, db = setup
+        resolved = compile_sql(
+            "SELECT e.eid FROM Emp e, Dept d "
+            "WHERE e.did = d.did AND d.budget > 100 AND e.age < 30", cat)
+        stats = TableStats.from_database(db)
+        result = optimize(resolved.query, stats, max_plans=400)
+        assert result.improved
+        assert result.certified is True
+        assert result.applied_rules
+
+    def test_optimized_plan_computes_same_results(self, setup):
+        cat, db = setup
+        queries = [
+            "SELECT e.eid FROM Emp e, Dept d "
+            "WHERE e.did = d.did AND d.budget > 100",
+            "SELECT a.eid FROM Emp a, Emp b "
+            "WHERE a.did = b.did AND b.age < 25",
+            "SELECT DISTINCT e.did FROM Emp e WHERE e.age < 30 AND "
+            "e.eid > 2",
+        ]
+        stats = TableStats.from_database(db)
+        interp = db.interpretation()
+        for source in queries:
+            resolved = compile_sql(source, cat)
+            result = optimize(resolved.query, stats, max_plans=200)
+            assert run_query(result.best_plan, interp) == \
+                run_query(resolved.query, interp), source
+            assert result.certified is True
+
+    def test_no_rewrite_when_nothing_applies(self, setup):
+        cat, db = setup
+        resolved = compile_sql("SELECT eid FROM Emp", cat)
+        stats = TableStats.from_database(db)
+        result = optimize(resolved.query, stats, max_plans=50)
+        assert result.best_cost == result.original_cost
+        assert result.certified is True
+
+    def test_certification_can_be_skipped(self, setup):
+        cat, db = setup
+        resolved = compile_sql("SELECT eid FROM Emp", cat)
+        stats = TableStats.from_database(db)
+        result = optimize(resolved.query, stats, certify=False)
+        assert result.certified is None

@@ -1,0 +1,120 @@
+"""The headline result: all 23 Figure 8 rules verify; buggy rules fail.
+
+This is the paper's evaluation as a test suite:
+
+* every sound rule typechecks, is proved by the engine, and survives the
+  random-instance oracle;
+* the per-category rule counts match Figure 8 exactly;
+* the conjunctive-query rules are decided fully automatically;
+* every deliberately unsound rule is rejected by the prover AND refuted by
+  a concrete counterexample.
+"""
+
+import pytest
+
+from repro.rules import (
+    CATEGORY_ORDER,
+    PAPER_FIGURE_8,
+    all_buggy_rules,
+    all_rules,
+    get_rule,
+    rules_by_category,
+)
+
+SOUND = all_rules()
+BUGGY = all_buggy_rules()
+
+
+class TestFigure8Counts:
+    def test_total_rule_count_is_23(self):
+        assert len(SOUND) == 23
+
+    @pytest.mark.parametrize("category", CATEGORY_ORDER)
+    def test_category_counts_match_paper(self, category):
+        expected_count, _ = PAPER_FIGURE_8[category]
+        assert len(rules_by_category()[category]) == expected_count
+
+    def test_rule_names_unique(self):
+        names = [r.name for r in SOUND + BUGGY]
+        assert len(set(names)) == len(names)
+
+    def test_get_rule(self):
+        assert get_rule("join_comm").category == "basic"
+        with pytest.raises(KeyError):
+            get_rule("nonexistent")
+
+
+@pytest.mark.parametrize("rule", SOUND, ids=lambda r: r.name)
+class TestSoundRules:
+    def test_typechecks(self, rule):
+        lhs_schema, rhs_schema = rule.typecheck()
+        assert lhs_schema == rhs_schema
+
+    def test_proved_by_engine(self, rule):
+        proof = rule.prove()
+        assert proof.verified, f"prover rejected sound rule {rule.name}"
+        assert proof.engine_steps >= 1
+        assert proof.elapsed_seconds < 60
+
+    def test_oracle_agrees(self, rule):
+        assert rule.validate(trials=15) is None
+
+    def test_metadata(self, rule):
+        assert rule.sound
+        assert rule.description
+        assert rule.tactic_script
+
+
+@pytest.mark.parametrize("rule", BUGGY, ids=lambda r: r.name)
+class TestBuggyRules:
+    def test_rejected_by_prover(self, rule):
+        proof = rule.prove()
+        assert not proof.verified, \
+            f"prover ACCEPTED unsound rule {rule.name} — soundness bug!"
+
+    def test_refuted_by_oracle(self, rule):
+        cex = rule.validate(trials=80)
+        assert cex is not None, f"no counterexample found for {rule.name}"
+        assert cex.lhs_result != cex.rhs_result
+
+    def test_marked_unsound(self, rule):
+        assert not rule.sound
+
+
+class TestAutomation:
+    def test_conjunctive_rules_automatic(self):
+        for rule in rules_by_category()["conjunctive"]:
+            proof = rule.prove()
+            assert proof.automatic
+            assert proof.script_length == 1     # the paper's one-line proofs
+
+    def test_other_categories_not_automatic(self):
+        for rule in rules_by_category()["magic"]:
+            assert not rule.prove().automatic
+
+
+class TestProofEffortShape:
+    """Figure 8's qualitative shape: conjunctive queries are trivial
+    (automatic), basic rules cheap, magic/aggregation/index rules cost
+    more engine work."""
+
+    def test_conjunctive_cheapest(self):
+        by_cat = _mean_steps()
+        assert by_cat["conjunctive"] <= min(
+            by_cat[c] for c in CATEGORY_ORDER if c != "conjunctive")
+
+    def test_basic_cheaper_than_magic(self):
+        by_cat = _mean_steps()
+        assert by_cat["basic"] < by_cat["magic"]
+
+    def test_basic_cheaper_than_aggregation(self):
+        by_cat = _mean_steps()
+        assert by_cat["basic"] < by_cat["aggregation"]
+
+
+def _mean_steps():
+    out = {}
+    for category, rules in rules_by_category().items():
+        steps = [r.prove().engine_steps for r in rules]
+        out[category] = sum(steps) / len(steps)
+    return out

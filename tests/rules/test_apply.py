@@ -1,0 +1,148 @@
+"""Certified application of generic rules to concrete queries."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT
+from repro.engine import Database, run_query
+from repro.rules import get_rule
+from repro.rules.apply import (
+    Bindings,
+    apply_rule_at_root,
+    apply_rule_everywhere,
+)
+from repro.sql import Catalog, compile_sql
+from repro.semiring import NAT
+
+
+@pytest.fixture
+def setup():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    cat.add_table("S", [("a", INT), ("b", INT)])
+    db = Database(NAT)
+    db.create_table("R", cat.schema_of("R"), [[1, 10], [2, 20], [2, 21]])
+    db.create_table("S", cat.schema_of("S"), [[1, 10], [3, 30]])
+    return cat, db
+
+
+class TestRootApplication:
+    def test_figure1_rule_applies(self, setup):
+        cat, db = setup
+        concrete = compile_sql(
+            "SELECT * FROM (SELECT * FROM R UNION ALL SELECT * FROM S) "
+            "AS u WHERE u.a = 1", cat)
+        rule = get_rule("sel_union_distr")
+        app = apply_rule_at_root(rule, concrete.query)
+        assert app is not None
+        assert isinstance(app.rewritten, ast.UnionAll)
+        interp = db.interpretation()
+        assert run_query(app.rewritten, interp) == \
+            run_query(concrete.query, interp)
+
+    def test_bindings_recorded(self, setup):
+        cat, _ = setup
+        concrete = compile_sql(
+            "SELECT * FROM (SELECT * FROM R UNION ALL SELECT * FROM S) "
+            "AS u WHERE u.a = 1", cat)
+        rule = get_rule("sel_union_distr")
+        app = apply_rule_at_root(rule, concrete.query)
+        assert set(app.bindings.tables) == {"R", "S"}
+        assert "b" in app.bindings.predicates
+
+    def test_no_match_returns_none(self, setup):
+        cat, _ = setup
+        concrete = compile_sql("SELECT a FROM R", cat)
+        rule = get_rule("sel_union_distr")
+        assert apply_rule_at_root(rule, concrete.query) is None
+
+    def test_distinct_idem_applies(self, setup):
+        cat, db = setup
+        q = ast.Distinct(ast.Distinct(
+            compile_sql("SELECT a FROM R", cat).query))
+        rule = get_rule("distinct_idem")
+        app = apply_rule_at_root(rule, q)
+        assert app is not None
+        interp = db.interpretation()
+        assert run_query(app.rewritten, interp) == run_query(q, interp)
+
+    def test_consistent_binding_enforced(self, setup):
+        cat, _ = setup
+        # union_comm's pattern R ∪ S binds two INDEPENDENT queries; the
+        # self-union still matches (R and S bind to the same subquery).
+        q = compile_sql("SELECT a FROM R UNION ALL SELECT a FROM R", cat)
+        rule = get_rule("union_comm")
+        app = apply_rule_at_root(rule, q.query)
+        assert app is not None
+        assert app.bindings.tables["R"] == app.bindings.tables["S"]
+
+
+class TestCertification:
+    def test_certification_rejects_correlated_binding(self, setup):
+        cat, _ = setup
+        # A subquery correlated with an outer scope cannot soundly bind a
+        # relation metavariable.  Build σ_b(X ∪ X) where X is correlated:
+        # inside an EXISTS whose context the metavariable pattern ignores.
+        inner_corr = compile_sql(
+            "SELECT b FROM R WHERE EXISTS "
+            "(SELECT * FROM S WHERE S.a = R.a)", cat)
+        # The EXISTS body mentions the outer row, but as a *top-level*
+        # query this is closed — so the rule application is actually fine
+        # and must certify.  (True correlation only arises inside an
+        # enclosing query, where apply() is never offered the fragment.)
+        q = ast.Where(
+            ast.UnionAll(inner_corr.query, inner_corr.query),
+            ast.PredFunc("lt", (
+                ast.P2E(ast.RIGHT, INT), ast.Const(100, INT))))
+        rule = get_rule("sel_union_distr")
+        app = apply_rule_at_root(rule, q)
+        assert app is not None    # certified sound
+
+    def test_uncertified_mode(self, setup):
+        cat, _ = setup
+        q = compile_sql("SELECT a FROM R UNION ALL SELECT a FROM S", cat)
+        rule = get_rule("union_comm")
+        app = apply_rule_at_root(rule, q.query, certify=False)
+        assert app is not None
+
+
+class TestEverywhereApplication:
+    def test_nested_position(self, setup):
+        cat, db = setup
+        q = ast.Distinct(compile_sql(
+            "SELECT * FROM (SELECT * FROM R UNION ALL SELECT * FROM S) "
+            "AS u WHERE u.a = 1", cat).query)
+        rule = get_rule("sel_union_distr")
+        apps = apply_rule_everywhere(rule, q)
+        assert len(apps) == 1
+        rewritten = apps[0].rewritten
+        assert isinstance(rewritten, ast.Distinct)
+        interp = db.interpretation()
+        assert run_query(rewritten, interp) == run_query(q, interp)
+
+    def test_multiple_positions(self, setup):
+        cat, _ = setup
+        u = compile_sql("SELECT a FROM R UNION ALL SELECT a FROM S", cat)
+        q = ast.Distinct(ast.UnionAll(u.query, u.query))
+        rule = get_rule("union_comm")
+        apps = apply_rule_everywhere(rule, q)
+        # Applies at the outer union and at each inner union.
+        assert len(apps) == 3
+
+    def test_all_extended_rules_roundtrip_on_matches(self, setup):
+        cat, db = setup
+        interp = db.interpretation()
+        corpus = [
+            ast.Distinct(ast.Distinct(
+                compile_sql("SELECT a FROM R", cat).query)),
+            compile_sql("SELECT a FROM R UNION ALL SELECT a FROM S",
+                        cat).query,
+            ast.Except(compile_sql("SELECT a FROM R", cat).query,
+                       compile_sql("SELECT a FROM R", cat).query),
+        ]
+        from repro.rules import all_rules, all_extended_rules
+        for rule in all_rules() + all_extended_rules():
+            for q in corpus:
+                for app in apply_rule_everywhere(rule, q):
+                    assert run_query(app.rewritten, interp) == \
+                        run_query(q, interp), (rule.name,)

@@ -1,0 +1,124 @@
+"""The shared rule-construction machinery: semijoin and GROUP BY macros."""
+
+import random
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.typecheck import infer_query
+from repro.engine import Interpretation, run_query
+from repro.engine.random_instances import path_projection, random_relation
+from repro.rules.common import (
+    CONCRETE,
+    attr_expr,
+    const_expr,
+    groupby_agg,
+    semijoin,
+    semijoin_on,
+    standard_interpretation,
+    table,
+    where_pred,
+)
+from repro.semiring import KRelation, NAT
+
+
+class TestSemijoinMacro:
+    S1, S2 = SVar("a1"), SVar("a2")
+
+    def test_typechecks(self):
+        r = table("R", self.S1)
+        s = table("S", self.S2)
+        theta = ast.PredVar("theta", Node(self.S1, self.S2))
+        q = semijoin(r, s, theta)
+        assert infer_query(q, EMPTY) == self.S1
+
+    def test_concrete_semantics(self):
+        # R ⋉_{l.0 = r.0} S keeps exactly the R rows with a partner.
+        r = table("R", CONCRETE)
+        s = table("S", CONCRETE)
+        pair_pred = ast.PredEq(attr_expr(ast.LEFT, ast.LEFT),
+                               attr_expr(ast.RIGHT, ast.LEFT))
+        q = semijoin_on(r, s, pair_pred)
+        interp = Interpretation()
+        interp.relations["R"] = KRelation(NAT, {(1, 0): 2, (2, 0): 1})
+        interp.relations["S"] = KRelation(NAT, {(1, 9): 5})
+        out = run_query(q, interp)
+        # Semijoin keeps multiplicity of R, ignores S's.
+        assert dict(out.items()) == {(1, 0): 2}
+
+    def test_semijoin_idempotent_on_instances(self):
+        r = table("R", CONCRETE)
+        s = table("S", CONCRETE)
+        pair_pred = ast.PredEq(attr_expr(ast.LEFT, ast.LEFT),
+                               attr_expr(ast.RIGHT, ast.LEFT))
+        once = semijoin_on(r, s, pair_pred)
+        twice = semijoin_on(once, s, pair_pred)
+        rng = random.Random(4)
+        for _ in range(10):
+            interp = Interpretation()
+            interp.relations["R"] = random_relation(rng, CONCRETE, NAT)
+            interp.relations["S"] = random_relation(rng, CONCRETE, NAT)
+            assert run_query(once, interp) == run_query(twice, interp)
+
+
+class TestGroupByMacro:
+    def test_typechecks(self):
+        s1 = SVar("g1")
+        r = table("R", s1)
+        k = ast.PVar("k", s1, Leaf(INT))
+        v = ast.PVar("v", s1, Leaf(INT))
+        q = groupby_agg(r, k, v, "SUM")
+        assert infer_query(q, EMPTY) == Node(Leaf(INT), Leaf(INT))
+
+    def test_concrete_grouping(self):
+        s1 = SVar("g1")
+        r = table("R", s1)
+        k = ast.PVar("k", s1, Leaf(INT))
+        v = ast.PVar("v", s1, Leaf(INT))
+        q = groupby_agg(r, k, v, "SUM")
+        interp = Interpretation()
+        interp.relations["R"] = KRelation(NAT, {
+            (1, 10): 1, (1, 20): 2, (2, 5): 1})
+        interp.projections["k"] = path_projection(("L",))
+        interp.projections["v"] = path_projection(("R",))
+        out = run_query(q, interp)
+        # group 1: 10 + 20 + 20 = 50 (multiplicity 2 counts twice)
+        assert dict(out.items()) == {(1, 50): 1, (2, 5): 1}
+
+    def test_count_aggregation(self):
+        s1 = SVar("g1")
+        r = table("R", s1)
+        k = ast.PVar("k", s1, Leaf(INT))
+        v = ast.PVar("v", s1, Leaf(INT))
+        q = groupby_agg(r, k, v, "COUNT")
+        interp = Interpretation()
+        interp.relations["R"] = KRelation(NAT, {(1, 10): 3, (2, 5): 1})
+        interp.projections["k"] = path_projection(("L",))
+        interp.projections["v"] = path_projection(("R",))
+        out = run_query(q, interp)
+        assert dict(out.items()) == {(1, 3): 1, (2, 1): 1}
+
+
+class TestStandardInterpretation:
+    def test_deterministic_given_seed(self):
+        i1 = standard_interpretation(random.Random(5), ("R",), attrs=("p",),
+                                     preds=("b",), consts=("l",))
+        i2 = standard_interpretation(random.Random(5), ("R",), attrs=("p",),
+                                     preds=("b",), consts=("l",))
+        assert i1.relations["R"] == i2.relations["R"]
+        assert i1.expressions["l"](()) == i2.expressions["l"](())
+
+    def test_keyed_generation(self):
+        interp = standard_interpretation(
+            random.Random(7), ("R",), attrs=("k",), keyed={"R": "k"})
+        from repro.engine.constraints import satisfies_key
+        assert satisfies_key(interp.relations["R"],
+                             interp.projections["k"])
+
+    def test_const_expr_and_where_pred_shapes(self):
+        s1 = SVar("c1")
+        pred = where_pred("b", s1)
+        assert pred.schema == Node(EMPTY, s1)
+        expr = const_expr("l")
+        assert isinstance(expr, ast.CastExpr)

@@ -1,0 +1,129 @@
+"""Cardinal arithmetic: the paper's infinite multiplicities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semiring.cardinal import (
+    OMEGA,
+    ONE,
+    ZERO,
+    Cardinal,
+    cardinal_product,
+    cardinal_sum,
+)
+
+finite = st.integers(min_value=0, max_value=50).map(Cardinal)
+cardinals = st.one_of(finite, st.just(OMEGA))
+
+
+class TestConstruction:
+    def test_finite_value(self):
+        assert Cardinal(3).finite_value() == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Cardinal(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Cardinal("three")
+
+    def test_omega_has_no_finite_value(self):
+        with pytest.raises(ValueError):
+            OMEGA.finite_value()
+
+    def test_predicates(self):
+        assert ZERO.is_zero and ZERO.is_finite
+        assert ONE.is_finite and not ONE.is_zero
+        assert OMEGA.is_infinite and not OMEGA.is_finite
+
+
+class TestArithmetic:
+    def test_finite_addition(self):
+        assert Cardinal(2) + Cardinal(3) == Cardinal(5)
+
+    def test_finite_multiplication(self):
+        assert Cardinal(2) * Cardinal(3) == Cardinal(6)
+
+    def test_omega_absorbs_addition(self):
+        assert OMEGA + Cardinal(5) == OMEGA
+        assert Cardinal(5) + OMEGA == OMEGA
+        assert OMEGA + OMEGA == OMEGA
+
+    def test_omega_absorbs_multiplication(self):
+        assert OMEGA * Cardinal(5) == OMEGA
+        assert Cardinal(5) * OMEGA == OMEGA
+
+    def test_zero_annihilates_omega(self):
+        # The empty type times anything is empty — the key law making
+        # selections on infinite relations behave.
+        assert ZERO * OMEGA == ZERO
+        assert OMEGA * ZERO == ZERO
+
+    def test_int_coercion(self):
+        assert Cardinal(2) + 3 == Cardinal(5)
+        assert 2 * Cardinal(3) == Cardinal(6)
+
+    def test_sum_and_product_helpers(self):
+        assert cardinal_sum([1, 2, 3]) == Cardinal(6)
+        assert cardinal_product([2, 3]) == Cardinal(6)
+        assert cardinal_sum([]) == ZERO
+        assert cardinal_product([]) == ONE
+        assert cardinal_sum([1, OMEGA]) == OMEGA
+
+
+class TestTruncationAndNegation:
+    def test_squash(self):
+        assert ZERO.squash() == ZERO
+        assert Cardinal(7).squash() == ONE
+        assert OMEGA.squash() == ONE
+
+    def test_negate(self):
+        assert ZERO.negate() == ONE
+        assert Cardinal(7).negate() == ZERO
+        assert OMEGA.negate() == ZERO
+
+    def test_double_negation_is_squash(self):
+        for c in (ZERO, ONE, Cardinal(4), OMEGA):
+            assert c.negate().negate() == c.squash()
+
+
+class TestOrderingAndHashing:
+    def test_order(self):
+        assert Cardinal(1) < Cardinal(2) < OMEGA
+        assert not OMEGA < OMEGA
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Cardinal(4)) == hash(Cardinal(4))
+        assert hash(OMEGA) == hash(OMEGA)
+        assert len({Cardinal(2), Cardinal(2), OMEGA, OMEGA}) == 2
+
+    def test_bool(self):
+        assert not ZERO
+        assert ONE and OMEGA
+
+    def test_str(self):
+        assert str(OMEGA) == "ω"
+        assert str(Cardinal(3)) == "3"
+
+
+class TestSemiringLawsProperty:
+    @given(cardinals, cardinals, cardinals)
+    def test_add_assoc_comm(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+
+    @given(cardinals, cardinals, cardinals)
+    def test_mul_assoc_comm(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+
+    @given(cardinals, cardinals, cardinals)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(cardinals)
+    def test_identities(self, a):
+        assert a + ZERO == a
+        assert a * ONE == a
+        assert a * ZERO == ZERO

@@ -1,0 +1,102 @@
+"""The paper's Sec. 7 discussion: finite vs. infinite semantics.
+
+HoTTSQL interprets SQL over finite *and* infinite relations.  These tests
+exercise the consequences executably:
+
+* tuples with infinite multiplicity flow through every operator,
+* DISTINCT normalizes ω to 1 (squash),
+* a pair of queries that agree on every finite-multiplicity instance but
+  are distinguished once multiplicities may be infinite, illustrating why
+  infinite semantics changes which equivalences hold.
+"""
+
+from repro.core import ast
+from repro.core.schema import INT, Leaf, Node
+from repro.engine import Database, Interpretation, run_query
+from repro.semiring import KRelation, NAT, NAT_INF, OMEGA, Cardinal
+
+
+_SCHEMA = Leaf(INT)
+
+
+def _interp(annotations):
+    interp = Interpretation()
+    interp.relations["R"] = KRelation(NAT_INF, annotations)
+    interp.schemas["R"] = _SCHEMA
+    return interp
+
+
+class TestOmegaThroughOperators:
+    def test_distinct_squashes_omega(self):
+        interp = _interp({1: OMEGA})
+        out = run_query(ast.Distinct(ast.Table("R", _SCHEMA)), interp,
+                        NAT_INF)
+        assert out.annotation(1) == Cardinal(1)
+
+    def test_union_all_with_omega(self):
+        interp = _interp({1: OMEGA, 2: Cardinal(2)})
+        q = ast.UnionAll(ast.Table("R", _SCHEMA), ast.Table("R", _SCHEMA))
+        out = run_query(q, interp, NAT_INF)
+        assert out.annotation(1) == OMEGA
+        assert out.annotation(2) == Cardinal(4)
+
+    def test_product_with_omega(self):
+        interp = _interp({1: OMEGA, 2: Cardinal(3)})
+        q = ast.Product(ast.Table("R", _SCHEMA), ast.Table("R", _SCHEMA))
+        out = run_query(q, interp, NAT_INF)
+        assert out.annotation((1, 2)) == OMEGA
+        assert out.annotation((2, 2)) == Cardinal(9)
+
+    def test_except_with_omega(self):
+        interp = _interp({1: OMEGA, 2: OMEGA})
+        empty = Interpretation()
+        empty.relations["R"] = interp.relations["R"]
+        empty.relations["S"] = KRelation(NAT_INF, {2: Cardinal(1)})
+        q = ast.Except(ast.Table("R", _SCHEMA), ast.Table("S", _SCHEMA))
+        out = run_query(q, empty, NAT_INF)
+        assert out.annotation(1) == OMEGA
+        assert out.annotation(2) == Cardinal(0)
+
+    def test_projection_sums_to_omega(self):
+        pair_schema = Node(Leaf(INT), Leaf(INT))
+        interp = Interpretation()
+        interp.relations["P"] = KRelation(
+            NAT_INF, {(1, 10): OMEGA, (1, 20): Cardinal(1)})
+        q = ast.Select(ast.path(ast.RIGHT, ast.LEFT),
+                       ast.Table("P", pair_schema))
+        out = run_query(q, interp, NAT_INF)
+        assert out.annotation(1) == OMEGA
+
+
+class TestFiniteVsInfiniteDistinction:
+    """R and DISTINCT R agree whenever R happens to be duplicate-free;
+    over instances with infinite multiplicities the gap is extreme: one
+    side stays ω while the other collapses to 1.  This is the executable
+    shadow of the paper's infinity-axiom discussion."""
+
+    def test_agree_on_duplicate_free_instances(self):
+        interp = _interp({1: Cardinal(1), 5: Cardinal(1)})
+        plain = run_query(ast.Table("R", _SCHEMA), interp, NAT_INF)
+        dedup = run_query(ast.Distinct(ast.Table("R", _SCHEMA)), interp,
+                          NAT_INF)
+        assert plain == dedup
+
+    def test_distinguished_at_omega(self):
+        interp = _interp({1: OMEGA})
+        plain = run_query(ast.Table("R", _SCHEMA), interp, NAT_INF)
+        dedup = run_query(ast.Distinct(ast.Table("R", _SCHEMA)), interp,
+                          NAT_INF)
+        assert plain.annotation(1) == OMEGA
+        assert dedup.annotation(1) == Cardinal(1)
+        assert plain != dedup
+
+    def test_self_join_squares_omega(self):
+        # The unsound bag-level self-join rule (buggy rule family) is
+        # wrong at ω too: ω² = ω but ω ≠ finite squares elsewhere.
+        interp = _interp({1: Cardinal(2)})
+        q = ast.Product(ast.Table("R", _SCHEMA), ast.Table("R", _SCHEMA))
+        out = run_query(q, interp, NAT_INF)
+        assert out.annotation((1, 1)) == Cardinal(4)
+        interp2 = _interp({1: OMEGA})
+        out2 = run_query(q, interp2, NAT_INF)
+        assert out2.annotation((1, 1)) == OMEGA

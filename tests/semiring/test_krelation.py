@@ -1,0 +1,145 @@
+"""K-relations: relational algebra on annotated relations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semiring.krelation import KRelation
+from repro.semiring.provenance import PROVENANCE, Polynomial
+from repro.semiring.semirings import BOOL, NAT, NAT_INF
+from repro.semiring.cardinal import OMEGA, Cardinal
+
+
+def nat_rel(data):
+    return KRelation(NAT, data)
+
+
+class TestConstruction:
+    def test_from_bag(self):
+        rel = KRelation.from_bag(NAT, ["a", "b", "a"])
+        assert rel.annotation("a") == 2
+        assert rel.annotation("b") == 1
+        assert rel.annotation("c") == 0
+
+    def test_zero_annotations_not_stored(self):
+        rel = nat_rel({"a": 0, "b": 2})
+        assert "a" not in rel
+        assert len(rel) == 1
+
+    def test_empty(self):
+        assert len(KRelation.empty(NAT)) == 0
+
+    def test_add_accumulates(self):
+        rel = KRelation(NAT)
+        rel.add("x", 2)
+        rel.add("x", 3)
+        assert rel.annotation("x") == 5
+
+    def test_support_and_iteration(self):
+        rel = nat_rel({"a": 1, "b": 2})
+        assert rel.support() == frozenset({"a", "b"})
+        assert set(rel) == {"a", "b"}
+        assert dict(rel.items()) == {"a": 1, "b": 2}
+
+
+class TestOperators:
+    def test_union_all_adds(self):
+        r = nat_rel({"a": 1, "b": 2})
+        s = nat_rel({"b": 3, "c": 1})
+        out = r.union_all(s)
+        assert dict(out.items()) == {"a": 1, "b": 5, "c": 1}
+
+    def test_cross_multiplies(self):
+        r = nat_rel({"a": 2})
+        s = nat_rel({"x": 3, "y": 1})
+        out = r.cross(s)
+        assert out.annotation(("a", "x")) == 6
+        assert out.annotation(("a", "y")) == 2
+
+    def test_select(self):
+        r = nat_rel({1: 2, 2: 3, 3: 4})
+        out = r.select(lambda row: row % 2 == 1)
+        assert dict(out.items()) == {1: 2, 3: 4}
+
+    def test_project_sums_preimages(self):
+        r = nat_rel({(1, "x"): 2, (1, "y"): 3, (2, "z"): 1})
+        out = r.project(lambda row: row[0])
+        assert dict(out.items()) == {1: 5, 2: 1}
+
+    def test_distinct_squashes(self):
+        r = nat_rel({"a": 5, "b": 1})
+        assert dict(r.distinct().items()) == {"a": 1, "b": 1}
+
+    def test_except_keeps_full_multiplicity(self):
+        # Paper semantics: R EXCEPT S keeps ALL copies of tuples absent
+        # from S (not multiset difference).
+        r = nat_rel({"a": 5, "b": 2})
+        s = nat_rel({"b": 1})
+        out = r.except_(s)
+        assert dict(out.items()) == {"a": 5}
+
+    def test_scale(self):
+        r = nat_rel({"a": 2})
+        assert r.scale(3).annotation("a") == 6
+
+    def test_total_multiplicity(self):
+        assert nat_rel({"a": 2, "b": 3}).total_multiplicity() == 5
+
+    def test_semiring_mismatch_rejected(self):
+        r = nat_rel({"a": 1})
+        s = KRelation(BOOL, {"a": True})
+        with pytest.raises(TypeError):
+            r.union_all(s)
+        with pytest.raises(TypeError):
+            r.cross(s)
+
+
+class TestInfiniteMultiplicities:
+    def test_omega_through_operators(self):
+        r = KRelation(NAT_INF, {"a": OMEGA, "b": Cardinal(2)})
+        s = KRelation(NAT_INF, {"a": Cardinal(1)})
+        assert r.union_all(s).annotation("a") == OMEGA
+        assert r.cross(s).annotation(("a", "a")) == OMEGA
+        assert r.distinct().annotation("a") == Cardinal(1)
+        assert r.except_(s).annotation("a") == Cardinal(0)
+        assert r.except_(s).annotation("b") == Cardinal(2)
+
+    def test_project_with_omega(self):
+        r = KRelation(NAT_INF, {(1, "x"): OMEGA, (1, "y"): Cardinal(3)})
+        assert r.project(lambda row: row[0]).annotation(1) == OMEGA
+
+
+class TestHomomorphismProperty:
+    """Semiring homomorphisms commute with the positive operators —
+    the fundamental K-relation fact (Green et al.)."""
+
+    rows = st.dictionaries(st.integers(0, 4), st.integers(1, 5), max_size=5)
+
+    @given(rows, rows)
+    def test_nat_to_bool_commutes(self, d1, d2):
+        r = KRelation(NAT, d1)
+        s = KRelation(NAT, d2)
+
+        def to_bool(rel):
+            return rel.map_annotations(lambda n: n > 0, BOOL)
+
+        assert to_bool(r.union_all(s)) == to_bool(r).union_all(to_bool(s))
+        assert to_bool(r.cross(s)) == to_bool(r).cross(to_bool(s))
+        assert to_bool(r.project(lambda x: x % 2)) == \
+            to_bool(r).project(lambda x: x % 2)
+
+    @given(rows)
+    def test_provenance_specializes_to_nat(self, d):
+        # Annotate distinctly, evaluate the polynomial at the original
+        # multiplicities: identity.
+        rel = KRelation(NAT, d)
+        annotated = KRelation(
+            PROVENANCE,
+            {row: Polynomial.variable(f"v{i}")
+             for i, (row, _) in enumerate(sorted(rel.items()))})
+        assignment = {f"v{i}": annot
+                      for i, (_, annot) in enumerate(sorted(rel.items()))}
+        projected = annotated.project(lambda x: x % 3)
+        direct = rel.project(lambda x: x % 3)
+        evaluated = projected.map_annotations(
+            lambda p: p.evaluate(NAT, assignment), NAT)
+        assert evaluated == direct

@@ -1,0 +1,95 @@
+"""Provenance polynomials: the free commutative semiring ℕ[X]."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.semiring.provenance import (
+    PROVENANCE,
+    Polynomial,
+    annotate_distinctly,
+)
+from repro.semiring.semirings import BOOL, NAT
+
+
+x = Polynomial.variable("x")
+y = Polynomial.variable("y")
+
+
+class TestArithmetic:
+    def test_constants(self):
+        assert Polynomial.constant(0) == Polynomial.zero()
+        assert Polynomial.constant(1) == Polynomial.one()
+        with pytest.raises(ValueError):
+            Polynomial.constant(-1)
+
+    def test_addition_collects_terms(self):
+        assert str(x + x) == "2·x"
+
+    def test_multiplication_merges_exponents(self):
+        assert str(x * x) == "x^2"
+        assert (x * y) == (y * x)
+
+    def test_distribution(self):
+        assert (x + y) * (x + y) == x * x + \
+            Polynomial.constant(2) * x * y + y * y
+
+    def test_zero_and_one(self):
+        assert (x * Polynomial.zero()).is_zero
+        assert x * Polynomial.one() == x
+        assert x + Polynomial.zero() == x
+
+    def test_variables_and_degree(self):
+        p = x * x * y + Polynomial.constant(3)
+        assert p.variables() == ("x", "y")
+        assert p.degree() == 3
+        assert Polynomial.zero().degree() == -1
+        assert Polynomial.one().degree() == 0
+
+    def test_str_rendering(self):
+        assert str(Polynomial.zero()) == "0"
+        assert str(Polynomial.constant(2) * x) == "2·x"
+
+
+class TestEvaluationHomomorphism:
+    def test_into_nat(self):
+        p = x * x + Polynomial.constant(2) * y
+        assert p.evaluate(NAT, {"x": 3, "y": 5}) == 19
+
+    def test_into_bool(self):
+        p = x * y
+        assert p.evaluate(BOOL, {"x": True, "y": False}) is False
+        assert p.evaluate(BOOL, {"x": True, "y": True}) is True
+
+    def test_missing_assignment(self):
+        with pytest.raises(KeyError):
+            x.evaluate(NAT, {})
+
+    polys = st.builds(
+        lambda pairs: sum(
+            (Polynomial.variable(v) * Polynomial.constant(c)
+             for v, c in pairs), Polynomial.zero()),
+        st.lists(st.tuples(st.sampled_from("abc"), st.integers(0, 3)),
+                 max_size=4))
+
+    @given(polys, polys, st.integers(0, 5), st.integers(0, 5),
+           st.integers(0, 5))
+    def test_evaluation_is_homomorphic(self, p, q, va, vb, vc):
+        env = {"a": va, "b": vb, "c": vc}
+        assert (p + q).evaluate(NAT, env) == \
+            p.evaluate(NAT, env) + q.evaluate(NAT, env)
+        assert (p * q).evaluate(NAT, env) == \
+            p.evaluate(NAT, env) * q.evaluate(NAT, env)
+
+
+class TestSemiringInterface:
+    def test_fresh_variables(self):
+        vs = PROVENANCE.fresh_variables("t", 3)
+        assert len(set(vs)) == 3
+
+    def test_annotate_distinctly(self):
+        annotations = annotate_distinctly(["r1", "r2"], "R")
+        assert annotations["r1"] != annotations["r2"]
+        assert annotations["r1"].variables() == ("R_0",)
+
+    def test_from_int(self):
+        assert PROVENANCE.from_int(3) == Polynomial.constant(3)

@@ -1,0 +1,98 @@
+"""Semiring implementations: laws, truncation, embeddings."""
+
+import pytest
+from fractions import Fraction
+from hypothesis import given, strategies as st
+
+from repro.semiring.cardinal import OMEGA, Cardinal
+from repro.semiring.provenance import PROVENANCE, Polynomial
+from repro.semiring.semirings import (
+    BOOL,
+    NAT,
+    NAT_INF,
+    STANDARD_SEMIRINGS,
+    TROPICAL,
+    check_semiring_laws,
+)
+
+_SAMPLES = {
+    "bool": [False, True],
+    "nat": [0, 1, 2, 3, 7],
+    "nat_inf": [Cardinal(0), Cardinal(1), Cardinal(3), OMEGA],
+    "tropical": [TROPICAL.INF, Fraction(0), Fraction(1), Fraction(5, 2)],
+    "provenance": [Polynomial.zero(), Polynomial.one(),
+                   Polynomial.variable("x"), Polynomial.variable("y"),
+                   Polynomial.variable("x") + Polynomial.constant(2)],
+}
+
+
+@pytest.mark.parametrize("sr", [BOOL, NAT, NAT_INF, TROPICAL, PROVENANCE],
+                         ids=lambda s: s.name)
+def test_semiring_laws(sr):
+    check_semiring_laws(sr, _SAMPLES[sr.name])
+
+
+@pytest.mark.parametrize("sr", [BOOL, NAT, NAT_INF, PROVENANCE],
+                         ids=lambda s: s.name)
+def test_squash_and_negate(sr):
+    assert sr.squash(sr.zero) == sr.zero
+    assert sr.squash(sr.one) == sr.one
+    assert sr.negate(sr.zero) == sr.one
+    assert sr.negate(sr.one) == sr.zero
+    two = sr.add(sr.one, sr.one)
+    assert sr.squash(two) == sr.one
+    assert sr.negate(two) == sr.zero
+
+
+@pytest.mark.parametrize("sr", [BOOL, NAT, NAT_INF],
+                         ids=lambda s: s.name)
+def test_from_int_is_homomorphic(sr):
+    for a in range(4):
+        for b in range(4):
+            assert sr.from_int(a + b) == sr.add(sr.from_int(a),
+                                                sr.from_int(b))
+            assert sr.from_int(a * b) == sr.mul(sr.from_int(a),
+                                                sr.from_int(b))
+
+
+def test_from_int_rejects_negative():
+    for sr in STANDARD_SEMIRINGS:
+        with pytest.raises(ValueError):
+            sr.from_int(-1)
+
+
+def test_from_bool():
+    assert NAT.from_bool(True) == 1
+    assert NAT.from_bool(False) == 0
+    assert BOOL.from_bool(True) is True
+
+
+def test_sum_and_product():
+    assert NAT.sum([1, 2, 3]) == 6
+    assert NAT.product([2, 3, 4]) == 24
+    assert BOOL.sum([False, False]) is False
+    assert BOOL.sum([False, True]) is True
+
+
+def test_nat_inf_omega_accessible():
+    assert NAT_INF.omega.is_infinite
+    assert NAT_INF.add(NAT_INF.omega, NAT_INF.one) == OMEGA
+    assert NAT_INF.mul(NAT_INF.zero, NAT_INF.omega) == Cardinal(0)
+
+
+def test_tropical_interpretation():
+    # Tropical "addition" is min (choice of cheaper derivation), tropical
+    # "multiplication" is + (cost accumulation).
+    assert TROPICAL.add(Fraction(3), Fraction(5)) == Fraction(3)
+    assert TROPICAL.mul(Fraction(3), Fraction(5)) == Fraction(8)
+    assert TROPICAL.is_zero(TROPICAL.INF)
+
+
+@given(st.integers(0, 30), st.integers(0, 30))
+def test_bool_is_squash_of_nat(a, b):
+    # The classic K-relation fact: set semantics is the squash image of
+    # bag semantics.
+    assert BOOL.from_int(a + b) == BOOL.add(BOOL.from_int(a),
+                                            BOOL.from_int(b))
+    assert BOOL.from_int(a * b) == BOOL.mul(BOOL.from_int(a),
+                                            BOOL.from_int(b))

@@ -1,0 +1,134 @@
+"""Outer joins via the Sec. 7 encoding, checked against a reference."""
+
+import random
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT, Leaf, Node
+from repro.core.typecheck import well_formed_query
+from repro.engine import Interpretation, run_query
+from repro.engine.random_instances import random_relation
+from repro.semiring import KRelation, NAT
+from repro.sql.desugar import (
+    const_tuple_projection,
+    inner_join,
+    left_outer_join,
+    right_outer_join,
+)
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+L = ast.Table("L", SCHEMA)
+R = ast.Table("Rt", SCHEMA)
+
+#: Join on first columns: l.0 = r.0, expressed over node σL σR.
+ON = ast.PredEq(ast.P2E(ast.path(ast.LEFT, ast.LEFT), INT),
+                ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT))
+
+#: The NULL stand-in row (outside the generated domain {0,1,2}).
+PAD = (-1, -1)
+
+
+def _reference_loj(left_rel, right_rel):
+    """Reference left outer join on plain dictionaries."""
+    out = {}
+    for lrow, lm in left_rel.items():
+        matches = [(rrow, rm) for rrow, rm in right_rel.items()
+                   if lrow[0] == rrow[0]]
+        if matches:
+            for rrow, rm in matches:
+                key = (lrow, rrow)
+                out[key] = out.get(key, 0) + lm * rm
+        else:
+            key = (lrow, PAD)
+            out[key] = out.get(key, 0) + lm
+    return out
+
+
+def _interp(seed):
+    rng = random.Random(seed)
+    interp = Interpretation()
+    interp.relations["L"] = random_relation(rng, SCHEMA, NAT, max_rows=4)
+    interp.relations["Rt"] = random_relation(rng, SCHEMA, NAT, max_rows=4)
+    return interp
+
+
+class TestConstTupleProjection:
+    def test_builds_matching_shape(self):
+        proj = const_tuple_projection(SCHEMA, [7, 8])
+        assert well_formed_query(
+            ast.Select(proj, ast.Table("L", SCHEMA))) == SCHEMA
+
+    def test_value_count_checked(self):
+        with pytest.raises(ValueError):
+            const_tuple_projection(SCHEMA, [7])
+        with pytest.raises(ValueError):
+            const_tuple_projection(SCHEMA, [7, 8, 9])
+
+
+class TestLeftOuterJoin:
+    def test_typechecks(self):
+        q = left_outer_join(L, R, ON, SCHEMA, PAD)
+        assert well_formed_query(q) == Node(SCHEMA, SCHEMA)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference(self, seed):
+        interp = _interp(seed)
+        q = left_outer_join(L, R, ON, SCHEMA, PAD)
+        ours = dict(run_query(q, interp).items())
+        reference = _reference_loj(interp.relations["L"],
+                                   interp.relations["Rt"])
+        assert ours == reference
+
+    def test_unmatched_rows_padded(self):
+        interp = Interpretation()
+        interp.relations["L"] = KRelation(NAT, {(1, 10): 2, (2, 20): 1})
+        interp.relations["Rt"] = KRelation(NAT, {(1, 99): 1})
+        q = left_outer_join(L, R, ON, SCHEMA, PAD)
+        out = dict(run_query(q, interp).items())
+        assert out == {
+            ((1, 10), (1, 99)): 2,       # matched, multiplicity kept
+            ((2, 20), PAD): 1,           # unmatched, padded
+        }
+
+    def test_reduces_to_inner_join_when_total(self):
+        # When every left row matches, LOJ ≡ inner join on the instance.
+        interp = Interpretation()
+        interp.relations["L"] = KRelation(NAT, {(1, 10): 1})
+        interp.relations["Rt"] = KRelation(NAT, {(1, 0): 3})
+        loj = run_query(left_outer_join(L, R, ON, SCHEMA, PAD), interp)
+        ij = run_query(inner_join(L, R, ON), interp)
+        assert loj == ij
+
+
+class TestRightOuterJoin:
+    def test_typechecks(self):
+        q = right_outer_join(L, R, ON, SCHEMA, PAD)
+        assert well_formed_query(q) == Node(SCHEMA, SCHEMA)
+
+    def test_unmatched_right_rows_padded(self):
+        interp = Interpretation()
+        interp.relations["L"] = KRelation(NAT, {(1, 10): 1})
+        interp.relations["Rt"] = KRelation(NAT, {(1, 99): 1, (3, 30): 2})
+        q = right_outer_join(L, R, ON, SCHEMA, PAD)
+        out = dict(run_query(q, interp).items())
+        assert out == {
+            ((1, 10), (1, 99)): 1,
+            (PAD, (3, 30)): 2,
+        }
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mirror_of_left(self, seed):
+        # ROJ(L, R) re-flipped equals LOJ(R, L) with the mirrored predicate.
+        interp = _interp(seed)
+        mirrored_on = ast.PredEq(
+            ast.P2E(ast.path(ast.LEFT, ast.LEFT), INT),
+            ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT))
+        roj = run_query(right_outer_join(L, R, ON, SCHEMA, PAD), interp)
+        swapped = Interpretation()
+        swapped.relations["L"] = interp.relations["Rt"]
+        swapped.relations["Rt"] = interp.relations["L"]
+        loj = run_query(left_outer_join(L, R, mirrored_on, SCHEMA, PAD),
+                        swapped)
+        flipped = {(r, l): m for (l, r), m in loj.items()}
+        assert dict(roj.items()) == flipped

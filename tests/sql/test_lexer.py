@@ -1,0 +1,56 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sql.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Distinct FROM")[:3] == [
+            ("keyword", "SELECT"), ("keyword", "DISTINCT"),
+            ("keyword", "FROM")]
+
+    def test_identifiers(self):
+        assert kinds("emp dept_2 _x")[:3] == [
+            ("ident", "emp"), ("ident", "dept_2"), ("ident", "_x")]
+
+    def test_numbers_and_strings(self):
+        assert kinds("42 'hello'")[:2] == [
+            ("number", "42"), ("string", "hello")]
+
+    def test_operators_longest_match(self):
+        assert [t.text for t in tokenize("<= >= <> = < >")][:6] == \
+            ["<=", ">=", "<>", "=", "<", ">"]
+
+    def test_punctuation(self):
+        assert [t.text for t in tokenize("(a, b.c)*")][:8] == \
+            ["(", "a", ",", "b", ".", "c", ")", "*"]
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT -- comment here\n a")
+        assert ("ident", "a") in tokens
+        assert not any("comment" in text for _, text in tokens)
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("a b")[-1].kind == "eof"
+
+    def test_positions(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("SELECT @")

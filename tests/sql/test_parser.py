@@ -1,0 +1,120 @@
+"""Parser tests: named AST construction and error reporting."""
+
+import pytest
+
+from repro.sql import nast
+from repro.sql.parser import ParseError, parse
+
+
+class TestSelect:
+    def test_select_star(self):
+        q = parse("SELECT * FROM R")
+        assert isinstance(q, nast.NSelect)
+        assert q.items == ()
+        assert q.from_items[0].source == "R"
+        assert q.from_items[0].alias == "R"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM R").distinct
+        assert not parse("SELECT a FROM R").distinct
+
+    def test_select_items_with_aliases(self):
+        q = parse("SELECT a AS x, R.b FROM R")
+        assert q.items[0].alias == "x"
+        assert q.items[1].expr == nast.NColumn("R", "b")
+
+    def test_from_aliases(self):
+        q = parse("SELECT * FROM R AS x, R y, S")
+        assert [f.alias for f in q.from_items] == ["x", "y", "S"]
+
+    def test_subquery_in_from(self):
+        q = parse("SELECT * FROM (SELECT a FROM R) AS v")
+        assert isinstance(q.from_items[0].source, nast.NSelect)
+        assert q.from_items[0].alias == "v"
+
+    def test_group_by(self):
+        q = parse("SELECT a, SUM(b) FROM R GROUP BY a")
+        assert q.group_by == nast.NColumn(None, "a")
+        assert isinstance(q.items[1].expr, nast.NAggCall)
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        q = parse("SELECT * FROM R WHERE a = 1 AND b < 2 OR NOT c >= 3")
+        # OR binds loosest: (a=1 AND b<2) OR (NOT c>=3)
+        assert isinstance(q.where, nast.NOr)
+        assert isinstance(q.where.left, nast.NAnd)
+        assert isinstance(q.where.right, nast.NNot)
+
+    def test_parenthesized_predicate(self):
+        q = parse("SELECT * FROM R WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(q.where, nast.NAnd)
+        assert isinstance(q.where.left, nast.NOr)
+
+    def test_bool_literals(self):
+        q = parse("SELECT * FROM R WHERE TRUE AND FALSE")
+        assert q.where == nast.NAnd(nast.NBoolLit(True),
+                                    nast.NBoolLit(False))
+
+    def test_exists(self):
+        q = parse("SELECT * FROM R WHERE EXISTS (SELECT * FROM S)")
+        assert isinstance(q.where, nast.NExists)
+
+    def test_string_literal(self):
+        q = parse("SELECT * FROM R WHERE name = 'bob'")
+        assert q.where.right == nast.NLiteral("bob")
+
+
+class TestCompound:
+    def test_union_all(self):
+        q = parse("SELECT a FROM R UNION ALL SELECT a FROM S")
+        assert isinstance(q, nast.NUnionAll)
+
+    def test_except(self):
+        q = parse("SELECT a FROM R EXCEPT SELECT a FROM S")
+        assert isinstance(q, nast.NExcept)
+
+    def test_left_associative_chain(self):
+        q = parse("SELECT a FROM R UNION ALL SELECT a FROM S "
+                  "EXCEPT SELECT a FROM T")
+        assert isinstance(q, nast.NExcept)
+        assert isinstance(q.left, nast.NUnionAll)
+
+    def test_parenthesized_compound(self):
+        q = parse("SELECT a FROM R EXCEPT "
+                  "(SELECT a FROM S UNION ALL SELECT a FROM T)")
+        assert isinstance(q, nast.NExcept)
+        assert isinstance(q.right, nast.NUnionAll)
+
+
+class TestExpressions:
+    def test_function_call(self):
+        q = parse("SELECT add(a, 1) FROM R")
+        expr = q.items[0].expr
+        assert isinstance(expr, nast.NFuncCall)
+        assert expr.name == "add"
+        assert len(expr.args) == 2
+
+    def test_aggregate_call(self):
+        q = parse("SELECT SUM(sal) FROM R GROUP BY d")
+        assert isinstance(q.items[0].expr, nast.NAggCall)
+
+    def test_aggregate_arity_error(self):
+        with pytest.raises(ParseError):
+            parse("SELECT SUM(a, b) FROM R")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "SELECT",
+        "SELECT FROM R",
+        "SELECT * FROM",
+        "SELECT * FROM R WHERE",
+        "SELECT * FROM (SELECT a FROM R)",     # subquery needs AS alias
+        "SELECT * FROM R UNION SELECT * FROM S",  # UNION without ALL
+        "SELECT * FROM R trailing nonsense extra",
+        "SELECT * FROM R WHERE a",
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)

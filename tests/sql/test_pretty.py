@@ -1,0 +1,98 @@
+"""Pretty-printer round-trips the paper's notation."""
+
+from repro.core import ast
+from repro.core.denote import denote_closed
+from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.sql.pretty import (
+    denotation_to_str,
+    expression_to_str,
+    predicate_to_str,
+    projection_to_str,
+    query_to_str,
+)
+
+SR = SVar("sR")
+R = ast.Table("R", SR)
+S = ast.Table("S", SR)
+
+
+class TestQueryRendering:
+    def test_table(self):
+        assert query_to_str(R) == "R"
+
+    def test_union_all(self):
+        assert query_to_str(ast.UnionAll(R, S)) == "(R UNION ALL S)"
+
+    def test_except_and_distinct(self):
+        assert query_to_str(ast.Distinct(ast.Except(R, S))) == \
+            "DISTINCT (R EXCEPT S)"
+
+    def test_where_with_predicate_var(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        assert query_to_str(ast.Where(R, b)) == "(R WHERE b)"
+
+    def test_select_from(self):
+        q = ast.Select(ast.path(ast.RIGHT, ast.LEFT), ast.Product(R, S))
+        assert query_to_str(q) == "SELECT Right.Left FROM R, S"
+
+
+class TestPredicateRendering:
+    def test_connectives(self):
+        t = ast.PredTrue()
+        f = ast.PredFalse()
+        assert predicate_to_str(ast.PredAnd(t, f)) == "(TRUE AND FALSE)"
+        assert predicate_to_str(ast.PredOr(t, f)) == "(TRUE OR FALSE)"
+        assert predicate_to_str(ast.PredNot(t)) == "NOT TRUE"
+
+    def test_exists(self):
+        assert predicate_to_str(ast.Exists(R)) == "EXISTS (R)"
+
+    def test_castpred(self):
+        b = ast.PredVar("b", SR)
+        assert predicate_to_str(ast.CastPred(ast.RIGHT, b)) == \
+            "CASTPRED Right b"
+
+    def test_comparison(self):
+        pred = ast.PredFunc("lt", (ast.Const(1, INT), ast.Const(2, INT)))
+        assert predicate_to_str(pred) == "lt(1, 2)"
+
+
+class TestExpressionRendering:
+    def test_p2e_and_const(self):
+        expr = ast.P2E(ast.LEFT, INT)
+        assert expression_to_str(expr) == "P2E Left"
+        assert expression_to_str(ast.Const(3, INT)) == "3"
+
+    def test_agg(self):
+        agg = ast.Agg("SUM", ast.Table("V", Leaf(INT)), INT)
+        assert expression_to_str(agg) == "SUM(V)"
+
+    def test_castexpr(self):
+        e = ast.CastExpr(ast.EMPTYP, ast.ExprVar("l", EMPTY, INT))
+        assert expression_to_str(e) == "CASTEXPR Empty l"
+
+
+class TestProjectionRendering:
+    def test_paths(self):
+        assert projection_to_str(ast.path(ast.LEFT, ast.RIGHT)) == \
+            "Left.Right"
+        assert projection_to_str(ast.STAR) == "*"
+        assert projection_to_str(ast.EMPTYP) == "Empty"
+
+    def test_duplicate(self):
+        p = ast.Duplicate(ast.LEFT, ast.RIGHT)
+        assert projection_to_str(p) == "(Left, Right)"
+
+    def test_pvar(self):
+        assert projection_to_str(ast.PVar("k", SR, Leaf(INT))) == "k"
+
+
+class TestDenotationRendering:
+    def test_figure_1_shape(self):
+        b = ast.PredVar("b", Node(EMPTY, SR))
+        q = ast.Where(ast.UnionAll(R, S), b)
+        rendered = denotation_to_str(denote_closed(q))
+        # λ g t. (⟦R⟧ t + ⟦S⟧ t) × ⟦b⟧ ((g, t))
+        assert rendered.startswith("λ ")
+        assert "⟦R⟧" in rendered and "⟦S⟧" in rendered and "⟦b⟧" in rendered
+        assert "+" in rendered and "×" in rendered

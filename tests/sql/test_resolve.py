@@ -1,0 +1,189 @@
+"""Name resolution: named SQL → unnamed HoTTSQL, evaluated and proved."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.equivalence import queries_equivalent
+from repro.core.schema import INT, Leaf, Node, STRING
+from repro.core.typecheck import well_formed_query
+from repro.engine import Database, run_query
+from repro.sql import Catalog, ResolutionError, compile_sql
+from repro.sql.resolve import column_steps, columns_to_schema
+from repro.semiring import NAT
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    cat.add_table("S", [("a", INT), ("c", INT)])
+    cat.add_table("Emp", [("eid", INT), ("did", INT), ("sal", INT)])
+    return cat
+
+
+@pytest.fixture
+def db(catalog):
+    database = Database(NAT)
+    database.create_table("R", catalog.schema_of("R"),
+                          [[1, 40], [2, 40], [2, 50]])
+    database.create_table("S", catalog.schema_of("S"), [[1, 7], [3, 9]])
+    database.create_table("Emp", catalog.schema_of("Emp"),
+                          [[1, 0, 100], [2, 0, 200], [3, 1, 150]])
+    return database
+
+
+def rows(query, db):
+    return dict(run_query(query, db.interpretation()).items())
+
+
+class TestSchemaLayout:
+    def test_columns_to_schema_right_nested(self):
+        schema = columns_to_schema([("a", INT), ("b", INT), ("c", STRING)])
+        assert schema == Node(Leaf(INT), Node(Leaf(INT), Leaf(STRING)))
+
+    def test_column_steps(self):
+        assert column_steps(1, 0) == ()
+        assert column_steps(3, 0) == ("L",)
+        assert column_steps(3, 1) == ("R", "L")
+        assert column_steps(3, 2) == ("R", "R")
+        with pytest.raises(ResolutionError):
+            column_steps(3, 3)
+
+
+class TestBasicResolution:
+    def test_select_star_is_table(self, catalog, db):
+        r = compile_sql("SELECT * FROM R", catalog)
+        assert rows(r.query, db) == {(1, 40): 1, (2, 40): 1, (2, 50): 1}
+
+    def test_single_column(self, catalog, db):
+        r = compile_sql("SELECT a FROM R", catalog)
+        assert rows(r.query, db) == {1: 1, 2: 2}
+        assert r.schema == Leaf(INT)
+        assert r.columns == (("a", INT),)
+
+    def test_column_order(self, catalog, db):
+        r = compile_sql("SELECT b, a FROM R", catalog)
+        assert (40, 1) in rows(r.query, db)
+
+    def test_qualified_and_bare_columns(self, catalog, db):
+        r1 = compile_sql("SELECT R.a FROM R", catalog)
+        r2 = compile_sql("SELECT a FROM R", catalog)
+        assert rows(r1.query, db) == rows(r2.query, db)
+
+    def test_all_queries_typecheck(self, catalog):
+        sources = [
+            "SELECT * FROM R",
+            "SELECT a, b FROM R",
+            "SELECT x.a FROM R x, S y WHERE x.a = y.a",
+            "SELECT DISTINCT a FROM R UNION ALL SELECT a FROM S",
+            "SELECT a FROM R WHERE EXISTS (SELECT * FROM S WHERE S.a = R.a)",
+            "SELECT a, SUM(b) FROM R GROUP BY a",
+        ]
+        for source in sources:
+            resolved = compile_sql(source, catalog)
+            assert well_formed_query(resolved.query) == resolved.schema
+
+
+class TestJoinsAndScopes:
+    def test_join_with_aliases(self, catalog, db):
+        r = compile_sql(
+            "SELECT x.a, y.c FROM R x, S y WHERE x.a = y.a", catalog)
+        assert rows(r.query, db) == {(1, 7): 1}
+
+    def test_self_join(self, catalog, db):
+        r = compile_sql(
+            "SELECT x.a FROM R x, R y WHERE x.b = y.b", catalog)
+        # (1,40)-(1,40), (1,40)-(2,40), (2,40)-(1,40), (2,40)-(2,40),
+        # (2,50)-(2,50)
+        assert rows(r.query, db) == {1: 2, 2: 3}
+
+    def test_ambiguous_bare_column_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT a FROM R x, S y", catalog)
+
+    def test_duplicate_alias_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT * FROM R x, S x", catalog)
+
+    def test_unknown_column_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT zzz FROM R", catalog)
+
+    def test_unknown_table_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT a FROM Nope", catalog)
+
+    def test_correlated_exists(self, catalog, db):
+        r = compile_sql(
+            "SELECT b FROM R WHERE EXISTS "
+            "(SELECT * FROM S WHERE S.a = R.a)", catalog)
+        assert rows(r.query, db) == {40: 1}
+
+    def test_from_subquery(self, catalog, db):
+        r = compile_sql(
+            "SELECT v.a FROM (SELECT a FROM R WHERE b = 40) AS v", catalog)
+        assert rows(r.query, db) == {1: 1, 2: 1}
+
+    def test_comparison_type_mismatch(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT a FROM R WHERE a = 'x'", catalog)
+
+
+class TestCompoundAndGroupBy:
+    def test_union_all(self, catalog, db):
+        r = compile_sql("SELECT a FROM R UNION ALL SELECT a FROM S", catalog)
+        assert rows(r.query, db) == {1: 2, 2: 2, 3: 1}
+
+    def test_union_schema_mismatch(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT a FROM R UNION ALL SELECT a, c FROM S",
+                        catalog)
+
+    def test_except(self, catalog, db):
+        r = compile_sql("SELECT a FROM R EXCEPT SELECT a FROM S", catalog)
+        assert rows(r.query, db) == {2: 2}
+
+    def test_group_by_sum(self, catalog, db):
+        r = compile_sql("SELECT did, SUM(sal) FROM Emp GROUP BY did",
+                        catalog)
+        assert rows(r.query, db) == {(0, 300): 1, (1, 150): 1}
+
+    def test_group_by_count_with_where(self, catalog, db):
+        r = compile_sql(
+            "SELECT did, COUNT(sal) FROM Emp WHERE sal > 120 GROUP BY did",
+            catalog)
+        assert rows(r.query, db) == {(0, 1): 1, (1, 1): 1}
+
+    def test_group_by_non_key_item_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT sal, SUM(eid) FROM Emp GROUP BY did",
+                        catalog)
+
+    def test_aggregate_outside_group_by_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT SUM(sal) FROM Emp", catalog)
+
+
+class TestEndToEndProofs:
+    """The paper's Sec. 2 example, straight from SQL text to a proof."""
+
+    def test_q2_equiv_q3_from_sql(self, catalog):
+        q2 = compile_sql("SELECT DISTINCT a FROM R", catalog)
+        q3 = compile_sql(
+            "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a",
+            catalog)
+        assert queries_equivalent(q2.query, q3.query)
+
+    def test_inequivalent_from_sql(self, catalog):
+        q1 = compile_sql("SELECT DISTINCT a FROM R", catalog)
+        q2 = compile_sql("SELECT DISTINCT b FROM R", catalog)
+        assert not queries_equivalent(q1.query, q2.query)
+
+    def test_figure_1_from_sql(self, catalog):
+        lhs = compile_sql(
+            "SELECT * FROM (SELECT * FROM R UNION ALL SELECT * FROM R) "
+            "AS u WHERE u.a = 1", catalog)
+        rhs = compile_sql(
+            "(SELECT * FROM R WHERE a = 1) UNION ALL "
+            "(SELECT * FROM R WHERE a = 1)", catalog)
+        assert queries_equivalent(lhs.query, rhs.query)

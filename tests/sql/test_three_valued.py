@@ -1,0 +1,125 @@
+"""NULLs and 3VL (paper Sec. 7): Kleene logic, and excluded middle fails."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT, Leaf, NULL, Node
+from repro.engine import Interpretation, run_query
+from repro.semiring import KRelation, NAT
+from repro.sql.three_valued import (
+    FALSE,
+    TRUE,
+    UNKNOWN,
+    eq3,
+    is_true,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    lt3,
+    neq3,
+    register_three_valued,
+)
+
+
+class TestKleeneLogic:
+    def test_truth_table_and(self):
+        assert kleene_and(TRUE, TRUE) == TRUE
+        assert kleene_and(TRUE, UNKNOWN) == UNKNOWN
+        assert kleene_and(FALSE, UNKNOWN) == FALSE
+
+    def test_truth_table_or(self):
+        assert kleene_or(FALSE, FALSE) == FALSE
+        assert kleene_or(FALSE, UNKNOWN) == UNKNOWN
+        assert kleene_or(TRUE, UNKNOWN) == TRUE
+
+    def test_not(self):
+        assert kleene_not(TRUE) == FALSE
+        assert kleene_not(FALSE) == TRUE
+        assert kleene_not(UNKNOWN) == UNKNOWN    # the 3VL signature
+
+    def test_excluded_middle_fails_propositionally(self):
+        # x OR NOT x is UNKNOWN when x is UNKNOWN — not TRUE.
+        assert kleene_or(UNKNOWN, kleene_not(UNKNOWN)) == UNKNOWN
+
+
+class TestComparisons:
+    def test_null_comparisons_unknown(self):
+        assert eq3(NULL, 5) == UNKNOWN
+        assert eq3(5, NULL) == UNKNOWN
+        assert neq3(NULL, 5) == UNKNOWN
+        assert lt3(NULL, NULL) == UNKNOWN
+
+    def test_strict_comparisons(self):
+        assert eq3(5, 5) == TRUE
+        assert eq3(5, 6) == FALSE
+        assert lt3(1, 2) == TRUE
+
+    def test_where_boundary(self):
+        assert is_true(TRUE)
+        assert not is_true(UNKNOWN)
+        assert not is_true(FALSE)
+
+    def test_null_is_typed_everywhere(self):
+        assert INT.validate(NULL)
+        from repro.core.schema import STRING
+        assert STRING.validate(NULL)
+
+    def test_null_singleton(self):
+        from repro.core.schema import _Null
+        assert _Null() is NULL
+
+
+class TestExcludedMiddleOnQueries:
+    """Paper Sec. 7: ``SELECT * FROM R WHERE a = 5 OR a <> 5`` is NOT
+    ``SELECT * FROM R`` once a may be NULL."""
+
+    SCHEMA = Node(Leaf(INT), Leaf(INT))
+
+    def _interp(self):
+        interp = Interpretation()
+        interp.relations["R"] = KRelation(NAT, {
+            (5, 1): 1,
+            (7, 2): 1,
+            (NULL, 3): 1,     # the row 3VL drops
+        })
+        register_three_valued(interp)
+        return interp
+
+    def _where(self, *preds):
+        a_col = ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT)
+        five = ast.Const(5, INT)
+        table = ast.Table("R", self.SCHEMA)
+        built = [ast.PredFunc(name, (a_col, five)) for name in preds]
+        return ast.Where(table, ast.or_(*built))
+
+    def test_excluded_middle_fails(self):
+        interp = self._interp()
+        tautology_query = self._where("eq3", "neq3")
+        plain = run_query(ast.Table("R", self.SCHEMA), interp)
+        filtered = run_query(tautology_query, interp)
+        # The NULL row satisfies neither disjunct (both UNKNOWN).
+        assert (NULL, 3) in plain
+        assert (NULL, 3) not in filtered
+        assert filtered != plain
+        assert filtered.support() == frozenset({(5, 1), (7, 2)})
+
+    def test_is_null_recovers_the_row(self):
+        interp = self._interp()
+        a_col = ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT)
+        query = ast.Where(ast.Table("R", self.SCHEMA),
+                          ast.PredFunc("is_null", (a_col,)))
+        out = run_query(query, interp)
+        assert out.support() == frozenset({(NULL, 3)})
+
+    def test_two_valued_engine_would_keep_the_row(self):
+        # Contrast: the 2-valued NOT(eq) predicate keeps the NULL row,
+        # which is exactly the bug 3VL semantics exists to avoid.
+        interp = self._interp()
+        a_col = ast.P2E(ast.path(ast.RIGHT, ast.LEFT), INT)
+        five = ast.Const(5, INT)
+        two_valued = ast.Where(
+            ast.Table("R", self.SCHEMA),
+            ast.PredOr(ast.PredEq(a_col, five),
+                       ast.PredNot(ast.PredEq(a_col, five))))
+        out = run_query(two_valued, interp)
+        assert (NULL, 3) in out

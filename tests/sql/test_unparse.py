@@ -1,0 +1,153 @@
+"""Parser/unparser round-trip: parse(unparse(q)) == q, property-checked."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import nast
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+
+# ---------------------------------------------------------------------------
+# Generators for named ASTs (the parseable fragment)
+# ---------------------------------------------------------------------------
+
+idents = st.sampled_from(["a", "b", "c", "price", "qty"])
+tables = st.sampled_from(["R", "S", "Emp", "Orders"])
+aliases = st.sampled_from(["x", "y", "z", "t1"])
+
+columns = st.builds(
+    nast.NColumn,
+    table=st.one_of(st.none(), aliases),
+    column=idents)
+
+literals = st.one_of(
+    st.integers(0, 999).map(nast.NLiteral),
+    st.sampled_from(["foo", "bar baz", ""]).map(nast.NLiteral))
+
+exprs = st.recursive(
+    st.one_of(columns, literals),
+    lambda inner: st.builds(
+        nast.NFuncCall,
+        name=st.sampled_from(["add", "sub", "mod"]),
+        args=st.tuples(inner, inner)),
+    max_leaves=4)
+
+comparisons = st.builds(
+    nast.NComparison,
+    op=st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]),
+    left=exprs, right=exprs)
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(
+            comparisons,
+            st.booleans().map(nast.NBoolLit)))
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return draw(comparisons)
+    if choice == 1:
+        return nast.NAnd(draw(predicates(depth=depth - 1)),
+                         draw(predicates(depth=depth - 1)))
+    if choice == 2:
+        return nast.NOr(draw(predicates(depth=depth - 1)),
+                        draw(predicates(depth=depth - 1)))
+    if choice == 3:
+        return nast.NNot(draw(predicates(depth=depth - 1)))
+    return nast.NExists(draw(selects(depth=0)))
+
+
+@st.composite
+def from_items(draw, depth):
+    if depth > 0 and draw(st.booleans()):
+        return nast.NFromItem(source=draw(selects(depth=depth - 1)),
+                              alias=draw(aliases))
+    name = draw(tables)
+    alias = draw(st.one_of(st.just(name), aliases))
+    return nast.NFromItem(source=name, alias=alias)
+
+
+@st.composite
+def selects(draw, depth=1):
+    n_from = draw(st.integers(1, 2))
+    items_list = []
+    froms = []
+    seen_aliases = set()
+    for _ in range(n_from):
+        item = draw(from_items(depth))
+        if item.alias in seen_aliases:
+            continue
+        seen_aliases.add(item.alias)
+        froms.append(item)
+    if not froms:
+        froms = [nast.NFromItem(source="R", alias="R")]
+    if draw(st.booleans()):
+        for _ in range(draw(st.integers(1, 3))):
+            items_list.append(nast.NSelectItem(
+                expr=draw(exprs),
+                alias=draw(st.one_of(st.none(), idents))))
+    where = draw(st.one_of(st.none(), predicates(depth=min(depth + 1, 2))))
+    return nast.NSelect(
+        distinct=draw(st.booleans()),
+        items=tuple(items_list),
+        from_items=tuple(froms),
+        where=where,
+        group_by=None)
+
+
+@st.composite
+def queries(draw):
+    q = draw(selects(depth=1))
+    for _ in range(draw(st.integers(0, 2))):
+        other = draw(selects(depth=0))
+        if draw(st.booleans()):
+            q = nast.NUnionAll(q, other)
+        else:
+            q = nast.NExcept(q, other)
+    return q
+
+
+# ---------------------------------------------------------------------------
+# Round-trip properties
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=200, deadline=None)
+@given(queries())
+def test_parse_unparse_roundtrip(query):
+    assert parse(unparse(query)) == query
+
+
+@settings(max_examples=100, deadline=None)
+@given(queries())
+def test_unparse_is_stable(query):
+    text = unparse(query)
+    assert unparse(parse(text)) == text
+
+
+class TestExamples:
+    def test_simple(self):
+        q = parse("SELECT a FROM R")
+        assert unparse(q) == "SELECT a FROM R"
+
+    def test_star_and_alias(self):
+        q = parse("SELECT * FROM R AS x, S")
+        assert unparse(q) == "SELECT * FROM R AS x, S"
+
+    def test_where_parens(self):
+        q = parse("SELECT a FROM R WHERE (a = 1 OR b = 2) AND c = 3")
+        round_tripped = parse(unparse(q))
+        assert round_tripped == q
+
+    def test_group_by(self):
+        q = parse("SELECT a, SUM(b) FROM R GROUP BY a")
+        assert parse(unparse(q)) == q
+
+    def test_compound_associativity(self):
+        q = parse("SELECT a FROM R UNION ALL SELECT a FROM S "
+                  "EXCEPT SELECT a FROM T")
+        assert parse(unparse(q)) == q
+
+    def test_nested_compound(self):
+        q = parse("SELECT a FROM R EXCEPT "
+                  "(SELECT a FROM S UNION ALL SELECT a FROM T)")
+        assert parse(unparse(q)) == q

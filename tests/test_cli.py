@@ -1,0 +1,83 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import CLIError, main, parse_table_spec
+from repro.core.schema import INT, STRING
+
+
+class TestTableSpecs:
+    def test_parse_basic(self):
+        name, columns = parse_table_spec("R(a:int,b:string)")
+        assert name == "R"
+        assert columns == [("a", INT), ("b", STRING)]
+
+    def test_whitespace_tolerated(self):
+        name, columns = parse_table_spec(" Emp( eid : int , did : int ) ")
+        assert name == "Emp"
+        assert len(columns) == 2
+
+    @pytest.mark.parametrize("bad", [
+        "R",
+        "R()",
+        "R(a)",
+        "R(a:float)",
+        "(a:int)",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(CLIError):
+            parse_table_spec(bad)
+
+
+class TestCheckCommand:
+    def test_equivalent_pair_exits_zero(self, capsys):
+        code = main([
+            "check", "--table", "R(a:int,b:int)",
+            "SELECT DISTINCT a FROM R",
+            "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a",
+        ])
+        assert code == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_unproved_pair_exits_one(self, capsys):
+        code = main([
+            "check", "--table", "R(a:int,b:int)",
+            "SELECT a FROM R",
+            "SELECT b FROM R",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NOT PROVED" in out
+        assert "incomplete" in out
+
+    def test_bad_table_spec_is_cli_error(self, capsys):
+        code = main(["check", "--table", "R(?)", "SELECT a FROM R",
+                     "SELECT a FROM R"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProveCommands:
+    def test_prove_single_rule(self, capsys):
+        assert main(["prove", "join_comm"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_prove_buggy_rule_rejection_is_success(self, capsys):
+        # For an unsound rule, REJECTED is the expected outcome → exit 0.
+        assert main(["prove", "bad_union_distinct"]) == 0
+        assert "REJECTED" in capsys.readouterr().out
+
+    def test_prove_unknown_rule(self, capsys):
+        assert main(["prove", "no_such_rule"]) == 2
+
+    def test_rules_listing(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "join_comm" in out
+        assert "UNSOUND CONTROL" in out
+
+    def test_prove_all(self, capsys):
+        assert main(["prove-all"]) == 0
+        out = capsys.readouterr().out
+        assert "23/23 core rules verified" in out
+        assert "all rejected" in out

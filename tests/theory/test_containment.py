@@ -1,0 +1,218 @@
+"""Figure 9: containment/equivalence deciders per fragment."""
+
+import random
+
+import pytest
+
+from repro.theory import (
+    Atom,
+    CQ,
+    CQI,
+    UCQ,
+    Undecidable,
+    chain_query,
+    clique_query,
+    cq_bag_contained,
+    cq_bag_equivalent,
+    cq_set_contained,
+    cq_set_equivalent,
+    cq_to_hottsql,
+    cqi_bag_contained,
+    cqi_set_contained,
+    cqi_set_equivalent,
+    cycle_query,
+    find_homomorphism,
+    fo_contained,
+    rename_apart,
+    star_query,
+    ucq_bag_contained,
+    ucq_set_contained,
+    ucq_set_equivalent,
+)
+
+
+class TestHomomorphisms:
+    def test_identity_homomorphism(self):
+        q = chain_query(3)
+        hom = find_homomorphism(q, q)
+        assert hom is not None
+
+    def test_chain_collapse(self):
+        # A long chain maps onto a self-loop.
+        loop = CQ(("x",), (Atom("E", ("x", "x")),))
+        assert find_homomorphism(chain_query(4, head_first=True),
+                                 loop) is not None
+
+    def test_no_homomorphism_into_shorter_chain(self):
+        # With both endpoints in the head, a chain cannot shorten.
+        long = chain_query(3, head_first=False)
+        short = chain_query(2, head_first=False)
+        assert find_homomorphism(long, short) is None
+
+    def test_head_arity_mismatch(self):
+        assert find_homomorphism(chain_query(2, head_first=True),
+                                 chain_query(2, head_first=False)) is None
+
+    def test_constants_must_match(self):
+        q1 = CQ((), (Atom("R", (1,)),))
+        q2 = CQ((), (Atom("R", (2,)),))
+        assert find_homomorphism(q1, q2) is None
+        assert find_homomorphism(q1, q1) is not None
+
+
+class TestSetContainment:
+    def test_self_containment(self):
+        q = star_query(3)
+        assert cq_set_contained(q, q)
+
+    def test_stars_all_collapse(self):
+        # Homomorphisms may merge variables, so every star is equivalent
+        # to the single-edge star — the classic minimization example.
+        assert cq_set_equivalent(star_query(3), star_query(1))
+        assert cq_set_equivalent(star_query(2), star_query(5))
+
+    def test_chain_hierarchy_is_strict(self):
+        # "has a path of length 2 from x0" ⊊ "has an edge from x0".
+        assert cq_set_contained(chain_query(2), chain_query(1))
+        assert not cq_set_contained(chain_query(1), chain_query(2))
+
+    def test_cycles(self):
+        # C3 ⊆ C6 (a hom C6 → C3 exists); C6 ⊄ C3 (no hom C3 → C6).
+        assert cq_set_contained(cycle_query(3), cycle_query(6))
+        assert not cq_set_contained(cycle_query(6), cycle_query(3))
+
+    def test_equivalence_up_to_redundancy(self):
+        # q(x) :- E(x,y) ∧ E(x,z) is equivalent to q(x) :- E(x,y).
+        redundant = CQ(("x",), (Atom("E", ("x", "y")),
+                                Atom("E", ("x", "z"))))
+        minimal = CQ(("x",), (Atom("E", ("x", "y")),))
+        assert cq_set_equivalent(redundant, minimal)
+
+    def test_alpha_invariance(self):
+        q = chain_query(3)
+        assert cq_set_equivalent(q, rename_apart(q, "_r"))
+
+
+class TestBagEquivalence:
+    def test_isomorphic_queries(self):
+        q = chain_query(3)
+        assert cq_bag_equivalent(q, rename_apart(q, "_r"))
+
+    def test_redundancy_matters_for_bags(self):
+        # The set-equivalent pair above is NOT bag-equivalent.
+        redundant = CQ(("x",), (Atom("E", ("x", "y")),
+                                Atom("E", ("x", "z"))))
+        minimal = CQ(("x",), (Atom("E", ("x", "y")),))
+        assert cq_set_equivalent(redundant, minimal)
+        assert not cq_bag_equivalent(redundant, minimal)
+
+    def test_variable_bijectivity_enforced(self):
+        # E(x,y) ∧ E(y,x) vs E(x,y) ∧ E(x,y): same atom count, not iso.
+        q1 = CQ((), (Atom("E", ("x", "y")), Atom("E", ("y", "x"))))
+        q2 = CQ((), (Atom("E", ("x", "y")), Atom("E", ("u", "v"))))
+        assert not cq_bag_equivalent(q1, q2)
+
+    def test_head_respected(self):
+        q1 = CQ(("x",), (Atom("E", ("x", "y")),))
+        q2 = CQ(("y",), (Atom("E", ("x", "y")),))
+        assert not cq_bag_equivalent(q1, q2)
+
+
+class TestUCQ:
+    def test_disjunct_absorption(self):
+        # chain2 ⊆ chain1, so chain1 ∪ chain2 ≡ chain1.
+        u1 = UCQ((chain_query(1), chain_query(2)))
+        u2 = UCQ((chain_query(1),))
+        assert ucq_set_equivalent(u1, u2)
+
+    def test_strict_union(self):
+        # chain1 ⊄ chain2, so adding the chain1 disjunct strictly grows
+        # the union.
+        u_big = UCQ((chain_query(2), chain_query(1)))
+        u_small = UCQ((chain_query(2),))
+        assert ucq_set_contained(u_small, u_big)
+        assert not ucq_set_contained(u_big, u_small)
+
+
+class TestCQI:
+    X_LT_Y = CQI(CQ(("x",), (Atom("R", ("x", "y")),)), (("x", "y"),))
+    UNCONSTRAINED = CQI(CQ(("x",), (Atom("R", ("x", "y")),)), ())
+
+    def test_adding_comparison_shrinks(self):
+        assert cqi_set_contained(self.X_LT_Y, self.UNCONSTRAINED)
+        assert not cqi_set_contained(self.UNCONSTRAINED, self.X_LT_Y)
+
+    def test_self_equivalence(self):
+        assert cqi_set_equivalent(self.X_LT_Y, self.X_LT_Y)
+
+    def test_transitivity_of_order(self):
+        # x<y ∧ y<z implies x<z: the query with the redundant comparison
+        # is equivalent to the one without.
+        base = CQ(("x",), (Atom("R", ("x", "y")), Atom("R", ("y", "z"))))
+        with_redundant = CQI(base, (("x", "y"), ("y", "z"), ("x", "z")))
+        without = CQI(base, (("x", "y"), ("y", "z")))
+        assert cqi_set_equivalent(with_redundant, without)
+
+    def test_incompatible_orders_not_contained(self):
+        lt = CQI(CQ(("x",), (Atom("R", ("x", "y")),)), (("x", "y"),))
+        gt = CQI(CQ(("x",), (Atom("R", ("x", "y")),)), (("y", "x"),))
+        assert not cqi_set_contained(lt, gt)
+
+
+class TestUndecidableCells:
+    def test_bag_containment_cq_open(self):
+        with pytest.raises(Undecidable):
+            cq_bag_contained(chain_query(1), chain_query(2))
+
+    def test_bag_containment_ucq_undecidable(self):
+        with pytest.raises(Undecidable):
+            ucq_bag_contained(UCQ((chain_query(1),)),
+                              UCQ((chain_query(2),)))
+
+    def test_bag_containment_cqi_undecidable(self):
+        with pytest.raises(Undecidable):
+            cqi_bag_contained(self_cqi(), self_cqi())
+
+    def test_fo_undecidable(self):
+        with pytest.raises(Undecidable):
+            fo_contained(None, None)
+
+
+def self_cqi():
+    return CQI(CQ(("x",), (Atom("R", ("x", "y")),)), ())
+
+
+class TestBridgeToHoTTSQL:
+    """Cross-validation: the paper's Sec. 5.2 procedure agrees with the
+    classical Chandra–Merlin criterion on random CQ pairs."""
+
+    ARITIES = {"E": 2, "R": 2}
+
+    def _random_cq(self, rng, n_atoms, n_vars):
+        variables = [f"v{i}" for i in range(n_vars)]
+        atoms = tuple(
+            Atom("E", (rng.choice(variables), rng.choice(variables)))
+            for _ in range(n_atoms))
+        used = sorted({a for atom in atoms for a in atom.args})
+        head = (used[0],)
+        return CQ(head, atoms)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_agreement_with_chandra_merlin(self, seed):
+        from repro.core.conjunctive import decide_cq
+        rng = random.Random(seed)
+        q1 = self._random_cq(rng, rng.randint(1, 3), rng.randint(1, 3))
+        q2 = self._random_cq(rng, rng.randint(1, 3), rng.randint(1, 3))
+        classical = cq_set_equivalent(q1, q2)
+        hott = decide_cq(cq_to_hottsql(q1, self.ARITIES),
+                         cq_to_hottsql(q2, self.ARITIES),
+                         require_fragment=False)
+        assert hott.equivalent == classical, f"{q1}  vs  {q2}"
+
+    def test_alpha_variant_bridge(self):
+        from repro.core.conjunctive import decide_cq
+        q = chain_query(2)
+        d = decide_cq(cq_to_hottsql(q, self.ARITIES),
+                      cq_to_hottsql(rename_apart(q, "_b"), self.ARITIES),
+                      require_fragment=False)
+        assert d.equivalent

@@ -1,0 +1,80 @@
+"""The CQ family generators behind the Figure 9 scaling study."""
+
+from repro.theory import (
+    Atom,
+    CQ,
+    chain_query,
+    clique_query,
+    cq_set_contained,
+    cq_set_equivalent,
+    cycle_query,
+    rename_apart,
+    star_query,
+)
+
+
+class TestChainQueries:
+    def test_structure(self):
+        q = chain_query(3)
+        assert len(q.body) == 3
+        assert q.head == ("x0",)
+        q.validate()
+
+    def test_both_endpoint_head(self):
+        q = chain_query(2, head_first=False)
+        assert q.head == ("x0", "x2")
+        q.validate()
+
+
+class TestCycleQueries:
+    def test_structure(self):
+        q = cycle_query(4)
+        assert len(q.body) == 4
+        assert q.head == ()
+        # closes back to x0
+        assert q.body[-1].args == ("x3", "x0")
+
+    def test_divisibility_law(self):
+        # C_a ⊆ C_b iff a | b for directed cycles.
+        assert cq_set_contained(cycle_query(3), cycle_query(9))
+        assert cq_set_contained(cycle_query(2), cycle_query(8))
+        assert not cq_set_contained(cycle_query(3), cycle_query(8))
+        assert not cq_set_contained(cycle_query(4), cycle_query(6))
+
+
+class TestStarAndClique:
+    def test_star_structure(self):
+        q = star_query(3)
+        assert len(q.body) == 3
+        assert all(atom.args[0] == "c" for atom in q.body)
+
+    def test_clique_structure(self):
+        q = clique_query(3)
+        assert len(q.body) == 6      # ordered pairs, no loops
+
+    def test_clique_hierarchy(self):
+        # A k-clique query is contained in the (k-1)-clique query (more
+        # atoms → more constraints), strictly for directed cliques with a
+        # self-loop-free canonical db... the containment direction:
+        # hom from clique(2) into clique(3)'s canonical db exists.
+        assert cq_set_contained(clique_query(3), clique_query(2))
+
+    def test_clique_equivalence_to_edge_fails(self):
+        # clique(3) requires a directed triangle; a single 2-clique
+        # (edge pair) has none.
+        assert not cq_set_equivalent(clique_query(3), clique_query(2))
+
+
+class TestRenameApart:
+    def test_alpha_variant(self):
+        q = chain_query(3)
+        r = rename_apart(q, "_z")
+        assert r != q
+        assert cq_set_equivalent(q, r)
+        assert {a for atom in r.body for a in atom.args} == \
+            {f"x{i}_z" for i in range(4)}
+
+    def test_constants_untouched(self):
+        q = CQ((), (Atom("R", ("x", 1)),))    # q() :- R(x, 1)
+        r = rename_apart(q, "_z")
+        assert r.body[0].args == ("x_z", 1)

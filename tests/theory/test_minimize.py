@@ -1,0 +1,134 @@
+"""CQ minimization and empirical validation of the containment deciders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.theory import (
+    Atom,
+    CQ,
+    chain_query,
+    cq_set_contained,
+    cq_set_equivalent,
+    star_query,
+)
+from repro.theory.minimize import (
+    canonical_instance,
+    contained_via_canonical,
+    evaluate_cq,
+    is_minimal,
+    minimize,
+)
+
+
+class TestMinimization:
+    def test_redundant_self_join_minimizes(self):
+        # The paper's Q3 shape: q(x) :- E(x,y) ∧ E(x,z) minimizes to one
+        # atom.
+        redundant = CQ(("x",), (Atom("E", ("x", "y")),
+                                Atom("E", ("x", "z"))))
+        core = minimize(redundant)
+        assert len(core.body) == 1
+        assert cq_set_equivalent(core, redundant)
+
+    def test_stars_minimize_to_single_edge(self):
+        core = minimize(star_query(4))
+        assert len(core.body) == 1
+
+    def test_chains_are_minimal(self):
+        # With only the start in the head, chain_n minimizes only down to
+        # the path that still witnesses reachability — a directed path is
+        # its own core.
+        q = chain_query(3)
+        assert is_minimal(q)
+        assert minimize(q) == q
+
+    def test_minimization_preserves_equivalence(self):
+        q = CQ(("x",), (Atom("E", ("x", "y")), Atom("E", ("y", "z")),
+                        Atom("E", ("x", "w"))))
+        core = minimize(q)
+        assert cq_set_equivalent(q, core)
+        assert is_minimal(core)
+
+    def test_head_safety_respected(self):
+        # Both head variables must survive minimization.
+        q = CQ(("x", "y"), (Atom("E", ("x", "y")), Atom("E", ("x", "z"))))
+        core = minimize(q)
+        assert {"x", "y"} <= core.variables()
+        assert cq_set_equivalent(q, core)
+
+
+class TestEvaluation:
+    TRIANGLE = {"E": {(0, 1), (1, 2), (2, 0)}}
+
+    def test_edge_query(self):
+        q = CQ(("a", "b"), (Atom("E", ("a", "b")),))
+        assert evaluate_cq(q, self.TRIANGLE) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_path_query(self):
+        q = CQ(("a", "c"), (Atom("E", ("a", "b")), Atom("E", ("b", "c"))))
+        assert evaluate_cq(q, self.TRIANGLE) == {(0, 2), (1, 0), (2, 1)}
+
+    def test_boolean_cycle_query(self):
+        from repro.theory import cycle_query
+        assert evaluate_cq(cycle_query(3), self.TRIANGLE) == {()}
+        assert evaluate_cq(cycle_query(4), self.TRIANGLE) == set()
+
+    def test_constants(self):
+        q = CQ(("b",), (Atom("E", (0, "b")),))
+        assert evaluate_cq(q, self.TRIANGLE) == {(1,)}
+
+
+class TestCanonicalCriterion:
+    def test_agrees_with_homomorphism_on_families(self):
+        pairs = [
+            (chain_query(2), chain_query(1)),
+            (chain_query(1), chain_query(2)),
+            (star_query(2), star_query(3)),
+            (chain_query(3), chain_query(3)),
+        ]
+        for q1, q2 in pairs:
+            assert contained_via_canonical(q1, q2) == \
+                cq_set_contained(q1, q2), (str(q1), str(q2))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_agreement_on_random_cqs(self, seed):
+        rng = random.Random(seed)
+
+        def random_cq():
+            variables = [f"v{i}" for i in range(rng.randint(1, 3))]
+            atoms = tuple(
+                Atom("E", (rng.choice(variables), rng.choice(variables)))
+                for _ in range(rng.randint(1, 3)))
+            used = sorted({a for atom in atoms for a in atom.args})
+            return CQ((used[0],), atoms)
+
+        q1, q2 = random_cq(), random_cq()
+        assert contained_via_canonical(q1, q2) == cq_set_contained(q1, q2)
+
+
+class TestContainmentSoundnessOnInstances:
+    """If the decider claims Q1 ⊆ Q2, then Q1(D) ⊆ Q2(D) on random D."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_containment_respected_on_random_instances(self, seed):
+        rng = random.Random(seed)
+
+        def random_cq():
+            variables = [f"v{i}" for i in range(rng.randint(1, 3))]
+            atoms = tuple(
+                Atom("E", (rng.choice(variables), rng.choice(variables)))
+                for _ in range(rng.randint(1, 3)))
+            used = sorted({a for atom in atoms for a in atom.args})
+            return CQ((used[0],), atoms)
+
+        q1, q2 = random_cq(), random_cq()
+        if not cq_set_contained(q1, q2):
+            return
+        for _ in range(10):
+            edges = {(rng.randrange(4), rng.randrange(4))
+                     for _ in range(rng.randint(0, 6))}
+            instance = {"E": edges}
+            assert evaluate_cq(q1, instance) <= evaluate_cq(q2, instance)
