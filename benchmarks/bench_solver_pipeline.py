@@ -1,0 +1,119 @@
+"""Solver pipeline — cache hit-rate and batch throughput vs one-shot.
+
+The seed's only entry point was a one-shot, cache-less
+``check_query_equivalence`` call.  This benchmark measures what the
+verification-service layer buys on the full rule corpus (23 sound + 5
+unsound rules):
+
+* **sequential one-shot** — the seed's path: denote + normalize + prove,
+  every call from scratch,
+* **batch, cold cache** — the tiered pipeline through the batch service
+  (dedup + pipeline stages; buggy rules additionally get a
+  bounded-exhaustive counterexample, which one-shot cannot produce),
+* **batch, warm cache** — the same batch again: every answer is a
+  content-addressed cache hit.
+
+The acceptance bar (ISSUE 1) is warm-batch ≥ 2× faster than sequential
+one-shot; the cache typically clears it by two orders of magnitude.
+"""
+
+import time
+
+from repro.core.equivalence import check_query_equivalence
+from repro.core.schema import INT
+from repro.rules import all_buggy_rules, all_rules
+from repro.solver import Job, Status, VerificationService
+from repro.sql import Catalog, compile_sql
+
+
+def _corpus():
+    return list(all_rules()) + list(all_buggy_rules())
+
+
+def _sequential_one_shot(rules):
+    """The seed's path: a bare prover call per rule, no cache, no tiers."""
+    outcomes = {}
+    for rule in rules:
+        result = check_query_equivalence(rule.lhs, rule.rhs,
+                                         rule.ctx_schema, rule.hypotheses)
+        outcomes[rule.name] = result.equal
+    return outcomes
+
+
+def test_solver_pipeline_report(report):
+    rules = _corpus()
+
+    started = time.perf_counter()
+    one_shot = _sequential_one_shot(rules)
+    sequential_s = time.perf_counter() - started
+
+    service = VerificationService()
+    started = time.perf_counter()
+    cold = service.check_rules(rules, workers=1)
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = service.check_rules(rules, workers=1)
+    warm_s = time.perf_counter() - started
+
+    # A duplicate-heavy SQL batch: the shape a rewriting optimizer
+    # produces (the same few questions over and over).
+    catalog = Catalog()
+    catalog.add_table("R", [("a", INT), ("b", INT)])
+    pairs = [
+        ("SELECT a FROM R", "SELECT a FROM R"),
+        ("SELECT DISTINCT a FROM R",
+         "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a"),
+        ("SELECT a FROM R", "SELECT b FROM R"),
+    ]
+    jobs = [Job(f"j{i}",
+                compile_sql(pairs[i % 3][0], catalog).query,
+                compile_sql(pairs[i % 3][1], catalog).query)
+            for i in range(60)]
+    started = time.perf_counter()
+    batch = service.check_batch(jobs, workers=1)
+    batch_s = time.perf_counter() - started
+
+    report.add("Solver pipeline — batch throughput vs one-shot")
+    report.add("=" * 72)
+    report.add(f"{'configuration':<38}{'wall':>10}{'per check':>12}"
+               f"{'speedup':>10}")
+    report.add("-" * 72)
+    n = len(rules)
+
+    def row(label, seconds):
+        speedup = sequential_s / seconds if seconds > 0 else float("inf")
+        report.add(f"{label:<38}{seconds * 1e3:>8.1f}ms"
+                   f"{seconds / n * 1e3:>10.2f}ms{speedup:>9.1f}x")
+
+    row("sequential one-shot (seed path)", sequential_s)
+    row("batch service, cold cache", cold_s)
+    row("batch service, warm cache", warm_s)
+    report.add("")
+    report.add(f"rule corpus: {n} rules — "
+               f"{warm.count(Status.PROVED)} proved, "
+               f"{warm.count(Status.DISPROVED)} disproved "
+               f"(each with a concrete counterexample)")
+    report.add(f"cold batch:  {cold.computed} computed, "
+               f"{cold.cache_hits} cache hits")
+    report.add(f"warm batch:  {warm.computed} computed, "
+               f"{warm.cache_hits} cache hits "
+               f"(hit rate {service.cache.hit_rate:.0%} cumulative)")
+    report.add("")
+    report.add(f"duplicate-heavy SQL batch: {batch.total_jobs} jobs → "
+               f"{batch.unique_questions} unique questions "
+               f"({batch.duplicate_jobs} deduplicated) "
+               f"in {batch_s * 1e3:.1f}ms")
+    report.emit("bench_solver_pipeline")
+
+    # -- the ISSUE's acceptance criteria, enforced -------------------------
+    assert all(one_shot[rule.name] == rule.sound for rule in rules
+               if rule.name in one_shot)
+    assert warm.count(Status.PROVED) == 23
+    assert warm.count(Status.DISPROVED) == 5
+    assert warm.cache_hits == len(rules)
+    # warm batch ≥ 2× faster than the seed's sequential one-shot path.
+    assert warm_s * 2 <= sequential_s, \
+        f"warm batch {warm_s:.4f}s not 2x faster than {sequential_s:.4f}s"
+    # dedup must collapse the duplicate-heavy batch.
+    assert batch.unique_questions == 3

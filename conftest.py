@@ -1,0 +1,24 @@
+"""Repo-wide pytest configuration.
+
+Tests marked ``@pytest.mark.slow`` (bounded-exhaustive disprover stress
+runs) are skipped by default; opt in with ``--runslow`` or select them
+explicitly with ``-m slow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--runslow", action="store_true", default=False,
+                     help="run tests marked slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    if config.getoption("-m"):
+        return  # an explicit marker expression overrides the default skip
+    skip_slow = pytest.mark.skip(reason="slow: opt in with --runslow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

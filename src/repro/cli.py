@@ -2,10 +2,16 @@
 
 Usage (``python -m repro <command>``):
 
-* ``check --table 'R(a:int,b:int)' SQL1 SQL2`` — decide equivalence of two
-  SQL queries against the declared schema,
-* ``prove RULE`` — run one library rule's proof (by name),
-* ``prove-all`` — prove the whole Figure 8 corpus and print the table,
+* ``check --table 'R(a:int,b:int)' SQL1 SQL2`` — run the tiered decision
+  pipeline on two SQL queries: PROVED / DISPROVED (with a replayable
+  counterexample) / UNKNOWN (with a "no counterexample up to bound"
+  guarantee),
+* ``batch-check JOBS.json`` — verify a whole batch of query pairs through
+  the caching, multiprocessing verification service,
+* ``disprove RULE | SQL1 SQL2`` — bounded-exhaustive counterexample
+  search only,
+* ``prove RULE`` — run one library rule through the pipeline (by name),
+* ``prove-all`` — verify the Figure 8 corpus through the batch service,
 * ``rules`` — list every rule with category and status metadata.
 
 The CLI is a thin veneer over the library; each command returns a process
@@ -15,12 +21,12 @@ exit code (0 = equivalent/verified) so it can script into CI pipelines.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from typing import List, Optional, Sequence
 
-from .core.equivalence import check_query_equivalence
-from .core.schema import BOOL, INT, STRING, SQLType
+from .core.schema import BOOL, FLOAT, INT, STRING
 from .rules import (
     CATEGORY_ORDER,
     all_buggy_rules,
@@ -29,9 +35,20 @@ from .rules import (
     get_rule,
     rules_by_category,
 )
+from .solver import (
+    Bound,
+    Job,
+    Pipeline,
+    PipelineConfig,
+    Status,
+    VerificationService,
+    disprove,
+    disprove_rule,
+)
 from .sql import Catalog, compile_sql
+from .sql.resolve import ResolutionError
 
-_TYPES = {"int": INT, "bool": BOOL, "string": STRING}
+_TYPES = {"int": INT, "bool": BOOL, "string": STRING, "float": FLOAT}
 
 _TABLE_RE = re.compile(r"^(\w+)\((.*)\)$")
 
@@ -48,6 +65,7 @@ def parse_table_spec(spec: str) -> tuple:
                        f"(expected NAME(col:type,...))")
     name, cols_text = match.groups()
     columns = []
+    seen = set()
     for part in cols_text.split(","):
         part = part.strip()
         if not part:
@@ -56,7 +74,11 @@ def parse_table_spec(spec: str) -> tuple:
             raise CLIError(f"malformed column {part!r} in {spec!r}")
         col, ty = (x.strip() for x in part.split(":", 1))
         if ty not in _TYPES:
-            raise CLIError(f"unknown type {ty!r} (use int/bool/string)")
+            raise CLIError(f"unknown type {ty!r} "
+                           f"(use int/bool/string/float)")
+        if col in seen:
+            raise CLIError(f"duplicate column {col!r} in table {name!r}")
+        seen.add(col)
         columns.append((col, _TYPES[ty]))
     if not columns:
         raise CLIError(f"table {name!r} needs at least one column")
@@ -67,21 +89,134 @@ def _build_catalog(table_specs: Sequence[str]) -> Catalog:
     catalog = Catalog()
     for spec in table_specs:
         name, columns = parse_table_spec(spec)
-        catalog.add_table(name, columns)
+        try:
+            catalog.add_table(name, columns)
+        except ResolutionError as exc:
+            raise CLIError(str(exc)) from exc
     return catalog
 
 
+def _compile(sql: str, catalog: Catalog):
+    try:
+        return compile_sql(sql, catalog)
+    except Exception as exc:  # parse/resolve errors become CLI errors
+        raise CLIError(f"cannot compile {sql!r}: {exc}") from exc
+
+
+def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
+    bound = Bound.of(max_rows=getattr(args, "max_rows", 2),
+                     max_multiplicity=getattr(args, "max_mult", 2))
+    config = PipelineConfig(disprover_bound=bound)
+    return Pipeline(config, cache_path=getattr(args, "cache", None))
+
+
+def _render_verdict(verdict) -> str:
+    words = {
+        Status.PROVED: "PROVED — queries are EQUIVALENT",
+        Status.DISPROVED: "DISPROVED — queries are NOT equivalent",
+        Status.UNKNOWN: "UNKNOWN — not proved, no counterexample found",
+    }
+    lines = [f"{words[verdict.status]}  (stage: {verdict.stage}"
+             f"{', cached' if verdict.cached else ''}, "
+             f"{verdict.engine_steps} engine steps, "
+             f"{verdict.total_seconds * 1e3:.1f} ms)"]
+    if verdict.detail:
+        lines.append(verdict.detail)
+    if verdict.counterexample is not None:
+        lines.append(verdict.counterexample.describe())
+    if verdict.status is Status.UNKNOWN:
+        if verdict.bound is not None and verdict.bound.exhausted:
+            lines.append("no counterexample up to bound "
+                         + verdict.bound.describe())
+        lines.append("note: the prover is sound but incomplete; "
+                     "UNKNOWN is not a disproof")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
 def cmd_check(args: argparse.Namespace) -> int:
     catalog = _build_catalog(args.table or [])
-    lhs = compile_sql(args.sql1, catalog)
-    rhs = compile_sql(args.sql2, catalog)
-    result = check_query_equivalence(lhs.query, rhs.query)
-    verdict = "EQUIVALENT" if result.equal else "NOT PROVED"
-    print(f"{verdict}  ({result.stats.total_steps} engine steps)")
-    if not result.equal:
-        print("note: the prover is sound but incomplete; "
-              "'NOT PROVED' is not a disproof")
-    return 0 if result.equal else 1
+    lhs = _compile(args.sql1, catalog)
+    rhs = _compile(args.sql2, catalog)
+    pipeline = _pipeline_from_args(args)
+    try:
+        verdict = pipeline.check(lhs.query, rhs.query)
+    except ValueError as exc:
+        # e.g. the two queries have different output schemas
+        raise CLIError(str(exc)) from exc
+    print(_render_verdict(verdict))
+    if args.cache:
+        pipeline.cache.save()
+    return 0 if verdict.proved else 1
+
+
+def cmd_batch_check(args: argparse.Namespace) -> int:
+    try:
+        with open(args.jobs, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CLIError(f"cannot read jobs file {args.jobs!r}: {exc}") from exc
+    if not isinstance(spec, dict) or "pairs" not in spec:
+        raise CLIError('jobs file must be {"tables": [...], "pairs": '
+                       '[[SQL1, SQL2], ...]}')
+    catalog = _build_catalog(spec.get("tables", []))
+    jobs = []
+    for i, pair in enumerate(spec["pairs"]):
+        if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
+            raise CLIError(f"pair #{i} is not a [SQL1, SQL2] list")
+        q1 = _compile(pair[0], catalog).query
+        q2 = _compile(pair[1], catalog).query
+        jobs.append(Job(job_id=f"job{i}", q1=q1, q2=q2))
+    service = VerificationService(pipeline=_pipeline_from_args(args))
+    try:
+        report = service.check_batch(jobs, workers=args.workers)
+    except ValueError as exc:
+        # e.g. a pair whose two queries have different output schemas
+        raise CLIError(f"batch failed: {exc}") from exc
+    for i, pair in enumerate(spec["pairs"]):
+        verdict = report.verdicts[f"job{i}"]
+        flags = "cached" if verdict.cached else f"stage={verdict.stage}"
+        print(f"{verdict.status.value:10s} [{flags}] {pair[0]}  ≟  {pair[1]}")
+    print(report.summary())
+    if args.cache:
+        service.save_cache()
+    return 0 if all(v.proved for v in report.verdicts.values()) else 1
+
+
+def cmd_disprove(args: argparse.Namespace) -> int:
+    bound = Bound.of(max_rows=args.max_rows, max_multiplicity=args.max_mult)
+    if len(args.target) == 1:
+        try:
+            rule = get_rule(args.target[0])
+        except KeyError as exc:
+            raise CLIError(str(exc)) from exc
+        result = disprove_rule(rule, bound=bound)
+        label = f"rule {rule.name!r}"
+    elif len(args.target) == 2:
+        catalog = _build_catalog(args.table or [])
+        q1 = _compile(args.target[0], catalog).query
+        q2 = _compile(args.target[1], catalog).query
+        result = disprove(q1, q2, bound=bound)
+        label = "query pair"
+    else:
+        raise CLIError("disprove takes a rule name or exactly two SQL "
+                       "queries")
+    if result.found:
+        print(f"DISPROVED {label} "
+              f"(instance #{result.instances_checked})")
+        if result.record is not None:
+            print(result.record.describe())
+        else:
+            print(result.counterexample.describe())
+        return 0
+    coverage = "exhausted" if result.exhausted else "budget hit"
+    print(f"NO COUNTEREXAMPLE for {label} up to "
+          f"{bound.max_rows} rows × {bound.max_multiplicity} multiplicity "
+          f"({result.instances_checked} instances, {coverage})")
+    return 1
 
 
 def cmd_prove(args: argparse.Namespace) -> int:
@@ -89,33 +224,47 @@ def cmd_prove(args: argparse.Namespace) -> int:
         rule = get_rule(args.rule)
     except KeyError as exc:
         raise CLIError(str(exc)) from exc
-    proof = rule.prove()
-    status = "VERIFIED" if proof.verified else "REJECTED"
+    pipeline = _pipeline_from_args(args)
+    verdict = pipeline.check_rule(rule)
+    status = "VERIFIED" if verdict.proved else "REJECTED"
     print(f"{rule.name} [{rule.category}]: {status} "
-          f"({proof.engine_steps} steps, "
-          f"{proof.elapsed_seconds * 1e3:.1f} ms)")
+          f"(stage: {verdict.stage}, {verdict.engine_steps} steps, "
+          f"{verdict.total_seconds * 1e3:.1f} ms)")
     print(f"  {rule.description}")
-    expected = rule.sound
-    return 0 if proof.verified == expected else 1
+    if verdict.counterexample is not None:
+        print(verdict.counterexample.describe())
+    if args.cache:
+        pipeline.cache.save()
+    return 0 if verdict.proved == rule.sound else 1
 
 
 def cmd_prove_all(args: argparse.Namespace) -> int:
+    service = VerificationService(pipeline=_pipeline_from_args(args))
+    by_category = rules_by_category()
+    ordered = [rule for category in CATEGORY_ORDER
+               for rule in by_category[category]]
+    buggy = list(all_buggy_rules())
+    report = service.check_rules(ordered + buggy, workers=args.workers)
     failures = 0
-    for category in CATEGORY_ORDER:
-        for rule in rules_by_category()[category]:
-            proof = rule.prove()
-            status = "VERIFIED" if proof.verified else "FAILED"
-            print(f"{status:9s} {category:12s} {rule.name:30s} "
-                  f"{proof.engine_steps:5d} steps")
-            failures += not proof.verified
-    for rule in all_buggy_rules():
-        proof = rule.prove()
-        status = "REJECTED" if not proof.verified else "ACCEPTED?!"
-        print(f"{status:9s} {'buggy':12s} {rule.name:30s}")
-        failures += proof.verified
+    for rule in ordered:
+        verdict = report.verdicts[rule.name]
+        status = "VERIFIED" if verdict.proved else "FAILED"
+        print(f"{status:9s} {rule.category:12s} {rule.name:30s} "
+              f"{verdict.engine_steps:5d} steps  [{verdict.stage}]")
+        failures += not verdict.proved
+    for rule in buggy:
+        verdict = report.verdicts[rule.name]
+        status = "REJECTED" if not verdict.proved else "ACCEPTED?!"
+        marker = ("counterexample found" if verdict.disproved
+                  else verdict.status.value)
+        print(f"{status:9s} {'buggy':12s} {rule.name:30s} [{marker}]")
+        failures += verdict.proved
     print(f"\n{23 - failures if failures <= 23 else 0}/23 core rules "
           f"verified; unsound rules "
           f"{'all rejected' if failures == 0 else 'NOT all rejected'}")
+    print(report.summary())
+    if args.cache:
+        service.save_cache()
     return 0 if failures == 0 else 1
 
 
@@ -129,6 +278,25 @@ def cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def _add_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", metavar="FILE", default=None,
+                        help="persist the proof cache to this JSON file "
+                             "(loaded when it exists)")
+
+
+def _add_bound_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-rows", type=int, default=2, metavar="K",
+                        help="disprover bound: max rows per table "
+                             "(default 2)")
+    parser.add_argument("--max-mult", type=int, default=2, metavar="M",
+                        help="disprover bound: max multiplicity per row "
+                             "(default 2)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,20 +304,48 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="decide equivalence of two "
-                                         "SQL queries")
+                                         "SQL queries (tiered pipeline)")
     check.add_argument("--table", action="append", metavar="SPEC",
                        help="table declaration, e.g. 'R(a:int,b:int)' "
                             "(repeatable)")
     check.add_argument("sql1")
     check.add_argument("sql2")
+    _add_cache_option(check)
+    _add_bound_options(check)
     check.set_defaults(fn=cmd_check)
+
+    batch = sub.add_parser("batch-check",
+                           help="verify a JSON batch of query pairs "
+                                "through the parallel service")
+    batch.add_argument("jobs", help='JSON file: {"tables": [...], '
+                                    '"pairs": [[SQL1, SQL2], ...]}')
+    batch.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: auto)")
+    _add_cache_option(batch)
+    _add_bound_options(batch)
+    batch.set_defaults(fn=cmd_batch_check)
+
+    disprove_p = sub.add_parser(
+        "disprove", help="bounded-exhaustive counterexample search "
+                         "for a rule or a SQL pair")
+    disprove_p.add_argument("target", nargs="+",
+                            help="a rule name, or two SQL queries")
+    disprove_p.add_argument("--table", action="append", metavar="SPEC",
+                            help="table declaration (SQL mode)")
+    _add_bound_options(disprove_p)
+    disprove_p.set_defaults(fn=cmd_disprove)
 
     prove = sub.add_parser("prove", help="prove one library rule by name")
     prove.add_argument("rule")
+    _add_cache_option(prove)
     prove.set_defaults(fn=cmd_prove)
 
     prove_all = sub.add_parser("prove-all",
-                               help="prove the Figure 8 corpus")
+                               help="verify the Figure 8 corpus through "
+                                    "the batch service")
+    prove_all.add_argument("--workers", type=int, default=1,
+                           help="worker processes (default 1)")
+    _add_cache_option(prove_all)
     prove_all.set_defaults(fn=cmd_prove_all)
 
     rules = sub.add_parser("rules", help="list the rule library")

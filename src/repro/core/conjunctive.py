@@ -132,13 +132,17 @@ class CQDecision:
 def decide_cq(q1: ast.Query, q2: ast.Query,
               ctx_schema: Schema = EMPTY,
               hyps: Hypotheses = NO_HYPOTHESES,
-              require_fragment: bool = True) -> CQDecision:
+              require_fragment: bool = True,
+              normals: Optional[tuple] = None) -> CQDecision:
     """Decide set-semantics equivalence of two conjunctive queries.
 
     The procedure is *complete* on the CQ fragment: it answers
     ``equivalent=True`` iff the queries are equivalent on all instances.
     With ``require_fragment=False`` the same search runs on arbitrary
-    queries, where a positive answer is still sound.
+    queries, where a positive answer is still sound.  Callers that have
+    already denoted and normalized the pair (the verification pipeline)
+    may pass the two aligned normal forms as ``normals`` to skip that
+    work.
 
     Raises:
         NotConjunctive: if ``require_fragment`` and either query is not a CQ.
@@ -147,11 +151,14 @@ def decide_cq(q1: ast.Query, q2: ast.Query,
         for q in (q1, q2):
             if not is_conjunctive_query(q):
                 raise NotConjunctive(f"not a conjunctive query: {q!r}")
-    d1 = denote_closed(q1, ctx_schema)
-    d2 = denote_closed(q2, ctx_schema)
-    lhs, rhs = align_denotations(d1, d2)
-    n1 = normalize(lhs)
-    n2 = normalize(rhs)
+    if normals is not None:
+        n1, n2 = normals
+    else:
+        d1 = denote_closed(q1, ctx_schema)
+        d2 = denote_closed(q2, ctx_schema)
+        lhs, rhs = align_denotations(d1, d2)
+        n1 = normalize(lhs)
+        n2 = normalize(rhs)
     e1 = _squash_content(n1)
     e2 = _squash_content(n2)
     if e1 is None or e2 is None:

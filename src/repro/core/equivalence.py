@@ -119,12 +119,31 @@ NO_HYPOTHESES = Hypotheses()
 # Instrumentation — the proof-effort metric behind Figure 8
 # ---------------------------------------------------------------------------
 
+class StepBudgetExceeded(Exception):
+    """The engine consumed more reasoning steps than its caller allowed.
+
+    Raised from inside the search when :attr:`ProofStats.max_steps` is set;
+    callers that impose a budget (the tiered verification pipeline) catch
+    it and treat the check as inconclusive rather than letting the
+    undecidable search run away.
+    """
+
+
+#: ProofStats fields that count toward ``total_steps``.
+_STEP_COUNTERS = frozenset({
+    "cc_builds", "hom_searches", "absorptions", "product_matches",
+    "agg_comparisons",
+})
+
+
 @dataclass
 class ProofStats:
     """Counters for the engine's reasoning steps.
 
     ``total_steps`` is the effort metric reported by the Figure 8
     benchmark; it plays the role of the paper's "lines of Coq proof".
+    ``max_steps``, when set, turns the stats object into a budget: the
+    increment that crosses the limit raises :class:`StepBudgetExceeded`.
     """
 
     cc_builds: int = 0
@@ -133,11 +152,22 @@ class ProofStats:
     product_matches: int = 0
     agg_comparisons: int = 0
     trace: List[str] = field(default_factory=list)
+    max_steps: Optional[int] = None
 
     @property
     def total_steps(self) -> int:
         return (self.cc_builds + self.hom_searches + self.absorptions
                 + self.product_matches + self.agg_comparisons)
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        # The max_steps guard only engages once __init__ has populated every
+        # counter (getattr returns None for a half-initialized instance).
+        if name in _STEP_COUNTERS \
+                and getattr(self, "max_steps", None) is not None \
+                and self.total_steps > self.max_steps:
+            raise StepBudgetExceeded(
+                f"proof search exceeded {self.max_steps} engine steps")
 
     def log(self, message: str) -> None:
         self.trace.append(message)
@@ -750,20 +780,40 @@ class EquivalenceResult:
     rhs_normal: NSum
 
 
+def decide_nsums(n1: NSum, n2: NSum, hyps: Hypotheses = NO_HYPOTHESES, *,
+                 depth: int = MAX_DEPTH,
+                 stats: Optional[ProofStats] = None) -> EquivalenceResult:
+    """Decide equality of two already-normalized forms.
+
+    The workhorse behind :func:`check_uterm_equivalence`, exposed so
+    callers that normalize once and stage several decision attempts (the
+    verification pipeline) do not pay for re-normalization.  ``depth``
+    bounds the nesting of the entailment search and ``stats`` may carry a
+    step budget (see :class:`ProofStats`), in which case the search raises
+    :class:`StepBudgetExceeded` instead of completing.
+    """
+    if stats is None:
+        stats = ProofStats()
+    ctx = _Ctx(hyps, stats)
+    equal = _nsum_equiv(n1, n2, (), ctx, depth)
+    stats.log("clause matching " + ("succeeded" if equal else "failed"))
+    return EquivalenceResult(equal=equal, stats=stats, lhs_normal=n1,
+                             rhs_normal=n2)
+
+
 def check_uterm_equivalence(lhs: UTerm, rhs: UTerm,
-                            hyps: Hypotheses = NO_HYPOTHESES
+                            hyps: Hypotheses = NO_HYPOTHESES, *,
+                            depth: int = MAX_DEPTH,
+                            stats: Optional[ProofStats] = None
                             ) -> EquivalenceResult:
     """Decide equality of two UniNomial terms (sound, incomplete)."""
-    stats = ProofStats()
-    ctx = _Ctx(hyps, stats)
+    if stats is None:
+        stats = ProofStats()
     n1 = normalize(lhs)
     n2 = normalize(rhs)
     stats.log(f"normalized LHS to {len(n1.products)} clause(s)")
     stats.log(f"normalized RHS to {len(n2.products)} clause(s)")
-    equal = _nsum_equiv(n1, n2, (), ctx, MAX_DEPTH)
-    stats.log("clause matching " + ("succeeded" if equal else "failed"))
-    return EquivalenceResult(equal=equal, stats=stats, lhs_normal=n1,
-                             rhs_normal=n2)
+    return decide_nsums(n1, n2, hyps, depth=depth, stats=stats)
 
 
 def uterms_equivalent(lhs: UTerm, rhs: UTerm,
@@ -787,7 +837,9 @@ def align_denotations(d1, d2):
 
 
 def check_query_equivalence(q1, q2, ctx_schema=None,
-                            hyps: Hypotheses = NO_HYPOTHESES
+                            hyps: Hypotheses = NO_HYPOTHESES, *,
+                            depth: int = MAX_DEPTH,
+                            stats: Optional[ProofStats] = None
                             ) -> EquivalenceResult:
     """Denote two HoTTSQL queries and decide their equivalence.
 
@@ -802,7 +854,7 @@ def check_query_equivalence(q1, q2, ctx_schema=None,
     d1 = denote_closed(q1, ctx_schema)
     d2 = denote_closed(q2, ctx_schema)
     lhs, rhs = align_denotations(d1, d2)
-    return check_uterm_equivalence(lhs, rhs, hyps)
+    return check_uterm_equivalence(lhs, rhs, hyps, depth=depth, stats=stats)
 
 
 def queries_equivalent(q1, q2, ctx_schema=None,

@@ -65,6 +65,7 @@ class SQLType:
         "int": (int,),
         "bool": (bool,),
         "string": (str,),
+        "float": (int, float),  # ints embed into float columns, bools do not
     }
 
     def validate(self, value: Any) -> bool:
@@ -77,7 +78,7 @@ class SQLType:
         carriers = self._PYTHON_CARRIERS.get(self.name)
         if carriers is None:
             return True  # user-defined base types are unconstrained
-        if self.name == "int" and isinstance(value, bool):
+        if self.name in ("int", "float") and isinstance(value, bool):
             return False
         return isinstance(value, carriers)
 
@@ -85,10 +86,11 @@ class SQLType:
         return self.name
 
 
-#: The stock base types from Figure 3.
+#: The stock base types from Figure 3 (float via the Sec. 7 extensions).
 INT = SQLType("int")
 BOOL = SQLType("bool")
 STRING = SQLType("string")
+FLOAT = SQLType("float")
 
 
 # ---------------------------------------------------------------------------
@@ -321,6 +323,7 @@ DEFAULT_DOMAINS: Dict[str, Tuple[Any, ...]] = {
     "int": (0, 1, 2),
     "bool": (False, True),
     "string": ("a", "b"),
+    "float": (0.0, 0.5, 1.0),
 }
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import ast
 from ..core.schema import (
@@ -32,17 +32,33 @@ from .database import Interpretation
 from .eval import run_query
 
 
+#: Per-type value domains for random generation.
+Domains = Dict[str, Tuple[Any, ...]]
+
+
+def _resolve_domains(domains: Optional[Domains]) -> Domains:
+    """Default to a *copy* of :data:`DEFAULT_DOMAINS`.
+
+    The module default is never handed out directly: a caller mutating the
+    returned mapping (adding a type, shrinking a domain) must not poison
+    every later call that relies on the default.
+    """
+    return dict(DEFAULT_DOMAINS) if domains is None else domains
+
+
 def random_value(rng: random.Random, ty: SQLType,
-                 domains=DEFAULT_DOMAINS) -> Any:
+                 domains: Optional[Domains] = None) -> Any:
     """A random leaf value of the given base type."""
+    domains = _resolve_domains(domains)
     if ty.name not in domains:
         raise ValueError(f"no domain for type {ty}")
     return rng.choice(domains[ty.name])
 
 
 def random_tuple(rng: random.Random, schema: Schema,
-                 domains=DEFAULT_DOMAINS) -> Any:
+                 domains: Optional[Domains] = None) -> Any:
     """A random nested tuple of a concrete schema."""
+    domains = _resolve_domains(domains)
     if isinstance(schema, Empty):
         return ()
     if isinstance(schema, Leaf):
@@ -56,8 +72,9 @@ def random_tuple(rng: random.Random, schema: Schema,
 def random_relation(rng: random.Random, schema: Schema,
                     semiring: Semiring = NAT, max_rows: int = 5,
                     max_multiplicity: int = 3,
-                    domains=DEFAULT_DOMAINS) -> KRelation:
+                    domains: Optional[Domains] = None) -> KRelation:
     """A random K-relation with small support and small multiplicities."""
+    domains = _resolve_domains(domains)
     rel = KRelation(semiring)
     for _ in range(rng.randint(0, max_rows)):
         row = random_tuple(rng, schema, domains)
@@ -69,12 +86,13 @@ def random_relation(rng: random.Random, schema: Schema,
 def random_keyed_relation(rng: random.Random, schema: Schema,
                           key_path: Path, semiring: Semiring = NAT,
                           max_rows: int = 5,
-                          domains=DEFAULT_DOMAINS) -> KRelation:
+                          domains: Optional[Domains] = None) -> KRelation:
     """A random relation satisfying a key on ``key_path``.
 
     Key semantics (paper Sec. 4.2) force set-valued relations with unique
     key values, so each generated row has multiplicity one and a fresh key.
     """
+    domains = _resolve_domains(domains)
     rel = KRelation(semiring)
     used_keys = set()
     for _ in range(rng.randint(0, max_rows)):

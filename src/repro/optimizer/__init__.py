@@ -3,13 +3,22 @@
 from .cost import Estimate, TableStats, estimate, plan_cost
 from .explain import explain
 from .planner import PlanningResult, optimize
-from .rewriter import TRANSFORMATIONS, proj_steps, rewrites, steps_to_proj
+from .rewriter import (
+    TRANSFORMATIONS,
+    CertifiedCandidate,
+    certified_rewrites,
+    proj_steps,
+    rewrites,
+    steps_to_proj,
+)
 
 __all__ = [
+    "CertifiedCandidate",
     "Estimate",
     "PlanningResult",
     "TRANSFORMATIONS",
     "TableStats",
+    "certified_rewrites",
     "estimate",
     "explain",
     "optimize",

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
 from ..core import ast
-from ..core.equivalence import NO_HYPOTHESES, queries_equivalent
 from .cost import TableStats, plan_cost
 from .rewriter import rewrites
 
@@ -81,8 +80,10 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
 
     certified: Optional[bool] = None
     if certify:
-        certified = queries_equivalent(query, best_plan,
-                                       hyps=NO_HYPOTHESES)
+        # Certification runs through the verification pipeline so that the
+        # proof lands in (and may come from) the process-wide proof cache.
+        from ..solver.pipeline import default_pipeline
+        certified = default_pipeline().certify(query, best_plan)
     return PlanningResult(
         original=query, best_plan=best_plan, original_cost=origin_cost,
         best_cost=best_cost, plans_explored=explored,

@@ -14,6 +14,7 @@ position.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core import ast
@@ -239,6 +240,45 @@ def _child_queries(query: ast.Query):
         yield "right", query.right
     elif isinstance(query, ast.Distinct):
         yield "query", query.query
+
+
+# ---------------------------------------------------------------------------
+# Pipeline-backed re-certification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CertifiedCandidate:
+    """A rewrite candidate together with its verification verdict."""
+
+    query: ast.Query
+    rule: str
+    verdict: object  # repro.solver.Verdict (kept untyped: layering)
+
+    @property
+    def certified(self) -> bool:
+        return self.verdict.proved
+
+
+def certified_rewrites(query: ast.Query,
+                       pipeline=None) -> List[CertifiedCandidate]:
+    """All single-step rewrites of ``query``, each re-proved end to end.
+
+    Every candidate :func:`rewrites` emits is an instance of a rule the
+    engine has verified, so certification *should* never fail — this is
+    the belt-and-braces check the paper's motivation demands, now served
+    by the tiered pipeline so repeated shapes hit the proof cache.
+    Returns only the candidates whose re-proof succeeded.
+    """
+    if pipeline is None:
+        from ..solver.pipeline import default_pipeline
+        pipeline = default_pipeline()
+    out: List[CertifiedCandidate] = []
+    for candidate, rule in rewrites(query):
+        verdict = pipeline.check(query, candidate, prove_only=True)
+        if verdict.proved:
+            out.append(CertifiedCandidate(query=candidate, rule=rule,
+                                          verdict=verdict))
+    return out
 
 
 def _replace_child(query: ast.Query, field_name: str,

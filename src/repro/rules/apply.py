@@ -28,7 +28,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core import ast
-from ..core.equivalence import queries_equivalent
 from .rule import RewriteRule
 
 
@@ -211,14 +210,29 @@ class Application:
     bindings: Bindings
 
 
+def _certified(original: ast.Query, rewritten: ast.Query,
+               rule: RewriteRule, pipeline=None) -> bool:
+    """Prove ``original ≡ rewritten`` through the verification pipeline.
+
+    Routing through the shared pipeline (rather than a bare prover call)
+    means every certification feeds the process-wide proof cache:
+    re-applying a rule to an already-certified shape is O(1).
+    """
+    if pipeline is None:
+        from ..solver.pipeline import default_pipeline  # deferred: layering
+        pipeline = default_pipeline()
+    return pipeline.certify(original, rewritten, hyps=rule.hypotheses)
+
+
 def apply_rule_at_root(rule: RewriteRule, query: ast.Query,
-                       certify: bool = True) -> Optional[Application]:
+                       certify: bool = True,
+                       pipeline=None) -> Optional[Application]:
     """Apply ``rule`` at the root of ``query`` (None if no match).
 
     When ``certify`` is set (the default), the rewritten query is proved
     equivalent to the original before being returned; an uncertifiable
     match — e.g. a correlated subquery bound to a relation metavariable —
-    is rejected.
+    is rejected.  ``pipeline`` overrides the shared default pipeline.
     """
     bindings = Bindings.empty()
     try:
@@ -226,22 +240,22 @@ def apply_rule_at_root(rule: RewriteRule, query: ast.Query,
     except MatchFailure:
         return None
     rewritten = substitute_query(rule.rhs, bindings)
-    if certify and not queries_equivalent(query, rewritten,
-                                          hyps=rule.hypotheses):
+    if certify and not _certified(query, rewritten, rule, pipeline):
         return None
     return Application(rule_name=rule.name, rewritten=rewritten,
                        bindings=bindings)
 
 
 def apply_rule_everywhere(rule: RewriteRule, query: ast.Query,
-                          certify: bool = True) -> List[Application]:
+                          certify: bool = True,
+                          pipeline=None) -> List[Application]:
     """All certified applications of ``rule`` at any subquery position."""
     out: List[Application] = []
-    root = apply_rule_at_root(rule, query, certify)
+    root = apply_rule_at_root(rule, query, certify, pipeline)
     if root is not None:
         out.append(root)
     for field_name, child in _children(query):
-        for app in apply_rule_everywhere(rule, child, certify):
+        for app in apply_rule_everywhere(rule, child, certify, pipeline):
             out.append(Application(
                 rule_name=app.rule_name,
                 rewritten=_rebuild(query, field_name, app.rewritten),

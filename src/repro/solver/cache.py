@@ -1,0 +1,238 @@
+"""Content-addressed proof cache for equivalence verdicts.
+
+Equivalence of two queries depends only on their *normal forms* modulo
+alpha-renaming (plus the integrity-constraint hypotheses), so a verdict can
+be cached under a fingerprint of exactly that data:
+
+    fingerprint = sha256(sorted(alpha_key(NF₁), alpha_key(NF₂)) + hyps)
+
+Sorting the two keys makes the fingerprint symmetric (equivalence is), and
+using the *alpha* keys makes the cache hit on alpha-equivalent — not merely
+textually identical — queries.  A secondary **alias index** maps cheap
+syntactic keys (e.g. the SQL pair a batch job carries) onto fingerprints,
+so a warm batch run answers without even normalizing.
+
+The cache is a bounded in-memory LRU with optional JSON persistence, which
+is what lets a long-running verification service amortize proof effort
+across requests and restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..core.equivalence import Hypotheses
+from ..core.normalize import NSum, nsum_alpha_key
+from .verdict import Verdict
+
+
+def nsum_fingerprint(n1: NSum, n2: NSum,
+                     hyps: Hypotheses = None,
+                     free_env: Optional[Dict] = None) -> str:
+    """Symmetric content address of an equivalence question.
+
+    Alpha-equivalent normal forms map to the same digest, and the (Q1, Q2)
+    and (Q2, Q1) orders agree.  ``free_env`` maps the *free* variables of
+    the normal forms (the denotation's context/tuple variables, whose
+    fresh names differ from run to run) onto canonical labels; without it
+    the digest would depend on a process-global fresh-name counter.
+    """
+    k1 = repr(nsum_alpha_key(n1, dict(free_env or {})))
+    k2 = repr(nsum_alpha_key(n2, dict(free_env or {})))
+    if k2 < k1:
+        k1, k2 = k2, k1
+    hyp_part = "" if not hyps or hyps == Hypotheses() else repr(hyps)
+    digest = hashlib.sha256()
+    digest.update(k1.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(k2.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(hyp_part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def nsum_side_digest(n: NSum, free_env: Optional[Dict] = None) -> str:
+    """Digest identifying one side of a question (orientation tag)."""
+    key = repr(nsum_alpha_key(n, dict(free_env or {})))
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
+def query_side_digest(q) -> str:
+    """Repr-level orientation tag for one query of a pair."""
+    return hashlib.sha256(repr(q).encode("utf-8")).hexdigest()
+
+
+def syntactic_alias(q1, q2, ctx_schema=None,
+                    hyps: Hypotheses = None) -> str:
+    """A cheap symmetric key over the *un-normalized* question.
+
+    Distinct aliases may share a fingerprint (alpha-equivalent inputs);
+    the alias index only ever short-circuits work, never changes answers.
+    """
+    k1, k2 = repr(q1), repr(q2)
+    if k2 < k1:
+        k1, k2 = k2, k1
+    extra = f"|{ctx_schema!r}|{hyps!r}"
+    return hashlib.sha256((k1 + "\x00" + k2 + extra)
+                          .encode("utf-8")).hexdigest()
+
+
+class ProofCache:
+    """Bounded LRU of fingerprint → :class:`Verdict`, with persistence.
+
+    Args:
+        max_size: LRU capacity (entries beyond it evict oldest-used).
+        path: optional JSON file; :meth:`load` pulls existing entries and
+            :meth:`save` writes the current contents atomically.
+    """
+
+    def __init__(self, max_size: int = 4096,
+                 path: Optional[str] = None) -> None:
+        if max_size <= 0:
+            raise ValueError("cache max_size must be positive")
+        self.max_size = max_size
+        self.path = path
+        self._entries: "OrderedDict[str, Verdict]" = OrderedDict()
+        self._aliases: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and os.path.exists(path):
+            # A persisted cache is an optimization, never a requirement: a
+            # corrupt or incompatible file must not take the service down.
+            try:
+                self.load(path)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                print(f"warning: ignoring unreadable proof cache "
+                      f"{path!r}: {exc}", file=sys.stderr)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[Verdict]:
+        """Cached verdict for a fingerprint (counts toward hit rate)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return self._copy_as_cached(entry)
+
+    def get_by_alias(self, alias: str) -> Optional[Verdict]:
+        """Cached verdict for a syntactic alias, if ever registered.
+
+        Misses here are *not* counted: an alias miss normally precedes a
+        fingerprint probe for the same question, and double-counting would
+        understate the hit rate.
+        """
+        fingerprint = self._aliases.get(alias)
+        if fingerprint is None:
+            return None
+        if fingerprint not in self._entries:
+            del self._aliases[alias]  # lazily prune a dangling alias
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return self._copy_as_cached(self._entries[fingerprint])
+
+    @staticmethod
+    def _copy_as_cached(entry: Verdict) -> Verdict:
+        copy = Verdict.from_dict(entry.to_dict())
+        copy.cached = True
+        copy.stage = entry.stage
+        return copy
+
+    # -- insertion ----------------------------------------------------------
+
+    def put(self, fingerprint: str, verdict: Verdict,
+            alias: Optional[str] = None) -> None:
+        """Store a verdict (serialization-safe part only) under its key."""
+        stored = Verdict.from_dict(verdict.to_dict())
+        stored.fingerprint = fingerprint
+        self._entries[fingerprint] = stored
+        self._entries.move_to_end(fingerprint)
+        if alias is not None:
+            self._aliases[alias] = fingerprint
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+        # Dangling aliases are pruned lazily on lookup; a bulk sweep only
+        # runs when the index has clearly outgrown the entries it serves.
+        if len(self._aliases) > 2 * self.max_size:
+            self._aliases = {a: f for a, f in self._aliases.items()
+                             if f in self._entries}
+
+    def register_alias(self, alias: str, fingerprint: str) -> None:
+        if fingerprint in self._entries:
+            self._aliases[alias] = fingerprint
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._aliases.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write entries + alias index to JSON (atomic rename)."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no persistence path configured")
+        payload = {
+            "version": 1,
+            "entries": [[fp, v.to_dict()] for fp, v in self._entries.items()],
+            "aliases": self._aliases,
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        return path
+
+    def load(self, path: Optional[str] = None) -> int:
+        """Merge entries from a JSON file; returns how many were loaded."""
+        path = path or self.path
+        if path is None:
+            raise ValueError("no persistence path configured")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported cache file version in {path!r}")
+        loaded = 0
+        for fingerprint, data in payload.get("entries", []):
+            verdict = Verdict.from_dict(data)
+            verdict.fingerprint = fingerprint
+            self._entries[fingerprint] = verdict
+            loaded += 1
+        for alias, fingerprint in payload.get("aliases", {}).items():
+            if fingerprint in self._entries:
+                self._aliases[alias] = fingerprint
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+        return loaded
+
+
+__all__ = ["ProofCache", "nsum_fingerprint", "nsum_side_digest",
+           "query_side_digest", "syntactic_alias"]

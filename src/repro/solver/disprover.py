@@ -1,0 +1,587 @@
+"""Bounded-exhaustive disprover: Cosette-style counterexample search.
+
+Random testing (:mod:`repro.engine.random_instances`) gives *evidence*;
+this module gives *guarantees*.  It systematically enumerates **every**
+database instance in which each table holds at most ``max_rows`` distinct
+tuples over a small finite domain, each with multiplicity at most
+``max_multiplicity``, evaluates both queries under the paper's semiring
+semantics, and reports the first disagreement.  When the enumeration
+completes without one, the result is a quantified negative: *no
+counterexample exists up to the bound* — the small-model half of Cosette's
+prove-or-disprove loop.
+
+Two entry points:
+
+* :func:`disprove` — for closed queries over concrete table schemas
+  (everything the SQL frontend produces),
+* :func:`disprove_rule` — for generic rewrite rules: the rule's own
+  instantiator fixes the metavariables (attribute paths, predicates), and
+  the table contents are then enumerated exhaustively instead of sampled.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..core import ast
+from ..core.equivalence import Hypotheses
+from ..core.schema import Schema, enumerate_tuples, tuple_flatten, tuple_of
+from ..engine.database import Interpretation
+from ..engine.eval import run_query
+from ..engine.random_instances import Counterexample
+from ..semiring.krelation import KRelation
+from ..semiring.semirings import NAT, Semiring
+from .verdict import BoundInfo, CounterexampleRecord
+
+#: Domains intentionally smaller than the random falsifier's defaults: the
+#: instance count is exponential in |domain|, and two distinguishable
+#: values per type already separate every rewrite in the corpus.
+SMALL_DOMAINS: Dict[str, Tuple[Any, ...]] = {
+    "int": (0, 1),
+    "bool": (False, True),
+    "string": ("a", "b"),
+    "float": (0.0, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class Bound:
+    """The instance space to exhaust, hashable and picklable."""
+
+    max_rows: int = 2
+    max_multiplicity: int = 2
+    domains: Tuple[Tuple[str, Tuple[Any, ...]], ...] = tuple(
+        sorted(SMALL_DOMAINS.items()))
+
+    @staticmethod
+    def of(max_rows: int = 2, max_multiplicity: int = 2,
+           domains: Optional[Dict[str, Tuple[Any, ...]]] = None) -> "Bound":
+        return Bound(max_rows, max_multiplicity,
+                     tuple(sorted((domains or SMALL_DOMAINS).items())))
+
+    def domain_dict(self) -> Dict[str, Tuple[Any, ...]]:
+        return dict(self.domains)
+
+    def info(self, instances_checked: int, exhausted: bool) -> BoundInfo:
+        return BoundInfo(max_rows=self.max_rows,
+                         max_multiplicity=self.max_multiplicity,
+                         domains=self.domains,
+                         instances_checked=instances_checked,
+                         exhausted=exhausted)
+
+
+@dataclass
+class DisproofResult:
+    """Outcome of a bounded-exhaustive search."""
+
+    counterexample: Optional[Counterexample]
+    record: Optional[CounterexampleRecord]
+    bound: Bound
+    instances_checked: int
+    exhausted: bool
+
+    @property
+    def found(self) -> bool:
+        return self.counterexample is not None
+
+    def info(self) -> BoundInfo:
+        return self.bound.info(self.instances_checked, self.exhausted)
+
+
+# ---------------------------------------------------------------------------
+# Query analysis: what would we have to enumerate?
+# ---------------------------------------------------------------------------
+
+def free_tables(query: ast.Query) -> Dict[str, Schema]:
+    """All base tables of a query, name → schema (conflicts are errors)."""
+    out: Dict[str, Schema] = {}
+    for node in _walk_queries(query):
+        if isinstance(node, ast.Table):
+            known = out.get(node.name)
+            if known is not None and known != node.schema:
+                raise ValueError(
+                    f"table {node.name!r} used at two schemas: "
+                    f"{known} vs {node.schema}")
+            out[node.name] = node.schema
+    return out
+
+
+def has_metavariables(query: ast.Query) -> bool:
+    """True when the query quantifies over schemas/predicates/attributes.
+
+    Such queries describe *families* of concrete queries; they cannot be
+    enumerated directly and need an instantiator (see
+    :func:`disprove_rule`).
+    """
+    for node in _walk_queries(query):
+        if isinstance(node, ast.Table) and not node.schema.is_concrete:
+            return True
+    for pred in _walk_predicates(query):
+        if isinstance(pred, ast.PredVar):
+            return True
+    for expr in _walk_expressions(query):
+        if isinstance(expr, ast.ExprVar):
+            return True
+    for proj in _walk_projections(query):
+        if isinstance(proj, ast.PVar):
+            return True
+    return False
+
+
+def _walk_queries(query: ast.Query) -> Iterator[ast.Query]:
+    yield query
+    if isinstance(query, (ast.Select, ast.Where, ast.Distinct)):
+        yield from _walk_queries(query.query)
+    elif isinstance(query, (ast.Product, ast.UnionAll, ast.Except)):
+        yield from _walk_queries(query.left)
+        yield from _walk_queries(query.right)
+    if isinstance(query, ast.Where):
+        for sub in _predicate_subqueries(query.predicate):
+            yield from _walk_queries(sub)
+    if isinstance(query, ast.Select):
+        for sub in _projection_subqueries(query.projection):
+            yield from _walk_queries(sub)
+
+
+def _predicate_subqueries(pred: ast.Predicate) -> Iterator[ast.Query]:
+    if isinstance(pred, (ast.PredAnd, ast.PredOr)):
+        yield from _predicate_subqueries(pred.left)
+        yield from _predicate_subqueries(pred.right)
+    elif isinstance(pred, ast.PredNot):
+        yield from _predicate_subqueries(pred.operand)
+    elif isinstance(pred, ast.Exists):
+        yield pred.query
+    elif isinstance(pred, ast.CastPred):
+        yield from _predicate_subqueries(pred.predicate)
+    elif isinstance(pred, (ast.PredEq, ast.PredFunc)):
+        for expr in _pred_expressions(pred):
+            yield from _expression_subqueries(expr)
+
+
+def _pred_expressions(pred: ast.Predicate) -> Iterator[ast.Expression]:
+    if isinstance(pred, ast.PredEq):
+        yield pred.left
+        yield pred.right
+    elif isinstance(pred, ast.PredFunc):
+        yield from pred.args
+
+
+def _expression_subqueries(expr: ast.Expression) -> Iterator[ast.Query]:
+    if isinstance(expr, ast.Agg):
+        yield expr.query
+    elif isinstance(expr, ast.Func):
+        for arg in expr.args:
+            yield from _expression_subqueries(arg)
+    elif isinstance(expr, ast.CastExpr):
+        yield from _expression_subqueries(expr.expression)
+    elif isinstance(expr, ast.P2E):
+        yield from _projection_subqueries(expr.projection)
+
+
+def _projection_subqueries(proj: ast.Projection) -> Iterator[ast.Query]:
+    if isinstance(proj, ast.Compose):
+        yield from _projection_subqueries(proj.first)
+        yield from _projection_subqueries(proj.second)
+    elif isinstance(proj, ast.Duplicate):
+        yield from _projection_subqueries(proj.left)
+        yield from _projection_subqueries(proj.right)
+    elif isinstance(proj, ast.E2P):
+        yield from _expression_subqueries(proj.expression)
+
+
+def _walk_predicates(query: ast.Query) -> Iterator[ast.Predicate]:
+    for node in _walk_queries(query):
+        if isinstance(node, ast.Where):
+            yield from _all_predicates(node.predicate)
+
+
+def _all_predicates(pred: ast.Predicate) -> Iterator[ast.Predicate]:
+    yield pred
+    if isinstance(pred, (ast.PredAnd, ast.PredOr)):
+        yield from _all_predicates(pred.left)
+        yield from _all_predicates(pred.right)
+    elif isinstance(pred, ast.PredNot):
+        yield from _all_predicates(pred.operand)
+    elif isinstance(pred, ast.CastPred):
+        yield from _all_predicates(pred.predicate)
+
+
+def _walk_expressions(query: ast.Query) -> Iterator[ast.Expression]:
+    for node in _walk_queries(query):
+        if isinstance(node, ast.Where):
+            for pred in _all_predicates(node.predicate):
+                for expr in _pred_expressions(pred):
+                    yield from _all_expressions(expr)
+        if isinstance(node, ast.Select):
+            for expr in _projection_expressions(node.projection):
+                yield from _all_expressions(expr)
+
+
+def _all_expressions(expr: ast.Expression) -> Iterator[ast.Expression]:
+    yield expr
+    if isinstance(expr, ast.Func):
+        for arg in expr.args:
+            yield from _all_expressions(arg)
+    elif isinstance(expr, ast.CastExpr):
+        yield from _all_expressions(expr.expression)
+
+
+def _projection_expressions(proj: ast.Projection) -> Iterator[ast.Expression]:
+    if isinstance(proj, ast.Compose):
+        yield from _projection_expressions(proj.first)
+        yield from _projection_expressions(proj.second)
+    elif isinstance(proj, ast.Duplicate):
+        yield from _projection_expressions(proj.left)
+        yield from _projection_expressions(proj.right)
+    elif isinstance(proj, ast.E2P):
+        yield proj.expression
+
+
+def _walk_projections(query: ast.Query) -> Iterator[ast.Projection]:
+    for node in _walk_queries(query):
+        if isinstance(node, ast.Select):
+            yield from _all_projections(node.projection)
+        if isinstance(node, ast.Where):
+            for pred in _all_predicates(node.predicate):
+                if isinstance(pred, ast.CastPred):
+                    yield from _all_projections(pred.projection)
+                for expr in _pred_expressions(pred):
+                    for sub in _all_expressions(expr):
+                        if isinstance(sub, ast.P2E):
+                            yield from _all_projections(sub.projection)
+
+
+def _all_projections(proj: ast.Projection) -> Iterator[ast.Projection]:
+    yield proj
+    if isinstance(proj, ast.Compose):
+        yield from _all_projections(proj.first)
+        yield from _all_projections(proj.second)
+    elif isinstance(proj, ast.Duplicate):
+        yield from _all_projections(proj.left)
+        yield from _all_projections(proj.right)
+
+
+# ---------------------------------------------------------------------------
+# Instance enumeration
+# ---------------------------------------------------------------------------
+
+def enumerate_relations(schema: Schema, bound: Bound,
+                        semiring: Semiring = NAT) -> Iterator[KRelation]:
+    """Every K-relation over ``schema`` within ``bound``, smallest first.
+
+    Supports are subsets (no permutations) of the tuple space; every
+    support row independently takes each multiplicity in
+    ``1..max_multiplicity``.
+    """
+    tuples = list(enumerate_tuples(schema, bound.domain_dict()))
+    mults = range(1, bound.max_multiplicity + 1)
+    for size in range(0, bound.max_rows + 1):
+        for support in itertools.combinations(tuples, size):
+            for assignment in itertools.product(mults, repeat=size):
+                rel = KRelation(semiring)
+                for row, mult in zip(support, assignment):
+                    rel.add(row, semiring.from_int(mult))
+                yield rel
+
+
+def count_relations(schema: Schema, bound: Bound) -> int:
+    """Size of :func:`enumerate_relations`'s space (sanity/reporting)."""
+    n = len(list(enumerate_tuples(schema, bound.domain_dict())))
+    m = bound.max_multiplicity
+    total = 0
+    for size in range(0, bound.max_rows + 1):
+        total += _choose(n, size) * (m ** size)
+    return total
+
+
+def _choose(n: int, k: int) -> int:
+    if k > n:
+        return 0
+    out = 1
+    for i in range(k):
+        out = out * (n - i) // (i + 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The disprover proper
+# ---------------------------------------------------------------------------
+
+def disprove(q1: ast.Query, q2: ast.Query,
+             tables: Optional[Dict[str, Schema]] = None,
+             bound: Bound = Bound(),
+             semiring: Semiring = NAT,
+             base_interp: Optional[Interpretation] = None,
+             max_instances: Optional[int] = None,
+             hyps: Optional[Hypotheses] = None) -> DisproofResult:
+    """Exhaust all instances within ``bound`` looking for a disagreement.
+
+    Args:
+        q1, q2: the two (closed) queries.
+        tables: name → concrete schema of the relations to enumerate;
+            inferred from the queries when omitted.
+        bound: the instance space (rows × multiplicities × domains).
+        semiring: the multiplicity semiring to evaluate under.
+        base_interp: an interpretation providing metavariable bindings
+            (predicates, projections, ...); its *relations* are replaced
+            by the enumeration.
+        max_instances: optional safety valve; when hit, the result is
+            marked non-exhausted.
+        hyps: integrity constraints the rewrite assumes; enumerated
+            instances that violate them are not counterexamples and are
+            skipped.  When a constraint cannot be evaluated concretely
+            (its key projection is not bound in ``base_interp``) the
+            search aborts empty rather than report a spurious witness.
+    """
+    if tables is None:
+        tables = dict(free_tables(q1))
+        for name, schema in free_tables(q2).items():
+            known = tables.get(name)
+            if known is not None and known != schema:
+                raise ValueError(f"table {name!r} used at two schemas")
+            tables[name] = schema
+    for name, schema in tables.items():
+        if not schema.is_concrete:
+            raise ValueError(
+                f"cannot enumerate instances of table {name!r} with "
+                f"non-concrete schema {schema}")
+    names = sorted(tables)
+    spaces = []
+    for name in names:
+        rels = list(enumerate_relations(tables[name], bound, semiring))
+        checkers = _constraint_checkers(name, hyps, base_interp, semiring)
+        if checkers is None:
+            return DisproofResult(None, None, bound, 0, exhausted=False)
+        if checkers:
+            rels = [r for r in rels if all(check(r) for check in checkers)]
+        spaces.append(rels)
+    checked = 0
+    for combo in itertools.product(*spaces) if names else iter([()]):
+        if max_instances is not None and checked >= max_instances:
+            return DisproofResult(None, None, bound, checked, exhausted=False)
+        checked += 1
+        interp = _with_relations(base_interp, names, combo, tables)
+        lhs = run_query(q1, interp, semiring)
+        rhs = run_query(q2, interp, semiring)
+        if lhs != rhs:
+            cx = Counterexample(
+                trial=checked - 1, lhs_query=q1, rhs_query=q2,
+                interpretation=interp, lhs_result=lhs, rhs_result=rhs)
+            record = counterexample_record(cx, tables, note=(
+                f"found by bounded-exhaustive search, instance #{checked}"))
+            return DisproofResult(cx, record, bound, checked, exhausted=False)
+    return DisproofResult(None, None, bound, checked, exhausted=True)
+
+
+def _constraint_checkers(name: str, hyps: Optional[Hypotheses],
+                         interp: Optional[Interpretation],
+                         semiring: Semiring):
+    """Predicates enforcing ``hyps`` on table ``name``'s instances.
+
+    Key semantics (paper Sec. 4.2): a keyed relation is set-valued and its
+    key projection is injective on the support.  An FD ``a → b`` requires
+    equal ``a``-projections to force equal ``b``-projections.  Returns
+    ``None`` when a relevant constraint's projection cannot be resolved —
+    the caller must then refuse to enumerate rather than produce
+    constraint-violating "counterexamples".
+    """
+    if hyps is None:
+        return []
+    checkers = []
+    for key in hyps.keys:
+        if key.rel != name:
+            continue
+        proj = _resolve_projection(interp, key.proj)
+        if proj is None:
+            return None
+
+        def key_ok(rel, proj=proj):
+            seen: Dict[Any, Any] = {}
+            for row, mult in rel.items():
+                if mult != semiring.one:
+                    return False
+                k = proj(row)
+                if k in seen and seen[k] != row:
+                    return False
+                seen[k] = row
+            return True
+
+        checkers.append(key_ok)
+    for fd in hyps.fds:
+        if fd.rel != name:
+            continue
+        source = _resolve_projection(interp, fd.source)
+        target = _resolve_projection(interp, fd.target)
+        if source is None or target is None:
+            return None
+
+        def fd_ok(rel, source=source, target=target):
+            seen: Dict[Any, Any] = {}
+            for row, _ in rel.items():
+                s, t = source(row), target(row)
+                if s in seen and seen[s] != t:
+                    return False
+                seen[s] = t
+            return True
+
+        checkers.append(fd_ok)
+    return checkers
+
+
+def _resolve_projection(interp: Optional[Interpretation], name: str):
+    if interp is None:
+        return None
+    try:
+        return interp.projection(name)
+    except KeyError:
+        return None
+
+
+def _with_relations(base: Optional[Interpretation], names: List[str],
+                    relations: Tuple[KRelation, ...],
+                    schemas: Dict[str, Schema]) -> Interpretation:
+    interp = Interpretation()
+    if base is not None:
+        interp.predicates.update(base.predicates)
+        interp.projections.update(base.projections)
+        interp.expressions.update(base.expressions)
+        interp.functions.update(base.functions)
+        interp.aggregates.update(base.aggregates)
+        interp.relations.update(base.relations)
+        interp.schemas.update(base.schemas)
+    for name, rel in zip(names, relations):
+        interp.relations[name] = rel
+        interp.schemas[name] = schemas[name]
+    return interp
+
+
+def disprove_factory(factory, bound: Bound = Bound(), draws: int = 3,
+                     seed: int = 0, semiring: Semiring = NAT,
+                     max_instances: Optional[int] = None,
+                     hyps: Optional[Hypotheses] = None) -> DisproofResult:
+    """Bounded-exhaustive search driven by an instance factory.
+
+    The factory (a rule's instantiator) fixes schemas and metavariable
+    bindings — attribute paths, predicate functions; for each of ``draws``
+    instantiations the table contents are then enumerated exhaustively
+    instead of sampled (restricted to instances satisfying ``hyps``).
+    The budget ``max_instances`` is shared across draws.
+    """
+    total_checked = 0
+    exhausted_all = True
+    for draw in range(draws):
+        lhs, rhs, interp = factory(random.Random(seed + draw))
+        tables = {name: interp.schemas[name] for name in interp.relations}
+        remaining = (None if max_instances is None
+                     else max(0, max_instances - total_checked))
+        if remaining == 0:
+            exhausted_all = False
+            break
+        result = disprove(lhs, rhs, tables, bound, semiring,
+                          base_interp=interp, max_instances=remaining,
+                          hyps=hyps)
+        total_checked += result.instances_checked
+        if result.found:
+            return replace(result, instances_checked=total_checked)
+        exhausted_all = exhausted_all and result.exhausted
+    return DisproofResult(None, None, bound, total_checked,
+                          exhausted=exhausted_all)
+
+
+def disprove_rule(rule, bound: Bound = Bound(), draws: int = 3,
+                  seed: int = 0, semiring: Semiring = NAT,
+                  max_instances: Optional[int] = None) -> DisproofResult:
+    """Bounded-exhaustive refutation of a generic rewrite rule.
+
+    The rule's integrity-constraint hypotheses restrict the instance
+    space: a keyed relation only ranges over key-respecting instances.
+    """
+    if rule.instantiate is None:
+        raise ValueError(f"rule {rule.name!r} has no instantiator")
+    return disprove_factory(rule.instantiate, bound, draws, seed, semiring,
+                            max_instances, hyps=rule.hypotheses)
+
+
+# ---------------------------------------------------------------------------
+# Records and replay
+# ---------------------------------------------------------------------------
+
+def counterexample_record(cx: Counterexample,
+                          schemas: Dict[str, Schema],
+                          note: str = "") -> CounterexampleRecord:
+    """Serialize an engine counterexample into replayable plain data."""
+    tables = []
+    for name in sorted(cx.interpretation.relations):
+        rel = cx.interpretation.relations[name]
+        schema = schemas.get(name, cx.interpretation.schemas.get(name))
+        rows = []
+        for row, mult in sorted(rel.items(), key=lambda kv: repr(kv[0])):
+            flat = (tuple(tuple_flatten(schema, row))
+                    if schema is not None else (row,))
+            rows.append((flat, _as_int(mult)))
+        tables.append((name, tuple(rows)))
+    disagreements = []
+    all_rows = set(cx.lhs_result.support()) | set(cx.rhs_result.support())
+    for row in sorted(all_rows, key=repr):
+        left = cx.lhs_result.annotation(row)
+        right = cx.rhs_result.annotation(row)
+        if left != right:
+            disagreements.append((repr(row), repr(left), repr(right)))
+    extra = ("" if not _has_callables(cx.interpretation)
+             else "metavariable bindings fixed by the instantiator are "
+                  "not serialized; replay via the live counterexample")
+    full_note = "; ".join(p for p in (note, extra) if p)
+    return CounterexampleRecord(tables=tuple(tables),
+                                disagreements=tuple(disagreements),
+                                note=full_note)
+
+
+def _as_int(mult: Any) -> int:
+    try:
+        return int(mult)
+    except (TypeError, ValueError):
+        return 1
+
+
+def _has_callables(interp: Interpretation) -> bool:
+    return bool(interp.predicates or interp.projections
+                or interp.expressions)
+
+
+def replay(record: CounterexampleRecord, q1: ast.Query, q2: ast.Query,
+           schemas: Dict[str, Schema],
+           semiring: Semiring = NAT) -> Tuple[KRelation, KRelation]:
+    """Re-evaluate both queries on a recorded instance.
+
+    Only meaningful for closed queries (no metavariable callables); the
+    pipeline and CLI use it to demonstrate that a DISPROVED verdict's
+    instance really separates the queries.
+    """
+    interp = Interpretation()
+    for name, rows in record.tables:
+        schema = schemas[name]
+        rel = KRelation(semiring)
+        for flat, mult in rows:
+            rel.add(tuple_of(schema, list(flat)), semiring.from_int(mult))
+        interp.relations[name] = rel
+        interp.schemas[name] = schema
+    return run_query(q1, interp, semiring), run_query(q2, interp, semiring)
+
+
+__all__ = [
+    "Bound",
+    "DisproofResult",
+    "SMALL_DOMAINS",
+    "count_relations",
+    "counterexample_record",
+    "disprove",
+    "disprove_factory",
+    "disprove_rule",
+    "enumerate_relations",
+    "free_tables",
+    "has_metavariables",
+    "replay",
+]

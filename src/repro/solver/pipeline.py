@@ -1,0 +1,348 @@
+"""The tiered decision pipeline: cheap stages first, expensive ones later.
+
+Query equivalence is undecidable (paper Figure 9), so a service answering
+thousands of checks cannot afford to hand every pair to the full prover.
+The pipeline escalates through stages in cost order, stopping at the first
+definitive answer:
+
+1. **normalize** — denote both queries (Figure 7) and normalize (Sec. 3.4
+   + Lemmas 5.1/5.2); everything downstream works on normal forms.
+2. **cache** — content-addressed lookup keyed on the alpha-canonical
+   normal forms; repeated and alpha-equivalent questions are O(1).
+3. **alpha-hash** — syntactic equality of canonical normal forms.  Proves
+   every "same query modulo renaming/reassociation" pair without invoking
+   the proof search at all.
+4. **conjunctive** — the complete decision procedure for the CQ fragment
+   (Sec. 5.2).  On closed concrete CQs a negative answer is itself a
+   *disproof* (Chandra–Merlin completeness).
+5. **prover** — the full engine, under a configurable recursion depth and
+   step budget (:class:`~repro.core.equivalence.StepBudgetExceeded`).
+6. **disprover** — bounded-exhaustive counterexample search, giving either
+   a replayable DISPROVED or a quantified "no counterexample up to k".
+
+The analog in the Horn-clause literature (PAPERS.md) is trying cheap
+recursion-free expansions before general solving; the analog in Cosette is
+the prover/disprover pair itself.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core import ast
+from ..core.conjunctive import NotConjunctive, decide_cq, is_conjunctive_query
+from ..core.denote import denote_closed
+from ..core.equivalence import (
+    Hypotheses,
+    MAX_DEPTH,
+    NO_HYPOTHESES,
+    ProofStats,
+    StepBudgetExceeded,
+    align_denotations,
+    decide_nsums,
+)
+from ..core.normalize import normalize, nsums_alpha_equal
+from ..core.schema import EMPTY, Schema
+from .cache import (
+    ProofCache,
+    nsum_fingerprint,
+    nsum_side_digest,
+    query_side_digest,
+)
+from .disprover import (
+    Bound,
+    disprove,
+    disprove_factory,
+    free_tables,
+    has_metavariables,
+)
+from .verdict import Status, Verdict
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs for the pipeline's stages (picklable; shared with workers)."""
+
+    #: recursion depth for the full prover (≤ engine MAX_DEPTH).
+    prover_depth: int = MAX_DEPTH
+    #: step budget for the full prover; None = unbounded.  The hardest
+    #: Figure 8 rule needs ~200 steps, so the default is generous for
+    #: real rewrites while still stopping runaway searches.
+    prover_max_steps: Optional[int] = 50_000
+    use_alpha_hash: bool = True
+    use_conjunctive: bool = True
+    use_prover: bool = True
+    use_disprover: bool = True
+    disprover_bound: Bound = Bound()
+    #: instance budget per check; None = unbounded.
+    disprover_max_instances: Optional[int] = 50_000
+    #: metavariable instantiations tried when disproving via a factory.
+    disprover_draws: int = 2
+    #: cache inconclusive (UNKNOWN) verdicts too?  Off by default so a
+    #: later run with a bigger budget is not short-circuited.
+    cache_unknown: bool = False
+
+
+DEFAULT_CONFIG = PipelineConfig()
+
+
+class Pipeline:
+    """A configured tiered decision pipeline with a proof cache."""
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 cache: Optional[ProofCache] = None,
+                 cache_path: Optional[str] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.cache = cache if cache is not None \
+            else ProofCache(path=cache_path)
+
+    # -- public API ---------------------------------------------------------
+
+    def check(self, q1: ast.Query, q2: ast.Query,
+              ctx_schema: Optional[Schema] = None,
+              hyps: Hypotheses = NO_HYPOTHESES, *,
+              factory=None, alias: Optional[str] = None,
+              prove_only: bool = False) -> Verdict:
+        """Run the tiers on one equivalence question.
+
+        Args:
+            q1, q2: the two HoTTSQL queries.
+            ctx_schema: outer context schema (closed queries: EMPTY).
+            hyps: integrity-constraint hypotheses.
+            factory: optional instance factory for the disprover when the
+                queries contain metavariables (a rule's instantiator).
+            alias: optional syntactic cache alias to register.
+            prove_only: stop after the prover stage (used for rewrite
+                certification, where a counterexample search is wasted
+                work — an uncertified rewrite is simply discarded).
+        """
+        cfg = self.config
+        timings: Dict[str, float] = {}
+        ctx_schema = EMPTY if ctx_schema is None else ctx_schema
+
+        # Stage 1: normalize ------------------------------------------------
+        started = time.perf_counter()
+        d1 = denote_closed(q1, ctx_schema)
+        d2 = denote_closed(q2, ctx_schema)
+        lhs, rhs = align_denotations(d1, d2)
+        n1 = normalize(lhs)
+        n2 = normalize(rhs)
+        timings["normalize"] = time.perf_counter() - started
+
+        # Stage 2: cache ----------------------------------------------------
+        started = time.perf_counter()
+        # The denotations' context/tuple variables are the only free
+        # variables of the normal forms; labeling them canonically makes
+        # the fingerprint stable across runs (and processes).
+        free_env = {d1.g: "@ctx", d1.t: "@tup"}
+        fingerprint = nsum_fingerprint(n1, n2, hyps, free_env=free_env)
+        side_digest = nsum_side_digest(n1, free_env)
+        hit = self.cache.get(fingerprint)
+        timings["cache"] = time.perf_counter() - started
+        if hit is not None:
+            # The fingerprint is symmetric; re-orient the stored
+            # counterexample (if any) to this caller's (Q1, Q2) order,
+            # then re-tag with *this* caller's digests so downstream
+            # readers (the batch service) see a consistent orientation.
+            hit = hit.oriented_for(norm_digest=side_digest)
+            hit.lhs_norm_digest = side_digest
+            hit.lhs_repr_digest = query_side_digest(q1)
+            hit.rhs_repr_digest = query_side_digest(q2)
+            hit.timings = dict(timings)
+            if alias is not None:
+                self.cache.register_alias(alias, fingerprint)
+            return hit
+
+        verdict = self._decide(q1, q2, ctx_schema, hyps, n1, n2,
+                               fingerprint, timings, factory, prove_only)
+        verdict.lhs_norm_digest = side_digest
+        verdict.lhs_repr_digest = query_side_digest(q1)
+        verdict.rhs_repr_digest = query_side_digest(q2)
+        # A prove_only UNKNOWN is partial (the disprover never ran), so it
+        # is never cached — even under cache_unknown — lest it mask the
+        # disproof a later full check would find.
+        if verdict.status is not Status.UNKNOWN \
+                or (cfg.cache_unknown and not prove_only):
+            self.cache.put(fingerprint, verdict, alias=alias)
+        return verdict
+
+    def certify(self, q1: ast.Query, q2: ast.Query,
+                ctx_schema: Optional[Schema] = None,
+                hyps: Hypotheses = NO_HYPOTHESES) -> bool:
+        """Prove-or-discard entry point for rewrite certification."""
+        return self.check(q1, q2, ctx_schema, hyps, prove_only=True).proved
+
+    def check_rule(self, rule) -> Verdict:
+        """Check a :class:`~repro.rules.rule.RewriteRule` end to end."""
+        return self.check(rule.lhs, rule.rhs, rule.ctx_schema,
+                          rule.hypotheses, factory=rule.instantiate)
+
+    # -- the tiers ----------------------------------------------------------
+
+    def _decide(self, q1, q2, ctx_schema, hyps, n1, n2, fingerprint,
+                timings, factory, prove_only) -> Verdict:
+        cfg = self.config
+
+        def verdict(status: Status, stage: str, **kw) -> Verdict:
+            return Verdict(status=status, stage=stage,
+                           fingerprint=fingerprint, timings=dict(timings),
+                           **kw)
+
+        # Stage 3: alpha-hash equality of normal forms ----------------------
+        if cfg.use_alpha_hash:
+            started = time.perf_counter()
+            same = nsums_alpha_equal(n1, n2)
+            timings["alpha-hash"] = time.perf_counter() - started
+            if same:
+                return verdict(
+                    Status.PROVED, "alpha-hash",
+                    detail="normal forms are alpha-equal")
+
+        # Stage 4: conjunctive-fragment decision ----------------------------
+        cq_disproof = False
+        if cfg.use_conjunctive and is_conjunctive_query(q1) \
+                and is_conjunctive_query(q2):
+            started = time.perf_counter()
+            try:
+                decision = decide_cq(q1, q2, ctx_schema, hyps,
+                                     require_fragment=False,
+                                     normals=(n1, n2))
+            except NotConjunctive:
+                decision = None
+            timings["conjunctive"] = time.perf_counter() - started
+            if decision is not None and decision.equivalent:
+                return verdict(
+                    Status.PROVED, "conjunctive", engine_steps=1,
+                    detail="decided by the complete CQ procedure "
+                           "(containment mappings in both directions)")
+            # On *closed, concrete* CQs with no integrity constraints the
+            # procedure is complete, so a failed mapping search is a
+            # genuine disproof; the disprover stage then looks for a
+            # concrete witness instance to attach.
+            if decision is not None and ctx_schema == EMPTY \
+                    and not hyps.keys and not hyps.fds \
+                    and not has_metavariables(q1) \
+                    and not has_metavariables(q2):
+                cq_disproof = True
+
+        # Stage 5: full prover under budget ---------------------------------
+        budget_note = ""
+        prover_steps = 0
+        if cfg.use_prover and not cq_disproof:
+            started = time.perf_counter()
+            stats = ProofStats(max_steps=cfg.prover_max_steps)
+            try:
+                result = decide_nsums(n1, n2, hyps,
+                                      depth=cfg.prover_depth, stats=stats)
+                equal = result.equal
+            except StepBudgetExceeded:
+                equal = False
+                budget_note = (f"prover stopped at its "
+                               f"{cfg.prover_max_steps}-step budget")
+            prover_steps = stats.total_steps
+            timings["prover"] = time.perf_counter() - started
+            if equal:
+                return verdict(Status.PROVED, "prover",
+                               engine_steps=prover_steps)
+
+        if prove_only:
+            if cq_disproof:
+                return verdict(
+                    Status.DISPROVED, "conjunctive",
+                    detail="CQ decision procedure is complete on this "
+                           "fragment: no containment mapping exists")
+            return verdict(Status.UNKNOWN, "prover",
+                           engine_steps=prover_steps,
+                           detail=budget_note or "prover found no proof "
+                           "(sound but incomplete)")
+
+        # Stage 6: bounded-exhaustive disprover -----------------------------
+        bound_info = None
+        if cfg.use_disprover:
+            started = time.perf_counter()
+            result = self._run_disprover(q1, q2, ctx_schema, hyps, factory)
+            timings["disprover"] = time.perf_counter() - started
+            if result is not None:
+                bound_info = result.info()
+                if result.found:
+                    return verdict(
+                        Status.DISPROVED, "disprover",
+                        engine_steps=prover_steps,
+                        counterexample=result.record, bound=bound_info,
+                        live_counterexample=result.counterexample,
+                        detail="concrete counterexample instance found")
+
+        if cq_disproof:
+            return verdict(
+                Status.DISPROVED, "conjunctive", bound=bound_info,
+                detail="CQ decision procedure is complete on this "
+                       "fragment: no containment mapping exists"
+                       + ("; no small witness within the disprover bound"
+                          if bound_info is not None else ""))
+        detail = budget_note or ("prover found no proof (sound but "
+                                 "incomplete)")
+        return verdict(Status.UNKNOWN,
+                       "disprover" if bound_info is not None else "prover",
+                       engine_steps=prover_steps,
+                       bound=bound_info, detail=detail)
+
+    def _run_disprover(self, q1, q2, ctx_schema, hyps, factory):
+        cfg = self.config
+        if factory is not None:
+            return disprove_factory(
+                factory, bound=cfg.disprover_bound,
+                draws=cfg.disprover_draws,
+                max_instances=cfg.disprover_max_instances, hyps=hyps)
+        if ctx_schema != EMPTY or has_metavariables(q1) \
+                or has_metavariables(q2):
+            return None  # nothing concrete to enumerate
+        try:
+            tables = dict(free_tables(q1))
+            for name, schema in free_tables(q2).items():
+                if tables.get(name, schema) != schema:
+                    # The two queries read the same table at different
+                    # schemas; no single instance interprets both.
+                    return None
+                tables[name] = schema
+            return disprove(q1, q2, tables, bound=cfg.disprover_bound,
+                            max_instances=cfg.disprover_max_instances,
+                            hyps=hyps)
+        except ValueError:
+            return None
+
+
+# ---------------------------------------------------------------------------
+# Shared default pipeline (process-wide proof cache)
+# ---------------------------------------------------------------------------
+
+_DEFAULT: Optional[Pipeline] = None
+
+
+def default_pipeline() -> Pipeline:
+    """The process-wide pipeline used by certification call sites.
+
+    Sharing one instance means every consumer — the rule applier, the
+    plan rewriter, the planner's final certification — feeds and profits
+    from the same proof cache.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Pipeline()
+    return _DEFAULT
+
+
+def reset_default_pipeline() -> None:
+    """Drop the shared pipeline (tests use this to isolate cache state)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Pipeline",
+    "PipelineConfig",
+    "default_pipeline",
+    "reset_default_pipeline",
+]

@@ -1,0 +1,282 @@
+"""Batch verification service: dedup, cache, and fan out across workers.
+
+The ROADMAP's north star is a system that "serves heavy traffic"; a query
+optimizer or a CI pipeline does not ask one equivalence question, it asks
+thousands — many of them duplicates.  :class:`VerificationService` accepts
+a batch of (schema, Q1, Q2) jobs and answers them by:
+
+1. **deduplicating** syntactically identical questions (the order of the
+   pair does not matter — equivalence is symmetric),
+2. consulting the **proof cache** via the syntactic alias index (a warm
+   batch answers without normalizing anything),
+3. fanning the remaining unique questions out across a
+   ``multiprocessing`` worker pool, each worker running its own
+   :class:`~repro.solver.pipeline.Pipeline`,
+4. folding every worker verdict back into the shared cache (and, when
+   configured, persisting it to disk for the next run).
+
+Everything that crosses the process boundary is plain data: queries are
+frozen dataclasses, verdicts are serialization-safe (live counterexamples
+are stripped).  Rules are dispatched *by name* — their instantiators are
+closures, which do not pickle — and re-resolved inside the worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core import ast
+from ..core.equivalence import Hypotheses, NO_HYPOTHESES
+from ..core.schema import Schema
+from .cache import query_side_digest, syntactic_alias
+from .pipeline import Pipeline, PipelineConfig
+from .verdict import Status, Verdict
+
+
+@dataclass(frozen=True)
+class Job:
+    """One equivalence question in a batch."""
+
+    job_id: str
+    q1: ast.Query
+    q2: ast.Query
+    ctx_schema: Optional[Schema] = None
+    hyps: Hypotheses = NO_HYPOTHESES
+
+    def alias(self) -> str:
+        return syntactic_alias(self.q1, self.q2, self.ctx_schema, self.hyps)
+
+
+@dataclass
+class BatchReport:
+    """Per-job verdicts plus the batch-level accounting."""
+
+    verdicts: Dict[str, Verdict]
+    total_jobs: int
+    unique_questions: int
+    cache_hits: int
+    computed: int
+    workers: int
+    wall_seconds: float
+
+    @property
+    def duplicate_jobs(self) -> int:
+        return self.total_jobs - self.unique_questions
+
+    def count(self, status: Status) -> int:
+        return sum(1 for v in self.verdicts.values() if v.status is status)
+
+    def summary(self) -> str:
+        return (f"{self.total_jobs} job(s): "
+                f"{self.count(Status.PROVED)} proved, "
+                f"{self.count(Status.DISPROVED)} disproved, "
+                f"{self.count(Status.UNKNOWN)} unknown "
+                f"[{self.unique_questions} unique, "
+                f"{self.cache_hits} cache hit(s), "
+                f"{self.computed} computed, "
+                f"{self.workers} worker(s), "
+                f"{self.wall_seconds * 1e3:.1f} ms]")
+
+
+# ---------------------------------------------------------------------------
+# Worker-side plumbing (module-level so it pickles under fork *and* spawn)
+# ---------------------------------------------------------------------------
+
+_WORKER_PIPELINE: Optional[Pipeline] = None
+
+
+def _init_worker(config: PipelineConfig) -> None:
+    global _WORKER_PIPELINE
+    _WORKER_PIPELINE = Pipeline(config)
+
+
+def _run_pair(payload) -> Tuple[str, Verdict]:
+    alias, q1, q2, ctx_schema, hyps = payload
+    verdict = _WORKER_PIPELINE.check(q1, q2, ctx_schema, hyps)
+    return alias, verdict.strip_live()
+
+
+def _run_rule(payload) -> Tuple[str, Verdict]:
+    alias, rule_name = payload
+    from ..rules.registry import get_rule  # deferred: rules import solver
+    rule = get_rule(rule_name)
+    verdict = _WORKER_PIPELINE.check_rule(rule)
+    return alias, verdict.strip_live()
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+class VerificationService:
+    """A batch front end over a shared :class:`Pipeline`."""
+
+    def __init__(self, pipeline: Optional[Pipeline] = None,
+                 config: Optional[PipelineConfig] = None,
+                 cache_path: Optional[str] = None,
+                 workers: Optional[int] = None) -> None:
+        self.pipeline = pipeline if pipeline is not None \
+            else Pipeline(config, cache_path=cache_path)
+        self.default_workers = workers
+
+    @property
+    def cache(self):
+        return self.pipeline.cache
+
+    def save_cache(self, path: Optional[str] = None) -> str:
+        return self.cache.save(path)
+
+    # -- batches of query pairs --------------------------------------------
+
+    def check_batch(self, jobs: Sequence[Job],
+                    workers: Optional[int] = None) -> BatchReport:
+        """Answer every job, deduplicating and parallelizing."""
+        started = time.perf_counter()
+        groups: Dict[str, List[Job]] = {}
+        order: List[str] = []
+        for job in jobs:
+            alias = job.alias()
+            if alias not in groups:
+                groups[alias] = []
+                order.append(alias)
+            groups[alias].append(job)
+
+        answers: Dict[str, Verdict] = {}
+        pending: List[Job] = []
+        cache_hits = 0
+        for alias in order:
+            hit = self.cache.get_by_alias(alias)
+            if hit is not None:
+                answers[alias] = hit
+                cache_hits += 1
+            else:
+                pending.append(groups[alias][0])
+
+        worker_count = self._resolve_workers(workers, len(pending))
+        if pending:
+            if worker_count > 1:
+                payloads = [(job.alias(), job.q1, job.q2, job.ctx_schema,
+                             job.hyps) for job in pending]
+                for alias, verdict in self._map(
+                        _run_pair, payloads, worker_count):
+                    answers[alias] = verdict
+                    self._store(alias, verdict)
+            else:
+                for job in pending:
+                    answers[job.alias()] = self.pipeline.check(
+                        job.q1, job.q2, job.ctx_schema, job.hyps,
+                        alias=job.alias())
+
+        # Per-job orientation: a group may contain both (Q1, Q2) and its
+        # mirror (Q2, Q1); counterexample side labels follow each job.
+        verdicts = {
+            job.job_id: answers[alias].oriented_for(
+                repr_digest=query_side_digest(job.q1))
+            for alias, group in groups.items() for job in group}
+        return BatchReport(
+            verdicts=verdicts, total_jobs=len(jobs),
+            unique_questions=len(groups), cache_hits=cache_hits,
+            computed=len(pending), workers=worker_count if pending else 0,
+            wall_seconds=time.perf_counter() - started)
+
+    # -- batches of library rules ------------------------------------------
+
+    def check_rules(self, rules: Iterable,
+                    workers: Optional[int] = None) -> BatchReport:
+        """Verify a rule corpus; rules are shipped to workers by name."""
+        started = time.perf_counter()
+        rules = list(rules)
+        answers: Dict[str, Verdict] = {}
+        pending = []
+        cache_hits = 0
+        aliases: Dict[str, str] = {}
+        for rule in rules:
+            alias = syntactic_alias(rule.lhs, rule.rhs, rule.ctx_schema,
+                                    rule.hypotheses)
+            aliases[rule.name] = alias
+            hit = self.cache.get_by_alias(alias)
+            if hit is not None:
+                answers[alias] = hit
+                cache_hits += 1
+            elif alias not in {a for a, _ in pending}:
+                pending.append((alias, rule))
+
+        worker_count = self._resolve_workers(workers, len(pending))
+        if pending:
+            if worker_count > 1:
+                payloads = [(alias, rule.name) for alias, rule in pending]
+                for alias, verdict in self._map(
+                        _run_rule, payloads, worker_count):
+                    answers[alias] = verdict
+                    self._store(alias, verdict)
+            else:
+                for alias, rule in pending:
+                    answers[alias] = self.pipeline.check(
+                        rule.lhs, rule.rhs, rule.ctx_schema,
+                        rule.hypotheses, factory=rule.instantiate,
+                        alias=alias)
+
+        verdicts = {rule.name: answers[aliases[rule.name]] for rule in rules}
+        return BatchReport(
+            verdicts=verdicts, total_jobs=len(rules),
+            unique_questions=len({a for a in aliases.values()}),
+            cache_hits=cache_hits, computed=len(pending),
+            workers=worker_count if pending else 0,
+            wall_seconds=time.perf_counter() - started)
+
+    # -- pool plumbing ------------------------------------------------------
+
+    def _store(self, alias: str, verdict: Verdict) -> None:
+        """Fold a worker verdict into the cache (same policy as Pipeline)."""
+        if verdict.status is not Status.UNKNOWN \
+                or self.pipeline.config.cache_unknown:
+            self.cache.put(verdict.fingerprint, verdict, alias=alias)
+
+    def _resolve_workers(self, requested: Optional[int],
+                         pending: int) -> int:
+        if requested is None:
+            requested = self.default_workers
+        if requested is None:
+            requested = min(4, os.cpu_count() or 1)
+        return max(1, min(requested, max(pending, 1)))
+
+    def _map(self, fn, payloads, worker_count):
+        ctx = self._pool_context()
+        try:
+            pool = ctx.Pool(processes=worker_count,
+                            initializer=_init_worker,
+                            initargs=(self.pipeline.config,))
+        except (OSError, ValueError):
+            # No fork/spawn available (restricted sandbox): degrade to
+            # in-process execution on the service's own pipeline.  Only
+            # pool *creation* is guarded — a job-level error must
+            # propagate as itself, not trigger a bogus inline re-run.
+            for payload in payloads:
+                yield _run_inline(self.pipeline, fn, payload)
+            return
+        with pool:
+            yield from pool.imap_unordered(fn, payloads)
+
+    @staticmethod
+    def _pool_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            return multiprocessing.get_context("spawn")
+
+
+def _run_inline(pipeline: Pipeline, fn, payload) -> Tuple[str, Verdict]:
+    global _WORKER_PIPELINE
+    previous = _WORKER_PIPELINE
+    _WORKER_PIPELINE = pipeline
+    try:
+        return fn(payload)
+    finally:
+        _WORKER_PIPELINE = previous
+
+
+__all__ = ["BatchReport", "Job", "VerificationService"]

@@ -95,3 +95,31 @@ class TestFalsifier:
     def test_agreement_rate_bounds(self):
         assert agreement_rate(self._factory_sound, trials=10) == 1.0
         assert agreement_rate(self._factory_unsound, trials=60) < 1.0
+
+
+class TestDomainIsolation:
+    """Regression: the module default domains must never be handed out
+    directly — a caller mutating its ``domains`` mapping must not poison
+    later default-domain calls."""
+
+    def test_custom_domains_do_not_leak_into_defaults(self):
+        rng = random.Random(0)
+        assert random_value(rng, INT, {"int": (7,)}) == 7
+        assert random_value(random.Random(0), INT) in (0, 1, 2)
+
+    def test_resolved_default_is_a_fresh_copy(self):
+        from repro.core.schema import DEFAULT_DOMAINS
+        from repro.engine.random_instances import _resolve_domains
+
+        resolved = _resolve_domains(None)
+        assert resolved == DEFAULT_DOMAINS
+        resolved["int"] = (99,)
+        resolved["string"] = ()
+        assert DEFAULT_DOMAINS["int"] == (0, 1, 2)
+        assert random_value(random.Random(0), INT) in (0, 1, 2)
+
+    def test_relation_generators_accept_none(self):
+        rng = random.Random(3)
+        rel = random_relation(rng, SCHEMA, NAT, max_rows=4, domains=None)
+        for row in rel.support():
+            assert validate_tuple(SCHEMA, row)

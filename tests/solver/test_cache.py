@@ -1,0 +1,134 @@
+"""Content-addressed proof cache: fingerprints, LRU, persistence."""
+
+import pytest
+
+from repro.core.denote import denote_closed
+from repro.core.equivalence import align_denotations
+from repro.core.normalize import normalize
+from repro.core.schema import EMPTY, INT
+from repro.solver import (
+    Pipeline,
+    ProofCache,
+    Status,
+    Verdict,
+    nsum_fingerprint,
+    syntactic_alias,
+)
+from repro.sql import Catalog, compile_sql
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    return cat
+
+
+def _normal_pair(q1, q2):
+    d1 = denote_closed(q1, EMPTY)
+    d2 = denote_closed(q2, EMPTY)
+    lhs, rhs = align_denotations(d1, d2)
+    return normalize(lhs), normalize(rhs), {d1.g: "@g", d1.t: "@t"}
+
+
+class TestFingerprint:
+    def test_symmetric(self, catalog):
+        q1 = compile_sql("SELECT a FROM R", catalog).query
+        q2 = compile_sql("SELECT b FROM R", catalog).query
+        n1, n2, env = _normal_pair(q1, q2)
+        assert nsum_fingerprint(n1, n2, free_env=env) == \
+            nsum_fingerprint(n2, n1, free_env=env)
+
+    def test_stable_across_runs(self, catalog):
+        # Fresh-variable counters advance between compilations; the
+        # fingerprint must not notice.
+        q1 = compile_sql("SELECT a FROM R", catalog).query
+        q2 = compile_sql("SELECT b FROM R", catalog).query
+        pipeline = Pipeline()
+        first = pipeline.check(q1, q2).fingerprint
+        pipeline.cache.clear()
+        second = pipeline.check(q1, q2).fingerprint
+        assert first == second
+
+    def test_alpha_equivalent_queries_share_fingerprint(self, catalog):
+        # Different alias names, same question.
+        q1 = compile_sql(
+            "SELECT x.a FROM R AS x WHERE x.a = 1", catalog).query
+        q2 = compile_sql(
+            "SELECT y.a FROM R AS y WHERE y.a = 1", catalog).query
+        pipeline = Pipeline()
+        v1 = pipeline.check(q1, q1)
+        v2 = pipeline.check(q2, q2)
+        assert v1.fingerprint == v2.fingerprint
+
+    def test_alias_is_symmetric(self, catalog):
+        q1 = compile_sql("SELECT a FROM R", catalog).query
+        q2 = compile_sql("SELECT b FROM R", catalog).query
+        assert syntactic_alias(q1, q2) == syntactic_alias(q2, q1)
+
+
+class TestLRU:
+    def _verdict(self, tag):
+        return Verdict(status=Status.PROVED, stage="prover",
+                       fingerprint=tag)
+
+    def test_eviction_order(self):
+        cache = ProofCache(max_size=2)
+        cache.put("a", self._verdict("a"))
+        cache.put("b", self._verdict("b"))
+        assert cache.get("a") is not None  # refresh a
+        cache.put("c", self._verdict("c"))  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_hit_rate_accounting(self):
+        cache = ProofCache(max_size=8)
+        cache.put("a", self._verdict("a"))
+        assert cache.get("a") is not None
+        assert cache.get("missing") is None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_cached_copies_are_marked(self):
+        cache = ProofCache()
+        cache.put("a", self._verdict("a"))
+        hit = cache.get("a")
+        assert hit.cached is True
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ProofCache(max_size=0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path, catalog):
+        path = str(tmp_path / "cache.json")
+        q1 = compile_sql("SELECT DISTINCT a FROM R", catalog).query
+        q2 = compile_sql(
+            "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a",
+            catalog).query
+        pipeline = Pipeline(cache_path=path)
+        cold = pipeline.check(q1, q2)
+        assert cold.proved and not cold.cached
+        pipeline.cache.save()
+
+        fresh = Pipeline(cache_path=path)
+        warm = fresh.check(q1, q2)
+        assert warm.proved and warm.cached
+
+    def test_counterexample_survives_roundtrip(self, tmp_path, catalog):
+        path = str(tmp_path / "cache.json")
+        q1 = compile_sql("SELECT a FROM R", catalog).query
+        q2 = compile_sql("SELECT b FROM R", catalog).query
+        pipeline = Pipeline(cache_path=path)
+        cold = pipeline.check(q1, q2)
+        assert cold.disproved and cold.counterexample is not None
+        pipeline.cache.save()
+
+        warm = Pipeline(cache_path=path).check(q1, q2)
+        assert warm.disproved
+        assert warm.counterexample == cold.counterexample
+
+    def test_save_without_path_is_an_error(self):
+        with pytest.raises(ValueError):
+            ProofCache().save()

@@ -1,0 +1,194 @@
+"""The tiered decision pipeline: stages, budgets, corpus acceptance."""
+
+import pytest
+
+from repro.core.schema import INT
+from repro.rules import all_buggy_rules, all_rules
+from repro.semiring import NAT
+from repro.solver import (
+    Bound,
+    Pipeline,
+    PipelineConfig,
+    Status,
+    replay,
+)
+from repro.sql import Catalog, compile_sql
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    return cat
+
+
+@pytest.fixture
+def queries(catalog):
+    def q(sql):
+        return compile_sql(sql, catalog).query
+    return q
+
+
+class TestStages:
+    def test_identical_queries_proved_by_alpha_hash(self, queries):
+        q = queries("SELECT a FROM R WHERE a = 1")
+        verdict = Pipeline().check(q, q)
+        assert verdict.proved
+        assert verdict.stage == "alpha-hash"
+
+    def test_alias_renaming_proved_by_alpha_hash(self, queries):
+        v = Pipeline().check(
+            queries("SELECT x.a FROM R AS x"),
+            queries("SELECT y.a FROM R AS y"))
+        assert v.proved
+        assert v.stage == "alpha-hash"
+
+    def test_cq_pair_decided_by_conjunctive_stage(self, queries):
+        v = Pipeline().check(
+            queries("SELECT DISTINCT a FROM R"),
+            queries("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                    "WHERE x.a = y.a"))
+        assert v.proved
+        assert v.stage == "conjunctive"
+
+    def test_cq_negative_is_a_disproof(self, queries):
+        # Closed concrete CQs: the procedure is complete, so even with the
+        # disprover off the answer is DISPROVED, not UNKNOWN.
+        config = PipelineConfig(use_disprover=False)
+        v = Pipeline(config).check(
+            queries("SELECT DISTINCT a FROM R"),
+            queries("SELECT DISTINCT b FROM R"))
+        assert v.disproved
+        assert v.stage == "conjunctive"
+
+    def test_disprover_produces_replayable_counterexample(
+            self, queries, catalog):
+        q1 = queries("SELECT a FROM R")
+        q2 = queries("SELECT b FROM R")
+        v = Pipeline().check(q1, q2)
+        assert v.disproved and v.stage == "disprover"
+        lhs, rhs = replay(v.counterexample, q1, q2,
+                          {"R": catalog.schema_of("R")}, NAT)
+        assert lhs != rhs
+
+    def test_unknown_carries_bound_guarantee(self, queries):
+        # An inequivalence the bounded disprover cannot see: the queries
+        # differ only on values outside the small enumeration domain, and
+        # without DISTINCT they sit outside the complete CQ fragment — so
+        # the honest answer is UNKNOWN with an explicit bound.
+        config = PipelineConfig(
+            disprover_bound=Bound.of(max_rows=1, max_multiplicity=1))
+        v = Pipeline(config).check(
+            queries("SELECT a FROM R WHERE a = 2"),
+            queries("SELECT a FROM R WHERE a = 3"))
+        assert v.status is Status.UNKNOWN
+        assert v.bound is not None and v.bound.exhausted
+
+    def test_step_budget_turns_prover_off_gracefully(self, queries):
+        config = PipelineConfig(prover_max_steps=1, use_alpha_hash=False,
+                                use_conjunctive=False, use_disprover=False)
+        v = Pipeline(config).check(
+            queries("SELECT a FROM R WHERE a = 1 AND b = 1"),
+            queries("SELECT a FROM R WHERE b = 1 AND a = 1"))
+        assert v.status is Status.UNKNOWN
+        assert "budget" in v.detail
+
+    def test_timings_cover_executed_stages(self, queries):
+        v = Pipeline().check(queries("SELECT a FROM R"),
+                             queries("SELECT b FROM R"))
+        assert "normalize" in v.timings
+        assert "disprover" in v.timings
+        assert v.total_seconds >= 0
+
+    def test_non_proved_verdicts_report_prover_effort(self, queries):
+        # The prover ran before the disprover settled it; its step count
+        # must not be reported as zero.
+        v = Pipeline().check(queries("SELECT a FROM R"),
+                             queries("SELECT b FROM R"))
+        assert v.disproved
+        assert v.engine_steps > 0
+
+
+class TestCaching:
+    def test_second_check_hits_cache(self, queries):
+        pipeline = Pipeline()
+        q1 = queries("SELECT DISTINCT a FROM R")
+        q2 = queries("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                     "WHERE x.a = y.a")
+        first = pipeline.check(q1, q2)
+        second = pipeline.check(q1, q2)
+        assert not first.cached and second.cached
+        assert second.status is first.status
+
+    def test_swapped_order_hits_cache(self, queries):
+        pipeline = Pipeline()
+        q1 = queries("SELECT DISTINCT a FROM R")
+        q2 = queries("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                     "WHERE x.a = y.a")
+        pipeline.check(q1, q2)
+        assert pipeline.check(q2, q1).cached
+
+    def test_swapped_cache_hit_reorients_counterexample(self, queries):
+        # Cache keys are symmetric; the counterexample's lhs/rhs labels
+        # must follow the caller's argument order, not the producer's.
+        pipeline = Pipeline()
+        q1 = queries("SELECT a FROM R")
+        q2 = queries("SELECT a FROM R UNION ALL SELECT a FROM R")
+        first = pipeline.check(q1, q2)
+        swapped = pipeline.check(q2, q1)
+        assert swapped.cached
+        assert swapped.counterexample.disagreements == tuple(
+            (row, right, left)
+            for row, left, right in first.counterexample.disagreements)
+        # And the labels must genuinely differ (q2 returns the doubles).
+        assert first.counterexample.disagreements \
+            != swapped.counterexample.disagreements
+
+    def test_prove_only_keeps_cq_disproof(self, queries):
+        v = Pipeline().check(queries("SELECT DISTINCT a FROM R"),
+                             queries("SELECT DISTINCT b FROM R"),
+                             prove_only=True)
+        assert v.disproved
+        assert v.stage == "conjunctive"
+
+    def test_unknown_not_cached_by_default(self, queries):
+        config = PipelineConfig(
+            disprover_bound=Bound.of(max_rows=1, max_multiplicity=1))
+        pipeline = Pipeline(config)
+        q1 = queries("SELECT a FROM R WHERE a = 2")
+        q2 = queries("SELECT a FROM R WHERE a = 3")
+        assert pipeline.check(q1, q2).status is Status.UNKNOWN
+        assert not pipeline.check(q1, q2).cached
+
+
+class TestRuleCorpus:
+    """The ISSUE's acceptance criterion, as a regression test."""
+
+    @pytest.mark.parametrize("rule", all_rules(), ids=lambda r: r.name)
+    def test_every_figure8_rule_is_proved(self, rule):
+        verdict = Pipeline().check_rule(rule)
+        assert verdict.proved, \
+            f"{rule.name}: {verdict.status} ({verdict.detail})"
+
+    @pytest.mark.parametrize("rule", all_buggy_rules(),
+                             ids=lambda r: r.name)
+    def test_every_buggy_rule_is_disproved_with_witness(self, rule):
+        verdict = Pipeline().check_rule(rule)
+        assert verdict.disproved, f"{rule.name}: {verdict.status}"
+        assert verdict.counterexample is not None
+        live = verdict.live_counterexample
+        assert live is not None
+        assert live.lhs_result != live.rhs_result  # replay the witness
+
+    def test_certify_is_prove_only(self):
+        # certify() must answer quickly even for inequivalent inputs — it
+        # never falls into the disprover.
+        from repro.rules import get_rule
+        rule = get_rule("bad_union_distinct")
+        pipeline = Pipeline()
+        assert pipeline.certify(rule.lhs, rule.rhs,
+                                hyps=rule.hypotheses) is False
+        verdict = pipeline.check(rule.lhs, rule.rhs, hyps=rule.hypotheses,
+                                 prove_only=True)
+        assert verdict.status is Status.UNKNOWN
+        assert "disprover" not in verdict.timings

@@ -1,9 +1,11 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import CLIError, main, parse_table_spec
-from repro.core.schema import INT, STRING
+from repro.core.schema import FLOAT, INT, STRING
 
 
 class TestTableSpecs:
@@ -17,11 +19,20 @@ class TestTableSpecs:
         assert name == "Emp"
         assert len(columns) == 2
 
+    def test_float_columns(self):
+        name, columns = parse_table_spec("M(score:float,n:int)")
+        assert name == "M"
+        assert columns[0] == ("score", FLOAT)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CLIError, match="duplicate column 'a'"):
+            parse_table_spec("R(a:int,a:string)")
+
     @pytest.mark.parametrize("bad", [
         "R",
         "R()",
         "R(a)",
-        "R(a:float)",
+        "R(a:decimal)",
         "(a:int)",
     ])
     def test_rejects_malformed(self, bad):
@@ -37,9 +48,11 @@ class TestCheckCommand:
             "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a",
         ])
         assert code == 0
-        assert "EQUIVALENT" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "PROVED" in out
+        assert "EQUIVALENT" in out
 
-    def test_unproved_pair_exits_one(self, capsys):
+    def test_inequivalent_pair_is_disproved(self, capsys):
         code = main([
             "check", "--table", "R(a:int,b:int)",
             "SELECT a FROM R",
@@ -47,14 +60,75 @@ class TestCheckCommand:
         ])
         assert code == 1
         out = capsys.readouterr().out
-        assert "NOT PROVED" in out
-        assert "incomplete" in out
+        assert "DISPROVED" in out
+        assert "counterexample instance" in out
 
     def test_bad_table_spec_is_cli_error(self, capsys):
         code = main(["check", "--table", "R(?)", "SELECT a FROM R",
                      "SELECT a FROM R"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_cache_file_roundtrip(self, capsys, tmp_path):
+        cache = str(tmp_path / "proofs.json")
+        argv = ["check", "--table", "R(a:int)", "--cache", cache,
+                "SELECT a FROM R", "SELECT a FROM R"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cached" in capsys.readouterr().out
+
+
+class TestBatchCheckCommand:
+    def _write_jobs(self, tmp_path):
+        jobs = tmp_path / "jobs.json"
+        jobs.write_text(json.dumps({
+            "tables": ["R(a:int,b:int)"],
+            "pairs": [
+                ["SELECT a FROM R", "SELECT a FROM R"],
+                ["SELECT a FROM R", "SELECT b FROM R"],
+                ["SELECT a FROM R", "SELECT a FROM R"],
+            ],
+        }))
+        return str(jobs)
+
+    def test_batch_reports_each_pair(self, capsys, tmp_path):
+        import re
+        code = main(["batch-check", self._write_jobs(tmp_path),
+                     "--workers", "1"])
+        assert code == 1  # one pair is disproved
+        out = capsys.readouterr().out
+        # Line-anchored: "DISPROVED" contains "PROVED" as a substring.
+        assert len(re.findall(r"^PROVED", out, re.M)) == 2
+        assert len(re.findall(r"^DISPROVED", out, re.M)) == 1
+        assert "2 unique" in out
+
+    def test_malformed_jobs_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["batch-check", str(bad)]) == 2
+
+
+class TestDisproveCommand:
+    def test_disprove_buggy_rule(self, capsys):
+        assert main(["disprove", "bad_union_distinct"]) == 0
+        out = capsys.readouterr().out
+        assert "DISPROVED" in out
+
+    def test_disprove_sql_pair(self, capsys):
+        code = main(["disprove", "--table", "R(a:int)",
+                     "SELECT a FROM R", "SELECT DISTINCT a FROM R"])
+        assert code == 0
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_no_counterexample_for_sound_pair(self, capsys):
+        code = main(["disprove", "--table", "R(a:int)",
+                     "SELECT a FROM R", "SELECT a FROM R"])
+        assert code == 1
+        assert "NO COUNTEREXAMPLE" in capsys.readouterr().out
+
+    def test_unknown_rule_is_cli_error(self):
+        assert main(["disprove", "no_such_rule"]) == 2
 
 
 class TestProveCommands:
@@ -65,7 +139,9 @@ class TestProveCommands:
     def test_prove_buggy_rule_rejection_is_success(self, capsys):
         # For an unsound rule, REJECTED is the expected outcome → exit 0.
         assert main(["prove", "bad_union_distinct"]) == 0
-        assert "REJECTED" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert "counterexample" in out
 
     def test_prove_unknown_rule(self, capsys):
         assert main(["prove", "no_such_rule"]) == 2
