@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""All-pairs equivalence checking: Session memoization vs naive Pipeline.
+
+The workload the Session front door exists for: N distinct SQL queries,
+check every unordered pair.  The naive path calls
+:meth:`Pipeline.check` per pair, which denotes + normalizes *both* sides
+every time — N·(N−1) normalizations.  The session path compiles each
+query into a :class:`QueryHandle` whose normal form is memoized, and
+feeds the pre-normalized forms into :meth:`Pipeline.check_normalized` —
+exactly N normalizations, counter-verified below.
+
+The corpus is N syntactic variants of a three-way self join (tagged with
+distinct no-op conjuncts, shuffled predicates, flipped equalities,
+renamed aliases), so every pair is provably equivalent and the decision
+tiers themselves stay cheap: the wall-clock gap is the O(N²)→O(N)
+normalization collapse, not prover noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_session_all_pairs.py           # N=24
+    PYTHONPATH=src python benchmarks/bench_session_all_pairs.py --smoke   # CI
+
+Exit status is non-zero when the invariants fail (one normalize per
+query; ≥3× wall-clock speedup in full mode), so CI can run it directly.
+"""
+
+import argparse
+import sys
+import time
+
+import repro.solver.pipeline as pipeline_mod
+from repro import Session
+from repro.solver.pipeline import Pipeline
+
+TABLE = "R(a:int,b:int)"
+
+#: Equivalent syntactic skeletons of the same three-way join; ``{i}``/
+#: ``{j}`` tag each variant with a distinct (vacuous) conjunct so all N
+#: queries are textually and structurally distinct.
+_SKELETONS = [
+    "SELECT x.a FROM R AS x, R AS y, R AS z "
+    "WHERE x.a = y.b AND y.a = z.b AND {i} = {i}",
+    "SELECT u.a FROM R AS u, R AS v, R AS w "
+    "WHERE {i} = {i} AND u.a = v.b AND v.a = w.b",
+    "SELECT x.a FROM R AS x, R AS y, R AS z "
+    "WHERE y.b = x.a AND {j} = {j} AND z.b = y.a",
+    "SELECT p.a FROM R AS p, R AS q, R AS s "
+    "WHERE {j} = {j} AND q.b = p.a AND q.a = s.b",
+]
+
+
+def corpus(n):
+    return [_SKELETONS[k % len(_SKELETONS)].format(i=k, j=k)
+            for k in range(n)]
+
+
+class NormalizeCounter:
+    """Counts calls to the pipeline's ``normalize`` while active."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __enter__(self):
+        self._real = pipeline_mod.normalize
+
+        def counting(u):
+            self.calls += 1
+            return self._real(u)
+
+        pipeline_mod.normalize = counting
+        return self
+
+    def __exit__(self, *exc_info):
+        pipeline_mod.normalize = self._real
+
+
+def run_naive(texts):
+    """Per-pair Pipeline.check on a cold cache (the pre-session idiom)."""
+    with Session.from_tables(TABLE) as compile_session:
+        queries = [compile_session.sql(t).query for t in texts]
+    pipeline = Pipeline()  # cold cache
+    with NormalizeCounter() as counter:
+        started = time.perf_counter()
+        verdicts = [pipeline.check(queries[i], queries[j])
+                    for i in range(len(queries))
+                    for j in range(i + 1, len(queries))]
+        wall = time.perf_counter() - started
+    return verdicts, counter.calls, wall
+
+
+def run_session(texts):
+    """The same pairs through Session handles (memoized normal forms)."""
+    with Session.from_tables(TABLE) as session:
+        handles = [session.sql(t) for t in texts]
+        with NormalizeCounter() as counter:
+            started = time.perf_counter()
+            report = session.check_all_pairs(handles)
+            wall = time.perf_counter() - started
+    return [r.verdict for r in report], counter.calls, wall
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int, default=24, metavar="N",
+                        help="corpus size (default 24)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, invariants only (CI mode)")
+    args = parser.parse_args(argv)
+
+    n = 8 if args.smoke else args.queries
+    texts = corpus(n)
+    n_pairs = n * (n - 1) // 2
+
+    naive_verdicts, naive_norms, naive_wall = run_naive(texts)
+    sess_verdicts, sess_norms, sess_wall = run_session(texts)
+
+    agree = all(a.status is b.status
+                for a, b in zip(naive_verdicts, sess_verdicts))
+    proved = sum(v.proved for v in sess_verdicts)
+    speedup = naive_wall / sess_wall if sess_wall else float("inf")
+
+    print(f"all-pairs over {n} distinct queries ({n_pairs} pairs, "
+          f"{proved} proved)")
+    print(f"  naive per-pair Pipeline.check : "
+          f"{naive_norms:5d} normalizations  {naive_wall * 1e3:8.1f} ms")
+    print(f"  Session memoized handles      : "
+          f"{sess_norms:5d} normalizations  {sess_wall * 1e3:8.1f} ms")
+    print(f"  speedup: {speedup:.1f}x  "
+          f"(normalizations {naive_norms}→{sess_norms})")
+
+    failures = []
+    if sess_norms != n:
+        failures.append(f"expected exactly {n} normalizations in the "
+                        f"session path, counted {sess_norms}")
+    if naive_norms != 2 * n_pairs:
+        failures.append(f"expected {2 * n_pairs} normalizations in the "
+                        f"naive path, counted {naive_norms}")
+    if not agree:
+        failures.append("session and naive verdicts disagree")
+    if proved != n_pairs:
+        failures.append(f"expected all {n_pairs} pairs proved, got {proved}")
+    if not args.smoke and speedup < 3.0:
+        failures.append(f"speedup {speedup:.2f}x below the 3x target")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

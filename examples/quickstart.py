@@ -1,52 +1,50 @@
 """Quickstart: prove a SQL rewrite, then watch it run.
 
-This walks the full pipeline on the paper's Sec. 2 example:
+This walks the full pipeline on the paper's Sec. 2 example through the
+:class:`repro.Session` front door:
 
-1. declare a schema and parse two SQL queries,
+1. open a session over a schema and compile two SQL queries,
 2. denote them into the UniNomial algebra (paper Figure 7),
-3. prove them equivalent with the engine (the paper's Q2 ≡ Q3),
+3. prove them equivalent with the tiered pipeline (the paper's Q2 ≡ Q3),
 4. evaluate both on a concrete database and compare,
 5. show that an *unsound* variant is rejected and refuted.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Catalog, Database, INT, compile_sql, queries_equivalent
-from repro.core.denote import denote_closed
-from repro.core.equivalence import check_query_equivalence
-from repro.engine import run_query
+from repro import Database, Session, run_query
 from repro.sql.pretty import denotation_to_str
 
 
 def main() -> None:
     # 1. Schema + queries -------------------------------------------------
-    catalog = Catalog()
-    catalog.add_table("R", [("a", INT), ("b", INT)])
+    session = Session.from_tables("R(a:int,b:int)")
 
-    q2 = compile_sql("SELECT DISTINCT a FROM R", catalog)
-    q3 = compile_sql(
-        "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a", catalog)
+    q2 = session.sql("SELECT DISTINCT a FROM R")
+    q3 = session.sql(
+        "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a")
 
-    print("Q2: SELECT DISTINCT a FROM R")
-    print("Q3: SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a")
+    print("Q2:", q2.text)
+    print("Q3:", q3.text)
     print()
 
     # 2. Denotations (the paper's Figure 2 displays) ----------------------
     print("Denotations into the UniNomial algebra:")
-    print("  Q2 =", denotation_to_str(denote_closed(q2.query)))
-    print("  Q3 =", denotation_to_str(denote_closed(q3.query)))
+    print("  Q2 =", denotation_to_str(q2.normalized.denotation))
+    print("  Q3 =", denotation_to_str(q3.normalized.denotation))
     print()
 
     # 3. The proof ---------------------------------------------------------
-    result = check_query_equivalence(q3.query, q2.query)
-    print(f"Prover verdict: {'EQUIVALENT' if result.equal else 'UNKNOWN'} "
-          f"({result.stats.total_steps} reasoning steps)")
-    assert result.equal
+    verdict = q3.equivalent_to(q2)
+    print(f"Pipeline verdict: {verdict.status.value} "
+          f"(stage: {verdict.stage}, {verdict.engine_steps} steps)")
+    assert verdict.proved
     print()
 
     # 4. Concrete execution -------------------------------------------------
     db = Database()
-    db.create_table("R", catalog.schema_of("R"), [[1, 40], [2, 40], [2, 50]])
+    db.create_table("R", session.catalog.schema_of("R"),
+                    [[1, 40], [2, 40], [2, 50]])
     interp = db.interpretation()
     out2 = run_query(q2.query, interp)
     out3 = run_query(q3.query, interp)
@@ -57,16 +55,16 @@ def main() -> None:
     print()
 
     # 5. The unsound variant (no DISTINCT) is caught ------------------------
-    bag2 = compile_sql("SELECT a FROM R", catalog)
-    bag3 = compile_sql(
-        "SELECT x.a FROM R AS x, R AS y WHERE x.a = y.a", catalog)
-    rejected = not queries_equivalent(bag2.query, bag3.query)
+    bag2 = session.sql("SELECT a FROM R")
+    bag3 = session.sql("SELECT x.a FROM R AS x, R AS y WHERE x.a = y.a")
+    refutation = bag2.disprove(bag3)
     lhs = dict(run_query(bag2.query, interp).items())
     rhs = dict(run_query(bag3.query, interp).items())
-    print("Without DISTINCT the rule is unsound; prover rejects it:",
-          rejected)
+    print("Without DISTINCT the rule is unsound; disprover refutes it:",
+          refutation.found)
     print(f"  counterexample multiplicities: Q2 {lhs} vs Q3 {rhs}")
-    assert rejected and lhs != rhs
+    assert refutation.found and lhs != rhs
+    session.close()
 
 
 if __name__ == "__main__":

@@ -4,31 +4,67 @@ A from-scratch Python reproduction of *HoTTSQL: Proving Query Rewrites with
 Univalent SQL Semantics* (Chu, Weitz, Cheung, Suciu — PLDI 2017) and its
 system DOPCERT:
 
+* :mod:`repro.session` — **the front door**: :class:`Session` owns the
+  catalog, the tiered verification pipeline, the proof cache, and the
+  worker pool; :class:`QueryHandle` memoizes each query's compilation and
+  normal form so repeated checks never renormalize.
 * :mod:`repro.core` — the HoTTSQL data model, syntax, denotational
   semantics into the UniNomial algebra, and the equivalence prover
   (normalization, congruence closure, Lemma 5.1–5.3 tactics, the automated
   conjunctive-query decision procedure).
+* :mod:`repro.solver` — the verification service layer: tiered pipeline,
+  content-addressed proof cache, bounded-exhaustive disprover, and the
+  multiprocessing batch service.
 * :mod:`repro.semiring` — K-relations over commutative semirings, with the
   paper's generalization to infinite cardinal multiplicities.
 * :mod:`repro.engine` — the executable semantics (Figure 7 over any
   semiring) and the random-instance falsifier.
 * :mod:`repro.rules` — the 23 rewrite rules of the paper's Figure 8, plus
   deliberately unsound optimizer rewrites the system must reject.
-* :mod:`repro.sql` — a named SQL frontend compiling to the unnamed model.
+* :mod:`repro.sql` — a named SQL frontend compiling to the unnamed model
+  (and, via :mod:`repro.sql.decompile`, back out again).
 * :mod:`repro.optimizer` — a certified cost-based plan rewriter.
+* :mod:`repro.errors` — one :class:`ReproError` base under every
+  library exception.
 * :mod:`repro.theory` — the decidability landscape of Figure 9.
 
 Quickstart::
 
-    from repro import Catalog, INT, compile_sql, queries_equivalent
+    from repro import Session
 
-    catalog = Catalog()
-    catalog.add_table("R", [("a", INT), ("b", INT)])
-    q2 = compile_sql("SELECT DISTINCT a FROM R", catalog)
-    q3 = compile_sql(
-        "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a", catalog)
-    assert queries_equivalent(q2.query, q3.query)
+    with Session.from_tables("R(a:int,b:int)") as session:
+        q1 = session.sql("SELECT DISTINCT a FROM R")
+        q2 = session.sql("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                         "WHERE x.a = y.a")
+        assert q1.equivalent_to(q2).proved     # self-join elimination
+        plan = q2.optimize()                   # certified plan search
+        print(plan.sql())                      # decompiled back to SQL
+        report = session.check_all_pairs()     # one normalize per query
+
+Migrating from the pre-session surface:
+
+=====================================================  =======================================================
+Old call                                               New call
+=====================================================  =======================================================
+``Catalog(); catalog.add_table("R", cols)``            ``Session.from_tables("R(a:int,b:int)")``
+``compile_sql(sql, catalog)``                          ``session.sql(sql)``
+``queries_equivalent(q1, q2)``                         ``h1.equivalent_to(h2).proved``
+``check_query_equivalence(q1, q2)``                    ``h1.equivalent_to(h2)`` (a structured ``Verdict``)
+``Pipeline().check(q1, q2)``                           ``session.check(sql1, sql2)``
+``disprove(q1, q2)``                                   ``h1.disprove(h2)``
+``optimize(query, stats)``                             ``h.optimize(stats)`` (a ``PlanHandle``)
+``VerificationService().check_batch(jobs)``            ``session.check_batch(jobs)``
+``pipeline.cache.save(path)``                          ``Session.from_tables(..., cache=path)`` + ``with``
+=====================================================  =======================================================
+
+The old entry points still work — ``compile_sql``, ``Pipeline``, and the
+rest import and behave exactly as before; only the two top-level free
+functions ``repro.queries_equivalent`` and ``repro.check_query_equivalence``
+emit a :class:`DeprecationWarning` (their :mod:`repro.core` homes stay
+warning-free for internal use).
 """
+
+import warnings as _warnings
 
 from .core import (
     BOOL,
@@ -41,21 +77,71 @@ from .core import (
     SVar,
     Schema,
     ast,
-    check_query_equivalence,
     cq_equivalent,
     decide_cq,
     denote_closed,
-    queries_equivalent,
+)
+from .core.equivalence import (
+    check_query_equivalence as _check_query_equivalence,
+    queries_equivalent as _queries_equivalent,
 )
 from .engine import Database, Interpretation, run_query
+from .errors import ReproError
 from .rules import all_rules, get_rule, rules_by_category
 from .semiring import NAT, NAT_INF, PROVENANCE, KRelation
+from .session import (
+    PairResult,
+    PairwiseReport,
+    PlanHandle,
+    QueryHandle,
+    Session,
+    SessionError,
+    TableSpecError,
+)
+from .solver import (
+    BatchReport,
+    Bound,
+    Job,
+    Pipeline,
+    PipelineConfig,
+    ProofCache,
+    Status,
+    Verdict,
+    VerificationService,
+)
 from .sql import Catalog, compile_sql, query_to_str
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
+
+
+def queries_equivalent(q1, q2, ctx_schema=None, hyps=None):
+    """Deprecated shim — use :meth:`QueryHandle.equivalent_to` (or
+    :func:`repro.core.equivalence.queries_equivalent` directly)."""
+    _warnings.warn(
+        "repro.queries_equivalent is deprecated; open a repro.Session and "
+        "use QueryHandle.equivalent_to(...).proved",
+        DeprecationWarning, stacklevel=2)
+    if hyps is None:
+        return _queries_equivalent(q1, q2, ctx_schema)
+    return _queries_equivalent(q1, q2, ctx_schema, hyps)
+
+
+def check_query_equivalence(q1, q2, ctx_schema=None, hyps=None, **kwargs):
+    """Deprecated shim — use :meth:`QueryHandle.equivalent_to` (or
+    :func:`repro.core.equivalence.check_query_equivalence` directly)."""
+    _warnings.warn(
+        "repro.check_query_equivalence is deprecated; open a repro.Session "
+        "and use QueryHandle.equivalent_to(...)",
+        DeprecationWarning, stacklevel=2)
+    if hyps is None:
+        return _check_query_equivalence(q1, q2, ctx_schema, **kwargs)
+    return _check_query_equivalence(q1, q2, ctx_schema, hyps, **kwargs)
+
 
 __all__ = [
     "BOOL",
+    "BatchReport",
+    "Bound",
     "Catalog",
     "Database",
     "EMPTY",
@@ -63,14 +149,29 @@ __all__ = [
     "Hypotheses",
     "INT",
     "Interpretation",
+    "Job",
     "KRelation",
     "KeyConstraint",
     "NAT",
     "NAT_INF",
     "PROVENANCE",
+    "PairResult",
+    "PairwiseReport",
+    "Pipeline",
+    "PipelineConfig",
+    "PlanHandle",
+    "ProofCache",
+    "QueryHandle",
+    "ReproError",
     "STRING",
     "SVar",
     "Schema",
+    "Session",
+    "SessionError",
+    "Status",
+    "TableSpecError",
+    "Verdict",
+    "VerificationService",
     "__version__",
     "all_rules",
     "ast",

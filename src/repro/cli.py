@@ -14,7 +14,9 @@ Usage (``python -m repro <command>``):
 * ``prove-all`` — verify the Figure 8 corpus through the batch service,
 * ``rules`` — list every rule with category and status metadata.
 
-The CLI is a thin veneer over the library; each command returns a process
+The CLI is a thin veneer over :class:`repro.session.Session` — each
+command opens one session (catalog + pipeline + proof cache + worker
+pool, persisted on exit when ``--cache`` is given) and returns a process
 exit code (0 = equivalent/verified) so it can script into CI pipelines.
 """
 
@@ -22,11 +24,10 @@ from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
-from .core.schema import BOOL, FLOAT, INT, STRING
+from .errors import ReproError
 from .rules import (
     CATEGORY_ORDER,
     all_buggy_rules,
@@ -35,79 +36,62 @@ from .rules import (
     get_rule,
     rules_by_category,
 )
-from .solver import (
-    Bound,
-    Job,
-    Pipeline,
-    PipelineConfig,
-    Status,
-    VerificationService,
-    disprove,
-    disprove_rule,
+from .session import (
+    QueryHandle,
+    Session,
+    TableSpecError,
+    parse_table_spec as _parse_table_spec,
 )
-from .sql import Catalog, compile_sql
-from .sql.resolve import ResolutionError
-
-_TYPES = {"int": INT, "bool": BOOL, "string": STRING, "float": FLOAT}
-
-_TABLE_RE = re.compile(r"^(\w+)\((.*)\)$")
+from .solver import Bound, Job, PipelineConfig, Status, disprove_rule
 
 
-class CLIError(Exception):
+class CLIError(ReproError):
     """Raised for malformed CLI input; rendered as an error message."""
 
 
 def parse_table_spec(spec: str) -> tuple:
     """Parse ``R(a:int,b:int)`` into a (name, columns) pair."""
-    match = _TABLE_RE.match(spec.strip())
-    if not match:
-        raise CLIError(f"malformed table spec {spec!r} "
-                       f"(expected NAME(col:type,...))")
-    name, cols_text = match.groups()
-    columns = []
-    seen = set()
-    for part in cols_text.split(","):
-        part = part.strip()
-        if not part:
-            continue
-        if ":" not in part:
-            raise CLIError(f"malformed column {part!r} in {spec!r}")
-        col, ty = (x.strip() for x in part.split(":", 1))
-        if ty not in _TYPES:
-            raise CLIError(f"unknown type {ty!r} "
-                           f"(use int/bool/string/float)")
-        if col in seen:
-            raise CLIError(f"duplicate column {col!r} in table {name!r}")
-        seen.add(col)
-        columns.append((col, _TYPES[ty]))
-    if not columns:
-        raise CLIError(f"table {name!r} needs at least one column")
-    return name, columns
-
-
-def _build_catalog(table_specs: Sequence[str]) -> Catalog:
-    catalog = Catalog()
-    for spec in table_specs:
-        name, columns = parse_table_spec(spec)
-        try:
-            catalog.add_table(name, columns)
-        except ResolutionError as exc:
-            raise CLIError(str(exc)) from exc
-    return catalog
-
-
-def _compile(sql: str, catalog: Catalog):
     try:
-        return compile_sql(sql, catalog)
-    except Exception as exc:  # parse/resolve errors become CLI errors
+        return _parse_table_spec(spec)
+    except TableSpecError as exc:
+        raise CLIError(str(exc)) from exc
+
+
+def _bound_from_args(args: argparse.Namespace) -> Bound:
+    max_rows = getattr(args, "max_rows", 2)
+    max_mult = getattr(args, "max_mult", 2)
+    if max_rows < 1 or max_mult < 1:
+        raise CLIError(f"disprover bounds must be positive, got "
+                       f"--max-rows {max_rows} --max-mult {max_mult}")
+    return Bound.of(max_rows=max_rows, max_multiplicity=max_mult)
+
+
+def _workers_from_args(args: argparse.Namespace):
+    workers = getattr(args, "workers", None)
+    if workers is not None and workers < 1:
+        raise CLIError(f"--workers must be at least 1, got {workers}")
+    return workers
+
+
+def _session_from_args(args: argparse.Namespace) -> Session:
+    """One Session per command: catalog + pipeline + cache + workers."""
+    config = PipelineConfig(disprover_bound=_bound_from_args(args))
+    session = Session(config=config,
+                      cache_path=getattr(args, "cache", None),
+                      workers=_workers_from_args(args))
+    for spec in (getattr(args, "table", None) or []):
+        try:
+            session.add_table(spec)
+        except ReproError as exc:
+            raise CLIError(str(exc)) from exc
+    return session
+
+
+def _handle(session: Session, sql: str) -> QueryHandle:
+    try:
+        return session.sql(sql)
+    except ReproError as exc:  # lex/parse/resolve errors become CLI errors
         raise CLIError(f"cannot compile {sql!r}: {exc}") from exc
-
-
-def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
-    bound = Bound.of(max_rows=getattr(args, "max_rows", 2),
-                     max_multiplicity=getattr(args, "max_mult", 2))
-    config = PipelineConfig(disprover_bound=bound)
-    return Pipeline(config, cache_path=getattr(args, "cache", None))
 
 
 def _render_verdict(verdict) -> str:
@@ -138,19 +122,16 @@ def _render_verdict(verdict) -> str:
 # ---------------------------------------------------------------------------
 
 def cmd_check(args: argparse.Namespace) -> int:
-    catalog = _build_catalog(args.table or [])
-    lhs = _compile(args.sql1, catalog)
-    rhs = _compile(args.sql2, catalog)
-    pipeline = _pipeline_from_args(args)
-    try:
-        verdict = pipeline.check(lhs.query, rhs.query)
-    except ValueError as exc:
-        # e.g. the two queries have different output schemas
-        raise CLIError(str(exc)) from exc
-    print(_render_verdict(verdict))
-    if args.cache:
-        pipeline.cache.save()
-    return 0 if verdict.proved else 1
+    with _session_from_args(args) as session:
+        lhs = _handle(session, args.sql1)
+        rhs = _handle(session, args.sql2)
+        try:
+            verdict = lhs.equivalent_to(rhs)
+        except ValueError as exc:
+            # e.g. the two queries have different output schemas
+            raise CLIError(str(exc)) from exc
+        print(_render_verdict(verdict))
+        return 0 if verdict.proved else 1
 
 
 def cmd_batch_check(args: argparse.Namespace) -> int:
@@ -162,32 +143,31 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
     if not isinstance(spec, dict) or "pairs" not in spec:
         raise CLIError('jobs file must be {"tables": [...], "pairs": '
                        '[[SQL1, SQL2], ...]}')
-    catalog = _build_catalog(spec.get("tables", []))
-    jobs = []
-    for i, pair in enumerate(spec["pairs"]):
-        if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
-            raise CLIError(f"pair #{i} is not a [SQL1, SQL2] list")
-        q1 = _compile(pair[0], catalog).query
-        q2 = _compile(pair[1], catalog).query
-        jobs.append(Job(job_id=f"job{i}", q1=q1, q2=q2))
-    service = VerificationService(pipeline=_pipeline_from_args(args))
-    try:
-        report = service.check_batch(jobs, workers=args.workers)
-    except ValueError as exc:
-        # e.g. a pair whose two queries have different output schemas
-        raise CLIError(f"batch failed: {exc}") from exc
-    for i, pair in enumerate(spec["pairs"]):
-        verdict = report.verdicts[f"job{i}"]
-        flags = "cached" if verdict.cached else f"stage={verdict.stage}"
-        print(f"{verdict.status.value:10s} [{flags}] {pair[0]}  ≟  {pair[1]}")
-    print(report.summary())
-    if args.cache:
-        service.save_cache()
-    return 0 if all(v.proved for v in report.verdicts.values()) else 1
+    args.table = spec.get("tables", [])
+    with _session_from_args(args) as session:
+        jobs = []
+        for i, pair in enumerate(spec["pairs"]):
+            if not (isinstance(pair, (list, tuple)) and len(pair) == 2):
+                raise CLIError(f"pair #{i} is not a [SQL1, SQL2] list")
+            q1 = _handle(session, pair[0]).query
+            q2 = _handle(session, pair[1]).query
+            jobs.append(Job(job_id=f"job{i}", q1=q1, q2=q2))
+        try:
+            report = session.check_batch(jobs)
+        except ValueError as exc:
+            # e.g. a pair whose two queries have different output schemas
+            raise CLIError(f"batch failed: {exc}") from exc
+        for i, pair in enumerate(spec["pairs"]):
+            verdict = report.verdicts[f"job{i}"]
+            flags = "cached" if verdict.cached else f"stage={verdict.stage}"
+            print(f"{verdict.status.value:10s} [{flags}] "
+                  f"{pair[0]}  ≟  {pair[1]}")
+        print(report.summary())
+        return 0 if all(v.proved for v in report.verdicts.values()) else 1
 
 
 def cmd_disprove(args: argparse.Namespace) -> int:
-    bound = Bound.of(max_rows=args.max_rows, max_multiplicity=args.max_mult)
+    bound = _bound_from_args(args)
     if len(args.target) == 1:
         try:
             rule = get_rule(args.target[0])
@@ -196,10 +176,10 @@ def cmd_disprove(args: argparse.Namespace) -> int:
         result = disprove_rule(rule, bound=bound)
         label = f"rule {rule.name!r}"
     elif len(args.target) == 2:
-        catalog = _build_catalog(args.table or [])
-        q1 = _compile(args.target[0], catalog).query
-        q2 = _compile(args.target[1], catalog).query
-        result = disprove(q1, q2, bound=bound)
+        with _session_from_args(args) as session:
+            q1 = _handle(session, args.target[0])
+            result = q1.disprove(_handle(session, args.target[1]),
+                                 bound=bound, max_instances=None)
         label = "query pair"
     else:
         raise CLIError("disprove takes a rule name or exactly two SQL "
@@ -224,48 +204,44 @@ def cmd_prove(args: argparse.Namespace) -> int:
         rule = get_rule(args.rule)
     except KeyError as exc:
         raise CLIError(str(exc)) from exc
-    pipeline = _pipeline_from_args(args)
-    verdict = pipeline.check_rule(rule)
-    status = "VERIFIED" if verdict.proved else "REJECTED"
-    print(f"{rule.name} [{rule.category}]: {status} "
-          f"(stage: {verdict.stage}, {verdict.engine_steps} steps, "
-          f"{verdict.total_seconds * 1e3:.1f} ms)")
-    print(f"  {rule.description}")
-    if verdict.counterexample is not None:
-        print(verdict.counterexample.describe())
-    if args.cache:
-        pipeline.cache.save()
-    return 0 if verdict.proved == rule.sound else 1
+    with _session_from_args(args) as session:
+        verdict = session.pipeline.check_rule(rule)
+        status = "VERIFIED" if verdict.proved else "REJECTED"
+        print(f"{rule.name} [{rule.category}]: {status} "
+              f"(stage: {verdict.stage}, {verdict.engine_steps} steps, "
+              f"{verdict.total_seconds * 1e3:.1f} ms)")
+        print(f"  {rule.description}")
+        if verdict.counterexample is not None:
+            print(verdict.counterexample.describe())
+        return 0 if verdict.proved == rule.sound else 1
 
 
 def cmd_prove_all(args: argparse.Namespace) -> int:
-    service = VerificationService(pipeline=_pipeline_from_args(args))
-    by_category = rules_by_category()
-    ordered = [rule for category in CATEGORY_ORDER
-               for rule in by_category[category]]
-    buggy = list(all_buggy_rules())
-    report = service.check_rules(ordered + buggy, workers=args.workers)
-    failures = 0
-    for rule in ordered:
-        verdict = report.verdicts[rule.name]
-        status = "VERIFIED" if verdict.proved else "FAILED"
-        print(f"{status:9s} {rule.category:12s} {rule.name:30s} "
-              f"{verdict.engine_steps:5d} steps  [{verdict.stage}]")
-        failures += not verdict.proved
-    for rule in buggy:
-        verdict = report.verdicts[rule.name]
-        status = "REJECTED" if not verdict.proved else "ACCEPTED?!"
-        marker = ("counterexample found" if verdict.disproved
-                  else verdict.status.value)
-        print(f"{status:9s} {'buggy':12s} {rule.name:30s} [{marker}]")
-        failures += verdict.proved
-    print(f"\n{23 - failures if failures <= 23 else 0}/23 core rules "
-          f"verified; unsound rules "
-          f"{'all rejected' if failures == 0 else 'NOT all rejected'}")
-    print(report.summary())
-    if args.cache:
-        service.save_cache()
-    return 0 if failures == 0 else 1
+    with _session_from_args(args) as session:
+        by_category = rules_by_category()
+        ordered = [rule for category in CATEGORY_ORDER
+                   for rule in by_category[category]]
+        buggy = list(all_buggy_rules())
+        report = session.check_rules(ordered + buggy)
+        failures = 0
+        for rule in ordered:
+            verdict = report.verdicts[rule.name]
+            status = "VERIFIED" if verdict.proved else "FAILED"
+            print(f"{status:9s} {rule.category:12s} {rule.name:30s} "
+                  f"{verdict.engine_steps:5d} steps  [{verdict.stage}]")
+            failures += not verdict.proved
+        for rule in buggy:
+            verdict = report.verdicts[rule.name]
+            status = "REJECTED" if not verdict.proved else "ACCEPTED?!"
+            marker = ("counterexample found" if verdict.disproved
+                      else verdict.status.value)
+            print(f"{status:9s} {'buggy':12s} {rule.name:30s} [{marker}]")
+            failures += verdict.proved
+        print(f"\n{23 - failures if failures <= 23 else 0}/23 core rules "
+              f"verified; unsound rules "
+              f"{'all rejected' if failures == 0 else 'NOT all rejected'}")
+        print(report.summary())
+        return 0 if failures == 0 else 1
 
 
 def cmd_rules(args: argparse.Namespace) -> int:

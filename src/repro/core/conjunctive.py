@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..errors import ReproError
 from . import ast
 from .denote import denote_closed
 from .equivalence import (
@@ -100,7 +101,7 @@ def _is_projection_simple(proj: ast.Projection) -> bool:
 # The decision procedure
 # ---------------------------------------------------------------------------
 
-class NotConjunctive(Exception):
+class NotConjunctive(ReproError):
     """Raised when :func:`decide_cq` is applied outside the CQ fragment."""
 
 

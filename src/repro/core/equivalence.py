@@ -63,6 +63,7 @@ from .uninomial import (
     subst_uterm,
     term_free_vars,
 )
+from ..errors import ReproError, SchemaMismatchError
 
 #: Maximum nesting depth for the entailment search.  Each level of squash
 #: opening, aggregate congruence, or witness instantiation consumes one
@@ -119,7 +120,7 @@ NO_HYPOTHESES = Hypotheses()
 # Instrumentation — the proof-effort metric behind Figure 8
 # ---------------------------------------------------------------------------
 
-class StepBudgetExceeded(Exception):
+class StepBudgetExceeded(ReproError):
     """The engine consumed more reasoning steps than its caller allowed.
 
     Raised from inside the search when :attr:`ProofStats.max_steps` is set;
@@ -829,9 +830,11 @@ def align_denotations(d1, d2):
     checked); returns the pair of bodies over a shared variable space.
     """
     if d1.ctx != d2.ctx:
-        raise ValueError(f"context schemas differ: {d1.ctx} vs {d2.ctx}")
+        raise SchemaMismatchError(
+            f"context schemas differ: {d1.ctx} vs {d2.ctx}")
     if d1.schema != d2.schema:
-        raise ValueError(f"output schemas differ: {d1.schema} vs {d2.schema}")
+        raise SchemaMismatchError(
+            f"output schemas differ: {d1.schema} vs {d2.schema}")
     sub = {d2.g: d1.g, d2.t: d1.t}
     return d1.body, subst_uterm(d2.body, sub)
 

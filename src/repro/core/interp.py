@@ -48,12 +48,13 @@ from .uninomial import (
     UZero,
     UOne,
 )
+from ..errors import ReproError
 
 #: A variable environment: tuple variables to concrete nested tuples.
 Env = Dict[TVar, Any]
 
 
-class InterpretationError(Exception):
+class InterpretationError(ReproError):
     """Raised when a term cannot be interpreted concretely."""
 
 

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 from . import ast
 from .schema import EMPTY, Leaf, Node, Schema, SQLType, schemas_equal
+from ..errors import ReproError
 
 
-class TypecheckError(Exception):
+class TypecheckError(ReproError):
     """Raised when a HoTTSQL tree is not well-formed."""
 
 

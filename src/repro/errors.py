@@ -1,0 +1,70 @@
+"""The library-wide exception hierarchy.
+
+Every error the library raises on *user-facing* input — SQL that does not
+lex, parse, or resolve, ill-typed core queries, malformed table specs,
+bad CLI arguments, an exhausted proof budget — derives from a single base,
+:class:`ReproError`, so callers can write one handler::
+
+    from repro import ReproError, Session
+
+    with Session.from_tables("R(a:int,b:int)") as session:
+        try:
+            verdict = session.check(sql1, sql2)
+        except ReproError as exc:
+            print(f"bad input: {exc}")
+
+The concrete exception classes keep living next to the code that raises
+them (``ParseError`` in :mod:`repro.sql.parser`, ``TypecheckError`` in
+:mod:`repro.core.typecheck`, ...), and their existing hierarchies are
+unchanged; this module only roots them and re-exports the names so
+``from repro.errors import ParseError`` works as a one-stop import.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+class ReproError(Exception):
+    """Base class of every exception the repro library raises on bad input
+    or an exhausted budget.  ``except ReproError`` catches any of them."""
+
+
+class SchemaMismatchError(ReproError, ValueError):
+    """The two sides of an equivalence question have different output (or
+    context) schemas, so the question is ill-typed rather than false.
+
+    Also a :class:`ValueError` so pre-existing ``except ValueError``
+    handlers (the CLI, older callers) keep working.
+    """
+
+
+#: name → defining module, for the lazy re-export of the concrete classes
+#: (imported on attribute access to keep this module free of import cycles:
+#: the defining modules themselves import :class:`ReproError` from here).
+_HOMES = {
+    "LexError": "repro.sql.lexer",
+    "ParseError": "repro.sql.parser",
+    "ResolutionError": "repro.sql.resolve",
+    "TypecheckError": "repro.core.typecheck",
+    "InterpretationError": "repro.core.interp",
+    "NotConjunctive": "repro.core.conjunctive",
+    "StepBudgetExceeded": "repro.core.equivalence",
+    "CLIError": "repro.cli",
+    "SessionError": "repro.session",
+    "TableSpecError": "repro.session",
+    "PlanRenderingError": "repro.sql.decompile",
+}
+
+__all__ = ["ReproError", "SchemaMismatchError"] + sorted(_HOMES)
+
+
+def __getattr__(name: str):
+    home = _HOMES.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(home), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -39,7 +39,7 @@ class PlanningResult:
 
 
 def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
-             certify: bool = True) -> PlanningResult:
+             certify: bool = True, pipeline=None) -> PlanningResult:
     """Search the rewrite space for the cheapest equivalent plan.
 
     Args:
@@ -48,6 +48,9 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
         max_plans: exploration budget.
         certify: when True, prove ``best ≡ original`` with the equivalence
             engine before returning.
+        pipeline: the :class:`~repro.solver.pipeline.Pipeline` to certify
+            through (a session passes its own, so the proof lands in the
+            session's cache); defaults to the process-wide pipeline.
 
     Returns:
         The chosen plan with costs, exploration counters, the chain of
@@ -80,10 +83,13 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
 
     certified: Optional[bool] = None
     if certify:
-        # Certification runs through the verification pipeline so that the
-        # proof lands in (and may come from) the process-wide proof cache.
-        from ..solver.pipeline import default_pipeline
-        certified = default_pipeline().certify(query, best_plan)
+        # Certification runs through a verification pipeline so that the
+        # proof lands in (and may come from) its proof cache — the
+        # caller's own (a Session's) or the process-wide default.
+        if pipeline is None:
+            from ..solver.pipeline import default_pipeline
+            pipeline = default_pipeline()
+        certified = pipeline.certify(query, best_plan)
     return PlanningResult(
         original=query, best_plan=best_plan, original_cost=origin_cost,
         best_cost=best_cost, plans_explored=explored,

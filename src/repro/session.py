@@ -1,0 +1,582 @@
+"""The library's front door: :class:`Session` and :class:`QueryHandle`.
+
+Everything the reproduction can do — compile SQL, normalize, prove,
+disprove, optimize, batch-verify — used to require juggling ``Catalog``,
+``compile_sql``, ``Pipeline``, ``VerificationService``, and ``optimize``
+by hand.  A session owns all of them behind one fluent surface::
+
+    from repro import Session
+
+    with Session.from_tables("R(a:int,b:int)", cache="proofs.json") as s:
+        q1 = s.sql("SELECT DISTINCT a FROM R")
+        q2 = s.sql("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                   "WHERE x.a = y.a")
+        verdict = q1.equivalent_to(q2)        # PROVED
+        plan = q1.optimize()                  # certified PlanHandle
+        print(plan.explain(), plan.sql())
+        report = s.check_all_pairs()          # O(N) normalizations
+
+The performance story is the point, not just the ergonomics: a
+:class:`QueryHandle` memoizes its compilation, denotation, normal form,
+and canonical alpha key (a :class:`~repro.solver.pipeline
+.NormalizedQuery`) the first time they are needed, and every subsequent
+check feeds the *pre-normalized* forms into
+:meth:`~repro.solver.pipeline.Pipeline.check_normalized`.  An all-pairs
+workload over N queries therefore performs exactly N normalizations where
+the naive per-pair :meth:`~repro.solver.pipeline.Pipeline.check` performs
+N·(N−1) — the O(N²)→O(N) collapse ``benchmarks/bench_session_all_pairs
+.py`` measures.
+
+The session is a context manager: leaving the ``with`` block persists the
+proof cache (when a cache path is configured) and tears down the batch
+service's worker pool.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .core import ast
+from .core.equivalence import Hypotheses, NO_HYPOTHESES
+from .core.schema import BOOL, FLOAT, INT, STRING, SQLType
+from .errors import ReproError, SchemaMismatchError
+from .optimizer.cost import TableStats
+from .optimizer.explain import explain
+from .optimizer.planner import PlanningResult, optimize
+from .solver.cache import ProofCache
+from .solver.disprover import Bound, DisproofResult, disprove
+from .solver.pipeline import NormalizedQuery, Pipeline, PipelineConfig
+from .solver.service import BatchReport, Job, VerificationService
+from .solver.verdict import Status, Verdict
+from .sql.decompile import plan_to_sql
+from .sql.lexer import tokenize
+from .sql.resolve import Catalog, Resolved, compile_sql
+
+
+class SessionError(ReproError):
+    """Raised on misuse of the session surface (closed session, foreign
+    handles, malformed table specs)."""
+
+
+class TableSpecError(SessionError):
+    """Raised for a malformed ``"R(a:int,b:int)"`` table declaration."""
+
+
+# ---------------------------------------------------------------------------
+# Table specs — the "R(a:int,b:int)" mini-grammar shared with the CLI
+# ---------------------------------------------------------------------------
+
+_TYPES: Dict[str, SQLType] = {"int": INT, "bool": BOOL, "string": STRING,
+                              "float": FLOAT}
+
+_TABLE_RE = re.compile(r"^(\w+)\((.*)\)$")
+
+
+def parse_table_spec(spec: str) -> Tuple[str, List[Tuple[str, SQLType]]]:
+    """Parse ``R(a:int,b:int)`` into a (name, columns) pair."""
+    match = _TABLE_RE.match(spec.strip())
+    if not match:
+        raise TableSpecError(f"malformed table spec {spec!r} "
+                             f"(expected NAME(col:type,...))")
+    name, cols_text = match.groups()
+    columns: List[Tuple[str, SQLType]] = []
+    seen = set()
+    for part in cols_text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise TableSpecError(f"malformed column {part!r} in {spec!r}")
+        col, ty = (x.strip() for x in part.split(":", 1))
+        if ty not in _TYPES:
+            raise TableSpecError(f"unknown type {ty!r} "
+                                 f"(use int/bool/string/float)")
+        if col in seen:
+            raise TableSpecError(f"duplicate column {col!r} "
+                                 f"in table {name!r}")
+        seen.add(col)
+        columns.append((col, _TYPES[ty]))
+    if not columns:
+        raise TableSpecError(f"table {name!r} needs at least one column")
+    return name, columns
+
+
+# ---------------------------------------------------------------------------
+# Handles
+# ---------------------------------------------------------------------------
+
+#: "argument not given" marker where None is itself meaningful.
+_UNSET = object()
+
+
+class QueryHandle:
+    """An immutable compiled query bound to its session.
+
+    Construction (via :meth:`Session.sql`) pays parsing and resolution
+    once; the denotation, normal form, and cache keys are computed lazily
+    on first use and memoized for every later check.  Handles compare and
+    hash by their compiled core query, so structurally identical SQL from
+    different texts collapses in sets and dict keys.
+    """
+
+    __slots__ = ("_session", "_text", "_resolved", "_pre")
+
+    def __init__(self, session: "Session", text: Optional[str],
+                 resolved: Resolved) -> None:
+        self._session = session
+        self._text = text
+        self._resolved = resolved
+        self._pre: Optional[NormalizedQuery] = None
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def session(self) -> "Session":
+        return self._session
+
+    @property
+    def text(self) -> Optional[str]:
+        """The SQL this handle was compiled from (None for plan handles)."""
+        return self._text
+
+    @property
+    def query(self) -> ast.Query:
+        """The compiled core HoTTSQL query."""
+        return self._resolved.query
+
+    @property
+    def schema(self):
+        return self._resolved.schema
+
+    @property
+    def columns(self):
+        return self._resolved.columns
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, QueryHandle):
+            return NotImplemented
+        return self.query == other.query
+
+    def __hash__(self) -> int:
+        return hash(self.query)
+
+    def __repr__(self) -> str:
+        label = self._text if self._text is not None else repr(self.query)
+        return f"QueryHandle({label!r})"
+
+    # -- memoized normal form ----------------------------------------------
+
+    @property
+    def normalized(self) -> NormalizedQuery:
+        """The memoized pre-normalized form (computed on first access)."""
+        if self._pre is None:
+            self._pre = NormalizedQuery.of(self.query)
+        return self._pre
+
+    # -- fluent verbs -------------------------------------------------------
+
+    def equivalent_to(self, other: Union["QueryHandle", str],
+                      hyps: Hypotheses = NO_HYPOTHESES) -> Verdict:
+        """Decide equivalence through the session's tiered pipeline."""
+        other = self._session._coerce(other)
+        return self._session.pipeline.check_normalized(
+            self.normalized, other.normalized, hyps)
+
+    def disprove(self, other: Union["QueryHandle", str], *,
+                 bound: Optional[Bound] = None,
+                 max_instances: Union[int, None, object] = _UNSET,
+                 hyps: Hypotheses = NO_HYPOTHESES) -> DisproofResult:
+        """Bounded-exhaustive counterexample search against ``other``.
+
+        ``max_instances`` defaults to the session config's budget; pass
+        ``None`` explicitly for an unbounded search.
+        """
+        other = self._session._coerce(other)
+        cfg = self._session.pipeline.config
+        return disprove(
+            self.query, other.query,
+            bound=bound if bound is not None else cfg.disprover_bound,
+            max_instances=(cfg.disprover_max_instances
+                           if max_instances is _UNSET else max_instances),
+            hyps=hyps)
+
+    def optimize(self, stats: Optional[TableStats] = None, *,
+                 max_plans: int = 400, certify: bool = True) -> "PlanHandle":
+        """Cost-based plan search; certification runs through the
+        session's pipeline (and proof cache)."""
+        stats = stats if stats is not None else TableStats()
+        result = optimize(self.query, stats, max_plans=max_plans,
+                          certify=certify,
+                          pipeline=self._session.pipeline)
+        return PlanHandle(self, result, stats)
+
+    def explain(self, stats: Optional[TableStats] = None) -> str:
+        """EXPLAIN rendering of this query as a plan."""
+        return explain(self.query, stats if stats is not None
+                       else TableStats())
+
+
+class PlanHandle:
+    """An optimized plan: the planner's result plus rendering verbs."""
+
+    __slots__ = ("_source", "result", "stats")
+
+    def __init__(self, source: QueryHandle, result: PlanningResult,
+                 stats: TableStats) -> None:
+        self._source = source
+        self.result = result
+        self.stats = stats
+
+    @property
+    def source(self) -> QueryHandle:
+        return self._source
+
+    @property
+    def session(self) -> "Session":
+        return self._source.session
+
+    @property
+    def plan(self) -> ast.Query:
+        return self.result.best_plan
+
+    @property
+    def certified(self) -> Optional[bool]:
+        return self.result.certified
+
+    @property
+    def improved(self) -> bool:
+        return self.result.improved
+
+    @property
+    def cost(self) -> float:
+        return self.result.best_cost
+
+    @property
+    def applied_rules(self) -> Tuple[str, ...]:
+        return self.result.applied_rules
+
+    def explain(self) -> str:
+        """EXPLAIN rendering of the chosen plan."""
+        return explain(self.plan, self.stats)
+
+    def sql(self) -> str:
+        """The chosen plan decompiled back to SQL text.
+
+        Raises :class:`~repro.sql.decompile.PlanRenderingError` when the
+        plan falls outside the SQL-renderable fragment.
+        """
+        return plan_to_sql(self.plan, self.session.catalog)
+
+    def handle(self) -> QueryHandle:
+        """The optimized plan as a first-class query handle."""
+        return QueryHandle(
+            self.session, None,
+            Resolved(self.plan, self._source.schema, self._source.columns))
+
+    def __repr__(self) -> str:
+        return (f"PlanHandle(cost={self.cost:.1f}, "
+                f"rules={list(self.applied_rules)}, "
+                f"certified={self.certified})")
+
+
+# ---------------------------------------------------------------------------
+# Pairwise reports
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PairResult:
+    """One pair's verdict inside a :class:`PairwiseReport`."""
+
+    left: QueryHandle
+    right: QueryHandle
+    verdict: Verdict
+
+
+@dataclass
+class PairwiseReport:
+    """Verdicts for a pairwise workload plus batch accounting."""
+
+    results: List[PairResult]
+    #: handles that had to be normalized during this call (first touch).
+    normalizations: int
+    #: pairs answered straight from the proof cache.
+    cache_hits: int
+    #: distinct symmetric questions among the pairs.
+    unique_questions: int
+    wall_seconds: float
+    hyps: Hypotheses = NO_HYPOTHESES
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def count(self, status: Status) -> int:
+        return sum(1 for r in self.results if r.verdict.status is status)
+
+    def equivalent_pairs(self) -> List[PairResult]:
+        return [r for r in self.results if r.verdict.proved]
+
+    def summary(self) -> str:
+        return (f"{len(self.results)} pair(s): "
+                f"{self.count(Status.PROVED)} proved, "
+                f"{self.count(Status.DISPROVED)} disproved, "
+                f"{self.count(Status.UNKNOWN)} unknown "
+                f"[{self.unique_questions} unique, "
+                f"{self.cache_hits} cache hit(s), "
+                f"{self.normalizations} normalization(s), "
+                f"{self.wall_seconds * 1e3:.1f} ms]")
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+class Session:
+    """One catalog, one pipeline, one proof cache, one worker pool.
+
+    Args:
+        catalog: table declarations (a fresh empty catalog by default).
+        config: pipeline stage knobs (:class:`PipelineConfig`).
+        cache: a pre-built :class:`ProofCache` to share, or a path string
+            (treated exactly like ``cache_path``, matching
+            :meth:`from_tables`).
+        cache_path: JSON file to load the proof cache from and persist it
+            to on :meth:`close` / context-manager exit.
+        workers: default worker-process count for batch verification.
+    """
+
+    def __init__(self, catalog: Optional[Catalog] = None, *,
+                 config: Optional[PipelineConfig] = None,
+                 cache: Union[ProofCache, str, None] = None,
+                 cache_path: Optional[str] = None,
+                 workers: Optional[int] = None) -> None:
+        if isinstance(cache, str):
+            if cache_path is not None and cache_path != cache:
+                raise SessionError(
+                    f"conflicting cache paths: cache={cache!r} "
+                    f"vs cache_path={cache_path!r}")
+            cache, cache_path = None, cache
+        elif cache is not None and not isinstance(cache, ProofCache):
+            raise SessionError(
+                f"cache must be a ProofCache or a path string, "
+                f"got {type(cache).__name__}")
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.pipeline = Pipeline(config, cache=cache, cache_path=cache_path)
+        self.workers = workers
+        self._cache_path = cache_path
+        self._service: Optional[VerificationService] = None
+        #: token-stream key (or raw text for unlexable input) → handle.
+        self._handles: Dict[object, QueryHandle] = {}
+        self._closed = False
+
+    @classmethod
+    def from_tables(cls, *specs: str,
+                    config: Optional[PipelineConfig] = None,
+                    cache: Optional[str] = None,
+                    workers: Optional[int] = None) -> "Session":
+        """Build a session from ``"R(a:int,b:int)"``-style declarations.
+
+        ``cache`` is a JSON path: loaded now if it exists, persisted on
+        exit.
+        """
+        catalog = Catalog()
+        session = cls(catalog, config=config, cache_path=cache,
+                      workers=workers)
+        for spec in specs:
+            session.add_table(spec)
+        return session
+
+    # -- catalog ------------------------------------------------------------
+
+    def add_table(self, spec: Union[str, Tuple[str, Sequence]],
+                  columns: Optional[Sequence] = None) -> "Session":
+        """Declare a table: ``add_table("R(a:int,b:int)")`` or
+        ``add_table("R", [("a", INT)])``.  Returns the session (chainable).
+        """
+        self._ensure_open()
+        if columns is None:
+            if isinstance(spec, str):
+                name, columns = parse_table_spec(spec)
+            else:
+                name, columns = spec
+        else:
+            name = spec
+        self.catalog.add_table(name, columns)
+        return self
+
+    # -- compilation --------------------------------------------------------
+
+    def sql(self, text: str) -> QueryHandle:
+        """Compile SQL to a memoized :class:`QueryHandle`.
+
+        Repeated calls with the same query text return the *same* handle
+        (keyed on the token stream, so formatting differences collapse
+        but string-literal contents are respected) and its memoized
+        normal form is shared across every use site.
+        """
+        self._ensure_open()
+        try:
+            key = tuple((t.kind, t.text) for t in tokenize(text))
+        except ReproError:
+            key = text  # let compile_sql raise the real lex error below
+        handle = self._handles.get(key)
+        if handle is None:
+            handle = QueryHandle(self, text, compile_sql(text, self.catalog))
+            self._handles[key] = handle
+        return handle
+
+    @property
+    def handles(self) -> List[QueryHandle]:
+        """Every handle compiled by this session, in creation order."""
+        return list(self._handles.values())
+
+    def _coerce(self, query: Union[QueryHandle, str]) -> QueryHandle:
+        if isinstance(query, QueryHandle):
+            if query.session is not self:
+                raise SessionError(
+                    "handle belongs to a different session (its catalog "
+                    "and cache are not this session's)")
+            return query
+        if isinstance(query, str):
+            return self.sql(query)
+        raise SessionError(f"expected SQL text or a QueryHandle, "
+                           f"got {type(query).__name__}")
+
+    # -- checking -----------------------------------------------------------
+
+    def check(self, q1: Union[QueryHandle, str], q2: Union[QueryHandle, str],
+              hyps: Hypotheses = NO_HYPOTHESES) -> Verdict:
+        """Decide one equivalence question through the tiered pipeline."""
+        return self._coerce(q1).equivalent_to(self._coerce(q2), hyps)
+
+    def check_pairs(self, pairs: Iterable[Tuple[Union[QueryHandle, str],
+                                                Union[QueryHandle, str]]],
+                    hyps: Hypotheses = NO_HYPOTHESES) -> PairwiseReport:
+        """Check many pairs, normalizing each distinct query only once.
+
+        All pre-normalized forms stay in-process, so N queries cost N
+        normalizations regardless of how many of the N² pairings are
+        checked; duplicate and symmetric questions collapse in the proof
+        cache.  A pair whose two queries have different output schemas is
+        recorded as DISPROVED (stage ``schema``) rather than aborting the
+        batch — no instance can make an ill-typed question true.
+        """
+        self._ensure_open()
+        started = time.perf_counter()
+        coerced = [(self._coerce(a), self._coerce(b)) for a, b in pairs]
+        fresh = {id(h) for a, b in coerced for h in (a, b)
+                 if h._pre is None}
+        results: List[PairResult] = []
+        fingerprints = set()
+        cache_hits = 0
+        for left, right in coerced:
+            try:
+                verdict = self.pipeline.check_normalized(
+                    left.normalized, right.normalized, hyps)
+            except SchemaMismatchError as exc:
+                verdict = Verdict(status=Status.DISPROVED, stage="schema",
+                                  detail=str(exc))
+            else:
+                fingerprints.add(verdict.fingerprint)
+                cache_hits += verdict.cached
+            results.append(PairResult(left, right, verdict))
+        return PairwiseReport(
+            results=results, normalizations=len(fresh),
+            cache_hits=cache_hits, unique_questions=len(fingerprints),
+            wall_seconds=time.perf_counter() - started, hyps=hyps)
+
+    def check_all_pairs(self,
+                        queries: Optional[Iterable[Union[QueryHandle, str]]]
+                        = None,
+                        hyps: Hypotheses = NO_HYPOTHESES) -> PairwiseReport:
+        """Check every unordered pair of ``queries`` (default: every
+        handle this session has compiled)."""
+        handles = ([self._coerce(q) for q in queries]
+                   if queries is not None else self.handles)
+        pairs = [(handles[i], handles[j])
+                 for i in range(len(handles))
+                 for j in range(i + 1, len(handles))]
+        return self.check_pairs(pairs, hyps)
+
+    # -- batch service ------------------------------------------------------
+
+    @property
+    def service(self) -> VerificationService:
+        """The batch verification service (worker pool is lazy)."""
+        self._ensure_open()
+        if self._service is None:
+            self._service = VerificationService(pipeline=self.pipeline,
+                                                workers=self.workers)
+        return self._service
+
+    def check_batch(self, jobs: Sequence[Job],
+                    workers: Optional[int] = None) -> BatchReport:
+        """Fan a batch of :class:`~repro.solver.service.Job`\\ s across the
+        session's worker pool."""
+        return self.service.check_batch(jobs, workers=workers)
+
+    def check_rules(self, rules: Iterable,
+                    workers: Optional[int] = None) -> BatchReport:
+        """Verify a rewrite-rule corpus through the batch service."""
+        return self.service.check_rules(rules, workers=workers)
+
+    # -- cache & lifecycle --------------------------------------------------
+
+    @property
+    def cache(self) -> ProofCache:
+        return self.pipeline.cache
+
+    def save_cache(self, path: Optional[str] = None) -> str:
+        """Persist the proof cache now (exit does this automatically when
+        a cache path is configured)."""
+        return self.cache.save(path)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Persist the cache (if a path is configured) and tear down the
+        worker pool.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+        if self._cache_path is not None:
+            self.cache.save(self._cache_path)
+
+    def __enter__(self) -> "Session":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (f"Session({len(self.catalog.tables)} table(s), "
+                f"{len(self._handles)} handle(s), "
+                f"{len(self.cache)} cached verdict(s), {state})")
+
+
+__all__ = [
+    "PairResult",
+    "PairwiseReport",
+    "PlanHandle",
+    "QueryHandle",
+    "Session",
+    "SessionError",
+    "TableSpecError",
+    "parse_table_spec",
+]

@@ -33,6 +33,7 @@ from .disprover import (
 )
 from .pipeline import (
     DEFAULT_CONFIG,
+    NormalizedQuery,
     Pipeline,
     PipelineConfig,
     default_pipeline,
@@ -49,6 +50,7 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DisproofResult",
     "Job",
+    "NormalizedQuery",
     "Pipeline",
     "PipelineConfig",
     "ProofCache",

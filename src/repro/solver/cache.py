@@ -32,19 +32,23 @@ from ..core.normalize import NSum, nsum_alpha_key
 from .verdict import Verdict
 
 
-def nsum_fingerprint(n1: NSum, n2: NSum,
-                     hyps: Hypotheses = None,
-                     free_env: Optional[Dict] = None) -> str:
-    """Symmetric content address of an equivalence question.
+def nsum_alpha_repr(n: NSum, free_env: Optional[Dict] = None) -> str:
+    """The canonical (alpha-invariant) textual key of one normal form.
 
-    Alpha-equivalent normal forms map to the same digest, and the (Q1, Q2)
-    and (Q2, Q1) orders agree.  ``free_env`` maps the *free* variables of
-    the normal forms (the denotation's context/tuple variables, whose
-    fresh names differ from run to run) onto canonical labels; without it
-    the digest would depend on a process-global fresh-name counter.
+    ``free_env`` maps the *free* variables of the normal form (the
+    denotation's context/tuple variables, whose fresh names differ from run
+    to run) onto canonical labels; without it the key would depend on a
+    process-global fresh-name counter.  Everything in this module — pair
+    fingerprints and side digests alike — is a hash of these keys, so a
+    caller that memoizes the key per query (a :class:`~repro.session
+    .QueryHandle`) can fingerprint any pair without renormalizing.
     """
-    k1 = repr(nsum_alpha_key(n1, dict(free_env or {})))
-    k2 = repr(nsum_alpha_key(n2, dict(free_env or {})))
+    return repr(nsum_alpha_key(n, dict(free_env or {})))
+
+
+def fingerprint_from_keys(k1: str, k2: str,
+                          hyps: Hypotheses = None) -> str:
+    """Symmetric pair fingerprint over two precomputed alpha keys."""
     if k2 < k1:
         k1, k2 = k2, k1
     hyp_part = "" if not hyps or hyps == Hypotheses() else repr(hyps)
@@ -57,10 +61,27 @@ def nsum_fingerprint(n1: NSum, n2: NSum,
     return digest.hexdigest()
 
 
+def nsum_fingerprint(n1: NSum, n2: NSum,
+                     hyps: Hypotheses = None,
+                     free_env: Optional[Dict] = None) -> str:
+    """Symmetric content address of an equivalence question.
+
+    Alpha-equivalent normal forms map to the same digest, and the (Q1, Q2)
+    and (Q2, Q1) orders agree.  See :func:`nsum_alpha_repr` for the role
+    of ``free_env``.
+    """
+    return fingerprint_from_keys(nsum_alpha_repr(n1, free_env),
+                                 nsum_alpha_repr(n2, free_env), hyps)
+
+
+def digest_of_key(key: str) -> str:
+    """Digest of one precomputed alpha key (orientation tag)."""
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+
+
 def nsum_side_digest(n: NSum, free_env: Optional[Dict] = None) -> str:
     """Digest identifying one side of a question (orientation tag)."""
-    key = repr(nsum_alpha_key(n, dict(free_env or {})))
-    return hashlib.sha256(key.encode("utf-8")).hexdigest()
+    return digest_of_key(nsum_alpha_repr(n, free_env))
 
 
 def query_side_digest(q) -> str:
@@ -234,5 +255,6 @@ class ProofCache:
         return loaded
 
 
-__all__ = ["ProofCache", "nsum_fingerprint", "nsum_side_digest",
+__all__ = ["ProofCache", "digest_of_key", "fingerprint_from_keys",
+           "nsum_alpha_repr", "nsum_fingerprint", "nsum_side_digest",
            "query_side_digest", "syntactic_alias"]

@@ -28,27 +28,28 @@ the prover/disprover pair itself.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core import ast
 from ..core.conjunctive import NotConjunctive, decide_cq, is_conjunctive_query
-from ..core.denote import denote_closed
+from ..core.denote import Denotation, denote_closed
 from ..core.equivalence import (
     Hypotheses,
     MAX_DEPTH,
     NO_HYPOTHESES,
     ProofStats,
     StepBudgetExceeded,
-    align_denotations,
     decide_nsums,
 )
-from ..core.normalize import normalize, nsums_alpha_equal
+from ..core.normalize import NSum, normalize, nsum_subst, nsums_alpha_equal
 from ..core.schema import EMPTY, Schema
+from ..errors import SchemaMismatchError
 from .cache import (
     ProofCache,
-    nsum_fingerprint,
-    nsum_side_digest,
+    digest_of_key,
+    fingerprint_from_keys,
+    nsum_alpha_repr,
     query_side_digest,
 )
 from .disprover import (
@@ -88,6 +89,71 @@ class PipelineConfig:
 DEFAULT_CONFIG = PipelineConfig()
 
 
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """One query's memoizable share of an equivalence check.
+
+    Everything :meth:`Pipeline.check` derives *per side* before the tiers
+    run — denotation, normal form, canonical alpha key, orientation
+    digests — computed once and reusable across every pair the query
+    appears in.  This is what turns an all-pairs workload from O(N²) into
+    O(N) normalizations: a :class:`~repro.session.QueryHandle` builds its
+    ``NormalizedQuery`` lazily and hands it to
+    :meth:`Pipeline.check_normalized` for each pairing.
+    """
+
+    query: ast.Query
+    ctx_schema: Schema
+    denotation: Denotation
+    nsum: NSum
+    #: canonical textual key (free context/tuple vars labelled @ctx/@tup);
+    #: pair fingerprints are hashes over two of these.
+    alpha_key: str
+    #: sha256 of :attr:`alpha_key` — the cache's orientation tag.
+    norm_digest: str
+    #: repr-level orientation tag of the raw query.
+    repr_digest: str
+    #: seconds spent denoting + normalizing (charged to one verdict).
+    seconds: float = 0.0
+    #: mutable once-flag so a memoized side's cost is not re-reported on
+    #: every pair it appears in (timings must sum to ≤ wall-clock).
+    _charged: list = field(default_factory=list, repr=False, compare=False)
+
+    @classmethod
+    def of(cls, query: ast.Query,
+           ctx_schema: Optional[Schema] = None) -> "NormalizedQuery":
+        """Denote and normalize one query (the O(N) part of a workload)."""
+        ctx_schema = EMPTY if ctx_schema is None else ctx_schema
+        started = time.perf_counter()
+        d = denote_closed(query, ctx_schema)
+        n = normalize(d.body)
+        key = nsum_alpha_repr(n, {d.g: "@ctx", d.t: "@tup"})
+        seconds = time.perf_counter() - started
+        return cls(query=query, ctx_schema=ctx_schema, denotation=d,
+                   nsum=n, alpha_key=key, norm_digest=digest_of_key(key),
+                   repr_digest=query_side_digest(query), seconds=seconds)
+
+    def consume_seconds(self) -> float:
+        """The normalization cost, the first time it is asked for; 0.0
+        after — so a memoized side charges exactly one verdict."""
+        if self._charged:
+            return 0.0
+        self._charged.append(True)
+        return self.seconds
+
+    def aligned_nsum(self, onto: "NormalizedQuery") -> NSum:
+        """This side's normal form renamed into ``onto``'s variable space.
+
+        A pure free-variable rename (the denotations' ``g``/``t`` are
+        globally fresh, so no capture is possible) — O(term size), never a
+        renormalization.
+        """
+        d, o = self.denotation, onto.denotation
+        if d is o:
+            return self.nsum
+        return nsum_subst(self.nsum, {d.g: o.g, d.t: o.t})
+
+
 class Pipeline:
     """A configured tiered decision pipeline with a proof cache."""
 
@@ -118,27 +184,44 @@ class Pipeline:
                 certification, where a counterexample search is wasted
                 work — an uncertified rewrite is simply discarded).
         """
-        cfg = self.config
-        timings: Dict[str, float] = {}
-        ctx_schema = EMPTY if ctx_schema is None else ctx_schema
-
         # Stage 1: normalize ------------------------------------------------
-        started = time.perf_counter()
-        d1 = denote_closed(q1, ctx_schema)
-        d2 = denote_closed(q2, ctx_schema)
-        lhs, rhs = align_denotations(d1, d2)
-        n1 = normalize(lhs)
-        n2 = normalize(rhs)
-        timings["normalize"] = time.perf_counter() - started
+        pre1 = NormalizedQuery.of(q1, ctx_schema)
+        pre2 = NormalizedQuery.of(q2, ctx_schema)
+        return self.check_normalized(pre1, pre2, hyps, factory=factory,
+                                     alias=alias, prove_only=prove_only)
+
+    def check_normalized(self, pre1: NormalizedQuery, pre2: NormalizedQuery,
+                         hyps: Hypotheses = NO_HYPOTHESES, *,
+                         factory=None, alias: Optional[str] = None,
+                         prove_only: bool = False) -> Verdict:
+        """Run the tiers on two *pre-normalized* queries.
+
+        The fast path behind :meth:`check` and the session layer's
+        memoized handles: both sides arrive with their denotation, normal
+        form, and canonical alpha key already computed (once per query,
+        however many pairs it appears in), so this method performs no
+        normalization — only fingerprinting, cache probes, and the
+        decision tiers proper.
+        """
+        cfg = self.config
+        d1, d2 = pre1.denotation, pre2.denotation
+        if d1.ctx != d2.ctx:
+            raise SchemaMismatchError(
+                f"context schemas differ: {d1.ctx} vs {d2.ctx}")
+        if d1.schema != d2.schema:
+            raise SchemaMismatchError(
+                f"output schemas differ: {d1.schema} vs {d2.schema}")
+        timings: Dict[str, float] = {
+            "normalize": pre1.consume_seconds() + pre2.consume_seconds()}
 
         # Stage 2: cache ----------------------------------------------------
         started = time.perf_counter()
-        # The denotations' context/tuple variables are the only free
-        # variables of the normal forms; labeling them canonically makes
-        # the fingerprint stable across runs (and processes).
-        free_env = {d1.g: "@ctx", d1.t: "@tup"}
-        fingerprint = nsum_fingerprint(n1, n2, hyps, free_env=free_env)
-        side_digest = nsum_side_digest(n1, free_env)
+        # The alpha keys already label the denotations' free context/tuple
+        # variables canonically (@ctx/@tup), so the fingerprint is stable
+        # across runs (and processes).
+        fingerprint = fingerprint_from_keys(pre1.alpha_key, pre2.alpha_key,
+                                            hyps)
+        side_digest = pre1.norm_digest
         hit = self.cache.get(fingerprint)
         timings["cache"] = time.perf_counter() - started
         if hit is not None:
@@ -148,18 +231,21 @@ class Pipeline:
             # readers (the batch service) see a consistent orientation.
             hit = hit.oriented_for(norm_digest=side_digest)
             hit.lhs_norm_digest = side_digest
-            hit.lhs_repr_digest = query_side_digest(q1)
-            hit.rhs_repr_digest = query_side_digest(q2)
+            hit.lhs_repr_digest = pre1.repr_digest
+            hit.rhs_repr_digest = pre2.repr_digest
             hit.timings = dict(timings)
             if alias is not None:
                 self.cache.register_alias(alias, fingerprint)
             return hit
 
-        verdict = self._decide(q1, q2, ctx_schema, hyps, n1, n2,
-                               fingerprint, timings, factory, prove_only)
+        n1 = pre1.nsum
+        n2 = pre2.aligned_nsum(pre1)
+        verdict = self._decide(pre1.query, pre2.query, pre1.ctx_schema,
+                               hyps, n1, n2, fingerprint, timings, factory,
+                               prove_only)
         verdict.lhs_norm_digest = side_digest
-        verdict.lhs_repr_digest = query_side_digest(q1)
-        verdict.rhs_repr_digest = query_side_digest(q2)
+        verdict.lhs_repr_digest = pre1.repr_digest
+        verdict.rhs_repr_digest = pre2.repr_digest
         # A prove_only UNKNOWN is partial (the disprover never ran), so it
         # is never cached — even under cache_unknown — lest it mask the
         # disproof a later full check would find.
@@ -341,6 +427,7 @@ def reset_default_pipeline() -> None:
 
 __all__ = [
     "DEFAULT_CONFIG",
+    "NormalizedQuery",
     "Pipeline",
     "PipelineConfig",
     "default_pipeline",

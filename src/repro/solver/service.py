@@ -113,7 +113,14 @@ def _run_rule(payload) -> Tuple[str, Verdict]:
 # ---------------------------------------------------------------------------
 
 class VerificationService:
-    """A batch front end over a shared :class:`Pipeline`."""
+    """A batch front end over a shared :class:`Pipeline`.
+
+    The worker pool is created lazily on the first parallel batch and
+    *kept* across batches (workers amortize interpreter start-up and warm
+    their own pipeline caches); :meth:`close` — or using the service as a
+    context manager — tears it down.  :class:`repro.session.Session` owns
+    one of these and closes it on exit.
+    """
 
     def __init__(self, pipeline: Optional[Pipeline] = None,
                  config: Optional[PipelineConfig] = None,
@@ -122,6 +129,8 @@ class VerificationService:
         self.pipeline = pipeline if pipeline is not None \
             else Pipeline(config, cache_path=cache_path)
         self.default_workers = workers
+        self._pool = None
+        self._pool_size = 0
 
     @property
     def cache(self):
@@ -129,6 +138,28 @@ class VerificationService:
 
     def save_cache(self, path: Optional[str] = None) -> str:
         return self.cache.save(path)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_size = 0
+
+    def __enter__(self) -> "VerificationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # -- batches of query pairs --------------------------------------------
 
@@ -245,12 +276,8 @@ class VerificationService:
         return max(1, min(requested, max(pending, 1)))
 
     def _map(self, fn, payloads, worker_count):
-        ctx = self._pool_context()
-        try:
-            pool = ctx.Pool(processes=worker_count,
-                            initializer=_init_worker,
-                            initargs=(self.pipeline.config,))
-        except (OSError, ValueError):
+        pool = self._ensure_pool(worker_count)
+        if pool is None:
             # No fork/spawn available (restricted sandbox): degrade to
             # in-process execution on the service's own pipeline.  Only
             # pool *creation* is guarded — a job-level error must
@@ -258,8 +285,26 @@ class VerificationService:
             for payload in payloads:
                 yield _run_inline(self.pipeline, fn, payload)
             return
-        with pool:
-            yield from pool.imap_unordered(fn, payloads)
+        yield from pool.imap_unordered(fn, payloads)
+
+    def _ensure_pool(self, worker_count: int):
+        """The persistent pool, (re)built only when it must grow.
+
+        A pool larger than this batch needs is reused as-is; returns None
+        when the platform cannot create worker processes at all.
+        """
+        if self._pool is not None and self._pool_size < worker_count:
+            self.close()
+        if self._pool is None:
+            ctx = self._pool_context()
+            try:
+                self._pool = ctx.Pool(processes=worker_count,
+                                      initializer=_init_worker,
+                                      initargs=(self.pipeline.config,))
+            except (OSError, ValueError):
+                return None
+            self._pool_size = worker_count
+        return self._pool
 
     @staticmethod
     def _pool_context():

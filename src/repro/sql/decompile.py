@@ -1,0 +1,347 @@
+"""Decompilation: unnamed core plans back to named SQL.
+
+The inverse of :mod:`repro.sql.resolve` for the fragment the certified
+optimizer emits.  The resolver erases names — ``alias.column`` becomes a
+``Left``/``Right`` path through the context tuple — so an optimized core
+plan cannot be shown to users as SQL without reconstructing names.  This
+module rebuilds a named AST by replaying the resolver's schema-layout
+conventions in reverse:
+
+* a FROM clause is the right-nested product of its items, so the right
+  spine of a ``Product`` chain becomes the FROM list (fresh aliases
+  ``t0, t1, ...``),
+* a table's columns are a right-nested schema, so paths into a table's
+  tuple index its catalog columns,
+* the context at each scope is ``node Γ σ_frame``, so a path's leading
+  ``Left`` steps select an enclosing scope (correlated subqueries) and
+  the final ``Right`` enters that scope's frame.
+
+Decompilation is *partial* by design: core constructs with no SQL
+counterpart in the frontend grammar (projection/predicate metavariables,
+tuple-valued select items in nested scopes, uninterpreted predicate
+symbols beyond the comparison operators) raise
+:class:`PlanRenderingError`.  On the supported fragment the round trip is
+semantics-preserving: recompiling the rendered SQL yields a query the
+equivalence engine proves equal to the input plan (the session test suite
+checks exactly this).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import ast
+from ..errors import ReproError
+from . import nast
+from .resolve import Catalog
+from .unparse import unparse
+
+
+class PlanRenderingError(ReproError):
+    """Raised when a core plan falls outside the SQL-renderable fragment."""
+
+
+# ---------------------------------------------------------------------------
+# Named schema trees
+#
+# A tree mirrors a core schema's node/leaf shape but stores names: leaves
+# are (alias, column) pairs once placed in a FROM frame, bare column names
+# before that.  Paths walk these trees exactly as projections walk schemas.
+# ---------------------------------------------------------------------------
+
+_EMPTY = ("empty",)
+
+
+def _leaf(alias: Optional[str], column: str) -> tuple:
+    return ("leaf", alias, column)
+
+
+def _node(left: tuple, right: tuple) -> tuple:
+    return ("node", left, right)
+
+
+def _right_nested(trees: Sequence[tuple]) -> tuple:
+    if not trees:
+        return _EMPTY
+    result = trees[-1]
+    for tree in reversed(trees[:-1]):
+        result = _node(tree, result)
+    return result
+
+
+def _columns_tree(columns: Sequence[str], alias: Optional[str]) -> tuple:
+    return _right_nested([_leaf(alias, name) for name in columns])
+
+
+def _tree_leaves(tree: tuple) -> List[Tuple[Optional[str], str]]:
+    if tree[0] == "leaf":
+        return [(tree[1], tree[2])]
+    if tree[0] == "node":
+        return _tree_leaves(tree[1]) + _tree_leaves(tree[2])
+    return []
+
+
+def _relabel(tree: tuple, alias: str) -> tuple:
+    """Attach a FROM alias to every leaf of an item's output tree."""
+    if tree[0] == "leaf":
+        name = tree[2]
+        if "." in name:
+            raise PlanRenderingError(
+                f"composite column name {name!r} cannot be re-aliased")
+        return _leaf(alias, name)
+    if tree[0] == "node":
+        return _node(_relabel(tree[1], alias), _relabel(tree[2], alias))
+    return tree
+
+
+def _walk(tree: tuple, steps: Sequence[str], what: str) -> tuple:
+    for step in steps:
+        if tree[0] != "node":
+            raise PlanRenderingError(
+                f"{what}: path steps into a non-product schema")
+        tree = tree[1] if step == "L" else tree[2]
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# Projection paths
+# ---------------------------------------------------------------------------
+
+def _path_steps(proj: ast.Projection) -> Optional[List[str]]:
+    """Flatten a pure step path to L/R tokens; None if not a pure path."""
+    if isinstance(proj, ast.Star):
+        return []
+    if isinstance(proj, ast.LeftP):
+        return ["L"]
+    if isinstance(proj, ast.RightP):
+        return ["R"]
+    if isinstance(proj, ast.Compose):
+        first = _path_steps(proj.first)
+        second = _path_steps(proj.second)
+        if first is None or second is None:
+            return None
+        return first + second
+    return None
+
+
+def _flatten_items(proj: ast.Projection) -> List[ast.Projection]:
+    """The right spine of a ``proj_tuple`` Duplicate tree, as a list."""
+    if isinstance(proj, ast.Duplicate):
+        return [proj.left] + _flatten_items(proj.right)
+    return [proj]
+
+
+# ---------------------------------------------------------------------------
+# The decompiler
+# ---------------------------------------------------------------------------
+
+class Decompiler:
+    """Rebuilds named SQL from core plans against a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._fresh = itertools.count()
+
+    def _alias(self) -> str:
+        return f"t{next(self._fresh)}"
+
+    # -- queries -----------------------------------------------------------
+
+    def decompile_query(self, query: ast.Query,
+                        ctx_tree: tuple = _EMPTY
+                        ) -> Tuple[nast.NQuery, tuple]:
+        """Decompile one core query; returns (named AST, output tree)."""
+        if isinstance(query, ast.UnionAll):
+            left, tree = self.decompile_query(query.left, ctx_tree)
+            right, _ = self.decompile_query(query.right, ctx_tree)
+            return nast.NUnionAll(left, right), tree
+        if isinstance(query, ast.Except):
+            left, tree = self.decompile_query(query.left, ctx_tree)
+            right, _ = self.decompile_query(query.right, ctx_tree)
+            return nast.NExcept(left, right), tree
+        if isinstance(query, ast.Distinct):
+            inner, tree = self.decompile_query(query.query, ctx_tree)
+            if isinstance(inner, nast.NSelect) and not inner.distinct:
+                inner = nast.NSelect(True, inner.items, inner.from_items,
+                                     inner.where, inner.group_by)
+                return inner, tree
+            alias = self._alias()
+            return nast.NSelect(
+                True, (), (nast.NFromItem(inner, alias),), None, None), \
+                _relabel(tree, alias)
+        return self._decompile_select(query, ctx_tree)
+
+    def _decompile_select(self, query: ast.Query,
+                          ctx_tree: tuple) -> Tuple[nast.NQuery, tuple]:
+        projection = None
+        if isinstance(query, ast.Select):
+            projection = query.projection
+            query = query.query
+        predicates: List[ast.Predicate] = []
+        while isinstance(query, ast.Where):
+            predicates.append(query.predicate)
+            query = query.query
+
+        from_items, frame_tree = self._decompile_from(query)
+        scope_tree = _node(ctx_tree, frame_tree)
+
+        where = None
+        for pred in reversed(predicates):  # innermost WHERE first
+            named = self._decompile_pred(pred, scope_tree)
+            where = named if where is None else nast.NAnd(where, named)
+
+        if projection is None:
+            # SELECT * — output tree is the frame itself, with the aliases
+            # dropped (an enclosing scope re-aliases the leaves).
+            out_tree = self._strip_aliases(frame_tree)
+            return nast.NSelect(False, (), tuple(from_items), where, None), \
+                out_tree
+        items: List[nast.NSelectItem] = []
+        names: List[tuple] = []
+        for index, item in enumerate(_flatten_items(projection)):
+            expr, name = self._decompile_item(item, scope_tree, index)
+            items.append(nast.NSelectItem(expr, None))
+            names.append(_leaf(None, name))
+        return nast.NSelect(False, tuple(items), tuple(from_items), where,
+                            None), _right_nested(names)
+
+    def _strip_aliases(self, tree: tuple) -> tuple:
+        if tree[0] == "leaf":
+            return _leaf(None, tree[2])
+        if tree[0] == "node":
+            return _node(self._strip_aliases(tree[1]),
+                         self._strip_aliases(tree[2]))
+        return tree
+
+    def _decompile_from(self, query: ast.Query
+                        ) -> Tuple[List[nast.NFromItem], tuple]:
+        """The right spine of a Product chain as a FROM list + frame tree."""
+        items: List[ast.Query] = []
+        while isinstance(query, ast.Product):
+            items.append(query.left)
+            query = query.right
+        items.append(query)
+
+        from_items: List[nast.NFromItem] = []
+        trees: List[tuple] = []
+        for item in items:
+            alias = self._alias()
+            if isinstance(item, ast.Table):
+                if item.name not in self.catalog.tables:
+                    raise PlanRenderingError(
+                        f"table {item.name!r} is not in the catalog "
+                        f"(relation metavariable?)")
+                columns = [c for c, _ in self.catalog.columns(item.name)]
+                from_items.append(nast.NFromItem(item.name, alias))
+                trees.append(_columns_tree(columns, alias))
+            else:
+                sub, tree = self.decompile_query(item)
+                leaves = _tree_leaves(tree)
+                if len({name for _, name in leaves}) != len(leaves):
+                    raise PlanRenderingError(
+                        "subquery FROM item has duplicate column names")
+                from_items.append(nast.NFromItem(sub, alias))
+                trees.append(_relabel(tree, alias))
+        return from_items, _right_nested(trees)
+
+    # -- select items ------------------------------------------------------
+
+    def _decompile_item(self, proj: ast.Projection, scope_tree: tuple,
+                        index: int) -> Tuple[nast.NExpr, str]:
+        steps = _path_steps(proj)
+        if steps is not None:
+            target = _walk(scope_tree, steps, "select item")
+            if target[0] != "leaf":
+                raise PlanRenderingError(
+                    "tuple-valued select item has no SQL rendering")
+            return nast.NColumn(target[1], target[2]), target[2]
+        if isinstance(proj, ast.E2P):
+            return self._decompile_expr(proj.expression, scope_tree), \
+                f"col{index}"
+        raise PlanRenderingError(
+            f"unrenderable projection {proj!r} (metavariable?)")
+
+    # -- predicates --------------------------------------------------------
+
+    _COMPARISONS = {"lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+    def _decompile_pred(self, pred: ast.Predicate,
+                        scope_tree: tuple) -> nast.NPred:
+        if isinstance(pred, ast.PredEq):
+            return nast.NComparison(
+                "=", self._decompile_expr(pred.left, scope_tree),
+                self._decompile_expr(pred.right, scope_tree))
+        if isinstance(pred, ast.PredNot):
+            inner = pred.operand
+            if isinstance(inner, ast.PredEq):
+                return nast.NComparison(
+                    "<>", self._decompile_expr(inner.left, scope_tree),
+                    self._decompile_expr(inner.right, scope_tree))
+            return nast.NNot(self._decompile_pred(inner, scope_tree))
+        if isinstance(pred, ast.PredAnd):
+            return nast.NAnd(self._decompile_pred(pred.left, scope_tree),
+                             self._decompile_pred(pred.right, scope_tree))
+        if isinstance(pred, ast.PredOr):
+            return nast.NOr(self._decompile_pred(pred.left, scope_tree),
+                            self._decompile_pred(pred.right, scope_tree))
+        if isinstance(pred, ast.PredTrue):
+            return nast.NBoolLit(True)
+        if isinstance(pred, ast.PredFalse):
+            return nast.NBoolLit(False)
+        if isinstance(pred, ast.PredFunc) \
+                and pred.name in self._COMPARISONS and len(pred.args) == 2:
+            return nast.NComparison(
+                self._COMPARISONS[pred.name],
+                self._decompile_expr(pred.args[0], scope_tree),
+                self._decompile_expr(pred.args[1], scope_tree))
+        if isinstance(pred, ast.Exists):
+            sub, _ = self.decompile_query(pred.query, scope_tree)
+            return nast.NExists(sub)
+        raise PlanRenderingError(
+            f"unrenderable predicate {pred!r} (metavariable or "
+            f"uninterpreted symbol?)")
+
+    # -- expressions -------------------------------------------------------
+
+    def _decompile_expr(self, expr: ast.Expression,
+                        scope_tree: tuple) -> nast.NExpr:
+        if isinstance(expr, ast.P2E):
+            steps = _path_steps(expr.projection)
+            if steps is None:
+                raise PlanRenderingError(
+                    f"unrenderable column path {expr.projection!r}")
+            target = _walk(scope_tree, steps, "column reference")
+            if target[0] != "leaf":
+                raise PlanRenderingError(
+                    "tuple-valued expression has no SQL rendering")
+            return nast.NColumn(target[1], target[2])
+        if isinstance(expr, ast.Const):
+            return nast.NLiteral(expr.value)
+        if isinstance(expr, ast.Func):
+            return nast.NFuncCall(
+                expr.name, tuple(self._decompile_expr(a, scope_tree)
+                                 for a in expr.args))
+        if isinstance(expr, ast.Agg):
+            sub, tree = self.decompile_query(expr.query, scope_tree)
+            if tree[0] == "node":
+                raise PlanRenderingError(
+                    f"aggregate {expr.name} over a multi-column subquery")
+            return nast.NAggQuery(expr.name, sub)
+        raise PlanRenderingError(
+            f"unrenderable expression {expr!r} (metavariable?)")
+
+
+def decompile(query: ast.Query, catalog: Catalog) -> nast.NQuery:
+    """Rebuild a named AST for a core plan (see module docstring)."""
+    named, _ = Decompiler(catalog).decompile_query(query)
+    return named
+
+
+def plan_to_sql(query: ast.Query, catalog: Catalog) -> str:
+    """Render a core plan as SQL text; :class:`PlanRenderingError` when the
+    plan falls outside the renderable fragment."""
+    return unparse(decompile(query, catalog))
+
+
+__all__ = ["Decompiler", "PlanRenderingError", "decompile", "plan_to_sql"]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Iterator, List
+from ..errors import ReproError
 
 #: Keywords of the supported dialect (case-insensitive).
 KEYWORDS = frozenset({
@@ -23,7 +24,7 @@ _OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*",
               "+", "-", "/", "%")
 
 
-class LexError(Exception):
+class LexError(ReproError):
     """Raised on an unrecognized character sequence."""
 
     def __init__(self, message: str, position: int) -> None:

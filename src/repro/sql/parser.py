@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import ReproError
 from . import nast
 from .lexer import Token, tokenize
 
@@ -32,7 +33,7 @@ _AGGREGATES = frozenset({"SUM", "COUNT", "AVG", "MAX", "MIN"})
 _COMPARISONS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
 
 
-class ParseError(Exception):
+class ParseError(ReproError):
     """Raised on a syntax error, with the offending token position."""
 
     def __init__(self, message: str, token: Token) -> None:

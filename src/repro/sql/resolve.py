@@ -24,12 +24,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from ..core import ast
 from ..core.schema import BOOL, EMPTY, INT, Leaf, Node, STRING, Schema, SQLType
 from . import nast
 
 
-class ResolutionError(Exception):
+class ResolutionError(ReproError):
     """Raised when names cannot be resolved against the catalog/scopes."""
 
 

@@ -1,0 +1,54 @@
+"""Deprecation shims: old free functions warn, everything else stays quiet."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import Catalog, INT, compile_sql
+from repro.core import ast
+from repro.core.schema import Leaf
+
+
+def _table():
+    catalog = Catalog()
+    catalog.add_table("R", [("a", INT), ("b", INT)])
+    return catalog
+
+
+def test_top_level_queries_equivalent_warns_and_works():
+    catalog = _table()
+    q = compile_sql("SELECT a FROM R", catalog).query
+    with pytest.warns(DeprecationWarning, match="Session"):
+        assert repro.queries_equivalent(q, q)
+
+
+def test_top_level_check_query_equivalence_warns_and_works():
+    catalog = _table()
+    q = compile_sql("SELECT a FROM R", catalog).query
+    with pytest.warns(DeprecationWarning, match="Session"):
+        result = repro.check_query_equivalence(q, q)
+    assert result.equal
+
+
+def test_core_homes_do_not_warn():
+    from repro.core.equivalence import (
+        check_query_equivalence,
+        queries_equivalent,
+    )
+    catalog = _table()
+    q = compile_sql("SELECT a FROM R", catalog).query
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert queries_equivalent(q, q)
+        assert check_query_equivalence(q, q).equal
+
+
+def test_compile_sql_and_pipeline_do_not_warn():
+    from repro.solver.pipeline import Pipeline
+    catalog = _table()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        q = compile_sql("SELECT a FROM R", catalog).query
+        verdict = Pipeline().check(q, q)
+    assert verdict.proved

@@ -1,0 +1,67 @@
+"""One ``except ReproError`` catches any library failure."""
+
+import pytest
+
+from repro import ReproError, Session
+from repro.cli import CLIError
+from repro.errors import SchemaMismatchError
+from repro.core.conjunctive import NotConjunctive
+from repro.core.equivalence import StepBudgetExceeded
+from repro.core.interp import InterpretationError
+from repro.core.typecheck import TypecheckError
+from repro.session import SessionError, TableSpecError
+from repro.sql.decompile import PlanRenderingError
+from repro.sql.lexer import LexError
+from repro.sql.parser import ParseError
+from repro.sql.resolve import ResolutionError
+
+
+ALL_ERRORS = [
+    CLIError,
+    InterpretationError,
+    LexError,
+    NotConjunctive,
+    ParseError,
+    PlanRenderingError,
+    ResolutionError,
+    SchemaMismatchError,
+    SessionError,
+    StepBudgetExceeded,
+    TableSpecError,
+    TypecheckError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS, ids=lambda e: e.__name__)
+def test_every_exception_roots_at_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_existing_hierarchies_intact():
+    # Sub-hierarchies keep their local structure under the common root.
+    assert issubclass(TableSpecError, SessionError)
+    assert issubclass(ReproError, Exception)
+    # Schema mismatches stay catchable as ValueError (pre-PR behaviour).
+    assert issubclass(SchemaMismatchError, ValueError)
+
+
+def test_errors_module_re_exports():
+    import repro.errors as errors
+    assert errors.ParseError is ParseError
+    assert errors.LexError is LexError
+    assert errors.StepBudgetExceeded is StepBudgetExceeded
+    assert errors.CLIError is CLIError
+    with pytest.raises(AttributeError):
+        errors.NoSuchError
+
+    for name in errors.__all__:
+        assert isinstance(getattr(errors, name), type)
+
+
+def test_one_handler_catches_frontend_failures():
+    with Session.from_tables("R(a:int,b:int)") as session:
+        for bad in ["SELECT $$$ FROM R",       # lexer
+                    "SELECT FROM",             # parser
+                    "SELECT nope FROM R"]:     # resolver
+            with pytest.raises(ReproError):
+                session.sql(bad)
