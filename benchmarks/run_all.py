@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Run every benchmark and write machine-readable results (BENCH_pr3.json).
+
+Two layers:
+
+* **Tracked workloads** — deterministic, in-process timings of the two
+  kernel-critical workloads (the full prover-scaling grid and the
+  all-pairs session workload), measured from cold kernel caches and
+  compared against the pre-kernel baseline recorded in
+  :data:`PRE_KERNEL_BASELINE`.  These are the numbers the perf
+  trajectory is judged on: the interned-kernel PR targets ≥3× on both.
+* **Sweep** — every ``bench_*.py`` in this directory, run in smoke form
+  (scripts with ``--smoke``, pytest files with ``--benchmark-disable``)
+  so CI can detect a benchmark that stops even importing.  Non-gating:
+  the JSON records per-bench wall clock and exit status.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # full tracked runs
+    PYTHONPATH=src python benchmarks/run_all.py --smoke    # CI (small grids)
+    PYTHONPATH=src python benchmarks/run_all.py --output out.json
+
+Exit status is non-zero only when a tracked workload regresses below the
+3× target against the recorded baseline (full mode) or a sweep bench
+crashes.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr3.json"
+
+sys.path.insert(0, str(BENCH_DIR))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Pre-kernel baseline for the tracked workloads, recorded at commit
+#: 8a178b2 (the PR 2 tree, before the interned kernel) on the reference
+#: container: best of three passes of exactly the workloads measured
+#: below.  Units: seconds.
+PRE_KERNEL_BASELINE = {
+    "prover_scaling": 0.428,
+    "session_all_pairs": 0.275,
+}
+
+#: Wall-clock improvement the kernel PR promises on the tracked runs.
+SPEEDUP_TARGET = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Tracked workload A: prover scaling (full deterministic grid)
+# ---------------------------------------------------------------------------
+
+def _kjoin(k, perm, distinct=False):
+    names = [f"x{i}" for i in range(k)]
+    conds = [f"{names[i]}.a = {names[i + 1]}.b" for i in range(k - 1)]
+    conds = [conds[j] for j in perm]
+    return ("SELECT " + ("DISTINCT " if distinct else "") + "x0.a FROM "
+            + ", ".join(f"R AS {n}" for n in names)
+            + " WHERE " + " AND ".join(conds))
+
+
+def _prover_pairs(smoke):
+    from bench_prover_scaling import _selection_tower, _union_ladder
+    from repro import Session
+
+    towers = (2, 4) if smoke else (2, 4, 6, 8, 10, 12)
+    ladders = (2, 4) if smoke else (2, 4, 6, 8)
+    joins = (4,) if smoke else (4, 5, 6)
+    distincts = (3,) if smoke else (3, 4, 5)
+    pairs = []
+    for n in towers:
+        pairs.append((_selection_tower(n, False), _selection_tower(n, True)))
+    for n in ladders:
+        pairs.append((_union_ladder(n, False), _union_ladder(n, True)))
+    with Session.from_tables("R(a:int,b:int)") as session:
+        for k in joins:
+            order = list(range(k - 1))
+            pairs.append((session.sql(_kjoin(k, order)).query,
+                          session.sql(_kjoin(k, order[::-1])).query))
+        for k in distincts:
+            order = list(range(k - 1))
+            pairs.append((session.sql(_kjoin(k, order, True)).query,
+                          session.sql(_kjoin(k, order[::-1], True)).query))
+    return pairs
+
+
+def run_prover_scaling(smoke):
+    from repro.core.equivalence import check_query_equivalence
+    from repro.core.intern import clear_kernel_caches, kernel_stats
+
+    pairs = _prover_pairs(smoke)
+    clear_kernel_caches()
+    steps = 0
+    started = time.perf_counter()
+    for lhs, rhs in pairs:
+        result = check_query_equivalence(lhs, rhs)
+        assert result.equal, "prover-scaling pair unexpectedly non-equivalent"
+        steps += result.stats.total_steps
+    wall = time.perf_counter() - started
+    stats = kernel_stats()
+    return {
+        "pairs": len(pairs),
+        "wall_seconds": wall,
+        "engine_steps": steps,
+        "normalize_hits": stats.get("normalize_hits", 0),
+        "normalize_misses": stats.get("normalize_misses", 0),
+        "interned_nodes": stats.get("interned_nodes", 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Tracked workload B: session all-pairs (naive vs memoized handles)
+# ---------------------------------------------------------------------------
+
+def run_session_all_pairs(smoke):
+    import bench_session_all_pairs as bench
+    from repro.core.intern import clear_kernel_caches, kernel_stats
+
+    n = 8 if smoke else 24
+    texts = bench.corpus(n)
+    clear_kernel_caches()
+    _, naive_norms, naive_wall = bench.run_naive(texts)
+    _, sess_norms, sess_wall = bench.run_session(texts)
+    stats = kernel_stats()
+    return {
+        "queries": n,
+        "pairs": n * (n - 1) // 2,
+        "naive_wall_seconds": naive_wall,
+        "session_wall_seconds": sess_wall,
+        "wall_seconds": naive_wall + sess_wall,
+        "naive_normalize_calls": naive_norms,
+        "session_normalize_calls": sess_norms,
+        "normalize_hits": stats.get("normalize_hits", 0),
+        "normalize_misses": stats.get("normalize_misses", 0),
+        "normalize_hit_rate": stats.get("normalize_hit_rate", 0.0),
+        "denote_hits": stats.get("denote_hits", 0),
+        "interned_nodes": stats.get("interned_nodes", 0),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep: every bench_*.py in smoke form
+# ---------------------------------------------------------------------------
+
+#: Benches that are standalone scripts (everything else runs via pytest).
+SCRIPT_BENCHES = {"bench_session_all_pairs.py": ["--smoke"]}
+
+
+def run_sweep():
+    results = {}
+    env_path = f"{REPO_ROOT / 'src'}"
+    for bench in sorted(BENCH_DIR.glob("bench_*.py")):
+        if bench.name in SCRIPT_BENCHES:
+            cmd = [sys.executable, str(bench)] + SCRIPT_BENCHES[bench.name]
+        else:
+            cmd = [sys.executable, "-m", "pytest", str(bench), "-q",
+                   "-p", "no:cacheprovider", "--benchmark-disable"]
+        started = time.perf_counter()
+        proc = subprocess.run(
+            cmd, cwd=str(REPO_ROOT), capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": env_path})
+        results[bench.name] = {
+            "wall_seconds": time.perf_counter() - started,
+            "returncode": proc.returncode,
+            "ok": proc.returncode == 0,
+        }
+        if proc.returncode != 0:
+            tail = (proc.stdout + proc.stderr).strip().splitlines()[-8:]
+            results[bench.name]["tail"] = tail
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small grids + sweep only (CI mode; speedup "
+                             "targets are not enforced)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the per-bench smoke sweep")
+    parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
+                        metavar="FILE", help="JSON output path "
+                        "(default: BENCH_pr3.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    print(f"tracked workloads ({mode} mode)")
+    tracked = {
+        "prover_scaling": run_prover_scaling(args.smoke),
+        "session_all_pairs": run_session_all_pairs(args.smoke),
+    }
+
+    failures = []
+    speedups = {}
+    for name, result in tracked.items():
+        wall = result["wall_seconds"]
+        line = f"  {name:<22} {wall * 1e3:9.1f} ms"
+        if not args.smoke:
+            baseline = PRE_KERNEL_BASELINE[name]
+            speedup = baseline / wall if wall else float("inf")
+            speedups[name] = speedup
+            line += (f"   baseline {baseline * 1e3:8.1f} ms"
+                     f"   speedup {speedup:5.2f}x")
+            if speedup < SPEEDUP_TARGET:
+                failures.append(
+                    f"{name}: {speedup:.2f}x below the "
+                    f"{SPEEDUP_TARGET:.0f}x target")
+        print(line)
+
+    sweep = {}
+    if not args.no_sweep:
+        print("bench sweep (smoke)")
+        sweep = run_sweep()
+        for name, result in sweep.items():
+            status = "ok" if result["ok"] else f"FAIL ({result['returncode']})"
+            print(f"  {name:<32} {result['wall_seconds'] * 1e3:9.1f} ms  "
+                  f"{status}")
+            if not result["ok"]:
+                failures.append(f"sweep bench {name} failed")
+
+    payload = {
+        "schema": 1,
+        "mode": mode,
+        "baseline": {
+            "note": "pre-kernel tree (commit 8a178b2), best of 3 passes",
+            "seconds": PRE_KERNEL_BASELINE,
+        },
+        "speedup_target": SPEEDUP_TARGET,
+        "tracked": tracked,
+        "speedups": speedups,
+        "sweep": sweep,
+    }
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    print(f"wrote {output}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

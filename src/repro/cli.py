@@ -121,6 +121,27 @@ def _render_verdict(verdict) -> str:
 # Commands
 # ---------------------------------------------------------------------------
 
+def _render_verbose(verdict, session) -> str:
+    """Stage timings + interned-kernel counters (``check --verbose``)."""
+    lines = ["stage timings:"]
+    for stage, seconds in verdict.timings.items():
+        lines.append(f"  {stage:<12} {seconds * 1e3:8.3f} ms")
+    lines.append("kernel counters:")
+    for key, value in verdict.kernel_counters.items():
+        lines.append(f"  {key:<18} {value}")
+    stats = session.kernel_stats()
+    lines.append("process-wide kernel:")
+    for key in ("interned_nodes", "intern_hits", "intern_misses",
+                "normalize_hits", "normalize_misses", "denote_hits",
+                "denote_misses"):
+        if key in stats:
+            lines.append(f"  {key:<18} {stats[key]}")
+    lines.append(f"  proof cache        {stats['proof_cache_entries']} "
+                 f"entr{'y' if stats['proof_cache_entries'] == 1 else 'ies'}, "
+                 f"hit rate {stats['proof_cache_hit_rate']:.0%}")
+    return "\n".join(lines)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     with _session_from_args(args) as session:
         lhs = _handle(session, args.sql1)
@@ -131,6 +152,8 @@ def cmd_check(args: argparse.Namespace) -> int:
             # e.g. the two queries have different output schemas
             raise CLIError(str(exc)) from exc
         print(_render_verdict(verdict))
+        if getattr(args, "verbose", False):
+            print(_render_verbose(verdict, session))
         return 0 if verdict.proved else 1
 
 
@@ -286,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(repeatable)")
     check.add_argument("sql1")
     check.add_argument("sql2")
+    check.add_argument("--verbose", action="store_true",
+                       help="print stage timings and interned-kernel "
+                            "counters (normalize memo hits/misses, live "
+                            "interned nodes) alongside the verdict")
     _add_cache_option(check)
     _add_bound_options(check)
     check.set_defaults(fn=cmd_check)

@@ -150,8 +150,11 @@ class CongruenceClosure:
 
         Tuples of ``Node`` schema are compared component-wise, so that
         ``x = (a, b)`` follows from ``x.1 = a`` and ``x.2 = b`` (surjective
-        pairing).
+        pairing).  Pointer-equal terms (the common case with the interned
+        kernel) answer immediately, without registering anything.
         """
+        if a is b:
+            return True
         if self.find(a) == self.find(b):
             return True
         schema = _common_schema(a, b)
@@ -217,19 +220,26 @@ def _common_schema(a: Term, b: Term) -> Optional[Schema]:
 
 
 def _term_key(term: Term) -> Tuple[int, str]:
+    # Both components are O(1) amortized on interned nodes: the kernel
+    # caches node sizes and renderings.
     return (_size(term), str(term))
 
 
 def _size(term: Term) -> int:
-    if isinstance(term, (TVar, TConst, TUnit, TAgg)):
-        return 1
+    """Closure-level term size (aggregates are leaves); cached per node."""
+    cached = term.__dict__.get("_hc_ccsize")
+    if cached is not None:
+        return cached
     if isinstance(term, TPair):
-        return 1 + _size(term.left) + _size(term.right)
-    if isinstance(term, (TFst, TSnd)):
-        return 1 + _size(term.arg)
-    if isinstance(term, TApp):
-        return 1 + sum(_size(a) for a in term.args)
-    return 1
+        size = 1 + _size(term.left) + _size(term.right)
+    elif isinstance(term, (TFst, TSnd)):
+        size = 1 + _size(term.arg)
+    elif isinstance(term, TApp):
+        size = 1 + sum(_size(a) for a in term.args)
+    else:
+        return 1  # TVar, TConst, TUnit, TAgg (no slot needed for leaves)
+    object.__setattr__(term, "_hc_ccsize", size)
+    return size
 
 
 def _rebuild(term: Term, cc: "CongruenceClosure") -> Term:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from . import ast
+from .intern import KernelLRU
 from .schema import EMPTY, Leaf, Node, Schema
 from .typecheck import TypecheckError, check_predicate, infer_projection, \
     infer_query
@@ -179,18 +180,35 @@ class Denotation:
         return f"λ {self.g} {self.t}. {self.body}"
 
 
+#: Memo for :func:`denote_closed`, keyed on query object identity + ctx.
+#: Each entry holds a strong reference to its query, so an entry's id can
+#: never be reused while the entry lives.  Returning the same Denotation
+#: (same fresh ``g``/``t``, same interned body) for repeated denotations
+#: of one query object is what lets ``normalize``'s identity-keyed memo
+#: hit on the per-pair workloads the pipeline runs.
+_DENOTE_MEMO = KernelLRU(2048, "denote")
+
+
 def denote_closed(query: ast.Query, ctx: Schema = EMPTY) -> Denotation:
     """Typecheck and denote a top-level query with fresh ``g`` and ``t``.
 
     This is the entry point the prover and the pretty-printing examples use:
     it reproduces the ``⟦Γ ⊢ q : σ⟧`` judgements of the paper's worked
-    examples (Figures 1 and 2).
+    examples (Figures 1 and 2).  Memoized per (query object, context):
+    denoting the same query again returns the same Denotation, fresh
+    variables included.
     """
+    key = (id(query), ctx)
+    hit = _DENOTE_MEMO.get(key)
+    if hit is not None and hit[0] is query:
+        return hit[1]
     schema = infer_query(query, ctx)
     g = fresh_var(ctx, "g")
     t = fresh_var(schema, "t")
     body = denote_query(query, ctx, g, t)
-    return Denotation(ctx=ctx, schema=schema, g=g, t=t, body=body)
+    denotation = Denotation(ctx=ctx, schema=schema, g=g, t=t, body=body)
+    _DENOTE_MEMO.put(key, (query, denotation))
+    return denotation
 
 
 def denote_closed_predicate(pred: ast.Predicate, ctx: Schema) -> UTerm:

@@ -42,9 +42,11 @@ from .normalize import (
     NProduct,
     NSum,
     atom_alpha_key,
+    atom_free_vars,
     atom_subst,
     normalize,
     nsums_alpha_equal,
+    product_alpha_key,
     product_subst,
 )
 from .schema import Empty, Node, Schema
@@ -152,6 +154,12 @@ class ProofStats:
     absorptions: int = 0
     product_matches: int = 0
     agg_comparisons: int = 0
+    #: interned-kernel counters (not reasoning steps): ``normalize`` memo
+    #: hits/misses charged to this check and the live canonical node count
+    #: at the time the check ran.
+    normalize_hits: int = 0
+    normalize_misses: int = 0
+    interned_nodes: int = 0
     trace: List[str] = field(default_factory=list)
     max_steps: Optional[int] = None
 
@@ -351,7 +359,7 @@ def _sum_entailed(factors: Sequence[Atom], cc: CongruenceClosure,
 
 
 def _instantiate_product(factors: Sequence[Atom], cc: CongruenceClosure,
-                         q: NProduct, pool: Dict[Schema, List[Term]],
+                         q: NProduct, pool: Dict[Schema, Dict[Term, None]],
                          ambient: Sequence[Atom], ctx: _Ctx,
                          depth: int) -> bool:
     """Backtracking search for witnesses of ``Σ q.vars. q.factors``."""
@@ -397,7 +405,7 @@ def implication_witness(source: NProduct, target: NSum,
 
 
 def _instantiation_witness(factors: Sequence[Atom], cc: CongruenceClosure,
-                           q: NProduct, pool: Dict[Schema, List[Term]],
+                           q: NProduct, pool: Dict[Schema, Dict[Term, None]],
                            ambient: Sequence[Atom], ctx: _Ctx,
                            depth: int) -> Optional[Substitution]:
     variables = list(q.vars)
@@ -422,9 +430,13 @@ def _instantiation_witness(factors: Sequence[Atom], cc: CongruenceClosure,
 
 
 def _candidate_pool(factors: Sequence[Atom],
-                    ambient: Sequence[Atom]) -> Dict[Schema, List[Term]]:
-    """Ground terms available as witnesses, grouped by schema."""
-    pool: Dict[Schema, List[Term]] = {}
+                    ambient: Sequence[Atom]) -> Dict[Schema, Dict[Term, None]]:
+    """Ground terms available as witnesses, grouped by schema.
+
+    Buckets are insertion-ordered dicts used as sets: with interned terms
+    (cached hashes) membership is O(1) instead of a list scan.
+    """
+    pool: Dict[Schema, Dict[Term, None]] = {}
 
     def add(term: Term) -> None:
         for sub in iter_subterms(term):
@@ -432,9 +444,7 @@ def _candidate_pool(factors: Sequence[Atom],
                 schema = sub.schema
             except TypeError:
                 continue
-            bucket = pool.setdefault(schema, [])
-            if sub not in bucket:
-                bucket.append(sub)
+            pool.setdefault(schema, {})[sub] = None
 
     for f in itertools.chain(factors, ambient):
         if isinstance(f, ARel):
@@ -450,7 +460,7 @@ def _candidate_pool(factors: Sequence[Atom],
     return pool
 
 
-def _candidates_for(schema: Schema, pool: Dict[Schema, List[Term]],
+def _candidates_for(schema: Schema, pool: Dict[Schema, Dict[Term, None]],
                     fuel: int = 2) -> Iterator[Term]:
     """Witness candidates of a given schema, including built pairs."""
     yielded: set = set()
@@ -621,7 +631,8 @@ def _absorb(product: NProduct, ambient: Sequence[Atom], ctx: _Ctx,
                 changed = True
                 break
 
-    factors.sort(key=lambda a: (type(a).__name__, str(a)))
+    # NProduct construction establishes the canonical factor order (the
+    # interned order key), so no explicit sort is needed here.
     return NProduct(tuple(vars_list), tuple(factors))
 
 
@@ -646,16 +657,26 @@ def _class_replacement(cc: CongruenceClosure, var: TVar) -> Optional[Term]:
 
 def _products_equal(p1: NProduct, p2: NProduct, ambient: Sequence[Atom],
                     ctx: _Ctx, depth: int) -> bool:
-    """Bag-level equality of two clauses."""
+    """Bag-level equality of two clauses.
+
+    Pointer-equal and alpha-equal clauses short-circuit (interned nodes
+    make both checks O(1) amortized); the bound-variable bijection search
+    is pruned/ordered by per-variable degree signatures computed from the
+    kernel's cached free-variable sets.
+    """
     ctx.stats.product_matches += 1
+    if p1 is p2 or product_alpha_key(p1) == product_alpha_key(p2):
+        return True
     a1 = _absorb(p1, ambient, ctx, depth)
     a2 = _absorb(p2, ambient, ctx, depth)
     if a1 is None or a2 is None:
         return a1 is None and a2 is None
+    if a1 is a2 or product_alpha_key(a1) == product_alpha_key(a2):
+        return True
     if sorted(str(v.var_schema) for v in a1.vars) != \
             sorted(str(v.var_schema) for v in a2.vars):
         return False
-    for bijection in _var_bijections(a1.vars, a2.vars):
+    for bijection in _var_bijections(a1, a2, ambient, ctx):
         renamed = NProduct(
             tuple(bijection[v] for v in a2.vars),
             tuple(atom_subst(f, dict(bijection)) for f in a2.factors))
@@ -664,15 +685,97 @@ def _products_equal(p1: NProduct, p2: NProduct, ambient: Sequence[Atom],
     return False
 
 
-def _var_bijections(vars1: Tuple[TVar, ...], vars2: Tuple[TVar, ...]
-                    ) -> Iterator[Dict[TVar, TVar]]:
-    """All schema-respecting bijections from ``vars2`` onto ``vars1``."""
+def _var_degree_signature(product: NProduct, var: TVar) -> Tuple:
+    """Occurrence signature of one bound variable inside its clause.
+
+    The multiset of (atom kind, symbol name) for the factors whose cached
+    free-variable set contains ``var`` — the "degree" the bijection search
+    uses to rank (and, in the rigid case, prune) candidate pairings.
+    """
+    tags = []
+    for f in product.factors:
+        if var not in atom_free_vars(f):
+            continue
+        if isinstance(f, ARel):
+            tags.append(("rel", f.name))
+        elif isinstance(f, APred):
+            tags.append(("pred", f.name))
+        elif isinstance(f, AEq):
+            tags.append(("eq", ""))
+        elif isinstance(f, ASquash):
+            tags.append(("squash", ""))
+        else:
+            tags.append(("neg", ""))
+    return tuple(sorted(tags))
+
+
+def _is_rigid_pair(p1: NProduct, p2: NProduct, ambient: Sequence[Atom],
+                   ctx: _Ctx) -> bool:
+    """Can degree signatures *prune* (not merely rank) bijections?
+
+    Without equality factors, ambient context, or key/FD hypotheses the
+    congruence closures built during clause matching contain no merges, so
+    relation/predicate atoms match only syntactically (modulo surjective
+    pairing) — a variable can then only map onto one with the identical
+    degree signature.  With any of those present, congruence can route an
+    atom containing a variable onto one that does not mention its image,
+    so signatures only order the search.
+    """
+    if ambient or ctx.hyps.keys or ctx.hyps.fds:
+        return False
+    return not any(isinstance(f, (AEq, ASquash, ANeg))
+                   for f in itertools.chain(p1.factors, p2.factors))
+
+
+def _var_bijections(a1: NProduct, a2: NProduct, ambient: Sequence[Atom],
+                    ctx: _Ctx) -> Iterator[Dict[TVar, TVar]]:
+    """Schema-respecting bijections from ``a2.vars`` onto ``a1.vars``.
+
+    Candidates with matching degree signatures are tried first; when the
+    clause pair is rigid (see :func:`_is_rigid_pair`) mismatching
+    signatures are pruned outright, collapsing the k! search.
+    """
+    vars1, vars2 = a1.vars, a2.vars
     if len(vars1) != len(vars2):
         return
-    for perm in itertools.permutations(vars1):
-        if all(v2.var_schema == v1.var_schema
-               for v2, v1 in zip(vars2, perm)):
-            yield dict(zip(vars2, perm))
+    if not vars1:
+        yield {}
+        return
+    rigid = _is_rigid_pair(a1, a2, ambient, ctx)
+    sig1 = {v: _var_degree_signature(a1, v) for v in vars1}
+    sig2 = {v: _var_degree_signature(a2, v) for v in vars2}
+    candidates: List[List[TVar]] = []
+    for v2 in vars2:
+        same = [v1 for v1 in vars1 if v1.var_schema == v2.var_schema
+                and sig1[v1] == sig2[v2]]
+        if rigid:
+            pool = same
+        else:
+            rest = [v1 for v1 in vars1 if v1.var_schema == v2.var_schema
+                    and sig1[v1] != sig2[v2]]
+            pool = same + rest
+        if not pool:
+            return
+        candidates.append(pool)
+
+    used: set = set()
+    assignment: Dict[TVar, TVar] = {}
+
+    def assign(index: int) -> Iterator[Dict[TVar, TVar]]:
+        if index == len(vars2):
+            yield dict(assignment)
+            return
+        v2 = vars2[index]
+        for v1 in candidates[index]:
+            if v1 in used:
+                continue
+            used.add(v1)
+            assignment[v2] = v1
+            yield from assign(index + 1)
+            used.discard(v1)
+            del assignment[v2]
+
+    yield from assign(0)
 
 
 def _matched_clause_bodies(a1: NProduct, a2: NProduct,
@@ -704,37 +807,80 @@ def _matched_clause_bodies(a1: NProduct, a2: NProduct,
 def _match_rel_multisets(rels1: List[ARel], rels2: List[ARel],
                          cc1: CongruenceClosure,
                          cc2: CongruenceClosure) -> bool:
-    """Perfect matching between relation atoms (names + congruent args)."""
+    """Perfect matching between relation atoms (names + congruent args).
+
+    Atoms are indexed by relation name before the backtracking match:
+    compatibility requires equal names, so the one big multiset matching
+    decomposes exactly into independent per-name matchings (k₁!·k₂!·...
+    instead of (k₁+k₂+...)!).  Pointer-equal atoms pair off first.
+    """
     if len(rels1) != len(rels2):
         return False
-    remaining = list(rels2)
+    by_name1: Dict[str, List[ARel]] = {}
+    for r in rels1:
+        by_name1.setdefault(r.name, []).append(r)
+    by_name2: Dict[str, List[ARel]] = {}
+    for r in rels2:
+        by_name2.setdefault(r.name, []).append(r)
+    if set(by_name1) != set(by_name2):
+        return False
 
     def compatible(x: ARel, y: ARel) -> bool:
-        if x.name != y.name:
-            return False
-        if x.arg == y.arg:
+        if x.arg is y.arg or x.arg == y.arg:
             return True
         return cc1.equal(x.arg, y.arg) and cc2.equal(x.arg, y.arg)
 
-    def match(index: int) -> bool:
-        if index == len(rels1):
-            return True
-        for j, y in enumerate(remaining):
-            if y is not None and compatible(rels1[index], y):
-                remaining[j] = None
-                if match(index + 1):
-                    return True
-                remaining[j] = y
-        return False
+    for name, group1 in by_name1.items():
+        group2 = by_name2[name]
+        if len(group1) != len(group2):
+            return False
+        # Cancel pointer-identical atoms — with interning this resolves
+        # the common case without touching the congruence closures.
+        rest2 = list(group2)
+        rest1 = []
+        for x in group1:
+            for j, y in enumerate(rest2):
+                if y is not None and x is y:
+                    rest2[j] = None
+                    break
+            else:
+                rest1.append(x)
+        remaining = [y for y in rest2 if y is not None]
 
-    return match(0)
+        def match(index: int) -> bool:
+            if index == len(rest1):
+                return True
+            for j, y in enumerate(remaining):
+                if y is not None and compatible(rest1[index], y):
+                    remaining[j] = None
+                    if match(index + 1):
+                        return True
+                    remaining[j] = y
+            return False
+
+        if not match(0):
+            return False
+    return True
 
 
 def _nsum_equiv(n1: NSum, n2: NSum, ambient: Sequence[Atom], ctx: _Ctx,
                 depth: int) -> bool:
-    """Bag-level equality of two normal forms: clause bijection."""
+    """Bag-level equality of two normal forms: clause bijection.
+
+    Pointer-equal sides short-circuit.  The bijection search tries
+    alpha-equal candidates first — their :func:`_products_equal` call is
+    an O(1) cached-key comparison — so re-associated unions resolve
+    without invoking the prover; backtracking over the remaining
+    candidates keeps the search complete.
+    """
     if depth <= 0:
         return False
+    if n1 is n2:
+        # Interned normal forms: pointer equality decides the whole sum.
+        # Counted as one match so the Figure 8 effort metric still
+        # registers the (now O(1)) comparison.
+        ctx.stats.product_matches += 1
+        return True
     # Reduce clauses first so that semantically empty ones (contradictory
     # equalities, X × ¬X patterns) do not break the bijection count.
     products1 = [p for p in (_absorb(q, ambient, ctx, depth)
@@ -743,12 +889,17 @@ def _nsum_equiv(n1: NSum, n2: NSum, ambient: Sequence[Atom], ctx: _Ctx,
                              for q in n2.products) if p is not None]
     if len(products1) != len(products2):
         return False
+    keys2 = [product_alpha_key(q) for q in products2]
     remaining: List[Optional[NProduct]] = list(products2)
 
     def match(index: int) -> bool:
         if index == len(products1):
             return True
-        for j, q in enumerate(remaining):
+        key1 = product_alpha_key(products1[index])
+        order = sorted(range(len(remaining)),
+                       key=lambda j: keys2[j] != key1)
+        for j in order:
+            q = remaining[j]
             if q is not None and _products_equal(products1[index], q,
                                                  ambient, ctx, depth):
                 remaining[j] = None
@@ -808,10 +959,18 @@ def check_uterm_equivalence(lhs: UTerm, rhs: UTerm,
                             stats: Optional[ProofStats] = None
                             ) -> EquivalenceResult:
     """Decide equality of two UniNomial terms (sound, incomplete)."""
+    from .intern import intern_stats
+    from .normalize import normalize_stats
+
     if stats is None:
         stats = ProofStats()
+    before = normalize_stats()
     n1 = normalize(lhs)
     n2 = normalize(rhs)
+    after = normalize_stats()
+    stats.normalize_hits += int(after["hits"] - before["hits"])
+    stats.normalize_misses += int(after["misses"] - before["misses"])
+    stats.interned_nodes = intern_stats()["interned_nodes"]
     stats.log(f"normalized LHS to {len(n1.products)} clause(s)")
     stats.log(f"normalized RHS to {len(n2.products)} clause(s)")
     return decide_nsums(n1, n2, hyps, depth=depth, stats=stats)

@@ -1,0 +1,427 @@
+"""Hash-consing kernel: interned terms with cached node metadata.
+
+Every UniNomial verdict bottoms out in structural operations on
+:mod:`repro.core.uninomial` / :mod:`repro.core.normalize` trees — hashing
+them into congruence-closure tables, comparing them during AC matching,
+recomputing free-variable sets and alpha-canonical keys.  As plain frozen
+dataclasses those operations are O(term size) *every time*; under the
+ROADMAP's heavy-traffic north star they dominate the profile (the
+pre-kernel profile spends ~45% of prover time inside ``builtins.hash``).
+
+This module provides the egg-style fix (cf. the e-graph literature behind
+:mod:`repro.core.congruence`): **hash-consing**.  The :func:`interned`
+class decorator reroutes a frozen dataclass's constructor through a
+per-class table so that structurally equal constructions return the *same*
+object:
+
+* ``TVar("x", s) is TVar("x", s)`` — pointer equality coincides with
+  structural equality for canonical nodes, so ``__eq__`` answers identity
+  checks first and two canonical nodes are unequal without recursion;
+* ``__hash__`` is computed once and stored on the node (children are
+  themselves interned, so the first computation is O(children), not
+  O(subtree));
+* ``__str__`` and ``schema`` lookups are likewise computed once per node;
+* per-node semantic metadata — free-variable frozensets, alpha-canonical
+  keys, proposition flags — is attached by the defining modules through
+  the same one-slot-per-node convention (attributes stashed with
+  ``object.__setattr__`` on first use; see ``term_free_vars`` and
+  ``term_alpha_key``).
+
+Canonical nodes live in per-class :class:`weakref.WeakValueDictionary`
+tables: a node stays canonical exactly as long as something references
+it, and the table can never "evict" a live node (which would let a second
+canonical twin appear and break the pointer-equality invariant).  Table
+keys identify children by ``id`` — sound because a live table entry keeps
+its children alive, so their ids cannot be reused.
+
+Pickling re-interns: interned classes reduce to ``(cls, field_values)``,
+so a term crossing the batch service's process boundary is reconstructed
+through the constructor and lands on the receiving process's canonical
+node.  Instances restored through other paths (or carrying unhashable
+payloads) simply stay un-canonical: they still compare structurally, they
+just do not get the pointer fast paths.
+
+Thread safety: the intern tables and every :class:`KernelLRU` take a lock
+around their critical sections; racing constructors may build a transient
+duplicate, but only the table winner is ever returned (and only the
+winner is marked canonical).  The constructor's table *probe* is
+lock-free, so the hit counter is approximate under concurrency; the
+canonical-node count is exact.
+
+The module also hosts :class:`KernelLRU`, the bounded thread-safe
+memo table used by the kernel's caching layers (``normalize``,
+``denote_closed``, alpha-key reprs), and the aggregate counters
+(:func:`intern_stats`, :func:`kernel_stats`) surfaced through
+``ProofStats`` and the CLI's ``check --verbose``.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import fields as _dataclass_fields
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "KernelLRU",
+    "clear_kernel_caches",
+    "intern_stats",
+    "interned",
+    "kernel_stats",
+]
+
+
+# ---------------------------------------------------------------------------
+# Per-class interning machinery
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+
+#: canonical-node marker attribute; present (and True) only on instances
+#: that won their intern-table slot.
+_READY = "_hc_ready"
+
+
+class _ClassInfo:
+    """Bookkeeping for one interned class."""
+
+    __slots__ = ("table", "field_names", "canonize", "orig_init")
+
+    def __init__(self, field_names: Tuple[str, ...],
+                 canonize: Optional[Callable], orig_init: Callable) -> None:
+        self.table: "weakref.WeakValueDictionary" = \
+            weakref.WeakValueDictionary()
+        self.field_names = field_names
+        self.canonize = canonize
+        self.orig_init = orig_init
+
+
+_CLASSES: Dict[type, _ClassInfo] = {}
+_INTERN_HITS = 0
+_INTERN_MISSES = 0
+
+
+def _canon(value: Any) -> Any:
+    """Replace an interned-class instance by its canonical node."""
+    info = _CLASSES.get(type(value))
+    if info is not None:
+        if value.__dict__.get(_READY):
+            return value
+        # A structurally valid but un-canonical instance (e.g. restored
+        # through a legacy pickle path): rebuild through the constructor.
+        return type(value)(*[getattr(value, n) for n in info.field_names])
+    if type(value) is tuple:
+        return tuple(_canon(v) for v in value)
+    return value
+
+
+def _key_of(value: Any) -> Any:
+    """Intern-table key of one constructor argument.
+
+    Canonical children are identified by ``id`` (unique while alive — and
+    a live table entry keeps its children alive); strings by themselves;
+    tuples recursively; any other value behind a ``("v", ...)`` tag so a
+    raw integer can never collide with a child's id.
+    """
+    t = type(value)
+    if t in _CLASSES and value.__dict__.get(_READY):
+        return id(value)
+    if t is tuple:
+        return tuple(_key_of(v) for v in value)
+    if t is str:
+        return value
+    return ("v", value)
+
+
+def _bind(field_names: Tuple[str, ...], args: tuple,
+          kwargs: dict) -> Optional[tuple]:
+    """Normalize positional/keyword constructor arguments to field order.
+
+    Returns ``None`` for arities the dataclass ``__init__`` would reject
+    (including the zero-argument ``__new__`` pickling uses) — the caller
+    then falls back to an un-interned instance and lets ``__init__``
+    raise, preserving the original error behaviour.
+    """
+    n = len(field_names)
+    if not kwargs:
+        return args if len(args) == n else None
+    if len(args) > n:
+        return None
+    vals = list(args)
+    consumed = 0
+    for name in field_names[len(args):]:
+        if name not in kwargs:
+            return None
+        vals.append(kwargs[name])
+        consumed += 1
+    if consumed != len(kwargs):
+        return None  # unknown or duplicate keyword
+    return tuple(vals)
+
+
+def interned(cls=None, *, canonize: Optional[Callable] = None):
+    """Class decorator hash-consing a frozen dataclass.
+
+    Apply *above* ``@dataclass(frozen=True)``.  ``canonize``, when given,
+    maps the bound field-value tuple to its canonical form before
+    interning (e.g. sorting an AC operator's operand tuple), so the
+    canonical order is established once at construction.
+    """
+    if cls is None:
+        return lambda c: interned(c, canonize=canonize)
+
+    field_names = tuple(f.name for f in _dataclass_fields(cls))
+    n_fields = len(field_names)
+    info = _ClassInfo(field_names, canonize, cls.__init__)
+    #: the WeakValueDictionary's backing dict (key → KeyedRef) — read
+    #: directly on the hot constructor probe.
+    table_data = info.table.data
+    orig_eq = cls.__eq__
+    orig_hash = cls.__hash__
+    # Wrap any non-default __str__ (own or inherited, e.g. the shared
+    # Schema.__str__) with a per-node cache.
+    orig_str = cls.__str__ if cls.__str__ is not object.__str__ else None
+
+    def __new__(kls, *args, **kwargs):
+        global _INTERN_HITS, _INTERN_MISSES
+        if kls is not cls:
+            return object.__new__(kls)
+        vals = args if not kwargs and len(args) == n_fields \
+            else _bind(field_names, args, kwargs)
+        if vals is None:
+            return object.__new__(kls)
+        # Canonicalize children and build the table key in one pass.
+        # Canonical interned children key by id; primitives by tagged
+        # value (an id is an int, so raw numbers must not collide with
+        # it); everything else by the value itself.
+        canon_vals: list = []
+        key_parts: list = []
+        for v in vals:
+            t = type(v)
+            child_info = _CLASSES.get(t)
+            if child_info is not None:
+                if not v.__dict__.get(_READY):
+                    v = t(*[getattr(v, name)
+                            for name in child_info.field_names])
+                    if not v.__dict__.get(_READY):
+                        # Child cannot be canonicalized (unhashable
+                        # payload): the parent stays un-interned too.
+                        return object.__new__(kls)
+                canon_vals.append(v)
+                key_parts.append(id(v))
+            elif t is tuple:
+                v = _canon(v)
+                canon_vals.append(v)
+                key_parts.append(_key_of(v))
+            else:
+                canon_vals.append(v)
+                key_parts.append(v if t is str else ("v", v))
+        vals = tuple(canon_vals)
+        if canonize is not None:
+            vals = canonize(vals)
+            key_parts = [_key_of(v) for v in vals]
+        key = tuple(key_parts)
+        try:
+            # Lock-free probe on the weak table's underlying dict: under
+            # the GIL this is one dict read + one weakref deref, and a
+            # stale miss only costs a re-derivation resolved under the
+            # insert lock below.
+            ref = table_data.get(key)
+        except TypeError:
+            # Unhashable payload (exotic constant): stay un-interned;
+            # __init__ below runs the original dataclass initializer.
+            return object.__new__(kls)
+        if ref is not None:
+            inst = ref()
+            if inst is not None:
+                _INTERN_HITS += 1
+                return inst
+        inst = object.__new__(kls)
+        info.orig_init(inst, *vals)
+        with _LOCK:
+            winner = info.table.get(key)
+            if winner is None:
+                object.__setattr__(inst, _READY, True)
+                info.table[key] = inst
+                _INTERN_MISSES += 1
+                winner = inst
+            else:
+                _INTERN_HITS += 1
+        return winner
+
+    def __init__(self, *args, **kwargs):
+        if self.__dict__.get(_READY):
+            return  # canonical node: fields were set inside __new__
+        info.orig_init(self, *args, **kwargs)
+
+    def __eq__(self, other):
+        if self is other:
+            return True
+        if self.__class__ is not other.__class__:
+            return NotImplemented
+        if self.__dict__.get(_READY) and other.__dict__.get(_READY):
+            return False  # two distinct canonical nodes differ structurally
+        return orig_eq(self, other)
+
+    def __hash__(self):
+        h = self.__dict__.get("_hc_hash")
+        if h is None:
+            h = orig_hash(self)
+            object.__setattr__(self, "_hc_hash", h)
+        return h
+
+    def __reduce__(self):
+        return (self.__class__,
+                tuple(getattr(self, n) for n in field_names))
+
+    cls.__new__ = __new__
+    cls.__init__ = __init__
+    cls.__eq__ = __eq__
+    cls.__hash__ = __hash__
+    cls.__reduce__ = __reduce__
+    if orig_str is not None:
+        def __str__(self):
+            s = self.__dict__.get("_hc_str")
+            if s is None:
+                s = orig_str(self)
+                object.__setattr__(self, "_hc_str", s)
+            return s
+        cls.__str__ = __str__
+    schema_prop = cls.__dict__.get("schema")
+    if isinstance(schema_prop, property) and schema_prop.fget is not None:
+        orig_fget = schema_prop.fget
+
+        def _schema(self):
+            v = self.__dict__.get("_hc_schema")
+            if v is None:
+                v = orig_fget(self)
+                object.__setattr__(self, "_hc_schema", v)
+            return v
+        cls.schema = property(_schema)
+    _CLASSES[cls] = info
+    return cls
+
+
+# ---------------------------------------------------------------------------
+# Bounded, thread-safe memo tables
+#
+# Per-node *metadata* caching does not live here: the defining modules
+# stash computed values (free vars, alpha keys, flags) directly on the
+# node with ``object.__setattr__`` — sound because nodes are immutable,
+# canonical or not.
+# ---------------------------------------------------------------------------
+
+class KernelLRU:
+    """A bounded LRU memo with hit/miss counters (thread-safe).
+
+    Used for the kernel's function-level caches: ``normalize`` results,
+    ``denote_closed`` denotations, alpha-key reprs.  Keys holding strong
+    references to interned nodes keep those nodes canonical for as long
+    as the memo entry lives.  Unhashable keys are silently uncacheable
+    (``get`` misses, ``put`` is a no-op) so exotic payloads degrade to
+    the uncached behaviour instead of raising.
+    """
+
+    def __init__(self, maxsize: int, name: str) -> None:
+        if maxsize <= 0:
+            raise ValueError("KernelLRU maxsize must be positive")
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        _KERNEL_CACHES.append(self)
+
+    def get(self, key: Any) -> Optional[Any]:
+        try:
+            with self._lock:
+                value = self._data.get(key)
+                if value is None:
+                    self.misses += 1
+                    return None
+                self._data.move_to_end(key)
+                self.hits += 1
+                return value
+        except TypeError:
+            self.misses += 1
+            return None
+
+    def put(self, key: Any, value: Any) -> None:
+        try:
+            with self._lock:
+                self._data[key] = value
+                self._data.move_to_end(key)
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+        except TypeError:
+            pass
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._data), "hit_rate": self.hit_rate}
+
+
+_KERNEL_CACHES: List[KernelLRU] = []
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+
+def intern_stats() -> Dict[str, int]:
+    """Intern-table counters: constructor hits/misses and live node count.
+
+    ``interned_nodes`` counts *live* canonical nodes (the weak tables drop
+    nodes nothing references); ``intern_misses`` is the total number of
+    canonical nodes ever created.  ``intern_hits`` is incremented on the
+    lock-free constructor probe, so under concurrent construction it is
+    approximate (may undercount); node creation is always counted under
+    the lock and stays exact.
+    """
+    with _LOCK:
+        hits, misses = _INTERN_HITS, _INTERN_MISSES
+    live = sum(len(info.table) for info in _CLASSES.values())
+    return {"intern_hits": hits, "intern_misses": misses,
+            "interned_nodes": live}
+
+
+def kernel_stats() -> Dict[str, Any]:
+    """One dict with every kernel counter (interning + all memo tables)."""
+    stats: Dict[str, Any] = dict(intern_stats())
+    for cache in _KERNEL_CACHES:
+        for key, value in cache.stats().items():
+            stats[f"{cache.name}_{key}"] = value
+    return stats
+
+
+def clear_kernel_caches() -> None:
+    """Reset every memo table and the intern hit/miss counters.
+
+    The intern *tables* themselves are deliberately not cleared: dropping
+    a live canonical node's table entry would let a structurally equal
+    twin be interned later, breaking pointer-equality ⇔ structural
+    equality.  (They are weak, so unused nodes vanish on their own.)
+    Benchmarks call this between runs for cold-cache timings.
+    """
+    global _INTERN_HITS, _INTERN_MISSES
+    for cache in _KERNEL_CACHES:
+        cache.clear()
+    with _LOCK:
+        _INTERN_HITS = 0
+        _INTERN_MISSES = 0

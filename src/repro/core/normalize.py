@@ -29,12 +29,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
+from .intern import KernelLRU, interned
 from .schema import Empty, Node
 from .uninomial import (
     Substitution,
     TAgg,
+    TApp,
     TConst,
+    TFst,
     TPair,
+    TSnd,
+    TUnit,
     TVar,
     Term,
     UAdd,
@@ -67,6 +72,7 @@ from .uninomial import (
 # Normal-form data structures
 # ---------------------------------------------------------------------------
 
+@interned
 @dataclass(frozen=True)
 class ARel:
     """Atom ``⟦R⟧ t``."""
@@ -78,6 +84,7 @@ class ARel:
         return f"⟦{self.name}⟧ {self.arg}"
 
 
+@interned
 @dataclass(frozen=True)
 class AEq:
     """Atom ``(left = right)`` — oriented deterministically."""
@@ -89,6 +96,7 @@ class AEq:
         return f"({self.left} = {self.right})"
 
 
+@interned
 @dataclass(frozen=True)
 class APred:
     """Atom ``⟦b⟧ (args)`` — an uninterpreted proposition."""
@@ -100,6 +108,7 @@ class APred:
         return f"⟦{self.name}⟧ ({', '.join(str(a) for a in self.args)})"
 
 
+@interned
 @dataclass(frozen=True)
 class ASquash:
     """Atom ``‖ inner ‖`` — a squashed existential (EXISTS/DISTINCT/OR)."""
@@ -110,6 +119,7 @@ class ASquash:
         return f"‖{self.inner}‖"
 
 
+@interned
 @dataclass(frozen=True)
 class ANeg:
     """Atom ``inner → 0`` (NOT / EXCEPT)."""
@@ -122,10 +132,44 @@ class ANeg:
 
 Atom = Union[ARel, AEq, APred, ASquash, ANeg]
 
+#: Canonical atom order inside a clause: relations, predicates,
+#: equalities, squashes, negations — ties broken by rendering.
+_ATOM_RANK = {ARel: 0, APred: 1, AEq: 2, ASquash: 3, ANeg: 4}
 
+
+def _atom_sort_key(atom: Atom) -> Tuple[int, str]:
+    """The interned order key of an atom (cached per node)."""
+    key = atom.__dict__.get("_hc_order")
+    if key is None:
+        key = (_ATOM_RANK[type(atom)], str(atom))
+        object.__setattr__(atom, "_hc_order", key)
+    return key
+
+
+def _canonize_product(vals: Tuple) -> Tuple:
+    """Establish the canonical factor order once, at NProduct construction.
+
+    Factor order is semantically irrelevant (× is commutative); sorting by
+    the cached order key here means no rewrite pass ever re-sorts.
+    """
+    variables, factors = vals
+    if type(variables) is not tuple:
+        variables = tuple(variables)
+    if len(factors) > 1:
+        factors = tuple(sorted(factors, key=_atom_sort_key))
+    elif type(factors) is not tuple:
+        factors = tuple(factors)
+    return (variables, factors)
+
+
+@interned(canonize=_canonize_product)
 @dataclass(frozen=True)
 class NProduct:
-    """A clause ``Σ vars. factor₁ × factor₂ × ...``."""
+    """A clause ``Σ vars. factor₁ × factor₂ × ...``.
+
+    Factors are stored in the canonical interned order (established at
+    construction by :func:`_canonize_product`).
+    """
 
     vars: Tuple[TVar, ...]
     factors: Tuple[Atom, ...]
@@ -133,7 +177,12 @@ class NProduct:
     @property
     def is_proposition(self) -> bool:
         """True iff the clause is certainly 0/1-valued: no Σ, only prop atoms."""
-        return not self.vars and all(_atom_is_prop(a) for a in self.factors)
+        cached = self.__dict__.get("_hc_isprop")
+        if cached is None:
+            cached = not self.vars and all(_atom_is_prop(a)
+                                           for a in self.factors)
+            object.__setattr__(self, "_hc_isprop", cached)
+        return cached
 
     @property
     def is_trivially_one(self) -> bool:
@@ -147,6 +196,7 @@ class NProduct:
         return binder + " × ".join(str(f) for f in self.factors)
 
 
+@interned
 @dataclass(frozen=True)
 class NSum:
     """A bag union of clauses (the empty union is the type 0)."""
@@ -178,39 +228,59 @@ def _atom_is_prop(atom: Atom) -> bool:
 # ---------------------------------------------------------------------------
 
 def atom_free_vars(atom: Atom) -> FrozenSet[TVar]:
-    """Free tuple variables of an atom."""
+    """Free tuple variables of an atom (cached per interned node)."""
+    cached = atom.__dict__.get("_hc_fv")
+    if cached is not None:
+        return cached
     if isinstance(atom, ARel):
-        return term_free_vars(atom.arg)
-    if isinstance(atom, AEq):
-        return term_free_vars(atom.left) | term_free_vars(atom.right)
-    if isinstance(atom, APred):
-        out: FrozenSet[TVar] = frozenset()
+        out = term_free_vars(atom.arg)
+    elif isinstance(atom, AEq):
+        out = term_free_vars(atom.left) | term_free_vars(atom.right)
+    elif isinstance(atom, APred):
+        out = frozenset()
         for a in atom.args:
             out |= term_free_vars(a)
-        return out
-    if isinstance(atom, (ASquash, ANeg)):
-        return nsum_free_vars(atom.inner)
-    raise TypeError(f"not an atom: {atom!r}")
+    elif isinstance(atom, (ASquash, ANeg)):
+        out = nsum_free_vars(atom.inner)
+    else:
+        raise TypeError(f"not an atom: {atom!r}")
+    object.__setattr__(atom, "_hc_fv", out)
+    return out
 
 
 def product_free_vars(product: NProduct) -> FrozenSet[TVar]:
-    """Free variables of a clause (its own binders removed)."""
+    """Free variables of a clause, binders removed (cached per node)."""
+    cached = product.__dict__.get("_hc_fv")
+    if cached is not None:
+        return cached
     out: FrozenSet[TVar] = frozenset()
     for f in product.factors:
         out |= atom_free_vars(f)
-    return out - frozenset(product.vars)
+    out -= frozenset(product.vars)
+    object.__setattr__(product, "_hc_fv", out)
+    return out
 
 
 def nsum_free_vars(nsum: NSum) -> FrozenSet[TVar]:
-    """Free variables of a normal form."""
+    """Free variables of a normal form (cached per node)."""
+    cached = nsum.__dict__.get("_hc_fv")
+    if cached is not None:
+        return cached
     out: FrozenSet[TVar] = frozenset()
     for p in nsum.products:
         out |= product_free_vars(p)
+    object.__setattr__(nsum, "_hc_fv", out)
     return out
 
 
 def atom_subst(atom: Atom, sub: Substitution) -> Atom:
-    """Capture-avoiding substitution on an atom."""
+    """Capture-avoiding substitution on an atom.
+
+    Atoms untouched by the substitution (cached free variables disjoint
+    from its domain) are returned unchanged, preserving node sharing.
+    """
+    if not sub or atom_free_vars(atom).isdisjoint(sub):
+        return atom
     if isinstance(atom, ARel):
         return ARel(atom.name, subst_term(atom.arg, sub))
     if isinstance(atom, AEq):
@@ -227,7 +297,7 @@ def atom_subst(atom: Atom, sub: Substitution) -> Atom:
 def product_subst(product: NProduct, sub: Substitution) -> NProduct:
     """Substitute into a clause (binders are globally fresh, so no capture)."""
     inner = {v: t for v, t in sub.items() if v not in product.vars}
-    if not inner:
+    if not inner or product_free_vars(product).isdisjoint(inner):
         return product
     return NProduct(product.vars,
                     tuple(atom_subst(f, inner) for f in product.factors))
@@ -235,7 +305,7 @@ def product_subst(product: NProduct, sub: Substitution) -> NProduct:
 
 def nsum_subst(nsum: NSum, sub: Substitution) -> NSum:
     """Substitute into a normal form."""
-    if not sub:
+    if not sub or nsum_free_vars(nsum).isdisjoint(sub):
         return nsum
     return NSum(tuple(product_subst(p, sub) for p in nsum.products))
 
@@ -259,14 +329,105 @@ def _term_order_key(term: Term) -> Tuple[int, str]:
 # positional (de Bruijn-style) labels for bound variables; comparing keys
 # decides alpha-equivalence, which the engine uses for deduplication under
 # truncations (``‖n × n‖ = ‖n‖``) and for matching negation atoms.
+#
+# With the interned kernel the keys are cached: every node stores its
+# *closed* key (the ``env = {}`` computation), and a non-empty labelling
+# can reuse it whenever the node is **binder-insensitive** (it contains no
+# construct whose labels depend on the size of the ambient environment —
+# no ``Σ`` under terms, no squashed/negated sub-sums under atoms) and its
+# free variables are disjoint from the labelling's domain.  That covers
+# the engine's hottest calls — env-less keys during absorption and
+# deduplication — with an O(1) lookup.
 # ---------------------------------------------------------------------------
+
+def _term_binder_sensitive(term: Term) -> bool:
+    """Does the term's key depend on the ambient environment's *size*?"""
+    cached = term.__dict__.get("_hc_bsens")
+    if cached is not None:
+        return cached
+    if isinstance(term, (TVar, TUnit, TConst)):
+        result = False
+    elif isinstance(term, TPair):
+        result = (_term_binder_sensitive(term.left)
+                  or _term_binder_sensitive(term.right))
+    elif isinstance(term, (TFst, TSnd)):
+        result = _term_binder_sensitive(term.arg)
+    elif isinstance(term, TApp):
+        result = any(_term_binder_sensitive(a) for a in term.args)
+    elif isinstance(term, TAgg):
+        # The ``@agg`` label itself is constant, but Σs in the body label
+        # by environment size.
+        result = _uterm_binder_sensitive(term.body)
+    else:
+        raise TypeError(f"not a term: {term!r}")
+    object.__setattr__(term, "_hc_bsens", result)
+    return result
+
+
+def _uterm_binder_sensitive(u: UTerm) -> bool:
+    cached = u.__dict__.get("_hc_bsens")
+    if cached is not None:
+        return cached
+    if isinstance(u, (UZero, UOne)):
+        result = False
+    elif isinstance(u, (UAdd, UMul)):
+        result = (_uterm_binder_sensitive(u.left)
+                  or _uterm_binder_sensitive(u.right))
+    elif isinstance(u, (USquash, UNeg)):
+        result = _uterm_binder_sensitive(u.arg)
+    elif isinstance(u, USum):
+        result = True
+    elif isinstance(u, UEq):
+        result = (_term_binder_sensitive(u.left)
+                  or _term_binder_sensitive(u.right))
+    elif isinstance(u, URel):
+        result = _term_binder_sensitive(u.arg)
+    elif isinstance(u, UPred):
+        result = any(_term_binder_sensitive(a) for a in u.args)
+    else:
+        raise TypeError(f"not a UTerm: {u!r}")
+    object.__setattr__(u, "_hc_bsens", result)
+    return result
+
+
+def _atom_binder_sensitive(atom: Atom) -> bool:
+    cached = atom.__dict__.get("_hc_bsens")
+    if cached is not None:
+        return cached
+    if isinstance(atom, (ASquash, ANeg)):
+        result = True  # clause labels inside depend on env size
+    elif isinstance(atom, ARel):
+        result = _term_binder_sensitive(atom.arg)
+    elif isinstance(atom, AEq):
+        result = (_term_binder_sensitive(atom.left)
+                  or _term_binder_sensitive(atom.right))
+    elif isinstance(atom, APred):
+        result = any(_term_binder_sensitive(a) for a in atom.args)
+    else:
+        raise TypeError(f"not an atom: {atom!r}")
+    object.__setattr__(atom, "_hc_bsens", result)
+    return result
+
+
+def _cached_closed_key(node, compute) -> Tuple:
+    key = node.__dict__.get("_hc_akey")
+    if key is None:
+        key = compute(node, {})
+        object.__setattr__(node, "_hc_akey", key)
+    return key
+
 
 def term_alpha_key(term: Term, env: Dict[TVar, str] | None = None) -> Tuple:
     """Canonical structural key of a term under a bound-variable labelling."""
-    env = env or {}
+    if env and (_term_binder_sensitive(term)
+                or not term_free_vars(term).isdisjoint(env)):
+        return _term_alpha_key_env(term, env)
+    return _cached_closed_key(term, _term_alpha_key_env)
+
+
+def _term_alpha_key_env(term: Term, env: Dict[TVar, str]) -> Tuple:
     if isinstance(term, TVar):
         return ("var", env.get(term, term.name), str(term.var_schema))
-    from .uninomial import TApp, TFst, TSnd, TUnit
     if isinstance(term, TUnit):
         return ("unit",)
     if isinstance(term, TPair):
@@ -291,7 +452,13 @@ def term_alpha_key(term: Term, env: Dict[TVar, str] | None = None) -> Tuple:
 
 def uterm_alpha_key(u: UTerm, env: Dict[TVar, str] | None = None) -> Tuple:
     """Canonical key of a raw UniNomial term (used inside aggregates)."""
-    env = env or {}
+    if env and (_uterm_binder_sensitive(u)
+                or not uterm_free_vars(u).isdisjoint(env)):
+        return _uterm_alpha_key_env(u, env)
+    return _cached_closed_key(u, _uterm_alpha_key_env)
+
+
+def _uterm_alpha_key_env(u: UTerm, env: Dict[TVar, str]) -> Tuple:
     if isinstance(u, UZero):
         return ("zero",)
     if isinstance(u, UOne):
@@ -319,7 +486,13 @@ def uterm_alpha_key(u: UTerm, env: Dict[TVar, str] | None = None) -> Tuple:
 
 def atom_alpha_key(atom: Atom, env: Dict[TVar, str] | None = None) -> Tuple:
     """Canonical key of a normal-form atom."""
-    env = env or {}
+    if env and (_atom_binder_sensitive(atom)
+                or not atom_free_vars(atom).isdisjoint(env)):
+        return _atom_alpha_key_env(atom, env)
+    return _cached_closed_key(atom, _atom_alpha_key_env)
+
+
+def _atom_alpha_key_env(atom: Atom, env: Dict[TVar, str]) -> Tuple:
     if isinstance(atom, ARel):
         return ("rel", atom.name, term_alpha_key(atom.arg, env))
     if isinstance(atom, AEq):
@@ -339,6 +512,12 @@ def atom_alpha_key(atom: Atom, env: Dict[TVar, str] | None = None) -> Tuple:
 def product_alpha_key(product: NProduct,
                       env: Dict[TVar, str] | None = None) -> Tuple:
     """Canonical key of a clause: binders become positional labels."""
+    if env:
+        return _product_alpha_key_env(product, env)
+    return _cached_closed_key(product, _product_alpha_key_env)
+
+
+def _product_alpha_key_env(product: NProduct, env: Dict[TVar, str]) -> Tuple:
     env = dict(env) if env else {}
     for i, v in enumerate(product.vars):
         env[v] = f"@{len(env)}.{i}"
@@ -349,6 +528,12 @@ def product_alpha_key(product: NProduct,
 
 def nsum_alpha_key(nsum: NSum, env: Dict[TVar, str] | None = None) -> Tuple:
     """Canonical key of a normal form (clause order irrelevant)."""
+    if env:
+        return _nsum_alpha_key_env(nsum, env)
+    return _cached_closed_key(nsum, _nsum_alpha_key_env)
+
+
+def _nsum_alpha_key_env(nsum: NSum, env: Dict[TVar, str]) -> Tuple:
     return ("nsum", tuple(sorted(product_alpha_key(p, env)
                                  for p in nsum.products)))
 
@@ -406,9 +591,33 @@ def nsum_to_uterm(nsum: NSum) -> UTerm:
 # The normalizer
 # ---------------------------------------------------------------------------
 
+#: Memo table for :func:`normalize`, keyed on interned ``UTerm`` identity
+#: (hashing an interned node is an O(1) stored-slot read, and equality is
+#: pointer equality for canonical nodes).  Bounded, thread-safe, counted;
+#: the counters surface through ``ProofStats`` and ``check --verbose``.
+_NORMALIZE_MEMO = KernelLRU(4096, "normalize")
+
+
 def normalize(u: UTerm) -> NSum:
-    """Normalize a UniNomial term to sum-of-products normal form."""
-    return _refine_nsum(_translate(u))
+    """Normalize a UniNomial term to sum-of-products normal form.
+
+    Memoized on the interned term: repeated normalization of the same
+    (pointer-identical) ``UTerm`` is a table lookup.  Sound because the
+    result is determined by the term up to the choice of globally fresh
+    binder names, and binders of a normal form are never reused as free
+    variables elsewhere.
+    """
+    hit = _NORMALIZE_MEMO.get(u)
+    if hit is not None:
+        return hit
+    nsum = _refine_nsum(_translate(u))
+    _NORMALIZE_MEMO.put(u, nsum)
+    return nsum
+
+
+def normalize_stats() -> Dict[str, float]:
+    """Hit/miss counters of the ``normalize`` memo table."""
+    return _NORMALIZE_MEMO.stats()
 
 
 def _translate(u: UTerm) -> NSum:
@@ -605,7 +814,8 @@ def _refine_product(product: NProduct) -> Optional[NProduct]:
             continue
         factors = factors_or_none
 
-    factors.sort(key=_atom_sort_key)
+    # No sort: NProduct construction establishes the canonical factor
+    # order via the interned order key.
     return NProduct(tuple(vars_list), tuple(factors))
 
 
@@ -656,6 +866,21 @@ def _simplify_nested(factors: List[Atom]) -> Tuple[bool, Optional[List[Atom]]]:
                 continue
             if any(p.is_trivially_one for p in inner.products):
                 return True, None  # (1 → 0) = 0
+            if len(inner.products) == 1:
+                lone = inner.products[0]
+                if not lone.vars and len(lone.factors) == 1:
+                    only = lone.factors[0]
+                    if isinstance(only, ANeg):
+                        # ¬¬X = ‖X‖ (Sec. 3.4); the re-run simplifies the
+                        # squash (prop contents collapse to themselves).
+                        changed = True
+                        out.append(ASquash(only.inner))
+                        continue
+                    if isinstance(only, ASquash):
+                        # ¬‖X‖ = ¬X (uneg's squash law).
+                        changed = True
+                        out.append(ANeg(only.inner))
+                        continue
             if inner != f.inner:
                 changed = True
             out.append(ANeg(inner))
@@ -713,11 +938,6 @@ def _pull_props(inner: NSum) -> Tuple[List[Atom], Optional[NSum]]:
     if not rest:
         return props, None
     return props, NSum((NProduct((), tuple(rest)),))
-
-
-def _atom_sort_key(atom: Atom) -> Tuple[int, str]:
-    order = {ARel: 0, APred: 1, AEq: 2, ASquash: 3, ANeg: 4}
-    return (order[type(atom)], str(atom))
 
 
 __all__ = [

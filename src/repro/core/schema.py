@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+
+from .intern import interned
 from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
@@ -54,6 +56,7 @@ class _Null:
 NULL = _Null()
 
 
+@interned
 @dataclass(frozen=True)
 class SQLType:
     """A base SQL type (paper Figure 3: int, bool, string, ...)."""
@@ -133,6 +136,7 @@ class Empty(Schema):
         return True
 
 
+@interned
 @dataclass(frozen=True)
 class Leaf(Schema):
     """A single attribute of base type ``ty``."""
@@ -144,6 +148,7 @@ class Leaf(Schema):
         return True
 
 
+@interned
 @dataclass(frozen=True)
 class Node(Schema):
     """An internal node: the concatenation of two sub-schemas."""
@@ -156,6 +161,7 @@ class Node(Schema):
         return self.left.is_concrete and self.right.is_concrete
 
 
+@interned
 @dataclass(frozen=True)
 class SVar(Schema):
     """A schema variable, standing for an arbitrary unknown schema.

@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as PyTuple
 
+from .intern import interned
 from .schema import EMPTY, Leaf, Node, Schema, SQLType
 
 
@@ -47,6 +48,7 @@ class Term:
         raise NotImplementedError
 
 
+@interned
 @dataclass(frozen=True)
 class TVar(Term):
     """A tuple variable of a known schema."""
@@ -62,6 +64,7 @@ class TVar(Term):
         return self.name
 
 
+@interned
 @dataclass(frozen=True)
 class TUnit(Term):
     """The unit tuple (the only inhabitant of the empty schema)."""
@@ -74,6 +77,7 @@ class TUnit(Term):
         return "()"
 
 
+@interned
 @dataclass(frozen=True)
 class TPair(Term):
     """Tuple pairing: ``(left, right)`` of schema ``node σl σr``."""
@@ -89,6 +93,7 @@ class TPair(Term):
         return f"({self.left}, {self.right})"
 
 
+@interned
 @dataclass(frozen=True)
 class TFst(Term):
     """First projection ``t.1``."""
@@ -106,6 +111,7 @@ class TFst(Term):
         return f"{self.arg}.1"
 
 
+@interned
 @dataclass(frozen=True)
 class TSnd(Term):
     """Second projection ``t.2``."""
@@ -123,6 +129,7 @@ class TSnd(Term):
         return f"{self.arg}.2"
 
 
+@interned
 @dataclass(frozen=True)
 class TConst(Term):
     """A scalar literal, viewed as a tuple of a ``Leaf`` schema."""
@@ -138,6 +145,7 @@ class TConst(Term):
         return repr(self.value)
 
 
+@interned
 @dataclass(frozen=True)
 class TApp(Term):
     """An uninterpreted function symbol applied to terms.
@@ -162,6 +170,7 @@ class TApp(Term):
         return f"{self.fn}({rendered})"
 
 
+@interned
 @dataclass(frozen=True)
 class TAgg(Term):
     """An aggregate ``agg(λ x. body)`` over a denoted single-column query.
@@ -194,6 +203,7 @@ class UTerm:
     __slots__ = ()
 
 
+@interned
 @dataclass(frozen=True)
 class UZero(UTerm):
     """The empty type ``0``."""
@@ -202,6 +212,7 @@ class UZero(UTerm):
         return "0"
 
 
+@interned
 @dataclass(frozen=True)
 class UOne(UTerm):
     """The unit type ``1``."""
@@ -210,6 +221,7 @@ class UOne(UTerm):
         return "1"
 
 
+@interned
 @dataclass(frozen=True)
 class UAdd(UTerm):
     """Direct sum ``a + b``."""
@@ -221,6 +233,7 @@ class UAdd(UTerm):
         return f"({self.left} + {self.right})"
 
 
+@interned
 @dataclass(frozen=True)
 class UMul(UTerm):
     """Cartesian product ``a × b``."""
@@ -232,6 +245,7 @@ class UMul(UTerm):
         return f"{self.left} × {self.right}"
 
 
+@interned
 @dataclass(frozen=True)
 class USquash(UTerm):
     """Propositional truncation ``‖a‖``."""
@@ -242,6 +256,7 @@ class USquash(UTerm):
         return f"‖{self.arg}‖"
 
 
+@interned
 @dataclass(frozen=True)
 class UNeg(UTerm):
     """The function type ``a → 0`` (negation of the truncation)."""
@@ -252,6 +267,7 @@ class UNeg(UTerm):
         return f"({self.arg} → 0)"
 
 
+@interned
 @dataclass(frozen=True)
 class USum(UTerm):
     """The infinitary sum ``Σ_{var : Tuple σ} body``."""
@@ -263,6 +279,7 @@ class USum(UTerm):
         return f"Σ {self.var}:{self.var.var_schema}. ({self.body})"
 
 
+@interned
 @dataclass(frozen=True)
 class UEq(UTerm):
     """The equality type ``(left = right)`` of two tuple terms — a prop."""
@@ -274,6 +291,7 @@ class UEq(UTerm):
         return f"({self.left} = {self.right})"
 
 
+@interned
 @dataclass(frozen=True)
 class URel(UTerm):
     """Application of a relation (metavariable or table) to a tuple: ``⟦R⟧ t``."""
@@ -285,6 +303,7 @@ class URel(UTerm):
         return f"⟦{self.name}⟧ {self.arg}"
 
 
+@interned
 @dataclass(frozen=True)
 class UPred(UTerm):
     """Application of an uninterpreted predicate to terms: ``⟦b⟧ (t...)``."""
@@ -352,13 +371,20 @@ def is_prop(u: UTerm) -> bool:
     """Syntactic check: is ``u`` certainly a proposition (0-or-1 valued)?
 
     Propositions are closed under products; sums and relation applications
-    are generally not propositions.
+    are generally not propositions.  The answer is cached on the (interned)
+    node, so repeated checks are O(1).
     """
+    cached = u.__dict__.get("_hc_prop")
+    if cached is not None:
+        return cached
     if isinstance(u, (UZero, UOne, UEq, UPred, USquash, UNeg)):
-        return True
-    if isinstance(u, UMul):
-        return is_prop(u.left) and is_prop(u.right)
-    return False
+        result = True
+    elif isinstance(u, UMul):
+        result = is_prop(u.left) and is_prop(u.right)
+    else:
+        result = False
+    object.__setattr__(u, "_hc_prop", result)
+    return result
 
 
 def usquash(u: UTerm) -> UTerm:
@@ -441,54 +467,75 @@ def fresh_var(schema: Schema, hint: str = "t") -> TVar:
     return TVar(_FRESH.next_name(hint), schema)
 
 
+#: Empty free-variable set shared by all leaves.
+_NO_VARS: FrozenSet[TVar] = frozenset()
+
+
 def term_free_vars(t: Term) -> FrozenSet[TVar]:
-    """Free tuple variables of a tuple term."""
+    """Free tuple variables of a tuple term (cached per interned node)."""
+    cached = t.__dict__.get("_hc_fv")
+    if cached is not None:
+        return cached
     if isinstance(t, TVar):
-        return frozenset({t})
-    if isinstance(t, (TUnit, TConst)):
-        return frozenset()
-    if isinstance(t, TPair):
-        return term_free_vars(t.left) | term_free_vars(t.right)
-    if isinstance(t, (TFst, TSnd)):
-        return term_free_vars(t.arg)
-    if isinstance(t, TApp):
-        out: FrozenSet[TVar] = frozenset()
+        out: FrozenSet[TVar] = frozenset({t})
+    elif isinstance(t, (TUnit, TConst)):
+        out = _NO_VARS
+    elif isinstance(t, TPair):
+        out = term_free_vars(t.left) | term_free_vars(t.right)
+    elif isinstance(t, (TFst, TSnd)):
+        out = term_free_vars(t.arg)
+    elif isinstance(t, TApp):
+        out = _NO_VARS
         for a in t.args:
             out |= term_free_vars(a)
-        return out
-    if isinstance(t, TAgg):
-        return uterm_free_vars(t.body) - {t.var}
-    raise TypeError(f"not a term: {t!r}")
+    elif isinstance(t, TAgg):
+        out = uterm_free_vars(t.body) - {t.var}
+    else:
+        raise TypeError(f"not a term: {t!r}")
+    object.__setattr__(t, "_hc_fv", out)
+    return out
 
 
 def uterm_free_vars(u: UTerm) -> FrozenSet[TVar]:
-    """Free tuple variables of a UniNomial term."""
+    """Free tuple variables of a UniNomial term (cached per interned node)."""
+    cached = u.__dict__.get("_hc_fv")
+    if cached is not None:
+        return cached
     if isinstance(u, (UZero, UOne)):
-        return frozenset()
-    if isinstance(u, (UAdd, UMul)):
-        return uterm_free_vars(u.left) | uterm_free_vars(u.right)
-    if isinstance(u, (USquash, UNeg)):
-        return uterm_free_vars(u.arg)
-    if isinstance(u, USum):
-        return uterm_free_vars(u.body) - {u.var}
-    if isinstance(u, UEq):
-        return term_free_vars(u.left) | term_free_vars(u.right)
-    if isinstance(u, URel):
-        return term_free_vars(u.arg)
-    if isinstance(u, UPred):
-        out: FrozenSet[TVar] = frozenset()
+        out: FrozenSet[TVar] = _NO_VARS
+    elif isinstance(u, (UAdd, UMul)):
+        out = uterm_free_vars(u.left) | uterm_free_vars(u.right)
+    elif isinstance(u, (USquash, UNeg)):
+        out = uterm_free_vars(u.arg)
+    elif isinstance(u, USum):
+        out = uterm_free_vars(u.body) - {u.var}
+    elif isinstance(u, UEq):
+        out = term_free_vars(u.left) | term_free_vars(u.right)
+    elif isinstance(u, URel):
+        out = term_free_vars(u.arg)
+    elif isinstance(u, UPred):
+        out = _NO_VARS
         for a in u.args:
             out |= term_free_vars(a)
-        return out
-    raise TypeError(f"not a UTerm: {u!r}")
+    else:
+        raise TypeError(f"not a UTerm: {u!r}")
+    object.__setattr__(u, "_hc_fv", out)
+    return out
 
 
 Substitution = Dict[TVar, Term]
 
 
 def subst_term(t: Term, sub: Substitution) -> Term:
-    """Capture-avoiding substitution on tuple terms."""
+    """Capture-avoiding substitution on tuple terms.
+
+    Sub-terms whose (cached) free variables are disjoint from the
+    substitution's domain are returned as-is — with interning this keeps
+    every untouched node, and all of its memoized metadata, shared.
+    """
     if not sub:
+        return t
+    if term_free_vars(t).isdisjoint(sub):
         return t
     if isinstance(t, TVar):
         return sub.get(t, t)
@@ -510,8 +557,13 @@ def subst_term(t: Term, sub: Substitution) -> Term:
 
 
 def subst_uterm(u: UTerm, sub: Substitution) -> UTerm:
-    """Capture-avoiding substitution on UniNomial terms."""
+    """Capture-avoiding substitution on UniNomial terms.
+
+    Shares untouched sub-terms exactly like :func:`subst_term`.
+    """
     if not sub:
+        return u
+    if uterm_free_vars(u).isdisjoint(sub):
         return u
     if isinstance(u, (UZero, UOne)):
         return u
@@ -604,33 +656,53 @@ def _rel_names_term(t: Term) -> FrozenSet[str]:
 
 
 def uterm_size(u: UTerm) -> int:
-    """Node count of a UniNomial term — the proof-effort metric for Fig. 8."""
+    """Node count of a UniNomial term — the proof-effort metric for Fig. 8.
+
+    Cached per interned node.
+    """
+    cached = u.__dict__.get("_hc_size")
+    if cached is not None:
+        return cached
     if isinstance(u, (UZero, UOne)):
-        return 1
-    if isinstance(u, (UAdd, UMul)):
-        return 1 + uterm_size(u.left) + uterm_size(u.right)
-    if isinstance(u, (USquash, UNeg)):
-        return 1 + uterm_size(u.arg)
-    if isinstance(u, USum):
-        return 1 + uterm_size(u.body)
-    if isinstance(u, UEq):
-        return 1 + _term_size(u.left) + _term_size(u.right)
-    if isinstance(u, URel):
-        return 1 + _term_size(u.arg)
-    if isinstance(u, UPred):
-        return 1 + sum(_term_size(a) for a in u.args)
-    raise TypeError(f"not a UTerm: {u!r}")
+        size = 1
+    elif isinstance(u, (UAdd, UMul)):
+        size = 1 + uterm_size(u.left) + uterm_size(u.right)
+    elif isinstance(u, (USquash, UNeg)):
+        size = 1 + uterm_size(u.arg)
+    elif isinstance(u, USum):
+        size = 1 + uterm_size(u.body)
+    elif isinstance(u, UEq):
+        size = 1 + term_size(u.left) + term_size(u.right)
+    elif isinstance(u, URel):
+        size = 1 + term_size(u.arg)
+    elif isinstance(u, UPred):
+        size = 1 + sum(term_size(a) for a in u.args)
+    else:
+        raise TypeError(f"not a UTerm: {u!r}")
+    object.__setattr__(u, "_hc_size", size)
+    return size
 
 
-def _term_size(t: Term) -> int:
+def term_size(t: Term) -> int:
+    """Node count of a tuple term (cached per interned node)."""
+    cached = t.__dict__.get("_hc_size")
+    if cached is not None:
+        return cached
     if isinstance(t, (TVar, TUnit, TConst)):
-        return 1
-    if isinstance(t, TPair):
-        return 1 + _term_size(t.left) + _term_size(t.right)
-    if isinstance(t, (TFst, TSnd)):
-        return 1 + _term_size(t.arg)
-    if isinstance(t, TApp):
-        return 1 + sum(_term_size(a) for a in t.args)
-    if isinstance(t, TAgg):
-        return 1 + uterm_size(t.body)
-    raise TypeError(f"not a term: {t!r}")
+        size = 1
+    elif isinstance(t, TPair):
+        size = 1 + term_size(t.left) + term_size(t.right)
+    elif isinstance(t, (TFst, TSnd)):
+        size = 1 + term_size(t.arg)
+    elif isinstance(t, TApp):
+        size = 1 + sum(term_size(a) for a in t.args)
+    elif isinstance(t, TAgg):
+        size = 1 + uterm_size(t.body)
+    else:
+        raise TypeError(f"not a term: {t!r}")
+    object.__setattr__(t, "_hc_size", size)
+    return size
+
+
+#: Backwards-compatible private alias (pre-kernel name).
+_term_size = term_size

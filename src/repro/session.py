@@ -531,6 +531,22 @@ class Session:
     def cache(self) -> ProofCache:
         return self.pipeline.cache
 
+    def kernel_stats(self) -> Dict[str, float]:
+        """Interned-kernel and cache counters for this process + session.
+
+        Interning and the normalize/denote memo tables are process-wide
+        (canonical nodes are shared by every session); the proof-cache
+        counters are this session's own.  ``check --verbose`` prints this
+        next to the stage timings.
+        """
+        from .core.intern import kernel_stats as _kernel_stats
+        stats: Dict[str, float] = dict(_kernel_stats())
+        stats["proof_cache_entries"] = len(self.cache)
+        stats["proof_cache_hits"] = self.cache.hits
+        stats["proof_cache_misses"] = self.cache.misses
+        stats["proof_cache_hit_rate"] = self.cache.hit_rate
+        return stats
+
     def save_cache(self, path: Optional[str] = None) -> str:
         """Persist the proof cache now (exit does this automatically when
         a cache path is configured)."""

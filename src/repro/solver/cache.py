@@ -28,8 +28,15 @@ from collections import OrderedDict
 from typing import Dict, Optional
 
 from ..core.equivalence import Hypotheses
+from ..core.intern import KernelLRU
 from ..core.normalize import NSum, nsum_alpha_key
 from .verdict import Verdict
+
+#: Memo for :func:`nsum_alpha_repr`, keyed on the interned normal form
+#: plus the (small) free-variable labelling.  Repeated fingerprinting of
+#: a memoized normal form — every pair of an all-pairs workload — is a
+#: table lookup instead of an O(term) key rendering.
+_ALPHA_REPR_MEMO = KernelLRU(4096, "alpha-repr")
 
 
 def nsum_alpha_repr(n: NSum, free_env: Optional[Dict] = None) -> str:
@@ -43,7 +50,13 @@ def nsum_alpha_repr(n: NSum, free_env: Optional[Dict] = None) -> str:
     caller that memoizes the key per query (a :class:`~repro.session
     .QueryHandle`) can fingerprint any pair without renormalizing.
     """
-    return repr(nsum_alpha_key(n, dict(free_env or {})))
+    memo_key = (n, frozenset(free_env.items()) if free_env else None)
+    hit = _ALPHA_REPR_MEMO.get(memo_key)
+    if hit is not None:
+        return hit
+    rendered = repr(nsum_alpha_key(n, dict(free_env or {})))
+    _ALPHA_REPR_MEMO.put(memo_key, rendered)
+    return rendered
 
 
 def fingerprint_from_keys(k1: str, k2: str,
@@ -84,9 +97,20 @@ def nsum_side_digest(n: NSum, free_env: Optional[Dict] = None) -> str:
     return digest_of_key(nsum_alpha_repr(n, free_env))
 
 
+#: Memo for :func:`query_side_digest` (entries hold the query, so ids are
+#: stable while cached).
+_QUERY_DIGEST_MEMO = KernelLRU(4096, "query-digest")
+
+
 def query_side_digest(q) -> str:
-    """Repr-level orientation tag for one query of a pair."""
-    return hashlib.sha256(repr(q).encode("utf-8")).hexdigest()
+    """Repr-level orientation tag for one query of a pair (memoized)."""
+    key = id(q)
+    hit = _QUERY_DIGEST_MEMO.get(key)
+    if hit is not None and hit[0] is q:
+        return hit[1]
+    digest = hashlib.sha256(repr(q).encode("utf-8")).hexdigest()
+    _QUERY_DIGEST_MEMO.put(key, (q, digest))
+    return digest
 
 
 def syntactic_alias(q1, q2, ctx_schema=None,

@@ -42,7 +42,8 @@ from ..core.equivalence import (
     StepBudgetExceeded,
     decide_nsums,
 )
-from ..core.normalize import NSum, normalize, nsum_subst, nsums_alpha_equal
+from ..core.intern import intern_stats
+from ..core.normalize import NSum, normalize, normalize_stats, nsum_subst
 from ..core.schema import EMPTY, Schema
 from ..errors import SchemaMismatchError
 from .cache import (
@@ -89,6 +90,16 @@ class PipelineConfig:
 DEFAULT_CONFIG = PipelineConfig()
 
 
+def _kernel_counters(norm_before: Dict[str, float]) -> Dict[str, int]:
+    """Interned-kernel counters accrued since ``norm_before``."""
+    after = normalize_stats()
+    return {
+        "normalize_hits": int(after["hits"] - norm_before["hits"]),
+        "normalize_misses": int(after["misses"] - norm_before["misses"]),
+        "interned_nodes": intern_stats()["interned_nodes"],
+    }
+
+
 @dataclass(frozen=True)
 class NormalizedQuery:
     """One query's memoizable share of an equivalence check.
@@ -100,6 +111,12 @@ class NormalizedQuery:
     O(N) normalizations: a :class:`~repro.session.QueryHandle` builds its
     ``NormalizedQuery`` lazily and hands it to
     :meth:`Pipeline.check_normalized` for each pairing.
+
+    The handles it holds are *interned*: ``denotation`` and ``nsum`` are
+    canonical hash-consed nodes (see :mod:`repro.core.intern`), so two
+    memoized queries share every common sub-term, pointer comparisons
+    short-circuit inside the engine, and ``alpha_key`` is rendered from
+    the node's cached alpha-canonical key.
     """
 
     query: ast.Query
@@ -204,6 +221,7 @@ class Pipeline:
         decision tiers proper.
         """
         cfg = self.config
+        norm_before = normalize_stats()
         d1, d2 = pre1.denotation, pre2.denotation
         if d1.ctx != d2.ctx:
             raise SchemaMismatchError(
@@ -234,23 +252,49 @@ class Pipeline:
             hit.lhs_repr_digest = pre1.repr_digest
             hit.rhs_repr_digest = pre2.repr_digest
             hit.timings = dict(timings)
+            hit.kernel_counters = _kernel_counters(norm_before)
             if alias is not None:
                 self.cache.register_alias(alias, fingerprint)
             return hit
+
+        # Stage 3: alpha-hash — the memoized canonical keys decide alpha
+        # equality directly (they label free context/tuple variables
+        # canonically), so the common "same query modulo renaming /
+        # reassociation" case never even aligns the normal forms.
+        if cfg.use_alpha_hash:
+            started = time.perf_counter()
+            same = pre1.alpha_key == pre2.alpha_key
+            timings["alpha-hash"] = time.perf_counter() - started
+            if same:
+                verdict = Verdict(
+                    status=Status.PROVED, stage="alpha-hash",
+                    fingerprint=fingerprint, timings=dict(timings),
+                    detail="normal forms are alpha-equal")
+                return self._finish(verdict, pre1, pre2, fingerprint,
+                                    alias, prove_only, norm_before)
 
         n1 = pre1.nsum
         n2 = pre2.aligned_nsum(pre1)
         verdict = self._decide(pre1.query, pre2.query, pre1.ctx_schema,
                                hyps, n1, n2, fingerprint, timings, factory,
                                prove_only)
-        verdict.lhs_norm_digest = side_digest
+        return self._finish(verdict, pre1, pre2, fingerprint, alias,
+                            prove_only, norm_before)
+
+    def _finish(self, verdict: Verdict, pre1: NormalizedQuery,
+                pre2: NormalizedQuery, fingerprint: str,
+                alias: Optional[str], prove_only: bool,
+                norm_before: Dict[str, float]) -> Verdict:
+        """Tag a fresh verdict with digests + kernel counters, cache it."""
+        verdict.kernel_counters = _kernel_counters(norm_before)
+        verdict.lhs_norm_digest = pre1.norm_digest
         verdict.lhs_repr_digest = pre1.repr_digest
         verdict.rhs_repr_digest = pre2.repr_digest
         # A prove_only UNKNOWN is partial (the disprover never ran), so it
         # is never cached — even under cache_unknown — lest it mask the
         # disproof a later full check would find.
         if verdict.status is not Status.UNKNOWN \
-                or (cfg.cache_unknown and not prove_only):
+                or (self.config.cache_unknown and not prove_only):
             self.cache.put(fingerprint, verdict, alias=alias)
         return verdict
 
@@ -276,15 +320,8 @@ class Pipeline:
                            fingerprint=fingerprint, timings=dict(timings),
                            **kw)
 
-        # Stage 3: alpha-hash equality of normal forms ----------------------
-        if cfg.use_alpha_hash:
-            started = time.perf_counter()
-            same = nsums_alpha_equal(n1, n2)
-            timings["alpha-hash"] = time.perf_counter() - started
-            if same:
-                return verdict(
-                    Status.PROVED, "alpha-hash",
-                    detail="normal forms are alpha-equal")
+        # (Stage 3, alpha-hash, runs in check_normalized on the memoized
+        # canonical keys — reaching this method means it did not decide.)
 
         # Stage 4: conjunctive-fragment decision ----------------------------
         cq_disproof = False

@@ -152,6 +152,11 @@ class Verdict:
     bound: Optional[BoundInfo] = None
     #: stage name → seconds spent, in execution order.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: interned-kernel counters for this check: ``normalize`` memo
+    #: hits/misses charged to the question and the live canonical node
+    #: count when it was answered (``check --verbose`` prints these
+    #: alongside the stage timings).
+    kernel_counters: Dict[str, int] = field(default_factory=dict)
     detail: str = ""
     #: orientation tags: digests identifying which input the verdict's
     #: counterexample calls "lhs"/"rhs" — by alpha-canonical normal form
@@ -238,6 +243,7 @@ class Verdict:
             "counterexample": (None if self.counterexample is None
                                else self.counterexample.to_dict()),
             "bound": None if self.bound is None else self.bound.to_dict(),
+            "kernel_counters": dict(self.kernel_counters),
             "detail": self.detail,
             "lhs_norm_digest": self.lhs_norm_digest,
             "lhs_repr_digest": self.lhs_repr_digest,
@@ -256,6 +262,7 @@ class Verdict:
             counterexample=(None if cx is None
                             else CounterexampleRecord.from_dict(cx)),
             bound=None if bound is None else BoundInfo.from_dict(bound),
+            kernel_counters=dict(data.get("kernel_counters") or {}),
             detail=data.get("detail", ""),
             lhs_norm_digest=data.get("lhs_norm_digest", ""),
             lhs_repr_digest=data.get("lhs_repr_digest", ""),

@@ -92,9 +92,21 @@ class TestUTermEquivalence:
                                  UMul(UNeg(URel("S", T)), a))
 
     def test_stats_populated(self):
-        result = check_uterm_equivalence(URel("R", T), URel("R", T))
+        # A pointer-identical question is answered by the interned kernel
+        # in zero engine steps, so use a pair that needs Lemma 5.3
+        # absorption to exercise the counters.
+        x = fresh_var(SR, "x")
+        guard = USquash(USum(x, UMul(UEq(x, T), URel("R", x))))
+        result = check_uterm_equivalence(
+            UMul(URel("R", T), guard), URel("R", T))
         assert result.equal
         assert result.stats.total_steps >= 1
+        assert result.stats.trace
+
+    def test_identical_terms_are_free(self):
+        # Same interned term on both sides: proved with no engine steps.
+        result = check_uterm_equivalence(URel("R", T), URel("R", T))
+        assert result.equal
         assert result.stats.trace
 
 

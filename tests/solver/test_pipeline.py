@@ -85,11 +85,15 @@ class TestStages:
         assert v.bound is not None and v.bound.exhausted
 
     def test_step_budget_turns_prover_off_gracefully(self, queries):
+        # Note: reordered conjuncts alone no longer exercise the budget —
+        # the interned kernel normalizes both to the same canonical form.
+        # A DISTINCT self-join needs real squash/bijection search.
         config = PipelineConfig(prover_max_steps=1, use_alpha_hash=False,
                                 use_conjunctive=False, use_disprover=False)
         v = Pipeline(config).check(
-            queries("SELECT a FROM R WHERE a = 1 AND b = 1"),
-            queries("SELECT a FROM R WHERE b = 1 AND a = 1"))
+            queries("SELECT DISTINCT x.a FROM R AS x, R AS y "
+                    "WHERE x.a = y.a"),
+            queries("SELECT DISTINCT a FROM R"))
         assert v.status is Status.UNKNOWN
         assert "budget" in v.detail
 
