@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Front-end microbenchmark: parse + resolve throughput.
+
+The prover's cost is tracked by ``bench_prover_scaling``; this tracks the
+*front end* — lexing, parsing, name resolution, and the Sec. 4.2
+desugarings (GROUP BY, scalar aggregates, HAVING) — which every
+``Session.sql`` call pays before any proving happens.  The corpus spans
+the full accepted grammar so a parser or resolver regression on any
+shape shows up as a throughput drop.
+
+Reported per phase:
+
+* ``parse``  — SQL text → named AST,
+* ``resolve`` — named AST → core HoTTSQL (includes desugaring),
+* ``roundtrip`` — unparse + re-parse (the serialization path).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parse_resolve.py           # full
+    PYTHONPATH=src python benchmarks/bench_parse_resolve.py --smoke   # CI
+
+Exit status is non-zero when any corpus entry fails to compile or to
+round-trip — the bench doubles as a smoke test of the whole grammar.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.schema import INT
+from repro.sql.parser import parse
+from repro.sql.resolve import Catalog, Resolver
+from repro.sql.unparse import unparse
+
+#: One query per accepted grammar shape (README "Accepted SQL" table).
+CORPUS = [
+    "SELECT a FROM R",
+    "SELECT * FROM R, S WHERE R.a = S.a",
+    "SELECT DISTINCT x.a FROM R AS x, R y WHERE x.a = y.b",
+    "SELECT a + b AS c, a * 2 - 1 FROM R",
+    "SELECT a FROM R WHERE a + 1 = b AND NOT (a = 2 OR b < 3)",
+    "SELECT f(a, b) AS v FROM R",
+    "SELECT a FROM R WHERE EXISTS (SELECT b FROM S WHERE S.a = R.a)",
+    "SELECT DISTINCT a FROM (SELECT a FROM R) t",
+    "SELECT a FROM R UNION ALL SELECT a FROM S EXCEPT SELECT b FROM R",
+    "SELECT COUNT(b) AS c FROM R",
+    "SELECT SUM(a) AS s, COUNT(b) AS n FROM R WHERE a = 1",
+    "SELECT k, SUM(b) AS s FROM R GROUP BY k",
+    "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING k = 1",
+    "SELECT k, COUNT(b) AS n FROM R GROUP BY k HAVING SUM(b) > 2",
+]
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_table("R", [("k", INT), ("a", INT), ("b", INT)])
+    catalog.add_table("S", [("a", INT), ("b", INT)])
+    return catalog
+
+
+def bench(repeat: int):
+    catalog = make_catalog()
+    parsed = []
+    started = time.perf_counter()
+    for _ in range(repeat):
+        parsed = [parse(text) for text in CORPUS]
+    parse_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for _ in range(repeat):
+        resolver = Resolver(catalog)
+        for query in parsed:
+            resolver.resolve_query(query)
+    resolve_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    ok = True
+    for _ in range(repeat):
+        for query in parsed:
+            ok = ok and parse(unparse(query)) == query
+    roundtrip_wall = time.perf_counter() - started
+    return parse_wall, resolve_wall, roundtrip_wall, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small repeat count (CI mode)")
+    args = parser.parse_args(argv)
+
+    repeat = 20 if args.smoke else 400
+    queries = len(CORPUS) * repeat
+    parse_wall, resolve_wall, roundtrip_wall, ok = bench(repeat)
+    for phase, wall in (("parse", parse_wall), ("resolve", resolve_wall),
+                        ("roundtrip", roundtrip_wall)):
+        rate = queries / wall if wall else float("inf")
+        print(f"  {phase:<10} {wall * 1e3:9.1f} ms "
+              f"({queries} queries, {rate:,.0f}/s)")
+    if not ok:
+        print("FAIL: corpus entry did not round-trip", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

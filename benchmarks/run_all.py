@@ -149,7 +149,10 @@ def run_session_all_pairs(smoke):
 # ---------------------------------------------------------------------------
 
 #: Benches that are standalone scripts (everything else runs via pytest).
-SCRIPT_BENCHES = {"bench_session_all_pairs.py": ["--smoke"]}
+SCRIPT_BENCHES = {
+    "bench_session_all_pairs.py": ["--smoke"],
+    "bench_parse_resolve.py": ["--smoke"],
+}
 
 
 def run_sweep():

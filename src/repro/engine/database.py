@@ -65,11 +65,27 @@ DEFAULT_AGGREGATES: Dict[str, Callable[[Bag], Any]] = {
     "MIN": _agg_min,
 }
 
+def _total_div(a: Any, b: Any) -> Any:
+    """Division totalized at zero: floor division on ints (SQL integer
+    division), true division when either operand is a float.
+
+    The SQL front end compiles ``/`` to the ``div`` symbol; evaluation
+    must be total because the disprover enumerates instances whose
+    domains include 0.
+    """
+    if b == 0:
+        return 0
+    if isinstance(a, float) or isinstance(b, float):
+        return a / b
+    return a // b
+
+
 #: Scalar function symbols usable in :class:`~repro.core.ast.Func`.
 DEFAULT_FUNCTIONS: Dict[str, Callable[..., Any]] = {
     "add": operator.add,
     "sub": operator.sub,
     "mul": operator.mul,
+    "div": _total_div,
     "neg": operator.neg,
     "mod": operator.mod,
     "abs": abs,

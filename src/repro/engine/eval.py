@@ -29,6 +29,17 @@ class EvaluationError(Exception):
     """Raised when a query cannot be evaluated under an interpretation."""
 
 
+def _lookup(getter, name: str):
+    """Resolve a symbol through an interpretation accessor, converting
+    the mapping's KeyError into a typed evaluation failure (the solver's
+    disprover tier catches EvaluationError to mean "this query cannot be
+    concretely enumerated", e.g. an uninterpreted function symbol)."""
+    try:
+        return getter(name)
+    except KeyError as exc:
+        raise EvaluationError(str(exc)) from exc
+
+
 def eval_query(query: ast.Query, interp: Interpretation,
                g: Any = (), semiring: Semiring = NAT) -> KRelation:
     """Evaluate ``⟦q⟧ g`` to a K-relation (paper Figure 7, concretely)."""
@@ -99,10 +110,10 @@ def eval_predicate(pred: ast.Predicate, interp: Interpretation, g: Any,
         recast = eval_projection(pred.projection, interp, g)
         return eval_predicate(pred.predicate, interp, recast, semiring)
     if isinstance(pred, ast.PredVar):
-        return bool(interp.predicate(pred.name)(g))
+        return bool(_lookup(interp.predicate, pred.name)(g))
     if isinstance(pred, ast.PredFunc):
         args = [eval_expression(a, interp, g, semiring) for a in pred.args]
-        return bool(interp.predicate(pred.name)(*args))
+        return bool(_lookup(interp.predicate, pred.name)(*args))
     raise EvaluationError(f"cannot evaluate predicate node: {pred!r}")
 
 
@@ -115,17 +126,17 @@ def eval_expression(expr: ast.Expression, interp: Interpretation, g: Any,
         return expr.value
     if isinstance(expr, ast.Func):
         args = [eval_expression(a, interp, g, semiring) for a in expr.args]
-        return interp.function(expr.name)(*args)
+        return _lookup(interp.function, expr.name)(*args)
     if isinstance(expr, ast.Agg):
         inner = eval_query(expr.query, interp, g, semiring)
         bag = [(row, _multiplicity_as_count(annot))
                for row, annot in inner.items()]
-        return interp.aggregate(expr.name)(bag)
+        return _lookup(interp.aggregate, expr.name)(bag)
     if isinstance(expr, ast.CastExpr):
         recast = eval_projection(expr.projection, interp, g)
         return eval_expression(expr.expression, interp, recast, semiring)
     if isinstance(expr, ast.ExprVar):
-        return interp.expression(expr.name)(g)
+        return _lookup(interp.expression, expr.name)(g)
     raise EvaluationError(f"cannot evaluate expression node: {expr!r}")
 
 
@@ -149,7 +160,7 @@ def eval_projection(proj: ast.Projection, interp: Interpretation,
     if isinstance(proj, ast.E2P):
         return eval_expression(proj.expression, interp, value)
     if isinstance(proj, ast.PVar):
-        return interp.projection(proj.name)(value)
+        return _lookup(interp.projection, proj.name)(value)
     raise EvaluationError(f"cannot evaluate projection node: {proj!r}")
 
 

@@ -87,7 +87,15 @@ def _selectivity(pred: ast.Predicate) -> float:
     if isinstance(pred, ast.PredEq):
         return SELECTIVITY_EQ
     if isinstance(pred, ast.PredAnd):
-        return _selectivity(pred.left) * _selectivity(pred.right)
+        # Multiply over *distinct* conjuncts: a repeated conjunct filters
+        # nothing the first copy didn't, so counting it again would
+        # underestimate the output (and make σ_{b∧b} look cheaper
+        # downstream than the equivalent σ_b).
+        unique = list(dict.fromkeys(_conjuncts(pred)))
+        sel = 1.0
+        for conjunct in unique:
+            sel *= _selectivity(conjunct)
+        return sel
     if isinstance(pred, ast.PredOr):
         left = _selectivity(pred.left)
         right = _selectivity(pred.right)
@@ -99,6 +107,12 @@ def _selectivity(pred: ast.Predicate) -> float:
     if isinstance(pred, ast.PredFalse):
         return 0.0
     return SELECTIVITY_OTHER
+
+
+def _conjuncts(pred: ast.Predicate):
+    if isinstance(pred, ast.PredAnd):
+        return _conjuncts(pred.left) + _conjuncts(pred.right)
+    return [pred]
 
 
 def plan_cost(query: ast.Query, stats: TableStats) -> float:

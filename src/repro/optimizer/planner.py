@@ -16,9 +16,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from dataclasses import fields as dataclass_fields
+
 from ..core import ast
 from .cost import TableStats, plan_cost
 from .rewriter import rewrites
+
+
+def _plan_size(node: object, _seen_types=(ast.Query, ast.Predicate,
+                                          ast.Expression, ast.Projection)
+               ) -> int:
+    """Node count of a plan tree (queries, predicates, expressions,
+    projections) — the planner's tie-break among equal-cost plans."""
+    size = 1
+    for field in dataclass_fields(node):
+        value = getattr(node, field.name)
+        children = value if isinstance(value, tuple) else (value,)
+        for child in children:
+            if isinstance(child, _seen_types):
+                size += _plan_size(child)
+    return size
 
 
 @dataclass
@@ -60,6 +77,7 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
     seen: Set[ast.Query] = {query}
     frontier: List[Tuple[ast.Query, Tuple[str, ...]]] = [(query, ())]
     best_plan, best_cost, best_rules = query, origin_cost, ()
+    best_size = _plan_size(query)
     explored = 1
 
     while frontier and explored < max_plans:
@@ -72,8 +90,14 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
                 explored += 1
                 cost = plan_cost(candidate, stats)
                 chain = rules + (rule,)
-                if cost < best_cost:
+                size = _plan_size(candidate)
+                # Equal-cost plans tie-break on syntactic size, so a
+                # simplification the cost model is blind to (dedup'd
+                # conjuncts, say) still wins over the bloated original.
+                if cost < best_cost or (cost == best_cost
+                                        and size < best_size):
                     best_plan, best_cost, best_rules = candidate, cost, chain
+                    best_size = size
                 next_frontier.append((candidate, chain))
                 if explored >= max_plans:
                     break

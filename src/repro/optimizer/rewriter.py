@@ -205,6 +205,30 @@ def _collapse_distinct(query: ast.Query) -> Iterator[Candidate]:
         yield (query.query, "distinct_idem")
 
 
+def _flatten_conjuncts(pred: ast.Predicate) -> List[ast.Predicate]:
+    if isinstance(pred, ast.PredAnd):
+        return _flatten_conjuncts(pred.left) + _flatten_conjuncts(pred.right)
+    return [pred]
+
+
+def _dedup_conjuncts(query: ast.Query) -> Iterator[Candidate]:
+    """σ_{b ∧ b}(q) → σ_b(q)  [conjunct idempotence: b ∧ b ⇔ b].
+
+    Duplicate conjuncts arise from mechanical predicate assembly (ORMs,
+    view inlining, the rewriter's own merge step) and survive
+    ``optimize()`` verbatim without this rule; predicates are squashed
+    propositions, so repetition is semantically free but pollutes
+    decompiled SQL and double-counts selectivity estimates.
+    """
+    if not isinstance(query, ast.Where):
+        return
+    conjuncts = _flatten_conjuncts(query.predicate)
+    unique = list(dict.fromkeys(conjuncts))
+    if len(unique) < len(conjuncts):
+        yield (ast.Where(query.query, ast.and_(*unique)),
+               "sel_conj_dedup")
+
+
 #: The transformation suite, in application order.
 TRANSFORMATIONS = (
     _split_where,
@@ -212,6 +236,7 @@ TRANSFORMATIONS = (
     _push_where_into_product,
     _push_where_below_union,
     _collapse_distinct,
+    _dedup_conjuncts,
 )
 
 

@@ -59,6 +59,57 @@ def _groupby_filter_pushdown() -> RewriteRule:
         instantiate=factory)
 
 
+def having_filter_pushdown() -> RewriteRule:
+    """HAVING on the group key ≡ WHERE pushed below the grouping.
+
+    The exact shape the SQL front end's HAVING desugaring produces — a
+    re-projecting SELECT over the filtered group relation — so certifying
+    it certifies the desugaring's flagship rewrite:
+
+        SELECT k, s FROM (SELECT k, SUM(b) s FROM R GROUP BY k) h
+        WHERE k = ℓ
+      ≡ SELECT k, SUM(b) s FROM R WHERE k = ℓ GROUP BY k
+
+    This extends Figure 8's aggregation row (hence category ``extended``:
+    it does not count toward the paper's 23).
+    """
+    r = table("R", _S1)
+    k = ast.PVar("k", _S1, Leaf(INT))
+    b = ast.PVar("b", _S1, Leaf(INT))
+    ell = const_expr("l")
+
+    grouped = groupby_agg(r, k, b, "SUM")
+    filtered_groups = ast.Where(
+        grouped, ast.PredEq(attr_expr(ast.RIGHT, ast.LEFT), ell))
+    # The HAVING desugaring's outer SELECT re-emits the (key, sum) tuple.
+    reproject = ast.proj_tuple(ast.path(ast.RIGHT, ast.LEFT),
+                               ast.path(ast.RIGHT, ast.RIGHT))
+    lhs = ast.Select(reproject, filtered_groups)
+
+    filtered = ast.Where(r, ast.PredEq(
+        ast.P2E(ast.Compose(ast.RIGHT, k), INT), ell))
+    rhs = groupby_agg(filtered, k, b, "SUM")
+
+    def factory(rng: random.Random):
+        interp = standard_interpretation(rng, ("R",), attrs=("k", "b"),
+                                         consts=("l",))
+        return lhs, rhs, interp
+
+    return RewriteRule(
+        name="having_filter_pushdown", category="extended",
+        description="HAVING on the group key filters the grouped "
+                    "subquery; pushing it below GROUP BY + SUM is the "
+                    "Sec. 5.1.2 pushdown composed with projection "
+                    "re-emission (the SQL frontend's HAVING desugar "
+                    "shape).",
+        lhs=lhs, rhs=rhs,
+        tactic_script=("extensionality", "squash_biimpl",
+                       "instantiate_witness", "agg_congruence",
+                       "rewrite_equalities", "proj_identity"),
+        paper_ref="Secs. 4.2, 5.1.2",
+        instantiate=factory)
+
+
 def aggregation_rules() -> Tuple[RewriteRule, ...]:
     """The aggregation rule of Figure 8."""
     return (_groupby_filter_pushdown(),)

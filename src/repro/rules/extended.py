@@ -176,6 +176,7 @@ def _except_then_union_superset() -> RewriteRule:
 
 def extended_rules() -> Tuple[RewriteRule, ...]:
     """Verified rules beyond the paper's Figure 8 corpus."""
+    from .aggregation import having_filter_pushdown
     return (
         _proj_union_distr(),
         _except_self_is_empty(),
@@ -187,4 +188,5 @@ def extended_rules() -> Tuple[RewriteRule, ...]:
         _exists_union_or(),
         _double_negation(),
         _except_then_union_superset(),
+        having_filter_pushdown(),
     )

@@ -218,6 +218,18 @@ class QueryHandle:
         return explain(self.query, stats if stats is not None
                        else TableStats())
 
+    def sql(self) -> str:
+        """The compiled core query decompiled back to SQL text.
+
+        This is the post-desugar view: GROUP BY, HAVING, and scalar
+        aggregates render in their Sec. 4.2 encodings (and the text
+        re-parses — the session test suite proves the round trip
+        equivalent).  Raises
+        :class:`~repro.sql.decompile.PlanRenderingError` when the query
+        falls outside the SQL-renderable fragment.
+        """
+        return plan_to_sql(self.query, self._session.catalog)
+
 
 class PlanHandle:
     """An optimized plan: the planner's result plus rendering verbs."""

@@ -45,6 +45,7 @@ from ..core.equivalence import (
 from ..core.intern import intern_stats
 from ..core.normalize import NSum, normalize, normalize_stats, nsum_subst
 from ..core.schema import EMPTY, Schema
+from ..engine.eval import EvaluationError
 from ..errors import SchemaMismatchError
 from .cache import (
     ProofCache,
@@ -432,7 +433,10 @@ class Pipeline:
             return disprove(q1, q2, tables, bound=cfg.disprover_bound,
                             max_instances=cfg.disprover_max_instances,
                             hyps=hyps)
-        except ValueError:
+        except (ValueError, EvaluationError):
+            # Not concretely enumerable (schema conflict, or a symbol —
+            # e.g. an uninterpreted scalar function — with no concrete
+            # interpretation): the disprover abstains, it doesn't crash.
             return None
 
 

@@ -43,6 +43,8 @@ from .resolve import (
     column_steps,
     compile_sql,
     desugar_group_by,
+    desugar_having,
+    desugar_scalar_agg,
 )
 from .unparse import expr_to_sql, pred_to_sql, unparse
 
@@ -60,6 +62,8 @@ __all__ = [
     "const_tuple_projection",
     "denotation_to_str",
     "desugar_group_by",
+    "desugar_having",
+    "desugar_scalar_agg",
     "expr_to_sql",
     "expression_to_str",
     "inner_join",

@@ -34,7 +34,7 @@ from typing import List, Optional, Sequence, Tuple
 from ..core import ast
 from ..errors import ReproError
 from . import nast
-from .resolve import Catalog
+from .resolve import ARITHMETIC_FUNCS, Catalog
 from .unparse import unparse
 
 
@@ -304,6 +304,9 @@ class Decompiler:
 
     # -- expressions -------------------------------------------------------
 
+    #: Core function symbols rendered back as infix arithmetic.
+    _ARITHMETIC = ARITHMETIC_FUNCS
+
     def _decompile_expr(self, expr: ast.Expression,
                         scope_tree: tuple) -> nast.NExpr:
         if isinstance(expr, ast.P2E):
@@ -319,6 +322,11 @@ class Decompiler:
         if isinstance(expr, ast.Const):
             return nast.NLiteral(expr.value)
         if isinstance(expr, ast.Func):
+            if expr.name in self._ARITHMETIC and len(expr.args) == 2:
+                return nast.NBinOp(
+                    self._ARITHMETIC[expr.name],
+                    self._decompile_expr(expr.args[0], scope_tree),
+                    self._decompile_expr(expr.args[1], scope_tree))
             return nast.NFuncCall(
                 expr.name, tuple(self._decompile_expr(a, scope_tree)
                                  for a in expr.args))

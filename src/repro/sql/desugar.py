@@ -4,7 +4,11 @@ The paper keeps the core language small and *encodes* richer SQL:
 
 * GROUP BY — as DISTINCT + correlated aggregate subqueries (Sec. 4.2;
   implemented in :func:`repro.rules.common.groupby_agg` for generic rules
-  and in :func:`repro.sql.resolve.desugar_group_by` for the frontend);
+  and in :func:`repro.sql.resolve.desugar_group_by` for the frontend;
+  the frontend likewise desugars scalar aggregates as single-group
+  aggregation and HAVING as a filter over the grouped subquery — see
+  :func:`repro.sql.resolve.desugar_scalar_agg` and
+  :func:`repro.sql.resolve.desugar_having`, re-exported here);
 * θ-semijoin — as WHERE EXISTS (Sec. 5.1.3;
   :func:`repro.rules.common.semijoin`);
 * **outer joins** — Sec. 7: a left outer join is the inner join unioned
@@ -22,6 +26,7 @@ from typing import Any, Sequence
 
 from ..core import ast
 from ..core.schema import Empty, Leaf, Node, Schema
+from .resolve import desugar_group_by, desugar_having, desugar_scalar_agg
 
 
 def const_tuple_projection(schema: Schema, values: Sequence[Any]
@@ -104,6 +109,9 @@ def right_outer_join(left: ast.Query, right: ast.Query, on: ast.Predicate,
 
 __all__ = [
     "const_tuple_projection",
+    "desugar_group_by",
+    "desugar_having",
+    "desugar_scalar_agg",
     "inner_join",
     "left_outer_join",
     "matched_left_rows",

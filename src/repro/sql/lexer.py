@@ -14,7 +14,7 @@ from ..errors import ReproError
 
 #: Keywords of the supported dialect (case-insensitive).
 KEYWORDS = frozenset({
-    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "AS",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "AS",
     "UNION", "ALL", "EXCEPT", "AND", "OR", "NOT", "EXISTS",
     "TRUE", "FALSE",
 })

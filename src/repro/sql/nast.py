@@ -58,8 +58,20 @@ class NFuncCall(NExpr):
 
 
 @dataclass(frozen=True)
+class NBinOp(NExpr):
+    """An infix arithmetic expression ``e1 op e2`` with op ∈ {+, -, *, /}."""
+
+    op: str
+    left: NExpr
+    right: NExpr
+
+
+@dataclass(frozen=True)
 class NAggCall(NExpr):
-    """An aggregate call ``SUM(e)`` etc. — only legal under GROUP BY."""
+    """An aggregate call ``SUM(e)`` etc.
+
+    Legal under GROUP BY and as a top-level SELECT item of an ungrouped
+    query (a *scalar* aggregate — desugared as single-group aggregation)."""
 
     name: str
     arg: NExpr
@@ -134,13 +146,14 @@ class NFromItem:
 
 @dataclass(frozen=True)
 class NSelect(NQuery):
-    """A SELECT block, possibly with DISTINCT and GROUP BY."""
+    """A SELECT block, possibly with DISTINCT, GROUP BY, and HAVING."""
 
     distinct: bool
     items: Tuple[NSelectItem, ...]    # empty tuple means SELECT *
     from_items: Tuple[NFromItem, ...]
     where: Optional[NPred]
     group_by: Optional[NColumn]
+    having: Optional[NPred] = None
 
 
 @dataclass(frozen=True)

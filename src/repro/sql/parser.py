@@ -4,20 +4,23 @@ Grammar (conventional precedence; ``UNION ALL``/``EXCEPT`` associate left)::
 
     query      := select (("UNION" "ALL" | "EXCEPT") select)*
     select     := "SELECT" ["DISTINCT"] items "FROM" from_items
-                  ["WHERE" pred] ["GROUP" "BY" column]
+                  ["WHERE" pred] ["GROUP" "BY" column] ["HAVING" pred]
                 | "(" query ")"
     items      := "*" | item ("," item)*
     item       := expr ["AS" ident]
     from_items := from_item ("," from_item)*
-    from_item  := ident ["AS" ident] | "(" query ")" "AS" ident
+    from_item  := ident [["AS"] ident] | "(" query ")" ["AS"] ident
     pred       := or_pred
     or_pred    := and_pred ("OR" and_pred)*
     and_pred   := not_pred ("AND" not_pred)*
     not_pred   := "NOT" not_pred | atom_pred
     atom_pred  := "TRUE" | "FALSE" | "EXISTS" "(" query ")"
                 | "(" pred ")" | expr cmp expr
-    expr       := primary
-    primary    := number | string | ident "(" args ")" | column | "(" expr ")"
+    expr       := add_expr
+    add_expr   := mul_expr (("+" | "-") mul_expr)*
+    mul_expr   := primary (("*" | "/") primary)*
+    primary    := number | string | agg "(" "(" query ")" ")"
+                | ident "(" args ")" | column | "(" expr ")"
     column     := ident ["." ident]
 """
 
@@ -50,6 +53,10 @@ class _Parser:
 
     def _peek(self) -> Token:
         return self._tokens[self._index]
+
+    def _peek_at(self, offset: int) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
 
     def _advance(self) -> Token:
         token = self._tokens[self._index]
@@ -122,9 +129,12 @@ class _Parser:
         if self._accept_keyword("GROUP"):
             self._expect_keyword("BY")
             group_by = self._parse_column()
+        having = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_pred()
         return nast.NSelect(distinct=distinct, items=tuple(items),
                             from_items=tuple(from_items), where=where,
-                            group_by=group_by)
+                            group_by=group_by, having=having)
 
     def _parse_column(self) -> nast.NColumn:
         name = self._expect_ident()
@@ -158,7 +168,10 @@ class _Parser:
         if self._accept_op("("):
             query = self.parse_query()
             self._expect_op(")")
-            self._expect_keyword("AS")
+            # Standard SQL: a derived table needs an alias, but AS is noise.
+            if not self._accept_keyword("AS") and self._peek().kind != "ident":
+                raise ParseError("derived table requires an alias",
+                                 self._peek())
             alias = self._expect_ident()
             return nast.NFromItem(source=query, alias=alias)
         name = self._expect_ident()
@@ -224,7 +237,27 @@ class _Parser:
     # -- expressions ---------------------------------------------------------
 
     def _parse_expr(self) -> nast.NExpr:
-        return self._parse_primary()
+        return self._parse_add_expr()
+
+    def _parse_add_expr(self) -> nast.NExpr:
+        expr = self._parse_mul_expr()
+        while True:
+            if self._accept_op("+"):
+                expr = nast.NBinOp("+", expr, self._parse_mul_expr())
+            elif self._accept_op("-"):
+                expr = nast.NBinOp("-", expr, self._parse_mul_expr())
+            else:
+                return expr
+
+    def _parse_mul_expr(self) -> nast.NExpr:
+        expr = self._parse_primary()
+        while True:
+            if self._accept_op("*"):
+                expr = nast.NBinOp("*", expr, self._parse_primary())
+            elif self._accept_op("/"):
+                expr = nast.NBinOp("/", expr, self._parse_primary())
+            else:
+                return expr
 
     def _parse_primary(self) -> nast.NExpr:
         token = self._peek()
@@ -242,23 +275,40 @@ class _Parser:
         if token.kind == "ident":
             name = self._expect_ident()
             if self._accept_op("("):
+                if name.upper() in _AGGREGATES:
+                    return self._parse_agg_body(name.upper(), token)
                 args = []
                 if not self._accept_op(")"):
                     args.append(self._parse_expr())
                     while self._accept_op(","):
                         args.append(self._parse_expr())
                     self._expect_op(")")
-                if name.upper() in _AGGREGATES:
-                    if len(args) != 1:
-                        raise ParseError(
-                            f"aggregate {name} takes one argument", token)
-                    return nast.NAggCall(name.upper(), args[0])
                 return nast.NFuncCall(name, tuple(args))
             if self._accept_op("."):
                 column = self._expect_ident()
                 return nast.NColumn(table=name, column=column)
             return nast.NColumn(table=None, column=name)
         raise ParseError("expected an expression", token)
+
+    def _parse_agg_body(self, name: str, token: Token) -> nast.NExpr:
+        """The argument of ``AGG(...)`` — an expression, or ``((query))``
+        for an aggregate over an explicit subquery (what the unparser
+        emits for desugared GROUP BY and what the decompiler produces)."""
+        peek = self._peek()
+        if peek.kind == "op" and peek.text == "(" \
+                and self._peek_at(1).is_keyword("SELECT"):
+            self._advance()
+            query = self.parse_query()
+            self._expect_op(")")
+            self._expect_op(")")
+            return nast.NAggQuery(name, query)
+        if self._accept_op(")"):
+            raise ParseError(f"aggregate {name} takes one argument", token)
+        arg = self._parse_expr()
+        if self._accept_op(","):
+            raise ParseError(f"aggregate {name} takes one argument", token)
+        self._expect_op(")")
+        return nast.NAggCall(name, arg)
 
 
 def parse(source: str) -> nast.NQuery:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core import ast
 from ..core.denote import Denotation
+from .resolve import ARITHMETIC_FUNCS
 
 
 def query_to_str(query: ast.Query) -> str:
@@ -65,6 +66,10 @@ def predicate_to_str(pred: ast.Predicate) -> str:
     raise TypeError(f"not a predicate: {pred!r}")
 
 
+#: Function symbols the SQL front end uses for infix arithmetic.
+_INFIX_FUNCS = ARITHMETIC_FUNCS
+
+
 def expression_to_str(expr: ast.Expression) -> str:
     """Render a core expression."""
     if isinstance(expr, ast.P2E):
@@ -72,6 +77,10 @@ def expression_to_str(expr: ast.Expression) -> str:
     if isinstance(expr, ast.Const):
         return repr(expr.value)
     if isinstance(expr, ast.Func):
+        if expr.name in _INFIX_FUNCS and len(expr.args) == 2:
+            return (f"({expression_to_str(expr.args[0])} "
+                    f"{_INFIX_FUNCS[expr.name]} "
+                    f"{expression_to_str(expr.args[1])})")
         args = ", ".join(expression_to_str(a) for a in expr.args)
         return f"{expr.name}({args})"
     if isinstance(expr, ast.Agg):

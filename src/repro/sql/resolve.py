@@ -6,7 +6,21 @@ expressions by hand.  This module automates that translation: given a
 catalog of named table schemas, it compiles the parser's named AST into
 core HoTTSQL, turning ``alias.column`` references into ``Left``/``Right``
 paths through the context tuple, threading correlated-subquery scopes
-exactly as Figure 6 describes, and desugaring GROUP BY per Sec. 4.2.
+exactly as Figure 6 describes, and desugaring GROUP BY, scalar
+aggregates, and HAVING per Sec. 4.2.
+
+Two desugaring conventions to note:
+
+* **Scalar aggregates** (``SELECT COUNT(b) FROM R`` without GROUP BY) are
+  single-group aggregation: the whole FROM clause is one group, encoded
+  exactly like GROUP BY over a constant key.  Like the paper's NULL-free
+  semantics (and Cosette), the result is *empty* — not one NULL/zero
+  row — when the (post-WHERE) input is empty.
+* **Commutative arithmetic** (``+``/``*``) canonicalizes its operand
+  order during resolution, so ``a+b`` and ``b+a`` compile to the same
+  core term.  The core ``Func`` stays uninterpreted; the reordering is
+  justified because the concrete evaluator always interprets these
+  symbols as integer addition/multiplication.
 
 Schema layout conventions:
 
@@ -26,8 +40,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 from ..core import ast
-from ..core.schema import BOOL, EMPTY, INT, Leaf, Node, STRING, Schema, SQLType
+from ..core.schema import BOOL, EMPTY, FLOAT, INT, Leaf, Node, STRING, \
+    Schema, SQLType
 from . import nast
+
+#: Core function symbol for each infix arithmetic operator.
+_BINOP_FUNCS = {"+": "add", "-": "sub", "*": "mul", "/": "div"}
+
+#: The inverse map — core symbols the decompiler and pretty-printer
+#: render back as infix operators.
+ARITHMETIC_FUNCS = {name: op for op, name in _BINOP_FUNCS.items()}
+
+#: Operators whose operand order is canonicalized at resolution.
+_COMMUTATIVE_FUNCS = frozenset({"add", "mul"})
 
 
 class ResolutionError(ReproError):
@@ -169,8 +194,13 @@ class Resolver:
 
     def _resolve_select(self, select: nast.NSelect,
                         env: Tuple[Frame, ...]) -> Resolved:
+        if select.having is not None:
+            select = desugar_having(select, self._fresh)
         if select.group_by is not None:
             select = desugar_group_by(select, self._fresh)
+        elif any(isinstance(item.expr, nast.NAggCall)
+                 for item in select.items):
+            select = desugar_scalar_agg(select, self._fresh)
         # FROM clause: compile the items and build the frame.
         compiled_items: List[Resolved] = []
         bindings: List[Binding] = []
@@ -290,6 +320,21 @@ class Resolver:
                 args.append(compiled)
             # Scalar functions are uninterpreted ints by convention.
             return ast.Func(expr.name, tuple(args), INT), INT
+        if isinstance(expr, nast.NBinOp):
+            left, lty = self._resolve_expr(expr.left, env)
+            right, rty = self._resolve_expr(expr.right, env)
+            if lty != rty:
+                raise ResolutionError(
+                    f"arithmetic {expr.op!r} between different types "
+                    f"{lty} and {rty}")
+            if lty not in (INT, FLOAT):
+                raise ResolutionError(
+                    f"arithmetic {expr.op!r} over non-numeric type {lty}")
+            name = _BINOP_FUNCS[expr.op]
+            args = (left, right)
+            if name in _COMMUTATIVE_FUNCS and repr(right) < repr(left):
+                args = (right, left)
+            return ast.Func(name, args, lty), lty
         if isinstance(expr, nast.NAggQuery):
             resolved = self.resolve_query(expr.query, env)
             if not isinstance(resolved.schema, Leaf):
@@ -298,8 +343,9 @@ class Resolver:
             return ast.Agg(expr.name, resolved.query, INT), INT
         if isinstance(expr, nast.NAggCall):
             raise ResolutionError(
-                f"aggregate {expr.name} outside GROUP BY "
-                f"(only grouped aggregation is supported)")
+                f"aggregate {expr.name} may only appear as a top-level "
+                f"SELECT item (scalar aggregation) or under GROUP BY, "
+                f"not nested inside an expression or predicate")
         raise ResolutionError(f"unknown expression node: {expr!r}")
 
     # -- column lookup -------------------------------------------------------------
@@ -344,8 +390,100 @@ class Resolver:
 
 
 # ---------------------------------------------------------------------------
-# GROUP BY desugaring (paper Sec. 4.2) — at the named level
+# GROUP BY / scalar-aggregate / HAVING desugaring (paper Sec. 4.2) — at the
+# named level
 # ---------------------------------------------------------------------------
+
+def _rename_from(select: nast.NSelect, fresh
+                 ) -> Tuple[List[nast.NFromItem], Dict[str, str]]:
+    """Fresh aliases for an inner (per-group) copy of the FROM clause."""
+    rename: Dict[str, str] = {}
+    inner_from = []
+    for item in select.from_items:
+        new_alias = f"{item.alias}${next(fresh)}"
+        rename[item.alias] = new_alias
+        inner_from.append(nast.NFromItem(source=item.source, alias=new_alias))
+    return inner_from, rename
+
+
+def _rename_expr(expr: nast.NExpr, rename: Dict[str, str]) -> nast.NExpr:
+    if isinstance(expr, nast.NColumn):
+        if expr.table is None:
+            # Bare columns inside the subquery bind to the inner copy.
+            return expr
+        return nast.NColumn(rename.get(expr.table, expr.table), expr.column)
+    if isinstance(expr, nast.NFuncCall):
+        return nast.NFuncCall(expr.name, tuple(
+            _rename_expr(a, rename) for a in expr.args))
+    if isinstance(expr, nast.NBinOp):
+        return nast.NBinOp(expr.op, _rename_expr(expr.left, rename),
+                           _rename_expr(expr.right, rename))
+    if isinstance(expr, nast.NAggCall):
+        return nast.NAggCall(expr.name, _rename_expr(expr.arg, rename))
+    if isinstance(expr, nast.NAggQuery):
+        return nast.NAggQuery(expr.name, _rename_query(expr.query, rename))
+    return expr
+
+
+def _rename_pred(pred: nast.NPred, rename: Dict[str, str]) -> nast.NPred:
+    if isinstance(pred, nast.NComparison):
+        return nast.NComparison(pred.op, _rename_expr(pred.left, rename),
+                                _rename_expr(pred.right, rename))
+    if isinstance(pred, nast.NAnd):
+        return nast.NAnd(_rename_pred(pred.left, rename),
+                         _rename_pred(pred.right, rename))
+    if isinstance(pred, nast.NOr):
+        return nast.NOr(_rename_pred(pred.left, rename),
+                        _rename_pred(pred.right, rename))
+    if isinstance(pred, nast.NNot):
+        return nast.NNot(_rename_pred(pred.operand, rename))
+    if isinstance(pred, nast.NExists):
+        # Correlated subqueries see the enclosing aliases, so the
+        # per-group renaming must reach inside them — leaving ``R.a``
+        # untouched here would re-correlate the EXISTS against the
+        # *outer* row instead of the group member.
+        return nast.NExists(_rename_query(pred.query, rename))
+    return pred
+
+
+def _rename_query(query: nast.NQuery, rename: Dict[str, str]) -> nast.NQuery:
+    """Apply an alias renaming throughout a subquery.
+
+    Aliases the subquery redefines in its own FROM clause shadow the
+    enclosing ones, so they drop out of the renaming for that scope's
+    items/WHERE/GROUP BY/HAVING (derived-table sources are still
+    compiled in the enclosing scope and keep the full map).
+    """
+    if isinstance(query, nast.NUnionAll):
+        return nast.NUnionAll(_rename_query(query.left, rename),
+                              _rename_query(query.right, rename))
+    if isinstance(query, nast.NExcept):
+        return nast.NExcept(_rename_query(query.left, rename),
+                            _rename_query(query.right, rename))
+    if isinstance(query, nast.NSelect):
+        from_items = tuple(
+            nast.NFromItem(
+                source=item.source if isinstance(item.source, str)
+                else _rename_query(item.source, rename),
+                alias=item.alias)
+            for item in query.from_items)
+        shadowed = {item.alias for item in query.from_items}
+        inner = {old: new for old, new in rename.items()
+                 if old not in shadowed}
+        return nast.NSelect(
+            distinct=query.distinct,
+            items=tuple(nast.NSelectItem(_rename_expr(item.expr, inner),
+                                         item.alias)
+                        for item in query.items),
+            from_items=from_items,
+            where=(None if query.where is None
+                   else _rename_pred(query.where, inner)),
+            group_by=(None if query.group_by is None
+                      else _rename_expr(query.group_by, inner)),
+            having=(None if query.having is None
+                    else _rename_pred(query.having, inner)))
+    return query
+
 
 def desugar_group_by(select: nast.NSelect, fresh=itertools.count()
                      ) -> nast.NSelect:
@@ -364,37 +502,13 @@ def desugar_group_by(select: nast.NSelect, fresh=itertools.count()
     if not select.items:
         raise ResolutionError("GROUP BY requires an explicit select list")
 
-    # Fresh aliases for the inner (per-group) copy of the FROM clause.
-    rename: Dict[str, str] = {}
-    inner_from = []
-    for item in select.from_items:
-        new_alias = f"{item.alias}${next(fresh)}"
-        rename[item.alias] = new_alias
-        inner_from.append(nast.NFromItem(source=item.source, alias=new_alias))
+    inner_from, rename = _rename_from(select, fresh)
 
     def rn_expr(expr: nast.NExpr) -> nast.NExpr:
-        if isinstance(expr, nast.NColumn):
-            if expr.table is None:
-                # Bare columns inside the subquery bind to the inner copy.
-                return expr
-            return nast.NColumn(rename.get(expr.table, expr.table),
-                                expr.column)
-        if isinstance(expr, nast.NFuncCall):
-            return nast.NFuncCall(expr.name,
-                                  tuple(rn_expr(a) for a in expr.args))
-        return expr
+        return _rename_expr(expr, rename)
 
     def rn_pred(pred: nast.NPred) -> nast.NPred:
-        if isinstance(pred, nast.NComparison):
-            return nast.NComparison(pred.op, rn_expr(pred.left),
-                                    rn_expr(pred.right))
-        if isinstance(pred, nast.NAnd):
-            return nast.NAnd(rn_pred(pred.left), rn_pred(pred.right))
-        if isinstance(pred, nast.NOr):
-            return nast.NOr(rn_pred(pred.left), rn_pred(pred.right))
-        if isinstance(pred, nast.NNot):
-            return nast.NNot(rn_pred(pred.operand))
-        return pred
+        return _rename_pred(pred, rename)
 
     # Qualify both sides of the correlation explicitly: a bare grouping
     # column would otherwise resolve to the inner scope on both sides.
@@ -435,6 +549,155 @@ def desugar_group_by(select: nast.NSelect, fresh=itertools.count()
     return nast.NSelect(distinct=True, items=tuple(items),
                         from_items=select.from_items, where=select.where,
                         group_by=None)
+
+
+def desugar_scalar_agg(select: nast.NSelect, fresh=itertools.count()
+                       ) -> nast.NSelect:
+    """Rewrite ungrouped aggregates as single-group aggregation.
+
+    ``SELECT COUNT(b) FROM R WHERE p`` becomes::
+
+        SELECT DISTINCT COUNT((SELECT R$i.b FROM R AS R$i WHERE p$i))
+        FROM R WHERE p
+
+    — the Sec. 4.2 GROUP BY construction with the whole (filtered) FROM
+    clause as the one group.  The subquery is uncorrelated, so DISTINCT
+    collapses the per-row copies to a single output row; when no row
+    survives ``p`` the result is empty (the paper's NULL-free semantics:
+    no NULL/zero row is invented, matching Cosette rather than the SQL
+    standard).
+    """
+    assert select.group_by is None
+    for item in select.items:
+        if not isinstance(item.expr, nast.NAggCall):
+            raise ResolutionError(
+                "mixing aggregate and non-aggregate select items "
+                "requires GROUP BY")
+
+    inner_from, rename = _rename_from(select, fresh)
+    inner_where = None
+    if select.where is not None:
+        inner_where = _rename_pred(select.where, rename)
+
+    items: List[nast.NSelectItem] = []
+    for item in select.items:
+        agg = item.expr
+        subquery = nast.NSelect(
+            distinct=False,
+            items=(nast.NSelectItem(_rename_expr(agg.arg, rename), None),),
+            from_items=tuple(inner_from),
+            where=inner_where,
+            group_by=None)
+        items.append(nast.NSelectItem(
+            nast.NAggQuery(agg.name, subquery), item.alias))
+
+    return nast.NSelect(distinct=True, items=tuple(items),
+                        from_items=select.from_items, where=select.where,
+                        group_by=None)
+
+
+def desugar_having(select: nast.NSelect, fresh=itertools.count()
+                   ) -> nast.NSelect:
+    """Rewrite HAVING as a filter over the grouped subquery (Sec. 4.2).
+
+    ``SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING h`` becomes::
+
+        SELECT k, s FROM (SELECT k, SUM(b) AS s FROM R GROUP BY k) h$i
+        WHERE h'
+
+    where ``h'`` re-targets every aggregate call and grouping-column
+    reference in ``h`` at the derived table's output columns.  Aggregates
+    mentioned only in HAVING are added to the inner select list under
+    fresh aliases (and projected away by the outer select).  Any other
+    column reference is a resolution error: HAVING sees groups, not rows.
+    """
+    assert select.having is not None
+    if not select.items:
+        raise ResolutionError("HAVING requires an explicit select list")
+    group = select.group_by
+
+    inner_items = list(select.items)
+    names: List[str] = []
+    for index, item in enumerate(inner_items):
+        if item.alias is not None:
+            names.append(item.alias)
+        elif isinstance(item.expr, nast.NColumn):
+            names.append(item.expr.column)
+        else:
+            names.append(f"col{index}")
+    outer_names = list(names)
+    if len(set(names)) != len(names):
+        raise ResolutionError(
+            f"HAVING requires distinct output column names, got {names}")
+    halias = f"h${next(fresh)}"
+
+    def column_for_agg(agg: nast.NAggCall) -> nast.NColumn:
+        for item, name in zip(inner_items, names):
+            if item.expr == agg:
+                return nast.NColumn(halias, name)
+        name = f"agg${next(fresh)}"
+        inner_items.append(nast.NSelectItem(agg, name))
+        names.append(name)
+        return nast.NColumn(halias, name)
+
+    def column_for_group_key(column: nast.NColumn) -> nast.NColumn:
+        for item, name in zip(inner_items, names):
+            if isinstance(item.expr, nast.NColumn) \
+                    and item.expr.column == group.column:
+                return nast.NColumn(halias, name)
+        name = f"grp${next(fresh)}"
+        inner_items.append(nast.NSelectItem(
+            nast.NColumn(group.table, group.column), name))
+        names.append(name)
+        return nast.NColumn(halias, name)
+
+    def rw_expr(expr: nast.NExpr) -> nast.NExpr:
+        if isinstance(expr, nast.NAggCall):
+            return column_for_agg(expr)
+        if isinstance(expr, nast.NColumn):
+            if group is not None and expr.column == group.column \
+                    and (expr.table is None or group.table is None
+                         or expr.table == group.table):
+                return column_for_group_key(expr)
+            where = f"{expr.table}.{expr.column}" if expr.table \
+                else expr.column
+            raise ResolutionError(
+                f"HAVING references non-grouped, non-aggregate column "
+                f"{where!r} (only the GROUP BY column and aggregates may "
+                f"appear in HAVING)")
+        if isinstance(expr, nast.NBinOp):
+            return nast.NBinOp(expr.op, rw_expr(expr.left),
+                               rw_expr(expr.right))
+        if isinstance(expr, nast.NFuncCall):
+            return nast.NFuncCall(expr.name,
+                                  tuple(rw_expr(a) for a in expr.args))
+        return expr
+
+    def rw_pred(pred: nast.NPred) -> nast.NPred:
+        if isinstance(pred, nast.NComparison):
+            return nast.NComparison(pred.op, rw_expr(pred.left),
+                                    rw_expr(pred.right))
+        if isinstance(pred, nast.NAnd):
+            return nast.NAnd(rw_pred(pred.left), rw_pred(pred.right))
+        if isinstance(pred, nast.NOr):
+            return nast.NOr(rw_pred(pred.left), rw_pred(pred.right))
+        if isinstance(pred, nast.NNot):
+            return nast.NNot(rw_pred(pred.operand))
+        if isinstance(pred, nast.NBoolLit):
+            return pred
+        raise ResolutionError(
+            f"unsupported predicate in HAVING: {pred!r}")
+
+    having = rw_pred(select.having)
+    inner = nast.NSelect(distinct=select.distinct, items=tuple(inner_items),
+                         from_items=select.from_items, where=select.where,
+                         group_by=select.group_by, having=None)
+    outer_items = tuple(
+        nast.NSelectItem(nast.NColumn(halias, name), name)
+        for name in outer_names)
+    return nast.NSelect(distinct=False, items=outer_items,
+                        from_items=(nast.NFromItem(inner, halias),),
+                        where=having, group_by=None)
 
 
 # ---------------------------------------------------------------------------

@@ -63,6 +63,9 @@ def _select_to_sql(select: nast.NSelect) -> str:
     if select.group_by is not None:
         parts.append("GROUP BY")
         parts.append(expr_to_sql(select.group_by))
+    if select.having is not None:
+        parts.append("HAVING")
+        parts.append(pred_to_sql(select.having))
     return " ".join(parts)
 
 
@@ -99,6 +102,13 @@ def expr_to_sql(expr: nast.NExpr) -> str:
         if isinstance(value, str):
             return f"'{value}'"
         raise TypeError(f"unrenderable literal {value!r}")
+    if isinstance(expr, nast.NBinOp):
+        # Operands that are themselves infix get parentheses, so the
+        # rendered text re-parses to exactly this tree regardless of
+        # the operators' relative precedence.
+        left = _binop_operand(expr.left)
+        right = _binop_operand(expr.right)
+        return f"{left} {expr.op} {right}"
     if isinstance(expr, nast.NFuncCall):
         args = ", ".join(expr_to_sql(a) for a in expr.args)
         return f"{expr.name}({args})"
@@ -107,6 +117,11 @@ def expr_to_sql(expr: nast.NExpr) -> str:
     if isinstance(expr, nast.NAggQuery):
         return f"{expr.name}(({unparse(expr.query)}))"
     raise TypeError(f"not a named expression: {expr!r}")
+
+
+def _binop_operand(expr: nast.NExpr) -> str:
+    text = expr_to_sql(expr)
+    return f"({text})" if isinstance(expr, nast.NBinOp) else text
 
 
 __all__ = ["expr_to_sql", "pred_to_sql", "unparse"]

@@ -187,3 +187,21 @@ class TestDatabaseHelpers:
         updated = interp.with_relation("R", new_rel)
         assert updated.relation("R") == new_rel
         assert interp.relation("R") != new_rel
+
+
+class TestTotalDivision:
+    """SQL ``/`` maps to the totalized ``div`` symbol: floor division on
+    ints, true division on floats, 0 on zero divisors."""
+
+    def test_int_floor_division(self):
+        from repro.engine.database import DEFAULT_FUNCTIONS
+        div = DEFAULT_FUNCTIONS["div"]
+        assert div(7, 2) == 3
+        assert div(7, 0) == 0
+
+    def test_float_true_division(self):
+        from repro.engine.database import DEFAULT_FUNCTIONS
+        div = DEFAULT_FUNCTIONS["div"]
+        assert div(5.0, 2.0) == 2.5
+        assert div(5, 2.0) == 2.5
+        assert div(5.0, 0.0) == 0

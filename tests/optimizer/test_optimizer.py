@@ -160,3 +160,46 @@ class TestPlanner:
         stats = TableStats.from_database(db)
         result = optimize(resolved.query, stats, certify=False)
         assert result.certified is None
+
+
+class TestConjunctDedup:
+    """Idempotent-conjunct elimination: σ_{b∧b} rewrites to σ_b, the
+    selectivity model stops double-counting the repeated conjunct, and
+    the planner's equal-cost size tie-break makes optimize() pick the
+    dedup'd plan."""
+
+    def test_rewrite_emitted_and_equivalent(self, setup):
+        cat, db = setup
+        resolved = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1 AND eid = 1", cat)
+        candidates = rewrites(resolved.query)
+        dedup = [q for q, rule in candidates if rule == "sel_conj_dedup"]
+        assert dedup
+        assert queries_equivalent(resolved.query, dedup[0])
+
+    def test_nested_duplicates_collapse(self, setup):
+        cat, _ = setup
+        resolved = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1 AND (age = 2 AND eid = 1)",
+            cat)
+        dedup = [q for q, rule in rewrites(resolved.query)
+                 if rule == "sel_conj_dedup"]
+        assert dedup and queries_equivalent(resolved.query, dedup[0])
+
+    def test_selectivity_ignores_repeats(self):
+        from repro.optimizer.cost import _selectivity
+        eq = ast.PredEq(ast.P2E(ast.RIGHT, INT), ast.Const(1, INT))
+        assert _selectivity(ast.PredAnd(eq, eq)) == _selectivity(eq)
+
+    def test_optimize_drops_duplicate_conjunct(self, setup):
+        cat, db = setup
+        resolved = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1 AND eid = 1", cat)
+        stats = TableStats.from_database(db)
+        result = optimize(resolved.query, stats, max_plans=100)
+        assert "sel_conj_dedup" in result.applied_rules
+        assert result.certified is True
+        # The chosen plan has a single conjunct left.
+        from repro.sql.decompile import plan_to_sql
+        sql = plan_to_sql(result.best_plan, cat)
+        assert sql.count("= 1") == 1

@@ -9,7 +9,7 @@ EXTENDED = all_extended_rules()
 
 class TestCorpus:
     def test_count(self):
-        assert len(EXTENDED) == 10
+        assert len(EXTENDED) == 11
 
     def test_all_in_extended_category(self):
         assert all(r.category == "extended" for r in EXTENDED)

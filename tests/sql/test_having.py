@@ -1,0 +1,228 @@
+"""HAVING and scalar aggregates, end to end through the session.
+
+Covers the desugarings of :mod:`repro.sql.resolve` (HAVING as a filter
+over the grouped subquery, ungrouped aggregates as single-group
+aggregation), their concrete evaluation, the disprover on aggregate
+queries, and the resolution errors for the shapes HAVING rejects.
+"""
+
+import pytest
+
+from repro import Session
+from repro.engine.database import Database
+from repro.engine.eval import run_query
+from repro.errors import ResolutionError
+from repro.semiring.semirings import NAT
+from repro.solver.disprover import Bound, disprove
+from repro.sql.resolve import Catalog, compile_sql
+
+
+@pytest.fixture(scope="module")
+def session():
+    with Session.from_tables("R(k:int,a:int,b:int)") as s:
+        yield s
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    from repro.core.schema import INT
+    cat.add_table("R", [("k", INT), ("a", INT), ("b", INT)])
+    return cat
+
+
+@pytest.fixture()
+def db(catalog):
+    database = Database(NAT)
+    database.create_table("R", catalog.schema_of("R"),
+                          [[1, 10, 2], [1, 20, 3], [2, 30, 4]])
+    return database
+
+
+def rows(query, db):
+    return dict(run_query(query, db.interpretation()).items())
+
+
+class TestHavingSemantics:
+    def test_having_on_group_key(self, catalog, db):
+        r = compile_sql(
+            "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING k = 1", catalog)
+        assert rows(r.query, db) == {(1, 5): 1}
+        assert [c for c, _ in r.columns] == ["k", "s"]
+
+    def test_having_on_aggregate(self, catalog, db):
+        r = compile_sql(
+            "SELECT k, COUNT(b) AS n FROM R GROUP BY k HAVING SUM(b) > 4",
+            catalog)
+        assert rows(r.query, db) == {(1, 2): 1}
+
+    def test_having_on_aliased_aggregate_in_list(self, catalog, db):
+        r = compile_sql(
+            "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING SUM(b) = 4",
+            catalog)
+        assert rows(r.query, db) == {(2, 4): 1}
+
+    def test_having_equivalent_to_pushdown(self, session):
+        lhs = session.sql(
+            "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING k = 1")
+        rhs = session.sql(
+            "SELECT k, SUM(b) AS s FROM R WHERE k = 1 GROUP BY k")
+        assert lhs.equivalent_to(rhs).proved
+
+    def test_having_not_equivalent_to_unfiltered(self, session):
+        lhs = session.sql(
+            "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING k = 1")
+        rhs = session.sql("SELECT k, SUM(b) AS s FROM R GROUP BY k")
+        verdict = lhs.equivalent_to(rhs)
+        assert verdict.disproved
+
+
+class TestHavingErrors:
+    def test_ungrouped_column_in_having(self, session):
+        with pytest.raises(ResolutionError,
+                           match="non-grouped, non-aggregate"):
+            session.sql("SELECT a FROM R HAVING a = 1")
+
+    def test_non_group_column_under_group_by(self, session):
+        with pytest.raises(ResolutionError,
+                           match="non-grouped, non-aggregate"):
+            session.sql(
+                "SELECT k, SUM(b) AS s FROM R GROUP BY k HAVING a = 1")
+
+    def test_having_requires_select_list(self, session):
+        with pytest.raises(ResolutionError, match="select list"):
+            session.sql("SELECT * FROM R HAVING TRUE")
+
+
+class TestScalarAggregates:
+    def test_count_resolves_and_evaluates(self, catalog, db):
+        r = compile_sql("SELECT COUNT(b) AS c FROM R", catalog)
+        assert rows(r.query, db) == {3: 1}
+        assert [c for c, _ in r.columns] == ["c"]
+
+    def test_scalar_aggregate_respects_where(self, catalog, db):
+        r = compile_sql("SELECT SUM(b) AS s FROM R WHERE k = 1", catalog)
+        assert rows(r.query, db) == {5: 1}
+
+    def test_empty_input_gives_empty_result(self, catalog, db):
+        # The paper's NULL-free semantics: no zero row is invented.
+        r = compile_sql("SELECT COUNT(b) AS c FROM R WHERE k = 99", catalog)
+        assert rows(r.query, db) == {}
+
+    def test_multiple_scalar_aggregates(self, catalog, db):
+        r = compile_sql("SELECT SUM(b) AS s, COUNT(a) AS n FROM R", catalog)
+        assert rows(r.query, db) == {(9, 3): 1}
+
+    def test_scalar_agg_having(self, catalog, db):
+        kept = compile_sql("SELECT COUNT(b) AS c FROM R HAVING COUNT(b) > 2",
+                           catalog)
+        dropped = compile_sql(
+            "SELECT COUNT(b) AS c FROM R HAVING COUNT(b) > 3", catalog)
+        assert rows(kept.query, db) == {3: 1}
+        assert rows(dropped.query, db) == {}
+
+
+class TestCorrelatedExistsUnderDesugar:
+    """The per-group alias renaming must reach inside EXISTS subqueries;
+    leaving ``R.a`` untouched re-correlates the EXISTS against the outer
+    row and silently miscounts (regression found in review)."""
+
+    @pytest.fixture()
+    def two_tables(self):
+        from repro.core.schema import INT
+        cat = Catalog()
+        cat.add_table("R", [("a", INT), ("b", INT)])
+        cat.add_table("S", [("a", INT)])
+        database = Database(NAT)
+        database.create_table("R", cat.schema_of("R"),
+                              [[1, 10], [2, 20], [3, 30]])
+        database.create_table("S", cat.schema_of("S"), [[1]])
+        return cat, database
+
+    def test_scalar_agg_with_exists_filter(self, two_tables):
+        cat, database = two_tables
+        r = compile_sql(
+            "SELECT COUNT(b) AS c FROM R "
+            "WHERE EXISTS (SELECT a FROM S WHERE S.a = R.a)", cat)
+        assert rows(r.query, database) == {1: 1}
+
+    def test_group_by_with_exists_filter(self, two_tables):
+        cat, database = two_tables
+        r = compile_sql(
+            "SELECT a, COUNT(b) AS c FROM R "
+            "WHERE EXISTS (SELECT a FROM S WHERE S.a = R.a) GROUP BY a",
+            cat)
+        assert rows(r.query, database) == {(1, 1): 1}
+
+    def test_shadowed_alias_not_renamed(self, two_tables):
+        # The EXISTS subquery redefines alias R; its R.b must bind to
+        # its own FROM item, not get rewritten to the per-group copy.
+        cat, database = two_tables
+        r = compile_sql(
+            "SELECT COUNT(b) AS c FROM R "
+            "WHERE EXISTS (SELECT b FROM R WHERE R.b = 10)", cat)
+        assert rows(r.query, database) == {3: 1}
+
+
+class TestDisproverOnAggregates:
+    """The disprover's instance evaluator handles the new aggregate
+    forms: it separates genuinely different aggregate queries and
+    exhausts the bound on equivalent ones."""
+
+    def test_separates_sum_from_count(self, session):
+        q1 = session.sql("SELECT SUM(b) AS v FROM R")
+        q2 = session.sql("SELECT COUNT(b) AS v FROM R")
+        result = q1.disprove(q2, bound=Bound(max_rows=1,
+                                             max_multiplicity=2))
+        assert result.found
+
+    def test_exhausts_on_commuted_arithmetic(self, session):
+        q1 = session.sql("SELECT a + b AS c FROM R")
+        q2 = session.sql("SELECT b + a AS c FROM R")
+        result = q1.disprove(q2, bound=Bound(max_rows=1,
+                                             max_multiplicity=1))
+        assert not result.found
+        assert result.exhausted
+
+    def test_uninterpreted_function_abstains(self, session):
+        # A parseable query with a symbol the evaluator cannot interpret
+        # must yield UNKNOWN, not crash the disprover tier (regression:
+        # this used to escape as a raw KeyError).
+        from repro.solver.verdict import Status
+        verdict = session.check("SELECT f(a) AS c FROM R",
+                                "SELECT b AS c FROM R")
+        assert verdict.status is Status.UNKNOWN
+
+    def test_division_by_zero_is_total(self, catalog):
+        # Domains include 0; SQL ``/`` maps to the totalized ``div``.
+        r1 = compile_sql("SELECT a / b AS c FROM R", catalog)
+        r2 = compile_sql("SELECT a / b AS c FROM R WHERE b = b", catalog)
+        result = disprove(r1.query, r2.query,
+                          bound=Bound(max_rows=1, max_multiplicity=1))
+        assert not result.found
+        assert result.exhausted
+
+
+class TestExpressionSelectLists:
+    def test_commuted_sum_proves(self, session):
+        assert session.check("SELECT a+b AS c FROM R",
+                             "SELECT b+a AS c FROM R").proved
+
+    def test_commuted_product_proves(self, session):
+        assert session.check("SELECT a*b AS c FROM R WHERE a*b = 4",
+                             "SELECT b*a AS c FROM R WHERE b*a = 4").proved
+
+    def test_subtraction_does_not_commute(self, session):
+        verdict = session.check("SELECT a-b AS c FROM R",
+                                "SELECT b-a AS c FROM R")
+        assert verdict.disproved
+
+    def test_arithmetic_in_predicates(self, session):
+        assert session.check("SELECT a FROM R WHERE a + 1 = b",
+                             "SELECT a FROM R WHERE 1 + a = b").proved
+
+    def test_type_mismatch_rejected(self, session):
+        with pytest.raises(ResolutionError, match="different types"):
+            session.sql("SELECT a + 'x' FROM R")
+        with pytest.raises(ResolutionError, match="non-numeric"):
+            session.sql("SELECT 'x' + 'y' FROM R")

@@ -118,3 +118,62 @@ class TestErrors:
     def test_rejected(self, bad):
         with pytest.raises(ParseError):
             parse(bad)
+
+
+class TestGeneralizedGrammar:
+    """PR 4 surface forms: arithmetic, HAVING, optional AS."""
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT a + b * 2 FROM R")
+        expr = q.items[0].expr
+        assert isinstance(expr, nast.NBinOp) and expr.op == "+"
+        assert isinstance(expr.right, nast.NBinOp) and expr.right.op == "*"
+
+    def test_arithmetic_left_associativity(self):
+        q = parse("SELECT a - b - 1 FROM R")
+        expr = q.items[0].expr
+        assert expr.op == "-" and isinstance(expr.left, nast.NBinOp)
+
+    def test_arithmetic_in_comparison(self):
+        q = parse("SELECT a FROM R WHERE a + 1 = b / 2")
+        pred = q.where
+        assert isinstance(pred.left, nast.NBinOp)
+        assert isinstance(pred.right, nast.NBinOp)
+
+    def test_parenthesized_expression_comparison(self):
+        q = parse("SELECT a FROM R WHERE (a + 1) * 2 = b")
+        assert isinstance(q.where.left, nast.NBinOp)
+        assert q.where.left.op == "*"
+
+    def test_having_parses(self):
+        q = parse("SELECT k, SUM(b) FROM R GROUP BY k HAVING SUM(b) > 1")
+        assert isinstance(q.having, nast.NComparison)
+
+    def test_having_without_group_by_parses(self):
+        # Resolution rejects it with a clear error; the *parser* accepts
+        # it (regression: this used to die as "unexpected trailing
+        # input").
+        q = parse("SELECT a FROM R HAVING a = 1")
+        assert q.group_by is None and q.having is not None
+
+    def test_derived_table_alias_without_as(self):
+        q = parse("SELECT DISTINCT a FROM (SELECT a FROM R) t")
+        assert q.from_items[0].alias == "t"
+
+    def test_derived_table_still_requires_alias(self):
+        with pytest.raises(ParseError, match="requires an alias"):
+            parse("SELECT a FROM (SELECT a FROM R)")
+
+    def test_aggregate_over_subquery(self):
+        q = parse("SELECT COUNT((SELECT a FROM R)) FROM R")
+        assert isinstance(q.items[0].expr, nast.NAggQuery)
+
+    def test_count_of_parenthesized_expression(self):
+        q = parse("SELECT COUNT((a)) FROM R")
+        call = q.items[0].expr
+        assert isinstance(call, nast.NAggCall)
+        assert call.arg == nast.NColumn(table=None, column="a")
+
+    def test_aggregate_of_expression(self):
+        q = parse("SELECT SUM(a + b) FROM R GROUP BY k")
+        assert isinstance(q.items[0].expr.arg, nast.NBinOp)

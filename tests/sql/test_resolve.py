@@ -159,9 +159,19 @@ class TestCompoundAndGroupBy:
             compile_sql("SELECT sal, SUM(eid) FROM Emp GROUP BY did",
                         catalog)
 
-    def test_aggregate_outside_group_by_rejected(self, catalog):
+    def test_scalar_aggregate_resolves(self, catalog, db):
+        # Ungrouped aggregates are single-group aggregation (Sec. 4.2
+        # with the whole table as the one group).
+        r = compile_sql("SELECT SUM(sal) FROM Emp", catalog)
+        assert rows(r.query, db) == {450: 1}
+
+    def test_scalar_aggregate_mixed_items_rejected(self, catalog):
         with pytest.raises(ResolutionError):
-            compile_sql("SELECT SUM(sal) FROM Emp", catalog)
+            compile_sql("SELECT sal, SUM(sal) FROM Emp", catalog)
+
+    def test_nested_aggregate_rejected(self, catalog):
+        with pytest.raises(ResolutionError):
+            compile_sql("SELECT SUM(sal) + 1 FROM Emp", catalog)
 
 
 class TestEndToEndProofs:
