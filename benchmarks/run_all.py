@@ -1,14 +1,16 @@
 #!/usr/bin/env python
-"""Run every benchmark and write machine-readable results (BENCH_pr3.json).
+"""Run every benchmark and write machine-readable results (BENCH_pr5.json).
 
 Two layers:
 
-* **Tracked workloads** — deterministic, in-process timings of the two
+* **Tracked workloads** — deterministic, in-process runs of the
   kernel-critical workloads (the full prover-scaling grid and the
   all-pairs session workload), measured from cold kernel caches and
   compared against the pre-kernel baseline recorded in
-  :data:`PRE_KERNEL_BASELINE`.  These are the numbers the perf
-  trajectory is judged on: the interned-kernel PR targets ≥3× on both.
+  :data:`PRE_KERNEL_BASELINE` (the interned-kernel PR targets ≥3× on
+  both), plus the optimizer's saturation-vs-BFS comparison at equal
+  node budget (the equality-saturation PR requires ≥2× distinct plans,
+  equal-or-cheaper extracted plans, and zero certification failures).
 * **Sweep** — every ``bench_*.py`` in this directory, run in smoke form
   (scripts with ``--smoke``, pytest files with ``--benchmark-disable``)
   so CI can detect a benchmark that stops even importing.  Non-gating:
@@ -34,7 +36,7 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr3.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr5.json"
 
 sys.path.insert(0, str(BENCH_DIR))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -145,6 +147,49 @@ def run_session_all_pairs(smoke):
 
 
 # ---------------------------------------------------------------------------
+# Tracked workload C: optimizer equality saturation vs BFS
+# ---------------------------------------------------------------------------
+
+#: The equality-saturation PR's gates, checked in both modes (the
+#: workload is deterministic and takes ~1 s).
+SATURATION_PLAN_RATIO_TARGET = 2.0
+
+
+def run_saturation_vs_bfs():
+    import bench_optimizer
+
+    started = time.perf_counter()
+    comparison = bench_optimizer.saturation_vs_bfs()
+    comparison["wall_seconds"] = time.perf_counter() - started
+    return comparison
+
+
+def check_saturation_vs_bfs(comparison):
+    failures = []
+    if comparison["plan_ratio"] < SATURATION_PLAN_RATIO_TARGET:
+        failures.append(
+            f"optimizer_saturation_vs_bfs: plan ratio "
+            f"{comparison['plan_ratio']:.2f}x below the "
+            f"{SATURATION_PLAN_RATIO_TARGET:.0f}x target")
+    if not comparison["all_equal_or_cheaper"]:
+        failures.append("optimizer_saturation_vs_bfs: saturation chose a "
+                        "costlier plan than BFS on some workload")
+    if comparison["certification_failures"]:
+        failures.append(
+            f"optimizer_saturation_vs_bfs: "
+            f"{comparison['certification_failures']} certification "
+            f"failure(s)")
+    print(f"  {'saturation_vs_bfs':<22} "
+          f"{comparison['wall_seconds'] * 1e3:9.1f} ms   "
+          f"plans {comparison['total_sat_plans']} vs "
+          f"{comparison['total_bfs_plans']} "
+          f"({comparison['plan_ratio']:.1f}x), "
+          f"{comparison['certification_failures']} certification "
+          f"failure(s)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # Sweep: every bench_*.py in smoke form
 # ---------------------------------------------------------------------------
 
@@ -200,11 +245,16 @@ def main(argv=None):
     tracked = {
         "prover_scaling": run_prover_scaling(args.smoke),
         "session_all_pairs": run_session_all_pairs(args.smoke),
+        "optimizer_saturation_vs_bfs": run_saturation_vs_bfs(),
     }
 
     failures = []
     speedups = {}
+    failures.extend(check_saturation_vs_bfs(
+        tracked["optimizer_saturation_vs_bfs"]))
     for name, result in tracked.items():
+        if name not in PRE_KERNEL_BASELINE:
+            continue
         wall = result["wall_seconds"]
         line = f"  {name:<22} {wall * 1e3:9.1f} ms"
         if not args.smoke:

@@ -10,6 +10,12 @@ Usage (``python -m repro <command>``):
   the caching, multiprocessing verification service,
 * ``disprove RULE | SQL1 SQL2`` — bounded-exhaustive counterexample
   search only,
+* ``optimize --table 'R(a:int,b:int)' SQL`` — certified plan search
+  (equality saturation by default, ``--strategy bfs`` for the Volcano
+  fallback): prints the winning rewrite chain, the cost tree, and the
+  prover certificate,
+* ``explain --table 'R(a:int,b:int)' SQL`` — the EXPLAIN cost tree of a
+  query as written (no rewriting),
 * ``prove RULE`` — run one library rule through the pipeline (by name),
 * ``prove-all`` — verify the Figure 8 corpus through the batch service,
 * ``rules`` — list every rule with category and status metadata.
@@ -28,6 +34,7 @@ import sys
 from typing import List, Optional
 
 from .errors import ReproError
+from .optimizer import STRATEGIES, TableStats
 from .rules import (
     CATEGORY_ORDER,
     all_buggy_rules,
@@ -189,6 +196,63 @@ def cmd_batch_check(args: argparse.Namespace) -> int:
         return 0 if all(v.proved for v in report.verdicts.values()) else 1
 
 
+def _stats_from_args(args: argparse.Namespace) -> TableStats:
+    """``--rows R=100`` declarations → the cost model's TableStats."""
+    cardinalities = {}
+    for spec in (getattr(args, "rows", None) or []):
+        name, sep, value = spec.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise CLIError(f"malformed --rows {spec!r} "
+                           f"(expected TABLE=CARDINALITY)")
+        try:
+            cardinalities[name] = float(value)
+        except ValueError as exc:
+            raise CLIError(f"malformed --rows {spec!r}: {exc}") from exc
+        # NaN/inf would poison every cost comparison downstream (all
+        # NaN comparisons are False, so Pareto pruning picks garbage).
+        if not (0 <= cardinalities[name] < float("inf")):
+            raise CLIError(f"--rows {spec!r}: cardinality must be a "
+                           f"finite number >= 0")
+    return TableStats(cardinalities)
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    if args.max_plans < 1:
+        raise CLIError(f"--max-plans must be at least 1, got "
+                       f"{args.max_plans}")
+    for knob in ("iterations", "node_budget"):
+        value = getattr(args, knob)
+        if value is not None and value < 1:
+            raise CLIError(f"--{knob.replace('_', '-')} must be at least 1, "
+                           f"got {value}")
+    with _session_from_args(args) as session:
+        handle = _handle(session, args.sql)
+        try:
+            plan = handle.optimize(
+                _stats_from_args(args), strategy=args.strategy,
+                max_plans=args.max_plans, iterations=args.iterations,
+                node_budget=args.node_budget, certify=not args.no_certify)
+        except ReproError as exc:
+            raise CLIError(str(exc)) from exc
+        print(plan.explain())
+        if args.sql_out:
+            try:
+                print(f"\noptimized SQL      : {plan.sql()}")
+            except ReproError as exc:
+                print(f"\noptimized SQL      : (not renderable: {exc})")
+        # 0 = certified (or certification skipped on request); 1 = the
+        # belt-and-braces proof failed, which should never happen.
+        return 0 if plan.certified is not False else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    with _session_from_args(args) as session:
+        handle = _handle(session, args.sql)
+        print(handle.explain(_stats_from_args(args)))
+        return 0
+
+
 def cmd_disprove(args: argparse.Namespace) -> int:
     bound = _bound_from_args(args)
     if len(args.target) == 1:
@@ -327,6 +391,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_option(batch)
     _add_bound_options(batch)
     batch.set_defaults(fn=cmd_batch_check)
+
+    optimize_p = sub.add_parser(
+        "optimize", help="certified plan search: saturate the rewrite "
+                         "space, extract the cheapest plan, prove it "
+                         "equivalent")
+    optimize_p.add_argument("sql", help="the SQL query to optimize")
+    optimize_p.add_argument("--table", action="append", metavar="SPEC",
+                            help="table declaration, e.g. 'R(a:int,b:int)' "
+                                 "(repeatable)")
+    optimize_p.add_argument("--strategy", choices=STRATEGIES,
+                            default="saturation",
+                            help="plan search strategy (default: "
+                                 "saturation; bfs is the Volcano fallback)")
+    optimize_p.add_argument("--max-plans", type=int, default=400,
+                            metavar="N",
+                            help="exploration budget: BFS plan cap and "
+                                 "default saturation e-node budget "
+                                 "(default 400)")
+    optimize_p.add_argument("--iterations", type=int, default=None,
+                            metavar="N",
+                            help="saturation iteration budget (rewrite "
+                                 "depth; default 12)")
+    optimize_p.add_argument("--node-budget", type=int, default=None,
+                            metavar="N",
+                            help="saturation e-node budget (default: "
+                                 "--max-plans)")
+    optimize_p.add_argument("--rows", action="append", metavar="TABLE=N",
+                            help="base-table cardinality for the cost "
+                                 "model (repeatable; default 100)")
+    optimize_p.add_argument("--no-certify", action="store_true",
+                            help="skip the end-to-end proof of the chosen "
+                                 "plan")
+    optimize_p.add_argument("--sql-out", action="store_true",
+                            help="also print the chosen plan decompiled "
+                                 "back to SQL")
+    _add_cache_option(optimize_p)
+    _add_bound_options(optimize_p)
+    optimize_p.set_defaults(fn=cmd_optimize)
+
+    explain_p = sub.add_parser(
+        "explain", help="EXPLAIN cost tree of a query as written")
+    explain_p.add_argument("sql", help="the SQL query to explain")
+    explain_p.add_argument("--table", action="append", metavar="SPEC",
+                           help="table declaration (repeatable)")
+    explain_p.add_argument("--rows", action="append", metavar="TABLE=N",
+                           help="base-table cardinality for the cost "
+                                "model (repeatable; default 100)")
+    _add_cache_option(explain_p)
+    _add_bound_options(explain_p)
+    explain_p.set_defaults(fn=cmd_explain)
 
     disprove_p = sub.add_parser(
         "disprove", help="bounded-exhaustive counterexample search "

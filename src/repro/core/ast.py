@@ -14,7 +14,13 @@ variable, :class:`PredVar`, :class:`ExprVar`, :class:`PVar`) carry explicit
 schema annotations; the explicit casts ``CASTPRED`` / ``CASTEXPR`` re-scope a
 metavariable into a larger context exactly as in paper Sec. 3.3.
 
-All nodes are frozen dataclasses — hashable, comparable, and safe to share.
+All nodes are frozen dataclasses — hashable, comparable, and safe to share
+— and, like the UniNomial kernel, **hash-consed** through
+:func:`repro.core.intern.interned`: structurally equal constructions
+return the *same* object, so structural equality coincides with pointer
+equality on canonical nodes and ``__hash__`` is computed once per node.
+The equality-saturation optimizer keys its e-graph hashcons and its
+term→e-class memo on these canonical identities.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple as PyTuple
 
+from .intern import interned
 from .schema import Schema, SQLType
 
 
@@ -53,6 +60,7 @@ class Projection:
 # Queries
 # ---------------------------------------------------------------------------
 
+@interned
 @dataclass(frozen=True)
 class Table(Query):
     """A base relation — either a concrete table or a relation metavariable.
@@ -66,6 +74,7 @@ class Table(Query):
     schema: Schema
 
 
+@interned
 @dataclass(frozen=True)
 class Select(Query):
     """``SELECT p q`` — apply projection ``p`` to each tuple of ``q``.
@@ -78,6 +87,7 @@ class Select(Query):
     query: Query
 
 
+@interned
 @dataclass(frozen=True)
 class Product(Query):
     """``FROM q1, q2`` — cross product; output schema ``node σ1 σ2``."""
@@ -86,6 +96,7 @@ class Product(Query):
     right: Query
 
 
+@interned
 @dataclass(frozen=True)
 class Where(Query):
     """``q WHERE b`` — filter by predicate ``b``.
@@ -98,6 +109,7 @@ class Where(Query):
     predicate: Predicate
 
 
+@interned
 @dataclass(frozen=True)
 class UnionAll(Query):
     """``q1 UNION ALL q2`` — bag union (pointwise ``+``)."""
@@ -106,6 +118,7 @@ class UnionAll(Query):
     right: Query
 
 
+@interned
 @dataclass(frozen=True)
 class Except(Query):
     """``q1 EXCEPT q2`` — tuples of q1 that do not occur in q2 at all."""
@@ -114,6 +127,7 @@ class Except(Query):
     right: Query
 
 
+@interned
 @dataclass(frozen=True)
 class Distinct(Query):
     """``DISTINCT q`` — duplicate elimination (``‖·‖``)."""
@@ -135,6 +149,7 @@ def from_clauses(*queries: Query) -> Query:
 # Predicates
 # ---------------------------------------------------------------------------
 
+@interned
 @dataclass(frozen=True)
 class PredEq(Predicate):
     """``e1 = e2`` — equality of two scalar expressions."""
@@ -143,6 +158,7 @@ class PredEq(Predicate):
     right: Expression
 
 
+@interned
 @dataclass(frozen=True)
 class PredAnd(Predicate):
     """``b1 AND b2`` (product of propositions)."""
@@ -151,6 +167,7 @@ class PredAnd(Predicate):
     right: Predicate
 
 
+@interned
 @dataclass(frozen=True)
 class PredOr(Predicate):
     """``b1 OR b2`` (squashed sum of propositions)."""
@@ -159,6 +176,7 @@ class PredOr(Predicate):
     right: Predicate
 
 
+@interned
 @dataclass(frozen=True)
 class PredNot(Predicate):
     """``NOT b`` (``b → 0``)."""
@@ -166,16 +184,19 @@ class PredNot(Predicate):
     operand: Predicate
 
 
+@interned
 @dataclass(frozen=True)
 class PredTrue(Predicate):
     """The always-true predicate."""
 
 
+@interned
 @dataclass(frozen=True)
 class PredFalse(Predicate):
     """The always-false predicate."""
 
 
+@interned
 @dataclass(frozen=True)
 class Exists(Predicate):
     """``EXISTS q`` — the (squashed) existence of a tuple in ``q``.
@@ -187,6 +208,7 @@ class Exists(Predicate):
     query: Query
 
 
+@interned
 @dataclass(frozen=True)
 class CastPred(Predicate):
     """``CASTPRED p b`` — evaluate ``b`` in the context reached by ``p``.
@@ -199,6 +221,7 @@ class CastPred(Predicate):
     predicate: Predicate
 
 
+@interned
 @dataclass(frozen=True)
 class PredVar(Predicate):
     """A predicate metavariable ranging over all predicates on ``schema``."""
@@ -207,6 +230,7 @@ class PredVar(Predicate):
     schema: Schema
 
 
+@interned
 @dataclass(frozen=True)
 class PredFunc(Predicate):
     """An uninterpreted predicate symbol applied to scalar expressions.
@@ -224,6 +248,7 @@ class PredFunc(Predicate):
 # Expressions
 # ---------------------------------------------------------------------------
 
+@interned
 @dataclass(frozen=True)
 class P2E(Expression):
     """Convert a projection onto a leaf into a scalar expression."""
@@ -232,6 +257,7 @@ class P2E(Expression):
     ty: SQLType
 
 
+@interned
 @dataclass(frozen=True)
 class Const(Expression):
     """A literal constant (a nullary uninterpreted function in the paper)."""
@@ -240,6 +266,7 @@ class Const(Expression):
     ty: SQLType
 
 
+@interned
 @dataclass(frozen=True)
 class Func(Expression):
     """An uninterpreted scalar function ``f(e1, ..., en)``."""
@@ -249,6 +276,7 @@ class Func(Expression):
     ty: SQLType
 
 
+@interned
 @dataclass(frozen=True)
 class Agg(Expression):
     """``agg(q)`` — an aggregate applied to a single-column query.
@@ -263,6 +291,7 @@ class Agg(Expression):
     ty: SQLType
 
 
+@interned
 @dataclass(frozen=True)
 class CastExpr(Expression):
     """``CASTEXPR p e`` — evaluate ``e`` in the context reached by ``p``."""
@@ -271,6 +300,7 @@ class CastExpr(Expression):
     expression: Expression
 
 
+@interned
 @dataclass(frozen=True)
 class ExprVar(Expression):
     """An expression metavariable over ``schema``, of result type ``ty``."""
@@ -284,26 +314,31 @@ class ExprVar(Expression):
 # Projections
 # ---------------------------------------------------------------------------
 
+@interned
 @dataclass(frozen=True)
 class Star(Projection):
     """``*`` — the identity projection."""
 
 
+@interned
 @dataclass(frozen=True)
 class LeftP(Projection):
     """``Left`` — project to the left subtree of a ``node`` schema."""
 
 
+@interned
 @dataclass(frozen=True)
 class RightP(Projection):
     """``Right`` — project to the right subtree of a ``node`` schema."""
 
 
+@interned
 @dataclass(frozen=True)
 class EmptyP(Projection):
     """``Empty`` — project every tuple to the unit tuple."""
 
 
+@interned
 @dataclass(frozen=True)
 class Compose(Projection):
     """``p1 . p2`` — apply ``p1`` first, then ``p2``."""
@@ -312,6 +347,7 @@ class Compose(Projection):
     second: Projection
 
 
+@interned
 @dataclass(frozen=True)
 class Duplicate(Projection):
     """``p1 , p2`` — apply both to the input and pair the results."""
@@ -320,6 +356,7 @@ class Duplicate(Projection):
     right: Projection
 
 
+@interned
 @dataclass(frozen=True)
 class E2P(Projection):
     """Convert a scalar expression into a single-attribute projection."""
@@ -328,6 +365,7 @@ class E2P(Projection):
     ty: SQLType
 
 
+@interned
 @dataclass(frozen=True)
 class PVar(Projection):
     """A projection metavariable: "some attribute path" of a generic schema.

@@ -1,29 +1,60 @@
-"""Certified query optimizer: rewriter, cost model, planner."""
+"""Certified query optimizer: e-graph, saturation, rewriter, cost, planner."""
 
-from .cost import Estimate, TableStats, estimate, plan_cost
-from .explain import explain
-from .planner import PlanningResult, optimize
+from .cost import Estimate, TableStats, compose, estimate, plan_cost, plan_size
+from .egraph import EGraph, ENode
+from .explain import explain, explain_result
+from .extract import (
+    Candidate,
+    ExtractionResult,
+    count_plans,
+    extract_best,
+    rule_chain,
+)
+from .planner import PLAN_COUNT_LIMIT, STRATEGIES, PlanningResult, optimize
 from .rewriter import (
     TRANSFORMATIONS,
     CertifiedCandidate,
     certified_rewrites,
+    flatten_conjuncts,
+    predicate_paths,
     proj_steps,
+    rewrite_predicate_paths,
     rewrites,
     steps_to_proj,
 )
+from .saturate import ERULES, ERule, SaturationBudget, SaturationStats, saturate
 
 __all__ = [
+    "Candidate",
     "CertifiedCandidate",
+    "EGraph",
+    "ENode",
+    "ERULES",
+    "ERule",
     "Estimate",
+    "ExtractionResult",
     "PlanningResult",
+    "STRATEGIES",
+    "SaturationBudget",
+    "SaturationStats",
     "TRANSFORMATIONS",
     "TableStats",
     "certified_rewrites",
+    "compose",
+    "count_plans",
     "estimate",
     "explain",
+    "explain_result",
+    "extract_best",
+    "flatten_conjuncts",
     "optimize",
     "plan_cost",
+    "plan_size",
+    "predicate_paths",
     "proj_steps",
+    "rewrite_predicate_paths",
     "rewrites",
+    "rule_chain",
+    "saturate",
     "steps_to_proj",
 ]

@@ -12,6 +12,7 @@ and do not need to be for the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as _dataclass_fields
 from typing import Dict
 
 from ..core import ast
@@ -47,40 +48,95 @@ class Estimate:
     cost: float
 
 
-def estimate(query: ast.Query, stats: TableStats) -> Estimate:
-    """Bottom-up cardinality/cost estimation."""
-    if isinstance(query, ast.Table):
-        card = stats.cardinality(query.name)
+def compose(op: type, label: tuple, child_estimates: tuple,
+            stats: TableStats) -> Estimate:
+    """One operator's estimate from its children's estimates.
+
+    This is the cost model's compositional kernel, shared by the
+    tree-walking :func:`estimate` and the e-graph extractor
+    (:mod:`repro.optimizer.extract`), which evaluates it per e-node over
+    the best estimates of the child e-classes.  ``op`` is the AST class
+    and ``label`` its non-Query field values in dataclass order (see
+    ``repro.optimizer.egraph.LABEL_FIELDS``).
+
+    Cost is cumulative and non-negative, so an operator never costs less
+    than any child — together with the strictly increasing syntactic
+    size this makes cost-based extraction well-founded even on cyclic
+    e-graphs.
+    """
+    if op is ast.Table:
+        card = stats.cardinality(label[0])
         return Estimate(card, card)
-    if isinstance(query, ast.Select):
-        inner = estimate(query.query, stats)
+    if op is ast.Select:
+        (inner,) = child_estimates
         return Estimate(inner.cardinality, inner.cost + inner.cardinality)
-    if isinstance(query, ast.Product):
-        left = estimate(query.left, stats)
-        right = estimate(query.right, stats)
+    if op is ast.Product:
+        left, right = child_estimates
         out = left.cardinality * right.cardinality
         return Estimate(out, left.cost + right.cost + out)
-    if isinstance(query, ast.Where):
-        inner = estimate(query.query, stats)
-        sel = _selectivity(query.predicate)
+    if op is ast.Where:
+        (inner,) = child_estimates
+        sel = _selectivity(label[0])
         return Estimate(inner.cardinality * sel,
                         inner.cost + inner.cardinality)
-    if isinstance(query, ast.UnionAll):
-        left = estimate(query.left, stats)
-        right = estimate(query.right, stats)
+    if op is ast.UnionAll:
+        left, right = child_estimates
         out = left.cardinality + right.cardinality
         return Estimate(out, left.cost + right.cost + out)
-    if isinstance(query, ast.Except):
-        left = estimate(query.left, stats)
-        right = estimate(query.right, stats)
+    if op is ast.Except:
+        left, right = child_estimates
         return Estimate(left.cardinality,
                         left.cost + right.cost
                         + left.cardinality + right.cardinality)
-    if isinstance(query, ast.Distinct):
-        inner = estimate(query.query, stats)
+    if op is ast.Distinct:
+        (inner,) = child_estimates
         return Estimate(inner.cardinality * DISTINCT_RATIO,
                         inner.cost + inner.cardinality)
+    raise TypeError(f"cannot estimate query operator {op.__name__}")
+
+
+def estimate(query: ast.Query, stats: TableStats) -> Estimate:
+    """Bottom-up cardinality/cost estimation."""
+    if isinstance(query, ast.Table):
+        return compose(ast.Table, (query.name, query.schema), (), stats)
+    if isinstance(query, ast.Select):
+        return compose(ast.Select, (query.projection,),
+                       (estimate(query.query, stats),), stats)
+    if isinstance(query, ast.Product):
+        return compose(ast.Product, (),
+                       (estimate(query.left, stats),
+                        estimate(query.right, stats)), stats)
+    if isinstance(query, ast.Where):
+        return compose(ast.Where, (query.predicate,),
+                       (estimate(query.query, stats),), stats)
+    if isinstance(query, ast.UnionAll):
+        return compose(ast.UnionAll, (),
+                       (estimate(query.left, stats),
+                        estimate(query.right, stats)), stats)
+    if isinstance(query, ast.Except):
+        return compose(ast.Except, (),
+                       (estimate(query.left, stats),
+                        estimate(query.right, stats)), stats)
+    if isinstance(query, ast.Distinct):
+        return compose(ast.Distinct, (),
+                       (estimate(query.query, stats),), stats)
     raise TypeError(f"cannot estimate query node {query!r}")
+
+
+def plan_size(node: object, _seen_types=(ast.Query, ast.Predicate,
+                                         ast.Expression, ast.Projection)
+              ) -> int:
+    """Node count of a plan tree (queries, predicates, expressions,
+    projections) — the tie-break among equal-cost plans, for both the
+    BFS planner and the e-graph extractor."""
+    size = 1
+    for field_ in _dataclass_fields(node):
+        value = getattr(node, field_.name)
+        children = value if isinstance(value, tuple) else (value,)
+        for child in children:
+            if isinstance(child, _seen_types):
+                size += plan_size(child)
+    return size
 
 
 def _selectivity(pred: ast.Predicate) -> float:

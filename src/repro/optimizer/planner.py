@@ -1,14 +1,27 @@
 """Cost-based plan search over certified rewrites.
 
-A small Exodus/Volcano-style planner (the lineage the paper reviews in
-Sec. 6.1): breadth-first exploration of the rewrite space, cost-based plan
-selection, and — the point of the whole exercise — *certification* of the
-chosen plan against the original query using the equivalence prover.
+One ``optimize()`` front door, two search strategies:
 
-Because every transformation in :mod:`repro.optimizer.rewriter` is an
-instance of a rule proved sound by the engine, certification should never
+* ``strategy="saturation"`` (the default) — equality saturation: insert
+  the plan into an e-graph over the interned AST
+  (:mod:`repro.optimizer.egraph`), run the certified rule suite at every
+  e-class to fixpoint or budget (:mod:`repro.optimizer.saturate`), then
+  extract the cheapest representable tree with the Pareto extractor
+  (:mod:`repro.optimizer.extract`).  Because e-classes deduplicate the
+  plan space, saturation explores strictly more distinct plans than BFS
+  at equal node budget, and deep rule chains (pushdown → dedup →
+  pushdown …) that breadth-first search misses under its cap become
+  reachable.
+* ``strategy="bfs"`` — the historical Exodus/Volcano-style fallback (the
+  lineage the paper reviews in Sec. 6.1): breadth-first exploration of
+  the term rewrite space under a ``max_plans`` cap.
+
+Both strategies end the same way — the point of the whole exercise —
+with *certification* of the chosen plan against the original query
+through the verification pipeline.  Every transformation is an instance
+of a rule proved sound by the engine, so certification should never
 fail; it is belt-and-braces, and the test suite asserts it holds on a
-corpus of optimizer workloads.
+corpus of optimizer workloads for both strategies.
 """
 
 from __future__ import annotations
@@ -16,68 +29,144 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
-from dataclasses import fields as dataclass_fields
-
 from ..core import ast
-from .cost import TableStats, plan_cost
+from .cost import TableStats, plan_cost, plan_size
+from .egraph import EGraph
+from .extract import PLAN_COUNT_LIMIT, count_plans, extract_best
 from .rewriter import rewrites
+from .saturate import SaturationBudget, SaturationStats, saturate
+
+#: Strategy names accepted by :func:`optimize`.
+STRATEGIES = ("saturation", "bfs")
 
 
-def _plan_size(node: object, _seen_types=(ast.Query, ast.Predicate,
-                                          ast.Expression, ast.Projection)
-               ) -> int:
-    """Node count of a plan tree (queries, predicates, expressions,
-    projections) — the planner's tie-break among equal-cost plans."""
-    size = 1
-    for field in dataclass_fields(node):
-        value = getattr(node, field.name)
-        children = value if isinstance(value, tuple) else (value,)
-        for child in children:
-            if isinstance(child, _seen_types):
-                size += _plan_size(child)
-    return size
+def _plan_size(node: object) -> int:
+    """Back-compat alias; the metric now lives in :mod:`.cost`."""
+    return plan_size(node)
 
 
 @dataclass
 class PlanningResult:
-    """Outcome of plan search."""
+    """Outcome of plan search (either strategy)."""
 
     original: ast.Query
     best_plan: ast.Query
     original_cost: float
     best_cost: float
+    #: distinct plans considered: enumerated plans for BFS; distinct
+    #: plans *representable in the e-graph* for saturation (clamped at
+    #: :data:`PLAN_COUNT_LIMIT` — cyclic e-classes are infinite).
     plans_explored: int
     applied_rules: Tuple[str, ...]
     certified: Optional[bool]
+    #: which search produced this result.
+    strategy: str = "bfs"
+    #: saturation-only diagnostics (None for BFS).
+    saturation: Optional[SaturationStats] = None
 
     @property
     def improved(self) -> bool:
         return self.best_cost < self.original_cost
 
+    @property
+    def saturated(self) -> bool:
+        """True when the rule set reached fixpoint (saturation only)."""
+        return self.saturation is not None and self.saturation.saturated
+
 
 def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
-             certify: bool = True, pipeline=None) -> PlanningResult:
+             certify: bool = True, pipeline=None, *,
+             strategy: str = "saturation",
+             iterations: Optional[int] = None,
+             node_budget: Optional[int] = None) -> PlanningResult:
     """Search the rewrite space for the cheapest equivalent plan.
 
     Args:
         query: the initial (core HoTTSQL) plan.
         stats: base-table cardinalities for the cost model.
-        max_plans: exploration budget.
-        certify: when True, prove ``best ≡ original`` with the equivalence
-            engine before returning.
+        max_plans: exploration budget — BFS plan cap, and the default
+            e-node budget for saturation when ``node_budget`` is unset
+            (so the two strategies are comparable at equal budget).
+        certify: when True, prove ``best ≡ original`` with the
+            equivalence engine before returning.
         pipeline: the :class:`~repro.solver.pipeline.Pipeline` to certify
             through (a session passes its own, so the proof lands in the
             session's cache); defaults to the process-wide pipeline.
+        strategy: ``"saturation"`` (default) or ``"bfs"``.
+        iterations: saturation iteration budget (rewrite depth);
+            defaults to :class:`SaturationBudget`'s.
+        node_budget: saturation e-node budget; defaults to ``max_plans``.
 
     Returns:
         The chosen plan with costs, exploration counters, the chain of
-        rule names that produced it, and the certification verdict.
+        rule names that produced it (reconstructed from e-graph
+        provenance under saturation), and the certification verdict.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r} "
+                         f"(expected one of {STRATEGIES})")
+    if strategy == "saturation":
+        result = _optimize_saturation(query, stats, max_plans=max_plans,
+                                      iterations=iterations,
+                                      node_budget=node_budget)
+    else:
+        result = _optimize_bfs(query, stats, max_plans=max_plans)
+
+    if certify:
+        # Certification runs through a verification pipeline so that the
+        # proof lands in (and may come from) its proof cache — the
+        # caller's own (a Session's) or the process-wide default.
+        if pipeline is None:
+            from ..solver.pipeline import default_pipeline
+            pipeline = default_pipeline()
+        result.certified = pipeline.certify(query, result.best_plan)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Equality saturation
+# ---------------------------------------------------------------------------
+
+def _optimize_saturation(query: ast.Query, stats: TableStats, *,
+                         max_plans: int, iterations: Optional[int],
+                         node_budget: Optional[int]) -> PlanningResult:
+    defaults = SaturationBudget()
+    budget = SaturationBudget(
+        max_iterations=(iterations if iterations is not None
+                        else defaults.max_iterations),
+        max_nodes=(node_budget if node_budget is not None else max_plans))
+    egraph = EGraph()
+    root = egraph.add_term(query)
+    egraph.rebuild()
+    sat_stats = saturate(egraph, budget=budget)
+    extraction = extract_best(egraph, root, stats)
+    origin_cost = plan_cost(query, stats)
+    best_plan, best_cost = extraction.plan, extraction.estimate.cost
+    chain = extraction.chain
+    if best_cost > origin_cost or (best_cost == origin_cost
+                                   and extraction.size > plan_size(query)):
+        # Guard (should not trigger): the original is representable, so
+        # extraction can never do worse than it.
+        best_plan, best_cost, chain = query, origin_cost, ()
+    return PlanningResult(
+        original=query, best_plan=best_plan, original_cost=origin_cost,
+        best_cost=best_cost,
+        plans_explored=count_plans(egraph, root, PLAN_COUNT_LIMIT),
+        applied_rules=chain, certified=None,
+        strategy="saturation", saturation=sat_stats)
+
+
+# ---------------------------------------------------------------------------
+# Breadth-first fallback (the historical Volcano path)
+# ---------------------------------------------------------------------------
+
+def _optimize_bfs(query: ast.Query, stats: TableStats, *,
+                  max_plans: int) -> PlanningResult:
     origin_cost = plan_cost(query, stats)
     seen: Set[ast.Query] = {query}
     frontier: List[Tuple[ast.Query, Tuple[str, ...]]] = [(query, ())]
     best_plan, best_cost, best_rules = query, origin_cost, ()
-    best_size = _plan_size(query)
+    best_size = plan_size(query)
     explored = 1
 
     while frontier and explored < max_plans:
@@ -90,7 +179,7 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
                 explored += 1
                 cost = plan_cost(candidate, stats)
                 chain = rules + (rule,)
-                size = _plan_size(candidate)
+                size = plan_size(candidate)
                 # Equal-cost plans tie-break on syntactic size, so a
                 # simplification the cost model is blind to (dedup'd
                 # conjuncts, say) still wins over the bloated original.
@@ -105,16 +194,7 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
                 break
         frontier = next_frontier
 
-    certified: Optional[bool] = None
-    if certify:
-        # Certification runs through a verification pipeline so that the
-        # proof lands in (and may come from) its proof cache — the
-        # caller's own (a Session's) or the process-wide default.
-        if pipeline is None:
-            from ..solver.pipeline import default_pipeline
-            pipeline = default_pipeline()
-        certified = pipeline.certify(query, best_plan)
     return PlanningResult(
         original=query, best_plan=best_plan, original_cost=origin_cost,
         best_cost=best_cost, plans_explored=explored,
-        applied_rules=best_rules, certified=certified)
+        applied_rules=best_rules, certified=None, strategy="bfs")

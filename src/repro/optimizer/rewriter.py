@@ -10,6 +10,16 @@ performs by calling the prover on the before/after pair.
 Each transformation takes a core query and yields ``(rewritten, rule
 name)`` candidates; :func:`rewrites` applies them at every subquery
 position.
+
+Two consumers share these transformations:
+
+* the ``strategy="bfs"`` fallback planner applies them term-at-a-time
+  through :func:`rewrites` (the historical Volcano path), and
+* the equality-saturation planner applies the *same* rules at every
+  e-class through :mod:`repro.optimizer.saturate`, which reuses the
+  path-analysis helpers exported here (:func:`predicate_paths`,
+  :func:`rewrite_predicate_paths`, :func:`flatten_conjuncts`) so the
+  two strategies can never drift apart on what a rule means.
 """
 
 from __future__ import annotations
@@ -50,7 +60,7 @@ def steps_to_proj(steps: Sequence[str]) -> ast.Projection:
     return ast.path(*parts) if parts else ast.STAR
 
 
-def _predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
+def predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
     """All attribute paths a predicate dereferences, or None if opaque.
 
     Opaque constructs (metavariables, EXISTS, casts) make pushdown analysis
@@ -60,10 +70,10 @@ def _predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
         return _merge(_expression_paths(pred.left),
                       _expression_paths(pred.right))
     if isinstance(pred, (ast.PredAnd, ast.PredOr)):
-        return _merge(_predicate_paths(pred.left),
-                      _predicate_paths(pred.right))
+        return _merge(predicate_paths(pred.left),
+                      predicate_paths(pred.right))
     if isinstance(pred, ast.PredNot):
-        return _predicate_paths(pred.operand)
+        return predicate_paths(pred.operand)
     if isinstance(pred, (ast.PredTrue, ast.PredFalse)):
         return []
     if isinstance(pred, ast.PredFunc):
@@ -94,8 +104,8 @@ def _merge(a, b):
     return a + b
 
 
-def _rewrite_predicate_paths(pred: ast.Predicate, old_prefix: Tuple[str, ...],
-                             new_prefix: Tuple[str, ...]) -> ast.Predicate:
+def rewrite_predicate_paths(pred: ast.Predicate, old_prefix: Tuple[str, ...],
+                            new_prefix: Tuple[str, ...]) -> ast.Predicate:
     """Replace a leading path prefix in every attribute reference."""
     if isinstance(pred, ast.PredEq):
         return ast.PredEq(
@@ -103,15 +113,15 @@ def _rewrite_predicate_paths(pred: ast.Predicate, old_prefix: Tuple[str, ...],
             _rewrite_expression_paths(pred.right, old_prefix, new_prefix))
     if isinstance(pred, ast.PredAnd):
         return ast.PredAnd(
-            _rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
-            _rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
+            rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
+            rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
     if isinstance(pred, ast.PredOr):
         return ast.PredOr(
-            _rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
-            _rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
+            rewrite_predicate_paths(pred.left, old_prefix, new_prefix),
+            rewrite_predicate_paths(pred.right, old_prefix, new_prefix))
     if isinstance(pred, ast.PredNot):
         return ast.PredNot(
-            _rewrite_predicate_paths(pred.operand, old_prefix, new_prefix))
+            rewrite_predicate_paths(pred.operand, old_prefix, new_prefix))
     if isinstance(pred, (ast.PredTrue, ast.PredFalse)):
         return pred
     if isinstance(pred, ast.PredFunc):
@@ -175,16 +185,16 @@ def _push_where_into_product(query: ast.Query) -> Iterator[Candidate]:
     if not (isinstance(query, ast.Where)
             and isinstance(query.query, ast.Product)):
         return
-    paths = _predicate_paths(query.predicate)
+    paths = predicate_paths(query.predicate)
     if paths is None:
         return
     product = query.query
     if all(p[:2] == ("R", "L") or p[:1] == ("L",) for p in paths):
-        pushed = _rewrite_predicate_paths(query.predicate, ("R", "L"), ("R",))
+        pushed = rewrite_predicate_paths(query.predicate, ("R", "L"), ("R",))
         yield (ast.Product(ast.Where(product.left, pushed), product.right),
                "sel_push_left")
     if all(p[:2] == ("R", "R") or p[:1] == ("L",) for p in paths):
-        pushed = _rewrite_predicate_paths(query.predicate, ("R", "R"), ("R",))
+        pushed = rewrite_predicate_paths(query.predicate, ("R", "R"), ("R",))
         yield (ast.Product(product.left, ast.Where(product.right, pushed)),
                "sel_push_right")
 
@@ -205,9 +215,10 @@ def _collapse_distinct(query: ast.Query) -> Iterator[Candidate]:
         yield (query.query, "distinct_idem")
 
 
-def _flatten_conjuncts(pred: ast.Predicate) -> List[ast.Predicate]:
+def flatten_conjuncts(pred: ast.Predicate) -> List[ast.Predicate]:
+    """The conjuncts of a right/left-nested AND tree, in order."""
     if isinstance(pred, ast.PredAnd):
-        return _flatten_conjuncts(pred.left) + _flatten_conjuncts(pred.right)
+        return flatten_conjuncts(pred.left) + flatten_conjuncts(pred.right)
     return [pred]
 
 
@@ -222,7 +233,7 @@ def _dedup_conjuncts(query: ast.Query) -> Iterator[Candidate]:
     """
     if not isinstance(query, ast.Where):
         return
-    conjuncts = _flatten_conjuncts(query.predicate)
+    conjuncts = flatten_conjuncts(query.predicate)
     unique = list(dict.fromkeys(conjuncts))
     if len(unique) < len(conjuncts):
         yield (ast.Where(query.query, ast.and_(*unique)),

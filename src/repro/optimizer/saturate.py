@@ -1,0 +1,279 @@
+"""Equality-saturation scheduler over the plan e-graph.
+
+Applies the certified rewrite suite of :mod:`repro.optimizer.rewriter` at
+*every e-class simultaneously* instead of one term at a time: each rule is
+re-expressed over e-nodes (children are e-class ids, so one application
+covers every plan sharing that subtree), matches are enumerated from a
+per-iteration index keyed on the root constructor (a rule matching
+``Where`` never scans ``Product`` nodes), and the e-graph is rebuilt once
+per iteration in egg's deferred style.
+
+Saturation runs until a fixpoint (no new nodes, no new unions — the rule
+set is then *saturated* and the e-graph provably contains every plan the
+rules can reach), or until the iteration / node budgets cut it off.  The
+budgets are the search-space-expansion discipline the CHC literature uses
+to keep saturation tractable (PAPERS.md: dependence-disjoint expansions):
+an e-node budget bounds memory, an iteration budget bounds rule depth.
+
+Soundness story, unchanged from the BFS path: every union performed here
+is an instance of a rule the engine has verified, so any plan extracted
+from the root e-class is equivalent to the input — and the planner still
+re-certifies the winner end to end through the verification pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import ast
+from .egraph import EGraph, ENode, Reason
+from .rewriter import (
+    flatten_conjuncts,
+    predicate_paths,
+    rewrite_predicate_paths,
+)
+
+__all__ = ["ERule", "ERULES", "SaturationBudget", "SaturationStats",
+           "saturate"]
+
+
+@dataclass(frozen=True)
+class SaturationBudget:
+    """Stop conditions for the saturation loop.
+
+    ``max_nodes`` bounds the *total* e-nodes ever admitted (the e-graph
+    analogue of the BFS planner's ``max_plans``); ``max_iterations``
+    bounds rewrite depth — every iteration applies each rule at every
+    class, so ``n`` iterations reach rule chains of length ``n``.
+    """
+
+    max_iterations: int = 12
+    max_nodes: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1 or self.max_nodes < 1:
+            raise ValueError("saturation budgets must be positive, got "
+                             f"{self!r}")
+
+
+@dataclass
+class SaturationStats:
+    """What the saturation loop did and why it stopped."""
+
+    iterations: int = 0
+    matches: int = 0
+    unions: int = 0
+    congruences: int = 0
+    nodes: int = 0
+    classes: int = 0
+    saturated: bool = False
+    stop_reason: str = ""
+    rules_fired: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ERule:
+    """A rewrite over e-nodes: fires on every e-node whose root
+    constructor is in ``ops``; ``apply`` performs its adds/unions
+    directly on the e-graph (recording provenance) and returns how many
+    times it fired."""
+
+    name: str
+    ops: Tuple[type, ...]
+    apply: Callable[[EGraph, int, ENode], int]
+
+
+# ---------------------------------------------------------------------------
+# The rewrite suite over e-nodes (same rules as rewriter.TRANSFORMATIONS)
+# ---------------------------------------------------------------------------
+
+def _fire(eg: EGraph, cid: int, new_cid: int, rule: str,
+          src: ENode) -> int:
+    eg.union(cid, new_cid, Reason(rule, src))
+    return 1
+
+
+def _split_where(eg: EGraph, cid: int, node: ENode) -> int:
+    """Where(q, b1 AND b2) → Where(Where(q, b1), b2)  [rule sel_split]."""
+    pred = node.label[0]
+    if not isinstance(pred, ast.PredAnd):
+        return 0
+    qc = eg.find(node.children[0])
+    fired = 0
+    for b_inner, b_outer, name in (
+            (pred.left, pred.right, "sel_split"),
+            (pred.right, pred.left, "sel_split+sel_comm")):
+        inner = eg.add(ast.Where, (b_inner,), (qc,),
+                       reason=Reason(name, node))
+        outer = eg.add(ast.Where, (b_outer,), (inner,),
+                       reason=Reason(name, node))
+        fired += _fire(eg, cid, outer, name, node)
+    return fired
+
+
+def _merge_where(eg: EGraph, cid: int, node: ENode) -> int:
+    """Where(Where(q, b1), b2) → Where(q, b1 AND b2)  [sel_split⁻¹].
+
+    The inner Where is an *e-node of the child class*, so the merge fires
+    for every filtered shape the child class is known equal to.
+
+    The merged conjunction is deduplicated at creation (sel_split⁻¹
+    composed with sel_conj_dedup, both verified rules): without this the
+    split/merge pair regenerates ever-larger ``b ∧ b ∧ …`` predicates
+    and the system never saturates — the e-graph analogue of keeping AC
+    operators canonical, cf. the kernel's sorted ``NProduct`` factors.
+    """
+    outer_pred = node.label[0]
+    qc = eg.find(node.children[0])
+    fired = 0
+    for inner in list(eg.nodes_of(qc)):
+        if inner.op is not ast.Where:
+            continue
+        conjuncts = list(dict.fromkeys(
+            flatten_conjuncts(inner.label[0])
+            + flatten_conjuncts(outer_pred)))
+        merged = eg.add(
+            ast.Where, (ast.and_(*conjuncts),),
+            (eg.find(inner.children[0]),),
+            reason=Reason("sel_split⁻¹", node))
+        fired += _fire(eg, cid, merged, "sel_split⁻¹", node)
+    return fired
+
+
+def _push_where(eg: EGraph, cid: int, node: ENode) -> int:
+    """Selection pushdown through Product / distribution over UnionAll."""
+    pred = node.label[0]
+    qc = eg.find(node.children[0])
+    paths = predicate_paths(pred)
+    fired = 0
+    for child in list(eg.nodes_of(qc)):
+        if child.op is ast.Product and paths is not None:
+            left, right = (eg.find(child.children[0]),
+                           eg.find(child.children[1]))
+            if all(p[:2] == ("R", "L") or p[:1] == ("L",) for p in paths):
+                pushed = rewrite_predicate_paths(pred, ("R", "L"), ("R",))
+                filtered = eg.add(ast.Where, (pushed,), (left,),
+                                  reason=Reason("sel_push_left", node))
+                product = eg.add(ast.Product, (), (filtered, right),
+                                 reason=Reason("sel_push_left", node))
+                fired += _fire(eg, cid, product, "sel_push_left", node)
+            if all(p[:2] == ("R", "R") or p[:1] == ("L",) for p in paths):
+                pushed = rewrite_predicate_paths(pred, ("R", "R"), ("R",))
+                filtered = eg.add(ast.Where, (pushed,), (right,),
+                                  reason=Reason("sel_push_right", node))
+                product = eg.add(ast.Product, (), (left, filtered),
+                                 reason=Reason("sel_push_right", node))
+                fired += _fire(eg, cid, product, "sel_push_right", node)
+        elif child.op is ast.UnionAll:
+            left, right = (eg.find(child.children[0]),
+                           eg.find(child.children[1]))
+            fl = eg.add(ast.Where, (pred,), (left,),
+                        reason=Reason("sel_union_distr", node))
+            fr = eg.add(ast.Where, (pred,), (right,),
+                        reason=Reason("sel_union_distr", node))
+            union = eg.add(ast.UnionAll, (), (fl, fr),
+                           reason=Reason("sel_union_distr", node))
+            fired += _fire(eg, cid, union, "sel_union_distr", node)
+    return fired
+
+
+def _dedup_conjuncts(eg: EGraph, cid: int, node: ENode) -> int:
+    """σ_{b ∧ b}(q) → σ_b(q)  [conjunct idempotence]."""
+    pred = node.label[0]
+    conjuncts = flatten_conjuncts(pred)
+    unique = list(dict.fromkeys(conjuncts))
+    if len(unique) == len(conjuncts):
+        return 0
+    deduped = eg.add(ast.Where, (ast.and_(*unique),),
+                     (eg.find(node.children[0]),),
+                     reason=Reason("sel_conj_dedup", node))
+    return _fire(eg, cid, deduped, "sel_conj_dedup", node)
+
+
+def _collapse_distinct(eg: EGraph, cid: int, node: ENode) -> int:
+    """DISTINCT DISTINCT q → DISTINCT q  [rule distinct_idem].
+
+    A union-only rule: the child class already denotes ``DISTINCT q``
+    (it contains a Distinct e-node), and ``DISTINCT`` is idempotent, so
+    the outer class *is* the child class.  Provenance lands on the
+    surviving inner node.
+    """
+    qc = eg.find(node.children[0])
+    if eg.find(cid) == qc:
+        return 0
+    for inner in eg.nodes_of(qc):
+        if inner.op is ast.Distinct:
+            eg.reasons.setdefault(inner, Reason("distinct_idem", node))
+            eg.union(cid, qc, Reason("distinct_idem", node))
+            return 1
+    return 0
+
+
+#: The e-rule suite — one entry per transformation family in
+#: ``rewriter.TRANSFORMATIONS``, indexed by root constructor.  Dedup
+#: runs first so a deduplicated filter is attributed to
+#: ``sel_conj_dedup`` rather than adopted as an anonymous split piece.
+ERULES: Tuple[ERule, ...] = (
+    ERule("sel_conj_dedup", (ast.Where,), _dedup_conjuncts),
+    ERule("sel_split", (ast.Where,), _split_where),
+    ERule("sel_split⁻¹", (ast.Where,), _merge_where),
+    ERule("sel_push", (ast.Where,), _push_where),
+    ERule("distinct_idem", (ast.Distinct,), _collapse_distinct),
+)
+
+
+def _rule_index(rules: Tuple[ERule, ...]) -> Dict[type, List[ERule]]:
+    """Root-constructor match index: op → the rules that can fire there."""
+    index: Dict[type, List[ERule]] = {}
+    for rule in rules:
+        for op in rule.ops:
+            index.setdefault(op, []).append(rule)
+    return index
+
+
+def saturate(eg: EGraph, rules: Tuple[ERule, ...] = ERULES,
+             budget: Optional[SaturationBudget] = None) -> SaturationStats:
+    """Run the rule suite to fixpoint or budget exhaustion.
+
+    Each iteration snapshots the current ``(class, e-node)`` population,
+    fires every matching rule on it (writes go straight into the
+    e-graph), then rebuilds congruence once.  The loop stops when an
+    iteration changes nothing (``saturated=True``), when the node budget
+    is spent, or when the iteration budget runs out.
+    """
+    budget = budget if budget is not None else SaturationBudget()
+    index = _rule_index(rules)
+    stats = SaturationStats()
+    for _ in range(budget.max_iterations):
+        snapshot = [(cid, node) for cid, nodes in eg.classes()
+                    for node in list(nodes)]
+        nodes_before, unions_before = eg.nodes_added, eg.unions
+        out_of_nodes = False
+        for cid, node in snapshot:
+            if eg.nodes_added >= budget.max_nodes:
+                out_of_nodes = True
+                break
+            for rule in index.get(node.op, ()):
+                fired = rule.apply(eg, eg.find(cid), node)
+                if fired:
+                    stats.matches += fired
+                    stats.rules_fired[rule.name] = \
+                        stats.rules_fired.get(rule.name, 0) + fired
+        stats.congruences += eg.rebuild()
+        stats.iterations += 1
+        if out_of_nodes or eg.nodes_added >= budget.max_nodes:
+            stats.stop_reason = (f"node budget exhausted "
+                                 f"({budget.max_nodes} e-nodes)")
+            break
+        if eg.nodes_added == nodes_before and eg.unions == unions_before:
+            stats.saturated = True
+            stats.stop_reason = "saturated (fixpoint)"
+            break
+    else:
+        stats.stop_reason = (f"iteration budget exhausted "
+                             f"({budget.max_iterations} iterations)")
+    stats.unions = eg.unions
+    stats.nodes = eg.num_nodes
+    stats.classes = eg.num_classes
+    return stats

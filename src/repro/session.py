@@ -44,7 +44,7 @@ from .core.equivalence import Hypotheses, NO_HYPOTHESES
 from .core.schema import BOOL, FLOAT, INT, STRING, SQLType
 from .errors import ReproError, SchemaMismatchError
 from .optimizer.cost import TableStats
-from .optimizer.explain import explain
+from .optimizer.explain import explain, explain_result
 from .optimizer.planner import PlanningResult, optimize
 from .solver.cache import ProofCache
 from .solver.disprover import Bound, DisproofResult, disprove
@@ -204,13 +204,24 @@ class QueryHandle:
             hyps=hyps)
 
     def optimize(self, stats: Optional[TableStats] = None, *,
-                 max_plans: int = 400, certify: bool = True) -> "PlanHandle":
+                 strategy: str = "saturation", max_plans: int = 400,
+                 iterations: Optional[int] = None,
+                 node_budget: Optional[int] = None,
+                 certify: bool = True) -> "PlanHandle":
         """Cost-based plan search; certification runs through the
-        session's pipeline (and proof cache)."""
+        session's pipeline (and proof cache).
+
+        ``strategy`` selects equality saturation (default) or the BFS
+        fallback; ``iterations`` / ``node_budget`` bound the saturation
+        search (``node_budget`` defaults to ``max_plans``, so the two
+        strategies are comparable at equal budget).
+        """
         stats = stats if stats is not None else TableStats()
         result = optimize(self.query, stats, max_plans=max_plans,
                           certify=certify,
-                          pipeline=self._session.pipeline)
+                          pipeline=self._session.pipeline,
+                          strategy=strategy, iterations=iterations,
+                          node_budget=node_budget)
         return PlanHandle(self, result, stats)
 
     def explain(self, stats: Optional[TableStats] = None) -> str:
@@ -270,9 +281,14 @@ class PlanHandle:
     def applied_rules(self) -> Tuple[str, ...]:
         return self.result.applied_rules
 
+    @property
+    def strategy(self) -> str:
+        return self.result.strategy
+
     def explain(self) -> str:
-        """EXPLAIN rendering of the chosen plan."""
-        return explain(self.plan, self.stats)
+        """EXPLAIN rendering of the chosen plan: the certified rewrite
+        chain and search counters, then the per-node cost tree."""
+        return explain_result(self.result, self.stats)
 
     def sql(self) -> str:
         """The chosen plan decompiled back to SQL text.

@@ -1,0 +1,163 @@
+"""The e-graph core: union-find, hashcons, congruence, provenance."""
+
+import pytest
+
+from repro.core import ast
+from repro.core.schema import INT, SVar
+from repro.optimizer.egraph import EGraph, ENode, Reason, query_children
+
+
+def _table(name):
+    return ast.Table(name, SVar("s"))
+
+
+def _pred(value):
+    return ast.PredEq(ast.P2E(ast.RIGHT, INT), ast.Const(value, INT))
+
+
+class TestAddTerm:
+    def test_roundtrip(self):
+        eg = EGraph()
+        q = ast.Where(ast.Product(_table("R"), _table("S")), _pred(1))
+        root = eg.add_term(q)
+        eg.rebuild()
+        # Interned ASTs make rebuilding the term exact (same object).
+        assert eg.any_term(root) is q
+
+    def test_shared_subtrees_share_classes(self):
+        eg = EGraph()
+        q = ast.UnionAll(ast.Distinct(_table("R")), ast.Distinct(_table("R")))
+        root = eg.add_term(q)
+        (node,) = eg.nodes_of(root)
+        left, right = node.children
+        assert eg.find(left) == eg.find(right)
+
+    def test_term_memo_hits_on_interned_identity(self):
+        eg = EGraph()
+        q1 = ast.Distinct(_table("R"))
+        q2 = ast.Distinct(_table("R"))  # same canonical node (interned)
+        assert q1 is q2
+        c1 = eg.add_term(q1)
+        nodes_before = eg.nodes_added
+        c2 = eg.add_term(q2)
+        assert eg.find(c1) == eg.find(c2)
+        assert eg.nodes_added == nodes_before
+
+    def test_hashcons_deduplicates(self):
+        eg = EGraph()
+        r = eg.add_term(_table("R"))
+        c1 = eg.add(ast.Distinct, (), (r,))
+        c2 = eg.add(ast.Distinct, (), (r,))
+        assert eg.find(c1) == eg.find(c2)
+        assert eg.num_nodes == 2  # Table + Distinct
+
+
+class TestUnionAndCongruence:
+    def test_union_merges_classes(self):
+        eg = EGraph()
+        a = eg.add_term(_table("R"))
+        b = eg.add_term(_table("S"))
+        assert eg.find(a) != eg.find(b)
+        eg.union(a, b)
+        assert eg.find(a) == eg.find(b)
+
+    def test_congruence_merges_parents(self):
+        eg = EGraph()
+        r, s = eg.add_term(_table("R")), eg.add_term(_table("S"))
+        dr = eg.add(ast.Distinct, (), (r,))
+        ds = eg.add(ast.Distinct, (), (s,))
+        assert eg.find(dr) != eg.find(ds)
+        eg.union(r, s)
+        merged = eg.rebuild()
+        # R ≡ S forces Distinct(R) ≡ Distinct(S) by congruence.
+        assert merged >= 1
+        assert eg.find(dr) == eg.find(ds)
+
+    def test_congruence_cascades_upward(self):
+        eg = EGraph()
+        r, s = eg.add_term(_table("R")), eg.add_term(_table("S"))
+        dr = eg.add(ast.Distinct, (), (r,))
+        ds = eg.add(ast.Distinct, (), (s,))
+        wdr = eg.add(ast.Where, (_pred(1),), (dr,))
+        wds = eg.add(ast.Where, (_pred(1),), (ds,))
+        eg.union(r, s)
+        eg.rebuild()
+        assert eg.find(wdr) == eg.find(wds)
+
+    def test_rebuild_compacts_duplicate_nodes(self):
+        eg = EGraph()
+        r, s = eg.add_term(_table("R")), eg.add_term(_table("S"))
+        eg.add(ast.Distinct, (), (r,))
+        eg.add(ast.Distinct, (), (s,))
+        eg.union(r, s)
+        eg.rebuild()
+        distinct_classes = [nodes for _, nodes in eg.classes()
+                            if any(n.op is ast.Distinct for n in nodes)]
+        assert len(distinct_classes) == 1
+        # The two Distinct parents collapsed into ONE canonical e-node.
+        assert len(distinct_classes[0]) == 1
+
+    def test_counters(self):
+        eg = EGraph()
+        q = ast.Where(_table("R"), _pred(1))
+        eg.add_term(q)
+        eg.rebuild()
+        assert eg.num_nodes == 2
+        assert eg.num_classes == 2
+
+
+class TestProvenance:
+    def test_rule_created_node_remembers_reason(self):
+        eg = EGraph()
+        r = eg.add_term(_table("R"))
+        src = eg.nodes_of(r)[0]
+        cid = eg.add(ast.Distinct, (), (r,), reason=Reason("some_rule", src))
+        (node,) = [n for n in eg.nodes_of(cid) if n.op is ast.Distinct]
+        assert eg.reasons[node].rule == "some_rule"
+
+    def test_primordial_nodes_reject_late_attribution(self):
+        eg = EGraph()
+        q = ast.Distinct(_table("R"))
+        eg.add_term(q)
+        r = eg.add_term(_table("R"))
+        src = eg.nodes_of(r)[0]
+        cid = eg.add(ast.Distinct, (), (r,), reason=Reason("late", src))
+        (node,) = eg.nodes_of(cid)
+        assert node not in eg.reasons  # inserted verbatim, not derived
+
+    def test_anonymous_piece_adopts_first_rule(self):
+        eg = EGraph()
+        r = eg.add_term(_table("R"))
+        src = eg.nodes_of(r)[0]
+        first = eg.add(ast.Distinct, (), (r,))          # anonymous piece
+        again = eg.add(ast.Distinct, (), (r,),
+                       reason=Reason("adopter", src))   # same node, named
+        assert eg.find(first) == eg.find(again)
+        (node,) = [n for n in eg.nodes_of(first) if n.op is ast.Distinct]
+        assert eg.reasons[node].rule == "adopter"
+
+
+class TestHelpers:
+    def test_query_children(self):
+        q = ast.Product(_table("R"), _table("S"))
+        assert query_children(q) == (q.left, q.right)
+        assert query_children(_table("R")) == ()
+
+    def test_enode_shallow_rebuild(self):
+        eg = EGraph()
+        q = ast.Where(_table("R"), _pred(2))
+        root = eg.add_term(q)
+        (node,) = eg.nodes_of(root)
+        rebuilt = eg.enode_term_shallow(node, (_table("R"),))
+        assert rebuilt is q
+
+    def test_any_term_on_cyclic_class_picks_finite_member(self):
+        eg = EGraph()
+        r = eg.add_term(_table("R"))
+        w = eg.add(ast.Where, (_pred(1),), (r,))
+        # Make the filtered class cyclic: σ_b(C) ∈ C.
+        self_loop = eg.add(ast.Where, (_pred(1),), (w,))
+        eg.union(w, self_loop)
+        eg.rebuild()
+        term = eg.any_term(w)
+        assert isinstance(term, ast.Where)

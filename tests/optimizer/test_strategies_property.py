@@ -1,0 +1,104 @@
+"""Property suite over both planner strategies.
+
+The ISSUE's contract, stated as hypotheses properties:
+
+* every extracted plan — either strategy, any budget — is certified
+  ``PROVED`` against its input through the verification pipeline
+  (zero certification failures across the corpus);
+* equality saturation's chosen plan never costs more than BFS's on the
+  same stats (saturation runs to fixpoint; its e-graph then contains
+  every BFS-reachable plan, and the Pareto extractor is cost-optimal
+  over the e-graph).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.schema import INT
+from repro.optimizer import TableStats, optimize, plan_cost
+from repro.solver import Status, default_pipeline
+from repro.sql import Catalog, compile_sql
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    cat = Catalog()
+    cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+    cat.add_table("Dept", [("did", INT), ("budget", INT)])
+    return cat
+
+
+#: Plan shapes covering every transformation family: splits, merges,
+#: pushdown through products, distribution over unions, DISTINCT
+#: collapse, duplicate conjuncts — at root and nested positions.
+CORPUS = (
+    "SELECT e.eid FROM Emp e, Dept d "
+    "WHERE e.did = d.did AND d.budget > 100 AND e.age < 30",
+    "SELECT eid FROM Emp WHERE age < 30 AND did = 2",
+    "SELECT eid FROM Emp WHERE eid = 1 AND eid = 1",
+    "SELECT e.eid FROM Emp AS e WHERE e.age = 1 AND e.did = 2 "
+    "AND e.eid = 3",
+    "SELECT a.eid FROM Emp a, Emp b WHERE a.did = b.did AND a.age < 30",
+    "SELECT u.eid FROM (SELECT eid FROM Emp UNION ALL "
+    "SELECT eid FROM Emp) AS u WHERE u.eid = 1",
+    "SELECT DISTINCT e.did FROM Emp e WHERE e.age < 30 AND e.eid > 2",
+    "SELECT e.eid FROM Emp e, Dept d WHERE e.did = d.did AND "
+    "d.budget > 100 AND e.age < 30 AND e.eid > 2 AND e.eid > 2",
+)
+
+queries = st.sampled_from(CORPUS)
+strategies_ = st.sampled_from(["saturation", "bfs"])
+budgets = st.integers(min_value=2, max_value=300)
+iteration_budgets = st.one_of(st.none(), st.integers(1, 8))
+table_stats = st.builds(
+    TableStats,
+    st.fixed_dictionaries({"Emp": st.floats(1.0, 10000.0),
+                           "Dept": st.floats(1.0, 500.0)}))
+
+
+class TestCertification:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(sql=queries, strategy=strategies_, budget=budgets,
+           iterations=iteration_budgets)
+    def test_every_extracted_plan_is_proved(self, catalog, sql, strategy,
+                                            budget, iterations):
+        query = compile_sql(sql, catalog).query
+        kwargs = {"iterations": iterations} if strategy == "saturation" \
+            else {}
+        result = optimize(query, TableStats({"Emp": 16.0, "Dept": 4.0}),
+                          max_plans=budget, certify=False,
+                          strategy=strategy, **kwargs)
+        verdict = default_pipeline().check(query, result.best_plan,
+                                           prove_only=True)
+        assert verdict.status is Status.PROVED, (
+            f"certification failure: {strategy} budget={budget} {sql!r}")
+
+
+class TestCostDominance:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(sql=queries, stats=table_stats, bfs_budget=budgets)
+    def test_saturation_never_costs_more_than_bfs(self, catalog, sql,
+                                                  stats, bfs_budget):
+        query = compile_sql(sql, catalog).query
+        bfs = optimize(query, stats, max_plans=bfs_budget, certify=False,
+                       strategy="bfs")
+        sat = optimize(query, stats, max_plans=2000, certify=False,
+                       strategy="saturation", iterations=20)
+        assert sat.best_cost <= bfs.best_cost + 1e-6
+        # And the reported cost is the honest tree cost of the plan.
+        assert sat.best_cost == pytest.approx(plan_cost(sat.best_plan,
+                                                        stats))
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(sql=queries, stats=table_stats)
+    def test_both_strategies_never_worse_than_original(self, catalog, sql,
+                                                       stats):
+        query = compile_sql(sql, catalog).query
+        original = plan_cost(query, stats)
+        for strategy in ("saturation", "bfs"):
+            result = optimize(query, stats, certify=False,
+                              strategy=strategy)
+            assert result.best_cost <= original + 1e-6

@@ -157,3 +157,87 @@ class TestProveCommands:
         out = capsys.readouterr().out
         assert "23/23 core rules verified" in out
         assert "all rejected" in out
+
+
+class TestOptimizeCommand:
+    WORKLOAD = [
+        "optimize",
+        "--table", "Emp(eid:int,did:int,age:int)",
+        "--table", "Dept(did:int,budget:int)",
+        "--rows", "Emp=1000", "--rows", "Dept=20",
+        "SELECT e.eid FROM Emp e, Dept d "
+        "WHERE e.did = d.did AND d.budget > 100 AND e.age < 30",
+    ]
+
+    def test_optimize_certifies_and_explains(self, capsys):
+        code = main(self.WORKLOAD)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy           : saturation" in out
+        assert "rewrite chain" in out
+        assert "prover certificate : VERIFIED" in out
+        assert "Scan Emp" in out
+        # The pushed-down filter sits below the join in the cost tree.
+        assert "sel_push" in out
+
+    def test_bfs_strategy_flag(self, capsys):
+        code = main(self.WORKLOAD + ["--strategy", "bfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "strategy           : bfs" in out
+        assert "plans enumerated" in out
+
+    def test_sql_out_renders_plan(self, capsys):
+        code = main(self.WORKLOAD + ["--sql-out"])
+        assert code == 0
+        assert "optimized SQL" in capsys.readouterr().out
+
+    def test_no_certify_skips_proof(self, capsys):
+        code = main(self.WORKLOAD + ["--no-certify"])
+        assert code == 0
+        assert "prover certificate : skipped" in capsys.readouterr().out
+
+    def test_budget_knobs(self, capsys):
+        code = main(self.WORKLOAD + ["--node-budget", "50",
+                                     "--iterations", "2"])
+        assert code == 0
+
+    @pytest.mark.parametrize("bad", [
+        ["--max-plans", "0"],
+        ["--iterations", "0"],
+        ["--node-budget", "-3"],
+        ["--rows", "Emp"],
+        ["--rows", "Emp=lots"],
+        ["--rows", "Emp=-5"],
+        ["--rows", "Emp=nan"],
+        ["--rows", "Emp=inf"],
+    ])
+    def test_bad_knobs_are_cli_errors(self, capsys, bad):
+        assert main(self.WORKLOAD + bad) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_uncompilable_sql_is_cli_error(self, capsys):
+        code = main(["optimize", "--table", "R(a:int)", "SELECT FROM"])
+        assert code == 2
+        assert "cannot compile" in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_explain_renders_cost_tree(self, capsys):
+        code = main([
+            "explain", "--table", "R(a:int,b:int)", "--rows", "R=500",
+            "SELECT a FROM R WHERE a = 1 AND b = 2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scan R" in out
+        assert "rows≈500.0" in out
+        assert "Filter" in out
+
+    def test_explain_handles_having_shapes(self, capsys):
+        code = main([
+            "explain", "--table", "R(a:int,b:int)",
+            "SELECT a FROM R GROUP BY a HAVING SUM(b) > 10",
+        ])
+        assert code == 0
+        assert "Aggregate SUM" in capsys.readouterr().out
