@@ -12,7 +12,7 @@ must represent at least 2× the distinct plans BFS enumerates (in
 aggregate over the corpus), extract equal-or-cheaper plans on every
 workload, and re-certify every extracted plan through the verification
 pipeline with zero failures.  ``run_all.py`` runs the same comparison via
-:func:`saturation_vs_bfs` and records it in ``BENCH_pr5.json``.
+:func:`saturation_vs_bfs` and records it in ``BENCH_pr6.json``.
 """
 
 from repro.core.schema import INT

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark and write machine-readable results (BENCH_pr5.json).
+"""Run every benchmark and write machine-readable results (BENCH_pr6.json).
 
 Two layers:
 
@@ -15,6 +15,13 @@ Two layers:
   (scripts with ``--smoke``, pytest files with ``--benchmark-disable``)
   so CI can detect a benchmark that stops even importing.  Non-gating:
   the JSON records per-bench wall clock and exit status.
+
+Each tracked entry also embeds the delta of the process-wide metrics
+registry (:mod:`repro.obs.metrics`) accumulated during the run, and the
+``tracing_overhead`` workload replays the prover-scaling grid through the
+instrumented pipeline with the tracer off and on — in full mode the
+traced pass must stay within 5% of the untraced one (the observability
+PR's no-regression gate).
 
 Usage::
 
@@ -36,7 +43,7 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr5.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr6.json"
 
 sys.path.insert(0, str(BENCH_DIR))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -190,6 +197,64 @@ def check_saturation_vs_bfs(comparison):
 
 
 # ---------------------------------------------------------------------------
+# Tracked workload D: tracing overhead on the instrumented pipeline
+# ---------------------------------------------------------------------------
+
+#: Enabling the tracer may cost at most this much wall clock on the
+#: prover-scaling grid (full mode; best of three passes each way).
+TRACING_OVERHEAD_TARGET = 1.05
+
+
+def run_tracing_overhead(smoke):
+    from repro.core.intern import clear_kernel_caches
+    from repro.obs.trace import TRACER
+    from repro.solver.pipeline import Pipeline
+
+    pairs = _prover_pairs(smoke)
+
+    def one_pass():
+        # Fresh pipeline per pass so the proof cache never short-circuits
+        # the later (traced) passes into an unfair comparison.
+        pipe = Pipeline()
+        clear_kernel_caches()
+        started = time.perf_counter()
+        for lhs, rhs in pairs:
+            pipe.check(lhs, rhs)
+        return time.perf_counter() - started
+
+    passes = 1 if smoke else 3
+    untraced = min(one_pass() for _ in range(passes))
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        traced = min(one_pass() for _ in range(passes))
+        events = len(TRACER.chrome_events())
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+    return {
+        "pairs": len(pairs),
+        "passes": passes,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "overhead_ratio": traced / untraced if untraced else 1.0,
+        "trace_events": events,
+    }
+
+
+def check_tracing_overhead(result, smoke):
+    ratio = result["overhead_ratio"]
+    print(f"  {'tracing_overhead':<22} "
+          f"{result['traced_seconds'] * 1e3:9.1f} ms traced vs "
+          f"{result['untraced_seconds'] * 1e3:.1f} ms untraced "
+          f"({(ratio - 1.0) * 100:+.1f}%, {result['trace_events']} events)")
+    if not smoke and ratio > TRACING_OVERHEAD_TARGET:
+        return [f"tracing_overhead: traced pass {ratio:.3f}x the untraced "
+                f"one, above the {TRACING_OVERHEAD_TARGET:.2f}x ceiling"]
+    return []
+
+
+# ---------------------------------------------------------------------------
 # Sweep: every bench_*.py in smoke form
 # ---------------------------------------------------------------------------
 
@@ -237,21 +302,33 @@ def main(argv=None):
                         help="skip the per-bench smoke sweep")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
                         metavar="FILE", help="JSON output path "
-                        "(default: BENCH_pr3.json at the repo root)")
+                        "(default: BENCH_pr6.json at the repo root)")
     args = parser.parse_args(argv)
+
+    from repro.obs.metrics import REGISTRY, diff_snapshots
+
+    def with_metrics(run, *run_args):
+        """Attach the registry delta this workload produced to its row."""
+        before = REGISTRY.snapshot()
+        result = run(*run_args)
+        result["metrics"] = diff_snapshots(before, REGISTRY.snapshot())
+        return result
 
     mode = "smoke" if args.smoke else "full"
     print(f"tracked workloads ({mode} mode)")
     tracked = {
-        "prover_scaling": run_prover_scaling(args.smoke),
-        "session_all_pairs": run_session_all_pairs(args.smoke),
-        "optimizer_saturation_vs_bfs": run_saturation_vs_bfs(),
+        "prover_scaling": with_metrics(run_prover_scaling, args.smoke),
+        "session_all_pairs": with_metrics(run_session_all_pairs, args.smoke),
+        "optimizer_saturation_vs_bfs": with_metrics(run_saturation_vs_bfs),
+        "tracing_overhead": with_metrics(run_tracing_overhead, args.smoke),
     }
 
     failures = []
     speedups = {}
     failures.extend(check_saturation_vs_bfs(
         tracked["optimizer_saturation_vs_bfs"]))
+    failures.extend(check_tracing_overhead(
+        tracked["tracing_overhead"], args.smoke))
     for name, result in tracked.items():
         if name not in PRE_KERNEL_BASELINE:
             continue
@@ -281,16 +358,18 @@ def main(argv=None):
                 failures.append(f"sweep bench {name} failed")
 
     payload = {
-        "schema": 1,
+        "schema": 2,
         "mode": mode,
         "baseline": {
             "note": "pre-kernel tree (commit 8a178b2), best of 3 passes",
             "seconds": PRE_KERNEL_BASELINE,
         },
         "speedup_target": SPEEDUP_TARGET,
+        "tracing_overhead_target": TRACING_OVERHEAD_TARGET,
         "tracked": tracked,
         "speedups": speedups,
         "sweep": sweep,
+        "metrics": REGISTRY.snapshot(),
     }
     output = pathlib.Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",

@@ -24,6 +24,10 @@ system DOPCERT:
 * :mod:`repro.sql` — a named SQL frontend compiling to the unnamed model
   (and, via :mod:`repro.sql.decompile`, back out again).
 * :mod:`repro.optimizer` — a certified cost-based plan rewriter.
+* :mod:`repro.obs` — the observability layer: hierarchical spans with a
+  Chrome trace-event exporter, a process-wide metrics registry whose
+  snapshots merge across worker processes, and the ``repro`` logging
+  hierarchy.
 * :mod:`repro.errors` — one :class:`ReproError` base under every
   library exception.
 * :mod:`repro.theory` — the decidability landscape of Figure 9.
@@ -85,6 +89,7 @@ from .core.equivalence import (
     check_query_equivalence as _check_query_equivalence,
     queries_equivalent as _queries_equivalent,
 )
+from . import obs
 from .engine import Database, Interpretation, run_query
 from .errors import ReproError
 from .rules import all_rules, get_rule, rules_by_category
@@ -181,6 +186,7 @@ __all__ = [
     "decide_cq",
     "denote_closed",
     "get_rule",
+    "obs",
     "queries_equivalent",
     "query_to_str",
     "rules_by_category",

@@ -18,7 +18,14 @@ Usage (``python -m repro <command>``):
   query as written (no rewriting),
 * ``prove RULE`` — run one library rule through the pipeline (by name),
 * ``prove-all`` — verify the Figure 8 corpus through the batch service,
-* ``rules`` — list every rule with category and status metadata.
+* ``rules`` — list every rule with category and status metadata,
+* ``stats [--json]`` — dump the observability layer's metrics registry.
+
+Observability: every subcommand takes ``--log-level`` (the ``repro``
+logging hierarchy; DEBUG logs span open/close), and ``check`` /
+``batch-check`` / ``optimize`` take ``--trace-out FILE`` to export a
+Chrome trace-event JSON of the run (loadable in ``chrome://tracing`` or
+https://ui.perfetto.dev).
 
 The CLI is a thin veneer over :class:`repro.session.Session` — each
 command opens one session (catalog + pipeline + proof cache + worker
@@ -34,6 +41,9 @@ import sys
 from typing import List, Optional
 
 from .errors import ReproError
+from .obs.logs import configure_logging
+from .obs.metrics import REGISTRY
+from .obs.trace import trace_to_file
 from .optimizer import STRATEGIES, TableStats
 from .rules import (
     CATEGORY_ORDER,
@@ -331,6 +341,37 @@ def cmd_prove_all(args: argparse.Namespace) -> int:
         return 0 if failures == 0 else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Dump the process-wide metrics registry (``repro stats``).
+
+    A fresh process reports the metric families at zero — the command is
+    primarily a schema reference and a scripting hook: run it after
+    ``--trace-out``/batch work in the same process (the Python API), or
+    use ``--json`` in CI to smoke-test that the registry serializes.
+    """
+    from .core.intern import kernel_stats
+    snapshot = REGISTRY.snapshot()
+    if args.json:
+        print(json.dumps({"metrics": snapshot, "kernel": kernel_stats()},
+                         indent=2, sort_keys=True))
+        return 0
+    print("counters:")
+    for name in sorted(snapshot["counters"]):
+        print(f"  {name:<44} {snapshot['counters'][name]:.0f}")
+    print("gauges:")
+    for name in sorted(snapshot["gauges"]):
+        print(f"  {name:<44} {snapshot['gauges'][name]:g}")
+    print("histograms:")
+    for name in sorted(snapshot["histograms"]):
+        data = snapshot["histograms"][name]
+        mean = data["sum"] / data["count"] if data["count"] else 0.0
+        print(f"  {name:<44} {data['count']:6d} obs, mean {mean:.6g}")
+    print("kernel:")
+    for key, value in sorted(kernel_stats().items()):
+        print(f"  {key:<44} {value}")
+    return 0
+
+
 def cmd_rules(args: argparse.Namespace) -> int:
     print(f"{'name':<32}{'category':<14}{'paper ref':<24}")
     print("-" * 70)
@@ -349,6 +390,18 @@ def _add_cache_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache", metavar="FILE", default=None,
                         help="persist the proof cache to this JSON file "
                              "(loaded when it exists)")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser,
+                     trace: bool = False) -> None:
+    parser.add_argument("--log-level", metavar="LEVEL", default=None,
+                        help="enable repro's logging hierarchy at this "
+                             "level (DEBUG logs every span open/close)")
+    if trace:
+        parser.add_argument("--trace-out", metavar="FILE", default=None,
+                            help="write a Chrome trace-event JSON of this "
+                                 "run (load in chrome://tracing or "
+                                 "ui.perfetto.dev)")
 
 
 def _add_bound_options(parser: argparse.ArgumentParser) -> None:
@@ -379,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "interned nodes) alongside the verdict")
     _add_cache_option(check)
     _add_bound_options(check)
+    _add_obs_options(check, trace=True)
     check.set_defaults(fn=cmd_check)
 
     batch = sub.add_parser("batch-check",
@@ -390,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (default: auto)")
     _add_cache_option(batch)
     _add_bound_options(batch)
+    _add_obs_options(batch, trace=True)
     batch.set_defaults(fn=cmd_batch_check)
 
     optimize_p = sub.add_parser(
@@ -428,6 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "back to SQL")
     _add_cache_option(optimize_p)
     _add_bound_options(optimize_p)
+    _add_obs_options(optimize_p, trace=True)
     optimize_p.set_defaults(fn=cmd_optimize)
 
     explain_p = sub.add_parser(
@@ -440,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "model (repeatable; default 100)")
     _add_cache_option(explain_p)
     _add_bound_options(explain_p)
+    _add_obs_options(explain_p)
     explain_p.set_defaults(fn=cmd_explain)
 
     disprove_p = sub.add_parser(
@@ -450,11 +507,13 @@ def build_parser() -> argparse.ArgumentParser:
     disprove_p.add_argument("--table", action="append", metavar="SPEC",
                             help="table declaration (SQL mode)")
     _add_bound_options(disprove_p)
+    _add_obs_options(disprove_p)
     disprove_p.set_defaults(fn=cmd_disprove)
 
     prove = sub.add_parser("prove", help="prove one library rule by name")
     prove.add_argument("rule")
     _add_cache_option(prove)
+    _add_obs_options(prove)
     prove.set_defaults(fn=cmd_prove)
 
     prove_all = sub.add_parser("prove-all",
@@ -463,10 +522,20 @@ def build_parser() -> argparse.ArgumentParser:
     prove_all.add_argument("--workers", type=int, default=1,
                            help="worker processes (default 1)")
     _add_cache_option(prove_all)
+    _add_obs_options(prove_all, trace=True)
     prove_all.set_defaults(fn=cmd_prove_all)
 
     rules = sub.add_parser("rules", help="list the rule library")
     rules.set_defaults(fn=cmd_rules)
+
+    stats = sub.add_parser("stats",
+                           help="dump the observability layer's metrics "
+                                "registry (counters, gauges, histograms)")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable snapshot (metrics + kernel "
+                            "counters)")
+    _add_obs_options(stats)
+    stats.set_defaults(fn=cmd_stats)
     return parser
 
 
@@ -474,7 +543,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        level = getattr(args, "log_level", None)
+        if level is not None:
+            try:
+                configure_logging(level)
+            except ValueError as exc:
+                raise CLIError(str(exc)) from exc
+        with trace_to_file(getattr(args, "trace_out", None)):
+            return args.fn(args)
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -364,6 +364,32 @@ class KernelLRU:
             self.hits = 0
             self.misses = 0
 
+    def reset(self) -> None:
+        """Zero the hit/miss counters *without* dropping entries.
+
+        The race-safe way to start a measurement window over a warm
+        cache (dropping entries would also change what is measured);
+        consumers that want cold caches use :func:`clear_kernel_caches`.
+        """
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Point-in-time counters, read consistently under the lock.
+
+        Unlike reading the ``hits``/``misses`` attributes directly, the
+        triple (hits, misses, size) is coherent — no writer can move one
+        of them mid-read — which is what delta-based accounting (the
+        pipeline's per-verdict kernel counters, the metrics registry's
+        snapshots) needs.
+        """
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._data)
+        total = hits + misses
+        return {"hits": hits, "misses": misses, "size": size,
+                "hit_rate": hits / total if total else 0.0}
+
     def __len__(self) -> int:
         return len(self._data)
 
@@ -373,8 +399,7 @@ class KernelLRU:
         return self.hits / total if total else 0.0
 
     def stats(self) -> Dict[str, float]:
-        return {"hits": self.hits, "misses": self.misses,
-                "size": len(self._data), "hit_rate": self.hit_rate}
+        return self.snapshot()
 
 
 _KERNEL_CACHES: List[KernelLRU] = []

@@ -1,0 +1,71 @@
+"""Unified observability layer: tracing, metrics, and logging.
+
+Dependency-free (standard library only) and import-cycle-free — nothing
+in this package imports the rest of :mod:`repro`, so every layer from
+the term kernel to the CLI can instrument itself:
+
+* :mod:`repro.obs.trace` — hierarchical spans (context manager /
+  decorator, thread-local stacks, monotonic clocks) with Chrome
+  trace-event and indented-tree exporters.  The span tree is the source
+  of truth for ``Verdict.timings``.
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms whose ``snapshot()`` /
+  ``merge_snapshots()`` algebra lets the multiprocessing batch service
+  aggregate worker metrics in the parent.
+* :mod:`repro.obs.logs` — the ``repro``-rooted :mod:`logging` hierarchy
+  (NullHandler by default; ``configure_logging`` for the CLI's
+  ``--log-level``).
+
+See the README's "Observability" section for the metric-name reference
+and a ``--trace-out`` walkthrough.
+"""
+
+from .logs import ROOT_LOGGER_NAME, configure_logging, get_logger
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    counter,
+    diff_snapshots,
+    empty_snapshot,
+    gauge,
+    histogram,
+    merge_snapshots,
+)
+from .trace import (
+    Span,
+    TRACER,
+    Tracer,
+    current_span,
+    span,
+    trace_to_file,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "ROOT_LOGGER_NAME",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "configure_logging",
+    "counter",
+    "current_span",
+    "diff_snapshots",
+    "empty_snapshot",
+    "gauge",
+    "get_logger",
+    "histogram",
+    "merge_snapshots",
+    "span",
+    "trace_to_file",
+    "traced",
+]

@@ -1,0 +1,91 @@
+"""The ``repro``-rooted :mod:`logging` hierarchy.
+
+Every module in the package logs through a child of the ``repro`` root
+logger (``repro.solver.pipeline``, ``repro.optimizer.saturate``, ...).
+The root carries a :class:`logging.NullHandler`, so a library consumer
+who never configures logging sees nothing — the standard library-author
+contract — while an application (or the CLI's ``--log-level`` flag) can
+attach handlers to ``repro`` once and receive the whole hierarchy.
+
+:func:`configure_logging` is the one-call setup the CLI uses: it attaches
+a single stream handler to the root (idempotently — repeated calls
+re-level the same handler rather than stacking duplicates) with a compact
+``timestamp level logger: message`` format.
+
+At DEBUG level the tracer (:mod:`repro.obs.trace`) additionally logs
+every span open/close through ``repro.trace``, which turns a pipeline run
+into a readable nested event log without any exporter.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+#: The root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_root = logging.getLogger(ROOT_LOGGER_NAME)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    # Library default: silent unless the application opts in.
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` root.
+
+    ``get_logger("solver.pipeline")`` → ``repro.solver.pipeline``; an
+    empty name (or a name already rooted at ``repro``) returns the
+    corresponding logger unchanged.
+    """
+    if not name:
+        return _root
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+#: The handler :func:`configure_logging` manages (one per process).
+_HANDLER: Optional[logging.Handler] = None
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: Union[int, str] = logging.INFO,
+                      stream=None) -> logging.Handler:
+    """Attach (or re-level) the package's stream handler.
+
+    Args:
+        level: a :mod:`logging` level number or name (``"DEBUG"``, ...).
+        stream: destination stream; defaults to ``sys.stderr``.
+
+    Returns:
+        The managed handler, so callers (tests) can detach it again.
+    """
+    global _HANDLER
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    if _HANDLER is None:
+        _HANDLER = logging.StreamHandler(stream or sys.stderr)
+        _HANDLER.setFormatter(logging.Formatter(_FORMAT))
+        _root.addHandler(_HANDLER)
+    elif stream is not None:
+        _HANDLER.setStream(stream)
+    _HANDLER.setLevel(level)
+    _root.setLevel(level)
+    return _HANDLER
+
+
+def reset_logging() -> None:
+    """Detach the managed handler (tests use this to isolate state)."""
+    global _HANDLER
+    if _HANDLER is not None:
+        _root.removeHandler(_HANDLER)
+        _HANDLER = None
+    _root.setLevel(logging.NOTSET)

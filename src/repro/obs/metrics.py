@@ -1,0 +1,373 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the aggregation half of the observability layer (spans in
+:mod:`repro.obs.trace` are the correlation half).  Three metric kinds,
+deliberately Prometheus-shaped:
+
+* :class:`Counter` — monotonically increasing totals (cache hits, rules
+  fired, verdicts by status),
+* :class:`Gauge` — last-written level samples (live interned nodes,
+  proof-cache entries),
+* :class:`Histogram` — fixed upper-bound buckets with ``sum``/``count``
+  (per-tier latencies, e-node growth per saturation iteration).  A value
+  lands in the first bucket whose upper bound is ``>=`` the value
+  (inclusive edges); values above every edge land in the implicit
+  ``+inf`` overflow bucket, so ``len(counts) == len(buckets) + 1``.
+
+Everything interesting happens on *snapshots* — plain JSON-able dicts —
+because the batch service's workers are separate processes: a worker
+diffs its registry around each job (:func:`diff_snapshots`), ships the
+delta back over the result queue, and the parent folds the deltas into
+its own registry (:meth:`MetricsRegistry.absorb`) and into the batch
+report (:func:`merge_snapshots`).  ``merge_snapshots`` is associative
+with :func:`empty_snapshot` as identity — the property that makes
+"aggregate across N workers" order-independent — and the test suite
+checks it.
+
+Merge semantics per kind: counters and histograms add; gauges take the
+maximum (a level, not a total — the max is the only associative,
+commutative choice that never fabricates a value neither process saw).
+
+The module-level :data:`REGISTRY` is the process-wide instance every
+instrumented module writes to; tests build private registries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "diff_snapshots",
+    "empty_snapshot",
+    "gauge",
+    "histogram",
+    "merge_snapshots",
+]
+
+#: Default histogram edges for second-valued latencies: 100 µs .. 10 s.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A level that can move both ways (a sample, not a total)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with inclusive upper-bound edges.
+
+    ``observe(v)`` increments ``counts[i]`` for the first bucket with
+    ``v <= buckets[i]``, or the trailing overflow slot when ``v`` exceeds
+    every edge.  Bucket edges are fixed at creation so snapshots from
+    different processes merge bucket-by-bucket.
+    """
+
+    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        edges = tuple(float(b) for b in buckets)
+        if not edges:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"histogram {name!r} buckets must be strictly "
+                             f"increasing, got {edges}")
+        self.name = name
+        self.buckets = edges
+        self._counts = [0] * (len(edges) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def counts(self) -> List[int]:
+        with self._lock:
+            return list(self._counts)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """A named family of metrics with consistent snapshots.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the same object thereafter (asking for an existing name as a
+    different kind — or a histogram with different buckets — raises,
+    since the snapshots would stop merging).  :meth:`reset` zeroes
+    values but keeps the metric objects, so module-level handles held by
+    instrumented code stay valid across test isolation.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- metric accessors ---------------------------------------------------
+
+    def _check_unique(self, name: str, kind: str) -> None:
+        kinds = {"counter": self._counters, "gauge": self._gauges,
+                 "histogram": self._histograms}
+        for other, table in kinds.items():
+            if other != kind and name in table:
+                raise ValueError(f"metric {name!r} already registered "
+                                 f"as a {other}, not a {kind}")
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_unique(name, "counter")
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_unique(name, "gauge")
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_unique(name, "histogram")
+                metric = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None
+                    else DEFAULT_LATENCY_BUCKETS)
+            elif buckets is not None \
+                    and tuple(float(b) for b in buckets) != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with buckets "
+                    f"{metric.buckets}, asked for {tuple(buckets)}")
+            return metric
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data copy of every metric (JSON-able, picklable)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.value for n, c in counters.items()},
+            "gauges": {n: g.value for n, g in gauges.items()},
+            "histograms": {
+                n: {"buckets": list(h.buckets), "counts": h.counts,
+                    "sum": h.sum, "count": h.count}
+                for n, h in histograms.items()},
+        }
+
+    def absorb(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a (delta) snapshot from another process into this
+        registry — the parent-side half of cross-process aggregation."""
+        for name, value in snapshot.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            metric = self.gauge(name)
+            if value > metric.value:
+                metric.set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            metric = self.histogram(name, data["buckets"])
+            _check_buckets(name, metric.buckets, data["buckets"])
+            with metric._lock:
+                for i, n in enumerate(data["counts"]):
+                    metric._counts[i] += n
+                metric._sum += data["sum"]
+                metric._count += data["count"]
+
+    def reset(self) -> None:
+        """Zero every metric (objects survive; handles stay valid)."""
+        with self._lock:
+            metrics = (list(self._counters.values())
+                       + list(self._gauges.values())
+                       + list(self._histograms.values()))
+        for metric in metrics:
+            metric._reset()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot algebra (pure functions over plain dicts)
+# ---------------------------------------------------------------------------
+
+def empty_snapshot() -> Dict[str, Any]:
+    """The identity element of :func:`merge_snapshots`."""
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def _check_buckets(name: str, a, b) -> None:
+    if list(a) != list(b):
+        raise ValueError(f"histogram {name!r} bucket mismatch: "
+                         f"{list(a)} vs {list(b)}")
+
+
+def merge_snapshots(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Combine two snapshots: counters/histograms add, gauges take max.
+
+    Associative and commutative with :func:`empty_snapshot` as identity,
+    so folding N worker deltas gives the same aggregate in any order.
+    Inputs are not mutated.
+    """
+    out = empty_snapshot()
+    for snap in (a, b):
+        for name, value in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            current = out["gauges"].get(name)
+            out["gauges"][name] = (value if current is None
+                                   else max(current, value))
+        for name, data in snap.get("histograms", {}).items():
+            current = out["histograms"].get(name)
+            if current is None:
+                out["histograms"][name] = {
+                    "buckets": list(data["buckets"]),
+                    "counts": list(data["counts"]),
+                    "sum": data["sum"], "count": data["count"]}
+            else:
+                _check_buckets(name, current["buckets"], data["buckets"])
+                current["counts"] = [x + y for x, y in
+                                     zip(current["counts"], data["counts"])]
+                current["sum"] += data["sum"]
+                current["count"] += data["count"]
+    return out
+
+
+def diff_snapshots(before: Dict[str, Any],
+                   after: Dict[str, Any]) -> Dict[str, Any]:
+    """What happened between two snapshots of one registry.
+
+    Counters and histograms subtract (a metric born after ``before``
+    passes through whole); gauges report their ``after`` level.  The
+    result is itself a snapshot, so it merges and absorbs like any
+    other — this is the per-job delta a batch worker ships home.
+    """
+    out = empty_snapshot()
+    before_c = before.get("counters", {})
+    for name, value in after.get("counters", {}).items():
+        delta = value - before_c.get(name, 0.0)
+        if delta:
+            out["counters"][name] = delta
+    out["gauges"] = dict(after.get("gauges", {}))
+    before_h = before.get("histograms", {})
+    for name, data in after.get("histograms", {}).items():
+        prev = before_h.get(name)
+        if prev is None:
+            counts, total, count = (list(data["counts"]), data["sum"],
+                                    data["count"])
+        else:
+            _check_buckets(name, prev["buckets"], data["buckets"])
+            counts = [x - y for x, y in zip(data["counts"], prev["counts"])]
+            total = data["sum"] - prev["sum"]
+            count = data["count"] - prev["count"]
+        if count:
+            out["histograms"][name] = {"buckets": list(data["buckets"]),
+                                       "counts": counts, "sum": total,
+                                       "count": count}
+    return out
+
+
+#: The process-wide registry every instrumented module writes to.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """``REGISTRY.counter`` shorthand."""
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``REGISTRY.gauge`` shorthand."""
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str,
+              buckets: Optional[Sequence[float]] = None) -> Histogram:
+    """``REGISTRY.histogram`` shorthand."""
+    return REGISTRY.histogram(name, buckets)

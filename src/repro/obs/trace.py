@@ -1,0 +1,326 @@
+"""Hierarchical spans: the correlation half of the observability layer.
+
+A *span* is one timed region of work with a name, free-form attributes,
+and children — the structure ad-hoc ``time.perf_counter()`` bookkeeping
+cannot give: tier timings that nest under their check, saturation
+iterations that nest under their optimize call, batch jobs that nest
+under their batch.  Usage::
+
+    from repro.obs import span, traced
+
+    with span("pipeline.prover", pair=fp) as sp:
+        ...                      # sp.duration afterwards, children inside
+
+    @traced("optimizer.extract")
+    def extract_best(...): ...
+
+Spans form per-thread stacks (``threading.local``), so concurrent
+threads interleave without corrupting each other's trees, and clocks are
+monotonic (``time.perf_counter``) so a span can never have negative
+duration.  Opening and closing a span is cheap — two clock reads and an
+append — because instrumented hot paths (every pipeline check) run it
+unconditionally: the *span tree* is what populates ``Verdict.timings``,
+whether or not anyone is exporting.
+
+Exporting is the :class:`Tracer`'s job.  When enabled it retains
+completed *root* spans (bounded, oldest dropped) and renders them two
+ways:
+
+* :meth:`Tracer.chrome_trace` / :meth:`Tracer.write_chrome` — the Chrome
+  trace-event JSON format (``{"traceEvents": [{"ph": "X", ...}]}``),
+  loadable in ``chrome://tracing`` or https://ui.perfetto.dev,
+* :meth:`Tracer.render` — a human-readable indented tree with
+  durations, for terminals and test failures.
+
+The module-level :data:`TRACER` is what the CLI's ``--trace-out`` flag
+drives (via :func:`trace_to_file`).  Spans are process-local: the batch
+service's worker processes ship metrics snapshots home, not spans, so a
+parent-process trace shows dispatch/collect timing for remote jobs and
+full tier detail for inline ones.
+
+At DEBUG level (``--log-level DEBUG``) every span open/close is also
+logged through ``repro.trace`` — guarded by ``isEnabledFor`` so the
+default configuration pays one boolean check.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import logging
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from .logs import get_logger
+
+__all__ = [
+    "Span",
+    "TRACER",
+    "Tracer",
+    "current_span",
+    "span",
+    "trace_to_file",
+    "traced",
+]
+
+_log = get_logger("trace")
+
+#: Common time origin for every span in the process, so Chrome-trace
+#: timestamps from different threads land on one comparable axis.
+_EPOCH = time.perf_counter()
+
+_local = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+class Span:
+    """One timed, named, attributed region of work."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "error",
+                 "thread_id", "thread_name")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: List["Span"] = []
+        self.error: Optional[str] = None
+        thread = threading.current_thread()
+        self.thread_id = thread.ident or 0
+        self.thread_name = thread.name
+        self.end: Optional[float] = None
+        self.start = time.perf_counter()
+
+    @property
+    def duration(self) -> float:
+        """Seconds from open to close (to *now* while still open)."""
+        return (time.perf_counter() if self.end is None
+                else self.end) - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.3f} ms" if self.closed else "open"
+        return f"Span({self.name!r}, {state}, {len(self.children)} child(ren))"
+
+
+class span:
+    """Context manager opening a :class:`Span` under the current one.
+
+    The span is timed and linked into its parent unconditionally (the
+    pipeline reads tier durations off these objects); completed *root*
+    spans are additionally handed to :data:`TRACER` when it is enabled.
+    Exceptions close the span, record ``error``, and propagate.
+    """
+
+    __slots__ = ("_name", "_attrs", "_span")
+
+    def __init__(self, _name: str, **attrs: Any) -> None:
+        self._name = _name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        sp = self._span = Span(self._name, self._attrs)
+        stack = _stack()
+        if stack:
+            stack[-1].children.append(sp)
+        stack.append(sp)
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug("open  %s%s", "  " * (len(stack) - 1), sp.name)
+        return sp
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        sp = self._span
+        sp.end = time.perf_counter()
+        if exc is not None:
+            sp.error = f"{exc_type.__name__}: {exc}"
+        stack = _stack()
+        # The span is closed even if the stack was corrupted by a caller
+        # leaking __enter__/__exit__ pairs; only well-nested pops record.
+        if stack and stack[-1] is sp:
+            stack.pop()
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug("close %s%s (%.3f ms%s)", "  " * len(stack), sp.name,
+                       sp.duration * 1e3,
+                       f", error={sp.error}" if sp.error else "")
+        if not stack:
+            TRACER.record(sp)
+        return False
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def traced(name=None, **attrs: Any):
+    """Decorator form of :func:`span`.
+
+    ``@traced`` uses the function's qualified name; ``@traced("label",
+    key=value)`` sets the span name and static attributes.
+    """
+    if callable(name):  # bare @traced
+        return traced(None)(name)
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate
+
+
+# ---------------------------------------------------------------------------
+# The tracer: retention + exporters
+# ---------------------------------------------------------------------------
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class Tracer:
+    """Retains completed root spans and exports them.
+
+    Disabled by default: instrumented code pays for span objects either
+    way (they feed ``Verdict.timings``), but nothing is *retained* until
+    a consumer enables the tracer.  Retention is bounded (oldest roots
+    dropped) so a long-lived service with tracing left on cannot grow
+    without limit.
+    """
+
+    def __init__(self, max_roots: int = 100_000) -> None:
+        self._roots: "deque[Span]" = deque(maxlen=max_roots)
+        self.enabled = False
+
+    # -- collection ---------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._roots.clear()
+
+    def record(self, root: Span) -> None:
+        """Called by :class:`span` for every completed root span."""
+        if self.enabled:
+            self._roots.append(root)
+
+    @property
+    def roots(self) -> List[Span]:
+        return list(self._roots)
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+    # -- Chrome trace-event exporter ----------------------------------------
+
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """Complete ``"X"`` (duration) events, one per span."""
+        pid = os.getpid()
+        events = []
+        for root in self._roots:
+            for sp in root.walk():
+                if not sp.closed:
+                    continue
+                args = {k: _json_safe(v) for k, v in sp.attrs.items()}
+                if sp.error:
+                    args["error"] = sp.error
+                events.append({
+                    "name": sp.name,
+                    "cat": sp.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": (sp.start - _EPOCH) * 1e6,
+                    "dur": sp.duration * 1e6,
+                    "pid": pid,
+                    "tid": sp.thread_id,
+                    "args": args,
+                })
+        events.sort(key=lambda e: e["ts"])
+        return events
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The full Chrome trace-event JSON object (Perfetto-loadable)."""
+        return {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.trace"},
+        }
+
+    def write_chrome(self, path: str) -> str:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle)
+        return path
+
+    # -- human-readable tree ------------------------------------------------
+
+    def render(self, max_roots: Optional[int] = None) -> str:
+        """Indented span tree with durations (newest roots last)."""
+        roots = self.roots
+        if max_roots is not None:
+            roots = roots[-max_roots:]
+        lines: List[str] = []
+        for root in roots:
+            self._render_span(root, 0, lines)
+        return "\n".join(lines)
+
+    def _render_span(self, sp: Span, depth: int, lines: List[str]) -> None:
+        attrs = " ".join(f"{k}={_json_safe(v)}" for k, v in sp.attrs.items())
+        error = f"  !{sp.error}" if sp.error else ""
+        lines.append(f"{'  ' * depth}{sp.name:<28} "
+                     f"{sp.duration * 1e3:9.3f} ms"
+                     f"{'  ' + attrs if attrs else ''}{error}")
+        for child in sp.children:
+            self._render_span(child, depth + 1, lines)
+
+
+#: The process-wide tracer (what ``--trace-out`` enables and exports).
+TRACER = Tracer()
+
+
+@contextmanager
+def trace_to_file(path: Optional[str]):
+    """Enable tracing for a block and export to ``path`` on exit.
+
+    ``path=None`` is a no-op passthrough, so call sites can thread an
+    optional ``--trace-out`` argument straight in.  Pre-existing trace
+    state is cleared: the file covers exactly the block.
+    """
+    if path is None:
+        yield None
+        return
+    was_enabled = TRACER.enabled
+    TRACER.clear()
+    TRACER.enable()
+    try:
+        yield TRACER
+    finally:
+        TRACER.enabled = was_enabled
+        TRACER.write_chrome(path)
+        TRACER.clear()

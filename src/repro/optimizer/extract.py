@@ -35,8 +35,14 @@ from itertools import product as _cartesian
 from typing import Dict, List, Optional, Tuple
 
 from ..core import ast
+from ..obs.metrics import counter, histogram
+from ..obs.trace import span
 from .cost import Estimate, TableStats, compose, plan_size
 from .egraph import EGraph, ENode
+
+_EXTRACT_SECONDS = histogram("extract.seconds")
+_EXTRACT_SWEEPS = histogram("extract.sweeps",
+                            buckets=(1, 2, 3, 5, 8, 13, 21, 50, 100, 200))
 
 __all__ = ["Candidate", "ExtractionResult", "PLAN_COUNT_LIMIT",
            "count_plans", "extract_best", "rule_chain"]
@@ -140,38 +146,49 @@ def extract_best(eg: EGraph, root: int,
     classes = list(eg.classes())
     label_sizes: Dict[ENode, int] = {}
     frontiers: Dict[int, List[Candidate]] = {cid: [] for cid, _ in classes}
-    for _ in range(MAX_SWEEPS):
-        changed = False
-        for cid, nodes in classes:
-            candidates = list(frontiers[cid])
-            for node in nodes:
-                child_fronts = [frontiers.get(eg.find(c), ())
-                                for c in node.children]
-                if any(not front for front in child_fronts):
-                    continue
-                own = label_sizes.get(node)
-                if own is None:
-                    own = label_sizes.setdefault(node, _label_size(node))
-                for combo in _cartesian(*child_fronts):
-                    est = compose(node.op, node.label,
-                                  tuple(c.estimate for c in combo), stats)
-                    candidates.append(Candidate(
-                        cost=est.cost, cardinality=est.cardinality,
-                        size=own + sum(c.size for c in combo),
-                        node=node, children=combo))
-            pruned = _prune(candidates)
-            if [c.key for c in pruned] != [c.key for c in frontiers[cid]]:
-                frontiers[cid] = pruned
-                changed = True
-        if not changed:
-            break
-    if not frontiers.get(root):
-        raise ExtractionError(f"no finite plan extractable from e-class "
-                              f"c{root}")
-    winner = min(frontiers[root], key=lambda c: (c.cost, c.size))
-    return ExtractionResult(
-        plan=winner.build(eg), estimate=winner.estimate, size=winner.size,
-        chain=rule_chain(eg, winner), winner=winner)
+    with span("optimizer.extract", classes=len(classes)) as sp:
+        sweeps = 0
+        for _ in range(MAX_SWEEPS):
+            sweeps += 1
+            changed = False
+            for cid, nodes in classes:
+                candidates = list(frontiers[cid])
+                for node in nodes:
+                    child_fronts = [frontiers.get(eg.find(c), ())
+                                    for c in node.children]
+                    if any(not front for front in child_fronts):
+                        continue
+                    own = label_sizes.get(node)
+                    if own is None:
+                        own = label_sizes.setdefault(node,
+                                                     _label_size(node))
+                    for combo in _cartesian(*child_fronts):
+                        est = compose(node.op, node.label,
+                                      tuple(c.estimate for c in combo),
+                                      stats)
+                        candidates.append(Candidate(
+                            cost=est.cost, cardinality=est.cardinality,
+                            size=own + sum(c.size for c in combo),
+                            node=node, children=combo))
+                pruned = _prune(candidates)
+                if [c.key for c in pruned] \
+                        != [c.key for c in frontiers[cid]]:
+                    frontiers[cid] = pruned
+                    changed = True
+            if not changed:
+                break
+        sp.attrs["sweeps"] = sweeps
+        if not frontiers.get(root):
+            counter("extract.failures_total").inc()
+            raise ExtractionError(f"no finite plan extractable from "
+                                  f"e-class c{root}")
+        winner = min(frontiers[root], key=lambda c: (c.cost, c.size))
+        result = ExtractionResult(
+            plan=winner.build(eg), estimate=winner.estimate,
+            size=winner.size, chain=rule_chain(eg, winner), winner=winner)
+    _EXTRACT_SECONDS.observe(sp.duration)
+    _EXTRACT_SWEEPS.observe(sweeps)
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -27,12 +27,24 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core import ast
+from ..obs.logs import get_logger
+from ..obs.metrics import counter, histogram
+from ..obs.trace import span
 from .egraph import EGraph, ENode, Reason
 from .rewriter import (
     flatten_conjuncts,
     predicate_paths,
     rewrite_predicate_paths,
 )
+
+_log = get_logger("optimizer.saturate")
+
+#: e-node growth per iteration — the shape of the search-space expansion.
+_ENODE_GROWTH = histogram("saturate.enodes_per_iteration.growth",
+                          buckets=(0, 1, 2, 5, 10, 25, 50, 100, 250,
+                                   500, 1000, 2500, 5000))
+_ITERATIONS = counter("saturate.iterations_total")
+_SECONDS = histogram("saturate.seconds")
 
 __all__ = ["ERule", "ERULES", "SaturationBudget", "SaturationStats",
            "saturate"]
@@ -245,35 +257,53 @@ def saturate(eg: EGraph, rules: Tuple[ERule, ...] = ERULES,
     budget = budget if budget is not None else SaturationBudget()
     index = _rule_index(rules)
     stats = SaturationStats()
-    for _ in range(budget.max_iterations):
-        snapshot = [(cid, node) for cid, nodes in eg.classes()
-                    for node in list(nodes)]
-        nodes_before, unions_before = eg.nodes_added, eg.unions
-        out_of_nodes = False
-        for cid, node in snapshot:
-            if eg.nodes_added >= budget.max_nodes:
-                out_of_nodes = True
+    with span("optimizer.saturate") as root:
+        for _ in range(budget.max_iterations):
+            with span("optimizer.saturate.iteration",
+                      iteration=stats.iterations) as it_span:
+                snapshot = [(cid, node) for cid, nodes in eg.classes()
+                            for node in list(nodes)]
+                nodes_before, unions_before = eg.nodes_added, eg.unions
+                out_of_nodes = False
+                for cid, node in snapshot:
+                    if eg.nodes_added >= budget.max_nodes:
+                        out_of_nodes = True
+                        break
+                    for rule in index.get(node.op, ()):
+                        fired = rule.apply(eg, eg.find(cid), node)
+                        if fired:
+                            stats.matches += fired
+                            stats.rules_fired[rule.name] = \
+                                stats.rules_fired.get(rule.name, 0) + fired
+                stats.congruences += eg.rebuild()
+                stats.iterations += 1
+                growth = eg.nodes_added - nodes_before
+                it_span.attrs["enode_growth"] = growth
+                it_span.attrs["unions"] = eg.unions - unions_before
+                _ENODE_GROWTH.observe(growth)
+                _ITERATIONS.inc()
+            if out_of_nodes or eg.nodes_added >= budget.max_nodes:
+                stats.stop_reason = (f"node budget exhausted "
+                                     f"({budget.max_nodes} e-nodes)")
                 break
-            for rule in index.get(node.op, ()):
-                fired = rule.apply(eg, eg.find(cid), node)
-                if fired:
-                    stats.matches += fired
-                    stats.rules_fired[rule.name] = \
-                        stats.rules_fired.get(rule.name, 0) + fired
-        stats.congruences += eg.rebuild()
-        stats.iterations += 1
-        if out_of_nodes or eg.nodes_added >= budget.max_nodes:
-            stats.stop_reason = (f"node budget exhausted "
-                                 f"({budget.max_nodes} e-nodes)")
-            break
-        if eg.nodes_added == nodes_before and eg.unions == unions_before:
-            stats.saturated = True
-            stats.stop_reason = "saturated (fixpoint)"
-            break
-    else:
-        stats.stop_reason = (f"iteration budget exhausted "
-                             f"({budget.max_iterations} iterations)")
-    stats.unions = eg.unions
-    stats.nodes = eg.num_nodes
-    stats.classes = eg.num_classes
+            if eg.nodes_added == nodes_before \
+                    and eg.unions == unions_before:
+                stats.saturated = True
+                stats.stop_reason = "saturated (fixpoint)"
+                break
+        else:
+            stats.stop_reason = (f"iteration budget exhausted "
+                                 f"({budget.max_iterations} iterations)")
+        stats.unions = eg.unions
+        stats.nodes = eg.num_nodes
+        stats.classes = eg.num_classes
+        root.attrs["iterations"] = stats.iterations
+        root.attrs["stop_reason"] = stats.stop_reason
+    _SECONDS.observe(root.duration)
+    # Flushed once per run rather than per fire: the hot loop stays
+    # lock-free, the registry still sees exact per-rule totals.
+    for name, fired in stats.rules_fired.items():
+        counter(f"saturate.rules_fired.{name}").inc(fired)
+    _log.debug("saturation: %s after %d iteration(s), %d node(s)",
+               stats.stop_reason, stats.iterations, stats.nodes)
     return stats

@@ -20,7 +20,6 @@ verification".
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -39,7 +38,11 @@ from ..engine.random_instances import (
     InstanceFactory,
     find_counterexample,
 )
+from ..obs.metrics import counter, histogram
+from ..obs.trace import span
 from ..semiring.semirings import NAT, Semiring
+
+_PROOF_SECONDS = histogram("rules.proof.seconds")
 
 
 @dataclass
@@ -89,23 +92,30 @@ class RewriteRule:
 
     def prove(self) -> Proof:
         """Run the symbolic proof (decision procedure for CQ rules)."""
-        start = time.perf_counter()
-        if self.automatic:
-            decision = decide_cq(self.lhs, self.rhs, self.ctx_schema,
-                                 self.hypotheses, require_fragment=False)
-            elapsed = time.perf_counter() - start
-            return Proof(
-                rule_name=self.name, verified=decision.equivalent,
-                tactic_script=("cq_decide",), engine_steps=1,
-                elapsed_seconds=elapsed, automatic=True)
-        result = check_query_equivalence(self.lhs, self.rhs, self.ctx_schema,
-                                         self.hypotheses)
-        elapsed = time.perf_counter() - start
-        return Proof(
-            rule_name=self.name, verified=result.equal,
-            tactic_script=self.tactic_script,
-            engine_steps=result.stats.total_steps,
-            elapsed_seconds=elapsed, automatic=False, detail=result)
+        with span("rules.prove", rule=self.name,
+                  automatic=self.automatic) as sp:
+            if self.automatic:
+                decision = decide_cq(self.lhs, self.rhs, self.ctx_schema,
+                                     self.hypotheses,
+                                     require_fragment=False)
+                proof = Proof(
+                    rule_name=self.name, verified=decision.equivalent,
+                    tactic_script=("cq_decide",), engine_steps=1,
+                    elapsed_seconds=0.0, automatic=True)
+            else:
+                result = check_query_equivalence(
+                    self.lhs, self.rhs, self.ctx_schema, self.hypotheses)
+                proof = Proof(
+                    rule_name=self.name, verified=result.equal,
+                    tactic_script=self.tactic_script,
+                    engine_steps=result.stats.total_steps,
+                    elapsed_seconds=0.0, automatic=False, detail=result)
+            sp.attrs["verified"] = proof.verified
+        proof.elapsed_seconds = sp.duration
+        _PROOF_SECONDS.observe(sp.duration)
+        counter("rules.proofs.verified" if proof.verified
+                else "rules.proofs.rejected").inc()
+        return proof
 
     def validate(self, trials: int = 25, seed: int = 0,
                  semiring: Semiring = NAT) -> Optional[Counterexample]:

@@ -37,7 +37,16 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from .core import ast
 from .core.equivalence import Hypotheses, NO_HYPOTHESES
@@ -574,6 +583,19 @@ class Session:
         stats["proof_cache_misses"] = self.cache.misses
         stats["proof_cache_hit_rate"] = self.cache.hit_rate
         return stats
+
+    def metrics(self) -> Dict[str, Any]:
+        """Snapshot of the process-wide metrics registry.
+
+        Everything the observability layer counts — per-tier latency
+        histograms, verdict/cache/saturation counters — as one plain
+        JSON-able dict (see :mod:`repro.obs.metrics` for the schema and
+        the README's metric-name reference).  Batch runs fold worker
+        deltas in here too, so after ``check_batch`` the snapshot covers
+        work done in every worker process.
+        """
+        from .obs.metrics import REGISTRY
+        return REGISTRY.snapshot()
 
     def save_cache(self, path: Optional[str] = None) -> str:
         """Persist the proof cache now (exit does this automatically when

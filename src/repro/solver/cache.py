@@ -22,7 +22,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import sys
 import tempfile
 from collections import OrderedDict
 from typing import Dict, Optional
@@ -30,7 +29,19 @@ from typing import Dict, Optional
 from ..core.equivalence import Hypotheses
 from ..core.intern import KernelLRU
 from ..core.normalize import NSum, nsum_alpha_key
+from ..obs.logs import get_logger
+from ..obs.metrics import counter, gauge
+from ..obs.trace import span
 from .verdict import Verdict
+
+_log = get_logger("solver.cache")
+
+_HITS = counter("proofcache.hits_total")
+_MISSES = counter("proofcache.misses_total")
+_EVICTIONS = counter("proofcache.evictions_total")
+_PERSISTS = counter("proofcache.persists_total")
+_LOADS = counter("proofcache.loaded_entries_total")
+_ENTRIES = gauge("proofcache.entries")
 
 #: Memo for :func:`nsum_alpha_repr`, keyed on the interned normal form
 #: plus the (small) free-variable labelling.  Repeated fingerprinting of
@@ -153,8 +164,8 @@ class ProofCache:
             try:
                 self.load(path)
             except (OSError, ValueError, KeyError, TypeError) as exc:
-                print(f"warning: ignoring unreadable proof cache "
-                      f"{path!r}: {exc}", file=sys.stderr)
+                _log.warning("ignoring unreadable proof cache %r: %s",
+                             path, exc)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -174,9 +185,11 @@ class ProofCache:
         entry = self._entries.get(fingerprint)
         if entry is None:
             self.misses += 1
+            _MISSES.inc()
             return None
         self._entries.move_to_end(fingerprint)
         self.hits += 1
+        _HITS.inc()
         return self._copy_as_cached(entry)
 
     def get_by_alias(self, alias: str) -> Optional[Verdict]:
@@ -194,6 +207,7 @@ class ProofCache:
             return None
         self._entries.move_to_end(fingerprint)
         self.hits += 1
+        _HITS.inc()
         return self._copy_as_cached(self._entries[fingerprint])
 
     @staticmethod
@@ -216,6 +230,8 @@ class ProofCache:
             self._aliases[alias] = fingerprint
         while len(self._entries) > self.max_size:
             self._entries.popitem(last=False)
+            _EVICTIONS.inc()
+        _ENTRIES.set(len(self._entries))
         # Dangling aliases are pruned lazily on lookup; a bulk sweep only
         # runs when the index has clearly outgrown the entries it serves.
         if len(self._aliases) > 2 * self.max_size:
@@ -231,6 +247,7 @@ class ProofCache:
         self._aliases.clear()
         self.hits = 0
         self.misses = 0
+        _ENTRIES.set(0)
 
     # -- persistence --------------------------------------------------------
 
@@ -239,21 +256,26 @@ class ProofCache:
         path = path or self.path
         if path is None:
             raise ValueError("no persistence path configured")
-        payload = {
-            "version": 1,
-            "entries": [[fp, v.to_dict()] for fp, v in self._entries.items()],
-            "aliases": self._aliases,
-        }
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+        with span("proofcache.save", entries=len(self._entries)):
+            payload = {
+                "version": 1,
+                "entries": [[fp, v.to_dict()]
+                            for fp, v in self._entries.items()],
+                "aliases": self._aliases,
+            }
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, path)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        _PERSISTS.inc()
+        _log.debug("persisted %d cache entries to %s",
+                   len(self._entries), path)
         return path
 
     def load(self, path: Optional[str] = None) -> int:
@@ -276,6 +298,10 @@ class ProofCache:
                 self._aliases[alias] = fingerprint
         while len(self._entries) > self.max_size:
             self._entries.popitem(last=False)
+            _EVICTIONS.inc()
+        _ENTRIES.set(len(self._entries))
+        _LOADS.inc(loaded)
+        _log.debug("loaded %d cache entries from %s", loaded, path)
         return loaded
 
 

@@ -27,7 +27,6 @@ the prover/disprover pair itself.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -47,6 +46,9 @@ from ..core.normalize import NSum, normalize, normalize_stats, nsum_subst
 from ..core.schema import EMPTY, Schema
 from ..engine.eval import EvaluationError
 from ..errors import SchemaMismatchError
+from ..obs.logs import get_logger
+from ..obs.metrics import counter, histogram
+from ..obs.trace import span
 from .cache import (
     ProofCache,
     digest_of_key,
@@ -90,9 +92,41 @@ class PipelineConfig:
 
 DEFAULT_CONFIG = PipelineConfig()
 
+_log = get_logger("solver.pipeline")
+
+#: Tier names in escalation order — the keys of ``Verdict.timings``, the
+#: suffixes of the ``pipeline.<tier>`` spans, and the suffixes of the
+#: ``pipeline.tier.<tier>.seconds`` histograms.
+TIERS = ("normalize", "cache", "alpha-hash", "conjunctive", "prover",
+         "disprover")
+
+_CHECKS_TOTAL = counter("pipeline.checks_total")
+_TIER_SECONDS = {tier: histogram(f"pipeline.tier.{tier}.seconds")
+                 for tier in TIERS}
+
+
+def _record_tier(timings: Dict[str, float], tier: str,
+                 seconds: float) -> None:
+    """One tier ran for ``seconds``: charge the verdict and the registry."""
+    timings[tier] = seconds
+    _TIER_SECONDS[tier].observe(seconds)
+
+
+def _observe_verdict(verdict: Verdict) -> None:
+    """Count a finished check by outcome and by deciding stage."""
+    counter(f"pipeline.verdicts.{verdict.status.name.lower()}").inc()
+    counter(f"pipeline.decided_by.{verdict.stage or 'unknown'}").inc()
+    if verdict.cached:
+        counter("pipeline.cached_verdicts_total").inc()
+
 
 def _kernel_counters(norm_before: Dict[str, float]) -> Dict[str, int]:
-    """Interned-kernel counters accrued since ``norm_before``."""
+    """Interned-kernel counters accrued since ``norm_before``.
+
+    Both ends of the delta are :meth:`KernelLRU.snapshot` reads taken
+    under the memo table's lock, so the pair (hits, misses) is coherent
+    even while other threads normalize concurrently.
+    """
     after = normalize_stats()
     return {
         "normalize_hits": int(after["hits"] - norm_before["hits"]),
@@ -142,14 +176,14 @@ class NormalizedQuery:
            ctx_schema: Optional[Schema] = None) -> "NormalizedQuery":
         """Denote and normalize one query (the O(N) part of a workload)."""
         ctx_schema = EMPTY if ctx_schema is None else ctx_schema
-        started = time.perf_counter()
-        d = denote_closed(query, ctx_schema)
-        n = normalize(d.body)
-        key = nsum_alpha_repr(n, {d.g: "@ctx", d.t: "@tup"})
-        seconds = time.perf_counter() - started
+        with span("pipeline.normalize") as sp:
+            d = denote_closed(query, ctx_schema)
+            n = normalize(d.body)
+            key = nsum_alpha_repr(n, {d.g: "@ctx", d.t: "@tup"})
+        _TIER_SECONDS["normalize"].observe(sp.duration)
         return cls(query=query, ctx_schema=ctx_schema, denotation=d,
                    nsum=n, alpha_key=key, norm_digest=digest_of_key(key),
-                   repr_digest=query_side_digest(query), seconds=seconds)
+                   repr_digest=query_side_digest(query), seconds=sp.duration)
 
     def consume_seconds(self) -> float:
         """The normalization cost, the first time it is asked for; 0.0
@@ -202,11 +236,12 @@ class Pipeline:
                 certification, where a counterexample search is wasted
                 work — an uncertified rewrite is simply discarded).
         """
-        # Stage 1: normalize ------------------------------------------------
-        pre1 = NormalizedQuery.of(q1, ctx_schema)
-        pre2 = NormalizedQuery.of(q2, ctx_schema)
-        return self.check_normalized(pre1, pre2, hyps, factory=factory,
-                                     alias=alias, prove_only=prove_only)
+        with span("pipeline.check"):
+            # Stage 1: normalize --------------------------------------------
+            pre1 = NormalizedQuery.of(q1, ctx_schema)
+            pre2 = NormalizedQuery.of(q2, ctx_schema)
+            return self.check_normalized(pre1, pre2, hyps, factory=factory,
+                                         alias=alias, prove_only=prove_only)
 
     def check_normalized(self, pre1: NormalizedQuery, pre2: NormalizedQuery,
                          hyps: Hypotheses = NO_HYPOTHESES, *,
@@ -221,7 +256,16 @@ class Pipeline:
         normalization — only fingerprinting, cache probes, and the
         decision tiers proper.
         """
+        with span("pipeline.check_normalized"):
+            return self._check_normalized(pre1, pre2, hyps, factory=factory,
+                                          alias=alias, prove_only=prove_only)
+
+    def _check_normalized(self, pre1: NormalizedQuery, pre2: NormalizedQuery,
+                          hyps: Hypotheses = NO_HYPOTHESES, *,
+                          factory=None, alias: Optional[str] = None,
+                          prove_only: bool = False) -> Verdict:
         cfg = self.config
+        _CHECKS_TOTAL.inc()
         norm_before = normalize_stats()
         d1, d2 = pre1.denotation, pre2.denotation
         if d1.ctx != d2.ctx:
@@ -234,15 +278,16 @@ class Pipeline:
             "normalize": pre1.consume_seconds() + pre2.consume_seconds()}
 
         # Stage 2: cache ----------------------------------------------------
-        started = time.perf_counter()
-        # The alpha keys already label the denotations' free context/tuple
-        # variables canonically (@ctx/@tup), so the fingerprint is stable
-        # across runs (and processes).
-        fingerprint = fingerprint_from_keys(pre1.alpha_key, pre2.alpha_key,
-                                            hyps)
-        side_digest = pre1.norm_digest
-        hit = self.cache.get(fingerprint)
-        timings["cache"] = time.perf_counter() - started
+        with span("pipeline.cache") as sp:
+            # The alpha keys already label the denotations' free
+            # context/tuple variables canonically (@ctx/@tup), so the
+            # fingerprint is stable across runs (and processes).
+            fingerprint = fingerprint_from_keys(pre1.alpha_key,
+                                                pre2.alpha_key, hyps)
+            side_digest = pre1.norm_digest
+            hit = self.cache.get(fingerprint)
+            sp.attrs["hit"] = hit is not None
+        _record_tier(timings, "cache", sp.duration)
         if hit is not None:
             # The fingerprint is symmetric; re-orient the stored
             # counterexample (if any) to this caller's (Q1, Q2) order,
@@ -256,6 +301,7 @@ class Pipeline:
             hit.kernel_counters = _kernel_counters(norm_before)
             if alias is not None:
                 self.cache.register_alias(alias, fingerprint)
+            _observe_verdict(hit)
             return hit
 
         # Stage 3: alpha-hash — the memoized canonical keys decide alpha
@@ -263,9 +309,10 @@ class Pipeline:
         # canonically), so the common "same query modulo renaming /
         # reassociation" case never even aligns the normal forms.
         if cfg.use_alpha_hash:
-            started = time.perf_counter()
-            same = pre1.alpha_key == pre2.alpha_key
-            timings["alpha-hash"] = time.perf_counter() - started
+            with span("pipeline.alpha-hash") as sp:
+                same = pre1.alpha_key == pre2.alpha_key
+                sp.attrs["equal"] = same
+            _record_tier(timings, "alpha-hash", sp.duration)
             if same:
                 verdict = Verdict(
                     status=Status.PROVED, stage="alpha-hash",
@@ -297,6 +344,9 @@ class Pipeline:
         if verdict.status is not Status.UNKNOWN \
                 or (self.config.cache_unknown and not prove_only):
             self.cache.put(fingerprint, verdict, alias=alias)
+        _observe_verdict(verdict)
+        _log.debug("verdict %s at stage %s (%.3f ms)", verdict.status.name,
+                   verdict.stage, verdict.total_seconds * 1e3)
         return verdict
 
     def certify(self, q1: ast.Query, q2: ast.Query,
@@ -328,14 +378,15 @@ class Pipeline:
         cq_disproof = False
         if cfg.use_conjunctive and is_conjunctive_query(q1) \
                 and is_conjunctive_query(q2):
-            started = time.perf_counter()
-            try:
-                decision = decide_cq(q1, q2, ctx_schema, hyps,
-                                     require_fragment=False,
-                                     normals=(n1, n2))
-            except NotConjunctive:
-                decision = None
-            timings["conjunctive"] = time.perf_counter() - started
+            with span("pipeline.conjunctive") as sp:
+                try:
+                    decision = decide_cq(q1, q2, ctx_schema, hyps,
+                                         require_fragment=False,
+                                         normals=(n1, n2))
+                except NotConjunctive:
+                    decision = None
+                sp.attrs["decided"] = decision is not None
+            _record_tier(timings, "conjunctive", sp.duration)
             if decision is not None and decision.equivalent:
                 return verdict(
                     Status.PROVED, "conjunctive", engine_steps=1,
@@ -355,18 +406,22 @@ class Pipeline:
         budget_note = ""
         prover_steps = 0
         if cfg.use_prover and not cq_disproof:
-            started = time.perf_counter()
-            stats = ProofStats(max_steps=cfg.prover_max_steps)
-            try:
-                result = decide_nsums(n1, n2, hyps,
-                                      depth=cfg.prover_depth, stats=stats)
-                equal = result.equal
-            except StepBudgetExceeded:
-                equal = False
-                budget_note = (f"prover stopped at its "
-                               f"{cfg.prover_max_steps}-step budget")
-            prover_steps = stats.total_steps
-            timings["prover"] = time.perf_counter() - started
+            with span("pipeline.prover") as sp:
+                stats = ProofStats(max_steps=cfg.prover_max_steps)
+                try:
+                    result = decide_nsums(n1, n2, hyps,
+                                          depth=cfg.prover_depth,
+                                          stats=stats)
+                    equal = result.equal
+                except StepBudgetExceeded:
+                    equal = False
+                    budget_note = (f"prover stopped at its "
+                                   f"{cfg.prover_max_steps}-step budget")
+                prover_steps = stats.total_steps
+                sp.attrs["steps"] = prover_steps
+                sp.attrs["equal"] = equal
+            _record_tier(timings, "prover", sp.duration)
+            counter("pipeline.prover_steps_total").inc(prover_steps)
             if equal:
                 return verdict(Status.PROVED, "prover",
                                engine_steps=prover_steps)
@@ -385,9 +440,11 @@ class Pipeline:
         # Stage 6: bounded-exhaustive disprover -----------------------------
         bound_info = None
         if cfg.use_disprover:
-            started = time.perf_counter()
-            result = self._run_disprover(q1, q2, ctx_schema, hyps, factory)
-            timings["disprover"] = time.perf_counter() - started
+            with span("pipeline.disprover") as sp:
+                result = self._run_disprover(q1, q2, ctx_schema, hyps,
+                                             factory)
+                sp.attrs["found"] = bool(result is not None and result.found)
+            _record_tier(timings, "disprover", sp.duration)
             if result is not None:
                 bound_info = result.info()
                 if result.found:

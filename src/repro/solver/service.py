@@ -25,16 +25,31 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import time
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core import ast
 from ..core.equivalence import Hypotheses, NO_HYPOTHESES
 from ..core.schema import Schema
+from ..obs.logs import get_logger
+from ..obs.metrics import (
+    REGISTRY,
+    counter,
+    diff_snapshots,
+    empty_snapshot,
+    histogram,
+    merge_snapshots,
+)
+from ..obs.trace import span
 from .cache import query_side_digest, syntactic_alias
 from .pipeline import Pipeline, PipelineConfig
 from .verdict import Status, Verdict
+
+_log = get_logger("solver.service")
+
+_JOBS_TOTAL = counter("service.jobs_total")
+_BATCH_CACHE_HITS = counter("service.alias_cache_hits_total")
+_BATCH_WALL = histogram("service.batch.wall_seconds")
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,13 @@ class BatchReport:
     computed: int
     workers: int
     wall_seconds: float
+    #: merged metrics delta of every computed question (worker snapshots
+    #: folded with ``merge_snapshots``; identity when nothing computed).
+    metrics: Dict[str, Any] = field(default_factory=empty_snapshot)
+    #: alias → that question's own metrics delta.  Merging these (in any
+    #: order) reproduces :attr:`metrics` — the cross-process aggregation
+    #: invariant the test suite checks.
+    job_metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     @property
     def duplicate_jobs(self) -> int:
@@ -94,18 +116,22 @@ def _init_worker(config: PipelineConfig) -> None:
     _WORKER_PIPELINE = Pipeline(config)
 
 
-def _run_pair(payload) -> Tuple[str, Verdict]:
+def _run_pair(payload) -> Tuple[str, Verdict, Dict[str, Any]]:
     alias, q1, q2, ctx_schema, hyps = payload
+    before = REGISTRY.snapshot()
     verdict = _WORKER_PIPELINE.check(q1, q2, ctx_schema, hyps)
-    return alias, verdict.strip_live()
+    delta = diff_snapshots(before, REGISTRY.snapshot())
+    return alias, verdict.strip_live(), delta
 
 
-def _run_rule(payload) -> Tuple[str, Verdict]:
+def _run_rule(payload) -> Tuple[str, Verdict, Dict[str, Any]]:
     alias, rule_name = payload
     from ..rules.registry import get_rule  # deferred: rules import solver
     rule = get_rule(rule_name)
+    before = REGISTRY.snapshot()
     verdict = _WORKER_PIPELINE.check_rule(rule)
-    return alias, verdict.strip_live()
+    delta = diff_snapshots(before, REGISTRY.snapshot())
+    return alias, verdict.strip_live(), delta
 
 
 # ---------------------------------------------------------------------------
@@ -166,100 +192,138 @@ class VerificationService:
     def check_batch(self, jobs: Sequence[Job],
                     workers: Optional[int] = None) -> BatchReport:
         """Answer every job, deduplicating and parallelizing."""
-        started = time.perf_counter()
-        groups: Dict[str, List[Job]] = {}
-        order: List[str] = []
-        for job in jobs:
-            alias = job.alias()
-            if alias not in groups:
-                groups[alias] = []
-                order.append(alias)
-            groups[alias].append(job)
+        with span("service.check_batch", jobs=len(jobs)) as sp:
+            groups: Dict[str, List[Job]] = {}
+            order: List[str] = []
+            for job in jobs:
+                alias = job.alias()
+                if alias not in groups:
+                    groups[alias] = []
+                    order.append(alias)
+                groups[alias].append(job)
 
-        answers: Dict[str, Verdict] = {}
-        pending: List[Job] = []
-        cache_hits = 0
-        for alias in order:
-            hit = self.cache.get_by_alias(alias)
-            if hit is not None:
-                answers[alias] = hit
-                cache_hits += 1
-            else:
-                pending.append(groups[alias][0])
+            answers: Dict[str, Verdict] = {}
+            pending: List[Job] = []
+            cache_hits = 0
+            for alias in order:
+                hit = self.cache.get_by_alias(alias)
+                if hit is not None:
+                    answers[alias] = hit
+                    cache_hits += 1
+                else:
+                    pending.append(groups[alias][0])
 
-        worker_count = self._resolve_workers(workers, len(pending))
-        if pending:
-            if worker_count > 1:
-                payloads = [(job.alias(), job.q1, job.q2, job.ctx_schema,
-                             job.hyps) for job in pending]
-                for alias, verdict in self._map(
-                        _run_pair, payloads, worker_count):
-                    answers[alias] = verdict
-                    self._store(alias, verdict)
-            else:
-                for job in pending:
-                    answers[job.alias()] = self.pipeline.check(
-                        job.q1, job.q2, job.ctx_schema, job.hyps,
-                        alias=job.alias())
+            worker_count = self._resolve_workers(workers, len(pending))
+            job_metrics: Dict[str, Dict[str, Any]] = {}
+            if pending:
+                if worker_count > 1:
+                    payloads = [(job.alias(), job.q1, job.q2,
+                                 job.ctx_schema, job.hyps)
+                                for job in pending]
+                    for (alias, verdict, delta), remote in self._map(
+                            _run_pair, payloads, worker_count):
+                        answers[alias] = verdict
+                        self._store(alias, verdict)
+                        job_metrics[alias] = delta
+                        if remote:
+                            # Inline fallback jobs already wrote to this
+                            # process's registry; only genuinely remote
+                            # deltas are folded in, lest they double-count.
+                            REGISTRY.absorb(delta)
+                else:
+                    for job in pending:
+                        before = REGISTRY.snapshot()
+                        answers[job.alias()] = self.pipeline.check(
+                            job.q1, job.q2, job.ctx_schema, job.hyps,
+                            alias=job.alias())
+                        job_metrics[job.alias()] = diff_snapshots(
+                            before, REGISTRY.snapshot())
 
-        # Per-job orientation: a group may contain both (Q1, Q2) and its
-        # mirror (Q2, Q1); counterexample side labels follow each job.
-        verdicts = {
-            job.job_id: answers[alias].oriented_for(
-                repr_digest=query_side_digest(job.q1))
-            for alias, group in groups.items() for job in group}
-        return BatchReport(
-            verdicts=verdicts, total_jobs=len(jobs),
-            unique_questions=len(groups), cache_hits=cache_hits,
-            computed=len(pending), workers=worker_count if pending else 0,
-            wall_seconds=time.perf_counter() - started)
+            # Per-job orientation: a group may contain both (Q1, Q2) and
+            # its mirror (Q2, Q1); counterexample side labels follow each
+            # job.
+            verdicts = {
+                job.job_id: answers[alias].oriented_for(
+                    repr_digest=query_side_digest(job.q1))
+                for alias, group in groups.items() for job in group}
+            sp.attrs["unique"] = len(groups)
+            sp.attrs["cache_hits"] = cache_hits
+            sp.attrs["workers"] = worker_count if pending else 0
+        return self._report(verdicts, len(jobs), len(groups), cache_hits,
+                            len(pending), worker_count, job_metrics,
+                            sp.duration)
 
     # -- batches of library rules ------------------------------------------
 
     def check_rules(self, rules: Iterable,
                     workers: Optional[int] = None) -> BatchReport:
         """Verify a rule corpus; rules are shipped to workers by name."""
-        started = time.perf_counter()
         rules = list(rules)
-        answers: Dict[str, Verdict] = {}
-        pending = []
-        cache_hits = 0
-        aliases: Dict[str, str] = {}
-        for rule in rules:
-            alias = syntactic_alias(rule.lhs, rule.rhs, rule.ctx_schema,
-                                    rule.hypotheses)
-            aliases[rule.name] = alias
-            hit = self.cache.get_by_alias(alias)
-            if hit is not None:
-                answers[alias] = hit
-                cache_hits += 1
-            elif alias not in {a for a, _ in pending}:
-                pending.append((alias, rule))
+        with span("service.check_rules", rules=len(rules)) as sp:
+            answers: Dict[str, Verdict] = {}
+            pending = []
+            cache_hits = 0
+            aliases: Dict[str, str] = {}
+            for rule in rules:
+                alias = syntactic_alias(rule.lhs, rule.rhs, rule.ctx_schema,
+                                        rule.hypotheses)
+                aliases[rule.name] = alias
+                hit = self.cache.get_by_alias(alias)
+                if hit is not None:
+                    answers[alias] = hit
+                    cache_hits += 1
+                elif alias not in {a for a, _ in pending}:
+                    pending.append((alias, rule))
 
-        worker_count = self._resolve_workers(workers, len(pending))
-        if pending:
-            if worker_count > 1:
-                payloads = [(alias, rule.name) for alias, rule in pending]
-                for alias, verdict in self._map(
-                        _run_rule, payloads, worker_count):
-                    answers[alias] = verdict
-                    self._store(alias, verdict)
-            else:
-                for alias, rule in pending:
-                    answers[alias] = self.pipeline.check(
-                        rule.lhs, rule.rhs, rule.ctx_schema,
-                        rule.hypotheses, factory=rule.instantiate,
-                        alias=alias)
+            worker_count = self._resolve_workers(workers, len(pending))
+            job_metrics: Dict[str, Dict[str, Any]] = {}
+            if pending:
+                if worker_count > 1:
+                    payloads = [(alias, rule.name)
+                                for alias, rule in pending]
+                    for (alias, verdict, delta), remote in self._map(
+                            _run_rule, payloads, worker_count):
+                        answers[alias] = verdict
+                        self._store(alias, verdict)
+                        job_metrics[alias] = delta
+                        if remote:
+                            REGISTRY.absorb(delta)
+                else:
+                    for alias, rule in pending:
+                        before = REGISTRY.snapshot()
+                        answers[alias] = self.pipeline.check(
+                            rule.lhs, rule.rhs, rule.ctx_schema,
+                            rule.hypotheses, factory=rule.instantiate,
+                            alias=alias)
+                        job_metrics[alias] = diff_snapshots(
+                            before, REGISTRY.snapshot())
 
-        verdicts = {rule.name: answers[aliases[rule.name]] for rule in rules}
-        return BatchReport(
-            verdicts=verdicts, total_jobs=len(rules),
-            unique_questions=len({a for a in aliases.values()}),
-            cache_hits=cache_hits, computed=len(pending),
-            workers=worker_count if pending else 0,
-            wall_seconds=time.perf_counter() - started)
+            verdicts = {rule.name: answers[aliases[rule.name]]
+                        for rule in rules}
+            sp.attrs["cache_hits"] = cache_hits
+        return self._report(verdicts, len(rules),
+                            len({a for a in aliases.values()}), cache_hits,
+                            len(pending), worker_count, job_metrics,
+                            sp.duration)
 
     # -- pool plumbing ------------------------------------------------------
+
+    def _report(self, verdicts, total, unique, cache_hits, computed,
+                worker_count, job_metrics, wall) -> BatchReport:
+        """Assemble the report and publish the batch-level metrics."""
+        metrics = empty_snapshot()
+        for delta in job_metrics.values():
+            metrics = merge_snapshots(metrics, delta)
+        _JOBS_TOTAL.inc(total)
+        _BATCH_CACHE_HITS.inc(cache_hits)
+        _BATCH_WALL.observe(wall)
+        report = BatchReport(
+            verdicts=verdicts, total_jobs=total, unique_questions=unique,
+            cache_hits=cache_hits, computed=computed,
+            workers=worker_count if computed else 0, wall_seconds=wall,
+            metrics=metrics, job_metrics=job_metrics)
+        _log.debug("batch done: %s", report.summary())
+        return report
 
     def _store(self, alias: str, verdict: Verdict) -> None:
         """Fold a worker verdict into the cache (same policy as Pipeline)."""
@@ -276,6 +340,12 @@ class VerificationService:
         return max(1, min(requested, max(pending, 1)))
 
     def _map(self, fn, payloads, worker_count):
+        """Yield ``(result, remote)`` pairs for every payload.
+
+        ``remote`` tells the caller whether the job's metrics delta came
+        from another process (and must be absorbed into this one's
+        registry) or was produced inline (already counted here).
+        """
         pool = self._ensure_pool(worker_count)
         if pool is None:
             # No fork/spawn available (restricted sandbox): degrade to
@@ -283,9 +353,10 @@ class VerificationService:
             # pool *creation* is guarded — a job-level error must
             # propagate as itself, not trigger a bogus inline re-run.
             for payload in payloads:
-                yield _run_inline(self.pipeline, fn, payload)
+                yield _run_inline(self.pipeline, fn, payload), False
             return
-        yield from pool.imap_unordered(fn, payloads)
+        for result in pool.imap_unordered(fn, payloads):
+            yield result, True
 
     def _ensure_pool(self, worker_count: int):
         """The persistent pool, (re)built only when it must grow.
@@ -314,7 +385,8 @@ class VerificationService:
             return multiprocessing.get_context("spawn")
 
 
-def _run_inline(pipeline: Pipeline, fn, payload) -> Tuple[str, Verdict]:
+def _run_inline(pipeline: Pipeline, fn,
+                payload) -> Tuple[str, Verdict, Dict[str, Any]]:
     global _WORKER_PIPELINE
     previous = _WORKER_PIPELINE
     _WORKER_PIPELINE = pipeline

@@ -1,0 +1,233 @@
+"""Observability end to end: spans as the timing source of truth,
+cross-process metric aggregation, kernel counter snapshots, and the CLI
+surface (``--trace-out``, ``--log-level``, ``repro stats``)."""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.intern import KernelLRU
+from repro.obs.metrics import (
+    REGISTRY,
+    diff_snapshots,
+    empty_snapshot,
+    merge_snapshots,
+)
+from repro.obs.trace import TRACER
+from repro.session import Session
+from repro.solver import Job
+
+
+@pytest.fixture
+def session():
+    with Session.from_tables("R(a:int,b:int)") as s:
+        yield s
+
+
+# ---------------------------------------------------------------------------
+# Timings: populated from spans, bounded by wall clock
+# ---------------------------------------------------------------------------
+
+class TestTimingsVsWall:
+    def test_sum_of_timings_never_exceeds_wall(self, session):
+        """The double-counting regression: ``Verdict.timings`` sums to at
+        most the wall clock of the whole check *including* normalization
+        (spans are the source of truth, and each side's normalize cost is
+        charged exactly once)."""
+        q1 = session.sql("SELECT x.a AS a FROM R x WHERE x.b = 1")
+        q2 = session.sql("SELECT y.a AS a FROM R y WHERE 1 = y.b")
+        started = time.perf_counter()
+        verdict = q1.equivalent_to(q2)
+        wall = time.perf_counter() - started
+        assert verdict.timings
+        assert sum(verdict.timings.values()) <= wall
+
+    def test_memoized_side_is_charged_once(self, session):
+        q1 = session.sql("SELECT x.a AS a FROM R x")
+        q2 = session.sql("SELECT y.a AS a FROM R y")
+        q3 = session.sql("SELECT z.b AS a FROM R z")
+        first = q1.equivalent_to(q2)
+        started = time.perf_counter()
+        second = q1.equivalent_to(q3)
+        wall = time.perf_counter() - started
+        # q1's normalization was charged to the first verdict; the second
+        # pays only q3's share, so the bound holds per call.
+        assert sum(first.timings.values()) >= first.timings["normalize"]
+        assert sum(second.timings.values()) <= wall
+
+    def test_every_executed_tier_appears_in_timings(self, session):
+        q1 = session.sql("SELECT x.a AS a FROM R x")
+        q2 = session.sql("SELECT y.b AS a FROM R y")
+        verdict = q1.equivalent_to(q2)  # inequivalent: all tiers run
+        assert {"normalize", "cache", "alpha-hash"} <= set(verdict.timings)
+        assert verdict.status.name == "DISPROVED"
+
+
+# ---------------------------------------------------------------------------
+# Cross-process aggregation
+# ---------------------------------------------------------------------------
+
+def _jobs(session):
+    pairs = [
+        ("SELECT x.a AS a FROM R x", "SELECT y.a AS a FROM R y"),
+        ("SELECT x.a AS a FROM R x WHERE x.b = 1",
+         "SELECT x.a AS a FROM R x WHERE 1 = x.b"),
+        ("SELECT x.a AS a FROM R x", "SELECT x.b AS a FROM R x"),
+    ]
+    return [Job(job_id=f"j{i}", q1=session.sql(a).query,
+                q2=session.sql(b).query)
+            for i, (a, b) in enumerate(pairs)]
+
+
+class TestBatchAggregation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_report_metrics_equal_merged_job_metrics(self, session,
+                                                     workers):
+        report = session.check_batch(_jobs(session), workers=workers)
+        assert report.computed == 3
+        merged = empty_snapshot()
+        for delta in report.job_metrics.values():
+            merged = merge_snapshots(merged, delta)
+        assert merged["counters"] == report.metrics["counters"]
+        assert merged["histograms"] == report.metrics["histograms"]
+        assert report.metrics["counters"]["pipeline.checks_total"] == 3.0
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_parent_registry_absorbs_worker_deltas(self, session, workers):
+        jobs = _jobs(session)
+        before = REGISTRY.snapshot()
+        report = session.check_batch(jobs, workers=workers)
+        parent_delta = diff_snapshots(before, REGISTRY.snapshot())
+        # Every counter the workers reported is visible in the parent's
+        # own registry (the parent may add more on top, e.g. the alias
+        # probes and batch-level counters).
+        for name, value in report.metrics["counters"].items():
+            assert parent_delta["counters"].get(name, 0.0) >= value, name
+        assert parent_delta["counters"]["service.jobs_total"] == 3.0
+
+    def test_cache_hits_ship_no_job_delta(self, session):
+        jobs = _jobs(session)
+        session.check_batch(jobs, workers=1)
+        report = session.check_batch(jobs, workers=1)
+        assert report.cache_hits == 3
+        assert report.computed == 0
+        assert report.job_metrics == {}
+        assert report.metrics == empty_snapshot()
+
+    def test_session_metrics_snapshot(self, session):
+        session.check_batch(_jobs(session), workers=1)
+        snap = session.metrics()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["pipeline.checks_total"] >= 3.0
+        tiers = snap["histograms"]["pipeline.tier.cache.seconds"]
+        assert tiers["count"] >= 3
+
+
+# ---------------------------------------------------------------------------
+# Kernel counter snapshots
+# ---------------------------------------------------------------------------
+
+class TestKernelSnapshots:
+    def test_snapshot_is_coherent_and_reset_keeps_entries(self):
+        lru = KernelLRU(8, "test-snap")
+        lru.put("k", "v")
+        lru.get("k")
+        lru.get("absent")
+        snap = lru.snapshot()
+        assert snap == {"hits": 1, "misses": 1, "size": 1,
+                        "hit_rate": 0.5}
+        lru.reset()
+        assert lru.snapshot() == {"hits": 0, "misses": 0, "size": 1,
+                                  "hit_rate": 0.0}
+        assert lru.get("k") == "v"  # entries survived the reset
+
+    def test_clear_drops_entries_too(self):
+        lru = KernelLRU(8, "test-clear")
+        lru.put("k", "v")
+        lru.clear()
+        assert lru.snapshot() == {"hits": 0, "misses": 0, "size": 0,
+                                  "hit_rate": 0.0}
+        assert lru.get("k") is None
+
+    def test_verdict_kernel_counters_keep_their_shape(self, session):
+        q1 = session.sql("SELECT x.a AS a FROM R x WHERE x.b = 2")
+        q2 = session.sql("SELECT y.a AS a FROM R y WHERE y.b = 2")
+        verdict = q1.equivalent_to(q2)
+        assert set(verdict.kernel_counters) == {
+            "normalize_hits", "normalize_misses", "interned_nodes"}
+        assert all(isinstance(v, int)
+                   for v in verdict.kernel_counters.values())
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    def test_check_trace_out_covers_executed_tiers(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        code = main(["check", "--table", "R(a:int,b:int)",
+                     "SELECT x.a AS a FROM R x",
+                     "SELECT y.a AS a FROM R y",
+                     "--trace-out", str(path)])
+        assert code == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+        names = {e["name"] for e in trace["traceEvents"]}
+        # Every tier the pipeline executed shows up as a span.
+        assert {"pipeline.normalize", "pipeline.cache",
+                "pipeline.alpha-hash"} <= names
+        for event in trace["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+
+    def test_optimize_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "opt.json"
+        code = main(["optimize", "--table", "R(a:int,b:int)",
+                     "SELECT x.a AS a FROM R x WHERE x.a = 1 AND x.b = 2",
+                     "--trace-out", str(path)])
+        assert code == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            names = {e["name"]
+                     for e in json.load(handle)["traceEvents"]}
+        assert "optimizer.saturate" in names
+        assert "optimizer.saturate.iteration" in names
+        assert "optimizer.extract" in names
+
+    def test_tracer_left_disabled_after_trace_out(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        main(["check", "--table", "R(a:int)", "SELECT x.a AS a FROM R x",
+              "SELECT x.a AS a FROM R x", "--trace-out", str(path)])
+        assert not TRACER.enabled
+        assert len(TRACER) == 0
+
+    def test_stats_json_is_machine_readable(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"metrics", "kernel"}
+        assert set(payload["metrics"]) == {"counters", "gauges",
+                                           "histograms"}
+        assert "interned_nodes" in payload["kernel"]
+
+    def test_stats_human_output(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "histograms:" in out
+        assert "kernel:" in out
+
+    def test_log_level_debug_logs_spans(self, capsys):
+        code = main(["check", "--table", "R(a:int)",
+                     "SELECT x.a AS a FROM R x",
+                     "SELECT y.a AS a FROM R y",
+                     "--log-level", "DEBUG"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro.trace" in err
+        assert "pipeline.cache" in err
+
+    def test_log_level_rejects_garbage(self, capsys):
+        assert main(["stats", "--log-level", "SHOUTING"]) == 2
+        assert "unknown log level" in capsys.readouterr().err

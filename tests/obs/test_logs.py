@@ -1,0 +1,81 @@
+"""The ``repro`` logging hierarchy and ``configure_logging``."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logs import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_handlers():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def test_root_logger_carries_a_null_handler():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_get_logger_prefixes_names():
+    assert get_logger("solver.pipeline").name == "repro.solver.pipeline"
+    assert get_logger().name == "repro"
+    assert get_logger("repro").name == "repro"
+    assert get_logger("repro.obs").name == "repro.obs"
+
+
+def test_child_loggers_propagate_to_the_configured_handler():
+    stream = io.StringIO()
+    configure_logging("INFO", stream=stream)
+    get_logger("solver.pipeline").info("hello from the pipeline")
+    out = stream.getvalue()
+    assert "hello from the pipeline" in out
+    assert "repro.solver.pipeline" in out
+    assert "INFO" in out
+
+
+def test_configure_logging_is_idempotent():
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    baseline = len(root.handlers)
+    handler1 = configure_logging("INFO")
+    handler2 = configure_logging("DEBUG")
+    assert handler1 is handler2
+    assert len(root.handlers) == baseline + 1
+    assert handler2.level == logging.DEBUG
+
+
+def test_configure_logging_accepts_level_numbers():
+    handler = configure_logging(logging.WARNING)
+    assert handler.level == logging.WARNING
+
+
+def test_configure_logging_rejects_unknown_level_names():
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("LOUD")
+
+
+def test_level_filters_messages():
+    stream = io.StringIO()
+    configure_logging("WARNING", stream=stream)
+    log = get_logger("quiet")
+    log.info("not shown")
+    log.warning("shown")
+    out = stream.getvalue()
+    assert "not shown" not in out
+    assert "shown" in out
+
+
+def test_reset_logging_detaches_the_handler():
+    stream = io.StringIO()
+    configure_logging("INFO", stream=stream)
+    reset_logging()
+    get_logger("after").info("silent again")
+    assert stream.getvalue() == ""

@@ -1,0 +1,250 @@
+"""Metrics: kinds, bucket edges, and the snapshot algebra."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    empty_snapshot,
+    merge_snapshots,
+)
+
+
+# ---------------------------------------------------------------------------
+# Metric kinds
+# ---------------------------------------------------------------------------
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("c")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12.0
+
+
+def test_histogram_bucket_edges_are_inclusive_upper_bounds():
+    h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+    h.observe(0.5)   # <= 1.0       → bucket 0
+    h.observe(1.0)   # == 1.0 edge  → bucket 0 (inclusive)
+    h.observe(1.5)   # <= 2.0       → bucket 1
+    h.observe(2.0)   # == 2.0 edge  → bucket 1
+    h.observe(5.0)   # == 5.0 edge  → bucket 2
+    h.observe(7.0)   # above every edge → overflow
+    assert h.counts == [2, 2, 1, 1]
+    assert h.count == 6
+    assert h.sum == pytest.approx(17.0)
+
+
+def test_histogram_has_overflow_slot():
+    h = Histogram("h", buckets=(1.0,))
+    assert len(h.counts) == len(h.buckets) + 1
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError, match="at least one bucket"):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", buckets=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", buckets=(2.0, 1.0))
+
+
+def test_default_latency_buckets_are_increasing():
+    assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+def test_counter_is_thread_safe():
+    c = Counter("c")
+
+    def hammer():
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 4000.0
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_returns_the_same_object_per_name():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert reg.histogram("h") is reg.histogram("h")
+
+
+def test_registry_rejects_cross_kind_reuse():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.histogram("x")
+
+
+def test_registry_rejects_bucket_mismatch():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=(1.0, 2.0))
+    reg.histogram("h")  # no buckets asked: fine, returns existing
+    with pytest.raises(ValueError, match="already registered with buckets"):
+        reg.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_snapshot_is_plain_json_able_data():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    reg.gauge("g").set(7)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    snap = json.loads(json.dumps(reg.snapshot()))
+    assert snap["counters"] == {"c": 2.0}
+    assert snap["gauges"] == {"g": 7.0}
+    assert snap["histograms"]["h"] == {
+        "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}
+
+
+def test_reset_zeroes_but_keeps_handles_valid():
+    reg = MetricsRegistry()
+    c = reg.counter("c")
+    c.inc(5)
+    reg.reset()
+    assert c.value == 0.0
+    assert reg.counter("c") is c  # module-level handles stay live
+    c.inc()
+    assert reg.snapshot()["counters"]["c"] == 1.0
+
+
+def test_absorb_folds_a_remote_delta():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(1)
+    reg.gauge("g").set(3)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    delta = {
+        "counters": {"c": 2.0, "new": 4.0},
+        "gauges": {"g": 9.0},
+        "histograms": {"h": {"buckets": [1.0], "counts": [0, 1],
+                             "sum": 2.0, "count": 1}},
+    }
+    reg.absorb(delta)
+    snap = reg.snapshot()
+    assert snap["counters"] == {"c": 3.0, "new": 4.0}
+    assert snap["gauges"]["g"] == 9.0  # max wins
+    assert snap["histograms"]["h"]["counts"] == [1, 1]
+    assert snap["histograms"]["h"]["count"] == 2
+
+
+def test_absorb_rejects_mismatched_buckets():
+    reg = MetricsRegistry()
+    reg.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError, match="bucket"):
+        reg.absorb({"histograms": {"h": {"buckets": [1.0], "counts": [1, 0],
+                                         "sum": 0.1, "count": 1}}})
+
+
+# ---------------------------------------------------------------------------
+# Snapshot algebra
+# ---------------------------------------------------------------------------
+
+def _snap(c, g, counts, total, n):
+    return {
+        "counters": {"c": float(c)},
+        "gauges": {"g": float(g)},
+        "histograms": {"h": {"buckets": [1.0, 2.0],
+                             "counts": list(counts),
+                             "sum": float(total), "count": n}},
+    }
+
+
+def test_merge_is_associative_and_commutative():
+    a = _snap(1, 5, (1, 0, 0), 0.5, 1)
+    b = _snap(2, 3, (0, 1, 0), 1.5, 1)
+    c = _snap(4, 9, (0, 0, 2), 6.0, 2)
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+
+def test_empty_snapshot_is_the_merge_identity():
+    a = _snap(3, 2, (1, 1, 0), 1.7, 2)
+    assert merge_snapshots(a, empty_snapshot()) == a
+    assert merge_snapshots(empty_snapshot(), a) == a
+
+
+def test_merge_semantics_per_kind():
+    a = _snap(1, 5, (1, 0, 0), 0.5, 1)
+    b = _snap(2, 3, (0, 1, 0), 1.5, 1)
+    merged = merge_snapshots(a, b)
+    assert merged["counters"]["c"] == 3.0          # counters add
+    assert merged["gauges"]["g"] == 5.0            # gauges take max
+    assert merged["histograms"]["h"]["counts"] == [1, 1, 0]
+    assert merged["histograms"]["h"]["sum"] == 2.0
+    assert merged["histograms"]["h"]["count"] == 2
+
+
+def test_merge_does_not_mutate_inputs():
+    a = _snap(1, 1, (1, 0, 0), 0.5, 1)
+    b = _snap(1, 1, (1, 0, 0), 0.5, 1)
+    before = json.dumps([a, b], sort_keys=True)
+    merge_snapshots(a, b)
+    assert json.dumps([a, b], sort_keys=True) == before
+
+
+def test_diff_reports_what_happened_in_between():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(1)
+    before = reg.snapshot()
+    reg.counter("c").inc(2)
+    reg.counter("born").inc(4)       # metric born after `before`
+    reg.gauge("g").set(7)
+    reg.histogram("h", buckets=(1.0,)).observe(0.5)
+    delta = diff_snapshots(before, reg.snapshot())
+    assert delta["counters"] == {"c": 2.0, "born": 4.0}
+    assert delta["gauges"]["g"] == 7.0
+    assert delta["histograms"]["h"]["counts"] == [1, 0]
+
+
+def test_diff_drops_metrics_that_did_not_move():
+    reg = MetricsRegistry()
+    reg.counter("quiet").inc(3)
+    reg.histogram("h", buckets=(1.0,)).observe(0.2)
+    before = reg.snapshot()
+    delta = diff_snapshots(before, reg.snapshot())
+    assert delta["counters"] == {}
+    assert delta["histograms"] == {}
+
+
+def test_diff_then_absorb_round_trips():
+    worker = MetricsRegistry()
+    worker.counter("c").inc(1)
+    before = worker.snapshot()
+    worker.counter("c").inc(5)
+    worker.histogram("h", buckets=(1.0,)).observe(0.3)
+    delta = diff_snapshots(before, worker.snapshot())
+
+    parent = MetricsRegistry()
+    parent.counter("c").inc(10)
+    parent.absorb(delta)
+    snap = parent.snapshot()
+    assert snap["counters"]["c"] == 15.0
+    assert snap["histograms"]["h"]["count"] == 1

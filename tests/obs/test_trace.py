@@ -1,0 +1,264 @@
+"""Spans: nesting, exception safety, thread isolation, exporters."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACER,
+    Tracer,
+    current_span,
+    span,
+    trace_to_file,
+    traced,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    TRACER.clear()
+    TRACER.disable()
+    yield
+    TRACER.clear()
+    TRACER.disable()
+
+
+# ---------------------------------------------------------------------------
+# Nesting and lifecycle
+# ---------------------------------------------------------------------------
+
+def test_spans_nest_under_the_open_parent():
+    with span("root") as root:
+        with span("child-1") as c1:
+            with span("grandchild"):
+                pass
+        with span("child-2"):
+            pass
+    assert [c.name for c in root.children] == ["child-1", "child-2"]
+    assert [c.name for c in c1.children] == ["grandchild"]
+    assert all(sp.closed for sp in root.walk())
+
+
+def test_walk_is_depth_first():
+    with span("a") as a:
+        with span("b"):
+            with span("c"):
+                pass
+        with span("d"):
+            pass
+    assert [sp.name for sp in a.walk()] == ["a", "b", "c", "d"]
+
+
+def test_duration_is_monotone_and_contains_children():
+    with span("outer") as outer:
+        with span("inner") as inner:
+            pass
+    assert outer.duration >= inner.duration >= 0.0
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+
+
+def test_current_span_tracks_the_stack():
+    assert current_span() is None
+    with span("outer") as outer:
+        assert current_span() is outer
+        with span("inner") as inner:
+            assert current_span() is inner
+        assert current_span() is outer
+    assert current_span() is None
+
+
+def test_exception_closes_span_records_error_and_propagates():
+    with pytest.raises(ValueError, match="boom"):
+        with span("failing") as sp:
+            raise ValueError("boom")
+    assert sp.closed
+    assert sp.error == "ValueError: boom"
+    assert current_span() is None  # the stack was popped
+
+
+def test_exception_in_child_does_not_corrupt_parent():
+    with span("parent") as parent:
+        with pytest.raises(RuntimeError):
+            with span("child"):
+                raise RuntimeError("inner")
+        assert current_span() is parent
+    assert parent.error is None
+    assert parent.children[0].error == "RuntimeError: inner"
+
+
+def test_attrs_are_carried_and_mutable_during_the_span():
+    with span("s", tag="x") as sp:
+        sp.attrs["late"] = 42
+    assert sp.attrs == {"tag": "x", "late": 42}
+
+
+def test_threads_get_independent_stacks():
+    seen = {}
+
+    def worker(name):
+        with span(name) as sp:
+            seen[name] = current_span() is sp
+
+    with span("main-root") as root:
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Worker spans never attached to this thread's open root.
+        assert root.children == []
+    assert all(seen.values())
+
+
+def test_traced_decorator_bare_and_named():
+    @traced
+    def plain():
+        return current_span().name
+
+    @traced("custom.label", kind="test")
+    def named():
+        sp = current_span()
+        return sp.name, sp.attrs
+
+    assert plain().endswith("plain")
+    name, attrs = named()
+    assert name == "custom.label"
+    assert attrs == {"kind": "test"}
+
+
+# ---------------------------------------------------------------------------
+# Tracer retention
+# ---------------------------------------------------------------------------
+
+def test_tracer_records_only_roots_and_only_when_enabled():
+    with span("ignored"):
+        pass
+    assert len(TRACER) == 0
+
+    TRACER.enable()
+    with span("root"):
+        with span("child"):
+            pass
+    assert [r.name for r in TRACER.roots] == ["root"]
+
+
+def test_tracer_retention_is_bounded():
+    tracer = Tracer(max_roots=3)
+    tracer.enable()
+    for i in range(5):
+        sp = span(f"r{i}")
+        with sp:
+            pass
+        tracer.record(sp._span)
+    assert [r.name for r in tracer.roots] == ["r2", "r3", "r4"]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event exporter (schema validation)
+# ---------------------------------------------------------------------------
+
+def _sample_trace():
+    TRACER.enable()
+    with span("pipeline.check", pair="demo"):
+        with span("pipeline.cache", hit=False):
+            pass
+        with span("pipeline.prover", steps=7):
+            pass
+    return TRACER.chrome_trace()
+
+
+def test_chrome_trace_schema():
+    trace = _sample_trace()
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    assert [e["name"] for e in events] == [
+        "pipeline.check", "pipeline.cache", "pipeline.prover"]
+    for event in events:
+        assert {"name", "cat", "ph", "ts", "dur", "pid",
+                "tid", "args"} <= set(event)
+        assert event["ph"] == "X"
+        assert event["cat"] == event["name"].split(".", 1)[0]
+        assert isinstance(event["ts"], float) and event["ts"] >= 0
+        assert isinstance(event["dur"], float) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+    # Events come out sorted by start time.
+    assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+    # Children fall inside the parent's [ts, ts+dur] window.
+    root, child = events[0], events[1]
+    assert root["ts"] <= child["ts"]
+    assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-3
+
+
+def test_chrome_trace_args_are_json_safe():
+    TRACER.enable()
+    with span("s", plain=1, text="x", weird=object()):
+        pass
+    payload = json.dumps(TRACER.chrome_trace())  # must not raise
+    event = json.loads(payload)["traceEvents"][0]
+    assert event["args"]["plain"] == 1
+    assert event["args"]["text"] == "x"
+    assert isinstance(event["args"]["weird"], str)
+
+
+def test_chrome_trace_error_lands_in_args():
+    TRACER.enable()
+    with pytest.raises(KeyError):
+        with span("failing"):
+            raise KeyError("gone")
+    event = TRACER.chrome_events()[0]
+    assert "KeyError" in event["args"]["error"]
+
+
+def test_write_chrome_produces_loadable_json(tmp_path):
+    _sample_trace()
+    path = tmp_path / "trace.json"
+    assert TRACER.write_chrome(str(path)) == str(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    assert len(loaded["traceEvents"]) == 3
+
+
+def test_trace_to_file_none_is_passthrough():
+    with trace_to_file(None) as tracer:
+        assert tracer is None
+    assert not TRACER.enabled
+
+
+def test_trace_to_file_scopes_enablement_and_writes(tmp_path):
+    path = tmp_path / "out.json"
+    with trace_to_file(str(path)):
+        assert TRACER.enabled
+        with span("inside"):
+            pass
+    assert not TRACER.enabled
+    assert len(TRACER) == 0  # exported and cleared
+    with open(path, "r", encoding="utf-8") as handle:
+        names = [e["name"] for e in json.load(handle)["traceEvents"]]
+    assert names == ["inside"]
+
+
+def test_render_indents_children():
+    TRACER.enable()
+    with span("outer"):
+        with span("inner"):
+            pass
+    text = TRACER.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("outer")
+    assert lines[1].startswith("  inner")
+    assert "ms" in lines[0]
+
+
+def test_debug_logging_emits_open_close(caplog):
+    with caplog.at_level(logging.DEBUG, logger="repro.trace"):
+        with span("logged"):
+            pass
+    messages = [r.getMessage() for r in caplog.records]
+    assert any(m.startswith("open") and "logged" in m for m in messages)
+    assert any(m.startswith("close") and "logged" in m for m in messages)

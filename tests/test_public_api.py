@@ -52,6 +52,7 @@ REPRO_ALL = [
     "decide_cq",
     "denote_closed",
     "get_rule",
+    "obs",
     "queries_equivalent",
     "query_to_str",
     "rules_by_category",
