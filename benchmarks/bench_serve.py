@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Serve-layer throughput: cold vs warm verdicts/sec, concurrency, dedup.
+
+Four measurements against a real ``ReproServer`` over loopback TCP:
+
+* **cold** — N distinct prover-heavy questions on a fresh daemon: every
+  request runs the full pipeline (parse → normalize → prove) and writes
+  through to the shard store.
+* **warm** — the same questions again: answered from the daemon's layered
+  cache (compiled-query memo + hot LRU + shard store).  The PR's gate:
+  warm throughput must be ≥ 10× cold in full mode.
+* **concurrent** — C clients (one thread + connection each) hammer the
+  warm set; measures aggregate verdicts/sec under connection concurrency.
+* **dedup** — two clients fire the *same cold* question simultaneously;
+  reports the leader/follower split and the pipeline-run count (must
+  be exactly one).
+
+Plus **restart-warm**: a second daemon on the same ``--store-dir``
+serves the corpus from the shard store without re-proving.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py          # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke  # CI sweep
+"""
+
+import argparse
+import sys
+import tempfile
+import threading
+import time
+
+#: Full-mode gate: warm verdicts/sec over cold verdicts/sec.
+WARM_SPEEDUP_TARGET = 10.0
+
+
+def _kjoin(k, tag, reverse=False):
+    """A k-way self-join reordering pair member, made distinct by a
+    selection constant so every ``tag`` is a fresh question."""
+    names = [f"x{j}" for j in range(k)]
+    conds = [f"{names[j]}.a = {names[j + 1]}.b" for j in range(k - 1)]
+    if reverse:
+        conds = conds[::-1]
+    return ("SELECT DISTINCT x0.a FROM "
+            + ", ".join(f"R AS {n}" for n in names)
+            + " WHERE " + " AND ".join(conds) + f" AND x0.b = {tag}")
+
+
+def corpus(n, k=5):
+    """N distinct join-commutativity questions (prover-stage cold)."""
+    return [(_kjoin(k, i), _kjoin(k, i, reverse=True)) for i in range(n)]
+
+
+def _drain(client, pairs, tables):
+    proved = 0
+    for sql1, sql2 in pairs:
+        verdict = client.check(sql1, sql2, tables=tables)
+        proved += verdict.proved
+    return proved
+
+
+def run(smoke=False):
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ReproServer
+
+    tables = ["R(a:int,b:int)"]
+    n = 4 if smoke else 12
+    clients = 2 if smoke else 4
+    warm_rounds = 1 if smoke else 3
+    pairs = corpus(n)
+    result = {"pairs": n, "clients": clients}
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as store_dir:
+        server = ReproServer(port=0, tables=tables, workers=4,
+                             store_dir=store_dir).start()
+        try:
+            with ServeClient(server.address) as cli:
+                started = time.perf_counter()
+                assert _drain(cli, pairs, tables) == n
+                cold_wall = time.perf_counter() - started
+
+                started = time.perf_counter()
+                for _ in range(warm_rounds):
+                    assert _drain(cli, pairs, tables) == n
+                warm_wall = (time.perf_counter() - started) / warm_rounds
+
+            # Aggregate throughput with C concurrent clients on the
+            # warm set.
+            barrier = threading.Barrier(clients)
+            walls = [0.0] * clients
+
+            def hammer(slot):
+                with ServeClient(server.address) as c:
+                    barrier.wait()
+                    t0 = time.perf_counter()
+                    assert _drain(c, pairs, tables) == n
+                    walls[slot] = time.perf_counter() - t0
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            concurrent_wall = max(walls)
+
+            # In-flight dedup: two clients, one fresh question, fired
+            # together — exactly one pipeline run.  The window is the
+            # leader's ~10 ms pipeline run; retry with a fresh question
+            # if the scheduler ever delays one racer past it.
+            for attempt in range(3):
+                before = server._op_stats({})["server"]
+                fresh = (_kjoin(5, 9001 + attempt),
+                         _kjoin(5, 9001 + attempt, reverse=True))
+                roles = []
+                gate = threading.Barrier(2)
+
+                def race():
+                    with ServeClient(server.address) as c:
+                        gate.wait()
+                        detail = c.check_detail(fresh[0], fresh[1],
+                                                tables=tables)
+                        roles.append(detail["dedup"])
+
+                racers = [threading.Thread(target=race) for _ in range(2)]
+                for t in racers:
+                    t.start()
+                for t in racers:
+                    t.join()
+                after = server._op_stats({})["server"]
+                result["dedup"] = {
+                    "roles": sorted(roles),
+                    "pipeline_runs": after["pipeline_runs_total"]
+                    - before["pipeline_runs_total"],
+                    "followers": after["dedup_followers_total"]
+                    - before["dedup_followers_total"],
+                    "attempts": attempt + 1,
+                }
+                if result["dedup"]["roles"] == ["follower", "leader"]:
+                    break
+        finally:
+            server.shutdown()
+
+        # Restart-warm: a second daemon on the same store dir answers
+        # the whole corpus from the shard store, no re-proving.
+        second = ReproServer(port=0, tables=tables, workers=4,
+                             store_dir=store_dir).start()
+        try:
+            with ServeClient(second.address) as cli:
+                started = time.perf_counter()
+                cached = 0
+                for sql1, sql2 in pairs:
+                    verdict = cli.check(sql1, sql2, tables=tables)
+                    assert verdict.proved
+                    cached += verdict.cached
+                restart_wall = time.perf_counter() - started
+        finally:
+            second.shutdown()
+
+    result.update({
+        "cold_wall_seconds": cold_wall,
+        "warm_wall_seconds": warm_wall,
+        "cold_verdicts_per_second": n / cold_wall,
+        "warm_verdicts_per_second": n / warm_wall,
+        "warm_speedup": cold_wall / warm_wall if warm_wall else float("inf"),
+        "concurrent_wall_seconds": concurrent_wall,
+        "concurrent_verdicts_per_second":
+            (n * clients) / concurrent_wall if concurrent_wall else 0.0,
+        "restart_wall_seconds": restart_wall,
+        "restart_cached": cached,
+        "wall_seconds": cold_wall + warm_wall + concurrent_wall
+        + restart_wall,
+    })
+    return result
+
+
+def check(result, smoke):
+    """Gate failures for run_all.py (full mode only)."""
+    failures = []
+    dedup = result["dedup"]
+    if dedup["pipeline_runs"] != 1 or dedup["roles"] != \
+            ["follower", "leader"]:
+        failures.append(
+            f"serve: concurrent identical cold checks ran the pipeline "
+            f"{dedup['pipeline_runs']} time(s) (roles {dedup['roles']}); "
+            f"expected exactly one leader + one follower")
+    if result["restart_cached"] != result["pairs"]:
+        failures.append(
+            f"serve: only {result['restart_cached']}/{result['pairs']} "
+            f"verdicts served from the shard store after restart")
+    if not smoke and result["warm_speedup"] < WARM_SPEEDUP_TARGET:
+        failures.append(
+            f"serve: warm throughput {result['warm_speedup']:.1f}x cold, "
+            f"below the {WARM_SPEEDUP_TARGET:.0f}x target")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, no throughput gate (CI sweep)")
+    args = parser.parse_args(argv)
+
+    result = run(smoke=args.smoke)
+    print(f"serve throughput ({result['pairs']} question(s), "
+          f"{result['clients']} concurrent client(s))")
+    print(f"  cold        {result['cold_verdicts_per_second']:8.1f} "
+          f"verdicts/s  ({result['cold_wall_seconds'] * 1e3:.1f} ms)")
+    print(f"  warm        {result['warm_verdicts_per_second']:8.1f} "
+          f"verdicts/s  ({result['warm_speedup']:.1f}x cold)")
+    print(f"  concurrent  "
+          f"{result['concurrent_verdicts_per_second']:8.1f} verdicts/s")
+    print(f"  restart     {result['restart_cached']}/{result['pairs']} "
+          f"from the shard store "
+          f"({result['restart_wall_seconds'] * 1e3:.1f} ms)")
+    print(f"  dedup       {result['dedup']['pipeline_runs']} pipeline "
+          f"run(s) for 2 concurrent identical questions "
+          f"(roles: {', '.join(result['dedup']['roles'])})")
+    failures = check(result, args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark and write machine-readable results (BENCH_pr6.json).
+"""Run every benchmark and write machine-readable results (BENCH_pr7.json).
 
 Two layers:
 
@@ -10,7 +10,11 @@ Two layers:
   :data:`PRE_KERNEL_BASELINE` (the interned-kernel PR targets ≥3× on
   both), plus the optimizer's saturation-vs-BFS comparison at equal
   node budget (the equality-saturation PR requires ≥2× distinct plans,
-  equal-or-cheaper extracted plans, and zero certification failures).
+  equal-or-cheaper extracted plans, and zero certification failures),
+  plus the serve-layer throughput workload (the serving PR requires
+  warm verdicts/sec ≥ 10× cold, exactly one pipeline run for two
+  concurrent identical cold checks, and a restarted daemon serving the
+  whole corpus from its shard store).
 * **Sweep** — every ``bench_*.py`` in this directory, run in smoke form
   (scripts with ``--smoke``, pytest files with ``--benchmark-disable``)
   so CI can detect a benchmark that stops even importing.  Non-gating:
@@ -43,7 +47,7 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr6.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr7.json"
 
 sys.path.insert(0, str(BENCH_DIR))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -255,6 +259,29 @@ def check_tracing_overhead(result, smoke):
 
 
 # ---------------------------------------------------------------------------
+# Tracked workload E: serve-layer throughput (cold vs warm, dedup)
+# ---------------------------------------------------------------------------
+
+def run_serve(smoke):
+    import bench_serve
+
+    return bench_serve.run(smoke=smoke)
+
+
+def check_serve(result, smoke):
+    import bench_serve
+
+    print(f"  {'serve':<22} "
+          f"{result['wall_seconds'] * 1e3:9.1f} ms   "
+          f"warm {result['warm_speedup']:5.1f}x cold "
+          f"({result['warm_verdicts_per_second']:.0f} vs "
+          f"{result['cold_verdicts_per_second']:.0f} verdicts/s), "
+          f"dedup {result['dedup']['pipeline_runs']:.0f} run(s), "
+          f"restart {result['restart_cached']}/{result['pairs']} cached")
+    return bench_serve.check(result, smoke)
+
+
+# ---------------------------------------------------------------------------
 # Sweep: every bench_*.py in smoke form
 # ---------------------------------------------------------------------------
 
@@ -262,6 +289,7 @@ def check_tracing_overhead(result, smoke):
 SCRIPT_BENCHES = {
     "bench_session_all_pairs.py": ["--smoke"],
     "bench_parse_resolve.py": ["--smoke"],
+    "bench_serve.py": ["--smoke"],
 }
 
 
@@ -302,9 +330,10 @@ def main(argv=None):
                         help="skip the per-bench smoke sweep")
     parser.add_argument("--output", default=str(DEFAULT_OUTPUT),
                         metavar="FILE", help="JSON output path "
-                        "(default: BENCH_pr6.json at the repo root)")
+                        "(default: BENCH_pr7.json at the repo root)")
     args = parser.parse_args(argv)
 
+    import bench_serve
     from repro.obs.metrics import REGISTRY, diff_snapshots
 
     def with_metrics(run, *run_args):
@@ -321,6 +350,7 @@ def main(argv=None):
         "session_all_pairs": with_metrics(run_session_all_pairs, args.smoke),
         "optimizer_saturation_vs_bfs": with_metrics(run_saturation_vs_bfs),
         "tracing_overhead": with_metrics(run_tracing_overhead, args.smoke),
+        "serve": with_metrics(run_serve, args.smoke),
     }
 
     failures = []
@@ -329,6 +359,7 @@ def main(argv=None):
         tracked["optimizer_saturation_vs_bfs"]))
     failures.extend(check_tracing_overhead(
         tracked["tracing_overhead"], args.smoke))
+    failures.extend(check_serve(tracked["serve"], args.smoke))
     for name, result in tracked.items():
         if name not in PRE_KERNEL_BASELINE:
             continue
@@ -366,6 +397,7 @@ def main(argv=None):
         },
         "speedup_target": SPEEDUP_TARGET,
         "tracing_overhead_target": TRACING_OVERHEAD_TARGET,
+        "serve_warm_speedup_target": bench_serve.WARM_SPEEDUP_TARGET,
         "tracked": tracked,
         "speedups": speedups,
         "sweep": sweep,

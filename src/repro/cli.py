@@ -19,7 +19,12 @@ Usage (``python -m repro <command>``):
 * ``prove RULE`` — run one library rule through the pipeline (by name),
 * ``prove-all`` — verify the Figure 8 corpus through the batch service,
 * ``rules`` — list every rule with category and status metadata,
-* ``stats [--json]`` — dump the observability layer's metrics registry.
+* ``stats [--json]`` — dump the observability layer's metrics registry,
+* ``serve --store-dir DIR`` — run the long-lived verification daemon
+  (newline-delimited JSON over TCP, sharded on-disk proof store,
+  in-flight dedup; see :mod:`repro.serve`),
+* ``client [--addr HOST:PORT] check|batch-check|stats|ping|shutdown`` —
+  talk to a running daemon.
 
 Observability: every subcommand takes ``--log-level`` (the ``repro``
 logging hierarchy; DEBUG logs span open/close), and ``check`` /
@@ -372,6 +377,97 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification daemon until SIGTERM/SIGINT (``repro serve``)."""
+    import signal
+    import threading
+
+    from .serve.server import ReproServer, ServeError
+
+    try:
+        server = ReproServer(
+            host=args.host, port=args.port,
+            tables=args.table or (),
+            store_dir=args.store_dir, shards=args.shards,
+            workers=args.workers, max_inflight=args.max_inflight,
+            hot_size=args.hot_size,
+            config=PipelineConfig(disprover_bound=_bound_from_args(args)))
+    except (ServeError, OSError, ReproError) as exc:
+        raise CLIError(f"cannot start serve daemon: {exc}") from exc
+
+    def _drain(signum, frame):
+        # shutdown() joins the serve loop, so it must not run on the
+        # main thread that is inside serve_forever().
+        threading.Thread(target=server.shutdown, kwargs={"drain": True},
+                         name="repro-serve-signal", daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    host, port = server.address
+    print(f"repro serve listening on {host}:{port}", flush=True)
+    if args.store_dir:
+        print(f"proof store: {args.store_dir} "
+              f"({server.store.shards} shard(s))", flush=True)
+    server.serve_forever()
+    # serve_forever returns once shutdown() has stopped the accept loop;
+    # shutdown() itself drains the worker pool before returning.
+    server.shutdown(drain=True)
+    print("repro serve stopped", flush=True)
+    return 0
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running daemon (``repro client <verb>``)."""
+    from .serve.client import ServeClient, ServeClientError
+
+    try:
+        with ServeClient(args.addr, timeout=args.timeout,
+                         connect_retries=args.retries) as client:
+            if args.verb == "ping":
+                result = client.request("ping")
+                print(f"pong from {args.addr} "
+                      f"(uptime {result['uptime_seconds']:.1f}s)")
+                return 0
+            if args.verb == "check":
+                detail = client.check_detail(args.sql1, args.sql2,
+                                             tables=args.table)
+                from .solver.verdict import Verdict
+                verdict = Verdict.from_dict(detail["verdict"])
+                verdict.cached = bool(detail.get("cached"))
+                print(_render_verdict(verdict))
+                print(f"dedup role: {detail['dedup']}, server wall "
+                      f"{detail['wall_seconds'] * 1e3:.1f} ms")
+                return 0 if verdict.proved else 1
+            if args.verb == "batch-check":
+                try:
+                    with open(args.jobs, "r", encoding="utf-8") as handle:
+                        spec = json.load(handle)
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise CLIError(f"cannot read jobs file "
+                                   f"{args.jobs!r}: {exc}") from exc
+                if not isinstance(spec, dict) or "pairs" not in spec:
+                    raise CLIError('jobs file must be {"tables": [...], '
+                                   '"pairs": [[SQL1, SQL2], ...]}')
+                verdicts = client.batch_check(
+                    spec["pairs"], tables=spec.get("tables"))
+                for pair, verdict in zip(spec["pairs"], verdicts):
+                    flags = ("cached" if verdict.cached
+                             else f"stage={verdict.stage}")
+                    print(f"{verdict.status.value:10s} [{flags}] "
+                          f"{pair[0]}  ≟  {pair[1]}")
+                return 0 if all(v.proved for v in verdicts) else 1
+            if args.verb == "stats":
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.verb == "shutdown":
+                client.shutdown()
+                print("daemon is draining")
+                return 0
+            raise CLIError(f"unknown client verb {args.verb!r}")
+    except ServeClientError as exc:
+        raise CLIError(f"[{exc.code}] {exc}") from exc
+
+
 def cmd_rules(args: argparse.Namespace) -> int:
     print(f"{'name':<32}{'category':<14}{'paper ref':<24}")
     print("-" * 70)
@@ -525,6 +621,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(prove_all, trace=True)
     prove_all.set_defaults(fn=cmd_prove_all)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived verification daemon "
+                      "(newline-delimited JSON over TCP)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7341,
+                       help="TCP port (0 picks an ephemeral port; "
+                            "default 7341)")
+    serve.add_argument("--table", action="append", metavar="SPEC",
+                       help="default table declaration used when a "
+                            "request carries none (repeatable)")
+    serve.add_argument("--store-dir", metavar="DIR", default=None,
+                       help="directory of the sharded on-disk proof "
+                            "store (shared across server processes; "
+                            "omit for a purely in-memory cache)")
+    serve.add_argument("--shards", type=int, default=16, metavar="N",
+                       help="shard count when creating a new store "
+                            "(an existing store's layout wins; "
+                            "default 16)")
+    serve.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="pipeline worker threads (default 4)")
+    serve.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                       help="cap on distinct in-flight questions; beyond "
+                            "it clients get 'overloaded' (default 64)")
+    serve.add_argument("--hot-size", type=int, default=4096, metavar="N",
+                       help="in-memory hot-tier LRU capacity "
+                            "(default 4096)")
+    _add_bound_options(serve)
+    _add_obs_options(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="talk to a running repro serve daemon")
+    client.add_argument("--addr", default="127.0.0.1:7341",
+                        metavar="HOST:PORT",
+                        help="daemon address (default 127.0.0.1:7341)")
+    client.add_argument("--timeout", type=float, default=60.0,
+                        help="per-request timeout in seconds (default 60)")
+    client.add_argument("--retries", type=int, default=20,
+                        help="connection attempts while the daemon "
+                             "starts (default 20)")
+    client_sub = client.add_subparsers(dest="verb", required=True)
+    c_ping = client_sub.add_parser("ping", help="liveness probe")
+    c_check = client_sub.add_parser(
+        "check", help="decide equivalence of two SQL queries remotely")
+    c_check.add_argument("sql1")
+    c_check.add_argument("sql2")
+    c_check.add_argument("--table", action="append", metavar="SPEC",
+                         help="table declaration (repeatable; falls back "
+                              "to the daemon's --table defaults)")
+    c_batch = client_sub.add_parser(
+        "batch-check", help="verify a JSON batch of query pairs remotely")
+    c_batch.add_argument("jobs", help='JSON file: {"tables": [...], '
+                                      '"pairs": [[SQL1, SQL2], ...]}')
+    c_stats = client_sub.add_parser(
+        "stats", help="dump the daemon's server/cache/metrics stats")
+    c_shutdown = client_sub.add_parser(
+        "shutdown", help="ask the daemon to drain and exit")
+    for sub_parser in (c_ping, c_check, c_batch, c_stats, c_shutdown):
+        _add_obs_options(sub_parser)
+    client.set_defaults(fn=cmd_client)
+
     rules = sub.add_parser("rules", help="list the rule library")
     rules.set_defaults(fn=cmd_rules)
 
@@ -554,6 +712,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream consumer (head, grep -q) closed the pipe: the
+        # conventional quiet exit, not a traceback.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":

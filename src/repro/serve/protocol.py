@@ -1,0 +1,145 @@
+"""The serve layer's wire protocol: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8, no framing beyond
+``\\n`` — trivially scriptable (``nc``, a few lines of any language) and
+streamable: a connection stays open for any number of requests.
+
+Request::
+
+    {"op": "check", "id": 7, "sql1": "...", "sql2": "...",
+     "tables": ["R(a:int,b:int)"]}
+
+Response (the ``id`` echoes the request's, when given)::
+
+    {"ok": true,  "id": 7, "result": {...}}
+    {"ok": false, "id": 7, "error": {"code": "compile-error",
+                                     "message": "..."}}
+
+Error codes are a closed vocabulary (:data:`ERROR_CODES`) so clients can
+dispatch on them; anything unexpected server-side maps to ``internal``
+with the traceback kept in the server log, never on the wire.
+
+The module is shared by client and server so the two cannot drift: both
+read with :func:`read_message` (which enforces the line-length cap — the
+defense against a client or server streaming an unbounded payload) and
+write with :func:`encode`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ReproError
+
+#: Default cap on one request/response line (bytes, newline included).
+MAX_LINE_BYTES = 1 << 20
+
+#: The closed error-code vocabulary.
+ERROR_CODES = ("bad-request", "too-large", "unknown-op", "compile-error",
+               "unsupported", "overloaded", "shutting-down", "internal")
+
+#: Operations the server understands.
+OPS = ("ping", "check", "batch-check", "optimize", "stats", "shutdown")
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized message (maps to an error response).
+
+    ``request_id`` carries the offending request's ``id`` when the
+    request parsed far enough to have one, so the error response can
+    still echo it.
+    """
+
+    def __init__(self, code: str, message: str,
+                 request_id: Optional[Any] = None) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message as a single newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+
+
+def read_message(stream, limit: int = MAX_LINE_BYTES) -> Optional[bytes]:
+    """Read one raw line from a binary stream, enforcing the size cap.
+
+    Returns None on EOF (peer closed), skips blank lines, raises
+    :class:`ProtocolError` (``too-large``) when a line exceeds ``limit``
+    without terminating — after which the stream cannot be resynchronized
+    and the connection should be dropped.
+    """
+    while True:
+        raw = stream.readline(limit + 1)
+        if not raw:
+            return None
+        if len(raw) > limit:
+            raise ProtocolError(
+                "too-large",
+                f"request line exceeds {limit} bytes; close the "
+                f"connection and reconnect")
+        if raw.strip():
+            return raw
+
+
+def decode_request(raw: bytes) -> Dict[str, Any]:
+    """Parse and shape-check one request line."""
+    try:
+        message = json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad-request",
+                            f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("bad-request",
+                            "request must be a JSON object")
+    request_id = message.get("id")
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("bad-request",
+                            'request needs an "op" string field',
+                            request_id)
+    if op not in OPS:
+        raise ProtocolError("unknown-op",
+                            f"unknown op {op!r} (expected one of "
+                            f"{', '.join(OPS)})", request_id)
+    return message
+
+
+def ok_response(result: Any,
+                request_id: Optional[Any] = None) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "result": result}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(code: str, message: str,
+                   request_id: Optional[Any] = None) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    response: Dict[str, Any] = {"ok": False,
+                                "error": {"code": code, "message": message}}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``(host, port)`` → (host, port)."""
+    if isinstance(address, (tuple, list)) and len(address) == 2:
+        return str(address[0]), int(address[1])
+    if isinstance(address, str):
+        host, sep, port = address.rpartition(":")
+        if sep and port.isdigit():
+            return host or "127.0.0.1", int(port)
+    raise ProtocolError("bad-request",
+                        f"malformed address {address!r} "
+                        f"(expected HOST:PORT)")
+
+
+__all__ = ["ERROR_CODES", "MAX_LINE_BYTES", "OPS", "ProtocolError",
+           "decode_request", "encode", "error_response", "ok_response",
+           "parse_address", "read_message"]

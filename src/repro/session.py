@@ -81,6 +81,18 @@ class TableSpecError(SessionError):
 _TYPES: Dict[str, SQLType] = {"int": INT, "bool": BOOL, "string": STRING,
                               "float": FLOAT}
 
+_TYPE_NAMES = {ty: name for name, ty in _TYPES.items()}
+
+
+def render_table_spec(name: str, columns: Sequence) -> str:
+    """The canonical ``"R(a:int,b:int)"`` spec of a (name, columns) pair
+    (the wire format a remote session forwards to ``repro serve``)."""
+    parts = []
+    for col, ty in columns:
+        parts.append(f"{col}:{_TYPE_NAMES.get(ty, str(ty).lower())}")
+    return f"{name}({','.join(parts)})"
+
+
 _TABLE_RE = re.compile(r"^(\w+)\((.*)\)$")
 
 
@@ -189,8 +201,15 @@ class QueryHandle:
 
     def equivalent_to(self, other: Union["QueryHandle", str],
                       hyps: Hypotheses = NO_HYPOTHESES) -> Verdict:
-        """Decide equivalence through the session's tiered pipeline."""
+        """Decide equivalence through the session's tiered pipeline.
+
+        On a session opened with :meth:`Session.connect` the question is
+        answered by the remote ``repro serve`` daemon (and its shared
+        proof store) instead of the local pipeline.
+        """
         other = self._session._coerce(other)
+        if self._session.is_remote:
+            return self._session._remote_check(self, other, hyps)
         return self._session.pipeline.check_normalized(
             self.normalized, other.normalized, hyps)
 
@@ -409,6 +428,11 @@ class Session:
         self._service: Optional[VerificationService] = None
         #: token-stream key (or raw text for unlexable input) → handle.
         self._handles: Dict[object, QueryHandle] = {}
+        #: canonical "R(a:int,b:int)" specs, in declaration order — the
+        #: catalog a remote session forwards with every request.
+        self._table_specs: List[str] = []
+        #: a connected ServeClient when opened via :meth:`connect`.
+        self._remote: Optional[Any] = None
         self._closed = False
 
     @classmethod
@@ -428,6 +452,38 @@ class Session:
             session.add_table(spec)
         return session
 
+    @classmethod
+    def connect(cls, address, *tables: str,
+                timeout: float = 60.0,
+                connect_retries: int = 20,
+                config: Optional[PipelineConfig] = None) -> "Session":
+        """Open a session whose checks run on a ``repro serve`` daemon.
+
+        The fluent surface is unchanged — ``s.sql(...)`` still compiles
+        and type-checks locally (malformed SQL fails fast, before any
+        network round trip) — but :meth:`check`,
+        :meth:`QueryHandle.equivalent_to`, and :meth:`check_pairs` are
+        answered by the daemon at ``address`` (``"host:port"``), which
+        owns the warm pipeline and the shared proof store::
+
+            with Session.connect("127.0.0.1:7341",
+                                 "R(a:int,b:int)") as s:
+                verdict = s.check("SELECT a FROM R", "SELECT a FROM R")
+
+        ``optimize``/``disprove``/batch verbs still run locally against
+        this process's pipeline; the remote daemon serves equivalence
+        verdicts only.
+        """
+        from .serve.client import ServeClient  # lazy: keeps import light
+        session = cls(config=config)
+        for spec in tables:
+            session.add_table(spec)
+        client = ServeClient(address, timeout=timeout,
+                             connect_retries=connect_retries)
+        client.connect()
+        session._remote = client
+        return session
+
     # -- catalog ------------------------------------------------------------
 
     def add_table(self, spec: Union[str, Tuple[str, Sequence]],
@@ -444,6 +500,7 @@ class Session:
         else:
             name = spec
         self.catalog.add_table(name, columns)
+        self._table_specs.append(render_table_spec(name, columns))
         return self
 
     # -- compilation --------------------------------------------------------
@@ -486,9 +543,31 @@ class Session:
 
     # -- checking -----------------------------------------------------------
 
+    @property
+    def is_remote(self) -> bool:
+        """True when checks are answered by a ``repro serve`` daemon."""
+        return self._remote is not None
+
+    @property
+    def remote(self):
+        """The underlying :class:`~repro.serve.client.ServeClient`
+        (None on a local session)."""
+        return self._remote
+
+    def _remote_check(self, left: QueryHandle, right: QueryHandle,
+                      hyps: Hypotheses) -> Verdict:
+        if hyps.keys or hyps.fds:
+            raise SessionError(
+                "hypothetical equivalence is not supported on remote "
+                "sessions; open a local Session for hypothesis checks")
+        sql1 = left.text if left.text is not None else left.sql()
+        sql2 = right.text if right.text is not None else right.sql()
+        return self._remote.check(sql1, sql2, tables=self._table_specs)
+
     def check(self, q1: Union[QueryHandle, str], q2: Union[QueryHandle, str],
               hyps: Hypotheses = NO_HYPOTHESES) -> Verdict:
-        """Decide one equivalence question through the tiered pipeline."""
+        """Decide one equivalence question through the tiered pipeline
+        (or the connected daemon, on a remote session)."""
         return self._coerce(q1).equivalent_to(self._coerce(q2), hyps)
 
     def check_pairs(self, pairs: Iterable[Tuple[Union[QueryHandle, str],
@@ -506,6 +585,8 @@ class Session:
         self._ensure_open()
         started = time.perf_counter()
         coerced = [(self._coerce(a), self._coerce(b)) for a, b in pairs]
+        if self.is_remote:
+            return self._remote_check_pairs(coerced, hyps, started)
         fresh = {id(h) for a, b in coerced for h in (a, b)
                  if h._pre is None}
         results: List[PairResult] = []
@@ -525,6 +606,30 @@ class Session:
         return PairwiseReport(
             results=results, normalizations=len(fresh),
             cache_hits=cache_hits, unique_questions=len(fingerprints),
+            wall_seconds=time.perf_counter() - started, hyps=hyps)
+
+    def _remote_check_pairs(self, coerced: List[Tuple[QueryHandle,
+                                                      QueryHandle]],
+                            hyps: Hypotheses,
+                            started: float) -> PairwiseReport:
+        """One ``batch-check`` round trip for a whole pairwise workload."""
+        if hyps.keys or hyps.fds:
+            raise SessionError(
+                "hypothetical equivalence is not supported on remote "
+                "sessions; open a local Session for hypothesis checks")
+        texts = [(a.text if a.text is not None else a.sql(),
+                  b.text if b.text is not None else b.sql())
+                 for a, b in coerced]
+        verdicts = self._remote.batch_check(texts,
+                                            tables=self._table_specs)
+        results = [PairResult(left, right, verdict)
+                   for (left, right), verdict in zip(coerced, verdicts)]
+        fingerprints = {v.fingerprint for v in verdicts if v.fingerprint}
+        return PairwiseReport(
+            results=results, normalizations=0,
+            cache_hits=sum(v.cached for v in verdicts),
+            unique_questions=len(fingerprints) or len({tuple(sorted(t))
+                                                       for t in texts}),
             wall_seconds=time.perf_counter() - started, hyps=hyps)
 
     def check_all_pairs(self,
@@ -612,6 +717,9 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
         if self._service is not None:
             self._service.close()
             self._service = None
@@ -631,6 +739,9 @@ class Session:
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"
+        if self.is_remote:
+            state = f"remote {self._remote.host}:{self._remote.port}, " \
+                    f"{state}"
         return (f"Session({len(self.catalog.tables)} table(s), "
                 f"{len(self._handles)} handle(s), "
                 f"{len(self.cache)} cached verdict(s), {state})")
@@ -645,4 +756,5 @@ __all__ = [
     "SessionError",
     "TableSpecError",
     "parse_table_spec",
+    "render_table_spec",
 ]

@@ -29,6 +29,7 @@ from typing import Dict, Optional
 from ..core.equivalence import Hypotheses
 from ..core.intern import KernelLRU
 from ..core.normalize import NSum, nsum_alpha_key
+from ..fslock import file_lock
 from ..obs.logs import get_logger
 from ..obs.metrics import counter, gauge
 from ..obs.trace import span
@@ -252,34 +253,86 @@ class ProofCache:
     # -- persistence --------------------------------------------------------
 
     def save(self, path: Optional[str] = None) -> str:
-        """Write entries + alias index to JSON (atomic rename)."""
+        """Persist entries + alias index to JSON — merge-on-save.
+
+        Concurrent savers (two sessions, two processes, one cache file)
+        used to race last-writer-wins: whichever ``os.replace`` landed
+        second silently discarded the other's proofs.  Saving now runs
+        under an advisory file lock and *merges* with whatever is already
+        on disk: disk-only entries are kept (ranked colder than this
+        process's own), this cache's entries win any fingerprint both
+        sides hold, and the union is capped at ``max_size`` dropping the
+        coldest — so the union of two concurrent savers survives, not a
+        random one of them.
+        """
         path = path or self.path
         if path is None:
             raise ValueError("no persistence path configured")
         with span("proofcache.save", entries=len(self._entries)):
-            payload = {
-                "version": 1,
-                "entries": [[fp, v.to_dict()]
-                            for fp, v in self._entries.items()],
-                "aliases": self._aliases,
-            }
             directory = os.path.dirname(os.path.abspath(path))
             os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(payload, handle)
-                os.replace(tmp, path)
-            finally:
-                if os.path.exists(tmp):
-                    os.unlink(tmp)
+            with file_lock(path):
+                disk_entries, disk_aliases = self._read_payload(path)
+                merged: "OrderedDict[str, dict]" = OrderedDict(
+                    (fp, data) for fp, data in disk_entries
+                    if fp not in self._entries)
+                for fp, verdict in self._entries.items():
+                    merged[fp] = verdict.to_dict()
+                while len(merged) > self.max_size:
+                    merged.popitem(last=False)
+                aliases = {a: f for a, f in disk_aliases.items()
+                           if f in merged}
+                aliases.update((a, f) for a, f in self._aliases.items()
+                               if f in merged)
+                payload = {
+                    "version": 1,
+                    "entries": [[fp, data] for fp, data in merged.items()],
+                    "aliases": aliases,
+                }
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                        json.dump(payload, handle)
+                    os.replace(tmp, path)
+                finally:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
         _PERSISTS.inc()
-        _log.debug("persisted %d cache entries to %s",
-                   len(self._entries), path)
+        _log.debug("persisted %d cache entries to %s", len(payload["entries"]),
+                   path)
         return path
 
+    @staticmethod
+    def _read_payload(path: str):
+        """Current (entries, aliases) on disk; empty when absent/corrupt.
+
+        Used by merge-on-save, where an unreadable file must degrade to
+        plain overwrite rather than failing the save.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return [], {}
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            return [], {}
+        entries = payload.get("entries", [])
+        aliases = payload.get("aliases", {})
+        if not isinstance(entries, list) or not isinstance(aliases, dict):
+            return [], {}
+        return entries, aliases
+
     def load(self, path: Optional[str] = None) -> int:
-        """Merge entries from a JSON file; returns how many were loaded."""
+        """Merge entries from a JSON file; returns how many were loaded.
+
+        Loaded entries rank *colder* than anything already in memory: a
+        warm in-memory verdict is never displaced (neither its value nor
+        its LRU position) by a disk entry, and when the merge overflows
+        ``max_size`` it is the loaded cold entries that evict first — a
+        load into a warm cache used to do the opposite, evicting the warm
+        working set to make room for disk history.  Hit/miss counters are
+        untouched; loading is not a probe.
+        """
         path = path or self.path
         if path is None:
             raise ValueError("no persistence path configured")
@@ -288,14 +341,21 @@ class ProofCache:
         if payload.get("version") != 1:
             raise ValueError(f"unsupported cache file version in {path!r}")
         loaded = 0
+        fresh: "OrderedDict[str, Verdict]" = OrderedDict()
         for fingerprint, data in payload.get("entries", []):
+            if fingerprint in self._entries:
+                continue  # the warm in-memory verdict wins
             verdict = Verdict.from_dict(data)
             verdict.fingerprint = fingerprint
-            self._entries[fingerprint] = verdict
+            fresh[fingerprint] = verdict
             loaded += 1
+        # Disk history first (coldest), then the existing working set in
+        # its current recency order (warmest last).
+        fresh.update(self._entries)
+        self._entries = fresh
         for alias, fingerprint in payload.get("aliases", {}).items():
             if fingerprint in self._entries:
-                self._aliases[alias] = fingerprint
+                self._aliases.setdefault(alias, fingerprint)
         while len(self._entries) > self.max_size:
             self._entries.popitem(last=False)
             _EVICTIONS.inc()

@@ -1,0 +1,193 @@
+"""The serve daemon: ops, in-flight dedup, cross-process warm serving."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+from repro.serve.server import ReproServer
+from repro.solver import Status
+
+TABLES = ["R(a:int,b:int)"]
+Q1 = "SELECT DISTINCT a FROM R"
+Q2 = "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a"
+
+
+@pytest.fixture
+def server():
+    srv = ReproServer(port=0, tables=TABLES, workers=4).start()
+    yield srv
+    srv.shutdown()
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(server.address) as cli:
+        yield cli
+
+
+class TestOps:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_check_and_cache(self, client):
+        cold = client.check(Q1, Q2)
+        assert cold.status is Status.PROVED and not cold.cached
+        warm = client.check(Q1, Q2)
+        assert warm.status is Status.PROVED and warm.cached
+
+    def test_check_disproved_carries_counterexample(self, client):
+        verdict = client.check("SELECT a FROM R", "SELECT b FROM R")
+        assert verdict.status is Status.DISPROVED
+        assert verdict.counterexample is not None
+
+    def test_check_uses_default_tables(self, client):
+        # No per-request tables: the server's --table defaults apply.
+        verdict = client.check(Q1, Q1)
+        assert verdict.status is Status.PROVED
+
+    def test_batch_check(self, client):
+        verdicts = client.batch_check(
+            [(Q1, Q2), ("SELECT a FROM R", "SELECT b FROM R")],
+            tables=TABLES)
+        assert [v.status for v in verdicts] == \
+            [Status.PROVED, Status.DISPROVED]
+
+    def test_optimize(self, client):
+        result = client.optimize(
+            "SELECT a FROM (SELECT a, b FROM R WHERE a = 1) AS s",
+            tables=TABLES, rows={"R": 1000})
+        assert result["certified"] is not False
+        assert result["best_cost"] <= result["original_cost"]
+
+    def test_stats_shape(self, client):
+        client.check(Q1, Q2)
+        stats = client.stats()
+        assert stats["server"]["requests_total"] >= 1
+        assert stats["server"]["pipeline_runs_total"] >= 1
+        assert "hits" in stats["cache"]
+        assert "counters" in stats["metrics"]
+
+    def test_streaming_connection(self, client):
+        # Many requests over one connection, interleaved ops.
+        for _ in range(3):
+            assert client.ping() is True
+            assert client.check(Q1, Q1).proved
+
+
+class TestInflightDedup:
+    def test_identical_cold_checks_run_pipeline_once(self):
+        """Two concurrent clients asking the same cold question trigger
+        exactly one pipeline run; the second fans in as a follower."""
+        server = ReproServer(port=0, tables=TABLES, workers=4).start()
+        try:
+            before = server._op_stats({})["server"]
+            release = threading.Event()
+            calls = []
+            inner = server.pipeline.check
+
+            def slow_check(*args, **kwargs):
+                calls.append(threading.get_ident())
+                release.wait(10.0)
+                return inner(*args, **kwargs)
+
+            server.pipeline.check = slow_check
+            results = {}
+
+            def ask(name):
+                with ServeClient(server.address) as cli:
+                    results[name] = cli.check_detail(Q1, Q2)
+
+            threads = [threading.Thread(target=ask, args=(n,))
+                       for n in ("first", "second")]
+            for t in threads:
+                t.start()
+            # Wait until the leader is inside the (blocked) pipeline run
+            # and the follower has had a chance to arrive.
+            deadline = time.time() + 10.0
+            while not calls and time.time() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.2)
+            release.set()
+            for t in threads:
+                t.join(timeout=30.0)
+
+            assert len(calls) == 1  # exactly one pipeline run
+            roles = sorted(r["dedup"] for r in results.values())
+            assert roles == ["follower", "leader"]
+            for r in results.values():
+                assert r["status"] == "PROVED"
+            # The metric counters are process-wide; assert the deltas.
+            stats = server._op_stats({})["server"]
+            assert stats["pipeline_runs_total"] \
+                - before["pipeline_runs_total"] == 1
+            assert stats["dedup_followers_total"] \
+                - before["dedup_followers_total"] == 1
+            assert stats["inflight"] == 0  # all drained
+        finally:
+            release.set()
+            server.shutdown()
+
+    def test_follower_counterexample_is_reoriented(self):
+        """A follower asking the mirrored pair gets the counterexample
+        oriented for *its* argument order."""
+        server = ReproServer(port=0, tables=TABLES, workers=4).start()
+        try:
+            release = threading.Event()
+            started = threading.Event()
+            inner = server.pipeline.check
+
+            def slow_check(*args, **kwargs):
+                started.set()
+                release.wait(10.0)
+                return inner(*args, **kwargs)
+
+            server.pipeline.check = slow_check
+            results = {}
+            lhs, rhs = "SELECT a FROM R", "SELECT b FROM R"
+
+            def ask(name, sql1, sql2):
+                with ServeClient(server.address) as cli:
+                    results[name] = cli.check(sql1, sql2)
+
+            leader = threading.Thread(target=ask, args=("fwd", lhs, rhs))
+            leader.start()
+            assert started.wait(10.0)
+            follower = threading.Thread(target=ask, args=("rev", rhs, lhs))
+            follower.start()
+            time.sleep(0.2)
+            release.set()
+            leader.join(timeout=30.0)
+            follower.join(timeout=30.0)
+
+            assert results["fwd"].status is Status.DISPROVED
+            assert results["rev"].status is Status.DISPROVED
+        finally:
+            release.set()
+            server.shutdown()
+
+
+class TestSharedStore:
+    def test_second_server_serves_from_store(self, tmp_path):
+        """The headline acceptance check: a second server process on the
+        same --store-dir answers previously proved pairs from the shard
+        store, without re-proving."""
+        first = ReproServer(port=0, tables=TABLES,
+                            store_dir=str(tmp_path)).start()
+        try:
+            with ServeClient(first.address) as cli:
+                cold = cli.check(Q1, Q2)
+                assert cold.status is Status.PROVED and not cold.cached
+        finally:
+            first.shutdown()
+
+        second = ReproServer(port=0, tables=TABLES,
+                             store_dir=str(tmp_path)).start()
+        try:
+            with ServeClient(second.address) as cli:
+                warm = cli.check(Q1, Q2)
+            assert warm.status is Status.PROVED
+            assert warm.cached  # answered from the shard store
+        finally:
+            second.shutdown()

@@ -1,0 +1,175 @@
+"""Sharded proof store: durability, sharing, compaction, corruption."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.schema import INT
+from repro.serve.store import (
+    META_FILE,
+    ShardedProofStore,
+    StoreError,
+    StoreProofCache,
+)
+from repro.solver import Pipeline, Status, Verdict
+from repro.sql import Catalog, compile_sql
+
+
+def _verdict(tag, status=Status.PROVED):
+    return Verdict(status=status, stage="prover", fingerprint=tag)
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    return cat
+
+
+class TestShardedStore:
+    def test_roundtrip(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=4)
+        store.append("a" * 64, _verdict("a" * 64))
+        hit = store.read("a" * 64)
+        assert hit is not None and hit.status is Status.PROVED
+        assert store.read("b" * 64) is None
+
+    def test_last_wins(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=4)
+        fp = "c" * 64
+        store.append(fp, _verdict(fp, Status.UNKNOWN))
+        store.append(fp, _verdict(fp, Status.PROVED))
+        assert store.read(fp).status is Status.PROVED
+        assert len(store) == 1
+
+    def test_cross_instance_sharing(self, tmp_path):
+        # Two store objects on one directory model two server processes.
+        writer = ShardedProofStore(str(tmp_path), shards=4)
+        reader = ShardedProofStore(str(tmp_path), shards=4)
+        assert reader.read("d" * 64) is None
+        writer.append("d" * 64, _verdict("d" * 64))
+        hit = reader.read("d" * 64)  # tail-scan picks up the append
+        assert hit is not None and hit.status is Status.PROVED
+
+    def test_shard_layout_is_stable(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=8)
+        fingerprints = [f"{i:064x}" for i in range(64)]
+        for fp in fingerprints:
+            assert 0 <= store.shard_of(fp) < 8
+        again = ShardedProofStore(str(tmp_path), shards=8)
+        assert [store.shard_of(fp) for fp in fingerprints] == \
+            [again.shard_of(fp) for fp in fingerprints]
+
+    def test_existing_shard_count_wins(self, tmp_path):
+        ShardedProofStore(str(tmp_path), shards=4)
+        reopened = ShardedProofStore(str(tmp_path), shards=32)
+        assert reopened.shards == 4
+
+    def test_rejects_bad_meta(self, tmp_path):
+        with open(os.path.join(str(tmp_path), META_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"version": 99}, handle)
+        with pytest.raises(StoreError):
+            ShardedProofStore(str(tmp_path))
+
+    def test_rejects_nonpositive_shards(self, tmp_path):
+        with pytest.raises(StoreError):
+            ShardedProofStore(str(tmp_path), shards=0)
+
+    def test_compaction_keeps_newest(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=1,
+                                  auto_compact=False)
+        fp = "e" * 64
+        for status in (Status.UNKNOWN, Status.DISPROVED, Status.PROVED):
+            store.append(fp, _verdict(fp, status))
+        store.append("f" * 64, _verdict("f" * 64))
+        segment = os.path.join(str(tmp_path), "shard-0000.jsonl")
+        before = os.path.getsize(segment)
+        store.compact()
+        after = os.path.getsize(segment)
+        assert after < before  # two superseded records dropped
+        assert store.read(fp).status is Status.PROVED
+        assert store.read("f" * 64) is not None
+
+    def test_reader_survives_concurrent_compaction(self, tmp_path):
+        writer = ShardedProofStore(str(tmp_path), shards=1,
+                                   auto_compact=False)
+        reader = ShardedProofStore(str(tmp_path), shards=1)
+        fp = "1" * 64
+        for status in (Status.UNKNOWN, Status.PROVED):
+            writer.append(fp, _verdict(fp, status))
+        assert reader.read(fp).status is Status.PROVED  # index is warm
+        writer.compact()  # shrinks the file under the reader's offsets
+        assert reader.read(fp).status is Status.PROVED
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=1)
+        store.append("2" * 64, _verdict("2" * 64))
+        segment = os.path.join(str(tmp_path), "shard-0000.jsonl")
+        with open(segment, "ab") as handle:
+            handle.write(b"{not json at all\n")
+            handle.write(b'["torn-record-without-newline"')
+        fresh = ShardedProofStore(str(tmp_path), shards=1)
+        assert fresh.read("2" * 64) is not None
+        assert len(fresh) == 1
+
+    def test_stats_shape(self, tmp_path):
+        store = ShardedProofStore(str(tmp_path), shards=2)
+        store.append("3" * 64, _verdict("3" * 64))
+        stats = store.stats()
+        assert stats["shards"] == 2
+        assert stats["entries"] == 1
+        assert sum(stats["per_shard"].values()) == 1
+
+
+class TestStoreProofCache:
+    def test_layered_hit_accounting(self, tmp_path):
+        cache = StoreProofCache(ShardedProofStore(str(tmp_path)),
+                                max_size=4)
+        fp = "4" * 64
+        assert cache.get(fp) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(fp, _verdict(fp))
+        assert cache.get(fp).cached is True  # hot tier
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_disk_fallthrough_after_hot_eviction(self, tmp_path):
+        cache = StoreProofCache(ShardedProofStore(str(tmp_path)),
+                                max_size=2)
+        fps = [f"{i:064x}" for i in range(5)]
+        for fp in fps:
+            cache.put(fp, _verdict(fp))
+        # fps[0] left the 2-entry hot tier long ago but is on disk.
+        hit = cache.get(fps[0])
+        assert hit is not None and hit.cached is True
+
+    def test_alias_survives_hot_eviction(self, tmp_path):
+        cache = StoreProofCache(ShardedProofStore(str(tmp_path)),
+                                max_size=2)
+        fps = [f"{i:064x}" for i in range(4)]
+        cache.put(fps[0], _verdict(fps[0]), alias="the-alias")
+        for fp in fps[1:]:
+            cache.put(fp, _verdict(fp))
+        assert cache.get_by_alias("the-alias") is not None
+
+    def test_save_is_a_noop(self, tmp_path):
+        cache = StoreProofCache(ShardedProofStore(str(tmp_path)))
+        assert cache.save() == os.path.abspath(str(tmp_path))
+
+    def test_pipeline_restart_stays_warm(self, tmp_path, catalog):
+        """A fresh pipeline over the same store dir serves previously
+        proved pairs without re-proving (the cross-process warm story)."""
+        q1 = compile_sql("SELECT DISTINCT a FROM R", catalog).query
+        q2 = compile_sql(
+            "SELECT DISTINCT x.a FROM R AS x, R AS y WHERE x.a = y.a",
+            catalog).query
+        first = Pipeline(cache=StoreProofCache(
+            ShardedProofStore(str(tmp_path))))
+        cold = first.check(q1, q2)
+        assert cold.proved and not cold.cached
+
+        second = Pipeline(cache=StoreProofCache(
+            ShardedProofStore(str(tmp_path))))
+        warm = second.check(q1, q2)
+        assert warm.proved and warm.cached

@@ -68,6 +68,7 @@ SESSION_ALL = [
     "SessionError",
     "TableSpecError",
     "parse_table_spec",
+    "render_table_spec",
 ]
 
 
