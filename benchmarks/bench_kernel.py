@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Term-kernel microbenchmarks: normalize / alpha-key / multiset-match.
+
+Measures the three hot paths the arena-compiled kernel rewrote, as raw
+throughput on synthetic selection towers and union ladders (the same
+generators the prover-scaling grid uses, so the shapes are the ones the
+macro benchmarks exercise):
+
+* ``normalize`` — query → UniNomial normal form, cold memo each rep, on
+  **both** kernel backends (``arena`` and ``object``), so the recorded
+  ratio is the arena speedup on the paper's core computation.
+* ``alpha_key`` — canonical alpha-invariant repr of the normal forms
+  (the proof cache's key computation).
+* ``multiset_match`` — ``decide_nsums`` on alpha-equal normal-form
+  pairs: clause-by-clause multiset matching of relation atoms and
+  product factors under variable bijections.
+
+Standalone script::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py [--smoke] [--json]
+
+Also imported by ``run_all.py`` as the tracked ``kernel_micro``
+workload (nightly-gated: every section must sustain nonzero throughput
+and both backends must agree on every normal form, alpha key, and
+verdict).
+"""
+
+import argparse
+import json
+import sys
+import time
+
+TOWERS = (2, 4, 6, 8)
+LADDERS = (2, 4, 6)
+SMOKE_TOWERS = (2, 4)
+SMOKE_LADDERS = (2,)
+
+
+def _corpus(smoke):
+    from bench_prover_scaling import _selection_tower, _union_ladder
+
+    towers = SMOKE_TOWERS if smoke else TOWERS
+    ladders = SMOKE_LADDERS if smoke else LADDERS
+    pairs = []
+    for n in towers:
+        pairs.append((_selection_tower(n, False), _selection_tower(n, True)))
+    for n in ladders:
+        pairs.append((_union_ladder(n, False), _union_ladder(n, True)))
+    return pairs
+
+
+def _normal_forms(pairs):
+    """Denote + normalize every query once (warm), for the downstream
+    sections; returns aligned NSum pairs."""
+    from repro.core.denote import denote_closed
+    from repro.core.normalize import normalize, nsum_subst
+
+    forms = []
+    for lhs, rhs in pairs:
+        d1, d2 = denote_closed(lhs), denote_closed(rhs)
+        n1 = normalize(d1.body)
+        n2 = nsum_subst(normalize(d2.body),
+                        {d2.g: d1.g, d2.t: d1.t})
+        forms.append((n1, n2))
+    return forms
+
+
+def bench_normalize(pairs, reps):
+    """Cold-memo normalize throughput per backend (queries/second)."""
+    from repro.core.denote import denote_closed
+    from repro.core.intern import clear_kernel_caches, set_kernel_backend
+    from repro.core.normalize import normalize
+
+    bodies = [denote_closed(q).body for pair in pairs for q in pair]
+    out = {}
+    forms = {}
+    for backend in ("arena", "object"):
+        previous = set_kernel_backend(backend)
+        try:
+            wall = 0.0
+            for _ in range(reps):
+                clear_kernel_caches()
+                started = time.perf_counter()
+                normalized = [normalize(body) for body in bodies]
+                wall += time.perf_counter() - started
+            forms[backend] = normalized
+            ops = len(bodies) * reps
+            out[backend] = {
+                "terms": len(bodies), "reps": reps,
+                "wall_seconds": wall,
+                "terms_per_second": ops / wall if wall else 0.0,
+            }
+        finally:
+            set_kernel_backend(previous)
+    out["backends_agree"] = forms["arena"] == forms["object"]
+    out["speedup_arena_vs_object"] = (
+        out["arena"]["terms_per_second"]
+        / out["object"]["terms_per_second"]
+        if out["object"]["terms_per_second"] else 0.0)
+    return out
+
+
+def bench_alpha_key(forms, reps):
+    """Alpha-invariant repr throughput over the normal forms."""
+    from repro.core.intern import clear_kernel_caches
+    from repro.solver.cache import nsum_alpha_repr
+
+    sums = [n for pair in forms for n in pair]
+    wall = 0.0
+    keys = []
+    for _ in range(reps):
+        clear_kernel_caches()
+        started = time.perf_counter()
+        keys = [nsum_alpha_repr(n) for n in sums]
+        wall += time.perf_counter() - started
+    return {
+        "terms": len(sums), "reps": reps,
+        "wall_seconds": wall,
+        "keys_per_second": len(sums) * reps / wall if wall else 0.0,
+        "distinct_keys": len(set(keys)),
+    }
+
+
+def bench_multiset_match(forms, reps):
+    """decide_nsums throughput on alpha-equal normal-form pairs — the
+    multiset-matching core (relation atoms, product factors, variable
+    bijections)."""
+    from repro.core.equivalence import decide_nsums
+
+    wall = 0.0
+    decided = 0
+    for _ in range(reps):
+        started = time.perf_counter()
+        for n1, n2 in forms:
+            result = decide_nsums(n1, n2)
+            decided += 1
+            assert result.equal, "kernel bench pair unexpectedly unequal"
+        wall += time.perf_counter() - started
+    return {
+        "pairs": len(forms), "reps": reps,
+        "wall_seconds": wall,
+        "pairs_per_second": decided / wall if wall else 0.0,
+    }
+
+
+def run(smoke=False):
+    pairs = _corpus(smoke)
+    reps = 2 if smoke else 5
+    normalize = bench_normalize(pairs, reps)
+    forms = _normal_forms(pairs)
+    alpha = bench_alpha_key(forms, reps)
+    match = bench_multiset_match(forms, max(1, reps * 3))
+    wall = (normalize["arena"]["wall_seconds"]
+            + normalize["object"]["wall_seconds"]
+            + alpha["wall_seconds"] + match["wall_seconds"])
+    return {
+        "pairs": len(pairs),
+        "wall_seconds": wall,
+        "normalize": normalize,
+        "alpha_key": alpha,
+        "multiset_match": match,
+    }
+
+
+def check(result, smoke=False):
+    """Gate: throughputs nonzero, backends agree. Returns failure list."""
+    failures = []
+    if not result["normalize"]["backends_agree"]:
+        failures.append("kernel_micro: arena and object backends disagree "
+                        "on some normal form")
+    for section, key in (("normalize", None),
+                         ("alpha_key", "keys_per_second"),
+                         ("multiset_match", "pairs_per_second")):
+        if section == "normalize":
+            for backend in ("arena", "object"):
+                if result["normalize"][backend]["terms_per_second"] <= 0:
+                    failures.append(f"kernel_micro: zero normalize "
+                                    f"throughput on {backend}")
+        elif result[section][key] <= 0:
+            failures.append(f"kernel_micro: zero {section} throughput")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus / few reps (CI)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full result as JSON")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    failures = check(result, smoke=args.smoke)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        norm = result["normalize"]
+        print(f"normalize: arena {norm['arena']['terms_per_second']:.0f}/s "
+              f"vs object {norm['object']['terms_per_second']:.0f}/s "
+              f"({norm['speedup_arena_vs_object']:.1f}x, agree="
+              f"{norm['backends_agree']})")
+        print(f"alpha_key: {result['alpha_key']['keys_per_second']:.0f}/s")
+        print(f"multiset_match: "
+              f"{result['multiset_match']['pairs_per_second']:.0f} pairs/s")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, "src")
+    sys.exit(main())

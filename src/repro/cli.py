@@ -355,9 +355,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
     use ``--json`` in CI to smoke-test that the registry serializes.
     """
     from .core.intern import kernel_stats
+    # kernel_stats() first: reading the arena section refreshes the
+    # ``kernel.arena.*`` gauges, so the registry snapshot taken after it
+    # includes the arena occupancy/hit figures (CI smoke-asserts this).
+    kernel = kernel_stats()
     snapshot = REGISTRY.snapshot()
     if args.json:
-        print(json.dumps({"metrics": snapshot, "kernel": kernel_stats()},
+        print(json.dumps({"metrics": snapshot, "kernel": kernel},
                          indent=2, sort_keys=True))
         return 0
     print("counters:")
@@ -372,7 +376,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         mean = data["sum"] / data["count"] if data["count"] else 0.0
         print(f"  {name:<44} {data['count']:6d} obs, mean {mean:.6g}")
     print("kernel:")
-    for key, value in sorted(kernel_stats().items()):
+    for key, value in sorted(kernel.items()):
         print(f"  {key:<44} {value}")
     return 0
 

@@ -1,0 +1,1523 @@
+"""Flat arena term kernel: int-indexed UniNomials behind ``normalize``.
+
+The object kernel (:mod:`repro.core.uninomial`, :mod:`repro.core.normalize`)
+hash-conses terms as frozen dataclasses; after PR 3 the remaining
+normalization cost is pure object-graph traversal — every rewrite pass
+chases pointers through dataclass ``__dict__``s, re-enters ``__new__``
+interning machinery per node, and re-derives metadata through attribute
+probes.
+
+This module compiles the same algebra onto a **flat arena**: every
+canonical node is a dense integer id into per-column ("struct of arrays")
+tables — one list per kind of payload:
+
+========  ==================================================================
+column    contents
+========  ==================================================================
+``tags``  the node's constructor tag (small int; fits a byte, so consumers
+          that want vectorized sweeps can snapshot it into ``array('B')``
+          or a numpy array — see :meth:`TermArena.tags_view`)
+``kids``  the tuple of child ids
+``pay``   the non-term payload (names, schemas, constants)
+``fv``    free tuple variables as an int **bitset** (lazy)
+``bs``    binder-sensitivity flag for alpha keys (lazy)
+``akey``  the closed alpha-canonical key (lazy)
+``strv``  the rendered form, identical to the object ``__str__`` (lazy)
+``ordk``  the atom sort key ``(rank, str)`` (lazy)
+``prp``   the ``is_prop`` flag (lazy)
+``objv``  the decoded interned object, for the thin object-API view (lazy)
+========  ==================================================================
+
+The hot loops — ``_translate``'s sum/product construction, the Lemma
+5.1/5.2 clause refinement fixpoint, equality decomposition, alpha-key
+computation, dedup-under-squash — run entirely over contiguous int ids:
+substitution guards are single ``&`` operations on free-variable bitsets,
+structural equality is ``==`` on ints, and multiset dedup compares interned
+key tuples.  The rewrites are an exact mirror of the object normalizer
+(same rule priority, same fresh-name draws from the shared counter, same
+canonical factor order), so the two backends agree up to alpha-equivalence
+— which the differential property suite in
+``tests/core/test_intern_properties.py`` checks on both sides.
+
+The object API stays the boundary: :func:`arena_normalize` takes an
+interned ``UTerm`` and returns an interned ``NSum``, so ``core/``,
+``solver/`` and ``optimizer/`` callers never see an id.  Encoding stamps
+``(epoch, id)`` on the object node, making re-encoding O(1); decoding
+memoizes per id, so unchanged subterms decode to the *same* objects that
+were encoded.
+
+Backend selection lives in :mod:`repro.core.intern`
+(``REPRO_KERNEL=arena|object``, :func:`repro.core.intern.set_kernel_backend`);
+``normalize()`` dispatches per call and falls back to the object path when
+the arena cannot represent a term (:class:`ArenaUnsupported` — e.g. an
+unhashable constant payload).
+
+Occupancy and hit counters surface through :func:`arena_stats`, which also
+refreshes the ``kernel.arena.*`` gauges in the observability registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import ast
+from .intern import kernel_backend  # noqa: F401  (re-exported convenience)
+from .schema import EMPTY, Empty, Leaf, Node, Schema
+from .typecheck import TypecheckError, infer_projection, infer_query
+from .uninomial import (
+    _FRESH,
+    TAgg,
+    TApp,
+    TConst,
+    TFst,
+    TPair,
+    TSnd,
+    TUnit,
+    TVar,
+    Term,
+    UAdd,
+    UEq,
+    UMul,
+    UNeg,
+    UOne,
+    UPred,
+    URel,
+    USquash,
+    USum,
+    UTerm,
+    UZero,
+)
+
+__all__ = [
+    "ArenaUnsupported",
+    "TermArena",
+    "arena",
+    "arena_denote_closed",
+    "arena_normalize",
+    "arena_stats",
+    "reset_arena",
+]
+
+
+class ArenaUnsupported(Exception):
+    """The arena cannot represent this term (e.g. unhashable payload).
+
+    ``normalize`` catches this and falls back to the object backend, so
+    exotic inputs degrade to the uncompiled behaviour instead of failing.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Node tags.  Term sorts first, then UniNomial operators, then normal-form
+# atoms and the normal-form containers.
+# ---------------------------------------------------------------------------
+
+T_VAR, T_UNIT, T_CONST, T_PAIR, T_FST, T_SND, T_APP, T_AGG = range(8)
+U_ZERO, U_ONE, U_ADD, U_MUL, U_SQUASH, U_NEG, U_SUM, U_EQ, U_REL, U_PRED = \
+    range(8, 18)
+A_REL, A_EQ, A_PRED, A_SQ, A_NEG = range(18, 23)
+N_PROD, N_SUM = 23, 24
+
+#: Canonical atom order inside a clause (mirror of ``_ATOM_RANK``):
+#: relations, predicates, equalities, squashes, negations.
+_ATOM_RANK = {A_REL: 0, A_PRED: 1, A_EQ: 2, A_SQ: 3, A_NEG: 4}
+
+#: Atom tags that denote propositions (mirror of ``_atom_is_prop``).
+_PROP_ATOMS = frozenset((A_EQ, A_PRED, A_SQ, A_NEG))
+
+#: A clause during normalization: ``(bound-var ids, factor atom ids)``.
+Clause = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+
+class TermArena:
+    """One flat arena: hash-consed nodes with dense int ids.
+
+    Node creation is guarded by a lock (id assignment plus the column
+    appends are one critical section); reads are index lookups on
+    append-only lists, safe under the GIL once an id has been published.
+    Lazy metadata fills are idempotent single-slot writes of deterministic
+    values, so racing fills are benign.
+    """
+
+    def __init__(self, epoch: int = 0) -> None:
+        self.epoch = epoch
+        self._lock = threading.RLock()
+        self._ids: Dict[Tuple, int] = {}
+        self.tags: List[int] = []
+        self.kids: List[Tuple[int, ...]] = []
+        self.pay: List[Any] = []
+        self.fv: List[Optional[int]] = []
+        self.bs: List[int] = []          # -1 unknown, 0 false, 1 true
+        self.akey: List[Optional[Tuple]] = []
+        self.strv: List[Optional[str]] = []
+        self.ordk: List[Optional[Tuple[int, str]]] = []
+        self.prp: List[int] = []         # -1 unknown, 0 false, 1 true
+        self.objv: List[Any] = []
+        self.var_bit: Dict[int, int] = {}
+        #: memo of dedup+refine over squashed sums: sum id → refined
+        #: clause tuple.  Sound because a refined sum refines to itself
+        #: (the fixpoint draws no fresh names on already-split binders),
+        #: so re-simplification across fixpoint iterations is a lookup.
+        self._refined: Dict[int, Tuple[Clause, ...]] = {}
+        #: memo of full normalization: UniNomial id → decoded ``NSum``.
+        #: Persistent arena state (like ``_refined`` and the intern
+        #: tables): within an epoch the normal form of a canonical id is
+        #: fixed up to fresh binder names, and reusing one normal form is
+        #: exactly as sound as ``normalize``'s own identity-keyed memo.
+        self._norm: Dict[int, Any] = {}
+        #: memo of denotation alignment: ``(body, g₂, t₂, g₁, t₁)`` →
+        #: renamed body id.  Repeated checks of the same query pair skip
+        #: the substitution walk entirely.
+        self._align: Dict[Tuple[int, int, int, int, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+        # Shared leaves.
+        self.unit = self.node(T_UNIT, (), None)
+        self.zero = self.node(U_ZERO, (), None)
+        self.one = self.node(U_ONE, (), None)
+
+    # -- construction -------------------------------------------------------
+
+    def node(self, tag: int, kids: Tuple[int, ...], pay: Any = None) -> int:
+        """Intern a node, returning its dense id."""
+        key = (tag, kids, pay)
+        try:
+            i = self._ids.get(key)
+        except TypeError as exc:  # unhashable payload
+            raise ArenaUnsupported(f"unhashable payload: {pay!r}") from exc
+        if i is not None:
+            self.hits += 1
+            return i
+        with self._lock:
+            i = self._ids.get(key)
+            if i is not None:
+                self.hits += 1
+                return i
+            i = len(self.tags)
+            self.tags.append(tag)
+            self.kids.append(kids)
+            self.pay.append(pay)
+            self.fv.append(None)
+            self.bs.append(-1)
+            self.akey.append(None)
+            self.strv.append(None)
+            self.ordk.append(None)
+            self.prp.append(-1)
+            self.objv.append(None)
+            if tag == T_VAR:
+                self.var_bit[i] = len(self.var_bit)
+            self._ids[key] = i
+            self.misses += 1
+        return i
+
+    def fresh(self, schema, hint: str) -> int:
+        """A globally fresh tuple variable (shared counter with the object
+        kernel, so names never collide across backends)."""
+        return self.node(T_VAR, (), (_FRESH.next_name(hint), schema))
+
+    def var_mask(self, i: int) -> int:
+        return 1 << self.var_bit[i]
+
+    def _hint(self, var: int) -> str:
+        return self.pay[var][0].split("$")[0]
+
+    def tags_view(self):
+        """A compact snapshot of the tag column for vectorized consumers.
+
+        Returns a numpy ``uint8`` array when numpy is importable, else an
+        ``array('B')`` — either way a flat byte-per-node view suitable for
+        counting sweeps (see ``benchmarks/bench_kernel.py``).
+        """
+        try:
+            import numpy as np
+            return np.array(self.tags, dtype=np.uint8)
+        except ImportError:  # pragma: no cover - numpy is normally present
+            from array import array
+            return array("B", self.tags)
+
+    # -- encode: object -> id -----------------------------------------------
+
+    def encode_term(self, t: Term) -> int:
+        stamp = t.__dict__.get("_hc_aid")
+        if stamp is not None and stamp[0] is self:
+            return stamp[1]
+        cls = t.__class__
+        if cls is TVar:
+            i = self.node(T_VAR, (), (t.name, t.var_schema))
+        elif cls is TUnit:
+            i = self.unit
+        elif cls is TConst:
+            i = self.node(T_CONST, (), (t.value, t.ty))
+        elif cls is TPair:
+            i = self.node(
+                T_PAIR, (self.encode_term(t.left), self.encode_term(t.right)))
+        elif cls is TFst:
+            i = self.node(T_FST, (self.encode_term(t.arg),))
+        elif cls is TSnd:
+            i = self.node(T_SND, (self.encode_term(t.arg),))
+        elif cls is TApp:
+            i = self.node(T_APP, tuple(self.encode_term(a) for a in t.args),
+                          (t.fn, t.result_schema))
+        elif cls is TAgg:
+            i = self.node(T_AGG, (self.encode_term(t.var),
+                                  self.encode_uterm(t.body)),
+                          (t.name, t.ty))
+        else:
+            raise ArenaUnsupported(f"not a term: {t!r}")
+        object.__setattr__(t, "_hc_aid", (self, i))
+        if self.objv[i] is None and t.__dict__.get("_hc_ready"):
+            self.objv[i] = t
+        return i
+
+    def encode_uterm(self, u: UTerm) -> int:
+        stamp = u.__dict__.get("_hc_aid")
+        if stamp is not None and stamp[0] is self:
+            return stamp[1]
+        cls = u.__class__
+        if cls is UZero:
+            i = self.zero
+        elif cls is UOne:
+            i = self.one
+        elif cls is UAdd:
+            i = self.node(U_ADD, (self.encode_uterm(u.left),
+                                  self.encode_uterm(u.right)))
+        elif cls is UMul:
+            i = self.node(U_MUL, (self.encode_uterm(u.left),
+                                  self.encode_uterm(u.right)))
+        elif cls is USquash:
+            i = self.node(U_SQUASH, (self.encode_uterm(u.arg),))
+        elif cls is UNeg:
+            i = self.node(U_NEG, (self.encode_uterm(u.arg),))
+        elif cls is USum:
+            i = self.node(U_SUM, (self.encode_term(u.var),
+                                  self.encode_uterm(u.body)))
+        elif cls is UEq:
+            i = self.node(U_EQ, (self.encode_term(u.left),
+                                 self.encode_term(u.right)))
+        elif cls is URel:
+            i = self.node(U_REL, (self.encode_term(u.arg),), u.name)
+        elif cls is UPred:
+            i = self.node(U_PRED, tuple(self.encode_term(a) for a in u.args),
+                          u.name)
+        else:
+            raise ArenaUnsupported(f"not a UTerm: {u!r}")
+        object.__setattr__(u, "_hc_aid", (self, i))
+        if self.objv[i] is None and u.__dict__.get("_hc_ready"):
+            self.objv[i] = u
+        return i
+
+    # -- decode: id -> interned object --------------------------------------
+
+    def decode_term(self, i: int) -> Term:
+        obj = self.objv[i]
+        if obj is not None:
+            return obj
+        tag = self.tags[i]
+        kids = self.kids[i]
+        pay = self.pay[i]
+        if tag == T_VAR:
+            obj = TVar(pay[0], pay[1])
+        elif tag == T_UNIT:
+            obj = TUnit()
+        elif tag == T_CONST:
+            obj = TConst(pay[0], pay[1])
+        elif tag == T_PAIR:
+            obj = TPair(self.decode_term(kids[0]), self.decode_term(kids[1]))
+        elif tag == T_FST:
+            obj = TFst(self.decode_term(kids[0]))
+        elif tag == T_SND:
+            obj = TSnd(self.decode_term(kids[0]))
+        elif tag == T_APP:
+            obj = TApp(pay[0], tuple(self.decode_term(k) for k in kids),
+                       pay[1])
+        elif tag == T_AGG:
+            obj = TAgg(pay[0], self.decode_term(kids[0]),
+                       self.decode_uterm(kids[1]), pay[1])
+        else:
+            raise TypeError(f"id {i} (tag {tag}) is not a term")
+        object.__setattr__(obj, "_hc_aid", (self, i))
+        self.objv[i] = obj
+        return obj
+
+    def decode_uterm(self, i: int) -> UTerm:
+        obj = self.objv[i]
+        if obj is not None:
+            return obj
+        tag = self.tags[i]
+        kids = self.kids[i]
+        pay = self.pay[i]
+        if tag == U_ZERO:
+            obj = UZero()
+        elif tag == U_ONE:
+            obj = UOne()
+        elif tag == U_ADD:
+            obj = UAdd(self.decode_uterm(kids[0]), self.decode_uterm(kids[1]))
+        elif tag == U_MUL:
+            obj = UMul(self.decode_uterm(kids[0]), self.decode_uterm(kids[1]))
+        elif tag == U_SQUASH:
+            obj = USquash(self.decode_uterm(kids[0]))
+        elif tag == U_NEG:
+            obj = UNeg(self.decode_uterm(kids[0]))
+        elif tag == U_SUM:
+            obj = USum(self.decode_term(kids[0]), self.decode_uterm(kids[1]))
+        elif tag == U_EQ:
+            obj = UEq(self.decode_term(kids[0]), self.decode_term(kids[1]))
+        elif tag == U_REL:
+            obj = URel(pay, self.decode_term(kids[0]))
+        elif tag == U_PRED:
+            obj = UPred(pay, tuple(self.decode_term(k) for k in kids))
+        else:
+            raise TypeError(f"id {i} (tag {tag}) is not a UTerm")
+        object.__setattr__(obj, "_hc_aid", (self, i))
+        self.objv[i] = obj
+        return obj
+
+    def decode_atom(self, i: int):
+        from .normalize import AEq, ANeg, APred, ARel, ASquash
+        obj = self.objv[i]
+        if obj is not None:
+            return obj
+        tag = self.tags[i]
+        kids = self.kids[i]
+        if tag == A_REL:
+            obj = ARel(self.pay[i], self.decode_term(kids[0]))
+        elif tag == A_EQ:
+            obj = AEq(self.decode_term(kids[0]), self.decode_term(kids[1]))
+        elif tag == A_PRED:
+            obj = APred(self.pay[i],
+                        tuple(self.decode_term(k) for k in kids))
+        elif tag == A_SQ:
+            obj = ASquash(self.decode_nsum(kids[0]))
+        elif tag == A_NEG:
+            obj = ANeg(self.decode_nsum(kids[0]))
+        else:
+            raise TypeError(f"id {i} (tag {tag}) is not an atom")
+        self.objv[i] = obj
+        return obj
+
+    def decode_nsum(self, i: int):
+        from .normalize import NProduct, NSum
+        obj = self.objv[i]
+        if obj is not None:
+            return obj
+        products = []
+        for p in self.kids[i]:
+            pobj = self.objv[p]
+            if pobj is None:
+                pobj = NProduct(
+                    tuple(self.decode_term(v) for v in self.pay[p]),
+                    tuple(self.decode_atom(f) for f in self.kids[p]))
+                self.objv[p] = pobj
+            products.append(pobj)
+        obj = NSum(tuple(products))
+        self.objv[i] = obj
+        return obj
+
+    def decode_clauses(self, clauses: List[Clause]):
+        """Decode a refined clause list into an interned ``NSum``."""
+        from .normalize import NProduct, NSum
+        return NSum(tuple(
+            NProduct(tuple(self.decode_term(v) for v in vs),
+                     tuple(self.decode_atom(f) for f in fs))
+            for vs, fs in clauses))
+
+    # -- cached metadata -----------------------------------------------------
+
+    def schema_of(self, i: int):
+        """The schema of a term id (mirror of ``Term.schema``)."""
+        tag = self.tags[i]
+        if tag == T_VAR:
+            return self.pay[i][1]
+        if tag == T_UNIT:
+            return EMPTY
+        if tag == T_CONST:
+            return Leaf(self.pay[i][1])
+        if tag == T_PAIR:
+            kids = self.kids[i]
+            return Node(self.schema_of(kids[0]), self.schema_of(kids[1]))
+        if tag == T_FST:
+            s = self.schema_of(self.kids[i][0])
+            if isinstance(s, Node):
+                return s.left
+            raise TypeError(f"TFst of non-node schema {s}")
+        if tag == T_SND:
+            s = self.schema_of(self.kids[i][0])
+            if isinstance(s, Node):
+                return s.right
+            raise TypeError(f"TSnd of non-node schema {s}")
+        if tag == T_APP:
+            return self.pay[i][1]
+        if tag == T_AGG:
+            return Leaf(self.pay[i][1])
+        raise TypeError(f"id {i} (tag {tag}) has no schema")
+
+    def fv_of(self, i: int) -> int:
+        """Free tuple variables as a bitset over ``var_bit`` indices."""
+        v = self.fv[i]
+        if v is not None:
+            return v
+        tag = self.tags[i]
+        if tag == T_VAR:
+            v = 1 << self.var_bit[i]
+        elif tag in (T_UNIT, T_CONST, U_ZERO, U_ONE):
+            v = 0
+        elif tag in (T_AGG, U_SUM):
+            kids = self.kids[i]
+            v = self.fv_of(kids[1]) & ~(1 << self.var_bit[kids[0]])
+        elif tag == N_PROD:
+            v = 0
+            for f in self.kids[i]:
+                v |= self.fv_of(f)
+            for b in self.pay[i]:
+                v &= ~(1 << self.var_bit[b])
+        else:
+            v = 0
+            for k in self.kids[i]:
+                v |= self.fv_of(k)
+        self.fv[i] = v
+        return v
+
+    def bsens_of(self, i: int) -> bool:
+        """Does the alpha key depend on the ambient environment's size?"""
+        b = self.bs[i]
+        if b >= 0:
+            return bool(b)
+        tag = self.tags[i]
+        if tag in (T_VAR, T_UNIT, T_CONST, U_ZERO, U_ONE):
+            r = False
+        elif tag in (U_SUM, A_SQ, A_NEG, N_PROD, N_SUM):
+            r = True
+        elif tag == T_AGG:
+            r = self.bsens_of(self.kids[i][1])
+        else:
+            r = any(self.bsens_of(k) for k in self.kids[i])
+        self.bs[i] = int(r)
+        return r
+
+    def is_prop(self, i: int) -> bool:
+        """Mirror of ``uninomial.is_prop`` on UniNomial ids."""
+        p = self.prp[i]
+        if p >= 0:
+            return bool(p)
+        tag = self.tags[i]
+        if tag in (U_ZERO, U_ONE, U_EQ, U_PRED, U_SQUASH, U_NEG):
+            r = True
+        elif tag == U_MUL:
+            kids = self.kids[i]
+            r = self.is_prop(kids[0]) and self.is_prop(kids[1])
+        else:
+            r = False
+        self.prp[i] = int(r)
+        return r
+
+    # -- rendering (identical to the object ``__str__`` forms) ---------------
+
+    def str_of(self, i: int) -> str:
+        s = self.strv[i]
+        if s is None:
+            s = self._render(i)
+            self.strv[i] = s
+        return s
+
+    def _render(self, i: int) -> str:
+        tag = self.tags[i]
+        kids = self.kids[i]
+        pay = self.pay[i]
+        s = self.str_of
+        if tag == T_VAR:
+            return pay[0]
+        if tag == T_UNIT:
+            return "()"
+        if tag == T_CONST:
+            return repr(pay[0])
+        if tag == T_PAIR:
+            return f"({s(kids[0])}, {s(kids[1])})"
+        if tag == T_FST:
+            return f"{s(kids[0])}.1"
+        if tag == T_SND:
+            return f"{s(kids[0])}.2"
+        if tag == T_APP:
+            return f"{pay[0]}({', '.join(s(k) for k in kids)})"
+        if tag == T_AGG:
+            return f"{pay[0]}(λ{s(kids[0])}. {s(kids[1])})"
+        if tag == U_ZERO:
+            return "0"
+        if tag == U_ONE:
+            return "1"
+        if tag == U_ADD:
+            return f"({s(kids[0])} + {s(kids[1])})"
+        if tag == U_MUL:
+            return f"{s(kids[0])} × {s(kids[1])}"
+        if tag == U_SQUASH:
+            return f"‖{s(kids[0])}‖"
+        if tag == U_NEG:
+            return f"({s(kids[0])} → 0)"
+        if tag == U_SUM:
+            return (f"Σ {s(kids[0])}:{self.pay[kids[0]][1]}. "
+                    f"({s(kids[1])})")
+        if tag == U_EQ:
+            return f"({s(kids[0])} = {s(kids[1])})"
+        if tag in (U_REL, A_REL):
+            return f"⟦{pay}⟧ {s(kids[0])}"
+        if tag in (U_PRED, A_PRED):
+            return f"⟦{pay}⟧ ({', '.join(s(k) for k in kids)})"
+        if tag == A_EQ:
+            return f"({s(kids[0])} = {s(kids[1])})"
+        if tag == A_SQ:
+            return f"‖{s(kids[0])}‖"
+        if tag == A_NEG:
+            return f"({s(kids[0])} → 0)"
+        if tag == N_PROD:
+            binder = "".join(
+                f"Σ{s(v)}:{self.pay[v][1]}. " for v in pay)
+            if not kids:
+                return binder + "1"
+            return binder + " × ".join(s(f) for f in kids)
+        if tag == N_SUM:
+            if not kids:
+                return "0"
+            return " + ".join(f"({s(p)})" for p in kids)
+        raise TypeError(f"unrenderable tag {tag}")
+
+    def atom_order(self, i: int) -> Tuple[int, str]:
+        """Mirror of ``_atom_sort_key``: canonical factor order in a clause."""
+        k = self.ordk[i]
+        if k is None:
+            k = (_ATOM_RANK[self.tags[i]], self.str_of(i))
+            self.ordk[i] = k
+        return k
+
+    def _sort_factors(self, factors) -> Tuple[int, ...]:
+        if len(factors) > 1:
+            return tuple(sorted(factors, key=self.atom_order))
+        return tuple(factors)
+
+    def prod_node(self, vs: Tuple[int, ...], fs) -> int:
+        """An ``NProduct`` node (factors in canonical sorted order)."""
+        return self.node(N_PROD, self._sort_factors(fs), tuple(vs))
+
+    def sum_node(self, clauses) -> int:
+        """An ``NSum`` node over a clause list."""
+        return self.node(
+            N_SUM, tuple(self.prod_node(vs, fs) for vs, fs in clauses))
+
+    def clauses_of(self, sum_id: int) -> List[Clause]:
+        return [(self.pay[p], self.kids[p]) for p in self.kids[sum_id]]
+
+    # -- smart constructors (mirror of uninomial's) --------------------------
+
+    def tfst(self, t: int) -> int:
+        if self.tags[t] == T_PAIR:
+            return self.kids[t][0]
+        return self.node(T_FST, (t,))
+
+    def tsnd(self, t: int) -> int:
+        if self.tags[t] == T_PAIR:
+            return self.kids[t][1]
+        return self.node(T_SND, (t,))
+
+    def tpair(self, left: int, right: int) -> int:
+        if self.tags[left] == T_FST and self.tags[right] == T_SND \
+                and self.kids[left][0] == self.kids[right][0]:
+            return self.kids[left][0]
+        return self.node(T_PAIR, (left, right))
+
+    def uadd(self, left: int, right: int) -> int:
+        if self.tags[left] == U_ZERO:
+            return right
+        if self.tags[right] == U_ZERO:
+            return left
+        return self.node(U_ADD, (left, right))
+
+    def umul(self, left: int, right: int) -> int:
+        tl, tr = self.tags[left], self.tags[right]
+        if tl == U_ZERO or tr == U_ZERO:
+            return self.zero
+        if tl == U_ONE:
+            return right
+        if tr == U_ONE:
+            return left
+        return self.node(U_MUL, (left, right))
+
+    def usquash(self, u: int) -> int:
+        if self.is_prop(u) or self.tags[u] == U_SQUASH:
+            return u
+        return self.node(U_SQUASH, (u,))
+
+    def uneg(self, u: int) -> int:
+        tag = self.tags[u]
+        if tag == U_ZERO:
+            return self.one
+        if tag == U_ONE:
+            return self.zero
+        if tag == U_NEG:
+            return self.usquash(self.kids[u][0])
+        if tag == U_SQUASH:
+            return self.node(U_NEG, (self.kids[u][0],))
+        return self.node(U_NEG, (u,))
+
+    def usum(self, var: int, body: int) -> int:
+        if self.tags[body] == U_ZERO:
+            return self.zero
+        return self.node(U_SUM, (var, body))
+
+    def ueq(self, left: int, right: int) -> int:
+        if left == right:
+            return self.one
+        if self.tags[left] == T_CONST and self.tags[right] == T_CONST:
+            return self.one if self.pay[left][0] == self.pay[right][0] \
+                else self.zero
+        return self.node(U_EQ, (left, right))
+
+    def orient_eq(self, left: int, right: int) -> int:
+        """Mirror of ``_orient_eq`` / ``_term_order_key``."""
+        lk = (0 if self.tags[left] == T_VAR else 1, self.str_of(left))
+        rk = (0 if self.tags[right] == T_VAR else 1, self.str_of(right))
+        if rk < lk:
+            left, right = right, left
+        return self.node(A_EQ, (left, right))
+
+    # -- substitution (mirror of uninomial's, bitset-guarded) ----------------
+
+    def subst_term(self, i: int, sub: Dict[int, int], mask: int) -> int:
+        if not (self.fv_of(i) & mask):
+            return i
+        tag = self.tags[i]
+        kids = self.kids[i]
+        if tag == T_VAR:
+            return sub.get(i, i)
+        if tag == T_PAIR:
+            return self.tpair(self.subst_term(kids[0], sub, mask),
+                              self.subst_term(kids[1], sub, mask))
+        if tag == T_FST:
+            return self.tfst(self.subst_term(kids[0], sub, mask))
+        if tag == T_SND:
+            return self.tsnd(self.subst_term(kids[0], sub, mask))
+        if tag == T_APP:
+            return self.node(
+                T_APP, tuple(self.subst_term(k, sub, mask) for k in kids),
+                self.pay[i])
+        if tag == T_AGG:
+            inner, var, imask = self._avoid_capture(kids[0], sub, mask)
+            return self.node(
+                T_AGG, (var, self.subst_uterm(kids[1], inner, imask)),
+                self.pay[i])
+        raise TypeError(f"id {i} (tag {tag}) is not a substitutable term")
+
+    def subst_uterm(self, i: int, sub: Dict[int, int], mask: int) -> int:
+        if not (self.fv_of(i) & mask):
+            return i
+        tag = self.tags[i]
+        kids = self.kids[i]
+        if tag == U_ADD:
+            return self.uadd(self.subst_uterm(kids[0], sub, mask),
+                             self.subst_uterm(kids[1], sub, mask))
+        if tag == U_MUL:
+            return self.umul(self.subst_uterm(kids[0], sub, mask),
+                             self.subst_uterm(kids[1], sub, mask))
+        if tag == U_SQUASH:
+            return self.usquash(self.subst_uterm(kids[0], sub, mask))
+        if tag == U_NEG:
+            return self.uneg(self.subst_uterm(kids[0], sub, mask))
+        if tag == U_SUM:
+            inner, var, imask = self._avoid_capture(kids[0], sub, mask)
+            return self.usum(var, self.subst_uterm(kids[1], inner, imask))
+        if tag == U_EQ:
+            return self.ueq(self.subst_term(kids[0], sub, mask),
+                            self.subst_term(kids[1], sub, mask))
+        if tag == U_REL:
+            return self.node(U_REL, (self.subst_term(kids[0], sub, mask),),
+                             self.pay[i])
+        if tag == U_PRED:
+            return self.node(
+                U_PRED, tuple(self.subst_term(k, sub, mask) for k in kids),
+                self.pay[i])
+        raise TypeError(f"id {i} (tag {tag}) is not a substitutable UTerm")
+
+    def _avoid_capture(self, bound: int, sub: Dict[int, int],
+                       mask: int) -> Tuple[Dict[int, int], int, int]:
+        """Mirror of ``_avoid_capture``: drop shadowed bindings, rename the
+        binder when a substitution value captures it."""
+        if bound in sub:
+            sub = {v: t for v, t in sub.items() if v != bound}
+            mask = 0
+            for v in sub:
+                mask |= self.var_mask(v)
+            if not sub:
+                return sub, bound, 0
+        bmask = self.var_mask(bound)
+        clash = any(self.fv_of(t) & bmask for t in sub.values())
+        if clash:
+            renamed = self.fresh(self.pay[bound][1], self._hint(bound))
+            sub = dict(sub)
+            sub[bound] = renamed
+            return sub, renamed, mask | bmask
+        return sub, bound, mask
+
+    def subst_atom(self, i: int, sub: Dict[int, int], mask: int) -> int:
+        """Mirror of ``atom_subst`` (AEq re-orients after substitution)."""
+        if not (self.fv_of(i) & mask):
+            return i
+        tag = self.tags[i]
+        kids = self.kids[i]
+        if tag == A_REL:
+            return self.node(A_REL, (self.subst_term(kids[0], sub, mask),),
+                             self.pay[i])
+        if tag == A_EQ:
+            return self.orient_eq(self.subst_term(kids[0], sub, mask),
+                                  self.subst_term(kids[1], sub, mask))
+        if tag == A_PRED:
+            return self.node(
+                A_PRED, tuple(self.subst_term(k, sub, mask) for k in kids),
+                self.pay[i])
+        if tag in (A_SQ, A_NEG):
+            return self.node(tag, (self.subst_sum(kids[0], sub, mask),))
+        raise TypeError(f"id {i} (tag {tag}) is not an atom")
+
+    def subst_sum(self, i: int, sub: Dict[int, int], mask: int) -> int:
+        """Mirror of ``nsum_subst``/``product_subst`` on normal-form nodes."""
+        if not (self.fv_of(i) & mask):
+            return i
+        products = []
+        for p in self.kids[i]:
+            if not (self.fv_of(p) & mask):
+                products.append(p)
+                continue
+            vs = self.pay[p]
+            inner = {v: t for v, t in sub.items() if v not in vs}
+            imask = 0
+            for v in inner:
+                imask |= self.var_mask(v)
+            if not (imask and (self.fv_of(p) & imask)):
+                products.append(p)
+                continue
+            products.append(self.prod_node(
+                vs, tuple(self.subst_atom(f, inner, imask)
+                          for f in self.kids[p])))
+        return self.node(N_SUM, tuple(products))
+
+    # -- alpha-equivalence keys (mirror of normalize's) ----------------------
+
+    def akey_of(self, i: int, env: Optional[Dict[int, str]] = None,
+                envmask: int = 0) -> Tuple:
+        """Canonical structural key under a bound-variable labelling."""
+        if env and (self.bsens_of(i) or (self.fv_of(i) & envmask)):
+            return self._akey_env(i, env, envmask)
+        k = self.akey[i]
+        if k is None:
+            k = self._akey_env(i, {}, 0)
+            self.akey[i] = k
+        return k
+
+    def _akey_env(self, i: int, env: Dict[int, str], envmask: int) -> Tuple:
+        tag = self.tags[i]
+        kids = self.kids[i]
+        pay = self.pay[i]
+        key = self.akey_of
+        if tag == T_VAR:
+            return ("var", env.get(i, pay[0]), str(pay[1]))
+        if tag == T_UNIT:
+            return ("unit",)
+        if tag == T_PAIR:
+            return ("pair", key(kids[0], env, envmask),
+                    key(kids[1], env, envmask))
+        if tag == T_FST:
+            return ("fst", key(kids[0], env, envmask))
+        if tag == T_SND:
+            return ("snd", key(kids[0], env, envmask))
+        if tag == T_CONST:
+            return ("const", pay[1].name, repr(pay[0]))
+        if tag == T_APP:
+            return ("app", pay[0], str(pay[1]),
+                    tuple(key(k, env, envmask) for k in kids))
+        if tag == T_AGG:
+            inner = dict(env)
+            inner[kids[0]] = "@agg"
+            return ("agg", pay[0], pay[1].name,
+                    key(kids[1], inner, envmask | self.var_mask(kids[0])))
+        if tag == U_ZERO:
+            return ("zero",)
+        if tag == U_ONE:
+            return ("one",)
+        if tag == U_ADD:
+            return ("add", key(kids[0], env, envmask),
+                    key(kids[1], env, envmask))
+        if tag == U_MUL:
+            return ("mul", key(kids[0], env, envmask),
+                    key(kids[1], env, envmask))
+        if tag == U_SQUASH:
+            return ("squash", key(kids[0], env, envmask))
+        if tag == U_NEG:
+            return ("neg", key(kids[0], env, envmask))
+        if tag == U_SUM:
+            inner = dict(env)
+            inner[kids[0]] = f"@{len(env)}"
+            return ("sum", str(self.pay[kids[0]][1]),
+                    key(kids[1], inner, envmask | self.var_mask(kids[0])))
+        if tag == U_EQ:
+            return ("eq", key(kids[0], env, envmask),
+                    key(kids[1], env, envmask))
+        if tag == U_REL:
+            return ("rel", pay, key(kids[0], env, envmask))
+        if tag == U_PRED:
+            return ("pred", pay, tuple(key(k, env, envmask) for k in kids))
+        if tag == A_REL:
+            return ("rel", pay, key(kids[0], env, envmask))
+        if tag == A_EQ:
+            keys = sorted((key(kids[0], env, envmask),
+                           key(kids[1], env, envmask)))
+            return ("eq", keys[0], keys[1])
+        if tag == A_PRED:
+            return ("pred", pay, tuple(key(k, env, envmask) for k in kids))
+        if tag == A_SQ:
+            return ("squash", self._akey_sum(kids[0], env, envmask))
+        if tag == A_NEG:
+            return ("negsum", self._akey_sum(kids[0], env, envmask))
+        if tag == N_PROD:
+            return self.akey_clause(pay, kids, env, envmask)
+        if tag == N_SUM:
+            return self._akey_sum(i, env, envmask)
+        raise TypeError(f"no alpha key for tag {tag}")
+
+    def akey_clause(self, vs, fs, env: Optional[Dict[int, str]] = None,
+                    envmask: int = 0) -> Tuple:
+        """Mirror of ``product_alpha_key``: binders become positional labels."""
+        env = dict(env) if env else {}
+        for idx, v in enumerate(vs):
+            env[v] = f"@{len(env)}.{idx}"
+            envmask |= self.var_mask(v)
+        schemas = tuple(sorted(str(self.pay[v][1]) for v in vs))
+        factor_keys = tuple(sorted(self.akey_of(f, env, envmask)
+                                   for f in fs))
+        return ("product", schemas, factor_keys)
+
+    def _akey_sum(self, i: int, env: Dict[int, str], envmask: int) -> Tuple:
+        return ("nsum", tuple(sorted(
+            self.akey_clause(self.pay[p], self.kids[p], env, envmask)
+            for p in self.kids[i])))
+
+    # -- translation (mirror of normalize's ``_translate``) ------------------
+
+    def translate(self, u: int) -> List[Clause]:
+        tag = self.tags[u]
+        kids = self.kids[u]
+        if tag == U_ZERO:
+            return []
+        if tag == U_ONE:
+            return [((), ())]
+        if tag == U_ADD:
+            return self.translate(kids[0]) + self.translate(kids[1])
+        if tag == U_MUL:
+            left = self.translate(kids[0])
+            right = self.translate(kids[1])
+            out: List[Clause] = []
+            for pv, pf in left:
+                for q in right:
+                    qv, qf = self._freshen(q)
+                    out.append((pv + qv, self._sort_factors(pf + qf)))
+            return out
+        if tag == U_SUM:
+            var, body = kids
+            inner = self.translate(body)
+            out = []
+            schema = self.pay[var][1]
+            hint = self._hint(var)
+            mask = self.var_mask(var)
+            for pv, pf in inner:
+                renamed = self.fresh(schema, hint)
+                sub = {var: renamed}
+                pf2 = self._sort_factors(
+                    tuple(self.subst_atom(f, sub, mask) for f in pf))
+                out.append(((renamed,) + pv, pf2))
+            return out
+        if tag == U_SQUASH:
+            return [((), (self.node(
+                A_SQ, (self.sum_node(self.translate(kids[0])),)),))]
+        if tag == U_NEG:
+            return [((), (self.node(
+                A_NEG, (self.sum_node(self.translate(kids[0])),)),))]
+        if tag == U_EQ:
+            factors = self.eq_factors(kids[0], kids[1])
+            if factors is None:
+                return []
+            return [((), self._sort_factors(tuple(factors)))]
+        if tag == U_REL:
+            return [((), (self.node(A_REL, (kids[0],), self.pay[u]),))]
+        if tag == U_PRED:
+            return [((), (self.node(A_PRED, kids, self.pay[u]),))]
+        raise ArenaUnsupported(f"untranslatable tag {tag}")
+
+    def _freshen(self, clause: Clause) -> Clause:
+        """Rename all binders of a clause to globally fresh variables."""
+        vs, fs = clause
+        if not vs:
+            return clause
+        sub: Dict[int, int] = {}
+        new_vars = []
+        mask = 0
+        for v in vs:
+            nv = self.fresh(self.pay[v][1], self._hint(v))
+            sub[v] = nv
+            new_vars.append(nv)
+            mask |= self.var_mask(v)
+        return (tuple(new_vars),
+                self._sort_factors(tuple(self.subst_atom(f, sub, mask)
+                                         for f in fs)))
+
+    def eq_factors(self, left: int, right: int) -> Optional[List[int]]:
+        """Mirror of ``_eq_factors``: schema-directed equality decomposition.
+
+        ``None`` marks a refuted equality; ``[]`` a trivially true one.
+        """
+        if left == right:
+            return []
+        schema = self.schema_of(left)
+        if isinstance(schema, Empty):
+            return []
+        if isinstance(schema, Node) or self.tags[left] == T_PAIR \
+                or self.tags[right] == T_PAIR:
+            first = self.eq_factors(self.tfst(left), self.tfst(right))
+            if first is None:
+                return None
+            second = self.eq_factors(self.tsnd(left), self.tsnd(right))
+            if second is None:
+                return None
+            return first + second
+        if self.tags[left] == T_CONST and self.tags[right] == T_CONST:
+            return [] if self.pay[left][0] == self.pay[right][0] else None
+        return [self.orient_eq(left, right)]
+
+    # -- clause refinement (mirror of normalize's fixpoint) ------------------
+
+    def refine_clauses(self, clauses: List[Clause]) -> List[Clause]:
+        out = []
+        for c in clauses:
+            refined = self.refine_product(c)
+            if refined is not None:
+                out.append(refined)
+        return out
+
+    def refine_product(self, clause: Clause) -> Optional[Clause]:
+        """Lemmas 5.1/5.2 + squash simplification to a fixpoint; ``None``
+        marks the empty type.  Rule priority mirrors ``_refine_product``,
+        but substitutions are *batched*: splits and point eliminations
+        compose into one substitution that sweeps the heavy factors (the
+        nested ``A_SQ``/``A_NEG`` sums) once per outer round, instead of
+        re-walking every factor after each single step — that re-walk is
+        what made refinement quadratic in the number of bound variables.
+
+        Soundness of the batching: only ``A_EQ`` factors can produce a
+        split, a refutation, or a pin, and equalities are cheap to keep
+        substituted eagerly.  The composed map is kept *resolved* — no
+        value mentions a variable eliminated later — so applying it
+        simultaneously equals applying the single-variable substitutions
+        in sequence.
+        """
+        vars_list = list(clause[0])
+        factors = list(clause[1])
+        heavy = (A_SQ, A_NEG)
+
+        def compose(csub: Dict[int, int], var: int, rep: int,
+                    mask: int) -> None:
+            if csub:
+                one = {var: rep}
+                for k, v in csub.items():
+                    if self.fv_of(v) & mask:
+                        csub[k] = self.subst_term(v, one, mask)
+            csub[var] = rep
+
+        changed = True
+        while changed:
+            changed = False
+            csub: Dict[int, int] = {}
+            cmask = 0
+
+            # Lemma 5.1 — split bound pair variables / drop unit
+            # variables, leftmost-first one level at a time (the fresh
+            # draw order of the stepwise algorithm), composing the
+            # replacement trees instead of sweeping the factors.
+            while True:
+                split = None
+                for idx, var in enumerate(vars_list):
+                    schema = self.pay[var][1]
+                    if isinstance(schema, (Empty, Node)):
+                        split = (idx, var, schema)
+                        break
+                if split is None:
+                    break
+                idx, var, schema = split
+                mask = self.var_mask(var)
+                if isinstance(schema, Empty):
+                    del vars_list[idx]
+                    compose(csub, var, self.unit, mask)
+                else:
+                    hint = self._hint(var)
+                    v1 = self.fresh(schema.left, hint)
+                    v2 = self.fresh(schema.right, hint)
+                    vars_list[idx:idx + 1] = [v1, v2]
+                    compose(csub, var, self.tpair(v1, v2), mask)
+                cmask |= mask
+                changed = True
+            if csub:
+                factors = [self.subst_atom(f, csub, cmask)
+                           if self.tags[f] not in heavy else f
+                           for f in factors]
+
+            # Equality decomposition and Lemma 5.2 point elimination to a
+            # fixpoint over the light factors (equalities stay eagerly
+            # substituted; heavies wait for the composed sweep below).
+            while True:
+                new_factors: List[int] = []
+                refuted = False
+                for f in factors:
+                    if self.tags[f] == A_EQ:
+                        kf = self.kids[f]
+                        pieces = self.eq_factors(kf[0], kf[1])
+                        if pieces is None:
+                            refuted = True
+                            break
+                        if len(pieces) != 1 or pieces[0] != f:
+                            changed = True
+                        new_factors.extend(pieces)
+                    else:
+                        new_factors.append(f)
+                if refuted:
+                    return None
+                factors = new_factors
+
+                pin = None
+                for idx, f in enumerate(factors):
+                    if self.tags[f] != A_EQ:
+                        continue
+                    kf = self.kids[f]
+                    for side, other in ((kf[0], kf[1]), (kf[1], kf[0])):
+                        if self.tags[side] == T_VAR \
+                                and side in vars_list \
+                                and not (self.fv_of(other)
+                                         & self.var_mask(side)):
+                            pin = (idx, side, other)
+                            break
+                    if pin is not None:
+                        break
+                if pin is None:
+                    break
+                idx, var, replacement = pin
+                vars_list.remove(var)
+                del factors[idx]
+                mask = self.var_mask(var)
+                one = {var: replacement}
+                compose(csub, var, replacement, mask)
+                cmask |= mask
+                factors = [self.subst_atom(f, one, mask)
+                           if self.tags[f] not in heavy
+                           and self.fv_of(f) & mask else f
+                           for f in factors]
+                changed = True
+
+            # One composed sweep over the heavy factors.
+            if csub:
+                factors = [self.subst_atom(f, csub, cmask)
+                           if self.tags[f] in heavy
+                           and self.fv_of(f) & cmask else f
+                           for f in factors]
+
+            # Squash / negation simplification of nested normal forms.
+            simplified, factors_or_none = self._simplify_nested(factors)
+            if factors_or_none is None:
+                return None
+            factors = factors_or_none
+            if simplified:
+                changed = True
+                continue
+            if changed:
+                # Light work happened this round but nothing new can
+                # apply: splits and pins are exhausted (their fixpoints
+                # ran above) and simplification found nothing.
+                break
+
+        return (tuple(vars_list), self._sort_factors(tuple(factors)))
+
+    def _refine_under_squash(self, inner_id: int) -> Tuple[Clause, ...]:
+        """Dedup + refine a squashed sum's clauses, memoized per sum id."""
+        cached = self._refined.get(inner_id)
+        if cached is not None:
+            return cached
+        inner = tuple(self.refine_clauses(
+            self._dedup_under_squash(self.clauses_of(inner_id))))
+        self._refined[inner_id] = inner
+        return inner
+
+    def _simplify_nested(
+            self, factors: List[int]) -> Tuple[bool, Optional[List[int]]]:
+        changed = False
+        out: List[int] = []
+        for f in factors:
+            tag = self.tags[f]
+            if tag == A_SQ:
+                inner_id = self.kids[f][0]
+                inner = self._refine_under_squash(inner_id)
+                if not inner:
+                    return True, None
+                if any(not vs and not fs for vs, fs in inner):
+                    changed = True  # ‖1 + ...‖ = 1: the factor vanishes
+                    continue
+                pulled, remainder = self._pull_props(inner)
+                if pulled:
+                    changed = True
+                    out.extend(pulled)
+                    if remainder is not None:
+                        out.append(self.node(
+                            A_SQ, (self.sum_node(remainder),)))
+                    continue
+                new_sum = self.sum_node(inner)
+                if new_sum != inner_id:
+                    changed = True
+                out.append(self.node(A_SQ, (new_sum,)))
+            elif tag == A_NEG:
+                inner_id = self.kids[f][0]
+                inner = self.refine_clauses(
+                    self._dedup_under_squash(self.clauses_of(inner_id)))
+                if not inner:
+                    changed = True  # (0 → 0) = 1: the factor vanishes
+                    continue
+                if any(not vs and not fs for vs, fs in inner):
+                    return True, None  # (1 → 0) = 0
+                if len(inner) == 1:
+                    vs, fs = inner[0]
+                    if not vs and len(fs) == 1:
+                        only = fs[0]
+                        if self.tags[only] == A_NEG:
+                            # ¬¬X = ‖X‖ (Sec. 3.4).
+                            changed = True
+                            out.append(self.node(
+                                A_SQ, (self.kids[only][0],)))
+                            continue
+                        if self.tags[only] == A_SQ:
+                            # ¬‖X‖ = ¬X.
+                            changed = True
+                            out.append(self.node(
+                                A_NEG, (self.kids[only][0],)))
+                            continue
+                new_sum = self.sum_node(inner)
+                if new_sum != inner_id:
+                    changed = True
+                out.append(self.node(A_NEG, (new_sum,)))
+            else:
+                out.append(f)
+        return changed, out
+
+    def _dedup_under_squash(self, clauses: List[Clause]) -> List[Clause]:
+        """``‖n × n‖ = ‖n‖`` — only sound under a truncation."""
+        out = []
+        seen = set()
+        for vs, fs in clauses:
+            env: Dict[int, str] = {}
+            envmask = 0
+            for idx, v in enumerate(vs):
+                env[v] = f"@{idx}"
+                envmask |= self.var_mask(v)
+            factor_keys = set()
+            dedup = []
+            for f in fs:
+                key = self.akey_of(f, env, envmask)
+                if key in factor_keys:
+                    continue
+                factor_keys.add(key)
+                dedup.append(f)
+            dedup_t = self._sort_factors(tuple(dedup))
+            qkey = self.akey_clause(vs, dedup_t)
+            if qkey not in seen:
+                seen.add(qkey)
+                out.append((vs, dedup_t))
+        return out
+
+    def _pull_props(
+            self, inner: List[Clause]
+    ) -> Tuple[List[int], Optional[List[Clause]]]:
+        """``‖A × P‖ = ‖A‖ × P`` — hoist prop factors out of a squash."""
+        if len(inner) != 1:
+            return [], inner
+        vs, fs = inner[0]
+        if vs:
+            return [], inner
+        props = [f for f in fs if self.tags[f] in _PROP_ATOMS]
+        rest = [f for f in fs if self.tags[f] not in _PROP_ATOMS]
+        if not props:
+            return [], inner
+        if not rest:
+            return props, None
+        return props, [((), tuple(rest))]
+
+    # -- normalization entry on ids ------------------------------------------
+
+    def normalize_uid(self, uid: int):
+        """Normal form (decoded interned ``NSum``) of a UniNomial id.
+
+        Memoized per id as persistent arena state: a canonical id's
+        normal form never changes within an epoch, and returning the same
+        interned ``NSum`` (same fresh binder names included) is exactly
+        the contract ``normalize``'s identity-keyed memo already has.
+        """
+        hit = self._norm.get(uid)
+        if hit is None:
+            hit = self.decode_clauses(self.refine_clauses(self.translate(uid)))
+            self._norm[uid] = hit
+        return hit
+
+    def align_body(self, body: int, g_from: int, t_from: int,
+                   g_to: int, t_to: int) -> int:
+        """Rename one denotation body's ``g``/``t`` onto another's (memoized)."""
+        if g_from == g_to and t_from == t_to:
+            return body
+        key = (body, g_from, t_from, g_to, t_to)
+        hit = self._align.get(key)
+        if hit is None:
+            sub = {g_from: g_to, t_from: t_to}
+            mask = self.var_mask(g_from) | self.var_mask(t_from)
+            hit = self.subst_uterm(body, sub, mask)
+            self._align[key] = hit
+        return hit
+
+    # -- denotation (mirror of ``denote.py``'s Figure 7 onto arena ids) ------
+
+    def _dstash(self, node, key):
+        """Per-AST-node denotation stash, keyed with the arena instance so
+        :func:`reset_arena` invalidates stamped results."""
+        cache = node.__dict__.get("_hc_aden")
+        if cache is None:
+            cache = {}
+            object.__setattr__(node, "_hc_aden", cache)
+        return cache, cache.get(key)
+
+    def denote_query(self, query, ctx: Schema, g: int, t: int) -> int:
+        """``⟦Γ ⊢ q : σ⟧ g t`` built directly as arena ids."""
+        cache, hit = self._dstash(query, (self, ctx, g, t))
+        if hit is not None:
+            return hit
+        result = self._denote_query(query, ctx, g, t)
+        cache[(self, ctx, g, t)] = result
+        return result
+
+    def _denote_query(self, query, ctx: Schema, g: int, t: int) -> int:
+        cls = query.__class__
+        if cls is ast.Table:
+            return self.node(U_REL, (t,), query.name)
+        if cls is ast.Select:
+            inner_schema = infer_query(query.query, ctx)
+            t_prime = self.fresh(inner_schema, "t")
+            ext_ctx = Node(ctx, inner_schema)
+            projected = self.denote_projection(
+                query.projection, ext_ctx, self.tpair(g, t_prime))
+            body = self.umul(self.ueq(projected, t),
+                             self.denote_query(query.query, ctx, g, t_prime))
+            return self.usum(t_prime, body)
+        if cls is ast.Product:
+            return self.umul(
+                self.denote_query(query.left, ctx, g, self.tfst(t)),
+                self.denote_query(query.right, ctx, g, self.tsnd(t)))
+        if cls is ast.Where:
+            inner_schema = infer_query(query.query, ctx)
+            ext_ctx = Node(ctx, inner_schema)
+            return self.umul(
+                self.denote_query(query.query, ctx, g, t),
+                self.denote_predicate(query.predicate, ext_ctx,
+                                      self.tpair(g, t)))
+        if cls is ast.UnionAll:
+            return self.uadd(self.denote_query(query.left, ctx, g, t),
+                             self.denote_query(query.right, ctx, g, t))
+        if cls is ast.Except:
+            return self.umul(
+                self.denote_query(query.left, ctx, g, t),
+                self.uneg(self.denote_query(query.right, ctx, g, t)))
+        if cls is ast.Distinct:
+            return self.usquash(self.denote_query(query.query, ctx, g, t))
+        raise TypecheckError(f"cannot denote query node: {query!r}")
+
+    def denote_predicate(self, pred, ctx: Schema, g: int) -> int:
+        cache, hit = self._dstash(pred, (self, ctx, g))
+        if hit is not None:
+            return hit
+        result = self._denote_predicate(pred, ctx, g)
+        cache[(self, ctx, g)] = result
+        return result
+
+    def _denote_predicate(self, pred, ctx: Schema, g: int) -> int:
+        cls = pred.__class__
+        if cls is ast.PredEq:
+            return self.ueq(self.denote_expression(pred.left, ctx, g),
+                            self.denote_expression(pred.right, ctx, g))
+        if cls is ast.PredAnd:
+            return self.umul(self.denote_predicate(pred.left, ctx, g),
+                             self.denote_predicate(pred.right, ctx, g))
+        if cls is ast.PredOr:
+            return self.usquash(
+                self.uadd(self.denote_predicate(pred.left, ctx, g),
+                          self.denote_predicate(pred.right, ctx, g)))
+        if cls is ast.PredNot:
+            return self.uneg(self.denote_predicate(pred.operand, ctx, g))
+        if cls is ast.PredTrue:
+            return self.one
+        if cls is ast.PredFalse:
+            return self.zero
+        if cls is ast.Exists:
+            inner_schema = infer_query(pred.query, ctx)
+            t = self.fresh(inner_schema, "t")
+            return self.usquash(
+                self.usum(t, self.denote_query(pred.query, ctx, g, t)))
+        if cls is ast.CastPred:
+            inner_ctx = infer_projection(pred.projection, ctx)
+            recast = self.denote_projection(pred.projection, ctx, g)
+            return self.denote_predicate(pred.predicate, inner_ctx, recast)
+        if cls is ast.PredVar:
+            return self.node(U_PRED, (g,), pred.name)
+        if cls is ast.PredFunc:
+            args = tuple(self.denote_expression(a, ctx, g)
+                         for a in pred.args)
+            return self.node(U_PRED, args, pred.name)
+        raise TypecheckError(f"cannot denote predicate node: {pred!r}")
+
+    def denote_expression(self, expr, ctx: Schema, g: int) -> int:
+        cls = expr.__class__
+        if cls is ast.P2E:
+            return self.denote_projection(expr.projection, ctx, g)
+        if cls is ast.Const:
+            return self.node(T_CONST, (), (expr.value, expr.ty))
+        if cls is ast.Func:
+            args = tuple(self.denote_expression(a, ctx, g)
+                         for a in expr.args)
+            return self.node(T_APP, args, (expr.name, Leaf(expr.ty)))
+        if cls is ast.Agg:
+            inner_schema = infer_query(expr.query, ctx)
+            if not isinstance(inner_schema, Leaf):
+                raise TypecheckError(
+                    f"aggregate over non-single-column schema {inner_schema}")
+            v = self.fresh(inner_schema, "a")
+            body = self.denote_query(expr.query, ctx, g, v)
+            return self.node(T_AGG, (v, body), (expr.name, expr.ty))
+        if cls is ast.CastExpr:
+            inner_ctx = infer_projection(expr.projection, ctx)
+            recast = self.denote_projection(expr.projection, ctx, g)
+            return self.denote_expression(expr.expression, inner_ctx, recast)
+        if cls is ast.ExprVar:
+            return self.node(T_APP, (g,), (expr.name, Leaf(expr.ty)))
+        raise TypecheckError(f"cannot denote expression node: {expr!r}")
+
+    def denote_projection(self, proj, source: Schema, g: int) -> int:
+        cache, hit = self._dstash(proj, (self, source, g))
+        if hit is not None:
+            return hit
+        result = self._denote_projection(proj, source, g)
+        cache[(self, source, g)] = result
+        return result
+
+    def _denote_projection(self, proj, source: Schema, g: int) -> int:
+        cls = proj.__class__
+        if cls is ast.Star:
+            return g
+        if cls is ast.LeftP:
+            return self.tfst(g)
+        if cls is ast.RightP:
+            return self.tsnd(g)
+        if cls is ast.EmptyP:
+            return self.unit
+        if cls is ast.Compose:
+            middle_schema = infer_projection(proj.first, source)
+            middle = self.denote_projection(proj.first, source, g)
+            return self.denote_projection(proj.second, middle_schema, middle)
+        if cls is ast.Duplicate:
+            return self.tpair(self.denote_projection(proj.left, source, g),
+                              self.denote_projection(proj.right, source, g))
+        if cls is ast.E2P:
+            return self.denote_expression(proj.expression, source, g)
+        if cls is ast.PVar:
+            return self.node(T_APP, (g,), (proj.name, proj.target))
+        raise TypecheckError(f"cannot denote projection node: {proj!r}")
+
+
+# ---------------------------------------------------------------------------
+# The process-wide arena and the ``normalize`` entry point
+# ---------------------------------------------------------------------------
+
+_ARENA = TermArena(epoch=0)
+_ARENA_LOCK = threading.Lock()
+
+
+def arena() -> TermArena:
+    """The current process-wide arena."""
+    return _ARENA
+
+
+def reset_arena() -> TermArena:
+    """Drop the arena and start a new epoch.
+
+    Object nodes stamped with ids of the old arena re-encode on next use
+    (the stamp carries the arena instance, not just an int).  Used by
+    tests and by long-lived processes that want to bound arena growth.
+    """
+    global _ARENA
+    with _ARENA_LOCK:
+        _ARENA = TermArena(epoch=_ARENA.epoch + 1)
+    return _ARENA
+
+
+def arena_normalize(u: UTerm):
+    """Normalize through the arena: encode → translate → refine → decode.
+
+    Raises :class:`ArenaUnsupported` for terms the arena cannot hold;
+    ``normalize`` falls back to the object pipeline in that case.
+    """
+    ar = _ARENA
+    return ar.normalize_uid(ar.encode_uterm(u))
+
+
+def arena_denote_closed(query, ctx: Schema = EMPTY):
+    """Typecheck and denote a top-level query directly onto the arena.
+
+    Returns ``(schema, g_id, t_id, body_id)`` with globally fresh ``g``
+    and ``t``, memoized per (arena, context) on the query node — the
+    id-level twin of :func:`repro.core.denote.denote_closed`, and the
+    entry point of the arena-backend fast path in
+    :func:`repro.core.equivalence.check_query_equivalence`.
+    """
+    ar = _ARENA
+    cache = query.__dict__.get("_hc_adc")
+    if cache is None:
+        cache = {}
+        object.__setattr__(query, "_hc_adc", cache)
+    key = (ar, ctx)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    schema = infer_query(query, ctx)
+    g = ar.fresh(ctx, "g")
+    t = ar.fresh(schema, "t")
+    body = ar.denote_query(query, ctx, g, t)
+    result = (schema, g, t, body)
+    cache[key] = result
+    return result
+
+
+def arena_stats(refresh_gauges: bool = True) -> Dict[str, Any]:
+    """Arena occupancy/hit counters; also refreshes ``kernel.arena.*`` gauges.
+
+    Keys: ``nodes`` (interned arena nodes), ``vars`` (distinct tuple
+    variables, i.e. bitset width), ``hits``/``misses`` (node-constructor
+    table outcomes), ``epoch`` (reset generation).
+    """
+    ar = _ARENA
+    stats: Dict[str, Any] = {
+        "nodes": len(ar.tags),
+        "vars": len(ar.var_bit),
+        "hits": ar.hits,
+        "misses": ar.misses,
+        "epoch": ar.epoch,
+    }
+    if refresh_gauges:
+        try:
+            from ..obs.metrics import gauge
+            for name, value in stats.items():
+                gauge(f"kernel.arena.{name}").set(float(value))
+        except ImportError:  # pragma: no cover - obs is part of the tree
+            pass
+    return stats

@@ -45,8 +45,39 @@ from .uninomial import (
 )
 
 
+def _denote_memo(node, key):
+    """Per-node denotation stash (``{(ctx, tuple terms...) -> result}``).
+
+    Nodes are immutable and (usually) interned, so a subtree shared by
+    several queries denotes once per distinct context/tuple arguments.
+    Reusing a denotation is sound — the only non-determinism is fresh
+    binder names, and every consumer is alpha-invariant; sharing the
+    *same* interned result is what lets the identity-keyed memos
+    downstream (``normalize``) hit.  Returns ``None`` for unhashable
+    keys (exotic constant payloads): those denote uncached.
+    """
+    cache = node.__dict__.get("_hc_denote")
+    if cache is None:
+        cache = {}
+        object.__setattr__(node, "_hc_denote", cache)
+    try:
+        return cache, cache.get(key)
+    except TypeError:
+        return None, None
+
+
 def denote_query(query: ast.Query, ctx: Schema, g: Term, t: Term) -> UTerm:
     """``⟦Γ ⊢ q : σ⟧ g t`` — the multiplicity of tuple ``t`` in ``q``."""
+    cache, hit = _denote_memo(query, (ctx, g, t))
+    if hit is not None:
+        return hit
+    result = _denote_query(query, ctx, g, t)
+    if cache is not None:
+        cache[(ctx, g, t)] = result
+    return result
+
+
+def _denote_query(query: ast.Query, ctx: Schema, g: Term, t: Term) -> UTerm:
     if isinstance(query, ast.Table):
         return URel(query.name, t)
 
@@ -85,6 +116,16 @@ def denote_query(query: ast.Query, ctx: Schema, g: Term, t: Term) -> UTerm:
 
 def denote_predicate(pred: ast.Predicate, ctx: Schema, g: Term) -> UTerm:
     """``⟦Γ ⊢ b⟧ g`` — a proposition (squash type)."""
+    cache, hit = _denote_memo(pred, (ctx, g))
+    if hit is not None:
+        return hit
+    result = _denote_predicate(pred, ctx, g)
+    if cache is not None:
+        cache[(ctx, g)] = result
+    return result
+
+
+def _denote_predicate(pred: ast.Predicate, ctx: Schema, g: Term) -> UTerm:
     if isinstance(pred, ast.PredEq):
         return ueq(denote_expression(pred.left, ctx, g),
                    denote_expression(pred.right, ctx, g))
@@ -144,6 +185,16 @@ def denote_expression(expr: ast.Expression, ctx: Schema, g: Term) -> Term:
 
 def denote_projection(proj: ast.Projection, source: Schema, g: Term) -> Term:
     """``⟦p : Γ ⇒ Γ'⟧ g`` — a tuple term of the target schema."""
+    cache, hit = _denote_memo(proj, (source, g))
+    if hit is not None:
+        return hit
+    result = _denote_projection(proj, source, g)
+    if cache is not None:
+        cache[(source, g)] = result
+    return result
+
+
+def _denote_projection(proj: ast.Projection, source: Schema, g: Term) -> Term:
     if isinstance(proj, ast.Star):
         return g
     if isinstance(proj, ast.LeftP):

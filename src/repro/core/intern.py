@@ -27,12 +27,16 @@ object:
   ``object.__setattr__`` on first use; see ``term_free_vars`` and
   ``term_alpha_key``).
 
-Canonical nodes live in per-class :class:`weakref.WeakValueDictionary`
-tables: a node stays canonical exactly as long as something references
-it, and the table can never "evict" a live node (which would let a second
+Canonical nodes live in per-class strong dict tables, egg-style: once a
+node wins its slot it stays canonical for the life of the process, and
+the table can never "evict" a live node (which would let a second
 canonical twin appear and break the pointer-equality invariant).  Table
-keys identify children by ``id`` — sound because a live table entry keeps
-its children alive, so their ids cannot be reused.
+keys identify children by ``id`` — sound because a table entry keeps its
+children alive, so their ids cannot be reused.  (Earlier revisions used
+``weakref.WeakValueDictionary`` here; the strong table drops the
+KeyedRef allocation and deref from the constructor — the single largest
+line in the cold prover profile — and matches the arena columns, which
+pin decoded nodes until ``reset_arena`` anyway.)
 
 Pickling re-interns: interned classes reduce to ``(cls, field_values)``,
 so a term crossing the batch service's process boundary is reconstructed
@@ -57,8 +61,9 @@ memo table used by the kernel's caching layers (``normalize``,
 
 from __future__ import annotations
 
+import os
+import sys
 import threading
-import weakref
 from collections import OrderedDict
 from dataclasses import fields as _dataclass_fields
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -68,8 +73,54 @@ __all__ = [
     "clear_kernel_caches",
     "intern_stats",
     "interned",
+    "kernel_backend",
     "kernel_stats",
+    "set_kernel_backend",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Kernel backend selection (REPRO_KERNEL=arena|object)
+#
+# ``arena`` routes ``normalize`` through the flat int-indexed arena kernel
+# (:mod:`repro.core.arena`); ``object`` keeps the recursive object-graph
+# normalizer.  Both produce interned object normal forms, so everything
+# downstream of ``normalize`` is backend-agnostic.  The switch lives here
+# (rather than in the arena module) because it must be importable from
+# ``normalize`` without a cycle.
+# ---------------------------------------------------------------------------
+
+_VALID_BACKENDS = ("arena", "object")
+
+
+def _env_backend() -> str:
+    value = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    return value if value in _VALID_BACKENDS else "arena"
+
+
+_KERNEL_BACKEND = _env_backend()
+
+
+def kernel_backend() -> str:
+    """The active term-kernel backend: ``"arena"`` or ``"object"``."""
+    return _KERNEL_BACKEND
+
+
+def set_kernel_backend(name: str) -> str:
+    """Select the term-kernel backend process-wide; returns the previous one.
+
+    The choice only affects *how* normal forms are computed, never what
+    they are (up to alpha-equivalence), so switching mid-process is safe;
+    the ``normalize`` memo keys results per backend.
+    """
+    global _KERNEL_BACKEND
+    if name not in _VALID_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{_VALID_BACKENDS}")
+    previous = _KERNEL_BACKEND
+    _KERNEL_BACKEND = name
+    return previous
 
 
 # ---------------------------------------------------------------------------
@@ -90,8 +141,7 @@ class _ClassInfo:
 
     def __init__(self, field_names: Tuple[str, ...],
                  canonize: Optional[Callable], orig_init: Callable) -> None:
-        self.table: "weakref.WeakValueDictionary" = \
-            weakref.WeakValueDictionary()
+        self.table: Dict[Any, Any] = {}
         self.field_names = field_names
         self.canonize = canonize
         self.orig_init = orig_init
@@ -134,6 +184,32 @@ def _key_of(value: Any) -> Any:
     return ("v", value)
 
 
+def _fast_tuple_key(value: tuple) -> Optional[tuple]:
+    """Key of a tuple argument whose members are all already canonical.
+
+    Returns ``None`` when a member would need canonicalizing first; the
+    constructor then falls back to the slow path.
+    """
+    parts: list = []
+    for x in value:
+        t = x.__class__
+        if t in _CLASSES:
+            if _READY in x.__dict__:
+                parts.append(id(x))
+            else:
+                return None
+        elif t is str:
+            parts.append(x)
+        elif t is tuple:
+            kp = _fast_tuple_key(x)
+            if kp is None:
+                return None
+            parts.append(kp)
+        else:
+            parts.append(("v", x))
+    return tuple(parts)
+
+
 def _bind(field_names: Tuple[str, ...], args: tuple,
           kwargs: dict) -> Optional[tuple]:
     """Normalize positional/keyword constructor arguments to field order.
@@ -174,24 +250,22 @@ def interned(cls=None, *, canonize: Optional[Callable] = None):
     field_names = tuple(f.name for f in _dataclass_fields(cls))
     n_fields = len(field_names)
     info = _ClassInfo(field_names, canonize, cls.__init__)
-    #: the WeakValueDictionary's backing dict (key → KeyedRef) — read
-    #: directly on the hot constructor probe.
-    table_data = info.table.data
+    table = info.table
     orig_eq = cls.__eq__
     orig_hash = cls.__hash__
     # Wrap any non-default __str__ (own or inherited, e.g. the shared
     # Schema.__str__) with a per-node cache.
     orig_str = cls.__str__ if cls.__str__ is not object.__str__ else None
 
-    def __new__(kls, *args, **kwargs):
+    def _slow_new(kls, args, kwargs):
+        """Full constructor path: keyword args, wrong arity, un-canonical
+        or unhashable children.  Canonicalizes children and builds the
+        table key in one pass."""
         global _INTERN_HITS, _INTERN_MISSES
-        if kls is not cls:
-            return object.__new__(kls)
         vals = args if not kwargs and len(args) == n_fields \
             else _bind(field_names, args, kwargs)
         if vals is None:
             return object.__new__(kls)
-        # Canonicalize children and build the table key in one pass.
         # Canonical interned children key by id; primitives by tagged
         # value (an id is an int, so raw numbers must not collide with
         # it); everything else by the value itself.
@@ -223,27 +297,78 @@ def interned(cls=None, *, canonize: Optional[Callable] = None):
             key_parts = [_key_of(v) for v in vals]
         key = tuple(key_parts)
         try:
-            # Lock-free probe on the weak table's underlying dict: under
-            # the GIL this is one dict read + one weakref deref, and a
-            # stale miss only costs a re-derivation resolved under the
-            # insert lock below.
-            ref = table_data.get(key)
+            inst = table.get(key)
         except TypeError:
             # Unhashable payload (exotic constant): stay un-interned;
             # __init__ below runs the original dataclass initializer.
             return object.__new__(kls)
-        if ref is not None:
-            inst = ref()
-            if inst is not None:
-                _INTERN_HITS += 1
-                return inst
+        if inst is not None:
+            _INTERN_HITS += 1
+            return inst
         inst = object.__new__(kls)
         info.orig_init(inst, *vals)
         with _LOCK:
-            winner = info.table.get(key)
+            winner = table.get(key)
             if winner is None:
                 object.__setattr__(inst, _READY, True)
-                info.table[key] = inst
+                table[key] = inst
+                _INTERN_MISSES += 1
+                winner = inst
+            else:
+                _INTERN_HITS += 1
+        return winner
+
+    def __new__(kls, *args, **kwargs):
+        global _INTERN_HITS, _INTERN_MISSES
+        if kls is not cls:
+            return object.__new__(kls)
+        if kwargs or len(args) != n_fields:
+            return _slow_new(kls, args, kwargs)
+        # Hot path: positional construction from already-canonical
+        # children.  Builds only the table key — on a hit no argument
+        # tuple is materialized and no child is re-canonicalized.
+        key_parts: list = []
+        for v in args:
+            t = v.__class__
+            if t in _CLASSES:
+                if _READY in v.__dict__:
+                    key_parts.append(id(v))
+                else:
+                    return _slow_new(kls, args, kwargs)
+            elif t is str:
+                key_parts.append(v)
+            elif t is tuple:
+                kp = _fast_tuple_key(v)
+                if kp is None:
+                    return _slow_new(kls, args, kwargs)
+                key_parts.append(kp)
+            else:
+                key_parts.append(("v", v))
+        vals = args
+        if canonize is not None:
+            vals = canonize(args)
+            if len(vals) != n_fields or any(
+                    a is not b for a, b in zip(vals, args)):
+                key_parts = [_key_of(v) for v in vals]
+        key = tuple(key_parts)
+        try:
+            # Lock-free probe: under the GIL this is one dict read, and
+            # a stale miss only costs a re-derivation resolved under the
+            # insert lock below.
+            inst = table.get(key)
+        except TypeError:
+            # Unhashable payload (exotic constant): stay un-interned.
+            return object.__new__(kls)
+        if inst is not None:
+            _INTERN_HITS += 1
+            return inst
+        inst = object.__new__(kls)
+        info.orig_init(inst, *vals)
+        with _LOCK:
+            winner = table.get(key)
+            if winner is None:
+                object.__setattr__(inst, _READY, True)
+                table[key] = inst
                 _INTERN_MISSES += 1
                 winner = inst
             else:
@@ -330,6 +455,12 @@ class KernelLRU:
         self.name = name
         self.hits = 0
         self.misses = 0
+        #: monotonic counters — never zeroed by :meth:`reset` (nor by
+        #: :meth:`clear`), so delta-based accounting (``after - before``)
+        #: stays correct even when a measurement-window reset lands
+        #: between the two reads.
+        self.lifetime_hits = 0
+        self.lifetime_misses = 0
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self._lock = threading.Lock()
         _KERNEL_CACHES.append(self)
@@ -340,12 +471,16 @@ class KernelLRU:
                 value = self._data.get(key)
                 if value is None:
                     self.misses += 1
+                    self.lifetime_misses += 1
                     return None
                 self._data.move_to_end(key)
                 self.hits += 1
+                self.lifetime_hits += 1
                 return value
         except TypeError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
+                self.lifetime_misses += 1
             return None
 
     def put(self, key: Any, value: Any) -> None:
@@ -364,31 +499,49 @@ class KernelLRU:
             self.hits = 0
             self.misses = 0
 
-    def reset(self) -> None:
-        """Zero the hit/miss counters *without* dropping entries.
+    def reset(self) -> Dict[str, float]:
+        """Zero the window counters *without* dropping entries, atomically.
 
         The race-safe way to start a measurement window over a warm
         cache (dropping entries would also change what is measured);
         consumers that want cold caches use :func:`clear_kernel_caches`.
+
+        The read of the outgoing window and its zeroing happen under one
+        lock acquisition, and the pre-reset snapshot (including the
+        monotonic ``lifetime_*`` counters) is returned — so no hit can
+        ever fall between "snapshot taken" and "counters zeroed".  Delta
+        consumers (``Session.metrics``, the pipeline's per-verdict
+        kernel counters) difference the lifetime counters, which a reset
+        never touches, so a reset landing between their two reads cannot
+        under-report.
         """
         with self._lock:
+            snap = self._snapshot_locked()
             self.hits = 0
             self.misses = 0
+        return snap
+
+    def _snapshot_locked(self) -> Dict[str, float]:
+        hits, misses, size = self.hits, self.misses, len(self._data)
+        total = hits + misses
+        return {"hits": hits, "misses": misses, "size": size,
+                "hit_rate": hits / total if total else 0.0,
+                "lifetime_hits": self.lifetime_hits,
+                "lifetime_misses": self.lifetime_misses}
 
     def snapshot(self) -> Dict[str, float]:
         """Point-in-time counters, read consistently under the lock.
 
         Unlike reading the ``hits``/``misses`` attributes directly, the
-        triple (hits, misses, size) is coherent — no writer can move one
-        of them mid-read — which is what delta-based accounting (the
-        pipeline's per-verdict kernel counters, the metrics registry's
-        snapshots) needs.
+        tuple (hits, misses, size, lifetime_hits, lifetime_misses) is
+        coherent — no writer can move one of them mid-read — which is
+        what delta-based accounting (the pipeline's per-verdict kernel
+        counters, the metrics registry's snapshots) needs.  The
+        ``lifetime_*`` entries are monotonic: neither :meth:`reset` nor
+        :meth:`clear` zeroes them.
         """
         with self._lock:
-            hits, misses, size = self.hits, self.misses, len(self._data)
-        total = hits + misses
-        return {"hits": hits, "misses": misses, "size": size,
-                "hit_rate": hits / total if total else 0.0}
+            return self._snapshot_locked()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -412,10 +565,10 @@ _KERNEL_CACHES: List[KernelLRU] = []
 def intern_stats() -> Dict[str, int]:
     """Intern-table counters: constructor hits/misses and live node count.
 
-    ``interned_nodes`` counts *live* canonical nodes (the weak tables drop
-    nodes nothing references); ``intern_misses`` is the total number of
-    canonical nodes ever created.  ``intern_hits`` is incremented on the
-    lock-free constructor probe, so under concurrent construction it is
+    ``interned_nodes`` counts canonical nodes in the tables;
+    ``intern_misses`` is the total number of canonical nodes ever
+    created.  ``intern_hits`` is incremented on the lock-free
+    constructor probe, so under concurrent construction it is
     approximate (may undercount); node creation is always counted under
     the lock and stays exact.
     """
@@ -427,11 +580,19 @@ def intern_stats() -> Dict[str, int]:
 
 
 def kernel_stats() -> Dict[str, Any]:
-    """One dict with every kernel counter (interning + all memo tables)."""
+    """One dict with every kernel counter (interning + memo tables + arena).
+
+    Reading the arena section also refreshes the ``kernel.arena.*``
+    gauges in the observability registry (see ``arena_stats``).
+    """
     stats: Dict[str, Any] = dict(intern_stats())
+    stats["backend"] = kernel_backend()
     for cache in _KERNEL_CACHES:
         for key, value in cache.stats().items():
             stats[f"{cache.name}_{key}"] = value
+    from .arena import arena_stats
+    for key, value in arena_stats().items():
+        stats[f"arena_{key}"] = value
     return stats
 
 
@@ -441,8 +602,7 @@ def clear_kernel_caches() -> None:
     The intern *tables* themselves are deliberately not cleared: dropping
     a live canonical node's table entry would let a structurally equal
     twin be interned later, breaking pointer-equality ⇔ structural
-    equality.  (They are weak, so unused nodes vanish on their own.)
-    Benchmarks call this between runs for cold-cache timings.
+    equality.  Benchmarks call this between runs for cold-cache timings.
     """
     global _INTERN_HITS, _INTERN_MISSES
     for cache in _KERNEL_CACHES:

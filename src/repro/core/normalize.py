@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
-from .intern import KernelLRU, interned
+from .intern import KernelLRU, interned, kernel_backend
 from .schema import Empty, Node
 from .uninomial import (
     Substitution,
@@ -606,18 +606,54 @@ def normalize(u: UTerm) -> NSum:
     result is determined by the term up to the choice of globally fresh
     binder names, and binders of a normal form are never reused as free
     variables elsewhere.
+
+    Dispatches on the active kernel backend (``REPRO_KERNEL=arena|object``,
+    see :func:`repro.core.intern.set_kernel_backend`): the arena backend
+    runs the same rewrites over flat int ids and decodes the result back
+    into interned objects; inputs the arena cannot represent fall back to
+    the object pipeline.  The memo is keyed per backend so the
+    differential test suite can exercise both sides in one process.
     """
-    hit = _NORMALIZE_MEMO.get(u)
+    backend = kernel_backend()
+    key = u if backend == "object" else (u, backend)
+    hit = _NORMALIZE_MEMO.get(key)
     if hit is not None:
         return hit
-    nsum = _refine_nsum(_translate(u))
-    _NORMALIZE_MEMO.put(u, nsum)
+    if backend == "arena":
+        # Imported here (not at module top) to break the normalize ⇄
+        # arena cycle, but eagerly at first *module* use via the
+        # module-bottom import below — a lazy first import inside a
+        # timed region costs ~15 ms of compile.
+        try:
+            nsum = arena_normalize(u)
+        except ArenaUnsupported:
+            nsum = _refine_nsum(_translate(u))
+    else:
+        nsum = _refine_nsum(_translate(u))
+    _NORMALIZE_MEMO.put(key, nsum)
     return nsum
 
 
 def normalize_stats() -> Dict[str, float]:
     """Hit/miss counters of the ``normalize`` memo table."""
     return _NORMALIZE_MEMO.stats()
+
+
+def normalize_arena_id(ar, uid: int) -> NSum:
+    """Normal form of an arena UniNomial id (arena-backend fast path).
+
+    Shares ``normalize``'s memo — and therefore its hit/miss counters —
+    keyed on the arena epoch + id, so ``ProofStats`` and the pipeline
+    report the same traffic whether a term arrives as an interned object
+    or as an id that never left the arena.
+    """
+    key = ("arena-id", ar.epoch, uid)
+    hit = _NORMALIZE_MEMO.get(key)
+    if hit is not None:
+        return hit
+    nsum = ar.normalize_uid(uid)
+    _NORMALIZE_MEMO.put(key, nsum)
+    return nsum
 
 
 def _translate(u: UTerm) -> NSum:
@@ -962,3 +998,10 @@ __all__ = [
     "product_subst",
     "product_to_uterm",
 ]
+
+# Imported last: the arena mirrors this module's rewrites over flat int
+# ids and lazily imports the normal-form classes above for decoding, so
+# the import must come after they exist.  Importing it at module load
+# (rather than on the first arena-backend ``normalize`` call) keeps the
+# ~15 ms compile of the arena module out of callers' timed regions.
+from .arena import ArenaUnsupported, arena_normalize  # noqa: E402

@@ -24,7 +24,23 @@ def infer_query(query: ast.Query, ctx: Schema) -> Schema:
     """Return the output schema of ``query`` in context ``ctx``.
 
     Implements the schema side of the judgement ``Γ ⊢ q : σ``.
+    Successful inferences are stashed on the (immutable) node per
+    context — denotation re-infers the same subquery many times along
+    one walk, and interned nodes are shared across queries, so the
+    stash collapses that to one traversal per (node, context).
     """
+    cache = query.__dict__.get("_hc_infer")
+    if cache is None:
+        cache = {}
+        object.__setattr__(query, "_hc_infer", cache)
+    hit = cache.get(ctx)
+    if hit is None:
+        hit = _infer_query(query, ctx)
+        cache[ctx] = hit
+    return hit
+
+
+def _infer_query(query: ast.Query, ctx: Schema) -> Schema:
     if isinstance(query, ast.Table):
         return query.schema
     if isinstance(query, ast.Select):
@@ -128,7 +144,22 @@ def infer_expression(expr: ast.Expression, ctx: Schema) -> SQLType:
 
 
 def infer_projection(proj: ast.Projection, source: Schema) -> Schema:
-    """Return the target schema of ``proj`` (``p : Γ ⇒ Γ'``)."""
+    """Return the target schema of ``proj`` (``p : Γ ⇒ Γ'``).
+
+    Stash-memoized per (node, source schema), like :func:`infer_query`.
+    """
+    cache = proj.__dict__.get("_hc_infer")
+    if cache is None:
+        cache = {}
+        object.__setattr__(proj, "_hc_infer", cache)
+    hit = cache.get(source)
+    if hit is None:
+        hit = _infer_projection(proj, source)
+        cache[source] = hit
+    return hit
+
+
+def _infer_projection(proj: ast.Projection, source: Schema) -> Schema:
     if isinstance(proj, ast.Star):
         return source
     if isinstance(proj, ast.LeftP):

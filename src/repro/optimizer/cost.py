@@ -123,23 +123,56 @@ def estimate(query: ast.Query, stats: TableStats) -> Estimate:
     raise TypeError(f"cannot estimate query node {query!r}")
 
 
+#: Field names per AST class, resolved once — ``dataclasses.fields`` per
+#: call is the single hottest line of extraction otherwise.
+_FIELD_NAMES: Dict[type, tuple] = {}
+
+
 def plan_size(node: object, _seen_types=(ast.Query, ast.Predicate,
                                          ast.Expression, ast.Projection)
               ) -> int:
     """Node count of a plan tree (queries, predicates, expressions,
     projections) — the tie-break among equal-cost plans, for both the
-    BFS planner and the e-graph extractor."""
+    BFS planner and the e-graph extractor.
+
+    Stash-memoized per node: plans are interned immutable trees, and the
+    extractor sizes the same subplans across every e-class they appear
+    in, so each distinct node is walked once per process.
+    """
+    cached = node.__dict__.get("_hc_psize")
+    if cached is not None:
+        return cached
+    cls = node.__class__
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in _dataclass_fields(node))
+        _FIELD_NAMES[cls] = names
     size = 1
-    for field_ in _dataclass_fields(node):
-        value = getattr(node, field_.name)
+    for name in names:
+        value = getattr(node, name)
         children = value if isinstance(value, tuple) else (value,)
         for child in children:
             if isinstance(child, _seen_types):
                 size += plan_size(child)
+    object.__setattr__(node, "_hc_psize", size)
     return size
 
 
 def _selectivity(pred: ast.Predicate) -> float:
+    """Estimated surviving fraction for a predicate.
+
+    Stash-memoized per (interned, immutable) predicate node — ``Where``
+    re-estimation dominates e-graph extraction rounds otherwise.
+    """
+    cached = pred.__dict__.get("_hc_sel")
+    if cached is not None:
+        return cached
+    sel = _selectivity_uncached(pred)
+    object.__setattr__(pred, "_hc_sel", sel)
+    return sel
+
+
+def _selectivity_uncached(pred: ast.Predicate) -> float:
     if isinstance(pred, ast.PredEq):
         return SELECTIVITY_EQ
     if isinstance(pred, ast.PredAnd):

@@ -146,37 +146,96 @@ def extract_best(eg: EGraph, root: int,
     classes = list(eg.classes())
     label_sizes: Dict[ENode, int] = {}
     frontiers: Dict[int, List[Candidate]] = {cid: [] for cid, _ in classes}
+    # Incremental fixpoint: per-node child classes and a reverse
+    # dependency index are resolved once; each sweep then touches only
+    # the *dirty* classes (those whose own or child frontiers moved last
+    # sweep), and per e-node the generated candidate set is cached
+    # against the child frontier versions it was built from.  Converged
+    # regions of the e-graph cost nothing per sweep instead of re-running
+    # the candidate cross-product.
+    node_children: Dict[int, List[Tuple[ENode, Tuple[int, ...]]]] = {}
+    dependents: Dict[int, set] = {}
+    class_deps: Dict[int, Tuple[int, ...]] = {}
+    for cid, nodes in classes:
+        infos = []
+        deps = set()
+        for node in nodes:
+            cids = tuple(eg.find(c) for c in node.children)
+            infos.append((node, cids))
+            deps.update(cids)
+            for c in cids:
+                dependents.setdefault(c, set()).add(cid)
+        node_children[cid] = infos
+        class_deps[cid] = tuple(deps)
+    # Bottom-up (children-first) class order: on the acyclic portion of
+    # the e-graph the frontier DP then converges in a single sweep
+    # instead of one sweep per plan depth.  Iterative postorder; cycle
+    # edges are simply skipped (the dirty-set sweeps converge them).
+    order: List[int] = []
+    mark: Dict[int, int] = {}
+    for start, _ in classes:
+        if start in mark:
+            continue
+        stack: List[Tuple[int, int]] = [(start, 0)]
+        while stack:
+            cid, idx = stack.pop()
+            if idx == 0:
+                if cid in mark:
+                    continue
+                mark[cid] = 1
+            deps = class_deps[cid]
+            if idx < len(deps):
+                stack.append((cid, idx + 1))
+                dep = deps[idx]
+                if dep not in mark and dep in class_deps:
+                    stack.append((dep, 0))
+            else:
+                order.append(cid)
+    versions: Dict[int, int] = {cid: 0 for cid, _ in classes}
+    node_cache: Dict[ENode, Tuple[Tuple[int, ...], List[Candidate]]] = {}
+    dirty = {cid for cid, _ in classes}
     with span("optimizer.extract", classes=len(classes)) as sp:
         sweeps = 0
         for _ in range(MAX_SWEEPS):
+            if not dirty:
+                break
             sweeps += 1
-            changed = False
-            for cid, nodes in classes:
+            now, dirty = dirty, set()
+            for cid in order:
+                if cid not in now:
+                    continue
                 candidates = list(frontiers[cid])
-                for node in nodes:
-                    child_fronts = [frontiers.get(eg.find(c), ())
-                                    for c in node.children]
+                for node, cids in node_children[cid]:
+                    vkey = tuple(versions.get(c, -1) for c in cids)
+                    cached = node_cache.get(node)
+                    if cached is not None and cached[0] == vkey:
+                        candidates.extend(cached[1])
+                        continue
+                    child_fronts = [frontiers.get(c, ()) for c in cids]
                     if any(not front for front in child_fronts):
+                        node_cache[node] = (vkey, [])
                         continue
                     own = label_sizes.get(node)
                     if own is None:
                         own = label_sizes.setdefault(node,
                                                      _label_size(node))
+                    generated = []
                     for combo in _cartesian(*child_fronts):
                         est = compose(node.op, node.label,
                                       tuple(c.estimate for c in combo),
                                       stats)
-                        candidates.append(Candidate(
+                        generated.append(Candidate(
                             cost=est.cost, cardinality=est.cardinality,
                             size=own + sum(c.size for c in combo),
                             node=node, children=combo))
+                    node_cache[node] = (vkey, generated)
+                    candidates.extend(generated)
                 pruned = _prune(candidates)
                 if [c.key for c in pruned] \
                         != [c.key for c in frontiers[cid]]:
                     frontiers[cid] = pruned
-                    changed = True
-            if not changed:
-                break
+                    versions[cid] += 1
+                    dirty.update(dependents.get(cid, ()))
         sp.attrs["sweeps"] = sweeps
         if not frontiers.get(root):
             counter("extract.failures_total").inc()

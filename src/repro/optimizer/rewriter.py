@@ -38,7 +38,22 @@ Candidate = Tuple[ast.Query, str]
 # ---------------------------------------------------------------------------
 
 def proj_steps(proj: ast.Projection) -> Optional[Tuple[str, ...]]:
-    """Flatten a pure path projection to L/R steps (None if not a path)."""
+    """Flatten a pure path projection to L/R steps (None if not a path).
+
+    Stash-memoized per (interned, immutable) node — path analysis runs
+    per e-node per saturation iteration, on heavily shared projections.
+    The stash stores ``(result,)`` so a cached ``None`` is
+    distinguishable from a cold miss.
+    """
+    cached = proj.__dict__.get("_hc_psteps")
+    if cached is not None:
+        return cached[0]
+    result = _proj_steps(proj)
+    object.__setattr__(proj, "_hc_psteps", (result,))
+    return result
+
+
+def _proj_steps(proj: ast.Projection) -> Optional[Tuple[str, ...]]:
     if isinstance(proj, ast.Star):
         return ()
     if isinstance(proj, ast.LeftP):
@@ -65,7 +80,19 @@ def predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
 
     Opaque constructs (metavariables, EXISTS, casts) make pushdown analysis
     unsound, so the rewriter conservatively refuses them.
+
+    Stash-memoized per interned node (callers only read the result); the
+    stash stores ``(result,)`` so a cached ``None`` hits too.
     """
+    cached = pred.__dict__.get("_hc_ppaths")
+    if cached is not None:
+        return cached[0]
+    result = _predicate_paths(pred)
+    object.__setattr__(pred, "_hc_ppaths", (result,))
+    return result
+
+
+def _predicate_paths(pred: ast.Predicate) -> Optional[List[Tuple[str, ...]]]:
     if isinstance(pred, ast.PredEq):
         return _merge(_expression_paths(pred.left),
                       _expression_paths(pred.right))
@@ -216,10 +243,20 @@ def _collapse_distinct(query: ast.Query) -> Iterator[Candidate]:
 
 
 def flatten_conjuncts(pred: ast.Predicate) -> List[ast.Predicate]:
-    """The conjuncts of a right/left-nested AND tree, in order."""
+    """The conjuncts of a right/left-nested AND tree, in order.
+
+    Stash-memoized per interned node; callers concatenate or dedup the
+    result into fresh containers, never mutate it in place.
+    """
+    cached = pred.__dict__.get("_hc_conj")
+    if cached is not None:
+        return cached
     if isinstance(pred, ast.PredAnd):
-        return flatten_conjuncts(pred.left) + flatten_conjuncts(pred.right)
-    return [pred]
+        result = flatten_conjuncts(pred.left) + flatten_conjuncts(pred.right)
+    else:
+        result = [pred]
+    object.__setattr__(pred, "_hc_conj", result)
+    return result
 
 
 def _dedup_conjuncts(query: ast.Query) -> Iterator[Candidate]:
@@ -252,7 +289,16 @@ TRANSFORMATIONS = (
 
 
 def rewrites(query: ast.Query) -> List[Candidate]:
-    """All single-step rewrites of ``query``, applied at every position."""
+    """All single-step rewrites of ``query``, applied at every position.
+
+    Stash-memoized per interned node: the BFS frontier and rewrite
+    certification revisit the same (sub)plans constantly, and a plan's
+    one-step neighbourhood is a pure function of the plan.  Callers
+    iterate the result; they never mutate it.
+    """
+    cached = query.__dict__.get("_hc_rw")
+    if cached is not None:
+        return cached
     out: List[Candidate] = []
     for transform in TRANSFORMATIONS:
         out.extend(transform(query))
@@ -260,6 +306,7 @@ def rewrites(query: ast.Query) -> List[Candidate]:
         for rewritten_child, rule in rewrites(child):
             out.append((_replace_child(query, field_name, rewritten_child),
                         rule))
+    object.__setattr__(query, "_hc_rw", out)
     return out
 
 

@@ -88,6 +88,12 @@ class PipelineConfig:
     #: cache inconclusive (UNKNOWN) verdicts too?  Off by default so a
     #: later run with a bigger budget is not short-circuited.
     cache_unknown: bool = False
+    #: term-kernel backend this pipeline selects: ``"arena"`` (flat
+    #: int-indexed arena tables), ``"object"`` (the historical interned
+    #: object walkers), or ``None`` to leave the process-wide choice
+    #: (``REPRO_KERNEL`` env, default arena) untouched.  The backend
+    #: only changes *how* normal forms are computed, never the verdicts.
+    kernel: Optional[str] = None
 
 
 DEFAULT_CONFIG = PipelineConfig()
@@ -125,12 +131,17 @@ def _kernel_counters(norm_before: Dict[str, float]) -> Dict[str, int]:
 
     Both ends of the delta are :meth:`KernelLRU.snapshot` reads taken
     under the memo table's lock, so the pair (hits, misses) is coherent
-    even while other threads normalize concurrently.
+    even while other threads normalize concurrently.  The delta is over
+    the *lifetime* counters: a window ``reset()`` (metrics rotation)
+    between the two snapshots would make window deltas go negative and
+    under-report, while the lifetime counters are monotonic.
     """
     after = normalize_stats()
     return {
-        "normalize_hits": int(after["hits"] - norm_before["hits"]),
-        "normalize_misses": int(after["misses"] - norm_before["misses"]),
+        "normalize_hits": int(
+            after["lifetime_hits"] - norm_before["lifetime_hits"]),
+        "normalize_misses": int(
+            after["lifetime_misses"] - norm_before["lifetime_misses"]),
         "interned_nodes": intern_stats()["interned_nodes"],
     }
 
@@ -213,6 +224,9 @@ class Pipeline:
                  cache: Optional[ProofCache] = None,
                  cache_path: Optional[str] = None) -> None:
         self.config = config or DEFAULT_CONFIG
+        if self.config.kernel is not None:
+            from ..core.intern import set_kernel_backend
+            set_kernel_backend(self.config.kernel)
         self.cache = cache if cache is not None \
             else ProofCache(path=cache_path)
 

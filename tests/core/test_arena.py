@@ -1,0 +1,133 @@
+"""Arena-native denotation: parity with the object denote pipeline.
+
+The arena backend denotes queries directly into flat int ids
+(``TermArena.denote_query``) instead of building interned UTerm objects
+and encoding them afterwards.  These tests pin the contract: the
+arena-denoted, arena-normalized result is alpha-equivalent to the object
+route's, the per-query memos return identical objects, and the
+query-level fast path raises on schema mismatches exactly like the
+object route.
+"""
+
+import pytest
+
+from repro.core.arena import arena, arena_denote_closed
+from repro.core.denote import denote_closed
+from repro.core.equivalence import check_query_equivalence
+from repro.core.normalize import (
+    normalize,
+    normalize_arena_id,
+    nsum_subst,
+    nsums_alpha_equal,
+)
+from repro.core.schema import INT
+from repro.errors import SchemaMismatchError
+from repro.sql import Catalog, compile_sql
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+    cat.add_table("Dept", [("did", INT), ("budget", INT)])
+    return cat
+
+
+CORPUS = (
+    "SELECT eid FROM Emp",
+    "SELECT eid FROM Emp WHERE age < 30",
+    "SELECT e.eid FROM Emp e, Dept d WHERE e.did = d.did",
+    "SELECT DISTINCT eid FROM Emp WHERE eid = 1 AND eid = 1",
+    "SELECT eid FROM Emp UNION ALL SELECT eid FROM Emp",
+    "SELECT e.eid FROM Emp e, Dept d "
+    "WHERE e.did = d.did AND d.budget > 100 AND e.age < 30",
+    "SELECT u.eid FROM (SELECT eid FROM Emp UNION ALL "
+    "SELECT eid FROM Emp) AS u WHERE u.eid = 1",
+    "SELECT eid FROM Emp EXCEPT SELECT eid FROM Emp WHERE age < 30",
+    "SELECT eid FROM Emp WHERE EXISTS "
+    "(SELECT did FROM Dept WHERE budget > 100)",
+)
+
+
+class TestArenaDenoteParity:
+    def test_arena_denotation_matches_object_route(self, catalog):
+        """Arena-denote + arena-normalize alpha-equals object denote +
+        normalize on every corpus query (after aligning the fresh
+        lambda variables)."""
+        ar = arena()
+        for sql in CORPUS:
+            query = compile_sql(sql, catalog).query
+            schema, g, t, body = arena_denote_closed(query)
+            arena_nsum = ar.normalize_uid(body)
+            d = denote_closed(query)
+            assert schema == d.schema
+            object_nsum = nsum_subst(
+                normalize(d.body),
+                {d.g: ar.decode_term(g), d.t: ar.decode_term(t)})
+            aligned = nsum_subst(
+                arena_nsum,
+                {ar.decode_term(g): ar.decode_term(g)})
+            assert nsums_alpha_equal(arena_nsum, object_nsum) \
+                or nsums_alpha_equal(aligned, object_nsum), \
+                f"arena and object denotations diverge on {sql!r}"
+
+    def test_arena_denote_closed_is_memoized(self, catalog):
+        query = compile_sql(CORPUS[2], catalog).query
+        first = arena_denote_closed(query)
+        second = arena_denote_closed(query)
+        assert first == second
+        assert first[3] == second[3]  # same body id, not a re-denotation
+
+    def test_normalize_uid_memoized_per_uid(self, catalog):
+        ar = arena()
+        query = compile_sql(CORPUS[1], catalog).query
+        _, _, _, body = arena_denote_closed(query)
+        assert ar.normalize_uid(body) is ar.normalize_uid(body)
+
+    def test_normalize_arena_id_shares_normalize_memo(self, catalog):
+        from repro.core.normalize import normalize_stats
+
+        ar = arena()
+        query = compile_sql(CORPUS[5], catalog).query
+        _, _, _, body = arena_denote_closed(query)
+        normalize_arena_id(ar, body)  # may miss (first sight)
+        before = normalize_stats()
+        normalize_arena_id(ar, body)
+        after = normalize_stats()
+        assert after["lifetime_hits"] == before["lifetime_hits"] + 1
+
+    def test_align_body_identity_when_vars_match(self, catalog):
+        ar = arena()
+        query = compile_sql(CORPUS[0], catalog).query
+        _, g, t, body = arena_denote_closed(query)
+        assert ar.align_body(body, g, t, g, t) == body
+
+    def test_align_body_renames_to_target_vars(self, catalog):
+        ar = arena()
+        q1 = compile_sql(CORPUS[0], catalog).query
+        q2 = compile_sql("SELECT eid FROM Emp WHERE 1 = 1", catalog).query
+        _, g1, t1, _ = arena_denote_closed(q1)
+        _, g2, t2, b2 = arena_denote_closed(q2)
+        renamed = ar.align_body(b2, g2, t2, g1, t1)
+        mask = ar.var_mask(g2) | ar.var_mask(t2)
+        assert not (ar.fv_of(renamed) & mask), \
+            "the source lambda vars must not stay free after alignment"
+
+
+class TestArenaQueryFastPath:
+    def test_schema_mismatch_raises_like_object_route(self, catalog):
+        q1 = compile_sql("SELECT eid FROM Emp", catalog).query
+        q2 = compile_sql("SELECT eid, did FROM Emp", catalog).query
+        with pytest.raises(SchemaMismatchError):
+            check_query_equivalence(q1, q2)
+
+    def test_verdicts_on_corpus(self, catalog):
+        """The fast path proves the classic equivalences and refutes the
+        non-equivalence, same as the object route always did."""
+        dedup = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1 AND eid = 1", catalog).query
+        plain = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1", catalog).query
+        assert check_query_equivalence(dedup, plain).equal
+        other = compile_sql("SELECT did FROM Emp", catalog).query
+        assert not check_query_equivalence(plain, other).equal

@@ -137,18 +137,25 @@ class TestKernelSnapshots:
         lru.get("absent")
         snap = lru.snapshot()
         assert snap == {"hits": 1, "misses": 1, "size": 1,
-                        "hit_rate": 0.5}
-        lru.reset()
+                        "hit_rate": 0.5,
+                        "lifetime_hits": 1, "lifetime_misses": 1}
+        pre_reset = lru.reset()
+        # reset() atomically returns the outgoing window's snapshot ...
+        assert pre_reset == snap
+        # ... zeroes only the window counters, and keeps the monotonic
+        # lifetime counters (delta consumers difference those).
         assert lru.snapshot() == {"hits": 0, "misses": 0, "size": 1,
-                                  "hit_rate": 0.0}
+                                  "hit_rate": 0.0,
+                                  "lifetime_hits": 1, "lifetime_misses": 1}
         assert lru.get("k") == "v"  # entries survived the reset
 
     def test_clear_drops_entries_too(self):
         lru = KernelLRU(8, "test-clear")
         lru.put("k", "v")
         lru.clear()
-        assert lru.snapshot() == {"hits": 0, "misses": 0, "size": 0,
-                                  "hit_rate": 0.0}
+        snap = lru.snapshot()
+        assert {k: snap[k] for k in ("hits", "misses", "size", "hit_rate")} \
+            == {"hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0}
         assert lru.get("k") is None
 
     def test_verdict_kernel_counters_keep_their_shape(self, session):

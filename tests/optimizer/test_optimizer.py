@@ -203,3 +203,49 @@ class TestConjunctDedup:
         from repro.sql.decompile import plan_to_sql
         sql = plan_to_sql(result.best_plan, cat)
         assert sql.count("= 1") == 1
+
+
+class TestPlanCache:
+    """optimize() memoizes plan search per (query, strategy, stats,
+    budget) — prepared-statement style — without caching certification."""
+
+    def test_repeat_optimize_hits_plan_cache(self):
+        from repro.optimizer.planner import _PLAN_MEMO
+
+        cat = Catalog()
+        cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+        query = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 1 AND eid = 1", cat).query
+        stats = TableStats({"Emp": 50.0})
+        first = optimize(query, stats, certify=False)
+        before = _PLAN_MEMO.snapshot()["lifetime_hits"]
+        second = optimize(query, stats, certify=False)
+        assert _PLAN_MEMO.snapshot()["lifetime_hits"] == before + 1
+        assert second.best_plan is first.best_plan
+        assert second.best_cost == first.best_cost
+        assert second is not first  # callers get fresh result objects
+
+    def test_changed_stats_miss_the_cache(self):
+        cat = Catalog()
+        cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+        query = compile_sql("SELECT eid FROM Emp WHERE eid = 1", cat).query
+        stats = TableStats({"Emp": 50.0})
+        optimize(query, stats, certify=False)
+        stats.cardinalities["Emp"] = 500.0  # mutated in place
+        from repro.optimizer.planner import _PLAN_MEMO
+        before = _PLAN_MEMO.snapshot()["lifetime_misses"]
+        optimize(query, stats, certify=False)
+        assert _PLAN_MEMO.snapshot()["lifetime_misses"] == before + 1
+
+    def test_certification_not_leaked_between_callers(self):
+        cat = Catalog()
+        cat.add_table("Emp", [("eid", INT), ("did", INT), ("age", INT)])
+        query = compile_sql(
+            "SELECT eid FROM Emp WHERE eid = 2 AND eid = 2", cat).query
+        stats = TableStats({"Emp": 50.0})
+        uncertified = optimize(query, stats, certify=False)
+        assert uncertified.certified is None
+        certified = optimize(query, stats, certify=True)
+        assert certified.certified is True
+        again = optimize(query, stats, certify=False)
+        assert again.certified is None
