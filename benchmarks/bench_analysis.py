@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Static-analysis tier benchmarks: disprover pruning + guarded plans.
+
+Two tracked comparisons:
+
+1. **Disprover pruning** — the bounded-exhaustive search over a corpus
+   of support-determined pairs, with the analysis prunes on vs off.
+   Records instances enumerated and wall clock both ways; the prunes
+   are lossless, so the verdicts must agree exactly.  The statically-
+   empty pairs short-circuit to zero instances.
+2. **Guarded-rewrite plan quality** — the planner on workloads where a
+   property-guarded rewrite (keyed DISTINCT elimination, tautology /
+   contradiction filters, EXCEPT-of-empty) unlocks a cheaper plan the
+   syntactic rule suite cannot reach.  Records the cost ratio and that
+   every extraction is certified by the verification pipeline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py [--smoke] [--json]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core import ast
+from repro.core.equivalence import Hypotheses, KeyConstraint
+from repro.core.schema import EMPTY, INT, Leaf, Node
+from repro.optimizer import TableStats
+from repro.optimizer.planner import _PLAN_MEMO, optimize
+from repro.solver import disprove
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+R = ast.Table("R", SCHEMA)
+S = ast.Table("S", SCHEMA)
+T = ast.Table("T", SCHEMA)
+FALSE = ast.PredFalse()
+
+#: Minimum wall-clock speedup the pruned exhaustive search must show on
+#: the corpus (full mode; the instance-count ratio is far larger).
+PRUNING_SPEEDUP_TARGET = 2.0
+
+
+def _pruning_corpus(smoke):
+    """(lhs, rhs) pairs: support-determined equivalents + static empties."""
+    pairs = [
+        # DISTINCT-rooted equivalents: the multiplicity clamp applies
+        (ast.Distinct(ast.UnionAll(R, R)), ast.Distinct(R)),
+        (ast.Distinct(ast.Product(R, S)),
+         ast.Distinct(ast.UnionAll(ast.Product(R, S), ast.Product(R, S)))),
+        # statically empty on both sides: the short-circuit applies
+        (ast.Where(R, FALSE), ast.Product(ast.Where(R, FALSE), S)),
+    ]
+    if not smoke:
+        pairs += [
+            (ast.Distinct(ast.Product(ast.Product(R, S), T)),
+             ast.Distinct(ast.Product(R, ast.Product(S, T)))),
+            (ast.Distinct(ast.Except(ast.UnionAll(R, R), S)),
+             ast.Distinct(ast.Except(R, S))),
+        ]
+    return pairs
+
+
+def run_pruning(smoke):
+    pairs = _pruning_corpus(smoke)
+    rows = []
+    for analyze in (False, True):
+        checked = 0
+        started = time.perf_counter()
+        verdicts = []
+        for lhs, rhs in pairs:
+            result = disprove(lhs, rhs, analyze=analyze)
+            checked += result.instances_checked
+            verdicts.append((result.found, result.exhausted))
+        rows.append({
+            "analyze": analyze,
+            "wall_seconds": time.perf_counter() - started,
+            "instances_checked": checked,
+            "verdicts": verdicts,
+        })
+    full, pruned = rows
+    assert full["verdicts"] == pruned["verdicts"], \
+        "analysis pruning changed a disprover verdict"
+    return {
+        "pairs": len(pairs),
+        "full_instances": full["instances_checked"],
+        "pruned_instances": pruned["instances_checked"],
+        "instance_ratio": (full["instances_checked"]
+                           / max(1, pruned["instances_checked"])),
+        "full_seconds": full["wall_seconds"],
+        "pruned_seconds": pruned["wall_seconds"],
+        "speedup": (full["wall_seconds"] / pruned["wall_seconds"]
+                    if pruned["wall_seconds"] else float("inf")),
+    }
+
+
+def _guarded_workloads():
+    """(query, hypotheses) pairs where a guarded rewrite unlocks savings."""
+    pctx = Node(EMPTY, SCHEMA)
+    a = ast.ExprVar("a", pctx, INT)
+    taut = ast.PredEq(a, a)
+    contra = ast.PredAnd(ast.PredEq(a, ast.Const(0, INT)),
+                         ast.PredEq(a, ast.Const(1, INT)))
+    key_r = Hypotheses(keys=(KeyConstraint("R", "k", Leaf(INT)),))
+    return [
+        (ast.Distinct(R), key_r),
+        (ast.Distinct(ast.Product(ast.Distinct(R), ast.Distinct(S))),
+         Hypotheses()),
+        (ast.Where(S, taut), Hypotheses()),
+        (ast.Where(S, contra), Hypotheses()),
+        (ast.Except(S, ast.Where(R, FALSE)), Hypotheses()),
+    ]
+
+
+def run_guarded(smoke):
+    stats = TableStats({"R": 1000.0, "S": 1000.0, "T": 1000.0})
+    rows = []
+    certification_failures = 0
+    _PLAN_MEMO.clear()
+    for query, hyps in _guarded_workloads():
+        result = optimize(query, stats, hypotheses=hyps)
+        if result.certified is not True:
+            certification_failures += 1
+        rows.append({
+            "query": repr(query),
+            "original_cost": result.original_cost,
+            "best_cost": result.best_cost,
+            "improved": result.improved
+                        or result.best_plan != result.original,
+            "certified": result.certified,
+        })
+    improved = sum(1 for row in rows if row["improved"])
+    total_orig = sum(row["original_cost"] for row in rows)
+    total_best = sum(row["best_cost"] for row in rows)
+    return {
+        "workloads": len(rows),
+        "improved": improved,
+        "certification_failures": certification_failures,
+        "total_original_cost": total_orig,
+        "total_best_cost": total_best,
+        "cost_ratio": total_orig / total_best if total_best else float("inf"),
+        "rows": rows,
+    }
+
+
+def run(smoke=False):
+    started = time.perf_counter()
+    pruning = run_pruning(smoke)
+    guarded = run_guarded(smoke)
+    return {
+        "wall_seconds": time.perf_counter() - started,
+        "pruning": pruning,
+        "guarded": guarded,
+    }
+
+
+def check(result, smoke):
+    """Gate failures (list of messages); speedups ungated in smoke mode."""
+    failures = []
+    pruning, guarded = result["pruning"], result["guarded"]
+    if pruning["pruned_instances"] >= pruning["full_instances"]:
+        failures.append(
+            f"analysis: pruning did not shrink the instance space "
+            f"({pruning['pruned_instances']} vs "
+            f"{pruning['full_instances']})")
+    if not smoke and pruning["speedup"] < PRUNING_SPEEDUP_TARGET:
+        failures.append(
+            f"analysis: disprover pruning speedup {pruning['speedup']:.2f}x "
+            f"below the {PRUNING_SPEEDUP_TARGET:.1f}x target")
+    if guarded["improved"] < guarded["workloads"]:
+        failures.append(
+            f"analysis: only {guarded['improved']}/{guarded['workloads']} "
+            f"guarded workloads improved")
+    if guarded["certification_failures"]:
+        failures.append(
+            f"analysis: {guarded['certification_failures']} guarded "
+            f"extraction(s) failed certification")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small corpus, no speedup gating")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result payload as JSON")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        p, g = result["pruning"], result["guarded"]
+        print(f"disprover pruning: {p['pruned_instances']} vs "
+              f"{p['full_instances']} instances "
+              f"({p['instance_ratio']:.1f}x fewer), "
+              f"{p['speedup']:.1f}x wall speedup")
+        print(f"guarded rewrites: {g['improved']}/{g['workloads']} "
+              f"improved, cost ratio {g['cost_ratio']:.2f}x, "
+              f"{g['certification_failures']} certification failure(s)")
+    failures = check(result, args.smoke)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

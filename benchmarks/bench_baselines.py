@@ -23,8 +23,7 @@ from repro.core.equivalence import (
     check_query_equivalence,
 )
 from repro.core.schema import INT, Leaf, Node, enumerate_tuples
-from repro.engine import Interpretation, eval_query_list, bags_equal, \
-    sets_equal
+from repro.engine import Interpretation, eval_query_list, sets_equal
 from repro.rules import get_rule
 from repro.rules.conjunctive import self_join_queries
 from repro.semiring import KRelation, NAT

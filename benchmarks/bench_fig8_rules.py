@@ -25,7 +25,6 @@ from repro.rules import (
     CATEGORY_ORDER,
     PAPER_FIGURE_8,
     all_buggy_rules,
-    all_rules,
     rules_by_category,
 )
 

@@ -27,11 +27,9 @@ from repro.theory import (
     UCQ,
     Undecidable,
     chain_query,
-    clique_query,
     cq_bag_contained,
     cq_bag_equivalent,
     cq_set_contained,
-    cq_set_equivalent,
     cqi_set_contained,
     cycle_query,
     rename_apart,

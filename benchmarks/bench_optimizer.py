@@ -18,8 +18,8 @@ pipeline with zero failures.  ``run_all.py`` runs the same comparison via
 from repro.core.schema import INT
 from repro.engine import Database, run_query
 from repro.optimizer import PLAN_COUNT_LIMIT, TableStats, optimize, plan_cost
-from repro.sql import Catalog, compile_sql
 from repro.semiring import NAT
+from repro.sql import Catalog, compile_sql
 
 
 def _workload():

@@ -62,7 +62,6 @@ def test_scaling_report(report, benchmark):
     report.add("=" * 56)
     report.add(f"{'family':<22}{'size':>6}{'steps':>10}{'verdict':>12}")
     report.add("-" * 56)
-    import time
     for n in (2, 4, 6, 8):
         lhs = _selection_tower(n, reverse=False)
         rhs = _selection_tower(n, reverse=True)

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark and write machine-readable results (BENCH_pr8.json).
+"""Run every benchmark and write machine-readable results (BENCH_pr9.json).
 
 Two layers:
 
@@ -57,7 +57,7 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr8.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr9.json"
 
 sys.path.insert(0, str(BENCH_DIR))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -334,6 +334,29 @@ def run_kernel_micro(smoke):
     return bench_kernel.run(smoke=smoke)
 
 
+# ---------------------------------------------------------------------------
+# Tracked workload G: static-analysis tier (disprover pruning + guards)
+# ---------------------------------------------------------------------------
+
+def run_analysis(smoke):
+    import bench_analysis
+
+    return bench_analysis.run(smoke=smoke)
+
+
+def check_analysis(result, smoke):
+    import bench_analysis
+
+    pruning, guarded = result["pruning"], result["guarded"]
+    print(f"  {'analysis':<22} "
+          f"{result['wall_seconds'] * 1e3:9.1f} ms   "
+          f"pruning {pruning['instance_ratio']:.1f}x fewer instances "
+          f"({pruning['speedup']:.1f}x wall), guarded "
+          f"{guarded['improved']}/{guarded['workloads']} improved, "
+          f"{guarded['certification_failures']} certification failure(s)")
+    return bench_analysis.check(result, smoke)
+
+
 def check_kernel_micro(result, smoke):
     import bench_kernel
 
@@ -354,6 +377,7 @@ def check_kernel_micro(result, smoke):
 
 #: Benches that are standalone scripts (everything else runs via pytest).
 SCRIPT_BENCHES = {
+    "bench_analysis.py": ["--smoke"],
     "bench_session_all_pairs.py": ["--smoke"],
     "bench_parse_resolve.py": ["--smoke"],
     "bench_serve.py": ["--smoke"],
@@ -421,6 +445,7 @@ def main(argv=None):
         "tracing_overhead": with_metrics(run_tracing_overhead, args.smoke),
         "serve": with_metrics(run_serve, args.smoke),
         "kernel_micro": with_metrics(run_kernel_micro, args.smoke),
+        "analysis": with_metrics(run_analysis, args.smoke),
     }
 
     failures = []
@@ -432,6 +457,7 @@ def main(argv=None):
         tracked["tracing_overhead"], args.smoke))
     failures.extend(check_serve(tracked["serve"], args.smoke))
     failures.extend(check_kernel_micro(tracked["kernel_micro"], args.smoke))
+    failures.extend(check_analysis(tracked["analysis"], args.smoke))
     for name, result in tracked.items():
         if name not in PRE_KERNEL_BASELINE and name not in PR7_BASELINE:
             continue

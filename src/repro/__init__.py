@@ -70,14 +70,15 @@ warning-free for internal use).
 
 import warnings as _warnings
 
+from . import obs
 from .core import (
     BOOL,
     EMPTY,
-    INT,
-    STRING,
-    Hypotheses,
-    KeyConstraint,
     FDConstraint,
+    Hypotheses,
+    INT,
+    KeyConstraint,
+    STRING,
     SVar,
     Schema,
     ast,
@@ -89,11 +90,10 @@ from .core.equivalence import (
     check_query_equivalence as _check_query_equivalence,
     queries_equivalent as _queries_equivalent,
 )
-from . import obs
 from .engine import Database, Interpretation, run_query
 from .errors import ReproError
 from .rules import all_rules, get_rule, rules_by_category
-from .semiring import NAT, NAT_INF, PROVENANCE, KRelation
+from .semiring import KRelation, NAT, NAT_INF, PROVENANCE
 from .session import (
     PairResult,
     PairwiseReport,

@@ -1,0 +1,172 @@
+"""The property lattice the analysis computes per plan node.
+
+Four facts per query, all *for-all-instances* guarantees (anything the
+analysis cannot guarantee degrades to the unknown element, never the
+other way — the soundness suite pins this against engine evaluation):
+
+* **set-valuedness** — every output multiplicity is ≤ 1 on every
+  instance (the paper's squash-elimination precondition: ``‖P‖ = P``
+  when ``P`` is a mere proposition, Sec. 4.2);
+* **guaranteed emptiness** — the output is the empty bag on every
+  instance (a ``σ_FALSE`` somewhere upstream);
+* **key paths** — projection paths whose value determines the whole
+  row, seeded from :class:`~repro.core.equivalence.KeyConstraint`
+  hypotheses (a key also forces set-valuedness, per
+  :func:`repro.engine.constraints.satisfies_key`);
+* **cardinality interval** — bounds on the total multiplicity
+  ``Σ_t ⟦q⟧ t``, exact under ``Select`` (projection preserves the sum),
+  multiplicative under ``Product``.
+
+Predicate facts live in the three-point domain :class:`Sat`
+(tautology / contradiction / unknown).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = ["Interval", "PlanProperties", "Sat", "TOP", "UNBOUNDED"]
+
+
+class Sat(enum.Enum):
+    """Static satisfiability of a predicate: a three-point domain."""
+
+    ALWAYS = "always"    #: tautology — holds for every row on every instance
+    NEVER = "never"      #: contradiction — fails for every row
+    UNKNOWN = "unknown"  #: no static guarantee
+
+    def negate(self) -> "Sat":
+        if self is Sat.ALWAYS:
+            return Sat.NEVER
+        if self is Sat.NEVER:
+            return Sat.ALWAYS
+        return Sat.UNKNOWN
+
+    def and_(self, other: "Sat") -> "Sat":
+        if Sat.NEVER in (self, other):
+            return Sat.NEVER
+        if self is Sat.ALWAYS and other is Sat.ALWAYS:
+            return Sat.ALWAYS
+        return Sat.UNKNOWN
+
+    def or_(self, other: "Sat") -> "Sat":
+        if Sat.ALWAYS in (self, other):
+            return Sat.ALWAYS
+        if self is Sat.NEVER and other is Sat.NEVER:
+            return Sat.NEVER
+        return Sat.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Total-multiplicity bounds ``lo ≤ Σ_t ⟦q⟧ t ≤ hi`` (``hi=None`` = ∞)."""
+
+    lo: int = 0
+    hi: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or (self.hi is not None and self.hi < self.lo):
+            raise ValueError(f"malformed interval {self!r}")
+
+    @property
+    def is_zero(self) -> bool:
+        return self.hi == 0
+
+    def contains(self, n: int) -> bool:
+        return self.lo <= n and (self.hi is None or n <= self.hi)
+
+    def plus(self, other: "Interval") -> "Interval":
+        hi = None if self.hi is None or other.hi is None \
+            else self.hi + other.hi
+        return Interval(self.lo + other.lo, hi)
+
+    def times(self, other: "Interval") -> "Interval":
+        hi = 0 if self.hi == 0 or other.hi == 0 else (
+            None if self.hi is None or other.hi is None
+            else self.hi * other.hi)
+        return Interval(self.lo * other.lo, hi)
+
+    def clamp_lo(self, lo: int = 0) -> "Interval":
+        """Widen the lower bound down to ``lo`` (filters may drop rows)."""
+        return Interval(min(self.lo, lo), self.hi)
+
+    def truncate(self) -> "Interval":
+        """After ``DISTINCT``: every multiplicity collapses to ≤ 1."""
+        return Interval(min(self.lo, 1) if self.lo else 0, self.hi)
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection — the *more precise* of two valid bounds."""
+        lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        if hi is not None and hi < lo:
+            return None
+        return Interval(lo, hi)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {'∞' if self.hi is None else self.hi}]"
+
+
+#: The no-information interval.
+UNBOUNDED = Interval(0, None)
+
+#: A projection path inside the output row: steps of ``"L"`` / ``"R"``.
+#: The empty path is the whole row (trivially a key of any set).
+KeyPath = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PlanProperties:
+    """The lattice element attached to one plan node (or e-class)."""
+
+    #: every output multiplicity ≤ 1, on every instance.
+    set_valued: bool = False
+    #: the output is empty on every instance.
+    empty: bool = False
+    #: paths whose value determines the row (and forces set-ness).
+    keys: FrozenSet[KeyPath] = frozenset()
+    #: bounds on the total output multiplicity.
+    card: Interval = field(default=UNBOUNDED)
+
+    def __post_init__(self) -> None:
+        # Normalization: emptiness is the bottom relation — it is a set,
+        # every path is vacuously a key, and the cardinality is 0.
+        if self.empty:
+            object.__setattr__(self, "set_valued", True)
+            object.__setattr__(
+                self, "card", Interval(0, 0))
+        elif self.card.is_zero:
+            object.__setattr__(self, "empty", True)
+            object.__setattr__(self, "set_valued", True)
+        if self.keys and not self.set_valued:
+            # A key forces multiplicities ≤ 1 (engine/constraints.py).
+            object.__setattr__(self, "set_valued", True)
+
+    def refine(self, other: "PlanProperties") -> "PlanProperties":
+        """Combine two *valid* descriptions of the same bag, keeping the
+        most precise fact from each — the e-class merge: every member of
+        an e-class denotes the same bag, so guarantees accumulate."""
+        card = self.card.meet(other.card)
+        return PlanProperties(
+            set_valued=self.set_valued or other.set_valued,
+            empty=self.empty or other.empty,
+            keys=self.keys | other.keys,
+            card=card if card is not None else Interval(0, 0))
+
+    def to_dict(self) -> dict:
+        return {
+            "set_valued": self.set_valued,
+            "empty": self.empty,
+            "keys": sorted("/".join(path) or "." for path in self.keys),
+            "card": [self.card.lo, self.card.hi],
+        }
+
+
+#: No guarantees at all — the lattice top (safe default).
+TOP = PlanProperties()

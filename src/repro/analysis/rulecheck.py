@@ -1,0 +1,457 @@
+"""Static linter for rewrite-rule corpora.
+
+Every check here runs without the prover and without random search —
+the point is to catch whole defect classes *before* any semantics is
+evaluated, reproducing statically the paper's claim that "common
+mistakes made in query optimization fail to pass our formal
+verification".  Diagnostics carry stable machine-readable codes:
+
+====== ========= ====================================================
+code   severity  meaning
+====== ========= ====================================================
+RS101  error     RHS uses a metavariable the LHS never binds
+RS102  error     the two sides infer different output schemas
+RS103  error     a side fails schema inference outright
+RS110  error     DISTINCT-scope narrowing: set-valued LHS, RHS
+                 rebuilds duplicates (one-point countermodel)
+RS111  error     duplicate-sensitive self-join collapse: a table
+                 occurrence drops LHS→RHS without set-valued output
+RS112  error     EXCEPT reassociation (bag difference does not
+                 associate)
+RS120  error     multiplicity profile mismatch on a canonical
+                 one-point world (generic backstop)
+RS130  warning   hypothesis sufficiency: a DISTINCT is dropped with
+                 no key hypothesis to license it
+RS201  warning   self-embedding rule: one side strictly contains the
+                 other (naive rewriters diverge)
+RS202  warning   size-increasing cycle across the rule set
+====== ========= ====================================================
+
+The RS11x/RS120 family is decided on *canonical one-point worlds*:
+deterministic instances built from the rule's shape (each free table
+holds the canonical row of its schema at a small swept multiplicity,
+clamped to ≤ 1 for tables under a key hypothesis so every world
+satisfies the hypotheses).  A disagreement between the two sides on
+such a world is a genuine countermodel — the flag can never be a false
+positive — yet no randomness and no prover is involved: it is abstract
+interpretation over a finite family of least models, in the tradition
+of typestate checkers that reject misuse without execution.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core import ast
+from ..core.schema import INT, Leaf, Node, SVar, Schema
+from ..core.typecheck import infer_query as infer_schema
+from ..engine.database import Interpretation
+from ..engine.eval import EvaluationError, run_query
+from ..obs.metrics import counter
+from .infer import AnalysisContext, infer_properties, iter_ast
+
+__all__ = [
+    "Diagnostic",
+    "ExpectedDefect",
+    "LintReport",
+    "Severity",
+    "lint_rule",
+    "lint_rules",
+]
+
+_DIAGNOSTICS = counter("analysis.lint.diagnostics")
+_RULES_LINTED = counter("analysis.lint.rules")
+
+#: Schema variables instantiate to the canonical two-leaf row.
+_CONCRETE = Node(Leaf(INT), Leaf(INT))
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ExpectedDefect:
+    """The structured annotation a deliberately buggy rule carries."""
+
+    code: str    #: stable diagnostic code, e.g. ``"RS110"``
+    reason: str  #: one-line human explanation of the defect
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding, machine-readable."""
+
+    code: str
+    severity: Severity
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "severity": self.severity.value,
+                "rule": self.rule, "message": self.message}
+
+    def __str__(self) -> str:
+        return f"{self.severity.value}[{self.code}] {self.rule}: " \
+               f"{self.message}"
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a corpus."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_checked: int = 0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    def by_rule(self) -> Dict[str, List[Diagnostic]]:
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for d in self.diagnostics:
+            grouped.setdefault(d.rule, []).append(d)
+        return grouped
+
+    def codes_for(self, rule_name: str) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics
+                     if d.rule == rule_name)
+
+    def to_dict(self) -> dict:
+        return {"rules_checked": self.rules_checked,
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "diagnostics": [d.to_dict() for d in self.diagnostics]}
+
+
+# ---------------------------------------------------------------------------
+# Structural facts about a rule
+# ---------------------------------------------------------------------------
+
+def _metavars(query: ast.Query) -> Dict[str, set]:
+    """Names of the projection/predicate/expression metavariables."""
+    found = {"proj": set(), "pred": set(), "expr": set()}
+    for node in iter_ast(query):
+        if isinstance(node, ast.PVar):
+            found["proj"].add(node.name)
+        elif isinstance(node, ast.PredVar):
+            found["pred"].add(node.name)
+        elif isinstance(node, ast.ExprVar):
+            found["expr"].add(node.name)
+    return found
+
+
+def _free_tables(*queries: ast.Query) -> Dict[str, Schema]:
+    tables: Dict[str, Schema] = {}
+    for query in queries:
+        for node in iter_ast(query):
+            if isinstance(node, ast.Table):
+                tables[node.name] = node.schema
+    return tables
+
+
+def _table_occurrences(query: ast.Query) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for node in iter_ast(query):
+        if isinstance(node, ast.Table):
+            counts[node.name] = counts.get(node.name, 0) + 1
+    return counts
+
+
+def _plan_size(query: ast.Query) -> int:
+    return sum(1 for _ in iter_ast(query))
+
+
+def _except_reassociation(lhs: ast.Query, rhs: ast.Query) -> bool:
+    """``(a − b) − c`` against ``a − (b − c)`` (either orientation)."""
+    def left_nested(q):
+        return isinstance(q, ast.Except) and isinstance(q.left, ast.Except)
+
+    def right_nested(q):
+        return isinstance(q, ast.Except) and isinstance(q.right, ast.Except)
+
+    for a, b in ((lhs, rhs), (rhs, lhs)):
+        if left_nested(a) and right_nested(b) \
+                and a.left.left == b.left and a.right == b.right.right:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Canonical one-point worlds
+# ---------------------------------------------------------------------------
+
+def _canonical_row(schema: Schema, value: int):
+    """The canonical row of ``schema`` with every leaf set to ``value``
+    (schema variables stand for the two-leaf concrete row)."""
+    if isinstance(schema, Node):
+        return (_canonical_row(schema.left, value),
+                _canonical_row(schema.right, value))
+    if isinstance(schema, Leaf):
+        return value
+    if isinstance(schema, SVar):
+        return (value, value)
+    return ()  # EMPTY
+
+
+def _leaf_access(row):
+    """First base-type leaf of a canonical row (what keys/PVars bind to).
+
+    Canonical rows carry the same value at every leaf, so any-leaf
+    access is a well-defined function of the row.
+    """
+    if isinstance(row, tuple):
+        for item in row:
+            leaf = _leaf_access(item)
+            if leaf is not None:
+                return leaf
+        return None
+    return row
+
+
+def _world_interpretations(rule) -> List[Tuple[str, Interpretation]]:
+    """The finite family of deterministic worlds the profile check runs.
+
+    Every free table holds one or two canonical rows at multiplicities
+    swept over a small range — clamped to ≤ 1 for tables under a key
+    hypothesis, so each world satisfies the rule's hypotheses by
+    construction (canonical rows have pairwise-distinct leaves, hence
+    distinct key values, and trivially satisfy any FD).
+    """
+    from ..semiring.krelation import KRelation
+    from ..semiring.semirings import NAT
+
+    tables = _free_tables(rule.lhs, rule.rhs)
+    if not tables:
+        return []
+    keyed = {k.rel for k in rule.hypotheses.keys}
+    names = sorted(tables)
+    sweeps = []
+    for name in names:
+        mults = (0, 1) if name in keyed else (0, 1, 2)
+        # (row set, multiplicity) choices: one canonical row at each
+        # multiplicity, plus a two-distinct-row variant.
+        choices = [((0,), m) for m in mults] + [((0, 1), 1)]
+        sweeps.append(choices)
+
+    metavars = _metavars(rule.lhs)
+    for kind, found in _metavars(rule.rhs).items():
+        metavars[kind] |= found
+    key_names = {k.proj for k in rule.hypotheses.keys}
+    fd_names = set()
+    for fd in rule.hypotheses.fds:
+        fd_names.add(fd.source)
+        fd_names.add(fd.target)
+
+    worlds: List[Tuple[str, Interpretation]] = []
+    for combo in itertools.product(*sweeps):
+        interp = Interpretation()
+        desc = []
+        for name, (row_values, mult) in zip(names, combo):
+            schema = tables[name]
+            rel = KRelation(NAT)
+            for value in row_values:
+                rel.add(_canonical_row(schema, value), mult)
+            interp.relations[name] = rel
+            interp.schemas[name] = (schema if not isinstance(schema, SVar)
+                                    else _CONCRETE)
+            desc.append(f"{name}={{{','.join(str(v) for v in row_values)}}}"
+                        f"×{mult}")
+        for pname in metavars["proj"] | key_names | fd_names:
+            interp.projections.setdefault(pname, _leaf_access)
+        for ename in metavars["expr"]:
+            interp.expressions[ename] = lambda _input: 0
+        for variant, fn in (("⊤", lambda _input: True),
+                            ("⊥", lambda _input: False),
+                            ("leaf=0", lambda row: _leaf_access(row) == 0)):
+            world = Interpretation(
+                relations=dict(interp.relations),
+                schemas=dict(interp.schemas),
+                predicates=dict(interp.predicates),
+                projections=dict(interp.projections),
+                expressions=dict(interp.expressions),
+                functions=dict(interp.functions),
+                aggregates=dict(interp.aggregates))
+            for bname in metavars["pred"]:
+                world.predicates[bname] = fn
+            worlds.append((", ".join(desc) + (f", preds={variant}"
+                                              if metavars["pred"] else ""),
+                           world))
+            if not metavars["pred"]:
+                break  # predicate variants are indistinguishable
+    return worlds
+
+
+def _profile_countermodel(rule) -> Optional[Tuple[str, int, int]]:
+    """First one-point world where the two sides disagree, if any.
+
+    Returns ``(world description, lhs total multiplicity, rhs total
+    multiplicity)``; worlds a side cannot evaluate on (opaque
+    constructs) are skipped, never flagged.
+    """
+    for desc, interp in _world_interpretations(rule):
+        try:
+            left = run_query(rule.lhs, interp)
+            right = run_query(rule.rhs, interp)
+        except (EvaluationError, KeyError, TypeError):
+            continue
+        if left != right:
+            return (desc,
+                    sum(annot for _row, annot in left.items()),
+                    sum(annot for _row, annot in right.items()))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+def lint_rule(rule) -> List[Diagnostic]:
+    """All diagnostics for one rule (duck-typed: any object with the
+    :class:`~repro.rules.rule.RewriteRule` fields works)."""
+    _RULES_LINTED.inc()
+    out: List[Diagnostic] = []
+
+    def emit(code: str, severity: Severity, message: str) -> None:
+        out.append(Diagnostic(code, severity, rule.name, message))
+        _DIAGNOSTICS.inc()
+        counter(f"analysis.lint.{code}").inc()
+
+    # RS101 — metavariable containment.  Names declared by the rule's
+    # hypotheses (a key's projection, an FD's source/target) count as
+    # bound: the ambient axiom supplies them.  A rule that carries
+    # hypotheses is a *family* parameterized by that ambient structure
+    # (the index rules pick which attribute is indexed), so a leftover
+    # unbound name is only a warning there; a hypothesis-free rule must
+    # be closed, so it is an error.
+    lhs_vars, rhs_vars = _metavars(rule.lhs), _metavars(rule.rhs)
+    declared = {k.proj for k in rule.hypotheses.keys}
+    for fd in rule.hypotheses.fds:
+        declared |= {fd.source, fd.target}
+    has_hyps = bool(rule.hypotheses.keys or rule.hypotheses.fds)
+    for kind, label in (("proj", "projection"), ("pred", "predicate"),
+                        ("expr", "expression")):
+        unbound = rhs_vars[kind] - lhs_vars[kind] - declared
+        if unbound:
+            emit("RS101",
+                 Severity.WARNING if has_hyps else Severity.ERROR,
+                 f"RHS {label} metavariable(s) "
+                 f"{', '.join(sorted(unbound))} never bound on the LHS")
+
+    # RS102 / RS103 — schema preservation via the type checker.
+    schemas = []
+    for side, query in (("LHS", rule.lhs), ("RHS", rule.rhs)):
+        try:
+            schemas.append(infer_schema(query, rule.ctx_schema))
+        except Exception as exc:  # SchemaError subclasses vary
+            emit("RS103", Severity.ERROR,
+                 f"{side} fails schema inference: {exc}")
+            schemas.append(None)
+    if None not in schemas and schemas[0] != schemas[1]:
+        emit("RS102", Severity.ERROR,
+             f"output schemas differ: {schemas[0]} vs {schemas[1]}")
+
+    # Property inference under the rule's own hypotheses.
+    ctx = AnalysisContext.from_hypotheses(rule.hypotheses)
+    lhs_props = infer_properties(rule.lhs, ctx)
+    rhs_props = infer_properties(rule.rhs, ctx)
+
+    # RS11x / RS120 — the one-point multiplicity profile.
+    witness = _profile_countermodel(rule)
+    if witness is not None:
+        desc, lmult, rmult = witness
+        detail = (f"on the canonical world [{desc}] the sides disagree "
+                  f"(total multiplicity {lmult} vs {rmult})")
+        lhs_counts = _table_occurrences(rule.lhs)
+        rhs_counts = _table_occurrences(rule.rhs)
+        if lhs_props.set_valued and not rhs_props.set_valued:
+            emit("RS110", Severity.ERROR,
+                 f"DISTINCT-scope narrowing: LHS is set-valued but the "
+                 f"RHS rebuilds duplicates — {detail}")
+        elif _except_reassociation(rule.lhs, rule.rhs):
+            emit("RS112", Severity.ERROR,
+                 f"EXCEPT reassociation: bag difference does not "
+                 f"associate — {detail}")
+        elif any(rhs_counts.get(name, 0) < count
+                 for name, count in lhs_counts.items()):
+            emit("RS111", Severity.ERROR,
+                 f"duplicate-sensitive join collapse: a table occurrence "
+                 f"drops LHS→RHS without set-valued output — {detail}")
+        else:
+            emit("RS120", Severity.ERROR,
+                 f"multiplicity profile mismatch: {detail}")
+
+    # RS130 — hypothesis sufficiency heuristic.
+    if lhs_props.set_valued and not rhs_props.set_valued \
+            and not rule.hypotheses.keys:
+        emit("RS130", Severity.WARNING,
+             "a DISTINCT guarantee is dropped LHS→RHS and no key "
+             "hypothesis licenses it")
+
+    # RS201 — self-embedding in the declared rewrite direction: applying
+    # LHS→RHS re-creates the LHS inside a strictly larger term, so a
+    # naive (non-e-graph) rewriter grows without bound.  The shrinking
+    # embedding (RHS inside LHS) is the normal shape of a
+    # simplification rule and is not flagged.
+    if _plan_size(rule.rhs) > _plan_size(rule.lhs) \
+            and any(node == rule.lhs for node in iter_ast(rule.rhs)):
+        emit("RS201", Severity.WARNING,
+             f"self-embedding: the RHS strictly contains the LHS as a "
+             f"subterm (size {_plan_size(rule.lhs)} → "
+             f"{_plan_size(rule.rhs)})")
+    return out
+
+
+def lint_rules(rules: Sequence) -> LintReport:
+    """Lint a corpus: per-rule checks plus the cross-rule cycle check."""
+    report = LintReport()
+    for rule in rules:
+        report.diagnostics.extend(lint_rule(rule))
+        report.rules_checked += 1
+    report.diagnostics.extend(_cycle_check(rules))
+    return report
+
+
+def _cycle_check(rules: Sequence) -> List[Diagnostic]:
+    """RS202 — size-increasing cycles across the rule set.
+
+    Follows exact-term edges ``lhs → rhs`` between distinct rules; a
+    chain returning to a term that strictly embeds its starting term
+    grows without bound under naive application.
+    """
+    out: List[Diagnostic] = []
+    edges: Dict[ast.Query, List] = {}
+    for rule in rules:
+        edges.setdefault(rule.lhs, []).append(rule)
+
+    for start in rules:
+        term, chain = start.rhs, [start.name]
+        for _ in range(len(list(rules))):
+            nexts = edges.get(term)
+            if not nexts:
+                break
+            follow = next((r for r in nexts if r.name not in chain), None)
+            if follow is None:
+                break
+            chain.append(follow.name)
+            term = follow.rhs
+            if _plan_size(term) > _plan_size(start.lhs) \
+                    and any(node == start.lhs for node in iter_ast(term)):
+                out.append(Diagnostic(
+                    "RS202", Severity.WARNING, start.name,
+                    f"size-increasing cycle through "
+                    f"{' → '.join(chain)} (size {_plan_size(start.lhs)} "
+                    f"→ {_plan_size(term)})"))
+                counter("analysis.lint.RS202").inc()
+                break
+    return out

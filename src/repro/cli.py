@@ -482,6 +482,94 @@ def cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``repro lint`` corpus selectors, in display order.
+_LINT_CORPORA = (
+    ("basic", all_rules),
+    ("extended", all_extended_rules),
+    ("buggy", all_buggy_rules),
+)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static rule-soundness linter over the rewrite corpora.
+
+    Exit status is the CI contract: 0 iff every rule annotated with an
+    ``expected_defect`` is flagged with that code, AND no *unannotated*
+    rule draws an ERROR-severity diagnostic (warnings are allowed — the
+    test suite pins their exact set).
+    """
+    from .analysis import lint_rules
+
+    selected = [(name, factory) for name, factory in _LINT_CORPORA
+                if args.corpus in ("all", name)]
+    failures: List[str] = []
+    payload = {}
+    for name, factory in selected:
+        rules = list(factory())
+        report = lint_rules(rules)
+        payload[name] = report.to_dict()
+        for rule in rules:
+            codes = set(report.codes_for(rule.name))
+            error_codes = {d.code for d in report.errors
+                           if d.rule == rule.name}
+            expected = getattr(rule, "expected_defect", None)
+            if expected is not None and expected.code not in codes:
+                failures.append(
+                    f"{rule.name}: expected {expected.code} "
+                    f"({expected.reason}) but the linter reported "
+                    f"{sorted(codes) or 'nothing'}")
+            if expected is None and error_codes:
+                failures.append(
+                    f"{rule.name}: unexpected error diagnostics "
+                    f"{sorted(error_codes)} on a rule not annotated "
+                    f"as defective")
+        if not args.json:
+            print(f"corpus {name}: {report.rules_checked} rules, "
+                  f"{len(report.errors)} errors, "
+                  f"{len(report.warnings)} warnings")
+            for diag in report.diagnostics:
+                print(f"  {diag}")
+    if args.json:
+        print(json.dumps({"corpora": payload, "failures": failures},
+                         indent=2, sort_keys=True))
+    elif failures:
+        print("lint contract violations:")
+        for line in failures:
+            print(f"  {line}")
+    else:
+        print("lint contract holds: every annotated defect reproduced, "
+              "no stray errors")
+    return 1 if failures else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Infer static plan properties for a SQL query (``repro analyze``)."""
+    from .analysis import AnalysisContext, infer_properties
+    from .analysis.infer import supports_determined
+
+    with _session_from_args(args) as session:
+        handle = _handle(session, args.sql)
+        ctx = AnalysisContext(keyed=tuple(sorted(set(args.key or ()))))
+        props = infer_properties(handle.query, ctx)
+        if args.json:
+            out = props.to_dict()
+            out["supports_determined"] = supports_determined(handle.query)
+            out["keyed_tables"] = list(ctx.keyed)
+            print(json.dumps(out, indent=2, sort_keys=True))
+            return 0
+        print(f"query: {args.sql}")
+        if ctx.keyed:
+            print(f"keyed tables: {', '.join(ctx.keyed)}")
+        print(f"  set-valued (duplicate-free): {props.set_valued}")
+        print(f"  statically empty:            {props.empty}")
+        print(f"  keys:                        "
+              f"{', '.join('.'.join(k) or '<row>' for k in sorted(props.keys)) or '-'}")
+        print(f"  cardinality:                 {props.card}")
+        print(f"  support-determined:          "
+              f"{supports_determined(handle.query)}")
+        return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -689,6 +777,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     rules = sub.add_parser("rules", help="list the rule library")
     rules.set_defaults(fn=cmd_rules)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically lint the rewrite-rule corpora (soundness "
+             "linter: metavariable containment, schema preservation, "
+             "one-point countermodels, hypothesis sufficiency, cycles)")
+    lint.add_argument("--corpus", choices=("all", "basic", "extended",
+                                           "buggy"), default="all",
+                      help="which corpus to lint (default: all three)")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable diagnostics")
+    _add_obs_options(lint)
+    lint.set_defaults(fn=cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="infer static plan properties for a query (set-ness, "
+             "emptiness, keys, cardinality interval)")
+    analyze.add_argument("sql", help="the SQL query to analyze")
+    analyze.add_argument("--table", action="append", metavar="SPEC",
+                         help="declare a table as NAME(col:type,...); "
+                              "repeatable")
+    analyze.add_argument("--key", action="append", metavar="TABLE",
+                         help="assume TABLE carries a key constraint "
+                              "(set-valued); repeatable")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable property record")
+    _add_obs_options(analyze)
+    analyze.set_defaults(fn=cmd_analyze)
 
     stats = sub.add_parser("stats",
                            help="dump the observability layer's metrics "

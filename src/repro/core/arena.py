@@ -66,7 +66,6 @@ from .intern import kernel_backend  # noqa: F401  (re-exported convenience)
 from .schema import EMPTY, Empty, Leaf, Node, Schema
 from .typecheck import TypecheckError, infer_projection, infer_query
 from .uninomial import (
-    _FRESH,
     TAgg,
     TApp,
     TConst,
@@ -87,6 +86,7 @@ from .uninomial import (
     USum,
     UTerm,
     UZero,
+    _FRESH,
 )
 
 __all__ = [

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Tuple as PyTuple
 
 from .intern import interned
-from .schema import Schema, SQLType
+from .schema import SQLType, Schema
 
 
 class Query:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .schema import Node, Schema
-from .uninomial import TApp, TConst, TFst, TPair, TSnd, TUnit, TVar, Term, TAgg
+from .uninomial import TAgg, TApp, TConst, TFst, TPair, TSnd, TUnit, TVar, Term
 
 
 class Contradiction(Exception):

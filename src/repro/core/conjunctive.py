@@ -32,7 +32,7 @@ from .equivalence import (
 )
 from .normalize import ASquash, NProduct, NSum, normalize
 from .schema import EMPTY, Schema
-from .uninomial import Term, TVar
+from .uninomial import TVar, Term
 
 
 # ---------------------------------------------------------------------------

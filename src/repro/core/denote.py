@@ -18,15 +18,19 @@ from dataclasses import dataclass
 from . import ast
 from .intern import KernelLRU
 from .schema import EMPTY, Leaf, Node, Schema
-from .typecheck import TypecheckError, check_predicate, infer_projection, \
-    infer_query
+from .typecheck import (
+    TypecheckError,
+    check_predicate,
+    infer_projection,
+    infer_query,
+)
 from .uninomial import (
     ONE,
     TAgg,
     TApp,
     TConst,
-    Term,
     TVar,
+    Term,
     UNIT,
     UPred,
     URel,

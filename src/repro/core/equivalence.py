@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..errors import ReproError, SchemaMismatchError
 from .congruence import CongruenceClosure
 from .normalize import (
     AEq,
@@ -47,7 +48,6 @@ from .normalize import (
     normalize,
     nsums_alpha_equal,
     product_alpha_key,
-    product_subst,
 )
 from .schema import Empty, Node, Schema
 from .uninomial import (
@@ -61,11 +61,9 @@ from .uninomial import (
     UTerm,
     fresh_var,
     iter_subterms,
-    subst_term,
     subst_uterm,
     term_free_vars,
 )
-from ..errors import ReproError, SchemaMismatchError
 
 #: Maximum nesting depth for the entailment search.  Each level of squash
 #: opening, aggregate congruence, or witness instantiation consumes one
@@ -595,6 +593,31 @@ def _absorb(product: NProduct, ambient: Sequence[Atom], ctx: _Ctx,
             break
         if changed:
             continue
+
+        # Keys force set-valuedness (Sec. 4.2): ‖P‖ = P when every
+        # factor of the squashed body is a proposition or a keyed
+        # relation atom — each is ≤ 1, so the body is a mere prop and
+        # the truncation is the identity.  This is what licenses
+        # DISTINCT-elimination over keyed tables; it lives here rather
+        # than in ``normalize()`` because it depends on the hypotheses.
+        keyed_rels = ctx.hyps.keyed_relations()
+        if keyed_rels:
+            for i, f in enumerate(factors):
+                if not isinstance(f, ASquash) \
+                        or not isinstance(f.inner, NSum) \
+                        or len(f.inner.products) != 1:
+                    continue
+                body = f.inner.products[0]
+                if body.vars:
+                    continue
+                if all(isinstance(g, (AEq, APred, ASquash, ANeg))
+                       or (isinstance(g, ARel) and g.name in keyed_rels)
+                       for g in body.factors):
+                    factors[i:i + 1] = list(body.factors)
+                    changed = True
+                    break
+            if changed:
+                continue
 
         # Keyed relations are set-valued: duplicate R-atoms collapse.  The
         # tuple equality that justified the collapse is recorded as an

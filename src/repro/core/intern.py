@@ -62,7 +62,6 @@ memo table used by the kernel's caching layers (``normalize``,
 from __future__ import annotations
 
 import os
-import sys
 import threading
 from collections import OrderedDict
 from dataclasses import fields as _dataclass_fields

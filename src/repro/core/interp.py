@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict
 
 from ..engine.database import Interpretation
+from ..errors import ReproError
 from ..semiring.semirings import NAT, Semiring
 from .schema import DEFAULT_DOMAINS, enumerate_tuples
 from .uninomial import (
@@ -40,15 +41,14 @@ from .uninomial import (
     UEq,
     UMul,
     UNeg,
+    UOne,
     UPred,
     URel,
     USquash,
     USum,
     UTerm,
     UZero,
-    UOne,
 )
-from ..errors import ReproError
 
 #: A variable environment: tuple variables to concrete nested tuples.
 Env = Dict[TVar, Any]

@@ -59,7 +59,6 @@ from .uninomial import (
     tfst,
     tpair,
     tsnd,
-    ueq,
     umul_all,
     uneg,
     usquash,

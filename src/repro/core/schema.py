@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 from .intern import interned
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 
 # ---------------------------------------------------------------------------

@@ -11,9 +11,9 @@ to move predicates between contexts.
 
 from __future__ import annotations
 
-from . import ast
-from .schema import EMPTY, Leaf, Node, Schema, SQLType, schemas_equal
 from ..errors import ReproError
+from . import ast
+from .schema import EMPTY, Leaf, Node, SQLType, Schema, schemas_equal
 
 
 class TypecheckError(ReproError):

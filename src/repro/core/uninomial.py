@@ -27,10 +27,10 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple as PyTuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple as PyTuple
 
 from .intern import interned
-from .schema import EMPTY, Leaf, Node, Schema, SQLType
+from .schema import EMPTY, Leaf, Node, SQLType, Schema
 
 
 # ---------------------------------------------------------------------------

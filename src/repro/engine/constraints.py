@@ -17,7 +17,6 @@ from __future__ import annotations
 from typing import Any, Callable, Dict
 
 from ..core import ast
-from ..core.schema import Schema
 from ..semiring.krelation import KRelation
 
 

@@ -45,7 +45,7 @@ def eval_query_list(query: ast.Query, interp: Interpretation,
     if isinstance(query, ast.Product):
         left = eval_query_list(query.left, interp, g)
         right = eval_query_list(query.right, interp, g)
-        return [(l, r) for l in left for r in right]
+        return [(lt, rt) for lt in left for rt in right]
 
     if isinstance(query, ast.Where):
         inner = eval_query_list(query.query, interp, g)

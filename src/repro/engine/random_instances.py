@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..core import ast
 from ..core.schema import (
@@ -22,8 +22,8 @@ from ..core.schema import (
     Leaf,
     Node,
     Path,
-    Schema,
     SQLType,
+    Schema,
     tuple_get,
 )
 from ..semiring.krelation import KRelation

@@ -10,10 +10,10 @@ from .extract import (
     extract_best,
     rule_chain,
 )
-from .planner import PLAN_COUNT_LIMIT, STRATEGIES, PlanningResult, optimize
+from .planner import PLAN_COUNT_LIMIT, PlanningResult, STRATEGIES, optimize
 from .rewriter import (
-    TRANSFORMATIONS,
     CertifiedCandidate,
+    TRANSFORMATIONS,
     certified_rewrites,
     flatten_conjuncts,
     predicate_paths,
@@ -22,7 +22,13 @@ from .rewriter import (
     rewrites,
     steps_to_proj,
 )
-from .saturate import ERULES, ERule, SaturationBudget, SaturationStats, saturate
+from .saturate import (
+    ERULES,
+    ERule,
+    SaturationBudget,
+    SaturationStats,
+    saturate,
+)
 
 __all__ = [
     "Candidate",

@@ -173,6 +173,17 @@ def _selectivity(pred: ast.Predicate) -> float:
 
 
 def _selectivity_uncached(pred: ast.Predicate) -> float:
+    # Static satisfiability decides the degenerate cases exactly: a
+    # contradictory filter keeps nothing, a tautological one keeps
+    # everything — tighter than the per-connective heuristics below
+    # (e.g. ``a = 0 AND a = 1`` would otherwise estimate 0.0625).
+    from ..analysis.infer import pred_sat
+    from ..analysis.properties import Sat
+    sat = pred_sat(pred)
+    if sat is Sat.NEVER:
+        return 0.0
+    if sat is Sat.ALWAYS:
+        return 1.0
     if isinstance(pred, ast.PredEq):
         return SELECTIVITY_EQ
     if isinstance(pred, ast.PredAnd):

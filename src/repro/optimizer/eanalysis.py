@@ -1,0 +1,141 @@
+"""E-class property analysis + property-guarded e-rules.
+
+The egg-style e-class analysis for the plan e-graph: every e-class gets
+the property-lattice element of :mod:`repro.analysis.properties`,
+computed with the *same* transfer functions the tree analysis uses
+(:func:`repro.analysis.infer.transfer` — the e-graph's ``(op, label,
+children)`` decomposition is exactly the transfer kernel's signature).
+Because all members of an e-class denote the same bag, each member's
+derived guarantees hold for the whole class, so members combine with
+:meth:`~repro.analysis.properties.PlanProperties.refine` (facts
+accumulate) rather than a lossy lattice join.
+
+On top of it, the guarded e-rules — rewrites that are only sound when
+the inferred facts license them, which plain syntactic e-rules cannot
+express:
+
+* ``distinct_elim_under_key`` — ``DISTINCT q ≡ q`` when ``q`` is
+  set-valued (structurally, or via a key hypothesis);
+* ``where_taut_elim``        — ``σ_b(q) ≡ q`` when ``b`` is a tautology;
+* ``where_contra_to_empty``  — ``σ_b(q) ≡ σ_FALSE(q)`` when ``b`` is a
+  contradiction (the canonical empty plan, visible to the cost model);
+* ``except_empty_elim``      — ``q − e ≡ q`` when ``e`` is guaranteed
+  empty.
+
+Every union they perform is still re-certified end to end by the
+verification pipeline when the planner extracts a winner (the keyed
+case is dischargeable because the equivalence engine's absorption knows
+keys force set-valuedness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..analysis.infer import AnalysisContext, EMPTY_CONTEXT, pred_sat, transfer
+from ..analysis.properties import PlanProperties, Sat, TOP
+from ..core import ast
+from ..obs.metrics import counter
+from .egraph import EGraph, ENode, Reason
+from .saturate import ERule
+
+__all__ = ["EClassAnalysis", "guarded_rules"]
+
+
+class EClassAnalysis:
+    """On-demand, memoized property inference over e-classes."""
+
+    def __init__(self, eg: EGraph, ctx: AnalysisContext = EMPTY_CONTEXT
+                 ) -> None:
+        self.eg = eg
+        self.ctx = ctx
+        self._memo: Dict[int, PlanProperties] = {}
+        self._in_progress: set = set()
+
+    def props(self, cid: int) -> PlanProperties:
+        """Properties of e-class ``cid`` (cycle-safe: a class reached
+        through itself contributes no facts, which is conservative)."""
+        cid = self.eg.find(cid)
+        cached = self._memo.get(cid)
+        if cached is not None:
+            return cached
+        if cid in self._in_progress:
+            return TOP
+        self._in_progress.add(cid)
+        try:
+            result = TOP
+            for node in self.eg.nodes_of(cid):
+                children = tuple(self.props(child)
+                                 for child in node.children)
+                result = result.refine(
+                    transfer(node.op, node.label, children, self.ctx))
+        finally:
+            self._in_progress.discard(cid)
+        self._memo[cid] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# The guarded e-rules
+# ---------------------------------------------------------------------------
+
+def _fired(name: str) -> int:
+    counter(f"analysis.guarded.{name}").inc()
+    return 1
+
+
+def guarded_rules(ctx: AnalysisContext = EMPTY_CONTEXT
+                  ) -> Tuple[ERule, ...]:
+    """The property-guarded rule suite, closed over an analysis context.
+
+    Each closure builds a fresh :class:`EClassAnalysis` per application
+    (the e-graph mutates between fires; per-call memoization already
+    collapses the recursion), checks its licence, and only then unions.
+    """
+
+    def distinct_elim(eg: EGraph, cid: int, node: ENode) -> int:
+        child = eg.find(node.children[0])
+        if eg.find(cid) == child:
+            return 0
+        if not EClassAnalysis(eg, ctx).props(child).set_valued:
+            return 0
+        eg.union(cid, child, Reason("distinct_elim_under_key", node))
+        return _fired("distinct_elim_under_key")
+
+    def where_taut(eg: EGraph, cid: int, node: ENode) -> int:
+        child = eg.find(node.children[0])
+        if eg.find(cid) == child:
+            return 0
+        if pred_sat(node.label[0], ctx) is not Sat.ALWAYS:
+            return 0
+        eg.union(cid, child, Reason("where_taut_elim", node))
+        return _fired("where_taut_elim")
+
+    def where_contra(eg: EGraph, cid: int, node: ENode) -> int:
+        pred = node.label[0]
+        if isinstance(pred, ast.PredFalse):
+            return 0  # already the canonical empty filter
+        if pred_sat(pred, ctx) is not Sat.NEVER:
+            return 0
+        child = eg.find(node.children[0])
+        empty = eg.add(ast.Where, (ast.PredFalse(),), (child,),
+                       reason=Reason("where_contra_to_empty", node))
+        eg.union(cid, empty, Reason("where_contra_to_empty", node))
+        return _fired("where_contra_to_empty")
+
+    def except_empty(eg: EGraph, cid: int, node: ENode) -> int:
+        left, right = (eg.find(node.children[0]),
+                       eg.find(node.children[1]))
+        if eg.find(cid) == left:
+            return 0
+        if not EClassAnalysis(eg, ctx).props(right).empty:
+            return 0
+        eg.union(cid, left, Reason("except_empty_elim", node))
+        return _fired("except_empty_elim")
+
+    return (
+        ERule("distinct_elim_under_key", (ast.Distinct,), distinct_elim),
+        ERule("where_taut_elim", (ast.Where,), where_taut),
+        ERule("where_contra_to_empty", (ast.Where,), where_contra),
+        ERule("except_empty_elim", (ast.Except,), except_empty),
+    )

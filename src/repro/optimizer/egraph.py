@@ -172,6 +172,11 @@ class EGraph:
             return node
         return ENode(node.op, node.label, children)
 
+    def class_of(self, node: ENode) -> Optional[int]:
+        """Canonical class id currently holding ``node`` (None: unknown)."""
+        cid = self._hashcons.get(self.canonicalize(node))
+        return None if cid is None else self.find(cid)
+
     def add_enode(self, node: ENode,
                   reason: Optional[Reason] = None) -> int:
         """Admit an e-node; returns its (existing or fresh) class id.

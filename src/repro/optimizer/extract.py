@@ -38,7 +38,7 @@ from ..core import ast
 from ..obs.metrics import counter, histogram
 from ..obs.trace import span
 from .cost import Estimate, TableStats, compose, plan_size
-from .egraph import EGraph, ENode
+from .egraph import EGraph, ENode, Reason
 
 _EXTRACT_SECONDS = histogram("extract.seconds")
 _EXTRACT_SWEEPS = histogram("extract.sweeps",
@@ -259,13 +259,31 @@ def rule_chain(eg: EGraph, winner: Candidate) -> Tuple[str, ...]:
 
     Walks the chosen e-node of every position in the winning tree; each
     rewrite-created node carries ``(rule, source node)``, and following
-    the source links yields that node's derivation history.  The result
-    is a *witness chain*, not necessarily the only one — e-graphs merge
-    derivations — but every name in it is a rule the saturation engine
-    actually fired on the winning plan's ancestry.
+    the source links yields that node's derivation history.  Union-only
+    rewrites (licence merges that create no new node — the property-
+    guarded rules are the main source) leave their provenance in the
+    union log instead, so a chosen node without a creation record falls
+    back to a logged union on its class, provided the union's source is
+    a *different* node — that union is what licensed standing in for the
+    source shape.  The result is a *witness chain*, not necessarily the
+    only one — e-graphs merge derivations — but every name in it is a
+    rule the saturation engine actually fired on the winning plan's
+    ancestry.
     """
     chain: List[str] = []
     seen_nodes: set = set()
+    union_reasons: Dict[int, List[Reason]] = {}
+    for merged, _loser, reason in eg.union_log:
+        union_reasons.setdefault(eg.find(merged), []).append(reason)
+
+    def union_reason(node: ENode) -> Optional[Reason]:
+        cid = eg.class_of(node)
+        if cid is None:
+            return None
+        for reason in union_reasons.get(cid, ()):
+            if eg.canonicalize(reason.source) != node:
+                return reason
+        return None
 
     def node_history(node: Optional[ENode]) -> List[str]:
         out: List[str] = []
@@ -274,7 +292,7 @@ def rule_chain(eg: EGraph, winner: Candidate) -> Tuple[str, ...]:
             if node in seen_nodes:
                 break
             seen_nodes.add(node)
-            reason = eg.reasons.get(node)
+            reason = eg.reasons.get(node) or union_reason(node)
             if reason is None:
                 break
             out.append(reason.rule)

@@ -29,13 +29,16 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Set, Tuple
 
+from ..analysis.infer import AnalysisContext
 from ..core import ast
+from ..core.equivalence import Hypotheses, NO_HYPOTHESES
 from ..core.intern import KernelLRU
 from .cost import TableStats, plan_cost, plan_size
+from .eanalysis import guarded_rules
 from .egraph import EGraph
 from .extract import PLAN_COUNT_LIMIT, count_plans, extract_best
 from .rewriter import rewrites
-from .saturate import SaturationBudget, SaturationStats, saturate
+from .saturate import ERULES, SaturationBudget, SaturationStats, saturate
 
 #: Strategy names accepted by :func:`optimize`.
 STRATEGIES = ("saturation", "bfs")
@@ -96,7 +99,9 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
              strategy: str = "saturation",
              iterations: Optional[int] = None,
              node_budget: Optional[int] = None,
-             workers: Optional[int] = None) -> PlanningResult:
+             workers: Optional[int] = None,
+             hypotheses: Hypotheses = NO_HYPOTHESES,
+             analysis: Optional[AnalysisContext] = None) -> PlanningResult:
     """Search the rewrite space for the cheapest equivalent plan.
 
     Args:
@@ -117,6 +122,15 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
         workers: fan saturation's match phase across N pool processes
             (saturation only; results identical to serial — see
             :func:`repro.optimizer.saturate.saturate`).
+        hypotheses: integrity-constraint hypotheses the plan may assume.
+            They seed the static analysis (a keyed table is set-valued,
+            licensing ``distinct_elim_under_key``) and are passed to the
+            certification pipeline so key-dependent extractions are
+            still re-proved.
+        analysis: an explicit :class:`~repro.analysis.infer
+            .AnalysisContext` overriding the one derived from
+            ``hypotheses`` (callers that know concrete key paths or
+            table cardinality bounds can hand them over).
 
     Returns:
         The chosen plan with costs, exploration counters, the chain of
@@ -126,8 +140,10 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r} "
                          f"(expected one of {STRATEGIES})")
+    ctx = analysis if analysis is not None \
+        else AnalysisContext.from_hypotheses(hypotheses)
     key = (query, strategy, _stats_fingerprint(stats), max_plans,
-           iterations, node_budget)  # workers never changes the result
+           iterations, node_budget, ctx)  # workers never changes the result
     cached = _PLAN_MEMO.get(key)
     if cached is not None:
         # Hand the caller a fresh instance: ``certified`` is mutable and
@@ -137,7 +153,7 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
         result = _optimize_saturation(query, stats, max_plans=max_plans,
                                       iterations=iterations,
                                       node_budget=node_budget,
-                                      workers=workers)
+                                      workers=workers, ctx=ctx)
         _PLAN_MEMO.put(key, replace(result))
     else:
         result = _optimize_bfs(query, stats, max_plans=max_plans)
@@ -146,11 +162,14 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
     if certify:
         # Certification runs through a verification pipeline so that the
         # proof lands in (and may come from) its proof cache — the
-        # caller's own (a Session's) or the process-wide default.
+        # caller's own (a Session's) or the process-wide default.  The
+        # hypotheses ride along: a keyed-dedup extraction is only
+        # provable under its key axiom.
         if pipeline is None:
             from ..solver.pipeline import default_pipeline
             pipeline = default_pipeline()
-        result.certified = pipeline.certify(query, result.best_plan)
+        result.certified = pipeline.certify(query, result.best_plan,
+                                            None, hypotheses)
     return result
 
 
@@ -161,7 +180,9 @@ def optimize(query: ast.Query, stats: TableStats, max_plans: int = 400,
 def _optimize_saturation(query: ast.Query, stats: TableStats, *,
                          max_plans: int, iterations: Optional[int],
                          node_budget: Optional[int],
-                         workers: Optional[int] = None) -> PlanningResult:
+                         workers: Optional[int] = None,
+                         ctx: Optional[AnalysisContext] = None
+                         ) -> PlanningResult:
     defaults = SaturationBudget()
     budget = SaturationBudget(
         max_iterations=(iterations if iterations is not None
@@ -170,7 +191,14 @@ def _optimize_saturation(query: ast.Query, stats: TableStats, *,
     egraph = EGraph()
     root = egraph.add_term(query)
     egraph.rebuild()
-    sat_stats = saturate(egraph, budget=budget, workers=workers)
+    # The syntactic suite plus the property-guarded rewrites: the guards
+    # consult the e-class analysis (and the analysis context seeded from
+    # the caller's hypotheses), so e.g. ``DISTINCT q`` collapses onto
+    # ``q`` only when the facts license it.
+    rules = ERULES + guarded_rules(
+        ctx if ctx is not None else AnalysisContext())
+    sat_stats = saturate(egraph, rules=rules, budget=budget,
+                         workers=workers)
     extraction = extract_best(egraph, root, stats)
     origin_cost = plan_cost(query, stats)
     best_plan, best_cost = extraction.plan, extraction.estimate.cost
@@ -180,6 +208,10 @@ def _optimize_saturation(query: ast.Query, stats: TableStats, *,
         # Guard (should not trigger): the original is representable, so
         # extraction can never do worse than it.
         best_plan, best_cost, chain = query, origin_cost, ()
+    elif best_plan == query:
+        # Unchanged plan: a licence union elsewhere in the e-graph must
+        # not show up as an applied rule.
+        chain = ()
     return PlanningResult(
         original=query, best_plan=best_plan, original_cost=origin_cost,
         best_cost=best_cost,

@@ -25,7 +25,7 @@ never acts on an unproven rewrite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core import ast
 from .rule import RewriteRule

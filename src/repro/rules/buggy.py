@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 from typing import Tuple
 
+from ..analysis.rulecheck import ExpectedDefect
 from ..core import ast
 from ..core.schema import INT, Leaf
 from .common import SR, SS, standard_interpretation, table
@@ -39,6 +40,9 @@ def _bad_distinct_push_join() -> RewriteRule:
                     "(set/bag confusion).",
         lhs=lhs, rhs=rhs, sound=False,
         tactic_script=("rejected",),
+        expected_defect=ExpectedDefect(
+            "RS110",
+            "DISTINCT narrowed to one join input; the other side's duplicate multiplicities survive"),
         instantiate=factory)
 
 
@@ -55,6 +59,9 @@ def _bad_union_distinct() -> RewriteRule:
         description="UNSOUND: DISTINCT does not distribute over UNION ALL.",
         lhs=lhs, rhs=rhs, sound=False,
         tactic_script=("rejected",),
+        expected_defect=ExpectedDefect(
+            "RS110",
+            "DISTINCT does not distribute over UNION ALL; shared tuples are double-counted"),
         instantiate=factory)
 
 
@@ -79,6 +86,9 @@ def _bad_self_join_dedup_bag() -> RewriteRule:
         lhs=lhs, rhs=rhs, sound=False,
         tactic_script=("rejected",),
         paper_ref="Figure 2 (DISTINCT omitted)",
+        expected_defect=ExpectedDefect(
+            "RS111",
+            "self-join collapse without DISTINCT; multiplicities square under bag semantics"),
         instantiate=factory)
 
 
@@ -96,6 +106,9 @@ def _bad_except_assoc() -> RewriteRule:
                     "survives the right-hand side).",
         lhs=lhs, rhs=rhs, sound=False,
         tactic_script=("rejected",),
+        expected_defect=ExpectedDefect(
+            "RS112",
+            "bag EXCEPT is not associative; tuples in S∩T survive the reassociated side"),
         instantiate=factory)
 
 
@@ -116,6 +129,9 @@ def _bad_count_distinct_key() -> RewriteRule:
         lhs=lhs, rhs=rhs, sound=False,
         tactic_script=("rejected",),
         paper_ref="Sec. 1 [45]",
+        expected_defect=ExpectedDefect(
+            "RS110",
+            "DISTINCT dropped from a non-key projection (MySQL #70038 family)"),
         instantiate=factory)
 
 

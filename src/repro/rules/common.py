@@ -15,10 +15,10 @@ with a variable schema), predicates (``PredVar``), and attributes
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 from ..core import ast
-from ..core.schema import EMPTY, INT, Leaf, Node, Schema, SVar
+from ..core.schema import EMPTY, INT, Leaf, Node, SVar, Schema
 from ..engine.database import Interpretation
 from ..engine.random_instances import (
     deterministic_predicate,

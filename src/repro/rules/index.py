@@ -14,11 +14,11 @@ import random
 from typing import Tuple
 
 from ..core import ast
+from ..core.equivalence import Hypotheses, KeyConstraint
 from ..core.schema import INT, Leaf, SVar
 from ..engine.random_instances import path_projection
 from .common import attr_expr, const_expr, standard_interpretation, table
 from .rule import RewriteRule
-from ..core.equivalence import Hypotheses, KeyConstraint
 
 _S1 = SVar("s1")
 _R = table("R", _S1)

@@ -79,6 +79,12 @@ class RewriteRule:
     sound: bool = True
     paper_ref: str = ""
     instantiate: Optional[InstanceFactory] = None
+    #: for deliberately unsound rules: the structured defect the static
+    #: linter is expected to report — an
+    #: :class:`~repro.analysis.rulecheck.ExpectedDefect` carrying the
+    #: stable diagnostic code and a one-line reason.  ``None`` for sound
+    #: rules; the linter test suite asserts the annotation is reproduced.
+    expected_defect: Optional[object] = None
 
     def typecheck(self) -> Tuple[Schema, Schema]:
         """Infer both sides' output schemas (they must agree)."""

@@ -5,19 +5,31 @@ K-relations over commutative semirings (Green et al., PODS 2007) and the
 paper's generalization to infinite cardinal multiplicities.
 """
 
-from .cardinal import OMEGA, ONE, ZERO, Cardinal, cardinal_product, cardinal_sum
+from .cardinal import (
+    Cardinal,
+    OMEGA,
+    ONE,
+    ZERO,
+    cardinal_product,
+    cardinal_sum,
+)
 from .krelation import KRelation
-from .provenance import PROVENANCE, Polynomial, ProvenanceSemiring, annotate_distinctly
+from .provenance import (
+    PROVENANCE,
+    Polynomial,
+    ProvenanceSemiring,
+    annotate_distinctly,
+)
 from .semirings import (
     BOOL,
+    BoolSemiring,
     NAT,
     NAT_INF,
-    STANDARD_SEMIRINGS,
-    TROPICAL,
-    BoolSemiring,
     NatInfSemiring,
     NatSemiring,
+    STANDARD_SEMIRINGS,
     Semiring,
+    TROPICAL,
     TropicalSemiring,
     check_semiring_laws,
 )

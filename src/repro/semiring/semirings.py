@@ -29,7 +29,7 @@ from abc import ABC, abstractmethod
 from fractions import Fraction
 from typing import Any, Generic, Iterable, TypeVar
 
-from .cardinal import OMEGA, ONE, ZERO, Cardinal
+from .cardinal import Cardinal, OMEGA, ONE, ZERO
 
 K = TypeVar("K")
 

@@ -37,20 +37,11 @@ from __future__ import annotations
 import re
 import time
 from dataclasses import dataclass
-from typing import (
-    Any,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-    Union,
-)
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .core import ast
 from .core.equivalence import Hypotheses, NO_HYPOTHESES
-from .core.schema import BOOL, FLOAT, INT, STRING, SQLType
+from .core.schema import BOOL, FLOAT, INT, SQLType, STRING
 from .errors import ReproError, SchemaMismatchError
 from .optimizer.cost import TableStats
 from .optimizer.explain import explain, explain_result

@@ -26,12 +26,15 @@ import random
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from ..analysis.infer import (AnalysisContext, EMPTY_CONTEXT,
+                              infer_properties, supports_determined)
 from ..core import ast
 from ..core.equivalence import Hypotheses
 from ..core.schema import Schema, enumerate_tuples, tuple_flatten, tuple_of
 from ..engine.database import Interpretation
 from ..engine.eval import run_query
 from ..engine.random_instances import Counterexample
+from ..obs.metrics import counter
 from ..semiring.krelation import KRelation
 from ..semiring.semirings import NAT, Semiring
 from .verdict import BoundInfo, CounterexampleRecord
@@ -316,7 +319,8 @@ def disprove(q1: ast.Query, q2: ast.Query,
              semiring: Semiring = NAT,
              base_interp: Optional[Interpretation] = None,
              max_instances: Optional[int] = None,
-             hyps: Optional[Hypotheses] = None) -> DisproofResult:
+             hyps: Optional[Hypotheses] = None,
+             analyze: bool = True) -> DisproofResult:
     """Exhaust all instances within ``bound`` looking for a disagreement.
 
     Args:
@@ -335,6 +339,14 @@ def disprove(q1: ast.Query, q2: ast.Query,
             skipped.  When a constraint cannot be evaluated concretely
             (its key projection is not bound in ``base_interp``) the
             search aborts empty rather than report a spurious witness.
+        analyze: consult the static analysis tier
+            (:mod:`repro.analysis`) to prune the instance space before
+            enumerating.  Both prunes are lossless: queries proved empty
+            on *every* instance cannot disagree anywhere, and when both
+            sides are support-determined (``DISTINCT``-rooted,
+            aggregate-free) multiplicities above 1 cannot create a
+            disagreement that multiplicity 1 misses.  Off switch exists
+            for benchmarking the unpruned search.
     """
     if tables is None:
         tables = dict(free_tables(q1))
@@ -348,6 +360,27 @@ def disprove(q1: ast.Query, q2: ast.Query,
             raise ValueError(
                 f"cannot enumerate instances of table {name!r} with "
                 f"non-concrete schema {schema}")
+    if analyze:
+        ctx = AnalysisContext.from_hypotheses(hyps) if hyps is not None \
+            else EMPTY_CONTEXT
+        if infer_properties(q1, ctx).empty and infer_properties(q2, ctx).empty:
+            # Both sides denote the empty bag on *every* instance
+            # satisfying ``hyps`` — no instance can tell them apart, so
+            # the whole bound is exhausted without enumerating at all.
+            counter("analysis.disprover.static_equal").inc()
+            return DisproofResult(None, None, bound, 0, exhausted=True)
+        if bound.max_multiplicity > 1 and supports_determined(q1) \
+                and supports_determined(q2):
+            # Support-determined outputs (DISTINCT-rooted, aggregate-
+            # free) are functions of which rows each table holds, never
+            # of their multiplicities, so any disagreement visible at
+            # multiplicity ≤ k is already visible at multiplicity 1.
+            # Clamping shrinks the product space exponentially and — by
+            # that argument — loses no counterexamples; the reported
+            # bound is the clamped one actually searched, with the
+            # original covered by implication.
+            counter("analysis.disprover.mult_clamped").inc()
+            bound = replace(bound, max_multiplicity=1)
     names = sorted(tables)
     spaces = []
     for name in names:

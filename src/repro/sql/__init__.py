@@ -1,5 +1,11 @@
 """SQL frontend: lexer, parser, named→unnamed resolution, pretty-printing."""
 
+from .desugar import (
+    const_tuple_projection,
+    inner_join,
+    left_outer_join,
+    right_outer_join,
+)
 from .lexer import LexError, Token, tokenize
 from .nast import (
     NAggCall,
@@ -28,19 +34,13 @@ from .pretty import (
     projection_to_str,
     query_to_str,
 )
-from .desugar import (
-    const_tuple_projection,
-    inner_join,
-    left_outer_join,
-    right_outer_join,
-)
 from .resolve import (
     Catalog,
-    Resolved,
     ResolutionError,
+    Resolved,
     Resolver,
-    columns_to_schema,
     column_steps,
+    columns_to_schema,
     compile_sql,
     desugar_group_by,
     desugar_having,

@@ -36,12 +36,21 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from ..errors import ReproError
 from ..core import ast
-from ..core.schema import BOOL, EMPTY, FLOAT, INT, Leaf, Node, STRING, \
-    Schema, SQLType
+from ..core.schema import (
+    BOOL,
+    EMPTY,
+    FLOAT,
+    INT,
+    Leaf,
+    Node,
+    SQLType,
+    STRING,
+    Schema,
+)
+from ..errors import ReproError
 from . import nast
 
 #: Core function symbol for each infix arithmetic operator.

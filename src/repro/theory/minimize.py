@@ -14,9 +14,9 @@ Two classical companions to the Chandra–Merlin theorem:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from .containment import CQ, Atom, Term, cq_set_equivalent, find_homomorphism
+from .containment import CQ, Term, cq_set_equivalent, find_homomorphism
 
 #: A concrete instance: relation name → set of constant tuples.
 Instance = Dict[str, Set[Tuple[int, ...]]]

@@ -1,0 +1,144 @@
+"""Property-guarded rewrites through the planner.
+
+The acceptance contract: each guarded rewrite fires only when the
+inferred facts license it, and every extraction it enables is still
+re-proved by the verification pipeline (``certified`` is True) — the
+analysis *guides*, the equivalence engine *decides*.
+"""
+
+import pytest
+
+from repro.analysis.infer import AnalysisContext
+from repro.core import ast
+from repro.core.equivalence import Hypotheses, KeyConstraint
+from repro.core.schema import EMPTY, INT, Leaf, Node
+from repro.obs.metrics import counter
+from repro.optimizer import TableStats
+from repro.optimizer.eanalysis import EClassAnalysis, guarded_rules
+from repro.optimizer.egraph import EGraph
+from repro.optimizer.planner import _PLAN_MEMO, optimize
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+R = ast.Table("R", SCHEMA)
+S = ast.Table("S", SCHEMA)
+#: metavariables scoped to a closed query's WHERE context (Γ, row)
+PCTX = Node(EMPTY, SCHEMA)
+A = ast.ExprVar("a", PCTX, INT)
+KEY_R = Hypotheses(keys=(KeyConstraint("R", "k", Leaf(INT)),))
+STATS = TableStats({"R": 100.0, "S": 100.0})
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_memo():
+    # plan search memoizes per (query, ..., analysis context); start each
+    # test from a cold cache so counter assertions see the rule fire
+    _PLAN_MEMO.clear()
+    yield
+    _PLAN_MEMO.clear()
+
+
+def _fired(name):
+    return counter(f"analysis.guarded.{name}").value
+
+
+class TestDistinctElimUnderKey:
+    def test_fires_and_certifies_under_key(self):
+        before = _fired("distinct_elim_under_key")
+        result = optimize(ast.Distinct(R), STATS, hypotheses=KEY_R)
+        assert result.best_plan == R
+        assert result.certified is True
+        assert _fired("distinct_elim_under_key") > before
+
+    def test_does_not_fire_without_key(self):
+        result = optimize(ast.Distinct(R), STATS)
+        assert result.best_plan == ast.Distinct(R)
+        assert result.certified is True
+
+    def test_does_not_fire_for_unkeyed_table(self):
+        result = optimize(ast.Distinct(S), STATS, hypotheses=KEY_R)
+        assert result.best_plan == ast.Distinct(S)
+
+    def test_fires_structurally_without_hypotheses(self):
+        # DISTINCT over a product of DISTINCTs is set-valued on shape
+        # alone — no hypotheses needed
+        q = ast.Product(ast.Distinct(R), ast.Distinct(S))
+        result = optimize(ast.Distinct(q), STATS)
+        assert result.best_plan == q
+        assert result.certified is True
+
+
+class TestWhereTautElim:
+    def test_reflexive_equality_is_dropped(self):
+        before = _fired("where_taut_elim")
+        q = ast.Where(S, ast.PredEq(A, A))
+        result = optimize(q, STATS)
+        assert result.best_plan == S
+        assert result.certified is True
+        assert _fired("where_taut_elim") > before
+
+    def test_unknown_predicate_is_kept(self):
+        q = ast.Where(S, ast.PredVar("p", PCTX))
+        result = optimize(q, STATS)
+        assert result.best_plan == q
+
+
+class TestWhereContraToEmpty:
+    def test_contradiction_collapses_to_canonical_empty(self):
+        before = _fired("where_contra_to_empty")
+        contra = ast.PredAnd(ast.PredEq(A, ast.Const(0, INT)),
+                             ast.PredEq(A, ast.Const(1, INT)))
+        result = optimize(ast.Where(S, contra), STATS)
+        assert result.best_plan == ast.Where(S, ast.PredFalse())
+        assert result.certified is True
+        assert _fired("where_contra_to_empty") > before
+
+
+class TestExceptEmptyElim:
+    def test_subtracting_statically_empty_is_identity(self):
+        before = _fired("except_empty_elim")
+        q = ast.Except(S, ast.Where(R, ast.PredFalse()))
+        result = optimize(q, STATS)
+        assert result.best_plan == S
+        assert result.certified is True
+        assert _fired("except_empty_elim") > before
+
+    def test_nonempty_right_is_kept(self):
+        q = ast.Except(S, R)
+        result = optimize(q, STATS)
+        assert result.best_plan == q
+
+
+class TestEClassAnalysis:
+    def test_members_refine_each_other(self):
+        # union DISTINCT R with R: the class inherits set-valuedness
+        # from its DISTINCT member
+        eg = EGraph()
+        d = eg.add_term(ast.Distinct(R))
+        r = eg.add_term(R)
+        eg.union(d, r, None)
+        eg.rebuild()
+        ana = EClassAnalysis(eg)
+        assert ana.props(eg.find(r)).set_valued
+
+    def test_context_keys_reach_tables(self):
+        eg = EGraph()
+        r = eg.add_term(R)
+        eg.rebuild()
+        ctx = AnalysisContext.from_hypotheses(KEY_R)
+        assert EClassAnalysis(eg, ctx).props(r).set_valued
+        assert not EClassAnalysis(eg).props(r).set_valued
+
+    def test_cyclic_classes_are_safe(self):
+        eg = EGraph()
+        q = ast.Where(R, ast.PredTrue())
+        w = eg.add_term(q)
+        r = eg.add_term(R)
+        eg.union(w, r, None)  # Where(R, b) ~ R: the class contains itself
+        eg.rebuild()
+        props = EClassAnalysis(eg).props(eg.find(r))
+        assert props is not None  # terminates
+
+    def test_guarded_rules_are_registered(self):
+        names = {rule.name for rule in guarded_rules()}
+        assert names == {"distinct_elim_under_key", "where_taut_elim",
+                         "where_contra_to_empty", "except_empty_elim"}

@@ -1,0 +1,93 @@
+"""The property lattice: satisfiability, intervals, plan properties."""
+
+import pytest
+
+from repro.analysis.properties import (
+    Interval,
+    PlanProperties,
+    Sat,
+    TOP,
+    UNBOUNDED,
+)
+
+
+class TestSat:
+    def test_negate(self):
+        assert Sat.ALWAYS.negate() is Sat.NEVER
+        assert Sat.NEVER.negate() is Sat.ALWAYS
+        assert Sat.UNKNOWN.negate() is Sat.UNKNOWN
+
+    def test_and(self):
+        assert Sat.ALWAYS.and_(Sat.ALWAYS) is Sat.ALWAYS
+        assert Sat.ALWAYS.and_(Sat.UNKNOWN) is Sat.UNKNOWN
+        assert Sat.NEVER.and_(Sat.UNKNOWN) is Sat.NEVER
+        assert Sat.UNKNOWN.and_(Sat.NEVER) is Sat.NEVER
+
+    def test_or(self):
+        assert Sat.NEVER.or_(Sat.NEVER) is Sat.NEVER
+        assert Sat.ALWAYS.or_(Sat.UNKNOWN) is Sat.ALWAYS
+        assert Sat.UNKNOWN.or_(Sat.UNKNOWN) is Sat.UNKNOWN
+
+
+class TestInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interval(-1, 2)
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_zero_and_containment(self):
+        assert Interval(0, 0).is_zero
+        assert not Interval(0, 1).is_zero
+        assert Interval(1, 3).contains(2)
+        assert not Interval(1, 3).contains(0)
+        assert UNBOUNDED.contains(10 ** 9)
+
+    def test_arithmetic(self):
+        assert Interval(1, 2).plus(Interval(3, 4)) == Interval(4, 6)
+        assert Interval(1, 2).times(Interval(3, 4)) == Interval(3, 8)
+        assert Interval(1, 2).plus(UNBOUNDED) == Interval(1, None)
+        assert Interval(0, 3).times(Interval(0, None)) == Interval(0, None)
+        # zero annihilates even the unbounded factor
+        assert Interval(0, 0).times(UNBOUNDED) == Interval(0, 0)
+
+    def test_clamp_and_truncate(self):
+        assert Interval(2, 5).clamp_lo() == Interval(0, 5)
+        # DISTINCT: at least one row survives a nonempty bag; the row
+        # count stays bounded by the total multiplicity
+        assert Interval(2, 5).truncate() == Interval(1, 5)
+        assert Interval(0, 5).truncate() == Interval(0, 5)
+        assert Interval(0, 0).truncate() == Interval(0, 0)
+
+    def test_meet(self):
+        assert Interval(0, 5).meet(Interval(2, None)) == Interval(2, 5)
+        # disjoint bounds are contradictory: meet signals it with None
+        assert Interval(0, 1).meet(Interval(3, 4)) is None
+
+
+class TestPlanProperties:
+    def test_empty_implies_set_and_zero_card(self):
+        p = PlanProperties(empty=True)
+        assert p.set_valued
+        assert p.card == Interval(0, 0)
+
+    def test_zero_card_implies_empty(self):
+        p = PlanProperties(card=Interval(0, 0))
+        assert p.empty
+
+    def test_keys_imply_set(self):
+        p = PlanProperties(keys=frozenset({("L",)}))
+        assert p.set_valued
+
+    def test_refine_accumulates(self):
+        a = PlanProperties(set_valued=True, card=Interval(0, 10))
+        b = PlanProperties(keys=frozenset({("L",)}), card=Interval(2, None))
+        c = a.refine(b)
+        assert c.set_valued
+        assert ("L",) in c.keys
+        assert c.card == Interval(2, 10)
+
+    def test_top_is_neutral(self):
+        p = PlanProperties(set_valued=True, card=Interval(1, 4))
+        assert TOP.refine(p) == p
+        assert p.refine(TOP) == p

@@ -1,0 +1,84 @@
+"""The rule-soundness linter: full recall on buggy, zero noise on sound.
+
+These are the acceptance gates of the static-analysis tier: every
+deliberately unsound rule in :mod:`repro.rules.buggy` must be flagged
+with exactly its annotated diagnostic code, and the two sound corpora
+must draw *no* error diagnostics — the warning set is pinned so a new
+warning is a conscious decision, not drift.
+"""
+
+from repro.analysis.rulecheck import (
+    ExpectedDefect,
+    Severity,
+    lint_rule,
+    lint_rules,
+)
+from repro.rules import all_buggy_rules, all_extended_rules, all_rules
+
+
+class TestBuggyCorpus:
+    def test_every_buggy_rule_is_annotated(self):
+        for rule in all_buggy_rules():
+            assert isinstance(rule.expected_defect, ExpectedDefect), \
+                f"{rule.name} lacks an expected_defect annotation"
+            assert rule.expected_defect.code.startswith("RS")
+            assert rule.expected_defect.reason
+
+    def test_every_buggy_rule_is_flagged_with_its_code(self):
+        """100% recall: the linter reproduces each annotated defect."""
+        for rule in all_buggy_rules():
+            codes = {d.code for d in lint_rule(rule)
+                     if d.severity is Severity.ERROR}
+            assert rule.expected_defect.code in codes, \
+                (f"{rule.name}: expected {rule.expected_defect.code}, "
+                 f"linter reported {sorted(codes)}")
+
+    def test_countermodels_are_described(self):
+        """Profile-mismatch errors carry a concrete one-point world."""
+        report = lint_rules(list(all_buggy_rules()))
+        for diag in report.errors:
+            if diag.code in ("RS110", "RS111", "RS112", "RS120"):
+                assert "disagree" in diag.message
+                assert "[" in diag.message  # the world description
+
+
+class TestSoundCorpora:
+    def test_basic_corpus_has_no_errors(self):
+        report = lint_rules(list(all_rules()))
+        assert report.errors == [], \
+            [str(d) for d in report.errors]
+
+    def test_extended_corpus_is_clean(self):
+        report = lint_rules(list(all_extended_rules()))
+        assert report.errors == []
+        assert report.warnings == []
+
+    def test_basic_corpus_warnings_are_pinned(self):
+        """The exact warning set on the sound basic corpus.
+
+        ``index_key_lookup`` introduces the attribute ``a`` on its RHS
+        with only a key hypothesis in scope — a genuine (non-error)
+        sufficiency observation.  Anything beyond this one is new noise
+        and must be triaged, not accumulated.
+        """
+        report = lint_rules(list(all_rules()))
+        pinned = {("RS101", "index_key_lookup")}
+        assert {(d.code, d.rule) for d in report.warnings} == pinned
+
+
+class TestReport:
+    def test_report_shape(self):
+        rules = list(all_buggy_rules())
+        report = lint_rules(rules)
+        assert report.rules_checked == len(rules)
+        d = report.to_dict()
+        assert d["rules_checked"] == len(rules)
+        assert d["errors"] == len(report.errors)
+        assert all({"code", "severity", "rule", "message"} <= set(e)
+                   for e in d["diagnostics"])
+
+    def test_codes_are_stable_strings(self):
+        report = lint_rules(list(all_buggy_rules()) + list(all_rules()))
+        for diag in report.diagnostics:
+            assert diag.code.startswith("RS")
+            assert diag.code[2:].isdigit()

@@ -1,6 +1,5 @@
 """Denotational semantics: Figure 7, context threading (Figure 6)."""
 
-import pytest
 
 from repro.core import ast
 from repro.core.denote import (
@@ -14,7 +13,6 @@ from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
 from repro.core.uninomial import (
     TApp,
     TPair,
-    TVar,
     UAdd,
     UEq,
     UMul,

@@ -4,9 +4,9 @@ import pytest
 
 from repro.core import ast
 from repro.core.equivalence import (
+    FDConstraint,
     Hypotheses,
     KeyConstraint,
-    FDConstraint,
     NO_HYPOTHESES,
     check_query_equivalence,
     check_uterm_equivalence,

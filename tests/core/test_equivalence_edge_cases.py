@@ -1,6 +1,5 @@
 """Equivalence-engine edge cases complementing the main suites."""
 
-import pytest
 
 from repro.core import ast
 from repro.core.equivalence import (
@@ -11,10 +10,9 @@ from repro.core.equivalence import (
     queries_equivalent,
     uterms_equivalent,
 )
-from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.schema import INT, Leaf, Node, SVar
 from repro.core.uninomial import (
     TApp,
-    TConst,
     TVar,
     UAdd,
     UEq,

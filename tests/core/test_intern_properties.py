@@ -48,7 +48,7 @@ from repro.core.normalize import (
     term_alpha_key,
     uterm_alpha_key,
 )
-from repro.core.schema import BOOL, EMPTY, INT, Leaf, Node, SVar, Schema
+from repro.core.schema import BOOL, INT, Leaf, Node, SVar, Schema
 from repro.core.uninomial import (
     TAgg,
     TApp,

@@ -1,0 +1,51 @@
+"""Keyed-squash elimination: ``DISTINCT R ≡ R`` under a key hypothesis.
+
+The absorption step added for the static-analysis tier: a squash whose
+body is a product of propositions and keyed relation atoms is the
+identity, because each factor is already ≤ 1 (paper Sec. 4.2: keys
+force set-valuedness).  This is the lemma that lets the verification
+pipeline certify the planner's ``distinct_elim_under_key`` extractions.
+"""
+
+from repro.core import ast
+from repro.core.equivalence import (
+    Hypotheses,
+    KeyConstraint,
+    NO_HYPOTHESES,
+    check_query_equivalence,
+)
+from repro.core.schema import INT, Leaf, Node
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+R = ast.Table("R", SCHEMA)
+S = ast.Table("S", SCHEMA)
+KEY_R = Hypotheses(keys=(KeyConstraint("R", "k", Leaf(INT)),))
+
+
+class TestKeyedSquash:
+    def test_distinct_of_keyed_table_is_identity(self):
+        assert check_query_equivalence(ast.Distinct(R), R,
+                                       hyps=KEY_R).equal
+
+    def test_not_equal_without_the_key(self):
+        assert not check_query_equivalence(ast.Distinct(R), R,
+                                           hyps=NO_HYPOTHESES).equal
+
+    def test_key_on_other_table_does_not_leak(self):
+        assert not check_query_equivalence(ast.Distinct(S), S,
+                                           hyps=KEY_R).equal
+
+    def test_distinct_of_filtered_keyed_table(self):
+        # the squashed body mixes a keyed atom with a predicate factor;
+        # both are ≤ 1, so the squash still splices
+        q = ast.Where(R, ast.PredTrue())
+        assert check_query_equivalence(ast.Distinct(q), q,
+                                       hyps=KEY_R).equal
+
+    def test_product_of_keyed_tables(self):
+        hyps = Hypotheses(keys=(KeyConstraint("R", "k", Leaf(INT)),
+                                KeyConstraint("S", "j", Leaf(INT)),))
+        q = ast.Product(R, S)
+        assert check_query_equivalence(ast.Distinct(q), q, hyps=hyps).equal
+        assert not check_query_equivalence(ast.Distinct(q), q,
+                                           hyps=KEY_R).equal

@@ -32,7 +32,6 @@ from repro.core.uninomial import (
     USum,
     ZERO,
     fresh_var,
-    ueq,
 )
 
 SR = SVar("sR")

@@ -5,9 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.core.schema import (
     BOOL,
-    DEFAULT_DOMAINS,
     EMPTY,
-    Empty,
     INT,
     Leaf,
     Node,

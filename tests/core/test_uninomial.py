@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.schema import EMPTY, INT, Leaf, Node, SVar
+from repro.core.schema import EMPTY, INT, Leaf, Node
 from repro.core.uninomial import (
     ONE,
     TAgg,
@@ -19,9 +19,7 @@ from repro.core.uninomial import (
     UNeg,
     UPred,
     URel,
-    USquash,
     USum,
-    UZero,
     ZERO,
     fresh_var,
     is_prop,

@@ -1,16 +1,12 @@
 """The executable Figure 7 semantics, across semirings."""
 
-import pytest
 from fractions import Fraction
+
+import pytest
 
 from repro.core import ast
 from repro.core.schema import EMPTY, INT, Leaf, Node
-from repro.engine import (
-    Database,
-    EvaluationError,
-    Interpretation,
-    run_query,
-)
+from repro.engine import Database, EvaluationError, Interpretation, run_query
 from repro.semiring import BOOL, KRelation, NAT, NAT_INF, PROVENANCE
 from repro.semiring.provenance import Polynomial
 

@@ -14,8 +14,8 @@ from repro.engine import (
     run_query,
     sets_equal,
 )
-from repro.engine.random_instances import random_relation
 from repro.engine.database import Interpretation
+from repro.engine.random_instances import random_relation
 from repro.semiring import NAT
 
 SCHEMA = Node(Leaf(INT), Leaf(INT))

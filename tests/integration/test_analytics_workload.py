@@ -16,10 +16,10 @@ import pytest
 
 from repro.core.equivalence import queries_equivalent
 from repro.core.schema import INT, STRING
-from repro.engine import Database, bags_equal, eval_query_list, run_query
+from repro.engine import Database, eval_query_list, run_query
 from repro.optimizer import TableStats, optimize
-from repro.sql import Catalog, compile_sql
 from repro.semiring import NAT
+from repro.sql import Catalog, compile_sql
 
 
 @pytest.fixture(scope="module")

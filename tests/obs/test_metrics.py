@@ -6,8 +6,8 @@ import threading
 import pytest
 
 from repro.obs.metrics import (
-    DEFAULT_LATENCY_BUCKETS,
     Counter,
+    DEFAULT_LATENCY_BUCKETS,
     Gauge,
     Histogram,
     MetricsRegistry,

@@ -1,10 +1,9 @@
 """The e-graph core: union-find, hashcons, congruence, provenance."""
 
-import pytest
 
 from repro.core import ast
 from repro.core.schema import INT, SVar
-from repro.optimizer.egraph import EGraph, ENode, Reason, query_children
+from repro.optimizer.egraph import EGraph, Reason, query_children
 
 
 def _table(name):

@@ -10,13 +10,12 @@ from repro.optimizer import (
     TableStats,
     estimate,
     optimize,
-    plan_cost,
     proj_steps,
     rewrites,
     steps_to_proj,
 )
-from repro.sql import Catalog, compile_sql
 from repro.semiring import NAT
+from repro.sql import Catalog, compile_sql
 
 
 @pytest.fixture
@@ -101,12 +100,26 @@ class TestCostModel:
         assert est.cardinality == 200.0
 
     def test_selection_reduces_cardinality(self):
+        from repro.core.schema import Leaf, Node, SVar
+        stats = TableStats({"R": 100.0})
+        R = ast.Table("R", SVar("s"))
+        # A statically-unknown equality gets the generic selectivity.
+        a = ast.ExprVar("a", Node(SVar("g"), Leaf(INT)), INT)
+        filtered = ast.Where(R, ast.PredEq(a, ast.Const(1, INT)))
+        assert estimate(filtered, stats).cardinality < 100.0
+
+    def test_tautology_does_not_reduce_cardinality(self):
+        # The static-analysis fast path: WHERE 1 = 1 keeps every row, so
+        # the estimate must not pretend the filter is selective.
         from repro.core.schema import SVar
         stats = TableStats({"R": 100.0})
         R = ast.Table("R", SVar("s"))
-        filtered = ast.Where(R, ast.PredEq(ast.Const(1, INT),
-                                           ast.Const(1, INT)))
-        assert estimate(filtered, stats).cardinality < 100.0
+        taut = ast.Where(R, ast.PredEq(ast.Const(1, INT),
+                                       ast.Const(1, INT)))
+        assert estimate(taut, stats).cardinality == 100.0
+        contra = ast.Where(R, ast.PredEq(ast.Const(1, INT),
+                                         ast.Const(2, INT)))
+        assert estimate(contra, stats).cardinality == 0.0
 
     def test_stats_from_database(self, setup):
         _, db = setup

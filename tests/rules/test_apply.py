@@ -6,13 +6,9 @@ from repro.core import ast
 from repro.core.schema import INT
 from repro.engine import Database, run_query
 from repro.rules import get_rule
-from repro.rules.apply import (
-    Bindings,
-    apply_rule_at_root,
-    apply_rule_everywhere,
-)
-from repro.sql import Catalog, compile_sql
+from repro.rules.apply import apply_rule_at_root, apply_rule_everywhere
 from repro.semiring import NAT
+from repro.sql import Catalog, compile_sql
 
 
 @pytest.fixture

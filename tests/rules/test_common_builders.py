@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import ast
 from repro.core.schema import EMPTY, INT, Leaf, Node, SVar

@@ -4,10 +4,10 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.semiring.cardinal import (
+    Cardinal,
     OMEGA,
     ONE,
     ZERO,
-    Cardinal,
     cardinal_product,
     cardinal_sum,
 )

@@ -12,8 +12,8 @@ exercise the consequences executably:
 
 from repro.core import ast
 from repro.core.schema import INT, Leaf, Node
-from repro.engine import Database, Interpretation, run_query
-from repro.semiring import KRelation, NAT, NAT_INF, OMEGA, Cardinal
+from repro.engine import Interpretation, run_query
+from repro.semiring import Cardinal, KRelation, NAT_INF, OMEGA
 
 
 _SCHEMA = Leaf(INT)

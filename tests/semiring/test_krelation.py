@@ -3,10 +3,10 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.semiring.cardinal import Cardinal, OMEGA
 from repro.semiring.krelation import KRelation
 from repro.semiring.provenance import PROVENANCE, Polynomial
 from repro.semiring.semirings import BOOL, NAT, NAT_INF
-from repro.semiring.cardinal import OMEGA, Cardinal
 
 
 def nat_rel(data):

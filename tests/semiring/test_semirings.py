@@ -1,10 +1,11 @@
 """Semiring implementations: laws, truncation, embeddings."""
 
-import pytest
 from fractions import Fraction
+
+import pytest
 from hypothesis import given, strategies as st
 
-from repro.semiring.cardinal import OMEGA, Cardinal
+from repro.semiring.cardinal import Cardinal, OMEGA
 from repro.semiring.provenance import PROVENANCE, Polynomial
 from repro.semiring.semirings import (
     BOOL,

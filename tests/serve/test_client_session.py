@@ -2,11 +2,11 @@
 
 import pytest
 
+from repro.core.equivalence import Hypotheses, KeyConstraint
+from repro.core.schema import INT
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.server import ReproServer
 from repro.session import Session, SessionError
-from repro.core.equivalence import Hypotheses, KeyConstraint
-from repro.core.schema import INT
 from repro.solver import Status
 
 TABLES = ["R(a:int,b:int)"]

@@ -14,7 +14,7 @@ import time
 import pytest
 
 from repro.serve.client import ServeClient, ServeClientError
-from repro.serve.protocol import parse_address, ProtocolError
+from repro.serve.protocol import ProtocolError, parse_address
 from repro.serve.server import ReproServer
 
 TABLES = ["R(a:int,b:int)"]

@@ -6,8 +6,6 @@ import pytest
 
 import repro
 from repro import Catalog, INT, compile_sql
-from repro.core import ast
-from repro.core.schema import Leaf
 
 
 def _table():

@@ -4,11 +4,11 @@ import pytest
 
 from repro import ReproError, Session
 from repro.cli import CLIError
-from repro.errors import SchemaMismatchError
 from repro.core.conjunctive import NotConjunctive
 from repro.core.equivalence import StepBudgetExceeded
 from repro.core.interp import InterpretationError
 from repro.core.typecheck import TypecheckError
+from repro.errors import SchemaMismatchError
 from repro.session import SessionError, TableSpecError
 from repro.sql.decompile import PlanRenderingError
 from repro.sql.lexer import LexError

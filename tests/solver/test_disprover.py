@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import ast
 from repro.core.schema import INT, Leaf, Node
 from repro.rules import all_buggy_rules, all_rules, get_rule
 from repro.semiring import NAT

@@ -1,0 +1,83 @@
+"""Static-analysis pruning of the bounded-exhaustive search.
+
+Two lossless prunes (see ``disprove(..., analyze=True)``): queries
+statically empty on both sides short-circuit to an exhausted result,
+and support-determined pairs clamp enumeration to multiplicity 1.  The
+tests check both the savings and the losslessness — same verdict as the
+unpruned search on counterexample-bearing and equivalent pairs alike.
+"""
+
+from repro.core import ast
+from repro.core.schema import INT, Leaf, Node
+from repro.obs.metrics import counter
+from repro.solver import disprove
+
+SCHEMA = Node(Leaf(INT), Leaf(INT))
+R = ast.Table("R", SCHEMA)
+S = ast.Table("S", SCHEMA)
+T = ast.Table("T", SCHEMA)
+FALSE = ast.PredFalse()
+
+
+class TestStaticEqualShortCircuit:
+    def test_both_statically_empty_skips_enumeration(self):
+        before = counter("analysis.disprover.static_equal").value
+        q1 = ast.Where(R, FALSE)
+        q2 = ast.Product(ast.Where(R, FALSE), S)
+        result = disprove(q1, q2)
+        assert result.exhausted
+        assert not result.found
+        assert result.instances_checked == 0
+        assert counter("analysis.disprover.static_equal").value > before
+
+    def test_disabled_analysis_still_enumerates(self):
+        q1 = ast.Where(R, FALSE)
+        q2 = ast.Where(ast.Where(R, FALSE), FALSE)
+        result = disprove(q1, q2, analyze=False)
+        assert result.exhausted
+        assert not result.found
+        assert result.instances_checked > 0
+
+
+class TestMultiplicityClamp:
+    def test_clamp_shrinks_the_search_space(self):
+        before = counter("analysis.disprover.mult_clamped").value
+        q1 = ast.Distinct(ast.Product(R, T))
+        q2 = ast.Distinct(ast.UnionAll(ast.Product(R, T),
+                                       ast.Product(R, T)))
+        pruned = disprove(q1, q2)
+        full = disprove(q1, q2, analyze=False)
+        assert pruned.exhausted and full.exhausted
+        assert not pruned.found and not full.found
+        assert pruned.instances_checked < full.instances_checked
+        assert pruned.bound.max_multiplicity == 1
+        assert full.bound.max_multiplicity == 2
+        assert counter("analysis.disprover.mult_clamped").value > before
+
+    def test_clamp_preserves_counterexamples(self):
+        # the sides differ already at the support level, so the clamped
+        # search must still find the witness
+        q1 = ast.Distinct(R)
+        q2 = ast.Distinct(ast.Where(R, FALSE))
+        result = disprove(q1, q2)
+        assert result.found
+        assert result.bound.max_multiplicity == 1
+
+    def test_bag_queries_are_never_clamped(self):
+        # UNION ALL duplicates are invisible at multiplicity 1: the
+        # clamp must not apply to non-DISTINCT-rooted queries
+        result = disprove(ast.UnionAll(R, R), R)
+        assert result.found
+        assert result.bound.max_multiplicity == 2
+        cx = result.counterexample
+        assert cx.lhs_result != cx.rhs_result
+
+    def test_aggregates_are_never_clamped(self):
+        # COUNT sees multiplicities through DISTINCT, so the clamp
+        # must not apply when an aggregate appears anywhere
+        u = ast.Table("U", Leaf(INT))
+        count = ast.Select(ast.E2P(ast.Agg("COUNT", u, INT), INT), u)
+        q = ast.Distinct(count)
+        result = disprove(q, q)
+        assert result.exhausted
+        assert result.bound.max_multiplicity == 2

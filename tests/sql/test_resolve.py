@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.core import ast
 from repro.core.equivalence import queries_equivalent
 from repro.core.schema import INT, Leaf, Node, STRING
 from repro.core.typecheck import well_formed_query
 from repro.engine import Database, run_query
+from repro.semiring import NAT
 from repro.sql import Catalog, ResolutionError, compile_sql
 from repro.sql.resolve import column_steps, columns_to_schema
-from repro.semiring import NAT
 
 
 @pytest.fixture

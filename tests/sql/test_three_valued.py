@@ -1,6 +1,5 @@
 """NULLs and 3VL (paper Sec. 7): Kleene logic, and excluded middle fails."""
 
-import pytest
 
 from repro.core import ast
 from repro.core.schema import INT, Leaf, NULL, Node

@@ -241,3 +241,55 @@ class TestExplainCommand:
         ])
         assert code == 0
         assert "Aggregate SUM" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    def test_all_corpora_satisfy_the_contract(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "corpus basic:" in out
+        assert "corpus buggy:" in out
+        assert "lint contract holds" in out
+
+    def test_buggy_corpus_reports_every_annotated_defect(self, capsys):
+        assert main(["lint", "--corpus", "buggy"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RS110", "RS111", "RS112"):
+            assert code in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == []
+        assert payload["corpora"]["extended"]["errors"] == 0
+        assert payload["corpora"]["buggy"]["errors"] == 5
+
+
+class TestAnalyzeCommand:
+    def test_reports_set_valuedness(self, capsys):
+        code = main(["analyze", "--table", "R(a:int,b:int)",
+                     "SELECT DISTINCT a FROM R"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "set-valued (duplicate-free): True" in out
+
+    def test_detects_static_emptiness(self, capsys):
+        code = main(["analyze", "--table", "R(a:int,b:int)", "--json",
+                     "SELECT * FROM R WHERE a = 0 AND a = 1"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["empty"] is True
+        assert payload["card"] == [0, 0]
+
+    def test_key_flag_seeds_the_context(self, capsys):
+        code = main(["analyze", "--table", "R(a:int,b:int)",
+                     "--key", "R", "--json", "SELECT * FROM R"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["set_valued"] is True
+        assert payload["keyed_tables"] == ["R"]
+
+    def test_uncompilable_sql_is_cli_error(self, capsys):
+        code = main(["analyze", "--table", "R(a:int)", "SELECT FROM"])
+        assert code == 2
+        assert "cannot compile" in capsys.readouterr().err

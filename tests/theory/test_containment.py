@@ -11,7 +11,6 @@ from repro.theory import (
     UCQ,
     Undecidable,
     chain_query,
-    clique_query,
     cq_bag_contained,
     cq_bag_equivalent,
     cq_set_contained,

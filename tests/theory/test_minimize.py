@@ -14,7 +14,6 @@ from repro.theory import (
     star_query,
 )
 from repro.theory.minimize import (
-    canonical_instance,
     contained_via_canonical,
     evaluate_cq,
     is_minimal,
