@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Compiled, sharded bounded-disprover benchmarks.
+
+Measures the PR 10 disprover against the PR 9 baseline on one grid of
+bounded-exhaustive searches, under **both** term-kernel backends:
+
+* **interpreter** — ``use_compiled=False``: the tree-walking Figure-7
+  evaluator with the PR 9 analysis prunes on.  This is exactly the
+  search the previous PR shipped.
+* **compiled** — ``use_compiled=True, workers=1``: the flat-program
+  evaluator over cached struct-of-arrays instance batches.
+* **parallel** — ``use_compiled=True, workers=4``: the compiled search
+  sharded across a process pool (witness must be bit-identical to the
+  serial rows; pool startup amortizes only on large grids, so its wall
+  is recorded but not gated).
+
+The grid mixes witness-producing pairs (DISTINCT vs not over a join —
+the counterexample needs duplicate join output, deep in the
+enumeration order) with equivalent pairs (the search must exhaust the
+entire instance space).  All three configurations must agree exactly on
+(found, witness index, instances checked, exhausted) for every pair —
+the differential guarantee — and the compiled row must beat the
+interpreter row by :data:`DISPROVER_SPEEDUP_TARGET` in full mode.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_disprover.py [--smoke] [--json]
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.intern import set_kernel_backend
+from repro.core.schema import INT
+from repro.solver import Bound, disprove
+from repro.sql import Catalog, compile_sql
+
+#: Minimum wall-clock speedup of the compiled serial search over the
+#: PR 9 interpreter baseline, enforced per kernel backend in full mode.
+#: (The PR's own acceptance target is 10x; 5x is the regression gate.)
+DISPROVER_SPEEDUP_TARGET = 5.0
+
+
+def _catalog():
+    cat = Catalog()
+    cat.add_table("R", [("a", INT), ("b", INT)])
+    cat.add_table("S", [("a", INT), ("b", INT)])
+    return cat
+
+
+def _corpus(smoke):
+    """(sql1, sql2, bound) grid rows: witness hunts + full exhaustions."""
+    bound = Bound.of(2, 2) if smoke else Bound.of(4, 2)
+    join = "SELECT r.a FROM R r, S s WHERE r.a = s.a"
+    pairs = [
+        # DISTINCT-sensitivity: the witness needs duplicated join output.
+        (join, "SELECT DISTINCT r.a FROM R r, S s WHERE r.a = s.a", bound),
+        # Equivalent alpha-variants: exhausts the whole two-table space.
+        ("SELECT r.a, s.b FROM R r, S s WHERE r.a = s.b",
+         "SELECT x.a, y.b FROM R x, S y WHERE x.a = y.b", bound),
+    ]
+    if not smoke:
+        pairs.append(
+            # Projection swap: disagrees only on asymmetric instances.
+            ("SELECT r.a FROM R r, S s WHERE r.b = s.b",
+             "SELECT r.b FROM R r, S s WHERE r.a = s.a", bound))
+    return pairs
+
+
+def _run_grid(pairs, catalog, **knobs):
+    compiled_pairs = [(compile_sql(a, catalog).query,
+                       compile_sql(b, catalog).query, bound)
+                      for a, b, bound in pairs]
+    started = time.perf_counter()
+    rows = []
+    instances = 0
+    for q1, q2, bound in compiled_pairs:
+        result = disprove(q1, q2, bound=bound, **knobs)
+        instances += result.instances_checked
+        rows.append({
+            "found": result.found,
+            "witness": (result.counterexample.trial
+                        if result.found else None),
+            "instances_checked": result.instances_checked,
+            "exhausted": result.exhausted,
+        })
+    return {
+        "wall_seconds": time.perf_counter() - started,
+        "instances": instances,
+        "rows": rows,
+    }
+
+
+def _run_backend(smoke, catalog):
+    pairs = _corpus(smoke)
+    interp = _run_grid(pairs, catalog, use_compiled=False)
+    compiled = _run_grid(pairs, catalog, use_compiled=True)
+    parallel = _run_grid(pairs, catalog, use_compiled=True, workers=4)
+    mismatches = sum(1 for a, b, c in zip(interp["rows"], compiled["rows"],
+                                          parallel["rows"])
+                     if not (a == b == c))
+    return {
+        "pairs": len(pairs),
+        "interp_seconds": interp["wall_seconds"],
+        "compiled_seconds": compiled["wall_seconds"],
+        "parallel_seconds": parallel["wall_seconds"],
+        "instances": interp["instances"],
+        "compiled_speedup": (interp["wall_seconds"]
+                             / compiled["wall_seconds"]
+                             if compiled["wall_seconds"] else float("inf")),
+        "parallel_speedup": (interp["wall_seconds"]
+                             / parallel["wall_seconds"]
+                             if parallel["wall_seconds"] else float("inf")),
+        "verdict_mismatches": mismatches,
+        "rows": interp["rows"],
+    }
+
+
+def run(smoke=False):
+    started = time.perf_counter()
+    catalog = _catalog()
+    backends = {}
+    for backend in ("arena", "object"):
+        previous = set_kernel_backend(backend)
+        try:
+            backends[backend] = _run_backend(smoke, catalog)
+        finally:
+            set_kernel_backend(previous)
+    return {
+        "wall_seconds": time.perf_counter() - started,
+        "backends": backends,
+    }
+
+
+def check(result, smoke):
+    """Gate failures (list of messages); speedups ungated in smoke mode."""
+    failures = []
+    for backend, row in result["backends"].items():
+        if row["verdict_mismatches"]:
+            failures.append(
+                f"disprover[{backend}]: {row['verdict_mismatches']} "
+                f"pair(s) where interpreter / compiled / parallel "
+                f"disagree on the verdict or witness")
+        if not smoke and row["compiled_speedup"] < DISPROVER_SPEEDUP_TARGET:
+            failures.append(
+                f"disprover[{backend}]: compiled speedup "
+                f"{row['compiled_speedup']:.2f}x below the "
+                f"{DISPROVER_SPEEDUP_TARGET:.1f}x target")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small bound, no speedup gating")
+    parser.add_argument("--json", action="store_true",
+                        help="print the result payload as JSON")
+    args = parser.parse_args(argv)
+    result = run(smoke=args.smoke)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        for backend, row in result["backends"].items():
+            print(f"{backend}: {row['instances']} instances / "
+                  f"{row['pairs']} pairs — interp "
+                  f"{row['interp_seconds'] * 1e3:.0f} ms, compiled "
+                  f"{row['compiled_seconds'] * 1e3:.0f} ms "
+                  f"({row['compiled_speedup']:.1f}x), parallel(4) "
+                  f"{row['parallel_seconds'] * 1e3:.0f} ms "
+                  f"({row['parallel_speedup']:.1f}x), "
+                  f"{row['verdict_mismatches']} mismatch(es)")
+    failures = check(result, args.smoke)
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every benchmark and write machine-readable results (BENCH_pr9.json).
+"""Run every benchmark and write machine-readable results (BENCH_pr10.json).
 
 Two layers:
 
@@ -57,7 +57,7 @@ import time
 
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr9.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr10.json"
 
 sys.path.insert(0, str(BENCH_DIR))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -357,6 +357,30 @@ def check_analysis(result, smoke):
     return bench_analysis.check(result, smoke)
 
 
+# ---------------------------------------------------------------------------
+# Tracked workload H: compiled, sharded bounded disprover
+# ---------------------------------------------------------------------------
+
+def run_disprover(smoke):
+    import bench_disprover
+
+    return bench_disprover.run(smoke=smoke)
+
+
+def check_disprover(result, smoke):
+    import bench_disprover
+
+    for backend, row in result["backends"].items():
+        print(f"  {'disprover[' + backend + ']':<22} "
+              f"{row['interp_seconds'] * 1e3:9.1f} ms interp   "
+              f"compiled {row['compiled_seconds'] * 1e3:.1f} ms "
+              f"({row['compiled_speedup']:.1f}x), parallel(4) "
+              f"{row['parallel_seconds'] * 1e3:.1f} ms "
+              f"({row['parallel_speedup']:.1f}x), "
+              f"{row['verdict_mismatches']} mismatch(es)")
+    return bench_disprover.check(result, smoke)
+
+
 def check_kernel_micro(result, smoke):
     import bench_kernel
 
@@ -378,6 +402,7 @@ def check_kernel_micro(result, smoke):
 #: Benches that are standalone scripts (everything else runs via pytest).
 SCRIPT_BENCHES = {
     "bench_analysis.py": ["--smoke"],
+    "bench_disprover.py": ["--smoke"],
     "bench_session_all_pairs.py": ["--smoke"],
     "bench_parse_resolve.py": ["--smoke"],
     "bench_serve.py": ["--smoke"],
@@ -446,6 +471,7 @@ def main(argv=None):
         "serve": with_metrics(run_serve, args.smoke),
         "kernel_micro": with_metrics(run_kernel_micro, args.smoke),
         "analysis": with_metrics(run_analysis, args.smoke),
+        "disprover": with_metrics(run_disprover, args.smoke),
     }
 
     failures = []
@@ -458,6 +484,7 @@ def main(argv=None):
     failures.extend(check_serve(tracked["serve"], args.smoke))
     failures.extend(check_kernel_micro(tracked["kernel_micro"], args.smoke))
     failures.extend(check_analysis(tracked["analysis"], args.smoke))
+    failures.extend(check_disprover(tracked["disprover"], args.smoke))
     for name, result in tracked.items():
         if name not in PRE_KERNEL_BASELINE and name not in PR7_BASELINE:
             continue

@@ -38,6 +38,7 @@ import socketserver
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.equivalence import NO_HYPOTHESES
@@ -340,12 +341,17 @@ class ReproServer:
 
     # -- in-flight dedup ------------------------------------------------------
 
-    def _checked(self, q1, q2, key: str) -> Tuple[Verdict, str]:
+    def _checked(self, q1, q2, key: str,
+                 config: Optional[PipelineConfig] = None
+                 ) -> Tuple[Verdict, str]:
         """Answer one compiled question, deduplicating in-flight work.
 
         Returns ``(verdict, role)`` where role is ``"leader"`` (this
         request ran the pipeline) or ``"follower"`` (it fanned in on a
-        concurrent identical question).
+        concurrent identical question).  ``config`` is a per-request
+        pipeline override; only verdict-neutral knobs (disprover
+        parallelism) may differ, so followers can safely fan in on a
+        leader that ran with different knobs.
         """
         with self._inflight_lock:
             entry = self._inflight.get(key)
@@ -368,7 +374,7 @@ class ReproServer:
                 _PIPELINE_RUNS.inc()
                 future = self._executor.submit(
                     self.pipeline.check, q1, q2, None, NO_HYPOTHESES,
-                    alias=key)
+                    alias=key, config=config)
                 entry.verdict = future.result()
             except BaseException as exc:
                 entry.error = exc
@@ -410,11 +416,39 @@ class ReproServer:
             "wall_seconds": wall,
         }
 
+    def _disprover_config(self, message: Dict[str, Any]
+                          ) -> Optional[PipelineConfig]:
+        """Per-request disprover knobs, or None for the server default."""
+        workers = message.get("disprover_workers")
+        batch = message.get("disprover_batch_size")
+        if workers is None and batch is None:
+            return None
+        if workers is not None and (not isinstance(workers, int)
+                                    or isinstance(workers, bool)
+                                    or workers < 1):
+            raise ProtocolError("bad-request",
+                                '"disprover_workers" must be a positive '
+                                'integer')
+        if batch is not None and (not isinstance(batch, int)
+                                  or isinstance(batch, bool) or batch < 1):
+            raise ProtocolError("bad-request",
+                                '"disprover_batch_size" must be a '
+                                'positive integer')
+        cfg = self.pipeline.config
+        return replace(
+            cfg,
+            disprover_workers=(workers if workers is not None
+                               else cfg.disprover_workers),
+            disprover_batch_size=(batch if batch is not None
+                                  else cfg.disprover_batch_size))
+
     def _op_check(self, message: Dict[str, Any]) -> Dict[str, Any]:
         sql1, sql2 = self._require_sql(message, "sql1", "sql2")
+        config = self._disprover_config(message)
         started = time.perf_counter()
         q1, q2, _ = self._compile_pair(message, sql1, sql2)
-        verdict, role = self._checked(q1, q2, syntactic_alias(q1, q2))
+        verdict, role = self._checked(q1, q2, syntactic_alias(q1, q2),
+                                      config=config)
         return self._check_result(verdict, role,
                                   time.perf_counter() - started)
 
@@ -424,6 +458,7 @@ class ReproServer:
             raise ProtocolError("bad-request",
                                 '"pairs" must be a non-empty list of '
                                 '[SQL1, SQL2] pairs')
+        config = self._disprover_config(message)
         results = []
         for i, pair in enumerate(pairs):
             if not (isinstance(pair, (list, tuple)) and len(pair) == 2
@@ -433,7 +468,8 @@ class ReproServer:
                                     f"list of strings")
             started = time.perf_counter()
             q1, q2, _ = self._compile_pair(message, pair[0], pair[1])
-            verdict, role = self._checked(q1, q2, syntactic_alias(q1, q2))
+            verdict, role = self._checked(q1, q2, syntactic_alias(q1, q2),
+                                          config=config)
             results.append(self._check_result(
                 verdict, role, time.perf_counter() - started))
         return {"results": results, "total": len(results)}

@@ -10,6 +10,24 @@ completes without one, the result is a quantified negative: *no
 counterexample exists up to the bound* — the small-model half of Cosette's
 prove-or-disprove loop.
 
+The search engine is built for compile-once/evaluate-many throughput:
+
+* the tuple space and the per-table instance descriptors (support index
+  combination + multiplicity vector) are computed once per
+  (schema, bound) and cached process-wide;
+* under ``NAT``/``BOOL`` both queries are compiled to closures
+  (:mod:`repro.engine.compile`) evaluated over plain count dicts — no
+  per-instance AST dispatch, no :class:`KRelation` allocation; exotic
+  semirings fall back to the tree-walking interpreter;
+* the instance space is a mixed-radix index over per-table descriptor
+  lists, so it shards by index ranges across a ``ProcessPoolExecutor``
+  (``disprove(..., workers=N)``) with a deterministic smallest-index
+  witness, early cancellation of shards past the first hit, and exact
+  ``instances_checked`` accounting folded from per-shard reports;
+* every witness — compiled or not, sharded or not — is re-evaluated
+  through the reference interpreter before being reported, so a
+  DISPROVED verdict never rests on the compiled evaluator alone.
+
 Two entry points:
 
 * :func:`disprove` — for closed queries over concrete table schemas
@@ -23,20 +41,25 @@ from __future__ import annotations
 
 import itertools
 import random
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from functools import lru_cache
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 from ..analysis.infer import (AnalysisContext, EMPTY_CONTEXT,
                               infer_properties, supports_determined)
 from ..core import ast
 from ..core.equivalence import Hypotheses
 from ..core.schema import Schema, enumerate_tuples, tuple_flatten, tuple_of
+from ..engine.compile import CompileError, compile_pair
 from ..engine.database import Interpretation
 from ..engine.eval import run_query
 from ..engine.random_instances import Counterexample
-from ..obs.metrics import counter
+from ..obs.metrics import counter, histogram
 from ..semiring.krelation import KRelation
-from ..semiring.semirings import NAT, Semiring
+from ..semiring.semirings import BOOL, NAT, NAT_INF, Semiring, TROPICAL
 from .verdict import BoundInfo, CounterexampleRecord
 
 #: Domains intentionally smaller than the random falsifier's defaults: the
@@ -48,6 +71,12 @@ SMALL_DOMAINS: Dict[str, Tuple[Any, ...]] = {
     "string": ("a", "b"),
     "float": (0.0, 1.0),
 }
+
+#: Semiring singletons by name — parallel shards ship the *name* and
+#: re-resolve it worker-side, because pickling a semiring instance would
+#: produce a copy that breaks the ``is``-identity checks in the engine.
+_SEMIRINGS_BY_NAME: Dict[str, Semiring] = {
+    s.name: s for s in (BOOL, NAT, NAT_INF, TROPICAL)}
 
 
 @dataclass(frozen=True)
@@ -270,6 +299,75 @@ def _all_projections(proj: ast.Projection) -> Iterator[ast.Projection]:
 # ---------------------------------------------------------------------------
 # Instance enumeration
 # ---------------------------------------------------------------------------
+#
+# The instance space of one table is described *symbolically* once per
+# (schema, bound): the tuple space becomes an indexable array, and each
+# instance becomes a descriptor — (support tuple-indices, multiplicity
+# vector) — in a fixed canonical order (support size ascending, index
+# combinations lexicographic, multiplicity assignments in product order).
+# Everything downstream (K-relation enumeration, count-dict batches for
+# the compiled evaluator, mixed-radix sharding, witness reconstruction)
+# indexes into these cached arrays instead of re-materializing them.
+
+@lru_cache(maxsize=256)
+def _tuple_space(schema: Schema,
+                 domains: Tuple[Tuple[str, Tuple[Any, ...]], ...]
+                 ) -> Tuple[Any, ...]:
+    """The enumerated tuple space of a schema, cached per (schema, domains)."""
+    return tuple(enumerate_tuples(schema, dict(domains)))
+
+
+@lru_cache(maxsize=128)
+def _instance_descriptors(
+        schema: Schema, bound: Bound
+) -> Tuple[Tuple[Tuple[int, ...], Tuple[int, ...]], ...]:
+    """Every instance of ``schema`` within ``bound`` as (support, mults).
+
+    Supports are index-combinations into :func:`_tuple_space`; each
+    support row independently takes each multiplicity in
+    ``1..max_multiplicity``.  The order is canonical and shared by every
+    consumer — position ``i`` here *is* instance ``i`` of the table.
+    """
+    n = len(_tuple_space(schema, bound.domains))
+    mults = tuple(range(1, bound.max_multiplicity + 1))
+    out: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    for size in range(0, bound.max_rows + 1):
+        for support in itertools.combinations(range(n), size):
+            for assignment in itertools.product(mults, repeat=size):
+                out.append((support, assignment))
+    return tuple(out)
+
+
+@lru_cache(maxsize=64)
+def _count_batches(schema: Schema, bound: Bound,
+                   nat: bool) -> Tuple[Dict[Any, Any], ...]:
+    """The table's instances as the count dicts the compiled closures eat.
+
+    ``nat=True`` → ``{row: multiplicity}``; ``nat=False`` (BOOL) →
+    ``{row: True}``.  One dict per descriptor, shared and cached — the
+    compiled evaluator never mutates its inputs, so the whole batch is
+    built once per (schema, bound, mode) for the life of the process.
+    """
+    tuples = _tuple_space(schema, bound.domains)
+    out: List[Dict[Any, Any]] = []
+    for support, mults in _instance_descriptors(schema, bound):
+        if nat:
+            out.append({tuples[t]: m for t, m in zip(support, mults)})
+        else:
+            out.append({tuples[t]: True for t in support})
+    return tuple(out)
+
+
+def _relation_from_descriptor(schema: Schema, bound: Bound,
+                              desc: Tuple[Tuple[int, ...], Tuple[int, ...]],
+                              semiring: Semiring) -> KRelation:
+    tuples = _tuple_space(schema, bound.domains)
+    support, mults = desc
+    rel = KRelation(semiring)
+    for t, m in zip(support, mults):
+        rel.add(tuples[t], semiring.from_int(m))
+    return rel
+
 
 def enumerate_relations(schema: Schema, bound: Bound,
                         semiring: Semiring = NAT) -> Iterator[KRelation]:
@@ -277,22 +375,17 @@ def enumerate_relations(schema: Schema, bound: Bound,
 
     Supports are subsets (no permutations) of the tuple space; every
     support row independently takes each multiplicity in
-    ``1..max_multiplicity``.
+    ``1..max_multiplicity``.  The tuple space and the descriptor list are
+    cached per (schema, bound), so multi-table products and repeated
+    searches no longer re-materialize them.
     """
-    tuples = list(enumerate_tuples(schema, bound.domain_dict()))
-    mults = range(1, bound.max_multiplicity + 1)
-    for size in range(0, bound.max_rows + 1):
-        for support in itertools.combinations(tuples, size):
-            for assignment in itertools.product(mults, repeat=size):
-                rel = KRelation(semiring)
-                for row, mult in zip(support, assignment):
-                    rel.add(row, semiring.from_int(mult))
-                yield rel
+    for desc in _instance_descriptors(schema, bound):
+        yield _relation_from_descriptor(schema, bound, desc, semiring)
 
 
 def count_relations(schema: Schema, bound: Bound) -> int:
     """Size of :func:`enumerate_relations`'s space (sanity/reporting)."""
-    n = len(list(enumerate_tuples(schema, bound.domain_dict())))
+    n = len(_tuple_space(schema, bound.domains))
     m = bound.max_multiplicity
     total = 0
     for size in range(0, bound.max_rows + 1):
@@ -320,7 +413,10 @@ def disprove(q1: ast.Query, q2: ast.Query,
              base_interp: Optional[Interpretation] = None,
              max_instances: Optional[int] = None,
              hyps: Optional[Hypotheses] = None,
-             analyze: bool = True) -> DisproofResult:
+             analyze: bool = True,
+             workers: int = 1,
+             batch_size: Optional[int] = None,
+             use_compiled: Optional[bool] = None) -> DisproofResult:
     """Exhaust all instances within ``bound`` looking for a disagreement.
 
     Args:
@@ -347,7 +443,23 @@ def disprove(q1: ast.Query, q2: ast.Query,
             aggregate-free) multiplicities above 1 cannot create a
             disagreement that multiplicity 1 misses.  Off switch exists
             for benchmarking the unpruned search.
+        workers: shard the search across this many processes.  Takes
+            effect only for searches with no ``base_interp`` (callables
+            do not pickle); the witness and ``instances_checked`` are
+            bit-identical to ``workers=1`` regardless of scheduling.
+        batch_size: instances per shard (default: sized so each worker
+            gets ~8 shards, clamped to [512, 100000]).
+        use_compiled: ``None`` (default) compiles under NAT/BOOL and
+            falls back to the interpreter elsewhere; ``False`` forces
+            the interpreter (the benchmark baseline); ``True`` demands
+            compilation and lets :class:`CompileError` propagate.
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    started = time.perf_counter()
+    counter("disprover.searches_total").inc()
     if tables is None:
         tables = dict(free_tables(q1))
         for name, schema in free_tables(q2).items():
@@ -382,31 +494,257 @@ def disprove(q1: ast.Query, q2: ast.Query,
             counter("analysis.disprover.mult_clamped").inc()
             bound = replace(bound, max_multiplicity=1)
     names = sorted(tables)
-    spaces = []
+
+    pair = None
+    if use_compiled is None or use_compiled:
+        try:
+            pair = compile_pair(q1, q2, tuple(names), base_interp, semiring)
+        except CompileError:
+            if use_compiled:
+                raise
+    counter("disprover.compiled_total" if pair is not None
+            else "disprover.interpreted_total").inc()
+
+    # Per-table evaluation spaces.  ``valid[i]`` maps a position in the
+    # searched space back to the canonical descriptor index (None = the
+    # identity, i.e. no constraint filtered anything).
+    spaces: List[Sequence[Any]] = []
+    valid: List[Optional[List[int]]] = []
     for name in names:
-        rels = list(enumerate_relations(tables[name], bound, semiring))
+        schema = tables[name]
         checkers = _constraint_checkers(name, hyps, base_interp, semiring)
         if checkers is None:
             return DisproofResult(None, None, bound, 0, exhausted=False)
+        if pair is not None:
+            space: Sequence[Any] = _count_batches(schema, bound,
+                                                  semiring is NAT)
+        else:
+            space = list(enumerate_relations(schema, bound, semiring))
         if checkers:
-            rels = [r for r in rels if all(check(r) for check in checkers)]
-        spaces.append(rels)
+            keep = [i for i, rel in enumerate(space)
+                    if all(check(rel) for check in checkers)]
+            space = [space[i] for i in keep]
+            valid.append(keep)
+        else:
+            valid.append(None)
+        spaces.append(space)
+
+    radices = [len(space) for space in spaces]
+    total = 1
+    for r in radices:
+        total *= r
+    search_n = total if max_instances is None else min(total, max_instances)
+
+    # Sharding requires a picklable worker spec: no base interpretation
+    # (metavariable bindings are callables) and no constraint filtering
+    # (checkers need the base interpretation anyway, so with
+    # ``base_interp is None`` nothing was filtered).
+    parallel = (workers > 1 and names and base_interp is None
+                and all(v is None for v in valid) and search_n > 1)
+    if parallel:
+        counter("disprover.parallel_total").inc()
+        spec = (q1, q2, tuple(names), tuple(tables[n] for n in names),
+                bound, semiring.name, pair is not None)
+        witness, checked = _search_parallel(spec, search_n, workers,
+                                            batch_size)
+        exhausted = witness is None and search_n == total
+    else:
+        if pair is not None:
+            evaluate: Callable[[Tuple[Any, ...]], bool] = pair.differs
+        else:
+            def evaluate(combo: Tuple[Any, ...]) -> bool:
+                interp = _with_relations(base_interp, names, combo, tables)
+                return (run_query(q1, interp, semiring)
+                        != run_query(q2, interp, semiring))
+        witness, checked, exhausted = _search_serial(evaluate, spaces,
+                                                     max_instances)
+
+    if witness is not None:
+        cx, record = _witness_at(q1, q2, names, tables, bound, semiring,
+                                 base_interp, valid, radices, witness)
+        result = DisproofResult(cx, record, bound, witness + 1,
+                                exhausted=False)
+        counter("disprover.witnesses_total").inc()
+    else:
+        result = DisproofResult(None, None, bound, checked, exhausted)
+    counter("disprover.instances_total").inc(result.instances_checked)
+    histogram("disprover.search.seconds").observe(
+        time.perf_counter() - started)
+    return result
+
+
+def _search_serial(evaluate: Callable[[Tuple[Any, ...]], bool],
+                   spaces: Sequence[Sequence[Any]],
+                   max_instances: Optional[int]
+                   ) -> Tuple[Optional[int], int, bool]:
+    """In-process scan; returns (witness index, instances checked, exhausted)."""
     checked = 0
-    for combo in itertools.product(*spaces) if names else iter([()]):
+    for combo in itertools.product(*spaces):
         if max_instances is not None and checked >= max_instances:
-            return DisproofResult(None, None, bound, checked, exhausted=False)
+            return None, checked, False
         checked += 1
-        interp = _with_relations(base_interp, names, combo, tables)
-        lhs = run_query(q1, interp, semiring)
-        rhs = run_query(q2, interp, semiring)
-        if lhs != rhs:
-            cx = Counterexample(
-                trial=checked - 1, lhs_query=q1, rhs_query=q2,
-                interpretation=interp, lhs_result=lhs, rhs_result=rhs)
-            record = counterexample_record(cx, tables, note=(
-                f"found by bounded-exhaustive search, instance #{checked}"))
-            return DisproofResult(cx, record, bound, checked, exhausted=False)
-    return DisproofResult(None, None, bound, checked, exhausted=True)
+        if evaluate(combo):
+            return checked - 1, checked, False
+    return None, checked, True
+
+
+# -- sharded search ----------------------------------------------------------
+
+def _default_batch(search_n: int, workers: int) -> int:
+    # ~8 shards per worker: coarse enough to amortize task dispatch,
+    # fine enough that cancelling shards past a witness saves real work.
+    return max(512, min(100_000, -(-search_n // (workers * 8))))
+
+
+def _search_parallel(spec: Tuple[Any, ...], search_n: int, workers: int,
+                     batch_size: Optional[int]
+                     ) -> Tuple[Optional[int], int]:
+    """Shard ``[0, search_n)`` across processes; smallest witness wins.
+
+    Each shard reports (found index | None, instances examined).  The
+    fold is deterministic no matter how the pool schedules: the witness
+    is the *minimum* found index, shards starting past the current best
+    are cancelled, and the accounting mirrors the serial scan exactly —
+    ``witness + 1`` when found, the sum of full shard counts
+    (= ``search_n``) when not.
+    """
+    batch = batch_size if batch_size is not None \
+        else _default_batch(search_n, workers)
+    shards = [(start, min(batch, search_n - start))
+              for start in range(0, search_n, batch)]
+    counter("disprover.shards_total").inc(len(shards))
+    best: Optional[int] = None
+    examined = 0
+    with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+        futures = {pool.submit(_shard_worker, spec, start, count): start
+                   for start, count in shards}
+        try:
+            for future in as_completed(futures):
+                if future.cancelled():
+                    continue
+                found, count = future.result()
+                examined += count
+                if found is not None and (best is None or found < best):
+                    best = found
+                    for other, start in futures.items():
+                        if start > best:
+                            other.cancel()
+        except BaseException:
+            for other in futures:
+                other.cancel()
+            raise
+    if best is not None:
+        return best, best + 1
+    return None, examined
+
+
+def _shard_worker(spec: Tuple[Any, ...], start: int,
+                  count: int) -> Tuple[Optional[int], int]:
+    """Scan global instance indices ``[start, start + count)``.
+
+    Runs in a pool process; everything expensive (compilation, the
+    per-table instance batches) is memoized per spec via
+    :func:`_prepare_spec`, so a worker pays the setup once and then
+    streams shards.
+    """
+    evaluate, spaces = _prepare_spec(spec)
+    index = start
+    for combo in _iter_combos(spaces, start, count):
+        if evaluate(combo):
+            return index, index - start + 1
+        index += 1
+    return None, count
+
+
+@lru_cache(maxsize=32)
+def _prepare_spec(spec: Tuple[Any, ...]):
+    """Worker-side spec → (evaluate closure, per-table instance spaces)."""
+    q1, q2, names, schemas, bound, semiring_name, compiled = spec
+    semiring = _SEMIRINGS_BY_NAME[semiring_name]
+    if compiled:
+        pair = compile_pair(q1, q2, names, None, semiring)
+        spaces = tuple(_count_batches(schema, bound, semiring is NAT)
+                       for schema in schemas)
+        return pair.differs, spaces
+    tables = dict(zip(names, schemas))
+    spaces = tuple(tuple(enumerate_relations(schema, bound, semiring))
+                   for schema in schemas)
+
+    def evaluate(combo: Tuple[Any, ...]) -> bool:
+        interp = _with_relations(None, list(names), combo, tables)
+        return (run_query(q1, interp, semiring)
+                != run_query(q2, interp, semiring))
+    return evaluate, spaces
+
+
+def _iter_combos(spaces: Sequence[Sequence[Any]], start: int,
+                 count: int) -> Iterator[Tuple[Any, ...]]:
+    """``itertools.product(*spaces)`` sliced to ``[start, start+count)``.
+
+    Decodes ``start`` once via mixed radix (leftmost space most
+    significant, matching ``product``), then runs an odometer — O(1)
+    amortized per instance, so late shards cost the same as early ones.
+    """
+    width = len(spaces)
+    radices = [len(space) for space in spaces]
+    idxs = [0] * width
+    rem = start
+    for k in range(width - 1, -1, -1):
+        rem, idxs[k] = divmod(rem, radices[k])
+    current = [spaces[k][idxs[k]] for k in range(width)]
+    for _ in range(count):
+        yield tuple(current)
+        for k in range(width - 1, -1, -1):
+            idxs[k] += 1
+            if idxs[k] < radices[k]:
+                current[k] = spaces[k][idxs[k]]
+                break
+            idxs[k] = 0
+            current[k] = spaces[k][0]
+
+
+def _decode(index: int, radices: Sequence[int]) -> List[int]:
+    out = [0] * len(radices)
+    for k in range(len(radices) - 1, -1, -1):
+        index, out[k] = divmod(index, radices[k])
+    return out
+
+
+def _witness_at(q1: ast.Query, q2: ast.Query, names: List[str],
+                tables: Dict[str, Schema], bound: Bound, semiring: Semiring,
+                base_interp: Optional[Interpretation],
+                valid: Sequence[Optional[List[int]]],
+                radices: Sequence[int], witness: int
+                ) -> Tuple[Counterexample, CounterexampleRecord]:
+    """Reconstruct instance ``witness`` and certify it with the interpreter.
+
+    This is the differential parity guarantee in production: no matter
+    which evaluator or how many shards found the disagreement, the
+    reported counterexample is re-derived by the reference interpreter.
+    A compiled hit the interpreter cannot confirm is a hard error, never
+    a verdict.
+    """
+    positions = _decode(witness, radices)
+    combo = []
+    for name, keep, pos in zip(names, valid, positions):
+        schema = tables[name]
+        desc_index = pos if keep is None else keep[pos]
+        desc = _instance_descriptors(schema, bound)[desc_index]
+        combo.append(_relation_from_descriptor(schema, bound, desc, semiring))
+    interp = _with_relations(base_interp, names, tuple(combo), tables)
+    lhs = run_query(q1, interp, semiring)
+    rhs = run_query(q2, interp, semiring)
+    if lhs == rhs:
+        raise RuntimeError(
+            f"disprover parity violation: instance #{witness + 1} separated "
+            f"the queries under the compiled evaluator but not under the "
+            f"reference interpreter")
+    cx = Counterexample(
+        trial=witness, lhs_query=q1, rhs_query=q2,
+        interpretation=interp, lhs_result=lhs, rhs_result=rhs)
+    record = counterexample_record(cx, tables, note=(
+        f"found by bounded-exhaustive search, instance #{witness + 1}"))
+    return cx, record
 
 
 def _constraint_checkers(name: str, hyps: Optional[Hypotheses],
@@ -419,7 +757,9 @@ def _constraint_checkers(name: str, hyps: Optional[Hypotheses],
     equal ``a``-projections to force equal ``b``-projections.  Returns
     ``None`` when a relevant constraint's projection cannot be resolved —
     the caller must then refuse to enumerate rather than produce
-    constraint-violating "counterexamples".
+    constraint-violating "counterexamples".  The checkers only touch
+    ``rel.items()``, so they accept K-relations and plain count dicts
+    alike.
     """
     if hyps is None:
         return []
@@ -494,14 +834,20 @@ def _with_relations(base: Optional[Interpretation], names: List[str],
 def disprove_factory(factory, bound: Bound = Bound(), draws: int = 3,
                      seed: int = 0, semiring: Semiring = NAT,
                      max_instances: Optional[int] = None,
-                     hyps: Optional[Hypotheses] = None) -> DisproofResult:
+                     hyps: Optional[Hypotheses] = None,
+                     workers: int = 1,
+                     batch_size: Optional[int] = None,
+                     use_compiled: Optional[bool] = None) -> DisproofResult:
     """Bounded-exhaustive search driven by an instance factory.
 
     The factory (a rule's instantiator) fixes schemas and metavariable
     bindings — attribute paths, predicate functions; for each of ``draws``
     instantiations the table contents are then enumerated exhaustively
     instead of sampled (restricted to instances satisfying ``hyps``).
-    The budget ``max_instances`` is shared across draws.
+    The budget ``max_instances`` is shared across draws.  Instantiated
+    searches still use the compiled evaluator (the bindings resolve at
+    compile time) but run in-process — the callables do not pickle, so
+    ``workers`` only applies when an instantiation needs none.
     """
     total_checked = 0
     exhausted_all = True
@@ -515,7 +861,8 @@ def disprove_factory(factory, bound: Bound = Bound(), draws: int = 3,
             break
         result = disprove(lhs, rhs, tables, bound, semiring,
                           base_interp=interp, max_instances=remaining,
-                          hyps=hyps)
+                          hyps=hyps, workers=workers, batch_size=batch_size,
+                          use_compiled=use_compiled)
         total_checked += result.instances_checked
         if result.found:
             return replace(result, instances_checked=total_checked)
@@ -526,7 +873,10 @@ def disprove_factory(factory, bound: Bound = Bound(), draws: int = 3,
 
 def disprove_rule(rule, bound: Bound = Bound(), draws: int = 3,
                   seed: int = 0, semiring: Semiring = NAT,
-                  max_instances: Optional[int] = None) -> DisproofResult:
+                  max_instances: Optional[int] = None,
+                  workers: int = 1,
+                  batch_size: Optional[int] = None,
+                  use_compiled: Optional[bool] = None) -> DisproofResult:
     """Bounded-exhaustive refutation of a generic rewrite rule.
 
     The rule's integrity-constraint hypotheses restrict the instance
@@ -535,7 +885,9 @@ def disprove_rule(rule, bound: Bound = Bound(), draws: int = 3,
     if rule.instantiate is None:
         raise ValueError(f"rule {rule.name!r} has no instantiator")
     return disprove_factory(rule.instantiate, bound, draws, seed, semiring,
-                            max_instances, hyps=rule.hypotheses)
+                            max_instances, hyps=rule.hypotheses,
+                            workers=workers, batch_size=batch_size,
+                            use_compiled=use_compiled)
 
 
 # ---------------------------------------------------------------------------

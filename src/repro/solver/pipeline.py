@@ -85,6 +85,11 @@ class PipelineConfig:
     disprover_max_instances: Optional[int] = 50_000
     #: metavariable instantiations tried when disproving via a factory.
     disprover_draws: int = 2
+    #: processes the disprover shards its instance space across.  1 =
+    #: in-process; the witness and accounting are identical either way.
+    disprover_workers: int = 1
+    #: instances per disprover shard; None sizes shards automatically.
+    disprover_batch_size: Optional[int] = None
     #: cache inconclusive (UNKNOWN) verdicts too?  Off by default so a
     #: later run with a bigger budget is not short-circuited.
     cache_unknown: bool = False
@@ -236,7 +241,8 @@ class Pipeline:
               ctx_schema: Optional[Schema] = None,
               hyps: Hypotheses = NO_HYPOTHESES, *,
               factory=None, alias: Optional[str] = None,
-              prove_only: bool = False) -> Verdict:
+              prove_only: bool = False,
+              config: Optional[PipelineConfig] = None) -> Verdict:
         """Run the tiers on one equivalence question.
 
         Args:
@@ -249,18 +255,24 @@ class Pipeline:
             prove_only: stop after the prover stage (used for rewrite
                 certification, where a counterexample search is wasted
                 work — an uncertified rewrite is simply discarded).
+            config: optional per-call config override (the serve daemon
+                threads request-level disprover knobs through here).
+                Must be verdict-neutral relative to ``self.config`` —
+                the proof cache is shared across calls.
         """
         with span("pipeline.check"):
             # Stage 1: normalize --------------------------------------------
             pre1 = NormalizedQuery.of(q1, ctx_schema)
             pre2 = NormalizedQuery.of(q2, ctx_schema)
             return self.check_normalized(pre1, pre2, hyps, factory=factory,
-                                         alias=alias, prove_only=prove_only)
+                                         alias=alias, prove_only=prove_only,
+                                         config=config)
 
     def check_normalized(self, pre1: NormalizedQuery, pre2: NormalizedQuery,
                          hyps: Hypotheses = NO_HYPOTHESES, *,
                          factory=None, alias: Optional[str] = None,
-                         prove_only: bool = False) -> Verdict:
+                         prove_only: bool = False,
+                         config: Optional[PipelineConfig] = None) -> Verdict:
         """Run the tiers on two *pre-normalized* queries.
 
         The fast path behind :meth:`check` and the session layer's
@@ -272,13 +284,15 @@ class Pipeline:
         """
         with span("pipeline.check_normalized"):
             return self._check_normalized(pre1, pre2, hyps, factory=factory,
-                                          alias=alias, prove_only=prove_only)
+                                          alias=alias, prove_only=prove_only,
+                                          config=config)
 
     def _check_normalized(self, pre1: NormalizedQuery, pre2: NormalizedQuery,
                           hyps: Hypotheses = NO_HYPOTHESES, *,
                           factory=None, alias: Optional[str] = None,
-                          prove_only: bool = False) -> Verdict:
-        cfg = self.config
+                          prove_only: bool = False,
+                          config: Optional[PipelineConfig] = None) -> Verdict:
+        cfg = config if config is not None else self.config
         _CHECKS_TOTAL.inc()
         norm_before = normalize_stats()
         d1, d2 = pre1.denotation, pre2.denotation
@@ -339,7 +353,7 @@ class Pipeline:
         n2 = pre2.aligned_nsum(pre1)
         verdict = self._decide(pre1.query, pre2.query, pre1.ctx_schema,
                                hyps, n1, n2, fingerprint, timings, factory,
-                               prove_only)
+                               prove_only, cfg)
         return self._finish(verdict, pre1, pre2, fingerprint, alias,
                             prove_only, norm_before)
 
@@ -377,8 +391,9 @@ class Pipeline:
     # -- the tiers ----------------------------------------------------------
 
     def _decide(self, q1, q2, ctx_schema, hyps, n1, n2, fingerprint,
-                timings, factory, prove_only) -> Verdict:
-        cfg = self.config
+                timings, factory, prove_only,
+                cfg: Optional[PipelineConfig] = None) -> Verdict:
+        cfg = cfg if cfg is not None else self.config
 
         def verdict(status: Status, stage: str, **kw) -> Verdict:
             return Verdict(status=status, stage=stage,
@@ -456,7 +471,7 @@ class Pipeline:
         if cfg.use_disprover:
             with span("pipeline.disprover") as sp:
                 result = self._run_disprover(q1, q2, ctx_schema, hyps,
-                                             factory)
+                                             factory, cfg)
                 sp.attrs["found"] = bool(result is not None and result.found)
             _record_tier(timings, "disprover", sp.duration)
             if result is not None:
@@ -483,13 +498,16 @@ class Pipeline:
                        engine_steps=prover_steps,
                        bound=bound_info, detail=detail)
 
-    def _run_disprover(self, q1, q2, ctx_schema, hyps, factory):
-        cfg = self.config
+    def _run_disprover(self, q1, q2, ctx_schema, hyps, factory,
+                       cfg: Optional[PipelineConfig] = None):
+        cfg = cfg if cfg is not None else self.config
         if factory is not None:
             return disprove_factory(
                 factory, bound=cfg.disprover_bound,
                 draws=cfg.disprover_draws,
-                max_instances=cfg.disprover_max_instances, hyps=hyps)
+                max_instances=cfg.disprover_max_instances, hyps=hyps,
+                workers=cfg.disprover_workers,
+                batch_size=cfg.disprover_batch_size)
         if ctx_schema != EMPTY or has_metavariables(q1) \
                 or has_metavariables(q2):
             return None  # nothing concrete to enumerate
@@ -503,7 +521,8 @@ class Pipeline:
                 tables[name] = schema
             return disprove(q1, q2, tables, bound=cfg.disprover_bound,
                             max_instances=cfg.disprover_max_instances,
-                            hyps=hyps)
+                            hyps=hyps, workers=cfg.disprover_workers,
+                            batch_size=cfg.disprover_batch_size)
         except (ValueError, EvaluationError):
             # Not concretely enumerable (schema conflict, or a symbol —
             # e.g. an uninterpreted scalar function — with no concrete

@@ -47,6 +47,27 @@ class TestServeClient:
         assert cli.ping() is True  # request() reconnects once
         cli.close()
 
+    def test_disprover_knobs_thread_through(self, server):
+        with ServeClient(server.address) as cli:
+            verdict = cli.check("SELECT a FROM R",
+                                "SELECT DISTINCT a FROM R",
+                                disprover_workers=2,
+                                disprover_batch_size=32)
+            assert verdict.status is Status.DISPROVED
+            baseline = cli.check("SELECT b FROM R",
+                                 "SELECT DISTINCT b FROM R")
+            assert baseline.status is Status.DISPROVED
+
+    def test_bad_disprover_knobs_are_protocol_errors(self, server):
+        with ServeClient(server.address) as cli:
+            for payload in ({"disprover_workers": 0},
+                            {"disprover_workers": "four"},
+                            {"disprover_batch_size": 0},
+                            {"disprover_batch_size": True}):
+                with pytest.raises(ServeClientError) as excinfo:
+                    cli.request("check", sql1=Q1, sql2=Q1, **payload)
+                assert excinfo.value.code == "bad-request"
+
 
 class TestRemoteSession:
     def test_fluent_check_runs_remote(self, server):

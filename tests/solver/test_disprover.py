@@ -50,6 +50,18 @@ class TestEnumeration:
                  for _, m in rel.items()}
         assert mults == {1, 2, 3}
 
+    def test_tuple_space_is_cached_per_schema_and_domain(self):
+        from repro.solver.disprover import _tuple_space
+        bound = Bound.of(max_rows=2, max_multiplicity=2)
+        _tuple_space.cache_clear()
+        list(enumerate_relations(SCHEMA, bound))
+        first = _tuple_space.cache_info()
+        assert first.misses == 1
+        list(enumerate_relations(SCHEMA, bound))
+        second = _tuple_space.cache_info()
+        assert second.misses == first.misses  # re-enumeration is a hit
+        assert second.hits > first.hits
+
 
 class TestQueryAnalysis:
     def test_free_tables(self, catalog):
@@ -133,9 +145,40 @@ class TestDisproveRules:
         assert result.exhausted
 
 
-@pytest.mark.slow
+class TestShardDeterminism:
+    """Parallel search must be bit-identical to the serial search."""
+
+    def test_same_witness_serial_and_parallel(self, catalog):
+        q1 = compile_sql("SELECT r.a FROM R r, S s WHERE r.a = s.a",
+                         catalog).query
+        q2 = compile_sql("SELECT DISTINCT r.a FROM R r, S s "
+                         "WHERE r.a = s.a", catalog).query
+        bound = Bound.of(3, 2)
+        serial = disprove(q1, q2, bound=bound, workers=1)
+        sharded = disprove(q1, q2, bound=bound, workers=4, batch_size=37)
+        assert serial.found and sharded.found
+        assert sharded.instances_checked == serial.instances_checked
+        assert sharded.counterexample.trial == serial.counterexample.trial
+        assert sharded.record == serial.record
+
+    def test_exhaustion_matches_serial(self, catalog):
+        q1 = compile_sql("SELECT a FROM R WHERE a = 1", catalog).query
+        serial = disprove(q1, q1, bound=Bound.of(2, 2), workers=1)
+        sharded = disprove(q1, q1, bound=Bound.of(2, 2), workers=4)
+        assert not serial.found and not sharded.found
+        assert serial.exhausted and sharded.exhausted
+        assert sharded.instances_checked == serial.instances_checked
+
+    def test_knob_validation(self, catalog):
+        q1 = compile_sql("SELECT a FROM R", catalog).query
+        with pytest.raises(ValueError):
+            disprove(q1, q1, workers=0)
+        with pytest.raises(ValueError):
+            disprove(q1, q1, batch_size=0)
+
+
 class TestDisproverStress:
-    """Bigger bounds — opt in with ``--runslow`` (or ``-m slow``)."""
+    """The compiled disprover makes the PR 9 ``slow`` bounds tier-1."""
 
     def test_sound_corpus_survives_default_bound(self):
         for rule in all_rules():
@@ -149,4 +192,23 @@ class TestDisproverStress:
         for rule in all_buggy_rules():
             result = disprove_rule(
                 rule, bound=Bound.of(3, 2), draws=2, max_instances=50000)
+            assert result.found, rule.name
+
+
+@pytest.mark.slow
+class TestDisproverStressSlow:
+    """Bigger bounds — opt in with ``--runslow`` (or ``-m slow``)."""
+
+    def test_sound_corpus_survives_multiplicity_three(self):
+        for rule in all_rules():
+            if rule.instantiate is None:
+                continue
+            result = disprove_rule(rule, bound=Bound.of(2, 3), draws=1,
+                                   max_instances=100000)
+            assert not result.found, rule.name
+
+    def test_three_by_three_bound_still_refutes_buggy_rules(self):
+        for rule in all_buggy_rules():
+            result = disprove_rule(
+                rule, bound=Bound.of(3, 3), draws=2, max_instances=200000)
             assert result.found, rule.name
